@@ -1,0 +1,245 @@
+//! The behavioural analog block model.
+//!
+//! An [`AnalogBlock`] is the Rust equivalent of a VHDL-AMS behavioural
+//! sub-block: each integration step it reads its input quantities, advances
+//! its internal state over `dt`, and writes its output quantities — an
+//! assignment for voltage nodes, a *contribution* (current summation, the
+//! paper's saboteur mechanism) for current nodes.
+
+use crate::circuit::{NodeId, NodeKind};
+use amsfi_waves::Time;
+use std::fmt;
+
+/// Error returned when a parametric fault names a parameter the block does
+/// not have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownParamError {
+    /// The parameter name that failed to resolve.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown analog block parameter {:?}", self.name)
+    }
+}
+
+impl std::error::Error for UnknownParamError {}
+
+/// Per-step evaluation context handed to [`AnalogBlock::step`].
+#[derive(Debug)]
+pub struct AnalogContext<'a> {
+    now: Time,
+    dt: Time,
+    values: &'a mut [f64],
+    kinds: &'a [NodeKind],
+    inputs: &'a [NodeId],
+    outputs: &'a [NodeId],
+}
+
+impl<'a> AnalogContext<'a> {
+    pub(crate) fn new(
+        now: Time,
+        dt: Time,
+        values: &'a mut [f64],
+        kinds: &'a [NodeKind],
+        inputs: &'a [NodeId],
+        outputs: &'a [NodeId],
+    ) -> Self {
+        AnalogContext {
+            now,
+            dt,
+            values,
+            kinds,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Simulation time at the *start* of this step.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The step size: the block must advance its state from `now` to
+    /// `now + dt`.
+    pub fn dt(&self) -> Time {
+        self.dt
+    }
+
+    /// The step size in seconds.
+    pub fn dt_secs(&self) -> f64 {
+        self.dt.as_secs_f64()
+    }
+
+    /// The value of input port `index` (volts for a voltage node, amperes
+    /// for a current node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn input(&self, index: usize) -> f64 {
+        self.values[self.inputs[index].0]
+    }
+
+    /// Assigns output port `index`, which must be bound to a voltage node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the node is a current node
+    /// (current nodes take contributions, not assignments).
+    pub fn set(&mut self, index: usize, volts: f64) {
+        let node = self.outputs[index];
+        assert_eq!(
+            self.kinds[node.0],
+            NodeKind::Voltage,
+            "set() on a current node; use contribute()"
+        );
+        self.values[node.0] = volts;
+    }
+
+    /// Adds a current contribution to output port `index`, which must be
+    /// bound to a current node. Contributions from all blocks sum, exactly
+    /// as the paper's saboteur superposes its spike "with the normal current
+    /// at the target node".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the node is a voltage node.
+    pub fn contribute(&mut self, index: usize, amperes: f64) {
+        let node = self.outputs[index];
+        assert_eq!(
+            self.kinds[node.0],
+            NodeKind::Current,
+            "contribute() on a voltage node; use set()"
+        );
+        self.values[node.0] += amperes;
+    }
+}
+
+/// Object-safe clone support for boxed analog blocks.
+pub trait AnalogBlockClone {
+    /// Clones this block into a new box.
+    fn clone_box(&self) -> Box<dyn AnalogBlock>;
+}
+
+impl<T: AnalogBlock + Clone + 'static> AnalogBlockClone for T {
+    fn clone_box(&self) -> Box<dyn AnalogBlock> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn AnalogBlock> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A behavioural analog sub-block.
+///
+/// Blocks are evaluated once per integration step in the order they were
+/// added to the circuit, so feed-forward chains see fresh values within a
+/// step while feedback loops incur a one-step delay — the usual semantics of
+/// behavioural dataflow simulation.
+pub trait AnalogBlock: AnalogBlockClone + Send + fmt::Debug {
+    /// Advances the block by one step.
+    fn step(&mut self, ctx: &mut AnalogContext<'_>);
+
+    /// An upper bound on the step size the block can tolerate at `now`, or
+    /// `None` for no constraint. Saboteurs use this to force picosecond
+    /// refinement during their pulse; oscillators use it to resolve their
+    /// period.
+    fn max_step(&self, now: Time) -> Option<Time> {
+        let _ = now;
+        None
+    }
+
+    /// Named behavioural parameters and their current values, the targets of
+    /// parametric fault injection.
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+
+    /// Sets a behavioural parameter (a parametric fault, or design-space
+    /// exploration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownParamError`] if the block has no such parameter.
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        let _ = value;
+        Err(UnknownParamError {
+            name: name.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Dummy;
+
+    impl AnalogBlock for Dummy {
+        fn step(&mut self, _ctx: &mut AnalogContext<'_>) {}
+    }
+
+    #[test]
+    fn default_hooks() {
+        let mut d = Dummy;
+        assert_eq!(d.max_step(Time::ZERO), None);
+        assert!(d.params().is_empty());
+        let err = d.set_param("gain", 1.0).unwrap_err();
+        assert_eq!(err.name, "gain");
+        assert!(err.to_string().contains("gain"));
+    }
+
+    #[test]
+    fn boxed_clone() {
+        let b: Box<dyn AnalogBlock> = Box::new(Dummy);
+        let c = b.clone();
+        assert!(c.params().is_empty());
+    }
+
+    #[test]
+    fn context_reads_and_writes() {
+        let mut values = vec![1.5, 0.0, 0.0];
+        let kinds = vec![NodeKind::Voltage, NodeKind::Voltage, NodeKind::Current];
+        let inputs = vec![NodeId(0)];
+        let outputs = vec![NodeId(1), NodeId(2)];
+        let mut ctx = AnalogContext::new(
+            Time::from_ns(5),
+            Time::from_ps(100),
+            &mut values,
+            &kinds,
+            &inputs,
+            &outputs,
+        );
+        assert_eq!(ctx.input(0), 1.5);
+        assert_eq!(ctx.now(), Time::from_ns(5));
+        assert!((ctx.dt_secs() - 100e-12).abs() < 1e-24);
+        ctx.set(0, 2.5);
+        ctx.contribute(1, 1e-3);
+        ctx.contribute(1, 2e-3);
+        assert_eq!(values[1], 2.5);
+        assert!((values[2] - 3e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "use contribute()")]
+    fn set_on_current_node_panics() {
+        let mut values = vec![0.0];
+        let kinds = vec![NodeKind::Current];
+        let outputs = vec![NodeId(0)];
+        let mut ctx = AnalogContext::new(
+            Time::ZERO,
+            Time::from_ps(1),
+            &mut values,
+            &kinds,
+            &[],
+            &outputs,
+        );
+        ctx.set(0, 1.0);
+    }
+}

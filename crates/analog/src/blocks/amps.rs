@@ -1,0 +1,499 @@
+//! Amplification and decision blocks: op-amp, comparator, integrator,
+//! sample-and-hold, and the charge pump of the paper's PLL.
+
+use crate::block::{AnalogBlock, AnalogContext, UnknownParamError};
+use amsfi_waves::Time;
+
+/// A behavioural op-amp: `v_out = clamp(gain · (v_plus − v_minus))` with a
+/// single-pole bandwidth limit.
+///
+/// Inputs: `v_plus`, `v_minus`; output: one voltage node.
+#[derive(Debug, Clone)]
+pub struct OpAmp {
+    gain: f64,
+    v_sat_low: f64,
+    v_sat_high: f64,
+    pole_hz: f64,
+    v: f64,
+}
+
+impl OpAmp {
+    /// Creates an op-amp with open-loop `gain`, output saturation rails and
+    /// a single pole at `pole_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` or `pole_hz` is not positive and finite, or the
+    /// rails are inverted.
+    pub fn new(gain: f64, v_sat_low: f64, v_sat_high: f64, pole_hz: f64) -> Self {
+        assert!(gain > 0.0 && gain.is_finite(), "gain must be positive");
+        assert!(
+            pole_hz > 0.0 && pole_hz.is_finite(),
+            "pole must be positive"
+        );
+        assert!(v_sat_low < v_sat_high, "saturation rails inverted");
+        OpAmp {
+            gain,
+            v_sat_low,
+            v_sat_high,
+            pole_hz,
+            v: 0.0,
+        }
+    }
+}
+
+impl AnalogBlock for OpAmp {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let target =
+            (self.gain * (ctx.input(0) - ctx.input(1))).clamp(self.v_sat_low, self.v_sat_high);
+        // Single-pole response toward the target (exponential step).
+        let tau = 1.0 / (std::f64::consts::TAU * self.pole_hz);
+        let alpha = (-ctx.dt_secs() / tau).exp();
+        self.v = target + (self.v - target) * alpha;
+        ctx.set(0, self.v);
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("gain", self.gain), ("pole_hz", self.pole_hz)]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "gain" => self.gain = value,
+            "pole_hz" => self.pole_hz = value,
+            other => {
+                return Err(UnknownParamError {
+                    name: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An analog comparator with hysteresis: input above
+/// `threshold + hysteresis/2` drives `v_high`, below
+/// `threshold − hysteresis/2` drives `v_low`.
+///
+/// Input: one voltage node; output: one voltage node. (For conversion to a
+/// *digital* signal use the mixed-mode `Digitizer` instead — this block stays
+/// entirely in the analog domain.)
+#[derive(Debug, Clone)]
+pub struct Comparator {
+    threshold: f64,
+    hysteresis: f64,
+    v_low: f64,
+    v_high: f64,
+    state_high: bool,
+}
+
+impl Comparator {
+    /// Creates a comparator. `hysteresis` is the full width of the dead
+    /// band (0 for none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis` is negative.
+    pub fn new(threshold: f64, hysteresis: f64, v_low: f64, v_high: f64) -> Self {
+        assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
+        Comparator {
+            threshold,
+            hysteresis,
+            v_low,
+            v_high,
+            state_high: false,
+        }
+    }
+}
+
+impl AnalogBlock for Comparator {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let v = ctx.input(0);
+        if self.state_high {
+            if v < self.threshold - self.hysteresis / 2.0 {
+                self.state_high = false;
+            }
+        } else if v > self.threshold + self.hysteresis / 2.0 {
+            self.state_high = true;
+        }
+        ctx.set(
+            0,
+            if self.state_high {
+                self.v_high
+            } else {
+                self.v_low
+            },
+        );
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("threshold", self.threshold),
+            ("hysteresis", self.hysteresis),
+        ]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "threshold" => self.threshold = value,
+            "hysteresis" => self.hysteresis = value,
+            other => {
+                return Err(UnknownParamError {
+                    name: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An ideal integrator: `dv/dt = gain · v_in`, optionally clamped.
+#[derive(Debug, Clone)]
+pub struct Integrator {
+    gain: f64,
+    v_min: f64,
+    v_max: f64,
+    v: f64,
+}
+
+impl Integrator {
+    /// Creates an integrator clamped to `[v_min, v_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clamp range is inverted.
+    pub fn new(gain: f64, v_min: f64, v_max: f64) -> Self {
+        assert!(v_min < v_max, "clamp range inverted");
+        Integrator {
+            gain,
+            v_min,
+            v_max,
+            v: 0.0,
+        }
+    }
+
+    /// Sets the initial output value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volts` lies outside the clamp range.
+    #[must_use]
+    pub fn with_initial(mut self, volts: f64) -> Self {
+        assert!(
+            (self.v_min..=self.v_max).contains(&volts),
+            "initial value outside clamp range"
+        );
+        self.v = volts;
+        self
+    }
+}
+
+impl AnalogBlock for Integrator {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        self.v = (self.v + self.gain * ctx.input(0) * ctx.dt_secs()).clamp(self.v_min, self.v_max);
+        ctx.set(0, self.v);
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("gain", self.gain)]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "gain" => {
+                self.gain = value;
+                Ok(())
+            }
+            other => Err(UnknownParamError {
+                name: other.to_owned(),
+            }),
+        }
+    }
+}
+
+/// A track-and-hold: follows the input while the clock input is above
+/// 2.5 V, holds the last value otherwise.
+///
+/// Inputs: `v_in`, `clock`; output: one voltage node.
+#[derive(Debug, Clone)]
+pub struct SampleHold {
+    held: f64,
+}
+
+impl SampleHold {
+    /// Creates a track-and-hold holding 0 V initially.
+    pub fn new() -> Self {
+        SampleHold { held: 0.0 }
+    }
+}
+
+impl Default for SampleHold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnalogBlock for SampleHold {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        if ctx.input(1) > 2.5 {
+            self.held = ctx.input(0);
+        }
+        ctx.set(0, self.held);
+    }
+}
+
+/// A slew-rate-limited follower: the output moves toward the input at no
+/// more than `rate` volts per second.
+///
+/// Chained after a digitally-driven boundary node it turns the mixed-mode
+/// kernel's zero-order hold into a finite-rise-time driver, the behavioural
+/// equivalent of a pad driver's edge rate.
+#[derive(Debug, Clone)]
+pub struct Slew {
+    rate_v_per_s: f64,
+    v: f64,
+}
+
+impl Slew {
+    /// Creates a follower limited to `rate_v_per_s` (positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    pub fn new(rate_v_per_s: f64) -> Self {
+        assert!(
+            rate_v_per_s > 0.0 && rate_v_per_s.is_finite(),
+            "slew rate must be positive"
+        );
+        Slew {
+            rate_v_per_s,
+            v: 0.0,
+        }
+    }
+}
+
+impl AnalogBlock for Slew {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let target = ctx.input(0);
+        let max_delta = self.rate_v_per_s * ctx.dt_secs();
+        self.v += (target - self.v).clamp(-max_delta, max_delta);
+        ctx.set(0, self.v);
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("rate_v_per_s", self.rate_v_per_s)]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        if name == "rate_v_per_s" {
+            self.rate_v_per_s = value;
+            Ok(())
+        } else {
+            Err(UnknownParamError {
+                name: name.to_owned(),
+            })
+        }
+    }
+}
+
+/// The charge pump of the paper's Fig. 5 PLL: translates the PFD's UP/DOWN
+/// pulses into a current contribution on the loop-filter input node.
+///
+/// Inputs: `up_v`, `down_v` (voltage nodes, thresholded at 2.5 V); output:
+/// a contribution of `+i_up` / `−i_down` on a current node. Both active
+/// cancel (as in the real pump during the anti-backlash pulse).
+#[derive(Debug, Clone)]
+pub struct ChargePump {
+    i_up: f64,
+    i_down: f64,
+}
+
+impl ChargePump {
+    /// Creates a pump sourcing `i_up` when UP is active and sinking
+    /// `i_down` when DOWN is active (both in amperes, positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either current is negative or not finite.
+    pub fn new(i_up: f64, i_down: f64) -> Self {
+        assert!(
+            i_up >= 0.0 && i_down >= 0.0 && i_up.is_finite() && i_down.is_finite(),
+            "pump currents must be non-negative"
+        );
+        ChargePump { i_up, i_down }
+    }
+
+    /// A symmetric pump (`i_up == i_down`).
+    pub fn symmetric(amperes: f64) -> Self {
+        Self::new(amperes, amperes)
+    }
+}
+
+impl AnalogBlock for ChargePump {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let mut i = 0.0;
+        if ctx.input(0) > 2.5 {
+            i += self.i_up;
+        }
+        if ctx.input(1) > 2.5 {
+            i -= self.i_down;
+        }
+        ctx.contribute(0, i);
+    }
+
+    fn max_step(&self, _now: Time) -> Option<Time> {
+        None
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("i_up", self.i_up), ("i_down", self.i_down)]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "i_up" => self.i_up = value,
+            "i_down" => self.i_down = value,
+            other => {
+                return Err(UnknownParamError {
+                    name: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::sources::{DcSource, SineSource};
+    use crate::{AnalogCircuit, AnalogSolver, NodeKind};
+
+    #[test]
+    fn opamp_follower_converges_to_input() {
+        // Unity feedback is not modelled structurally; check open loop
+        // saturation + pole behaviour instead.
+        let mut ckt = AnalogCircuit::new();
+        let p = ckt.node("p", NodeKind::Voltage);
+        let m = ckt.node("m", NodeKind::Voltage);
+        let o = ckt.node("o", NodeKind::Voltage);
+        ckt.add("vp", DcSource::new(1.0), &[], &[p]);
+        ckt.add("vm", DcSource::new(0.0), &[], &[m]);
+        ckt.add("amp", OpAmp::new(1000.0, -5.0, 5.0, 1e6), &[p, m], &[o]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.run_until(Time::from_us(10));
+        // gain*(1-0) = 1000 -> saturates at +5 V.
+        assert!((solver.value(o) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comparator_hysteresis_rejects_small_wiggle() {
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node("vin", NodeKind::Voltage);
+        let out = ckt.node("out", NodeKind::Voltage);
+        // 0.05 V wiggle around 2.5 V with a 0.2 V hysteresis band: no toggles.
+        ckt.add("src", SineSource::new(1e6, 0.05, 2.5), &[], &[vin]);
+        ckt.add("cmp", Comparator::new(2.5, 0.2, 0.0, 5.0), &[vin], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(5));
+        solver.monitor_name("out");
+        solver.run_until(Time::from_us(5));
+        let w = solver.trace().analog("out").unwrap();
+        assert_eq!(w.max().unwrap(), 0.0, "comparator must never fire");
+    }
+
+    #[test]
+    fn comparator_follows_large_swing() {
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node("vin", NodeKind::Voltage);
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("src", SineSource::new(1e6, 2.5, 2.5), &[], &[vin]);
+        ckt.add("cmp", Comparator::new(2.5, 0.2, 0.0, 5.0), &[vin], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(5));
+        solver.monitor_name("out");
+        solver.set_recording(0.1, Time::from_ns(50));
+        solver.run_until(Time::from_us(5));
+        let w = solver.trace().analog("out").unwrap();
+        let crossings = amsfi_waves::measure::crossings(w, 2.5);
+        // ~5 periods -> ~10 crossings.
+        assert!(crossings.len() >= 8, "{} crossings", crossings.len());
+    }
+
+    #[test]
+    fn integrator_ramps_and_clamps() {
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node("vin", NodeKind::Voltage);
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("src", DcSource::new(1.0), &[], &[vin]);
+        ckt.add("int", Integrator::new(1e6, 0.0, 2.0), &[vin], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.run_until(Time::from_us(1));
+        assert!((solver.value(out) - 1.0).abs() < 1e-6);
+        solver.run_until(Time::from_us(10));
+        assert_eq!(solver.value(out), 2.0); // clamped
+    }
+
+    #[test]
+    fn sample_hold_tracks_then_holds() {
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node("vin", NodeKind::Voltage);
+        let clk = ckt.node_with_initial("clk", NodeKind::Voltage, 5.0);
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("src", SineSource::new(1e6, 1.0, 0.0), &[], &[vin]);
+        ckt.add("sh", SampleHold::new(), &[vin, clk], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(5));
+        solver.run_until(Time::from_ns(250));
+        // Tracking: output equals the sine at 250 ns.
+        let tracked = solver.value(out);
+        assert!((tracked - solver.value(vin)).abs() < 1e-9);
+        // Drop the clock: output freezes.
+        solver.set_value(clk, 0.0);
+        solver.run_until(Time::from_ns(500));
+        assert_eq!(solver.value(out), tracked);
+    }
+
+    #[test]
+    fn slew_limits_edge_rate() {
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node_with_initial("vin", NodeKind::Voltage, 5.0);
+        let out = ckt.node("out", NodeKind::Voltage);
+        // 1 V/us toward a 5 V step.
+        ckt.add("slew", Slew::new(1e6), &[vin], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.run_until(Time::from_us(2));
+        assert!((solver.value(out) - 2.0).abs() < 1e-9);
+        solver.run_until(Time::from_us(10));
+        assert_eq!(solver.value(out), 5.0); // settled, no overshoot
+    }
+
+    #[test]
+    fn charge_pump_signs() {
+        for (up, down, expect) in [
+            (5.0, 0.0, 100e-6),
+            (0.0, 5.0, -100e-6),
+            (5.0, 5.0, 0.0),
+            (0.0, 0.0, 0.0),
+        ] {
+            let mut ckt = AnalogCircuit::new();
+            let u = ckt.node_with_initial("u", NodeKind::Voltage, up);
+            let d = ckt.node_with_initial("d", NodeKind::Voltage, down);
+            let i = ckt.node("i", NodeKind::Current);
+            ckt.add("cp", ChargePump::symmetric(100e-6), &[u, d], &[i]);
+            let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+            solver.run_until(Time::from_ns(2));
+            assert!(
+                (solver.value(i) - expect).abs() < 1e-12,
+                "up={up} down={down}: {}",
+                solver.value(i)
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_pump_mismatch() {
+        // i_up != i_down models the pump current mismatch that causes
+        // static phase error; check both directions independently.
+        let pump = ChargePump::new(120e-6, 80e-6);
+        assert_eq!(pump.params()[0].1, 120e-6);
+        assert_eq!(pump.params()[1].1, 80e-6);
+    }
+}

@@ -1,0 +1,344 @@
+//! Filters: the first-order RC low-pass and the charge-pump loop filter
+//! (lead-lag) of the paper's PLL.
+
+use crate::block::{AnalogBlock, AnalogContext, UnknownParamError};
+
+/// A first-order RC low-pass: voltage in → voltage out.
+///
+/// `dv/dt = (vin − v) / (R·C)`, integrated exactly (exponential step) under
+/// the piecewise-constant-input assumption, so it is unconditionally stable
+/// at any step size.
+#[derive(Debug, Clone)]
+pub struct RcLowPass {
+    r_ohm: f64,
+    c_farad: f64,
+    v: f64,
+}
+
+impl RcLowPass {
+    /// Creates a low-pass with the given resistance and capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not positive and finite.
+    pub fn new(r_ohm: f64, c_farad: f64) -> Self {
+        assert!(
+            r_ohm > 0.0 && r_ohm.is_finite() && c_farad > 0.0 && c_farad.is_finite(),
+            "R and C must be positive"
+        );
+        RcLowPass {
+            r_ohm,
+            c_farad,
+            v: 0.0,
+        }
+    }
+
+    /// Pre-charges the capacitor (initial output voltage).
+    #[must_use]
+    pub fn with_initial(mut self, volts: f64) -> Self {
+        self.v = volts;
+        self
+    }
+
+    /// The filter time constant `R·C` in seconds.
+    pub fn tau(&self) -> f64 {
+        self.r_ohm * self.c_farad
+    }
+}
+
+impl AnalogBlock for RcLowPass {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let vin = ctx.input(0);
+        let alpha = (-ctx.dt_secs() / self.tau()).exp();
+        self.v = vin + (self.v - vin) * alpha;
+        ctx.set(0, self.v);
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("r_ohm", self.r_ohm), ("c_farad", self.c_farad)]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "r_ohm" => self.r_ohm = value,
+            "c_farad" => self.c_farad = value,
+            other => {
+                return Err(UnknownParamError {
+                    name: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The classical charge-pump PLL loop filter: a series `R + C1` branch in
+/// parallel with `C2`, driven by a *current* and producing the VCO control
+/// *voltage*. This is the "Low-pass Filter" block of the paper's Fig. 5, and
+/// its input node is where the paper injects its current pulses.
+///
+/// State equations (input current `I`, output voltage `v_out`, zero-making
+/// capacitor voltage `v_c1`):
+///
+/// ```text
+/// i_r      = (v_out − v_c1) / R
+/// dv_c1/dt = i_r / C1
+/// dv_out/dt = (I − i_r) / C2
+/// ```
+///
+/// Integrated with Heun's method (RK2), with the input current held constant
+/// across the step — the solver's refinement hints keep steps short whenever
+/// the input moves fast (e.g. during an injected pulse).
+#[derive(Debug, Clone)]
+pub struct LeadLagFilter {
+    r_ohm: f64,
+    c1_farad: f64,
+    c2_farad: f64,
+    v_c1: f64,
+    v_out: f64,
+}
+
+impl LeadLagFilter {
+    /// Creates the filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element value is not positive and finite.
+    pub fn new(r_ohm: f64, c1_farad: f64, c2_farad: f64) -> Self {
+        assert!(
+            r_ohm > 0.0 && c1_farad > 0.0 && c2_farad > 0.0,
+            "filter elements must be positive"
+        );
+        assert!(
+            r_ohm.is_finite() && c1_farad.is_finite() && c2_farad.is_finite(),
+            "filter elements must be finite"
+        );
+        LeadLagFilter {
+            r_ohm,
+            c1_farad,
+            c2_farad,
+            v_c1: 0.0,
+            v_out: 0.0,
+        }
+    }
+
+    /// Pre-charges both capacitors to `volts` (a known operating point, so a
+    /// transient does not start from a dead-cold loop).
+    #[must_use]
+    pub fn with_initial(mut self, volts: f64) -> Self {
+        self.v_c1 = volts;
+        self.v_out = volts;
+        self
+    }
+
+    fn derivatives(&self, i_in: f64, v_c1: f64, v_out: f64) -> (f64, f64) {
+        let i_r = (v_out - v_c1) / self.r_ohm;
+        (i_r / self.c1_farad, (i_in - i_r) / self.c2_farad)
+    }
+}
+
+impl AnalogBlock for LeadLagFilter {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let i_in = ctx.input(0);
+        let h = ctx.dt_secs();
+        // Heun's method (explicit trapezoidal).
+        let (d1_c1, d1_out) = self.derivatives(i_in, self.v_c1, self.v_out);
+        let p_c1 = self.v_c1 + h * d1_c1;
+        let p_out = self.v_out + h * d1_out;
+        let (d2_c1, d2_out) = self.derivatives(i_in, p_c1, p_out);
+        self.v_c1 += h * 0.5 * (d1_c1 + d2_c1);
+        self.v_out += h * 0.5 * (d1_out + d2_out);
+        ctx.set(0, self.v_out);
+    }
+
+    fn max_step(&self, _now: amsfi_waves::Time) -> Option<amsfi_waves::Time> {
+        // Explicit RK2 stability: keep h well under the fast time constant
+        // R·C2 (and R·C1, which is larger by construction in a CP-PLL).
+        let tau_fast = self.r_ohm * self.c2_farad.min(self.c1_farad);
+        Some(amsfi_waves::Time::from_secs_f64(tau_fast / 8.0))
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("r_ohm", self.r_ohm),
+            ("c1_farad", self.c1_farad),
+            ("c2_farad", self.c2_farad),
+        ]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "r_ohm" => self.r_ohm = value,
+            "c1_farad" => self.c1_farad = value,
+            "c2_farad" => self.c2_farad = value,
+            other => {
+                return Err(UnknownParamError {
+                    name: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::sources::{CurrentSource, DcSource};
+    use crate::{AnalogCircuit, AnalogSolver, NodeKind};
+    use amsfi_waves::Time;
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        // tau = 1 us; after t the response is 1 - e^(-t/tau).
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node("vin", NodeKind::Voltage);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        ckt.add("src", DcSource::new(1.0), &[], &[vin]);
+        ckt.add("rc", RcLowPass::new(1e3, 1e-9), &[vin], &[vout]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.monitor_name("vout");
+        solver.set_recording(1e-4, Time::from_ns(10));
+        solver.run_until(Time::from_us(3));
+        let w = solver.trace().analog("vout").unwrap();
+        for t_us in [1i64, 2, 3] {
+            let t = Time::from_us(t_us);
+            let expect = 1.0 - (-(t.as_secs_f64()) / 1e-6).exp();
+            let got = w.value_at(t);
+            assert!(
+                (got - expect).abs() < 1e-3,
+                "at {t_us} us: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_is_stable_at_huge_steps() {
+        // Exponential stepping cannot overshoot even with dt >> tau.
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node("vin", NodeKind::Voltage);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        ckt.add("src", DcSource::new(1.0), &[], &[vin]);
+        ckt.add("rc", RcLowPass::new(1e3, 1e-12), &[vin], &[vout]); // tau = 1 ns
+        let mut solver = AnalogSolver::new(ckt, Time::from_us(1)); // dt = 1000 tau
+        solver.run_until(Time::from_us(10));
+        let v = solver.value(solver.node_id("vout").unwrap());
+        assert!((v - 1.0).abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn lead_lag_integrates_dc_current_as_ramp() {
+        // With constant input current, after the zero settles the output
+        // ramps at I/(C1+C2) (the series branch conducts only transients).
+        let i = 100e-6;
+        let (c1, c2) = (1e-9, 100e-12);
+        let mut ckt = AnalogCircuit::new();
+        let iin = ckt.node("iin", NodeKind::Current);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        ckt.add("src", CurrentSource::new(i), &[], &[iin]);
+        ckt.add("lf", LeadLagFilter::new(10e3, c1, c2), &[iin], &[vout]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.monitor_name("vout");
+        solver.run_until(Time::from_us(50));
+        let w = solver.trace().analog("vout").unwrap();
+        let v1 = w.value_at(Time::from_us(30));
+        let v2 = w.value_at(Time::from_us(50));
+        let slope = (v2 - v1) / 20e-6;
+        let expect = i / (c1 + c2);
+        assert!(
+            (slope - expect).abs() / expect < 0.02,
+            "slope {slope} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn lead_lag_charge_conservation_for_short_pulse() {
+        // A short current pulse of charge Q lifts the *final* output by
+        // Q/(C1+C2) once the internal node equilibrates.
+        let (c1, c2) = (1e-9, 100e-12);
+        let mut ckt = AnalogCircuit::new();
+        let iin = ckt.node("iin", NodeKind::Current);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        // Pulse: 10 mA for 1 ns => Q = 10 pC.
+        #[derive(Debug, Clone)]
+        struct Pulse;
+        impl AnalogBlock for Pulse {
+            fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+                if ctx.now() < Time::from_ns(1) {
+                    ctx.contribute(0, 10e-3);
+                }
+            }
+            fn max_step(&self, now: Time) -> Option<Time> {
+                (now < Time::from_ns(1)).then_some(Time::from_ps(10))
+            }
+        }
+        ckt.add("pulse", Pulse, &[], &[iin]);
+        ckt.add("lf", LeadLagFilter::new(10e3, c1, c2), &[iin], &[vout]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.run_until(Time::from_us(20));
+        let v_final = solver.value(solver.node_id("vout").unwrap());
+        let expect = 10e-12 / (c1 + c2);
+        assert!(
+            (v_final - expect).abs() / expect < 0.02,
+            "v_final {v_final} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn lead_lag_peak_exceeds_final_value() {
+        // The pulse first charges C2 alone (fast), then shares with C1:
+        // the transient peak is much larger than the settled value. This is
+        // the mechanism behind the paper's Fig. 6 observation.
+        let mut ckt = AnalogCircuit::new();
+        let iin = ckt.node("iin", NodeKind::Current);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        #[derive(Debug, Clone)]
+        struct Pulse;
+        impl AnalogBlock for Pulse {
+            fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+                if ctx.now() < Time::from_ps(500) {
+                    ctx.contribute(0, 10e-3);
+                }
+            }
+            fn max_step(&self, now: Time) -> Option<Time> {
+                (now < Time::from_ps(500)).then_some(Time::from_ps(5))
+            }
+        }
+        ckt.add("pulse", Pulse, &[], &[iin]);
+        ckt.add(
+            "lf",
+            LeadLagFilter::new(10e3, 1e-9, 100e-12),
+            &[iin],
+            &[vout],
+        );
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        solver.monitor_name("vout");
+        solver.set_recording(1e-4, Time::from_ns(100));
+        solver.run_until(Time::from_us(10));
+        let w = solver.trace().analog("vout").unwrap();
+        let peak = w.max().unwrap();
+        let settled = solver.value(solver.node_id("vout").unwrap());
+        assert!(
+            peak > 3.0 * settled,
+            "peak {peak} should dwarf settled {settled}"
+        );
+    }
+
+    #[test]
+    fn with_initial_precharges() {
+        let f = LeadLagFilter::new(1e3, 1e-9, 1e-10).with_initial(2.5);
+        assert_eq!(f.v_out, 2.5);
+        assert_eq!(f.v_c1, 2.5);
+        let rc = RcLowPass::new(1e3, 1e-9).with_initial(1.0);
+        assert_eq!(rc.v, 1.0);
+    }
+
+    #[test]
+    fn filters_expose_params() {
+        let mut f = LeadLagFilter::new(1e3, 1e-9, 1e-10);
+        assert_eq!(f.params().len(), 3);
+        f.set_param("r_ohm", 2e3).unwrap();
+        assert_eq!(f.params()[0].1, 2e3);
+        assert!(f.set_param("l_henry", 0.0).is_err());
+    }
+}

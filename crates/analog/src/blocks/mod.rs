@@ -1,0 +1,16 @@
+//! The behavioural analog block library.
+//!
+//! Sources, filters, amplification/decision blocks, the PLL's VCO and charge
+//! pump, and the current-pulse [`AnalogSaboteur`].
+
+mod amps;
+mod filters;
+mod saboteur;
+mod sources;
+mod vco;
+
+pub use amps::{ChargePump, Comparator, Integrator, OpAmp, SampleHold, Slew};
+pub use filters::{LeadLagFilter, RcLowPass};
+pub use saboteur::AnalogSaboteur;
+pub use sources::{CurrentSource, DcSource, PwlSource, SineSource, SquareSource};
+pub use vco::Vco;

@@ -1,0 +1,376 @@
+//! Stimulus sources: DC, sine, square and piecewise-linear voltages, plus an
+//! ideal current source.
+
+use crate::block::{AnalogBlock, AnalogContext, UnknownParamError};
+use amsfi_waves::Time;
+use std::f64::consts::TAU;
+
+/// A DC voltage source. Output: one voltage node.
+#[derive(Debug, Clone)]
+pub struct DcSource {
+    volts: f64,
+}
+
+impl DcSource {
+    /// Creates a source holding `volts`.
+    pub fn new(volts: f64) -> Self {
+        DcSource { volts }
+    }
+}
+
+impl AnalogBlock for DcSource {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        ctx.set(0, self.volts);
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("volts", self.volts)]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "volts" => {
+                self.volts = value;
+                Ok(())
+            }
+            other => Err(UnknownParamError {
+                name: other.to_owned(),
+            }),
+        }
+    }
+}
+
+/// A sine voltage source. Output: one voltage node.
+#[derive(Debug, Clone)]
+pub struct SineSource {
+    freq_hz: f64,
+    amplitude: f64,
+    offset: f64,
+    phase: f64,
+}
+
+impl SineSource {
+    /// Creates `offset + amplitude·sin(2π·freq·t + phase)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive and finite.
+    pub fn new(freq_hz: f64, amplitude: f64, offset: f64) -> Self {
+        assert!(
+            freq_hz > 0.0 && freq_hz.is_finite(),
+            "frequency must be positive"
+        );
+        SineSource {
+            freq_hz,
+            amplitude,
+            offset,
+            phase: 0.0,
+        }
+    }
+
+    /// Sets the initial phase in radians.
+    #[must_use]
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+}
+
+impl AnalogBlock for SineSource {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let t = (ctx.now() + ctx.dt()).as_secs_f64();
+        ctx.set(
+            0,
+            self.offset + self.amplitude * (TAU * self.freq_hz * t + self.phase).sin(),
+        );
+    }
+
+    fn max_step(&self, _now: Time) -> Option<Time> {
+        // At least 32 points per period.
+        Some(Time::from_secs_f64(1.0 / (32.0 * self.freq_hz)))
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("freq_hz", self.freq_hz),
+            ("amplitude", self.amplitude),
+            ("offset", self.offset),
+        ]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "freq_hz" => self.freq_hz = value,
+            "amplitude" => self.amplitude = value,
+            "offset" => self.offset = value,
+            other => {
+                return Err(UnknownParamError {
+                    name: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A square-wave voltage source (e.g. the 500 kHz reference of the paper's
+/// PLL when modelled fully in the analog domain). Output: one voltage node.
+#[derive(Debug, Clone)]
+pub struct SquareSource {
+    freq_hz: f64,
+    v_low: f64,
+    v_high: f64,
+    duty: f64,
+}
+
+impl SquareSource {
+    /// Creates a square wave with 50 % duty cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive and finite.
+    pub fn new(freq_hz: f64, v_low: f64, v_high: f64) -> Self {
+        assert!(
+            freq_hz > 0.0 && freq_hz.is_finite(),
+            "frequency must be positive"
+        );
+        SquareSource {
+            freq_hz,
+            v_low,
+            v_high,
+            duty: 0.5,
+        }
+    }
+
+    /// Sets the duty cycle (fraction of the period spent high).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `(0, 1)`.
+    #[must_use]
+    pub fn with_duty(mut self, duty: f64) -> Self {
+        assert!(duty > 0.0 && duty < 1.0, "duty must be in (0, 1)");
+        self.duty = duty;
+        self
+    }
+}
+
+impl AnalogBlock for SquareSource {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let t = (ctx.now() + ctx.dt()).as_secs_f64();
+        let frac = (t * self.freq_hz).fract();
+        ctx.set(
+            0,
+            if frac < self.duty {
+                self.v_high
+            } else {
+                self.v_low
+            },
+        );
+    }
+
+    fn max_step(&self, _now: Time) -> Option<Time> {
+        Some(Time::from_secs_f64(1.0 / (64.0 * self.freq_hz)))
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("freq_hz", self.freq_hz),
+            ("v_low", self.v_low),
+            ("v_high", self.v_high),
+            ("duty", self.duty),
+        ]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "freq_hz" => self.freq_hz = value,
+            "v_low" => self.v_low = value,
+            "v_high" => self.v_high = value,
+            "duty" => self.duty = value,
+            other => {
+                return Err(UnknownParamError {
+                    name: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A piecewise-linear voltage source. Output: one voltage node.
+#[derive(Debug, Clone)]
+pub struct PwlSource {
+    points: Vec<(Time, f64)>,
+}
+
+impl PwlSource {
+    /// Creates a source from `(time, volts)` breakpoints. Before the first
+    /// point the first value holds; after the last, the last value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not sorted by strictly increasing time.
+    pub fn new<I: IntoIterator<Item = (Time, f64)>>(points: I) -> Self {
+        let points: Vec<(Time, f64)> = points.into_iter().collect();
+        assert!(!points.is_empty(), "pwl source needs at least one point");
+        assert!(
+            points.windows(2).all(|p| p[0].0 < p[1].0),
+            "pwl breakpoints must be strictly increasing in time"
+        );
+        PwlSource { points }
+    }
+
+    fn value_at(&self, t: Time) -> f64 {
+        let n = self.points.partition_point(|&(pt, _)| pt <= t);
+        if n == 0 {
+            return self.points[0].1;
+        }
+        if n == self.points.len() {
+            return self.points[n - 1].1;
+        }
+        let (t0, v0) = self.points[n - 1];
+        let (t1, v1) = self.points[n];
+        v0 + (v1 - v0) * (t - t0).as_fs() as f64 / (t1 - t0).as_fs() as f64
+    }
+}
+
+impl AnalogBlock for PwlSource {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        let v = self.value_at(ctx.now() + ctx.dt());
+        ctx.set(0, v);
+    }
+}
+
+/// An ideal DC current source contributing into a current node.
+#[derive(Debug, Clone)]
+pub struct CurrentSource {
+    amperes: f64,
+}
+
+impl CurrentSource {
+    /// Creates a source contributing `amperes` each step.
+    pub fn new(amperes: f64) -> Self {
+        CurrentSource { amperes }
+    }
+}
+
+impl AnalogBlock for CurrentSource {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        ctx.contribute(0, self.amperes);
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("amperes", self.amperes)]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "amperes" => {
+                self.amperes = value;
+                Ok(())
+            }
+            other => Err(UnknownParamError {
+                name: other.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalogCircuit, AnalogSolver, NodeKind};
+
+    fn single_output(block: impl AnalogBlock + 'static, dt: Time, t_end: Time) -> AnalogSolver {
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add_boxed("src", block.clone_box(), &[], &[out]);
+        let mut solver = AnalogSolver::new(ckt, dt);
+        solver.monitor(out);
+        solver.set_recording(1e-6, dt);
+        solver.run_until(t_end);
+        solver
+    }
+
+    #[test]
+    fn dc_source_holds() {
+        let s = single_output(DcSource::new(2.5), Time::from_ns(1), Time::from_ns(10));
+        assert_eq!(s.value(s.node_id("out").unwrap()), 2.5);
+    }
+
+    #[test]
+    fn sine_source_peaks_and_period() {
+        let s = single_output(
+            SineSource::new(1e6, 1.0, 2.5),
+            Time::from_ns(1),
+            Time::from_us(2),
+        );
+        let w = s.trace().analog("out").unwrap();
+        assert!((w.max().unwrap() - 3.5).abs() < 0.01);
+        assert!((w.min().unwrap() - 1.5).abs() < 0.01);
+        // Two full periods: four crossings of the offset.
+        let crossings = amsfi_waves::measure::crossings(w, 2.5);
+        assert!(crossings.len() >= 4);
+    }
+
+    #[test]
+    fn sine_max_step_resolves_period() {
+        let src = SineSource::new(50e6, 2.5, 2.5);
+        let hint = src.max_step(Time::ZERO).unwrap();
+        assert!(hint <= Time::from_ns(20) / 32 + Time::RESOLUTION);
+    }
+
+    #[test]
+    fn square_source_duty_cycle() {
+        let s = single_output(
+            SquareSource::new(1e6, 0.0, 5.0).with_duty(0.25),
+            Time::from_ns(5),
+            Time::from_us(4),
+        );
+        let w = s.trace().analog("out").unwrap();
+        // Average of a 25% duty 0-5 V square is 1.25 V.
+        let samples = w.samples();
+        let mean: f64 = samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.25).abs() < 0.3, "mean = {mean}");
+    }
+
+    #[test]
+    fn pwl_source_interpolates() {
+        let pwl = PwlSource::new([
+            (Time::ZERO, 0.0),
+            (Time::from_us(1), 1.0),
+            (Time::from_us(2), 0.5),
+        ]);
+        let s = single_output(pwl, Time::from_ns(10), Time::from_us(3));
+        let w = s.trace().analog("out").unwrap();
+        assert!((w.value_at(Time::from_ns(500)) - 0.5).abs() < 0.02);
+        assert!((w.value_at(Time::from_us(3)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pwl_rejects_unsorted() {
+        let _ = PwlSource::new([(Time::from_us(1), 0.0), (Time::ZERO, 1.0)]);
+    }
+
+    #[test]
+    fn current_source_contributes() {
+        let mut ckt = AnalogCircuit::new();
+        let node = ckt.node("i", NodeKind::Current);
+        ckt.add("src", CurrentSource::new(10e-3), &[], &[node]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        solver.run_until(Time::from_ns(5));
+        assert!((solver.value(node) - 10e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sources_expose_params() {
+        let mut dc = DcSource::new(1.0);
+        dc.set_param("volts", 3.3).unwrap();
+        assert_eq!(dc.params()[0].1, 3.3);
+        let mut sq = SquareSource::new(1e6, 0.0, 5.0);
+        sq.set_param("duty", 0.3).unwrap();
+        assert!(sq.set_param("bogus", 0.0).is_err());
+    }
+}

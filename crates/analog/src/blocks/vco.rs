@@ -1,0 +1,189 @@
+//! The voltage-controlled oscillator of the paper's PLL.
+
+use crate::block::{AnalogBlock, AnalogContext, UnknownParamError};
+use amsfi_waves::Time;
+use std::f64::consts::TAU;
+
+/// A behavioural VCO: control voltage in → oscillating voltage out.
+///
+/// The instantaneous frequency is
+/// `f = f_center + gain_hz_per_v · (v_ctrl − v_center)`, clamped to
+/// `[f_min, f_max]`; the output is
+/// `offset + amplitude · sin(2π·φ)` where `dφ/dt = f`.
+///
+/// With the paper's operating point (50 MHz at a 2.5 V control voltage) the
+/// sine swings 0–5 V so the downstream digitizer can threshold it at 2.5 V.
+#[derive(Debug, Clone)]
+pub struct Vco {
+    f_center: f64,
+    gain_hz_per_v: f64,
+    v_center: f64,
+    amplitude: f64,
+    offset: f64,
+    f_min: f64,
+    f_max: f64,
+    phase: f64,
+    current_f: f64,
+}
+
+impl Vco {
+    /// Creates a VCO oscillating at `f_center` when the control input is at
+    /// `v_center`, with sensitivity `gain_hz_per_v`. The output swings
+    /// `offset ± amplitude`. Frequency is clamped to `[f_center/100, 4·f_center]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_center` or `gain_hz_per_v` is not positive and finite.
+    pub fn new(
+        f_center: f64,
+        gain_hz_per_v: f64,
+        v_center: f64,
+        amplitude: f64,
+        offset: f64,
+    ) -> Self {
+        assert!(
+            f_center > 0.0 && f_center.is_finite(),
+            "center frequency must be positive"
+        );
+        assert!(
+            gain_hz_per_v > 0.0 && gain_hz_per_v.is_finite(),
+            "gain must be positive"
+        );
+        Vco {
+            f_center,
+            gain_hz_per_v,
+            v_center,
+            amplitude,
+            offset,
+            f_min: f_center / 100.0,
+            f_max: f_center * 4.0,
+            phase: 0.0,
+            current_f: f_center,
+        }
+    }
+
+    /// The instantaneous frequency for a given control voltage.
+    pub fn frequency_for(&self, v_ctrl: f64) -> f64 {
+        (self.f_center + self.gain_hz_per_v * (v_ctrl - self.v_center))
+            .clamp(self.f_min, self.f_max)
+    }
+}
+
+impl AnalogBlock for Vco {
+    fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+        self.current_f = self.frequency_for(ctx.input(0));
+        self.phase = (self.phase + self.current_f * ctx.dt_secs()).fract();
+        ctx.set(0, self.offset + self.amplitude * (TAU * self.phase).sin());
+    }
+
+    fn max_step(&self, _now: Time) -> Option<Time> {
+        // Resolve the (current) period with at least 24 points so the
+        // digitizer's linear interpolation of crossings stays accurate.
+        Some(Time::from_secs_f64(
+            1.0 / (24.0 * self.current_f.max(self.f_min)),
+        ))
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("f_center", self.f_center),
+            ("gain_hz_per_v", self.gain_hz_per_v),
+            ("v_center", self.v_center),
+            ("amplitude", self.amplitude),
+            ("offset", self.offset),
+        ]
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+        match name {
+            "f_center" => {
+                self.f_center = value;
+                self.f_min = value / 100.0;
+                self.f_max = value * 4.0;
+            }
+            "gain_hz_per_v" => self.gain_hz_per_v = value,
+            "v_center" => self.v_center = value,
+            "amplitude" => self.amplitude = value,
+            "offset" => self.offset = value,
+            other => {
+                return Err(UnknownParamError {
+                    name: other.to_owned(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::sources::DcSource;
+    use crate::{AnalogCircuit, AnalogSolver, NodeKind};
+    use amsfi_waves::measure;
+
+    fn vco_bench(v_ctrl: f64, t_end: Time) -> AnalogSolver {
+        let mut ckt = AnalogCircuit::new();
+        let ctrl = ckt.node("ctrl", NodeKind::Voltage);
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("vc", DcSource::new(v_ctrl), &[], &[ctrl]);
+        ckt.add("vco", Vco::new(50e6, 30e6, 2.5, 2.5, 2.5), &[ctrl], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        solver.monitor_name("out");
+        solver.set_recording(1e-3, Time::from_ns(1));
+        solver.run_until(t_end);
+        solver
+    }
+
+    fn measured_freq(solver: &AnalogSolver) -> f64 {
+        let w = solver.trace().analog("out").unwrap();
+        let crossings = measure::crossings(w, 2.5);
+        let rising: Vec<Time> = crossings
+            .iter()
+            .filter(|c| c.direction == measure::CrossingDirection::Rising)
+            .map(|c| c.time)
+            .collect();
+        let n = rising.len();
+        assert!(n > 3, "need several periods, got {n}");
+        (n - 1) as f64 / (rising[n - 1] - rising[0]).as_secs_f64()
+    }
+
+    #[test]
+    fn center_voltage_gives_center_frequency() {
+        let solver = vco_bench(2.5, Time::from_ns(400));
+        let f = measured_freq(&solver);
+        assert!((f - 50e6).abs() / 50e6 < 0.01, "f = {f}");
+    }
+
+    #[test]
+    fn gain_shifts_frequency() {
+        // 2.6 V: 50 MHz + 30 MHz/V * 0.1 V = 53 MHz.
+        let solver = vco_bench(2.6, Time::from_ns(400));
+        let f = measured_freq(&solver);
+        assert!((f - 53e6).abs() / 53e6 < 0.01, "f = {f}");
+    }
+
+    #[test]
+    fn frequency_clamps_at_extremes() {
+        let vco = Vco::new(50e6, 30e6, 2.5, 2.5, 2.5);
+        assert_eq!(vco.frequency_for(-100.0), 0.5e6); // f_center / 100
+        assert_eq!(vco.frequency_for(100.0), 200e6); // 4 * f_center
+    }
+
+    #[test]
+    fn output_swings_full_range() {
+        let solver = vco_bench(2.5, Time::from_ns(100));
+        let w = solver.trace().analog("out").unwrap();
+        assert!(w.max().unwrap() > 4.9);
+        assert!(w.min().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut vco = Vco::new(50e6, 30e6, 2.5, 2.5, 2.5);
+        assert_eq!(vco.params().len(), 5);
+        vco.set_param("gain_hz_per_v", 10e6).unwrap();
+        assert_eq!(vco.frequency_for(3.5), 60e6);
+        assert!(vco.set_param("q_factor", 1.0).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Structural description of a behavioural analog circuit: named nodes and
+//! the blocks connected to them.
+
+use crate::block::AnalogBlock;
+use std::collections::HashMap;
+
+/// Identifies a node within one [`AnalogCircuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// Identifies a block instance within one [`AnalogCircuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) usize);
+
+/// What kind of quantity a node carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A voltage quantity: assigned by (at most) one block per step and held
+    /// between assignments.
+    Voltage,
+    /// A current quantity: zeroed at the start of each step, then summed
+    /// from every contributing block — the paper's "current summation on the
+    /// node", which is what makes saboteur superposition possible.
+    Current,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct NodeDecl {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) initial: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct BlockDecl {
+    pub(crate) name: String,
+    pub(crate) block: Box<dyn AnalogBlock>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+}
+
+/// A behavioural analog circuit under construction.
+///
+/// Blocks are evaluated in insertion order each integration step: add them in
+/// signal-flow order so feed-forward paths resolve within a step.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_analog::{blocks, AnalogCircuit, AnalogSolver, NodeKind};
+/// use amsfi_waves::Time;
+///
+/// let mut ckt = AnalogCircuit::new();
+/// let vin = ckt.node("vin", NodeKind::Voltage);
+/// let vout = ckt.node("vout", NodeKind::Voltage);
+/// ckt.add("src", blocks::DcSource::new(1.0), &[], &[vin]);
+/// ckt.add("rc", blocks::RcLowPass::new(1e3, 1e-9), &[vin], &[vout]);
+/// let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+/// solver.run_until(Time::from_us(50));
+/// // Five time constants later the output has settled to the input.
+/// assert!((solver.value(vout) - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AnalogCircuit {
+    pub(crate) nodes: Vec<NodeDecl>,
+    pub(crate) blocks: Vec<BlockDecl>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl AnalogCircuit {
+    /// An empty circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a node of the given kind, initialised to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn node(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        self.node_with_initial(name, kind, 0.0)
+    }
+
+    /// Declares a node with a non-zero initial value (e.g. a pre-charged
+    /// filter capacitor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn node_with_initial(&mut self, name: &str, kind: NodeKind, initial: f64) -> NodeId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeDecl {
+            name: name.to_owned(),
+            kind,
+            initial,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds a block connected to the given input and output nodes. Returns
+    /// its id (used to address parametric faults).
+    pub fn add<B: AnalogBlock + 'static>(
+        &mut self,
+        name: &str,
+        block: B,
+        inputs: &[NodeId],
+        outputs: &[NodeId],
+    ) -> BlockId {
+        self.add_boxed(name, Box::new(block), inputs, outputs)
+    }
+
+    /// Type-erased form of [`AnalogCircuit::add`].
+    pub fn add_boxed(
+        &mut self,
+        name: &str,
+        block: Box<dyn AnalogBlock>,
+        inputs: &[NodeId],
+        outputs: &[NodeId],
+    ) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        self.blocks.push(BlockDecl {
+            name: name.to_owned(),
+            block,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+        });
+        id
+    }
+
+    /// Looks up a node by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// The kind of a node.
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0].kind
+    }
+
+    /// Looks up a block by instance name.
+    pub fn block_id(&self, name: &str) -> Option<BlockId> {
+        self.blocks.iter().position(|b| b.name == name).map(BlockId)
+    }
+
+    /// The name of a block instance.
+    pub fn block_name(&self, id: BlockId) -> &str {
+        &self.blocks[id.0].name
+    }
+
+    /// Number of declared nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of block instances.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Every `(block, parameter, value)` triple in the circuit: the fault
+    /// list for parametric injection.
+    pub fn param_targets(&self) -> Vec<(BlockId, String, f64)> {
+        let mut out = Vec::new();
+        for (i, decl) in self.blocks.iter().enumerate() {
+            for (name, value) in decl.block.params() {
+                out.push((BlockId(i), format!("{}.{name}", decl.name), value));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{AnalogBlock, AnalogContext};
+
+    #[derive(Debug, Clone)]
+    struct Nop;
+
+    impl AnalogBlock for Nop {
+        fn step(&mut self, _ctx: &mut AnalogContext<'_>) {}
+        fn params(&self) -> Vec<(&'static str, f64)> {
+            vec![("gain", 2.0)]
+        }
+    }
+
+    #[test]
+    fn node_lookup() {
+        let mut ckt = AnalogCircuit::new();
+        let a = ckt.node("a", NodeKind::Voltage);
+        let b = ckt.node_with_initial("b", NodeKind::Current, 0.0);
+        assert_eq!(ckt.node_id("a"), Some(a));
+        assert_eq!(ckt.node_id("c"), None);
+        assert_eq!(ckt.node_name(b), "b");
+        assert_eq!(ckt.node_kind(a), NodeKind::Voltage);
+        assert_eq!(ckt.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_node_rejected() {
+        let mut ckt = AnalogCircuit::new();
+        ckt.node("a", NodeKind::Voltage);
+        ckt.node("a", NodeKind::Voltage);
+    }
+
+    #[test]
+    fn block_and_param_enumeration() {
+        let mut ckt = AnalogCircuit::new();
+        ckt.add("amp1", Nop, &[], &[]);
+        ckt.add("amp2", Nop, &[], &[]);
+        assert_eq!(ckt.block_count(), 2);
+        assert_eq!(ckt.block_id("amp2"), Some(BlockId(1)));
+        assert_eq!(ckt.block_name(BlockId(0)), "amp1");
+        let params = ckt.param_targets();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].1, "amp1.gain");
+        assert_eq!(params[1].2, 2.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! The continuous-time integration engine.
+//!
+//! A fixed-base-step solver with *local refinement*: each block can bound the
+//! step size through [`AnalogBlock::max_step`], so a picosecond current pulse
+//! inside a 0.2 ms transient only slows the solver down while the pulse is
+//! alive. Monitored nodes are recorded adaptively (on value change beyond a
+//! threshold, or at a maximum interval) to keep campaign traces compact.
+//!
+//! [`AnalogBlock::max_step`]: crate::AnalogBlock::max_step
+
+use crate::block::{AnalogContext, UnknownParamError};
+use crate::circuit::{AnalogCircuit, BlockId, NodeId, NodeKind};
+use amsfi_waves::{Time, Trace};
+
+#[derive(Debug, Clone)]
+struct Monitor {
+    node: NodeId,
+    last_value: f64,
+    last_time: Time,
+    has_sample: bool,
+}
+
+/// Integrates an [`AnalogCircuit`] through time.
+///
+/// See [`AnalogCircuit`] for a complete example.
+#[derive(Debug, Clone)]
+pub struct AnalogSolver {
+    circuit: AnalogCircuit,
+    values: Vec<f64>,
+    kinds: Vec<NodeKind>,
+    now: Time,
+    base_dt: Time,
+    monitors: Vec<Monitor>,
+    trace: Trace,
+    record_epsilon: f64,
+    record_interval: Time,
+    steps_taken: u64,
+}
+
+impl AnalogSolver {
+    /// Creates a solver with the given base step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_dt` is not positive.
+    pub fn new(circuit: AnalogCircuit, base_dt: Time) -> Self {
+        assert!(base_dt > Time::ZERO, "base step must be positive");
+        let values: Vec<f64> = circuit.nodes.iter().map(|n| n.initial).collect();
+        let kinds: Vec<NodeKind> = circuit.nodes.iter().map(|n| n.kind).collect();
+        AnalogSolver {
+            circuit,
+            values,
+            kinds,
+            now: Time::ZERO,
+            base_dt,
+            monitors: Vec::new(),
+            trace: Trace::new(),
+            record_epsilon: 1e-3,
+            record_interval: Time::from_ns(100),
+            steps_taken: 0,
+        }
+    }
+
+    /// Marks a node for tracing. Samples are recorded when the value moves
+    /// by more than the recording epsilon or the recording interval elapses.
+    pub fn monitor(&mut self, node: NodeId) {
+        self.monitors.push(Monitor {
+            node,
+            last_value: 0.0,
+            last_time: Time::ZERO,
+            has_sample: false,
+        });
+    }
+
+    /// Like [`AnalogSolver::monitor`], resolving the node by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node has that name.
+    pub fn monitor_name(&mut self, name: &str) {
+        let id = self
+            .circuit
+            .node_id(name)
+            .unwrap_or_else(|| panic!("no analog node named {name:?}"));
+        self.monitor(id);
+    }
+
+    /// Tunes adaptive trace recording: a sample is stored when the value
+    /// moves by more than `epsilon` since the last stored sample, or when
+    /// `interval` has elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or `interval` is not positive.
+    pub fn set_recording(&mut self, epsilon: f64, interval: Time) {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        assert!(interval > Time::ZERO, "interval must be positive");
+        self.record_epsilon = epsilon;
+        self.record_interval = interval;
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The instantaneous value of a node.
+    pub fn value(&self, node: NodeId) -> f64 {
+        self.values[node.0]
+    }
+
+    /// Forces a voltage node to a value (used by the mixed-mode kernel for
+    /// digital-to-analog boundaries; also handy in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is a current node.
+    pub fn set_value(&mut self, node: NodeId, volts: f64) {
+        assert_eq!(
+            self.kinds[node.0],
+            NodeKind::Voltage,
+            "cannot force a current node"
+        );
+        self.values[node.0] = volts;
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &AnalogCircuit {
+        &self.circuit
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the solver and returns its trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Total integration steps taken (a throughput statistic).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Looks up a node by name (delegates to the circuit).
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.circuit.node_id(name)
+    }
+
+    /// Applies a parametric fault: sets `param` of block `block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownParamError`] if the block has no such parameter.
+    pub fn set_param(
+        &mut self,
+        block: BlockId,
+        param: &str,
+        value: f64,
+    ) -> Result<(), UnknownParamError> {
+        self.circuit.blocks[block.0].block.set_param(param, value)
+    }
+
+    /// The step the solver would take at `now`: the base step clamped by
+    /// every block's [`max_step`](crate::AnalogBlock::max_step) hint.
+    pub fn propose_dt(&self) -> Time {
+        let mut dt = self.base_dt;
+        for decl in &self.circuit.blocks {
+            if let Some(hint) = decl.block.max_step(self.now) {
+                dt = dt.min(hint.max(Time::RESOLUTION));
+            }
+        }
+        dt
+    }
+
+    /// Advances exactly one integration step of size `dt` (no subdivision).
+    /// The mixed-mode kernel drives the solver through this method so that
+    /// digital events land on step boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn step(&mut self, dt: Time) {
+        assert!(dt > Time::ZERO, "step must be positive");
+        // Current nodes accumulate fresh contributions each step.
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if *kind == NodeKind::Current {
+                self.values[i] = 0.0;
+            }
+        }
+        for decl in &mut self.circuit.blocks {
+            let mut ctx = AnalogContext::new(
+                self.now,
+                dt,
+                &mut self.values,
+                &self.kinds,
+                &decl.inputs,
+                &decl.outputs,
+            );
+            decl.block.step(&mut ctx);
+        }
+        self.now += dt;
+        self.steps_taken += 1;
+        self.record();
+    }
+
+    /// Runs until `t_end`, choosing step sizes adaptively.
+    pub fn run_until(&mut self, t_end: Time) {
+        while self.now < t_end {
+            let dt = self.propose_dt().min(t_end - self.now);
+            self.step(dt);
+        }
+    }
+
+    fn record(&mut self) {
+        for m in &mut self.monitors {
+            let v = self.values[m.node.0];
+            let due = !m.has_sample
+                || (v - m.last_value).abs() > self.record_epsilon
+                || self.now - m.last_time >= self.record_interval;
+            if due {
+                let name = self.circuit.node_name(m.node).to_owned();
+                self.trace
+                    .record_analog(&name, self.now, v)
+                    .expect("solver time is monotonic");
+                m.last_value = v;
+                m.last_time = self.now;
+                m.has_sample = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{AnalogBlock, AnalogContext};
+    use crate::circuit::NodeKind;
+
+    /// dv/dt = k (a ramp) — exact under any stepping.
+    #[derive(Debug, Clone)]
+    struct Ramp {
+        k: f64,
+        v: f64,
+    }
+
+    impl AnalogBlock for Ramp {
+        fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+            self.v += self.k * ctx.dt_secs();
+            ctx.set(0, self.v);
+        }
+    }
+
+    /// Requests tiny steps inside a window.
+    #[derive(Debug, Clone)]
+    struct Fussy {
+        from: Time,
+        to: Time,
+    }
+
+    impl AnalogBlock for Fussy {
+        fn step(&mut self, _ctx: &mut AnalogContext<'_>) {}
+        fn max_step(&self, now: Time) -> Option<Time> {
+            if now >= self.from && now < self.to {
+                Some(Time::from_ps(10))
+            } else if now < self.from {
+                // Do not step across the start of the window.
+                Some(self.from - now)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Sums a constant current into a node.
+    #[derive(Debug, Clone)]
+    struct CurrentSource(f64);
+
+    impl AnalogBlock for CurrentSource {
+        fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+            ctx.contribute(0, self.0);
+        }
+    }
+
+    #[test]
+    fn ramp_integrates_exactly() {
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("ramp", Ramp { k: 1e6, v: 0.0 }, &[], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.run_until(Time::from_us(1));
+        assert!((solver.value(out) - 1.0).abs() < 1e-9);
+        assert_eq!(solver.now(), Time::from_us(1));
+    }
+
+    #[test]
+    fn max_step_hint_refines_locally() {
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("ramp", Ramp { k: 1.0, v: 0.0 }, &[], &[out]);
+        ckt.add(
+            "fussy",
+            Fussy {
+                from: Time::from_ns(100),
+                to: Time::from_ns(101),
+            },
+            &[],
+            &[],
+        );
+        let mut coarse = AnalogSolver::new(ckt.clone(), Time::from_ns(10));
+        coarse.run_until(Time::from_ns(99));
+        let steps_before = coarse.steps_taken();
+        coarse.run_until(Time::from_ns(102));
+        // The 1 ns window at 10 ps resolution takes ~100 extra steps.
+        assert!(
+            coarse.steps_taken() - steps_before > 50,
+            "refinement did not kick in: {} steps",
+            coarse.steps_taken() - steps_before
+        );
+    }
+
+    #[test]
+    fn current_node_sums_contributions_per_step() {
+        let mut ckt = AnalogCircuit::new();
+        let node = ckt.node("i", NodeKind::Current);
+        ckt.add("s1", CurrentSource(1e-3), &[], &[node]);
+        ckt.add("s2", CurrentSource(2e-3), &[], &[node]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        solver.run_until(Time::from_ns(10));
+        // Contributions do not accumulate across steps: always 3 mA.
+        assert!((solver.value(node) - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_values_are_honoured() {
+        let mut ckt = AnalogCircuit::new();
+        let hold = ckt.node_with_initial("hold", NodeKind::Voltage, 2.5);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        assert_eq!(solver.value(hold), 2.5);
+        solver.run_until(Time::from_ns(5));
+        // No block writes it: the voltage node holds its value.
+        assert_eq!(solver.value(hold), 2.5);
+    }
+
+    #[test]
+    fn monitoring_records_changes_and_heartbeats() {
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("ramp", Ramp { k: 1e6, v: 0.0 }, &[], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.monitor_name("out");
+        solver.set_recording(0.05, Time::from_us(10));
+        solver.run_until(Time::from_us(1));
+        let wave = solver.trace().analog("out").unwrap();
+        // 1 V total swing at 0.05 V epsilon: roughly 20 samples, far fewer
+        // than the 100 steps taken.
+        assert!(
+            wave.len() >= 15 && wave.len() <= 40,
+            "{} samples",
+            wave.len()
+        );
+        // Interpolated mid-point is close to the true ramp.
+        let mid = wave.value_at(Time::from_fs(500_000_000));
+        assert!((mid - 0.5).abs() < 0.06, "mid = {mid}");
+    }
+
+    #[test]
+    fn set_value_forces_voltage_nodes_only() {
+        let mut ckt = AnalogCircuit::new();
+        let v = ckt.node("v", NodeKind::Voltage);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        solver.set_value(v, 4.2);
+        assert_eq!(solver.value(v), 4.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot force a current node")]
+    fn set_value_rejects_current_nodes() {
+        let mut ckt = AnalogCircuit::new();
+        let i = ckt.node("i", NodeKind::Current);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        solver.set_value(i, 1.0);
+    }
+
+    #[test]
+    fn param_injection_reaches_blocks() {
+        #[derive(Debug, Clone)]
+        struct Gain {
+            k: f64,
+        }
+        impl AnalogBlock for Gain {
+            fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+                let v = ctx.input(0) * self.k;
+                ctx.set(0, v);
+            }
+            fn params(&self) -> Vec<(&'static str, f64)> {
+                vec![("k", self.k)]
+            }
+            fn set_param(&mut self, name: &str, value: f64) -> Result<(), UnknownParamError> {
+                match name {
+                    "k" => {
+                        self.k = value;
+                        Ok(())
+                    }
+                    other => Err(UnknownParamError {
+                        name: other.to_owned(),
+                    }),
+                }
+            }
+        }
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node_with_initial("vin", NodeKind::Voltage, 1.0);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        let amp = ckt.add("amp", Gain { k: 2.0 }, &[vin], &[vout]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        solver.run_until(Time::from_ns(2));
+        assert_eq!(solver.value(vout), 2.0);
+        solver.set_param(amp, "k", 3.0).unwrap();
+        solver.run_until(Time::from_ns(4));
+        assert_eq!(solver.value(vout), 3.0);
+        assert!(solver.set_param(amp, "zeta", 1.0).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the analog solver: step-size invariance of
+//! stable integrators, charge conservation, saboteur superposition.
+
+use amsfi_analog::{blocks, AnalogCircuit, AnalogSolver, NodeKind};
+use amsfi_faults::{PulseShape, TrapezoidPulse};
+use amsfi_waves::Time;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rc_settles_to_input_regardless_of_step(
+        v_target in -5.0f64..5.0,
+        dt_ns in 1i64..500,
+    ) {
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node("vin", NodeKind::Voltage);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        ckt.add("src", blocks::DcSource::new(v_target), &[], &[vin]);
+        ckt.add("rc", blocks::RcLowPass::new(1e3, 1e-9), &[vin], &[vout]); // tau = 1 us
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(dt_ns));
+        solver.run_until(Time::from_us(20)); // 20 tau
+        prop_assert!((solver.value(vout) - v_target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lead_lag_final_voltage_tracks_pulse_charge(
+        pa_ma in 1.0f64..20.0,
+        width_ps in 200i64..2_000,
+    ) {
+        // Final settled voltage = Q / (C1 + C2), independent of pulse shape.
+        let (c1, c2) = (1e-9, 100e-12);
+        let pulse = TrapezoidPulse::from_ma_ps(pa_ma, 100, 100, width_ps).unwrap();
+        let q = pulse.charge();
+        let mut ckt = AnalogCircuit::new();
+        let iin = ckt.node("iin", NodeKind::Current);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        ckt.add(
+            "sab",
+            blocks::AnalogSaboteur::new().with_pulse(pulse, Time::from_us(1)),
+            &[],
+            &[iin],
+        );
+        ckt.add("lf", blocks::LeadLagFilter::new(10e3, c1, c2), &[iin], &[vout]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(5));
+        solver.run_until(Time::from_us(40));
+        let expect = q / (c1 + c2);
+        let got = solver.value(vout);
+        prop_assert!(
+            (got - expect).abs() / expect < 0.03,
+            "v = {got}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn saboteur_superposition_is_additive(
+        i_dc_ua in 1.0f64..100.0,
+        pa_ma in 1.0f64..10.0,
+    ) {
+        // Node current during the plateau = DC current + pulse amplitude.
+        let pulse = TrapezoidPulse::from_ma_ps(pa_ma, 100, 100, 1_000).unwrap();
+        let mut ckt = AnalogCircuit::new();
+        let iin = ckt.node("iin", NodeKind::Current);
+        ckt.add("dc", blocks::CurrentSource::new(i_dc_ua * 1e-6), &[], &[iin]);
+        ckt.add(
+            "sab",
+            blocks::AnalogSaboteur::new().with_pulse(pulse, Time::from_ns(100)),
+            &[],
+            &[iin],
+        );
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+        // Land in the middle of the plateau.
+        solver.run_until(Time::from_ns(100) + Time::from_ps(500));
+        let expect = i_dc_ua * 1e-6 + pa_ma * 1e-3;
+        prop_assert!(
+            (solver.value(iin) - expect).abs() < 1e-5,
+            "i = {}, expected {expect}",
+            solver.value(iin)
+        );
+    }
+
+    #[test]
+    fn vco_frequency_is_linear_in_control(dv in -0.5f64..0.5) {
+        let vco = blocks::Vco::new(50e6, 30e6, 2.5, 2.5, 2.5);
+        let f = vco.frequency_for(2.5 + dv);
+        prop_assert!((f - (50e6 + 30e6 * dv)).abs() < 1.0);
+    }
+
+    #[test]
+    fn integrator_matches_analytic_ramp(gain in 1e3f64..1e6, v_in in -2.0f64..2.0) {
+        let mut ckt = AnalogCircuit::new();
+        let vin = ckt.node_with_initial("vin", NodeKind::Voltage, v_in);
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("int", blocks::Integrator::new(gain, -1e12, 1e12), &[vin], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(100));
+        solver.run_until(Time::from_us(100));
+        let expect = gain * v_in * 100e-6;
+        prop_assert!((solver.value(out) - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+    }
+}

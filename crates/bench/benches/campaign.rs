@@ -1,0 +1,94 @@
+//! Criterion benches for the campaign engine: worker scaling of the
+//! parallel runner and the cost of trace classification.
+
+use amsfi_core::{run_campaign_parallel, ClassifySpec, FaultCase};
+use amsfi_digital::{cells, Netlist, Simulator};
+use amsfi_waves::{Logic, Time, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn build_counter() -> (Simulator, Vec<amsfi_digital::MutantTarget>) {
+    let mut net = Netlist::new();
+    let clk = net.signal("clk", 1);
+    let rst = net.signal("rst", 1);
+    let en = net.signal("en", 1);
+    let q = net.signal("q", 16);
+    net.add("ck", cells::ClockGen::new(Time::from_ns(10)), &[], &[clk]);
+    net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+    net.add("e", cells::ConstVector::bit(Logic::One), &[], &[en]);
+    net.add(
+        "ctr",
+        cells::Counter::new(16, Time::ZERO),
+        &[clk, rst, en],
+        &[q],
+    );
+    let targets = net.mutant_targets();
+    let mut sim = Simulator::new(net);
+    sim.monitor_name("q");
+    (sim, targets)
+}
+
+fn campaign_worker_scaling(c: &mut Criterion) {
+    let at = Time::from_us(5);
+    let spec = ClassifySpec::new(
+        (Time::ZERO, Time::from_us(50)),
+        (0..16).map(|i| format!("q[{i}]")).collect(),
+    );
+    let mut group = c.benchmark_group("campaign_16_seu_runs");
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let cases: Vec<FaultCase> = (0..16)
+                    .map(|i| FaultCase::new(format!("bit{i}"), at))
+                    .collect();
+                let result = run_campaign_parallel(&spec, cases, w, |case| {
+                    let (mut sim, targets) = build_counter();
+                    if let Some(i) = case {
+                        sim.run_until(at)?;
+                        sim.flip_state(targets[i].component, targets[i].bit);
+                    }
+                    sim.run_until(Time::from_us(50))?;
+                    Ok(sim.into_trace())
+                })
+                .expect("campaign");
+                black_box(result.summary())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn classification_cost(c: &mut Criterion) {
+    // Two traces with thousands of transitions, half of them mismatched.
+    let mut golden = Trace::new();
+    let mut faulty = Trace::new();
+    for i in 0..5_000i64 {
+        let t = Time::from_ns(i * 10);
+        let g = Logic::from_bool(i % 2 == 0);
+        golden.record_digital("out", t, g).expect("ordered");
+        let f = if (2_000..3_000).contains(&i) {
+            g.flipped()
+        } else {
+            g
+        };
+        faulty.record_digital("out", t, f).expect("ordered");
+    }
+    let spec = ClassifySpec::new((Time::ZERO, Time::from_us(50)), vec!["out".to_owned()]);
+    c.bench_function("classify_5k_transitions", |b| {
+        b.iter(|| black_box(amsfi_core::classify(&spec, &golden, &faulty)));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = campaigns;
+    config = config();
+    targets = campaign_worker_scaling, classification_cost
+}
+criterion_main!(campaigns);

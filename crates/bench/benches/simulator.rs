@@ -1,0 +1,222 @@
+//! Criterion benches for the simulation kernels, including the two ablation
+//! studies called out in DESIGN.md: trapezoid vs. double-exponential pulse
+//! evaluation cost, and adaptive vs. fixed-step integration around a
+//! picosecond pulse.
+
+use amsfi_analog::{blocks, AnalogCircuit, AnalogSolver, NodeKind};
+use amsfi_circuits::pll;
+use amsfi_digital::{cells, Netlist, Simulator};
+use amsfi_faults::{DoubleExponential, PulseShape, TrapezoidPulse};
+use amsfi_mixed::MixedSimulator;
+use amsfi_waves::{Logic, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn digital_kernel(c: &mut Criterion) {
+    c.bench_function("digital_counter_lfsr_100us", |b| {
+        b.iter(|| {
+            let mut net = Netlist::new();
+            let clk = net.signal("clk", 1);
+            let rst = net.signal("rst", 1);
+            let en = net.signal("en", 1);
+            let q = net.signal("q", 16);
+            let lq = net.signal("lq", 16);
+            net.add("ck", cells::ClockGen::new(Time::from_ns(10)), &[], &[clk]);
+            net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+            net.add("e", cells::ConstVector::bit(Logic::One), &[], &[en]);
+            net.add(
+                "ctr",
+                cells::Counter::new(16, Time::ZERO),
+                &[clk, rst, en],
+                &[q],
+            );
+            net.add("lfsr", cells::Lfsr::maximal_16(Time::ZERO), &[clk], &[lq]);
+            let mut sim = Simulator::new(net);
+            sim.run_until(Time::from_us(100)).expect("run");
+            black_box(sim.events_processed())
+        });
+    });
+}
+
+fn analog_kernel(c: &mut Criterion) {
+    c.bench_function("analog_vco_filter_10us", |b| {
+        b.iter(|| {
+            let mut ckt = AnalogCircuit::new();
+            let iin = ckt.node("iin", NodeKind::Current);
+            let vctrl = ckt.node("vctrl", NodeKind::Voltage);
+            let vout = ckt.node("vout", NodeKind::Voltage);
+            ckt.add("src", blocks::CurrentSource::new(50e-6), &[], &[iin]);
+            ckt.add(
+                "lf",
+                blocks::LeadLagFilter::new(10e3, 1e-9, 100e-12),
+                &[iin],
+                &[vctrl],
+            );
+            ckt.add(
+                "vco",
+                blocks::Vco::new(50e6, 30e6, 2.5, 2.5, 2.5),
+                &[vctrl],
+                &[vout],
+            );
+            let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
+            solver.run_until(Time::from_us(10));
+            black_box(solver.steps_taken())
+        });
+    });
+}
+
+fn mixed_kernel(c: &mut Criterion) {
+    c.bench_function("mixed_sine_digitizer_counter_10us", |b| {
+        b.iter(|| {
+            let mut ckt = AnalogCircuit::new();
+            let sine = ckt.node("sine", NodeKind::Voltage);
+            ckt.add("src", blocks::SineSource::new(10e6, 2.5, 2.5), &[], &[sine]);
+            let mut net = Netlist::new();
+            let clk = net.signal("clk", 1);
+            let rst = net.signal("rst", 1);
+            let en = net.signal("en", 1);
+            let q = net.signal("q", 8);
+            net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+            net.add("e", cells::ConstVector::bit(Logic::One), &[], &[en]);
+            net.add(
+                "ctr",
+                cells::Counter::new(8, Time::ZERO),
+                &[clk, rst, en],
+                &[q],
+            );
+            let mut mixed = MixedSimulator::new(
+                Simulator::new(net),
+                AnalogSolver::new(ckt, Time::from_ns(2)),
+            );
+            mixed.bind_digitizer("sine", "clk", 2.5, 0.2);
+            mixed.run_until(Time::from_us(10)).expect("run");
+            black_box(mixed.now())
+        });
+    });
+}
+
+fn cpu_kernel(c: &mut Criterion) {
+    use amsfi_circuits::cpu::{checksum_program, TinyCpu};
+    c.bench_function("cpu_checksum_100us", |b| {
+        b.iter(|| {
+            let mut net = Netlist::new();
+            let clk = net.signal("clk", 1);
+            let rst = net.signal("rst", 1);
+            let out = net.signal("out", 8);
+            let pc = net.signal("pc", 6);
+            net.add("ck", cells::ClockGen::new(Time::from_ns(10)), &[], &[clk]);
+            net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+            net.add(
+                "cpu",
+                TinyCpu::new(checksum_program(), Time::ZERO),
+                &[clk, rst],
+                &[out, pc],
+            );
+            let mut sim = Simulator::new(net);
+            sim.run_until(Time::from_us(100)).expect("run");
+            black_box(sim.events_processed())
+        });
+    });
+}
+
+fn pll_lock(c: &mut Criterion) {
+    c.bench_function("pll_fast_lock_20us", |b| {
+        b.iter(|| {
+            let mut bench = pll::build(&pll::PllConfig::fast());
+            bench.run_until(Time::from_us(20)).expect("run");
+            black_box(bench.vctrl())
+        });
+    });
+}
+
+/// Ablation: cost of evaluating the paper's trapezoid model vs. the
+/// double-exponential it replaces (the paper's motivation: "limit the
+/// complexity of the model in order to simplify the simulations").
+fn pulse_model_cost(c: &mut Criterion) {
+    let trap = TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500).expect("pulse");
+    let de =
+        DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200)).expect("pulse");
+    let times: Vec<Time> = (0..1_000).map(|i| Time::from_fs(i * 1_000)).collect();
+    c.bench_function("pulse_eval_trapezoid_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &times {
+                acc += trap.current(black_box(t));
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("pulse_eval_double_exp_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &times {
+                acc += de.current(black_box(t));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// Ablation: adaptive local refinement vs. a fixed step fine enough to
+/// resolve the pulse everywhere. Both integrate the same 2 us transient
+/// with an 800 ps pulse at 1 us.
+fn adaptive_vs_fixed_step(c: &mut Criterion) {
+    fn run_circuit(base_dt: Time, adaptive: bool) -> u64 {
+        let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500).expect("pulse");
+        let mut ckt = AnalogCircuit::new();
+        let iin = ckt.node("iin", NodeKind::Current);
+        let vout = ckt.node("vout", NodeKind::Voltage);
+        if adaptive {
+            ckt.add(
+                "sab",
+                blocks::AnalogSaboteur::new().with_pulse(pulse, Time::from_us(1)),
+                &[],
+                &[iin],
+            );
+        } else {
+            // The same pulse without a refinement hint: a plain block that
+            // samples the pulse at the step midpoint (forces the caller to
+            // choose a globally fine step).
+            #[derive(Debug, Clone)]
+            struct RawPulse(TrapezoidPulse, Time);
+            impl amsfi_analog::AnalogBlock for RawPulse {
+                fn step(&mut self, ctx: &mut amsfi_analog::AnalogContext<'_>) {
+                    let mid = ctx.now() + ctx.dt() / 2;
+                    if mid >= self.1 {
+                        ctx.contribute(0, self.0.current(mid - self.1));
+                    }
+                }
+            }
+            ckt.add("sab", RawPulse(pulse, Time::from_us(1)), &[], &[iin]);
+        }
+        ckt.add(
+            "lf",
+            blocks::LeadLagFilter::new(10e3, 1e-9, 100e-12),
+            &[iin],
+            &[vout],
+        );
+        let mut solver = AnalogSolver::new(ckt, base_dt);
+        solver.run_until(Time::from_us(2));
+        solver.steps_taken()
+    }
+    c.bench_function("pulse_transient_adaptive_10ns_base", |b| {
+        b.iter(|| black_box(run_circuit(Time::from_ns(10), true)));
+    });
+    c.bench_function("pulse_transient_fixed_12ps", |b| {
+        b.iter(|| black_box(run_circuit(Time::from_ps(12), false)));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = digital_kernel, analog_kernel, mixed_kernel, cpu_kernel, pll_lock, pulse_model_cost, adaptive_vs_fixed_step
+}
+criterion_main!(kernels);

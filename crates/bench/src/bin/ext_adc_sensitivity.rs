@@ -1,0 +1,269 @@
+//! **Extension B** — the paper's future-work experiment: fault injection in
+//! "functional blocks including both analog and digital circuitry, e.g.
+//! analog to digital converters", testing the claim of the paper's reference
+//! \[9\] (Singh & Koren) that "the analog part of the converter can be more
+//! sensitive than the digital part".
+//!
+//! Two converters (flash, SAR) each receive two campaigns of equal size:
+//!
+//! * **analog**: input-referred current strikes of a realistic charge range
+//!   (the paper's 10 mA amplitude scale) at random instants;
+//! * **digital**: SEU bit-flips over the converters' memorised bits at the
+//!   same instants.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin ext_adc_sensitivity
+//! ```
+
+use amsfi_bench::{banner, write_result};
+use amsfi_circuits::adc::{self, AdcInput};
+use amsfi_core::{
+    plan, run_campaign_parallel, CampaignResult, ClassifySpec, FaultCase, FaultClass,
+};
+use amsfi_faults::TrapezoidPulse;
+use amsfi_waves::Time;
+use std::fmt::Write as _;
+
+const T_END: Time = Time::from_us(10);
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn disturbed_share(result: &CampaignResult) -> f64 {
+    let total = result.cases.len().max(1);
+    let disturbed = result
+        .cases
+        .iter()
+        .filter(|c| c.outcome.class != FaultClass::NoEffect)
+        .count();
+    disturbed as f64 / total as f64
+}
+
+/// The pulse set shared by the analog campaigns: the paper's amplitude
+/// decade with widths from the sub-nanosecond SET scale up to strikes long
+/// enough to straddle one or two 100 ns decision edges.
+fn strike_set() -> Vec<TrapezoidPulse> {
+    plan::pulse_grid(
+        &[-10.0, -5.0, 5.0, 10.0],
+        &[100],
+        &[100],
+        &[500, 20_000, 200_000],
+    )
+}
+
+struct ConverterReport {
+    name: &'static str,
+    analog: CampaignResult,
+    digital: CampaignResult,
+}
+
+fn flash_campaigns() -> ConverterReport {
+    let base = adc::FlashAdcConfig {
+        input: AdcInput::Sine {
+            freq_hz: 100e3,
+            amplitude: 2.0,
+            offset: 2.5,
+        },
+        ..adc::FlashAdcConfig::default()
+    };
+    let outputs: Vec<String> = (0..3)
+        .map(|i| format!("{}[{i}]", adc::FLASH_CODE))
+        .collect();
+    let spec = ClassifySpec::new((Time::from_us(1), T_END), outputs);
+    let times = plan::random_times(Time::from_us(2), Time::from_us(8), 8, 11);
+
+    // Analog: strikes on the input node.
+    let pulses = strike_set();
+    let mut cases = Vec::new();
+    let mut idx = Vec::new();
+    for (pi, p) in pulses.iter().enumerate() {
+        for (ti, &at) in times.iter().enumerate() {
+            cases.push(FaultCase::new(format!("input {p}"), at));
+            idx.push((pi, ti));
+        }
+    }
+    let analog = run_campaign_parallel(&spec, cases, workers(), |case| {
+        let mut cfg = base.clone();
+        if let Some(i) = case {
+            let (pi, ti) = idx[i];
+            cfg = cfg.with_fault(pulses[pi], times[ti]);
+        }
+        let mut bench = adc::build_flash(&cfg);
+        bench.mixed.digital_mut().monitor_name(adc::FLASH_CODE);
+        bench.mixed.run_until(T_END)?;
+        Ok(bench.mixed.merged_trace())
+    })
+    .expect("flash analog campaign");
+
+    // Digital: SEUs on the output register bits, same times, padded to the
+    // same campaign size by cycling over the bits.
+    let probe = adc::build_flash(&base);
+    let targets = probe.mixed.digital().mutant_targets();
+    let n_cases = pulses.len() * times.len();
+    let mut cases = Vec::new();
+    let mut idx = Vec::new();
+    for i in 0..n_cases {
+        let gi = i % targets.len();
+        let ti = i % times.len();
+        cases.push(FaultCase::new(targets[gi].to_string(), times[ti]));
+        idx.push((gi, ti));
+    }
+    let digital = run_campaign_parallel(&spec, cases, workers(), |case| {
+        let mut bench = adc::build_flash(&base);
+        bench.mixed.digital_mut().monitor_name(adc::FLASH_CODE);
+        if let Some(i) = case {
+            let (gi, ti) = idx[i];
+            bench.mixed.run_until(times[ti])?;
+            let t = &targets[gi];
+            bench.mixed.digital_mut().flip_state(t.component, t.bit);
+        }
+        bench.mixed.run_until(T_END)?;
+        Ok(bench.mixed.merged_trace())
+    })
+    .expect("flash digital campaign");
+
+    ConverterReport {
+        name: "flash (3-bit)",
+        analog,
+        digital,
+    }
+}
+
+fn sar_campaigns() -> ConverterReport {
+    let base = adc::SarAdcConfig {
+        input: AdcInput::Dc(2.2),
+        ..adc::SarAdcConfig::default()
+    };
+    let spec = ClassifySpec::new(
+        (Time::from_us(1), T_END),
+        (0..4)
+            .map(|i| format!("{}[{i}]", adc::SAR_RESULT))
+            .collect(),
+    );
+    let times = plan::random_times(Time::from_us(2), Time::from_us(8), 8, 23);
+
+    let pulses = strike_set();
+    let mut cases = Vec::new();
+    let mut idx = Vec::new();
+    for (pi, p) in pulses.iter().enumerate() {
+        for (ti, &at) in times.iter().enumerate() {
+            cases.push(FaultCase::new(format!("input {p}"), at));
+            idx.push((pi, ti));
+        }
+    }
+    let analog = run_campaign_parallel(&spec, cases, workers(), |case| {
+        let mut cfg = base.clone();
+        if let Some(i) = case {
+            let (pi, ti) = idx[i];
+            cfg = cfg.with_fault(pulses[pi], times[ti]);
+        }
+        let mut bench = adc::build_sar(&cfg);
+        bench.mixed.digital_mut().monitor_name(adc::SAR_RESULT);
+        bench.mixed.run_until(T_END)?;
+        Ok(bench.mixed.merged_trace())
+    })
+    .expect("sar analog campaign");
+
+    let probe = adc::build_sar(&base);
+    let targets = probe.mixed.digital().mutant_targets();
+    let n_cases = pulses.len() * times.len();
+    let mut cases = Vec::new();
+    let mut idx = Vec::new();
+    for i in 0..n_cases {
+        let gi = i % targets.len();
+        let ti = i % times.len();
+        cases.push(FaultCase::new(targets[gi].to_string(), times[ti]));
+        idx.push((gi, ti));
+    }
+    let digital = run_campaign_parallel(&spec, cases, workers(), |case| {
+        let mut bench = adc::build_sar(&base);
+        bench.mixed.digital_mut().monitor_name(adc::SAR_RESULT);
+        if let Some(i) = case {
+            let (gi, ti) = idx[i];
+            bench.mixed.run_until(times[ti])?;
+            let t = &targets[gi];
+            bench.mixed.digital_mut().flip_state(t.component, t.bit);
+        }
+        bench.mixed.run_until(T_END)?;
+        Ok(bench.mixed.merged_trace())
+    })
+    .expect("sar digital campaign");
+
+    ConverterReport {
+        name: "SAR (4-bit)",
+        analog,
+        digital,
+    }
+}
+
+fn main() {
+    banner("Extension B — ADC sensitivity: analog vs digital fault surfaces");
+    let start = std::time::Instant::now();
+    let reports = [flash_campaigns(), sar_campaigns()];
+    println!("  campaigns completed in {:?}", start.elapsed());
+
+    let mut csv = String::from("converter,surface,cases,no_effect,latent,transient,failure\n");
+    banner("Disturbance rates");
+    println!(
+        "  {:<16} {:<10} {:>6} {:>10} {:>8} {:>10} {:>9} {:>11}",
+        "converter", "surface", "cases", "no-effect", "latent", "transient", "failure", "disturbed"
+    );
+    for r in &reports {
+        for (surface, result) in [("analog", &r.analog), ("digital", &r.digital)] {
+            let s = result.summary();
+            println!(
+                "  {:<16} {:<10} {:>6} {:>10} {:>8} {:>10} {:>9} {:>10.1}%",
+                r.name,
+                surface,
+                result.cases.len(),
+                s[0].1,
+                s[1].1,
+                s[2].1,
+                s[3].1,
+                100.0 * disturbed_share(result)
+            );
+            let _ = writeln!(
+                csv,
+                "{},{},{},{},{},{},{}",
+                r.name,
+                surface,
+                result.cases.len(),
+                s[0].1,
+                s[1].1,
+                s[2].1,
+                s[3].1
+            );
+        }
+    }
+    write_result("ext_adc_sensitivity.csv", &csv);
+
+    banner("Paper-vs-claimed ([9], Singh & Koren)");
+    for r in &reports {
+        let a = disturbed_share(&r.analog);
+        let d = disturbed_share(&r.digital);
+        println!(
+            "  {:<16} analog disturbance {:.1} % vs digital {:.1} % -> {}",
+            r.name,
+            100.0 * a,
+            100.0 * d,
+            if a >= d {
+                "analog part at least as sensitive (matches [9])"
+            } else {
+                "digital part more sensitive in this configuration"
+            }
+        );
+    }
+    println!(
+        "\n  Note: these rates are per *injection*, not per unit of silicon area\n\
+         \x20 ([9]'s cross-section metric). A digital SEU always lands in live\n\
+         \x20 state but is overwritten by the next conversion (transient); an\n\
+         \x20 analog strike only matters when it overlaps a decision instant and\n\
+         \x20 exceeds the local noise margin, but then it can corrupt *several*\n\
+         \x20 code bits at once — the multi-bit mechanism behind [9]'s\n\
+         \x20 observation. The SAR is notably harder to upset through its input\n\
+         \x20 than the flash: only the trial straddled by the strike can flip."
+    );
+}

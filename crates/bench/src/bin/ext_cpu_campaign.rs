@@ -1,0 +1,161 @@
+//! **Extension H** — bit-flip injection in a processor-based architecture,
+//! the case-study genre of the paper's reference \[2\] (Cardarilli et al.):
+//! an exhaustive SEU campaign over every architectural bit of a tiny
+//! accumulator CPU running a self-checking checksum program, with the
+//! classification broken down by architectural resource.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin ext_cpu_campaign
+//! ```
+
+use amsfi_bench::{banner, write_result};
+use amsfi_circuits::cpu::{checksum_program, TinyCpu};
+use amsfi_core::{plan, report, run_campaign_parallel, ClassifySpec, FaultCase, FaultClass};
+use amsfi_digital::{cells, ComponentId, Netlist, Simulator};
+use amsfi_waves::{Logic, Time};
+use std::collections::BTreeMap;
+
+const T_END: Time = Time::from_us(20);
+
+fn build() -> (Simulator, ComponentId) {
+    let mut net = Netlist::new();
+    let clk = net.signal("clk", 1);
+    let rst = net.signal("rst", 1);
+    let out = net.signal("out", 8);
+    let pc = net.signal("pc", 6);
+    net.add("ck", cells::ClockGen::new(Time::from_ns(10)), &[], &[clk]);
+    net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+    let cpu = net.add(
+        "cpu",
+        TinyCpu::new(checksum_program(), Time::ZERO),
+        &[clk, rst],
+        &[out, pc],
+    );
+    let mut sim = Simulator::new(net);
+    sim.monitor_name("out");
+    (sim, cpu)
+}
+
+/// Architectural resource of a mutant label (`acc[i]`, `pc[i]`, `flag_nz`,
+/// `ram[w][b]` with live words 0..=4).
+fn resource(label: &str) -> &'static str {
+    if label.starts_with("acc") {
+        "accumulator"
+    } else if label.starts_with("pc") {
+        "program counter"
+    } else if label.starts_with("flag") {
+        "flag"
+    } else {
+        // ram[w][b]
+        let word: usize = label["ram[".len()..]
+            .split(']')
+            .next()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or(99);
+        if word <= 4 {
+            "RAM (live words)"
+        } else {
+            "RAM (dead words)"
+        }
+    }
+}
+
+fn main() {
+    banner("Extension H — SEU campaign over a processor architecture");
+    let (probe, _) = build();
+    let targets = probe.mutant_targets();
+    let times = plan::uniform_times(Time::from_us(2), Time::from_us(4), 3);
+    println!(
+        "  program: counter-mixed checksum ({} instructions/loop), 100 MHz;\n\
+         \x20 targets: {} architectural bits x {} injection times = {} runs\n",
+        checksum_program().len(),
+        targets.len(),
+        times.len(),
+        targets.len() * times.len()
+    );
+
+    let mut cases = Vec::new();
+    let mut setup = Vec::new();
+    for (ti, &at) in times.iter().enumerate() {
+        for (gi, t) in targets.iter().enumerate() {
+            cases.push(FaultCase::new(format!("{t} @ {at}"), at));
+            setup.push((gi, ti));
+        }
+    }
+    let spec = ClassifySpec::new(
+        (Time::from_us(2), T_END),
+        (0..8).map(|i| format!("out[{i}]")).collect(),
+    );
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let started = std::time::Instant::now();
+    let result = run_campaign_parallel(&spec, cases, workers, |case| {
+        let (mut sim, cpu) = build();
+        if let Some(i) = case {
+            let (gi, ti) = setup[i];
+            sim.run_until(times[ti])?;
+            let t = &targets[gi];
+            sim.flip_state(t.component, t.bit);
+            let _ = cpu;
+        }
+        sim.run_until(T_END)?;
+        Ok(sim.into_trace())
+    })
+    .expect("campaign");
+    println!("  completed in {:?}\n", started.elapsed());
+
+    banner("Classification summary");
+    print!("{}", report::summary_table(&result));
+
+    banner("By architectural resource");
+    let mut per: BTreeMap<&str, [usize; 4]> = BTreeMap::new();
+    for (c, (gi, _)) in result.cases.iter().zip(&setup) {
+        let res = resource(&targets[*gi].label);
+        let counts = per.entry(res).or_default();
+        let idx = match c.outcome.class {
+            FaultClass::NoEffect => 0,
+            FaultClass::Latent => 1,
+            FaultClass::Transient => 2,
+            FaultClass::Failure => 3,
+        };
+        counts[idx] += 1;
+    }
+    println!(
+        "  {:<18} {:>10} {:>8} {:>10} {:>9} {:>11}",
+        "resource", "no-effect", "latent", "transient", "failure", "disturbed"
+    );
+    let mut csv = String::from("resource,no_effect,latent,transient,failure\n");
+    for (res, [ne, la, tr, fa]) in &per {
+        let total = ne + la + tr + fa;
+        println!(
+            "  {:<18} {:>10} {:>8} {:>10} {:>9} {:>10.0}%",
+            res,
+            ne,
+            la,
+            tr,
+            fa,
+            100.0 * (total - ne) as f64 / total as f64
+        );
+        csv.push_str(&format!("{res},{ne},{la},{tr},{fa}\n"));
+    }
+    write_result("ext_cpu_campaign.csv", &csv);
+
+    banner("Reading");
+    println!(
+        "  The architectural breakdown mirrors what [2] reports for real\n\
+         \x20 processors: upsets in dead memory are fully masked; live-data and\n\
+         \x20 control-flow upsets are almost always destructive, with the live\n\
+         \x20 table words the most critical resource (every loop iteration\n\
+         \x20 re-reads them). This per-resource view is the paper's 'identify\n\
+         \x20 the significant nodes' output at the architecture level."
+    );
+    // Shape assertions: dead RAM fully masked, live table mostly fatal.
+    assert_eq!(
+        per["RAM (dead words)"][0],
+        per["RAM (dead words)"].iter().sum::<usize>(),
+        "dead RAM upsets must all be masked"
+    );
+    assert!(
+        per["RAM (live words)"][3] > 0,
+        "live table upsets must produce failures"
+    );
+}

@@ -1,0 +1,100 @@
+//! **Extension A** — the digital-flow results implied by the paper's
+//! Section 3: an exhaustive SEU (bit-flip) campaign over every memorised bit
+//! of the PLL's digital blocks and its payload, with the classification
+//! table the flow's "Failure report / Classification" box produces.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin ext_digital_campaign
+//! ```
+
+use amsfi_bench::{banner, write_result};
+use amsfi_circuits::pll::{self, names};
+use amsfi_core::{plan, report, run_campaign_parallel, ClassifySpec, FaultCase};
+use amsfi_waves::{Time, Tolerance};
+
+const T_END: Time = Time::from_us(30);
+
+fn main() {
+    banner("Extension A — exhaustive digital SEU campaign (PLL + payload)");
+    let mut config = pll::PllConfig::fast();
+    config.payload = true;
+
+    // Enumerate the mutant fault list from a throwaway build.
+    let probe = pll::build(&config);
+    let targets = probe.mixed.digital().mutant_targets();
+    println!("  mutant targets: {}", targets.len());
+    for t in &targets {
+        println!("    {t}");
+    }
+
+    // Injection times: after lock, spread across reference cycles.
+    let times = plan::uniform_times(Time::from_us(12), Time::from_us(16), 4);
+    let mut cases = Vec::new();
+    let mut plan_index = Vec::new();
+    for (ti, &at) in times.iter().enumerate() {
+        for (gi, target) in targets.iter().enumerate() {
+            cases.push(FaultCase::new(format!("{target} @ {at}"), at));
+            plan_index.push((gi, ti));
+        }
+    }
+    println!(
+        "\n  campaign: {} targets x {} injection times = {} runs",
+        targets.len(),
+        times.len(),
+        cases.len()
+    );
+
+    // Outputs: the payload's visible buses; internals: loop state signals.
+    let mut outputs: Vec<String> = (0..8).map(|i| format!("{}[{i}]", names::COUNT)).collect();
+    outputs.push(names::SHIFT_OUT.to_owned());
+    let spec = ClassifySpec::new((Time::from_us(12), T_END), outputs)
+        .with_internals(vec![names::FB.to_owned(), names::VCTRL.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        // Forgive sub-2-ns residual clock-phase skew; a lost/gained count
+        // cycle shifts edges by a full 20 ns period and still registers.
+        .with_digital_skew(Time::from_ns(2));
+
+    let start = std::time::Instant::now();
+    let result = run_campaign_parallel(&spec, cases, workers(), |case| {
+        let mut bench = pll::build(&config);
+        bench.monitor_standard();
+        if let Some(i) = case {
+            let (gi, ti) = plan_index[i];
+            bench.run_until(times[ti])?;
+            let target = &targets[gi];
+            bench
+                .mixed
+                .digital_mut()
+                .flip_state(target.component, target.bit);
+        }
+        bench.run_until(T_END)?;
+        Ok(bench.trace())
+    })
+    .expect("campaign");
+    println!("  completed in {:?}\n", start.elapsed());
+
+    banner("Classification summary");
+    print!("{}", report::summary_table(&result));
+
+    banner("Per-target sensitivity (which nodes need protection)");
+    print!("{}", report::per_target_table(&result));
+
+    write_result("ext_digital_campaign.csv", &report::cases_csv(&result));
+
+    banner("Reading");
+    println!(
+        "  Shift-register bits heal within 8 clock cycles (transient): the\n\
+         \x20 corrupted bit is shifted out. Counter bits never heal (failure):\n\
+         \x20 the count offset persists. PFD flags and divider state perturb\n\
+         \x20 the generated clock's phase, permanently skewing the payload\n\
+         \x20 relative to the golden timeline. This per-target table is the\n\
+         \x20 paper's 'identify the significant nodes that should be protected,\n\
+         \x20 so that overheads are kept to a minimum' output."
+    );
+}
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}

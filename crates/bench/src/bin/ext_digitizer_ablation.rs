@@ -1,0 +1,102 @@
+//! **Ablation** — crossing-time interpolation in the digitizer (design
+//! decision 4 in DESIGN.md): how accurately does the co-simulated `F_out`
+//! clock keep its timing as the analog base step grows, with and without
+//! interpolated crossing instants?
+//!
+//! A 10 MHz sine is digitized and the period jitter of the resulting clock
+//! is measured. With interpolation the jitter stays at the femtosecond
+//! rounding floor at every step size; without it, edges are quantised to
+//! the synchronisation grid and the jitter is the step size itself.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin ext_digitizer_ablation
+//! ```
+
+use amsfi_analog::{blocks, AnalogCircuit, AnalogSolver, NodeKind};
+use amsfi_bench::{banner, write_result};
+use amsfi_digital::{cells, Netlist, Simulator};
+use amsfi_mixed::MixedSimulator;
+use amsfi_waves::{measure, Logic, Time};
+use std::fmt::Write as _;
+
+fn jitter(base_dt: Time, interpolate: bool) -> (Time, Time) {
+    let mut ckt = AnalogCircuit::new();
+    let sine = ckt.node("sine", NodeKind::Voltage);
+    ckt.add("src", blocks::SineSource::new(10e6, 2.5, 2.5), &[], &[sine]);
+    let mut net = Netlist::new();
+    let clk = net.signal("clk", 1);
+    let rst = net.signal("rst", 1);
+    let en = net.signal("en", 1);
+    let q = net.signal("q", 8);
+    net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+    net.add("e", cells::ConstVector::bit(Logic::One), &[], &[en]);
+    net.add(
+        "ctr",
+        cells::Counter::new(8, Time::ZERO),
+        &[clk, rst, en],
+        &[q],
+    );
+    let mut mixed = MixedSimulator::new(Simulator::new(net), AnalogSolver::new(ckt, base_dt));
+    mixed.bind_digitizer("sine", "clk", 2.5, 0.2);
+    mixed.set_edge_interpolation(interpolate);
+    mixed.digital_mut().monitor_name("clk");
+    mixed.run_until(Time::from_us(20)).expect("run");
+    let trace = mixed.digital().trace();
+    measure::period_jitter(
+        trace.digital("clk").expect("monitored"),
+        Time::from_us(1), // skip the start-up artifact
+        Time::from_us(20),
+    )
+    .expect("enough periods")
+}
+
+fn main() {
+    banner("Ablation — digitizer crossing-time interpolation");
+    println!("  10 MHz sine digitized at 2.5 V; clock period jitter over 19 us\n");
+    println!(
+        "  {:>10} {:>22} {:>22}",
+        "base step", "jitter (interpolated)", "jitter (quantised)"
+    );
+    let mut csv =
+        String::from("base_dt_ns,p2p_interp_fs,rms_interp_fs,p2p_quant_fs,rms_quant_fs\n");
+    for dt_ns in [1i64, 2, 3, 5] {
+        let dt = Time::from_ns(dt_ns);
+        let (p2p_i, rms_i) = jitter(dt, true);
+        let (p2p_q, rms_q) = jitter(dt, false);
+        println!(
+            "  {:>8} ns {:>11} p2p {:>9} {:>10} p2p",
+            dt_ns,
+            p2p_i.to_string(),
+            "vs",
+            p2p_q.to_string()
+        );
+        let _ = writeln!(
+            csv,
+            "{dt_ns},{},{},{},{}",
+            p2p_i.as_fs(),
+            rms_i.as_fs(),
+            p2p_q.as_fs(),
+            rms_q.as_fs()
+        );
+        assert!(
+            p2p_q >= p2p_i,
+            "quantised jitter must dominate: {p2p_q} vs {p2p_i}"
+        );
+        // Quantised edges wobble by about the step size; interpolation keeps
+        // the wobble far below it.
+        assert!(
+            p2p_i * 5 < p2p_q.max(Time::from_ps(1)),
+            "at dt {dt_ns} ns: interpolated {p2p_i} vs quantised {p2p_q}"
+        );
+    }
+    write_result("ext_digitizer_ablation.csv", &csv);
+
+    banner("Reading");
+    println!(
+        "  Interpolated crossing instants keep the digitized clock's timing\n\
+         \x20 accurate far below the synchronisation step, which is what makes\n\
+         \x20 the Fig. 6 'number of perturbed cycles' metric trustworthy at an\n\
+         \x20 affordable analog step size. Without it, edge times carry the\n\
+         \x20 full step-size quantisation noise."
+    );
+}

@@ -1,0 +1,121 @@
+//! **Extension F** — parametric fault injection, the behavioural-fault
+//! style of the paper's reference \[10\] that Section 4.1 keeps in the flow:
+//! "parametric fault injections can still be done, when significant, in the
+//! basic sub-blocks described at the behavioral level. Such faults can be
+//! representative of either process variations or circuit aging."
+//!
+//! Each run scales one behavioural parameter of the PLL's analog sub-blocks
+//! for the whole transient and measures the locked state: frequency error,
+//! control-voltage operating point, and whether lock is kept at all.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin ext_parametric_faults
+//! ```
+
+use amsfi_bench::{banner, write_result};
+use amsfi_circuits::pll::{self};
+use amsfi_faults::{ParamChange, ParametricFault};
+use amsfi_waves::Time;
+use std::fmt::Write as _;
+
+const T_END: Time = Time::from_us(40);
+
+struct Measurement {
+    f_error_ppm: f64,
+    vctrl: f64,
+    locked: bool,
+}
+
+fn run(fault: Option<&ParametricFault>) -> Measurement {
+    let mut bench = pll::build(&pll::PllConfig::fast());
+    bench.monitor_standard();
+    if let Some(fault) = fault {
+        let (block_name, param) = fault
+            .parameter()
+            .split_once('.')
+            .expect("hierarchical parameter name");
+        let solver = bench.mixed.analog_mut();
+        let block = solver
+            .circuit()
+            .block_id(block_name)
+            .unwrap_or_else(|| panic!("no analog block {block_name:?}"));
+        let nominal = solver
+            .circuit()
+            .param_targets()
+            .into_iter()
+            .find(|(b, name, _)| *b == block && name == fault.parameter())
+            .map(|(_, _, v)| v)
+            .unwrap_or_else(|| panic!("no parameter {:?}", fault.parameter()));
+        solver
+            .set_param(block, param, fault.apply(nominal))
+            .expect("parameter exists");
+    }
+    bench.run_until(T_END).expect("simulation");
+    let f = bench
+        .measured_fout(T_END - Time::from_us(10), T_END)
+        .unwrap_or(0.0);
+    let f_error_ppm = (f - 50e6) / 50e6 * 1e6;
+    Measurement {
+        f_error_ppm,
+        vctrl: bench.vctrl(),
+        locked: f_error_ppm.abs() < 10_000.0, // within 1 %
+    }
+}
+
+fn main() {
+    banner("Extension F — parametric faults (process variation / aging)");
+    let nominal = run(None);
+    println!(
+        "  nominal: f_out error {:+.0} ppm, vctrl {:.3} V\n",
+        nominal.f_error_ppm, nominal.vctrl
+    );
+    println!(
+        "  {:<26} {:>7} {:>14} {:>9} {:>8}",
+        "parameter", "scale", "f_err [ppm]", "vctrl", "lock"
+    );
+    let mut csv = String::from("parameter,scale,f_error_ppm,vctrl,locked\n");
+    let sweeps: [(&str, &[f64]); 4] = [
+        ("vco.gain_hz_per_v", &[0.5, 0.8, 1.2, 2.0]),
+        ("vco.f_center", &[0.9, 0.95, 1.05, 1.1]),
+        ("loop_filter.r_ohm", &[0.3, 0.5, 2.0, 3.0]),
+        ("charge_pump.i_up", &[0.5, 0.8, 1.2, 2.0]),
+    ];
+    let mut kept = 0usize;
+    let mut total = 0usize;
+    for (param, scales) in sweeps {
+        for &scale in scales {
+            let fault = ParametricFault::new(param, ParamChange::Scale(scale));
+            let m = run(Some(&fault));
+            println!(
+                "  {:<26} {:>7} {:>14.0} {:>9.3} {:>8}",
+                param,
+                format!("x{scale}"),
+                m.f_error_ppm,
+                m.vctrl,
+                if m.locked { "kept" } else { "LOST" }
+            );
+            let _ = writeln!(
+                csv,
+                "{param},{scale},{},{},{}",
+                m.f_error_ppm, m.vctrl, m.locked
+            );
+            total += 1;
+            kept += m.locked as usize;
+        }
+    }
+    write_result("ext_parametric_faults.csv", &csv);
+
+    banner("Reading");
+    println!(
+        "  The type-II loop absorbs most single-parameter drifts by moving\n\
+         \x20 its operating point: VCO gain and pump-current changes re-centre\n\
+         \x20 vctrl, a VCO centre-frequency shift is corrected by Kvco headroom,\n\
+         \x20 and the frequency error stays near zero whenever lock is kept\n\
+         \x20 ({kept}/{total} drifted corners). This is the complementary fault\n\
+         \x20 model the paper distinguishes from SEU-like transients: useful for\n\
+         \x20 process/aging studies, but unable to model particle strikes —\n\
+         \x20 which is exactly why the saboteur mechanism exists."
+    );
+    assert!(kept >= total / 2, "loop should tolerate most mild drifts");
+    assert!(nominal.locked, "nominal configuration must lock");
+}

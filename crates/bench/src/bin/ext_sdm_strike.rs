@@ -1,0 +1,116 @@
+//! **Extension G** — strike response of the sigma–delta modulator: the
+//! tightest analog/digital feedback loop, where an analog transient directly
+//! rewrites the digital bitstream.
+//!
+//! A strike of charge Q on the error summer displaces the integrator by
+//! `ΔV = Q·R_inj·gain…` — in a first-order loop the displaced charge maps
+//! linearly onto *missing or extra ones* in the current decimation word, and
+//! the next word is clean again. The experiment sweeps the strike charge and
+//! measures the code error of the struck word, plus the Wilson-interval
+//! disturbance rate over random injection phases.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin ext_sdm_strike
+//! ```
+
+use amsfi_bench::{banner, write_result};
+use amsfi_circuits::adc::AdcInput;
+use amsfi_circuits::sdm::{self, SdmConfig, SDM_CODE};
+use amsfi_core::{plan, report};
+use amsfi_faults::{PulseShape, TrapezoidPulse};
+use amsfi_waves::Time;
+use std::fmt::Write as _;
+
+fn code_at_word(cfg: &SdmConfig, fault: Option<(TrapezoidPulse, Time)>, word: i64) -> u64 {
+    let cfg = match fault {
+        Some((pulse, at)) => cfg.clone().with_fault(pulse, at),
+        None => cfg.clone(),
+    };
+    let mut bench = sdm::build(&cfg);
+    bench
+        .mixed
+        .run_until(cfg.word_time() * word + cfg.clk_period)
+        .expect("simulation");
+    let sig = bench.mixed.digital().signal_id(SDM_CODE).expect("built");
+    bench.mixed.digital().value(sig).to_u64().unwrap_or(0)
+}
+
+fn main() {
+    banner("Extension G — sigma-delta modulator under analog strikes");
+    let cfg = SdmConfig {
+        input: AdcInput::Dc(2.5),
+        ..SdmConfig::default()
+    };
+    let word = cfg.word_time();
+    println!(
+        "  first-order loop, OSR 32, 100 ns clock; DC input 2.5 V (code 16/32);\n\
+         \x20 strikes on the error summer during word 3, read words 4 and 6.\n"
+    );
+
+    let golden4 = code_at_word(&cfg, None, 4);
+    let golden6 = code_at_word(&cfg, None, 6);
+    println!("  golden code: {golden4} / 32\n");
+
+    println!(
+        "  {:>9} {:>9} {:>13} {:>13}",
+        "PA [mA]", "Q [pC]", "struck word", "next word"
+    );
+    let mut csv = String::from("pa_ma,charge_pc,struck_code,next_code,golden\n");
+    for pa in [2.0, 5.0, 10.0, 20.0, 40.0] {
+        // 1 us wide strike: spans ~10 modulator clocks.
+        let pulse = TrapezoidPulse::from_ma_ps(pa, 100, 100, 1_000_000).expect("pulse");
+        let at = word * 3 + Time::from_ns(250);
+        let struck = code_at_word(&cfg, Some((pulse, at)), 4);
+        let next = code_at_word(&cfg, Some((pulse, at)), 6);
+        println!(
+            "  {:>9} {:>9.1} {:>10} /32 {:>10} /32",
+            pa,
+            pulse.charge() * 1e12,
+            struck,
+            next
+        );
+        let _ = writeln!(
+            csv,
+            "{pa},{},{struck},{next},{golden4}",
+            pulse.charge() * 1e12
+        );
+        assert!(
+            (next as i64 - golden6 as i64).abs() <= 1,
+            "word after the strike must be clean ({next} vs {golden6})"
+        );
+    }
+    write_result("ext_sdm_strike.csv", &csv);
+
+    // Disturbance probability over random phases, with confidence interval.
+    banner("Disturbance rate over random injection phases (10 mA, 1 us)");
+    let times = plan::random_times(word * 3, word * 4, 20, 77);
+    let mut hits = 0usize;
+    for &at in &times {
+        let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 100, 1_000_000).expect("pulse");
+        if code_at_word(&cfg, Some((pulse, at)), 4) != golden4 {
+            hits += 1;
+        }
+    }
+    let (lo, hi) = report::wilson_interval(hits, times.len());
+    println!(
+        "  {hits}/{} phases disturbed the struck word; 95 % Wilson interval \
+         [{:.2}, {:.2}]",
+        times.len(),
+        lo,
+        hi
+    );
+
+    banner("Reading");
+    println!(
+        "  The strike charge maps monotonically onto missing ones in the\n\
+         \x20 struck decimation word, and the loop carries no memory past the\n\
+         \x20 integrator: the *next* word is clean for every amplitude. In a\n\
+         \x20 converter-level dependability analysis this bounds the error to\n\
+         \x20 exactly one output sample — the kind of system-level statement\n\
+         \x20 the paper's flow exists to produce."
+    );
+    assert!(
+        hits > times.len() / 2,
+        "a 10 mA, 1 us strike should usually disturb"
+    );
+}

@@ -1,0 +1,91 @@
+//! **Extension E** — the SET latching-window experiment behind the paper's
+//! Section 2: "the actual probability to latch a SET can only be evaluated
+//! very late in the design process", because it depends on where the
+//! transient lands relative to the capture edge. With the flow's saboteurs,
+//! the *behavioural* model already reproduces the classical latching-window
+//! law: `P(capture) ≈ pulse width / clock period`.
+//!
+//! A SET of width `w` is injected on the data wire ahead of a flip-flop at a
+//! sweep of sub-cycle phases; a capture happens iff the pulse overlaps the
+//! 20 ns clock's rising edge.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin ext_set_latching
+//! ```
+
+use amsfi_bench::{banner, write_result};
+use amsfi_digital::{cells, DigitalSaboteur, Netlist, Simulator};
+use amsfi_faults::{DigitalFault, DigitalFaultKind};
+use amsfi_waves::{Logic, Time};
+use std::fmt::Write as _;
+
+const PERIOD: Time = Time::from_ns(20);
+const PHASES: i64 = 40;
+
+/// One run: SET of `width` on the flip-flop's data wire at `at`.
+/// Returns true when the upset was captured (Q went high).
+fn captured(width: Time, at: Time) -> bool {
+    let mut net = Netlist::new();
+    let clk = net.signal("clk", 1);
+    let d = net.signal("d", 1);
+    let q = net.signal("q", 1);
+    net.add("ck", cells::ClockGen::new(PERIOD), &[], &[clk]);
+    net.add("src", cells::ConstVector::bit(Logic::Zero), &[], &[d]);
+    let sab = DigitalSaboteur::new(1)
+        .with_fault(DigitalFault::new(DigitalFaultKind::SetPulse { width }, at));
+    let (_, corrupted) = net.insert_saboteur(d, Box::new(sab));
+    let _ = corrupted;
+    // Reconnect: insert_saboteur rewired the DFF automatically? The DFF is
+    // added after, reading the sabotaged net directly.
+    let d_sab = net.signal_id("d__sab").expect("saboteur net");
+    net.add("ff", cells::Dff::new(1, Time::ZERO), &[clk, d_sab], &[q]);
+    let mut sim = Simulator::new(net);
+    sim.monitor_name("q");
+    sim.run_until(at + PERIOD * 3).expect("run");
+    let wave = sim.trace().digital("q").expect("monitored");
+    wave.rising_edges().iter().any(|&t| t >= at)
+}
+
+fn main() {
+    banner("Extension E — SET latching-window probability");
+    println!(
+        "  SETs on the data wire of a flip-flop clocked at 50 MHz (20 ns),\n\
+         \x20 {PHASES} injection phases per pulse width.\n"
+    );
+    println!(
+        "  {:>12} {:>12} {:>12} {:>12}",
+        "SET width", "captured", "P(capture)", "width/period"
+    );
+    let mut csv = String::from("width_ns,captured,phases,p_capture,width_over_period\n");
+    let base = Time::from_us(1); // past start-up, on an arbitrary cycle
+    for width_ns in [1i64, 2, 4, 8, 16] {
+        let width = Time::from_ns(width_ns);
+        let mut hits = 0usize;
+        for k in 0..PHASES {
+            let at = base + PERIOD * k / PHASES;
+            if captured(width, at) {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / PHASES as f64;
+        let expect = width_ns as f64 / 20.0;
+        println!(
+            "  {:>10} ns {:>12} {:>12.3} {:>12.3}",
+            width_ns, hits, p, expect
+        );
+        let _ = writeln!(csv, "{width_ns},{hits},{PHASES},{p},{expect}");
+        assert!(
+            (p - expect).abs() <= 1.5 / PHASES as f64,
+            "latching window law violated for {width_ns} ns: P = {p}, expected {expect}"
+        );
+    }
+    write_result("ext_set_latching.csv", &csv);
+
+    banner("Reading");
+    println!(
+        "  The measured capture probability tracks width/period to within one\n\
+         \x20 phase step: the behavioural flow reproduces the latching-window\n\
+         \x20 law that gate-level analyses extract much later in the design\n\
+         \x20 process — the early-analysis argument of the paper's Section 2."
+    );
+}

@@ -1,0 +1,24 @@
+//! Case-study circuits for the `amsfi` fault-injection flow.
+//!
+//! * [`pll`] — the behavioural PLL of the paper's Fig. 5 (500 kHz reference,
+//!   ÷100 feedback, 50 MHz generated clock, 2.5 V digitizer), the circuit on
+//!   which Figs. 6–8 were measured, plus an optional digital payload block
+//!   clocked by the generated clock;
+//! * [`pfd`] — the sequential phase–frequency detector used by the PLL;
+//! * [`adc`] — flash and SAR analog-to-digital converters, the paper's
+//!   stated future-work target ("blocks including both analog and digital
+//!   circuitry, e.g. analog to digital converters");
+//! * [`sdm`] — a first-order sigma–delta modulator, the tightest
+//!   analog/digital feedback loop in common use;
+//! * [`cpu`] — a tiny accumulator processor running a self-checking
+//!   program, the "processor-based architecture" of the paper's
+//!   reference \[2\].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adc;
+pub mod cpu;
+pub mod pfd;
+pub mod pll;
+pub mod sdm;

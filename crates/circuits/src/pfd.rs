@@ -1,0 +1,212 @@
+//! The sequential phase–frequency detector of the paper's Fig. 5 PLL.
+
+use amsfi_digital::{Component, EvalContext, PortSpec};
+use amsfi_waves::{Logic, Time};
+
+/// A classical sequential (three-state) phase–frequency detector.
+///
+/// Ports: `ref`, `fb` → `up`, `dn`.
+///
+/// A rising edge on `ref` raises `UP`; a rising edge on `fb` raises `DN`;
+/// when both are raised they clear each other (behaviourally instantaneous —
+/// the anti-backlash delay of a real pump is below the abstraction level of
+/// this flow). The pulse width on the surviving output therefore equals the
+/// phase error, and the detector is frequency-sensitive during acquisition —
+/// the properties the charge-pump loop relies on.
+///
+/// Both memorised flags are SEU targets (mutant hooks), modelling an upset
+/// inside the detector itself.
+#[derive(Debug, Clone)]
+pub struct SequentialPfd {
+    up: bool,
+    dn: bool,
+    prev_ref: Logic,
+    prev_fb: Logic,
+    delay: Time,
+}
+
+impl SequentialPfd {
+    /// Creates a PFD with the given output delay.
+    pub fn new(delay: Time) -> Self {
+        SequentialPfd {
+            up: false,
+            dn: false,
+            prev_ref: Logic::Uninitialized,
+            prev_fb: Logic::Uninitialized,
+            delay,
+        }
+    }
+}
+
+impl Default for SequentialPfd {
+    fn default() -> Self {
+        Self::new(Time::ZERO)
+    }
+}
+
+impl Component for SequentialPfd {
+    fn eval(&mut self, ctx: &mut EvalContext<'_>) {
+        let r = ctx.input_bit(0);
+        let f = ctx.input_bit(1);
+        if !self.prev_ref.is_high() && r.is_high() {
+            self.up = true;
+        }
+        if !self.prev_fb.is_high() && f.is_high() {
+            self.dn = true;
+        }
+        if self.up && self.dn {
+            self.up = false;
+            self.dn = false;
+        }
+        self.prev_ref = r;
+        self.prev_fb = f;
+        ctx.drive_bit(0, Logic::from_bool(self.up), self.delay);
+        ctx.drive_bit(1, Logic::from_bool(self.dn), self.delay);
+    }
+
+    fn port_spec(&self) -> PortSpec {
+        PortSpec::new(&[("ref", 1), ("fb", 1)], &[("up", 1), ("dn", 1)])
+    }
+
+    fn state_bits(&self) -> usize {
+        2
+    }
+
+    fn flip_state_bit(&mut self, bit: usize) {
+        match bit {
+            0 => self.up = !self.up,
+            _ => self.dn = !self.dn,
+        }
+    }
+
+    fn state_label(&self, bit: usize) -> String {
+        if bit == 0 { "up" } else { "dn" }.to_owned()
+    }
+
+    fn force_state(&mut self, value: u64) {
+        self.up = value & 1 != 0;
+        self.dn = value & 2 != 0;
+    }
+
+    fn state_value(&self) -> Option<u64> {
+        Some(u64::from(self.up) | u64::from(self.dn) << 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amsfi_digital::{cells, Netlist, Simulator};
+
+    /// Two clocks with a fixed skew; returns (up, dn) duty observations.
+    fn pfd_bench(ref_period_ns: i64, fb_period_ns: i64, fb_skew_ns: i64) -> Simulator {
+        let mut net = Netlist::new();
+        let r = net.signal("ref", 1);
+        let f = net.signal("fb", 1);
+        let up = net.signal("up", 1);
+        let dn = net.signal("dn", 1);
+        net.add(
+            "ckr",
+            cells::ClockGen::new(Time::from_ns(ref_period_ns)),
+            &[],
+            &[r],
+        );
+        net.add(
+            "ckf",
+            cells::ClockGen::new(Time::from_ns(fb_period_ns)).with_start(Time::from_ns(fb_skew_ns)),
+            &[],
+            &[f],
+        );
+        net.add("pfd", SequentialPfd::default(), &[r, f], &[up, dn]);
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("up");
+        sim.monitor_name("dn");
+        sim
+    }
+
+    fn high_time(sim: &Simulator, name: &str, until: Time) -> Time {
+        let w = sim.trace().digital(name).unwrap();
+        let mut acc = Time::ZERO;
+        let mut last_rise: Option<Time> = None;
+        for &(t, v) in w.transitions() {
+            if v.is_high() {
+                last_rise = Some(t);
+            } else if let Some(rise) = last_rise.take() {
+                acc += t - rise;
+            }
+        }
+        if let Some(rise) = last_rise {
+            acc += until - rise;
+        }
+        acc
+    }
+
+    #[test]
+    fn lagging_feedback_raises_up_pulses() {
+        // fb lags ref by 20 ns each 100 ns cycle: UP pulses of 20 ns.
+        let mut sim = pfd_bench(100, 100, 20);
+        sim.run_until(Time::from_us(1)).unwrap();
+        let up_time = high_time(&sim, "up", Time::from_us(1));
+        let dn_time = high_time(&sim, "dn", Time::from_us(1));
+        // ~10 cycles x 20 ns = 200 ns of UP, essentially no DN.
+        assert!(
+            up_time > Time::from_ns(150) && up_time < Time::from_ns(250),
+            "up {up_time}"
+        );
+        assert!(dn_time < Time::from_ns(10), "dn {dn_time}");
+    }
+
+    #[test]
+    fn fast_feedback_raises_dn_pulses() {
+        // fb faster than ref: the loop must slow down -> DN dominates.
+        let mut sim = pfd_bench(100, 80, 0);
+        sim.run_until(Time::from_us(2)).unwrap();
+        let up_time = high_time(&sim, "up", Time::from_us(2));
+        let dn_time = high_time(&sim, "dn", Time::from_us(2));
+        assert!(
+            dn_time > up_time * 2,
+            "dn {dn_time} should dominate up {up_time}"
+        );
+    }
+
+    #[test]
+    fn slow_feedback_pumps_up_on_average() {
+        // fb much slower than ref: the loop must speed up -> UP dominates.
+        let mut sim = pfd_bench(100, 300, 0);
+        sim.run_until(Time::from_us(3)).unwrap();
+        let up_time = high_time(&sim, "up", Time::from_us(3));
+        let dn_time = high_time(&sim, "dn", Time::from_us(3));
+        assert!(
+            up_time > dn_time * 2,
+            "up {up_time} should dominate dn {dn_time}"
+        );
+    }
+
+    #[test]
+    fn seu_on_up_flag_creates_spurious_pump_pulse() {
+        let mut net = Netlist::new();
+        let r = net.signal("ref", 1);
+        let f = net.signal("fb", 1);
+        let up = net.signal("up", 1);
+        let dn = net.signal("dn", 1);
+        // Idle detector: no clock edges at all.
+        net.add("cr", cells::ConstVector::bit(Logic::Zero), &[], &[r]);
+        net.add("cf", cells::ConstVector::bit(Logic::Zero), &[], &[f]);
+        let pfd = net.add("pfd", SequentialPfd::default(), &[r, f], &[up, dn]);
+        let mut sim = Simulator::new(net);
+        sim.run_until(Time::from_ns(100)).unwrap();
+        assert_eq!(sim.value(sim.signal_id("up").unwrap())[0], Logic::Zero);
+        sim.flip_state(pfd, 0); // SEU raises the UP flag
+        sim.run_until(Time::from_ns(101)).unwrap();
+        assert_eq!(sim.value(sim.signal_id("up").unwrap())[0], Logic::One);
+        assert_eq!(sim.state_value(pfd), Some(1));
+    }
+
+    #[test]
+    fn mutant_labels() {
+        let pfd = SequentialPfd::default();
+        assert_eq!(pfd.state_bits(), 2);
+        assert_eq!(pfd.state_label(0), "up");
+        assert_eq!(pfd.state_label(1), "dn");
+    }
+}

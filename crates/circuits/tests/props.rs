@@ -1,0 +1,114 @@
+//! Property-based tests for the case-study circuits.
+
+use amsfi_circuits::adc::{self, AdcInput};
+use amsfi_circuits::pfd::SequentialPfd;
+use amsfi_digital::{cells, Netlist, Simulator};
+use amsfi_waves::{Logic, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn flash_adc_converts_any_dc_level(vin in 0.05f64..4.95) {
+        let mut bench = adc::build_flash(&adc::FlashAdcConfig {
+            input: AdcInput::Dc(vin),
+            ..adc::FlashAdcConfig::default()
+        });
+        bench.mixed.run_until(Time::from_us(1)).unwrap();
+        let sig = bench.mixed.digital().signal_id(adc::FLASH_CODE).unwrap();
+        let code = bench.mixed.digital().value(sig).to_u64().unwrap();
+        let expect = ((vin / 5.0 * 8.0) as u64).min(7);
+        // Comparator hysteresis (20 mV) can move codes near a threshold by
+        // one; away from thresholds the code is exact.
+        let dist_to_threshold = (vin / 0.625).fract().min(1.0 - (vin / 0.625).fract());
+        if dist_to_threshold > 0.05 {
+            prop_assert_eq!(code, expect, "vin = {}", vin);
+        } else {
+            prop_assert!((code as i64 - expect as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn sar_adc_converts_any_dc_level(vin in 0.05f64..4.95) {
+        let cfg = adc::SarAdcConfig {
+            input: AdcInput::Dc(vin),
+            ..adc::SarAdcConfig::default()
+        };
+        let mut bench = adc::build_sar(&cfg);
+        bench.mixed.run_until(cfg.conversion_time() * 3).unwrap();
+        let sig = bench.mixed.digital().signal_id(adc::SAR_RESULT).unwrap();
+        let code = bench.mixed.digital().value(sig).to_u64().unwrap();
+        let expect = ((vin / 5.0 * 16.0) as u64).min(15);
+        let dist_to_threshold = (vin / 0.3125).fract().min(1.0 - (vin / 0.3125).fract());
+        if dist_to_threshold > 0.05 {
+            prop_assert_eq!(code, expect, "vin = {}", vin);
+        } else {
+            prop_assert!((code as i64 - expect as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn pfd_outputs_never_both_high(ref_ns in 40i64..200, fb_ns in 40i64..200, skew in 0i64..100) {
+        let mut net = Netlist::new();
+        let r = net.signal("ref", 1);
+        let f = net.signal("fb", 1);
+        let up = net.signal("up", 1);
+        let dn = net.signal("dn", 1);
+        net.add("ckr", cells::ClockGen::new(Time::from_ns(ref_ns)), &[], &[r]);
+        net.add(
+            "ckf",
+            cells::ClockGen::new(Time::from_ns(fb_ns)).with_start(Time::from_ns(skew)),
+            &[],
+            &[f],
+        );
+        net.add("pfd", SequentialPfd::default(), &[r, f], &[up, dn]);
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("up");
+        sim.monitor_name("dn");
+        sim.run_until(Time::from_us(3)).unwrap();
+        let trace = sim.trace();
+        let up_w = trace.digital("up").unwrap();
+        let dn_w = trace.digital("dn").unwrap();
+        // Sample at every transition of either output: the three-state PFD
+        // with instantaneous clear never drives both outputs high at once.
+        for &(t, _) in up_w.transitions().iter().chain(dn_w.transitions()) {
+            let both = up_w.value_at(t) == Logic::One && dn_w.value_at(t) == Logic::One;
+            prop_assert!(!both, "both outputs high at {t}");
+        }
+    }
+
+    #[test]
+    fn pfd_net_drive_sign_follows_frequency_difference(ref_ns in 60i64..160, delta in 10i64..60) {
+        // Faster feedback -> DN dominates; slower feedback -> UP dominates.
+        for (fb_ns, expect_up) in [(ref_ns + delta, true), (ref_ns - delta, false)] {
+            let mut net = Netlist::new();
+            let r = net.signal("ref", 1);
+            let f = net.signal("fb", 1);
+            let up = net.signal("up", 1);
+            let dn = net.signal("dn", 1);
+            net.add("ckr", cells::ClockGen::new(Time::from_ns(ref_ns)), &[], &[r]);
+            net.add("ckf", cells::ClockGen::new(Time::from_ns(fb_ns)), &[], &[f]);
+            net.add("pfd", SequentialPfd::default(), &[r, f], &[up, dn]);
+            let mut sim = Simulator::new(net);
+            sim.monitor_name("up");
+            sim.monitor_name("dn");
+            sim.run_until(Time::from_us(10)).unwrap();
+            let trace = sim.trace();
+            let high = |name: &str| {
+                amsfi_waves::measure::duty_cycle(
+                    trace.digital(name).unwrap(),
+                    Time::ZERO,
+                    Time::from_us(10),
+                )
+                .unwrap()
+            };
+            let (u, d) = (high("up"), high("dn"));
+            if expect_up {
+                prop_assert!(u > d, "fb slower: up {u} vs dn {d}");
+            } else {
+                prop_assert!(d > u, "fb faster: up {u} vs dn {d}");
+            }
+        }
+    }
+}

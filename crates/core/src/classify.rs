@@ -1,0 +1,341 @@
+//! Fault classification: turning a golden-vs-faulty trace comparison into a
+//! dependability verdict.
+//!
+//! This is the "Failure report / Classification" box of the paper's Figs. 2
+//! and 3. Monitored signals are split into *functional outputs* (a mismatch
+//! there is externally visible) and *internals* (a mismatch there that never
+//! reaches an output is a latent error). Analog signals are compared with the
+//! Section 4.1 tolerance "in order to avoid non significant error
+//! identifications".
+
+use amsfi_waves::{
+    compare_analog, compare_digital_with_skew, SignalComparison, Time, Tolerance, Trace,
+};
+use std::fmt;
+
+/// The dependability verdict for one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// No monitored signal ever left its tolerance band.
+    NoEffect,
+    /// Only internal signals diverged, and they still differ at the end of
+    /// the observation window: the error is stored but not yet visible.
+    Latent,
+    /// Outputs (and internals) diverged but everything re-converged and
+    /// stayed clean for the recovery period: the system healed itself.
+    Transient,
+    /// An output is still wrong at (or near) the end of the window.
+    Failure,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultClass::NoEffect => "no-effect",
+            FaultClass::Latent => "latent",
+            FaultClass::Transient => "transient",
+            FaultClass::Failure => "failure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How traces are compared and verdicts drawn.
+#[derive(Debug, Clone)]
+pub struct ClassifySpec {
+    /// Comparison window (usually `[injection time, end of run]`).
+    pub window: (Time, Time),
+    /// Tolerance for analog signals (Section 4.1 of the paper).
+    pub analog_tolerance: Tolerance,
+    /// Mismatch observations closer than this merge into one interval.
+    pub merge_gap: Time,
+    /// A signal counts as *recovered* if its last divergence ends earlier
+    /// than `window.1 - recovery`.
+    pub recovery: Time,
+    /// Edge-timing tolerance for digital signals: clock edges displaced by
+    /// less than this are not errors (residual phase offsets, jitter).
+    pub digital_skew: Time,
+    /// Names of functional outputs (divergence ⇒ transient or failure).
+    pub outputs: Vec<String>,
+    /// Names of internal signals (divergence alone ⇒ latent).
+    pub internals: Vec<String>,
+}
+
+impl ClassifySpec {
+    /// A spec observing `outputs` over `window` with defaults: 1 % + 50 mV
+    /// analog tolerance, 100 ns merge gap, 5 % of the window as recovery
+    /// margin.
+    pub fn new(window: (Time, Time), outputs: Vec<String>) -> Self {
+        let span = window.1 - window.0;
+        ClassifySpec {
+            window,
+            analog_tolerance: Tolerance::new(0.05, 0.01),
+            merge_gap: Time::from_ns(100),
+            recovery: span / 20,
+            digital_skew: Time::ZERO,
+            outputs,
+            internals: Vec::new(),
+        }
+    }
+
+    /// Adds internal (latent-detection) signals.
+    #[must_use]
+    pub fn with_internals(mut self, internals: Vec<String>) -> Self {
+        self.internals = internals;
+        self
+    }
+
+    /// Overrides the analog tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.analog_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the digital edge-skew tolerance.
+    #[must_use]
+    pub fn with_digital_skew(mut self, skew: Time) -> Self {
+        self.digital_skew = skew;
+        self
+    }
+}
+
+/// Everything measured about one fault-injection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseOutcome {
+    /// The verdict.
+    pub class: FaultClass,
+    /// First time any *output* diverged.
+    pub error_onset: Option<Time>,
+    /// Last time any *output* was observed diverged.
+    pub error_end: Option<Time>,
+    /// Total mismatched time summed over all output signals.
+    pub total_mismatch: Time,
+    /// Monitored signals (outputs and internals) that diverged at least
+    /// once, sorted.
+    pub affected: Vec<String>,
+}
+
+impl CaseOutcome {
+    /// Error latency relative to an injection instant.
+    pub fn latency_from(&self, injected_at: Time) -> Option<Time> {
+        self.error_onset.map(|t| t - injected_at)
+    }
+}
+
+fn compare_signal(
+    spec: &ClassifySpec,
+    golden: &Trace,
+    faulty: &Trace,
+    name: &str,
+) -> SignalComparison {
+    let (from, to) = spec.window;
+    if let (Some(g), Some(f)) = (golden.digital(name), faulty.digital(name)) {
+        return compare_digital_with_skew(g, f, from, to, spec.merge_gap, spec.digital_skew);
+    }
+    if let (Some(g), Some(f)) = (golden.analog(name), faulty.analog(name)) {
+        return compare_analog(g, f, from, to, spec.analog_tolerance, spec.merge_gap);
+    }
+    // Present in one trace only (or never recorded): treat a signal that
+    // exists in exactly one trace as a permanent mismatch.
+    let one_sided = golden.digital(name).is_some() != faulty.digital(name).is_some()
+        || golden.analog(name).is_some() != faulty.analog(name).is_some();
+    if one_sided {
+        SignalComparison {
+            mismatches: vec![amsfi_waves::MismatchInterval { from, to }],
+        }
+    } else {
+        SignalComparison::default()
+    }
+}
+
+/// Classifies one faulty trace against the golden trace.
+pub fn classify(spec: &ClassifySpec, golden: &Trace, faulty: &Trace) -> CaseOutcome {
+    let recovered_by = spec.window.1 - spec.recovery;
+    let mut affected = Vec::new();
+    let mut onset: Option<Time> = None;
+    let mut end: Option<Time> = None;
+    let mut total = Time::ZERO;
+    let mut output_failed = false;
+    let mut output_diverged = false;
+    let mut internal_unrecovered = false;
+
+    for name in &spec.outputs {
+        let cmp = compare_signal(spec, golden, faulty, name);
+        if cmp.is_match() {
+            continue;
+        }
+        output_diverged = true;
+        affected.push(name.clone());
+        total += cmp.total_mismatch();
+        let first = cmp.first_divergence().expect("has mismatches");
+        let last = cmp.last_divergence().expect("has mismatches");
+        onset = Some(onset.map_or(first, |t| t.min(first)));
+        end = Some(end.map_or(last, |t| t.max(last)));
+        if last >= recovered_by {
+            output_failed = true;
+        }
+    }
+    for name in &spec.internals {
+        let cmp = compare_signal(spec, golden, faulty, name);
+        if cmp.is_match() {
+            continue;
+        }
+        affected.push(name.clone());
+        if cmp.last_divergence().expect("has mismatches") >= recovered_by {
+            internal_unrecovered = true;
+        }
+    }
+    affected.sort();
+
+    let class = if output_failed {
+        FaultClass::Failure
+    } else if output_diverged || !affected.is_empty() {
+        if internal_unrecovered {
+            FaultClass::Latent
+        } else {
+            FaultClass::Transient
+        }
+    } else {
+        FaultClass::NoEffect
+    };
+    CaseOutcome {
+        class,
+        error_onset: onset,
+        error_end: end,
+        total_mismatch: total,
+        affected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amsfi_waves::Logic;
+
+    fn spec() -> ClassifySpec {
+        ClassifySpec::new((Time::ZERO, Time::from_us(10)), vec!["out".to_owned()])
+            .with_internals(vec!["state".to_owned()])
+    }
+
+    fn trace_with(out: &[(i64, Logic)], state: &[(i64, Logic)]) -> Trace {
+        let mut t = Trace::new();
+        for &(ns, v) in out {
+            t.record_digital("out", Time::from_ns(ns), v).unwrap();
+        }
+        for &(ns, v) in state {
+            t.record_digital("state", Time::from_ns(ns), v).unwrap();
+        }
+        t
+    }
+
+    fn golden() -> Trace {
+        trace_with(&[(0, Logic::Zero)], &[(0, Logic::Zero)])
+    }
+
+    #[test]
+    fn identical_traces_are_no_effect() {
+        let out = classify(&spec(), &golden(), &golden());
+        assert_eq!(out.class, FaultClass::NoEffect);
+        assert!(out.affected.is_empty());
+        assert_eq!(out.error_onset, None);
+        assert_eq!(out.total_mismatch, Time::ZERO);
+    }
+
+    #[test]
+    fn persistent_output_error_is_failure() {
+        let faulty = trace_with(&[(0, Logic::Zero), (100, Logic::One)], &[(0, Logic::Zero)]);
+        let out = classify(&spec(), &golden(), &faulty);
+        assert_eq!(out.class, FaultClass::Failure);
+        assert_eq!(out.error_onset, Some(Time::from_ns(100)));
+        assert_eq!(out.affected, vec!["out".to_owned()]);
+    }
+
+    #[test]
+    fn recovered_output_error_is_transient() {
+        let faulty = trace_with(
+            &[(0, Logic::Zero), (100, Logic::One), (200, Logic::Zero)],
+            &[(0, Logic::Zero)],
+        );
+        let out = classify(&spec(), &golden(), &faulty);
+        assert_eq!(out.class, FaultClass::Transient);
+        assert_eq!(out.latency_from(Time::from_ns(50)), Some(Time::from_ns(50)));
+    }
+
+    #[test]
+    fn internal_only_error_is_latent() {
+        let faulty = trace_with(&[(0, Logic::Zero)], &[(0, Logic::Zero), (100, Logic::One)]);
+        let out = classify(&spec(), &golden(), &faulty);
+        assert_eq!(out.class, FaultClass::Latent);
+        assert_eq!(out.error_onset, None, "no output divergence");
+        assert_eq!(out.affected, vec!["state".to_owned()]);
+    }
+
+    #[test]
+    fn recovered_internal_error_is_transient() {
+        let faulty = trace_with(
+            &[(0, Logic::Zero)],
+            &[(0, Logic::Zero), (100, Logic::One), (200, Logic::Zero)],
+        );
+        let out = classify(&spec(), &golden(), &faulty);
+        assert_eq!(out.class, FaultClass::Transient);
+    }
+
+    #[test]
+    fn transient_output_with_stuck_internal_is_latent() {
+        let faulty = trace_with(
+            &[(0, Logic::Zero), (100, Logic::One), (200, Logic::Zero)],
+            &[(0, Logic::Zero), (100, Logic::One)],
+        );
+        let out = classify(&spec(), &golden(), &faulty);
+        assert_eq!(out.class, FaultClass::Latent);
+    }
+
+    #[test]
+    fn analog_tolerance_is_applied() {
+        let mut golden = Trace::new();
+        golden.record_analog("out", Time::ZERO, 2.5).unwrap();
+        golden.record_analog("out", Time::from_us(10), 2.5).unwrap();
+        let mut faulty = Trace::new();
+        faulty.record_analog("out", Time::ZERO, 2.52).unwrap();
+        faulty
+            .record_analog("out", Time::from_us(10), 2.48)
+            .unwrap();
+        let s = ClassifySpec::new((Time::ZERO, Time::from_us(10)), vec!["out".to_owned()]);
+        // Within 50 mV absolute tolerance: no effect.
+        assert_eq!(classify(&s, &golden, &faulty).class, FaultClass::NoEffect);
+        // Zero tolerance: failure.
+        let strict = s.with_tolerance(Tolerance::exact());
+        assert_eq!(
+            classify(&strict, &golden, &faulty).class,
+            FaultClass::Failure
+        );
+    }
+
+    #[test]
+    fn missing_signal_in_one_trace_is_a_failure() {
+        let faulty = Trace::new();
+        let out = classify(&spec(), &golden(), &faulty);
+        assert_eq!(out.class, FaultClass::Failure);
+    }
+
+    #[test]
+    fn digital_skew_forgives_displaced_clock_edges() {
+        let golden = trace_with(&[(0, Logic::Zero), (100, Logic::One)], &[(0, Logic::Zero)]);
+        let faulty = trace_with(&[(0, Logic::Zero), (101, Logic::One)], &[(0, Logic::Zero)]);
+        let strict = classify(&spec(), &golden, &faulty);
+        assert_ne!(strict.class, FaultClass::NoEffect);
+        let lax = classify(
+            &spec().with_digital_skew(Time::from_ns(5)),
+            &golden,
+            &faulty,
+        );
+        assert_eq!(lax.class, FaultClass::NoEffect);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(FaultClass::NoEffect.to_string(), "no-effect");
+        assert_eq!(FaultClass::Failure.to_string(), "failure");
+    }
+}

@@ -1,0 +1,239 @@
+//! Campaign planning: fault-list and injection-time generation.
+//!
+//! Section 4.1 of the paper: the designer specifies "(1) the range of the
+//! parameters for the pulse specification and (2) the injection times", and
+//! notes that for analog blocks "the exact injection time (and not only the
+//! injection cycle) may have a noticeable impact". These helpers build those
+//! specifications: uniform and random time samplers and a Cartesian pulse
+//! parameter grid.
+
+use amsfi_faults::{InvalidPulseError, TrapezoidPulse};
+use amsfi_waves::Time;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Evenly spaced injection times in `[from, to)` (endpoints: `from`
+/// included, `to` excluded).
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_core::plan::uniform_times;
+/// use amsfi_waves::Time;
+///
+/// let times = uniform_times(Time::ZERO, Time::from_us(10), 5);
+/// assert_eq!(times.len(), 5);
+/// assert_eq!(times[0], Time::ZERO);
+/// assert_eq!(times[1], Time::from_us(2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `to <= from`.
+pub fn uniform_times(from: Time, to: Time, count: usize) -> Vec<Time> {
+    assert!(count > 0, "need at least one time");
+    assert!(to > from, "empty time window");
+    let span = (to - from).as_fs();
+    (0..count)
+        .map(|i| from + Time::from_fs(span * i as i64 / count as i64))
+        .collect()
+}
+
+/// `count` injection times drawn uniformly at random from `[from, to)`,
+/// reproducibly from `seed`, sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `to <= from`.
+pub fn random_times(from: Time, to: Time, count: usize, seed: u64) -> Vec<Time> {
+    assert!(count > 0, "need at least one time");
+    assert!(to > from, "empty time window");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Time> = (0..count)
+        .map(|_| from + Time::from_fs(rng.random_range(0..(to - from).as_fs())))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The Cartesian product of trapezoid pulse parameters, in the paper's
+/// quoting convention: amplitudes in mA, times in ps.
+///
+/// Invalid combinations (e.g. `PW < RT`) are skipped, which lets callers
+/// pass coarse ranges without worrying about the pulse validity rules.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_core::plan::pulse_grid;
+///
+/// // The paper's Fig. 8 parameter sets live inside this grid.
+/// let pulses = pulse_grid(&[2.0, 8.0, 10.0], &[40, 100, 180], &[40, 100, 180], &[120, 300, 540]);
+/// assert!(!pulses.is_empty());
+/// ```
+pub fn pulse_grid(
+    pa_ma: &[f64],
+    rt_ps: &[i64],
+    ft_ps: &[i64],
+    pw_ps: &[i64],
+) -> Vec<TrapezoidPulse> {
+    let mut out = Vec::new();
+    for &pa in pa_ma {
+        for &rt in rt_ps {
+            for &ft in ft_ps {
+                for &pw in pw_ps {
+                    if let Ok(p) = TrapezoidPulse::from_ma_ps(pa, rt, ft, pw) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `count` random trapezoid pulses with parameters drawn log-uniformly from
+/// the given (inclusive) ranges, reproducibly from `seed`.
+///
+/// # Errors
+///
+/// Returns [`InvalidPulseError`] if a range is inverted or non-positive.
+pub fn random_pulses(
+    pa_ma: (f64, f64),
+    rt_ps: (i64, i64),
+    ft_ps: (i64, i64),
+    pw_over_rt: (f64, f64),
+    count: usize,
+    seed: u64,
+) -> Result<Vec<TrapezoidPulse>, InvalidPulseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let log_uniform =
+        |rng: &mut StdRng, lo: f64, hi: f64| -> f64 { (rng.random_range(lo.ln()..=hi.ln())).exp() };
+    for _ in 0..count {
+        let pa = log_uniform(&mut rng, pa_ma.0, pa_ma.1);
+        let rt = log_uniform(&mut rng, rt_ps.0 as f64, rt_ps.1 as f64) as i64;
+        let ft = log_uniform(&mut rng, ft_ps.0 as f64, ft_ps.1 as f64) as i64;
+        let ratio = rng.random_range(pw_over_rt.0..=pw_over_rt.1);
+        let pw = (rt as f64 * ratio).ceil() as i64;
+        out.push(TrapezoidPulse::from_ma_ps(
+            pa,
+            rt.max(1),
+            ft.max(0),
+            pw.max(rt),
+        )?);
+    }
+    Ok(out)
+}
+
+/// Pairs each mutant target index with `count - 1` distinct partners drawn
+/// reproducibly at random — the fault list for a multiple-bit-upset (MBU)
+/// campaign ("one or several bit-flips", paper Section 2).
+///
+/// Returns `(bit_a, bit_b)` pairs with `bit_a != bit_b`, `pairs_per_bit` per
+/// target.
+///
+/// # Panics
+///
+/// Panics if `targets < 2` or `pairs_per_bit == 0`.
+pub fn mbu_pairs(targets: usize, pairs_per_bit: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(targets >= 2, "MBUs need at least two targets");
+    assert!(pairs_per_bit > 0, "need at least one pair per bit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(targets * pairs_per_bit);
+    for a in 0..targets {
+        for _ in 0..pairs_per_bit {
+            let mut b = rng.random_range(0..targets - 1);
+            if b >= a {
+                b += 1;
+            }
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amsfi_faults::PulseShape;
+
+    #[test]
+    fn uniform_times_cover_window() {
+        let times = uniform_times(Time::from_us(10), Time::from_us(20), 10);
+        assert_eq!(times.len(), 10);
+        assert_eq!(times[0], Time::from_us(10));
+        assert_eq!(times[9], Time::from_us(19));
+        assert!(times.windows(2).all(|w| w[1] - w[0] == Time::from_us(1)));
+    }
+
+    #[test]
+    fn random_times_are_reproducible_and_in_range() {
+        let a = random_times(Time::from_us(1), Time::from_us(2), 50, 42);
+        let b = random_times(Time::from_us(1), Time::from_us(2), 50, 42);
+        assert_eq!(a, b);
+        assert!(a
+            .iter()
+            .all(|&t| t >= Time::from_us(1) && t < Time::from_us(2)));
+        let c = random_times(Time::from_us(1), Time::from_us(2), 50, 43);
+        assert_ne!(a, c, "different seed gives different draw");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn grid_skips_invalid_combinations() {
+        // PW = 40 ps with RT = 180 ps would be invalid and must be skipped.
+        let pulses = pulse_grid(&[10.0], &[40, 180], &[40], &[40, 200]);
+        assert_eq!(pulses.len(), 3); // (40,40), (40,200), (180,200)
+        assert!(pulses.iter().all(|p| p.width() >= p.rise()));
+    }
+
+    #[test]
+    fn grid_contains_paper_fig8_sets() {
+        let pulses = pulse_grid(
+            &[2.0, 8.0, 10.0],
+            &[40, 100, 180],
+            &[40, 100, 180],
+            &[120, 300, 540],
+        );
+        let has = |pa: f64, rt: i64, ft: i64, pw: i64| {
+            pulses.iter().any(|p| {
+                (p.amplitude() - pa * 1e-3).abs() < 1e-12
+                    && p.rise() == Time::from_ps(rt)
+                    && p.fall() == Time::from_ps(ft)
+                    && p.width() == Time::from_ps(pw)
+            })
+        };
+        assert!(has(2.0, 100, 100, 300));
+        assert!(has(8.0, 100, 100, 300));
+        assert!(has(10.0, 40, 40, 120));
+        assert!(has(10.0, 180, 180, 540));
+    }
+
+    #[test]
+    fn mbu_pairs_are_distinct_and_reproducible() {
+        let a = mbu_pairs(10, 3, 5);
+        let b = mbu_pairs(10, 3, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        assert!(a.iter().all(|&(x, y)| x != y && x < 10 && y < 10));
+        // Every target appears as the primary bit.
+        for t in 0..10 {
+            assert_eq!(a.iter().filter(|&&(x, _)| x == t).count(), 3);
+        }
+    }
+
+    #[test]
+    fn random_pulses_are_valid_and_reproducible() {
+        let a = random_pulses((1.0, 20.0), (20, 200), (20, 500), (1.0, 5.0), 30, 7).unwrap();
+        let b = random_pulses((1.0, 20.0), (20, 200), (20, 500), (1.0, 5.0), 30, 7).unwrap();
+        assert_eq!(a.len(), 30);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+        for p in &a {
+            assert!(p.charge() > 0.0);
+            assert!(p.width() >= p.rise());
+        }
+    }
+}

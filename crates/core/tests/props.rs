@@ -1,0 +1,101 @@
+//! Property-based tests for the campaign engine.
+
+use amsfi_core::{classify, plan, report, ClassifySpec, FaultClass};
+use amsfi_waves::{Logic, Time, Trace};
+use proptest::prelude::*;
+
+fn arb_trace(seed: Vec<(i64, bool)>) -> Trace {
+    let mut t = Trace::new();
+    let mut sorted = seed;
+    sorted.sort();
+    sorted.dedup_by_key(|(ns, _)| *ns);
+    t.record_digital("out", Time::ZERO, Logic::Zero).unwrap();
+    for (ns, v) in sorted {
+        t.record_digital("out", Time::from_ns(ns.abs() + 1), Logic::from_bool(v))
+            .unwrap();
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn any_trace_matches_itself(seed in prop::collection::vec((0i64..10_000, any::<bool>()), 0..30)) {
+        let trace = arb_trace(seed);
+        let spec = ClassifySpec::new((Time::ZERO, Time::from_us(20)), vec!["out".to_owned()]);
+        let outcome = classify(&spec, &trace, &trace);
+        prop_assert_eq!(outcome.class, FaultClass::NoEffect);
+        prop_assert!(outcome.affected.is_empty());
+    }
+
+    #[test]
+    fn classification_is_monotone_in_window(
+        seed in prop::collection::vec((0i64..10_000, any::<bool>()), 1..30),
+        flip_at in 1i64..9_000,
+    ) {
+        // A fault visible in a window is at least as severe as in a narrower
+        // window ending before the divergence.
+        let golden = arb_trace(seed.clone());
+        let mut faulty = golden.clone();
+        let end = golden.digital("out").unwrap().end_time().unwrap();
+        let t_flip = end + Time::from_ns(flip_at);
+        faulty
+            .record_digital("out", t_flip, golden.digital("out").unwrap().value_at(t_flip).flipped())
+            .unwrap();
+        let wide = ClassifySpec::new(
+            (Time::ZERO, t_flip + Time::from_us(1)),
+            vec!["out".to_owned()],
+        );
+        let narrow = ClassifySpec::new(
+            (Time::ZERO, t_flip - Time::RESOLUTION),
+            vec!["out".to_owned()],
+        );
+        prop_assert_eq!(classify(&narrow, &golden, &faulty).class, FaultClass::NoEffect);
+        prop_assert_ne!(classify(&wide, &golden, &faulty).class, FaultClass::NoEffect);
+    }
+
+    #[test]
+    fn uniform_times_are_sorted_unique_and_in_range(
+        from_ns in 0i64..1_000_000,
+        span_ns in 1_000i64..1_000_000,
+        count in 1usize..200,
+    ) {
+        let from = Time::from_ns(from_ns);
+        let to = from + Time::from_ns(span_ns);
+        let times = plan::uniform_times(from, to, count);
+        prop_assert_eq!(times.len(), count);
+        prop_assert!(times.windows(2).all(|w| w[0] < w[1] || count > span_ns as usize));
+        prop_assert!(times.iter().all(|&t| t >= from && t < to));
+    }
+
+    #[test]
+    fn wilson_interval_is_well_formed(hits in 0usize..100, extra in 0usize..100) {
+        let trials = hits + extra;
+        let (lo, hi) = report::wilson_interval(hits, trials);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= hi);
+        if trials > 0 {
+            let p = hits as f64 / trials as f64;
+            prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "p = {p} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_trials(hits_per_10 in 1usize..10) {
+        let (lo_s, hi_s) = report::wilson_interval(hits_per_10, 10);
+        let (lo_l, hi_l) = report::wilson_interval(hits_per_10 * 100, 1_000);
+        prop_assert!(hi_l - lo_l < hi_s - lo_s);
+    }
+
+    #[test]
+    fn pulse_grid_size_is_product_of_valid_combinations(
+        pa in prop::collection::vec(0.5f64..20.0, 1..4),
+        rt in prop::collection::vec(10i64..500, 1..4),
+    ) {
+        // With PW chosen >= max(rt), every combination is valid.
+        let max_rt = *rt.iter().max().unwrap();
+        let pw = [max_rt, max_rt * 2];
+        let grid = plan::pulse_grid(&pa, &rt, &[100], &pw);
+        prop_assert_eq!(grid.len(), pa.len() * rt.len() * pw.len());
+    }
+}

@@ -1,0 +1,24 @@
+//! The behavioural cell library: gates, sources, sequential elements,
+//! arithmetic, FSMs and memories.
+//!
+//! Every sequential cell exposes its memorised bits through the mutant hooks
+//! of [`Component`](crate::Component), making it an SEU target for the
+//! fault-injection flow.
+
+mod arith;
+mod fifo;
+mod fsm;
+mod gates;
+mod hardened;
+mod memory;
+mod seq;
+mod sources;
+
+pub use arith::{Adder, Comparator, Parity};
+pub use fifo::Fifo;
+pub use fsm::{Fsm, InvalidFsmError};
+pub use gates::{And, Buf, Mux2, Nand, Nor, Not, Or, Xnor, Xor};
+pub use hardened::{HammingDecoder, HammingEncoder, MajorityVoter, TmrRegister};
+pub use memory::Ram;
+pub use seq::{ClockDivider, Counter, Dff, Latch, Lfsr, Register, ShiftReg};
+pub use sources::{ClockGen, ConstVector, Stimulus};

@@ -1,0 +1,249 @@
+//! The component model of the digital simulator.
+//!
+//! A [`Component`] is the Rust equivalent of a VHDL entity/architecture pair:
+//! it is evaluated whenever one of its input signals changes (its sensitivity
+//! list is all of its inputs) or a self-scheduled wake-up fires, and it reacts
+//! by driving its output ports after a delay.
+//!
+//! Components with memorised state additionally expose *mutant* hooks
+//! ([`Component::state_bits`], [`Component::flip_state_bit`], …): the paper's
+//! Section 3.2 instrumentation that lets the fault-injection flow flip the
+//! value of "memorised signals or variables" inside a block.
+
+use amsfi_waves::{Logic, LogicVector, Time};
+
+/// One action requested by a component evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Action {
+    /// Drive output port `output` with `value` after `delay`, with inertial
+    /// semantics (cancels this driver's pending transactions).
+    DriveInertial {
+        /// Output port index.
+        output: usize,
+        /// New value.
+        value: LogicVector,
+        /// Delay from now.
+        delay: Time,
+    },
+    /// Drive with transport semantics (pending transactions survive).
+    DriveTransport {
+        /// Output port index.
+        output: usize,
+        /// New value.
+        value: LogicVector,
+        /// Delay from now.
+        delay: Time,
+    },
+    /// Re-evaluate this component after `delay`.
+    Wake {
+        /// Delay from now.
+        delay: Time,
+    },
+}
+
+/// The evaluation context handed to [`Component::eval`]: read-only access to
+/// the current input values and a queue of requested actions.
+#[derive(Debug)]
+pub struct EvalContext<'a> {
+    now: Time,
+    inputs: &'a [LogicVector],
+    pub(crate) actions: Vec<Action>,
+}
+
+impl<'a> EvalContext<'a> {
+    pub(crate) fn new(now: Time, inputs: &'a [LogicVector]) -> Self {
+        EvalContext {
+            now,
+            inputs,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The value of input port `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for this component's inputs.
+    pub fn input(&self, index: usize) -> &LogicVector {
+        &self.inputs[index]
+    }
+
+    /// The first (and for scalars, only) bit of input port `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the input has zero width.
+    pub fn input_bit(&self, index: usize) -> Logic {
+        self.inputs[index][0]
+    }
+
+    /// Drives output port `output` with `value` after `delay`, cancelling any
+    /// pending transaction from this driver (inertial delay, the VHDL
+    /// default).
+    pub fn drive(&mut self, output: usize, value: LogicVector, delay: Time) {
+        self.actions.push(Action::DriveInertial {
+            output,
+            value,
+            delay,
+        });
+    }
+
+    /// Scalar convenience for [`EvalContext::drive`].
+    pub fn drive_bit(&mut self, output: usize, value: Logic, delay: Time) {
+        self.drive(output, LogicVector::filled(value, 1), delay);
+    }
+
+    /// Drives with transport semantics: earlier pending transactions from
+    /// this driver are preserved (used by stimulus sources that pre-schedule
+    /// a whole waveform).
+    pub fn drive_transport(&mut self, output: usize, value: LogicVector, delay: Time) {
+        self.actions.push(Action::DriveTransport {
+            output,
+            value,
+            delay,
+        });
+    }
+
+    /// Scalar convenience for [`EvalContext::drive_transport`].
+    pub fn drive_transport_bit(&mut self, output: usize, value: Logic, delay: Time) {
+        self.drive_transport(output, LogicVector::filled(value, 1), delay);
+    }
+
+    /// Requests a re-evaluation of this component after `delay` even if no
+    /// input changes (like a VHDL `wait for`).
+    pub fn wake(&mut self, delay: Time) {
+        self.actions.push(Action::Wake { delay });
+    }
+}
+
+/// Object-safe clone support for boxed components.
+pub trait ComponentClone {
+    /// Clones this component into a new box.
+    fn clone_box(&self) -> Box<dyn Component>;
+}
+
+impl<T: Component + Clone + 'static> ComponentClone for T {
+    fn clone_box(&self) -> Box<dyn Component> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Component> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A behavioural digital block: the unit of structure in a [`Netlist`].
+///
+/// Implementors must be `Clone` (so the fault-injection campaign can re-run a
+/// pristine copy of the circuit) and `Send` (so campaigns can run runs on
+/// worker threads).
+///
+/// [`Netlist`]: crate::Netlist
+pub trait Component: ComponentClone + Send + std::fmt::Debug {
+    /// Evaluates the component. Called once at time zero (power-on), then
+    /// whenever any input signal changes value or a requested wake fires.
+    fn eval(&mut self, ctx: &mut EvalContext<'_>);
+
+    /// The declared port interface, used by [`Netlist::add`] to validate
+    /// connections. The default (an empty spec) skips validation.
+    ///
+    /// [`Netlist::add`]: crate::Netlist::add
+    fn port_spec(&self) -> crate::PortSpec {
+        crate::PortSpec::default()
+    }
+
+    /// Number of SEU-targetable memorised bits in this component.
+    ///
+    /// Zero (the default) means the component is purely combinational and
+    /// cannot host an SEU, only SETs on its interconnects.
+    fn state_bits(&self) -> usize {
+        0
+    }
+
+    /// Inverts one memorised bit, modelling an SEU strike. After the flip the
+    /// simulator re-evaluates the component so the corrupted state propagates.
+    ///
+    /// The default does nothing (no state).
+    fn flip_state_bit(&mut self, bit: usize) {
+        let _ = bit;
+    }
+
+    /// A human-readable label for a memorised bit (used in campaign reports).
+    fn state_label(&self, bit: usize) -> String {
+        format!("bit{bit}")
+    }
+
+    /// Replaces the encoded state with `value`, modelling the erroneous FSM
+    /// transition fault of the paper's reference \[11\]. The default does
+    /// nothing.
+    fn force_state(&mut self, value: u64) {
+        let _ = value;
+    }
+
+    /// The current encoded state, if this component has one and it fits in
+    /// 64 bits. Used by latent-fault detection at the end of a run.
+    fn state_value(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Probe;
+
+    impl Component for Probe {
+        fn eval(&mut self, ctx: &mut EvalContext<'_>) {
+            let v = ctx.input_bit(0);
+            ctx.drive_bit(0, !v, Time::from_ns(1));
+        }
+    }
+
+    #[test]
+    fn context_collects_actions() {
+        let inputs = vec![LogicVector::filled(Logic::One, 1)];
+        let mut ctx = EvalContext::new(Time::from_ns(5), &inputs);
+        let mut p = Probe;
+        p.eval(&mut ctx);
+        assert_eq!(ctx.actions.len(), 1);
+        assert_eq!(ctx.now(), Time::from_ns(5));
+        match &ctx.actions[0] {
+            Action::DriveInertial {
+                output,
+                value,
+                delay,
+            } => {
+                assert_eq!(*output, 0);
+                assert_eq!(value[0], Logic::Zero);
+                assert_eq!(*delay, Time::from_ns(1));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boxed_component_clones() {
+        let boxed: Box<dyn Component> = Box::new(Probe);
+        let cloned = boxed.clone();
+        assert_eq!(cloned.state_bits(), 0);
+        assert_eq!(cloned.state_value(), None);
+        assert_eq!(cloned.state_label(3), "bit3");
+    }
+
+    #[test]
+    fn default_mutant_hooks_are_inert() {
+        let mut p = Probe;
+        p.flip_state_bit(0);
+        p.force_state(42);
+        assert_eq!(p.state_bits(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! The digital saboteur: a pass-through component spliced into an
+//! interconnect that can corrupt the value it forwards.
+//!
+//! This is the Section 3.2 saboteur, used for faults that live on wires
+//! rather than in memorised state: stuck-ats, SET pulses, and wire-level
+//! bit inversions. Splice one with [`Netlist::insert_saboteur`].
+//!
+//! [`Netlist::insert_saboteur`]: crate::Netlist::insert_saboteur
+
+use crate::component::{Component, EvalContext};
+use crate::netlist::PortSpec;
+use amsfi_faults::{DigitalFault, DigitalFaultKind};
+use amsfi_waves::{Logic, LogicVector, Time};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the injection time.
+    Before,
+    /// The fault is active (timed kinds only).
+    Active,
+    /// The fault has run its course; transparent pass-through.
+    After,
+}
+
+/// A saboteur for digital interconnects.
+///
+/// Transparent (zero-delay pass-through) until its fault's injection time,
+/// then:
+///
+/// * [`DigitalFaultKind::StuckAt`] — forces the level permanently;
+/// * [`DigitalFaultKind::SetPulse`] — forwards the *inverted* input for the
+///   pulse width, then turns transparent again;
+/// * [`DigitalFaultKind::BitFlip`] — inverts the value once; the corruption
+///   persists until the next source transition (the classical signal
+///   bit-flip semantics);
+/// * [`DigitalFaultKind::ForceState`] — drives the encoded value once.
+///
+/// A saboteur with no fault is fully transparent, so instrumented and
+/// pristine circuits behave identically — the property that makes
+/// "instrument once, inject many" campaigns sound.
+#[derive(Debug, Clone)]
+pub struct DigitalSaboteur {
+    width: usize,
+    fault: Option<DigitalFault>,
+    phase: Phase,
+    armed: bool,
+}
+
+impl DigitalSaboteur {
+    /// Creates a transparent saboteur for a `width`-bit interconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "saboteur width must be nonzero");
+        DigitalSaboteur {
+            width,
+            fault: None,
+            phase: Phase::Before,
+            armed: false,
+        }
+    }
+
+    /// Arms the saboteur with a fault to inject.
+    #[must_use]
+    pub fn with_fault(mut self, fault: DigitalFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The armed fault, if any.
+    pub fn fault(&self) -> Option<&DigitalFault> {
+        self.fault.as_ref()
+    }
+
+    fn inverted(&self, input: &LogicVector) -> LogicVector {
+        input.iter().map(Logic::flipped).collect()
+    }
+}
+
+impl Component for DigitalSaboteur {
+    fn eval(&mut self, ctx: &mut EvalContext<'_>) {
+        let input = ctx.input(0).clone();
+        let Some(fault) = self.fault.clone() else {
+            ctx.drive(0, input, Time::ZERO);
+            return;
+        };
+        if !self.armed {
+            self.armed = true;
+            if ctx.now() <= fault.at {
+                ctx.wake(fault.at - ctx.now());
+            }
+        }
+        match self.phase {
+            Phase::Before => {
+                if ctx.now() < fault.at {
+                    ctx.drive(0, input, Time::ZERO);
+                    return;
+                }
+                // Injection instant reached.
+                match fault.kind {
+                    DigitalFaultKind::StuckAt(level) => {
+                        self.phase = Phase::Active;
+                        ctx.drive(0, LogicVector::filled(level, self.width), Time::ZERO);
+                    }
+                    DigitalFaultKind::SetPulse { width } => {
+                        self.phase = Phase::Active;
+                        ctx.drive(0, self.inverted(&input), Time::ZERO);
+                        ctx.wake(width);
+                    }
+                    DigitalFaultKind::BitFlip => {
+                        self.phase = Phase::After;
+                        ctx.drive(0, self.inverted(&input), Time::ZERO);
+                    }
+                    DigitalFaultKind::ForceState { value } => {
+                        self.phase = Phase::After;
+                        ctx.drive(0, LogicVector::from_u64(value, self.width), Time::ZERO);
+                    }
+                }
+            }
+            Phase::Active => match fault.kind {
+                DigitalFaultKind::StuckAt(level) => {
+                    ctx.drive(0, LogicVector::filled(level, self.width), Time::ZERO);
+                }
+                DigitalFaultKind::SetPulse { .. } => {
+                    if ctx.now() >= fault.end() {
+                        self.phase = Phase::After;
+                        ctx.drive(0, input, Time::ZERO);
+                    } else {
+                        ctx.drive(0, self.inverted(&input), Time::ZERO);
+                    }
+                }
+                _ => unreachable!("point faults never stay active"),
+            },
+            Phase::After => {
+                ctx.drive(0, input, Time::ZERO);
+            }
+        }
+    }
+
+    fn port_spec(&self) -> PortSpec {
+        PortSpec::new(&[("in", self.width)], &[("out", self.width)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{ClockGen, Stimulus};
+    use crate::{Netlist, Simulator};
+
+    fn clocked_bench(fault: Option<DigitalFault>) -> Simulator {
+        let mut net = Netlist::new();
+        let clk = net.signal("clk", 1);
+        net.add("ck", ClockGen::new(Time::from_ns(20)), &[], &[clk]);
+        let mut sab = DigitalSaboteur::new(1);
+        if let Some(f) = fault {
+            sab = sab.with_fault(f);
+        }
+        net.insert_saboteur(clk, Box::new(sab));
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("clk__sab");
+        sim
+    }
+
+    #[test]
+    fn transparent_without_fault() {
+        let mut sim = clocked_bench(None);
+        sim.run_until(Time::from_us(1)).unwrap();
+        let w = sim.trace().digital("clk__sab").unwrap();
+        // Every edge is forwarded unchanged: rises at 10, 30, ..., 990 ns.
+        assert_eq!(w.rising_edges().len(), 50);
+        assert_eq!(w.rising_edges()[0], Time::from_ns(10));
+    }
+
+    #[test]
+    fn stuck_at_freezes_from_injection_time() {
+        let fault = DigitalFault::new(DigitalFaultKind::StuckAt(Logic::Zero), Time::from_ns(100));
+        let mut sim = clocked_bench(Some(fault));
+        sim.run_until(Time::from_us(1)).unwrap();
+        let w = sim.trace().digital("clk__sab").unwrap();
+        // Edges before 100 ns pass; nothing after.
+        assert!(w.rising_edges().iter().all(|&t| t < Time::from_ns(100)));
+        assert_eq!(w.value_at(Time::from_us(1)), Logic::Zero);
+    }
+
+    #[test]
+    fn set_pulse_inverts_for_its_width_only() {
+        // Inject a 5 ns SET at 34 ns: clk is high (30-40 ns), so the output
+        // shows a spurious low from 34 to 39 ns.
+        let fault = DigitalFault::new(
+            DigitalFaultKind::SetPulse {
+                width: Time::from_ns(5),
+            },
+            Time::from_ns(34),
+        );
+        let mut sim = clocked_bench(Some(fault));
+        sim.run_until(Time::from_ns(200)).unwrap();
+        let w = sim.trace().digital("clk__sab").unwrap();
+        assert_eq!(w.value_at(Time::from_ns(33)), Logic::One);
+        assert_eq!(w.value_at(Time::from_ns(36)), Logic::Zero);
+        // The pulse ends at 39 ns; the clock is still high until 40 ns.
+        assert_eq!(
+            w.value_at(Time::from_ns(39) + Time::from_ps(500)),
+            Logic::One
+        );
+        // Subsequent cycles are clean: high again at 55 ns.
+        assert_eq!(w.value_at(Time::from_ns(55)), Logic::One);
+    }
+
+    #[test]
+    fn bit_flip_persists_until_next_transition() {
+        let mut net = Netlist::new();
+        let s = net.signal("s", 1);
+        net.add(
+            "stim",
+            Stimulus::bits([(Time::ZERO, false), (Time::from_ns(100), true)]),
+            &[],
+            &[s],
+        );
+        let sab = DigitalSaboteur::new(1).with_fault(DigitalFault::bit_flip(Time::from_ns(40)));
+        net.insert_saboteur(s, Box::new(sab));
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("s__sab");
+        sim.run_until(Time::from_ns(200)).unwrap();
+        let w = sim.trace().digital("s__sab").unwrap();
+        assert_eq!(w.value_at(Time::from_ns(30)), Logic::Zero);
+        // Flipped at 40 ns: shows 1 although the source is 0.
+        assert_eq!(w.value_at(Time::from_ns(50)), Logic::One);
+        // Source transition at 100 ns overwrites the corruption.
+        assert_eq!(w.value_at(Time::from_ns(150)), Logic::One);
+    }
+
+    #[test]
+    fn force_state_drives_encoded_value_once() {
+        let mut net = Netlist::new();
+        let bus = net.signal("bus", 4);
+        net.add(
+            "stim",
+            Stimulus::new([(Time::ZERO, amsfi_waves::LogicVector::from_u64(0x3, 4))]),
+            &[],
+            &[bus],
+        );
+        let sab = DigitalSaboteur::new(4).with_fault(DigitalFault::new(
+            DigitalFaultKind::ForceState { value: 0xC },
+            Time::from_ns(50),
+        ));
+        net.insert_saboteur(bus, Box::new(sab));
+        let mut sim = Simulator::new(net);
+        let out = sim.signal_id("bus__sab").unwrap();
+        sim.run_until(Time::from_ns(40)).unwrap();
+        assert_eq!(sim.value(out).to_u64(), Some(0x3));
+        sim.run_until(Time::from_ns(60)).unwrap();
+        assert_eq!(sim.value(out).to_u64(), Some(0xC));
+    }
+}

@@ -1,0 +1,751 @@
+//! The event-driven simulation kernel.
+//!
+//! Implements the semantics a VHDL-based injection flow relies on: an event
+//! wheel ordered by `(time, sequence)`, delta cycles at each time point,
+//! inertial/transport delay, and value-change tracing of monitored signals.
+//! Mid-run mutant operations ([`Simulator::flip_state`]) let the campaign
+//! engine strike an SEU at an exact simulation instant and have the corrupted
+//! state propagate on the next delta.
+
+use crate::component::{Action, EvalContext};
+use crate::netlist::{ComponentDecl, ComponentId, Netlist, SignalDecl, SignalId};
+use amsfi_waves::{LogicVector, Time, Trace};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::fmt;
+
+/// Errors produced while simulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A time point did not converge within the delta-cycle limit —
+    /// almost always a zero-delay combinational loop.
+    DeltaOverflow {
+        /// The simulation time that failed to converge.
+        time: Time,
+        /// The configured delta limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeltaOverflow { time, limit } => write!(
+                f,
+                "delta cycles exceeded {limit} at {time}: probable zero-delay combinational loop"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    Drive {
+        component: usize,
+        output: usize,
+        value: LogicVector,
+        generation: u64,
+    },
+    Wake {
+        component: usize,
+    },
+    /// A value forced from outside the netlist (e.g. by the mixed-mode
+    /// kernel's digitizers). External drives bypass driver generations.
+    External {
+        signal: usize,
+        value: LogicVector,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    /// Reversed so the `BinaryHeap` becomes a min-heap on `(time, seq)`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SignalState {
+    name: String,
+    width: usize,
+    value: LogicVector,
+    readers: Vec<usize>,
+    monitored: bool,
+}
+
+#[derive(Debug, Clone)]
+struct ComponentSlot {
+    name: String,
+    comp: Box<dyn crate::Component>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+    /// Per-output driver generation for inertial cancellation.
+    out_generation: Vec<u64>,
+}
+
+/// An event-driven simulator executing one [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_digital::{cells, Netlist, Simulator};
+/// use amsfi_waves::{Logic, Time};
+///
+/// let mut net = Netlist::new();
+/// let clk = net.signal("clk", 1);
+/// net.add("clkgen", cells::ClockGen::new(Time::from_ns(20)), &[], &[clk]);
+/// let mut sim = Simulator::new(net);
+/// sim.monitor_name("clk");
+/// sim.run_until(Time::from_ns(100))?;
+/// let wave = sim.trace().digital("clk").expect("monitored");
+/// assert_eq!(wave.rising_edges().len(), 5);
+/// # Ok::<(), amsfi_digital::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    signals: Vec<SignalState>,
+    components: Vec<ComponentSlot>,
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    now: Time,
+    started: bool,
+    trace: Trace,
+    delta_limit: usize,
+    events_processed: u64,
+    netlist_names: std::collections::HashMap<String, SignalId>,
+}
+
+impl Simulator {
+    /// Builds a simulator for `netlist`. Every component is scheduled for a
+    /// power-on evaluation at time zero.
+    pub fn new(netlist: Netlist) -> Self {
+        let mut names = std::collections::HashMap::new();
+        let signals = netlist
+            .signals
+            .iter()
+            .enumerate()
+            .map(|(i, decl)| {
+                let SignalDecl {
+                    name,
+                    width,
+                    readers,
+                    ..
+                } = decl;
+                names.insert(name.clone(), SignalId(i));
+                SignalState {
+                    name: name.clone(),
+                    width: *width,
+                    value: LogicVector::new(*width),
+                    readers: readers.iter().map(|r| r.0).collect(),
+                    monitored: false,
+                }
+            })
+            .collect();
+        let components: Vec<ComponentSlot> = netlist
+            .components
+            .into_iter()
+            .map(|decl| {
+                let ComponentDecl {
+                    name,
+                    comp,
+                    inputs,
+                    outputs,
+                } = decl;
+                let out_generation = vec![0; outputs.len()];
+                ComponentSlot {
+                    name,
+                    comp,
+                    inputs,
+                    outputs,
+                    out_generation,
+                }
+            })
+            .collect();
+        let mut sim = Simulator {
+            signals,
+            components,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            started: false,
+            trace: Trace::new(),
+            delta_limit: 10_000,
+            events_processed: 0,
+            netlist_names: names,
+        };
+        for c in 0..sim.components.len() {
+            sim.push_event(Time::ZERO, EventKind::Wake { component: c });
+        }
+        sim
+    }
+
+    /// Sets the delta-cycle limit per time point (default 10 000).
+    pub fn set_delta_limit(&mut self, limit: usize) {
+        self.delta_limit = limit.max(1);
+    }
+
+    /// Marks a signal for tracing. Must be called before the first
+    /// [`Simulator::run_until`] to capture the waveform from time zero.
+    /// Scalars are recorded under the signal name; each bit of a bus is
+    /// recorded as `"name[i]"`.
+    pub fn monitor(&mut self, signal: SignalId) {
+        self.signals[signal.0].monitored = true;
+    }
+
+    /// Like [`Simulator::monitor`], resolving the signal by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signal has that name.
+    pub fn monitor_name(&mut self, name: &str) {
+        let id = self
+            .signal_id(name)
+            .unwrap_or_else(|| panic!("no signal named {name:?}"));
+        self.monitor(id);
+    }
+
+    /// Looks up a signal by name.
+    pub fn signal_id(&self, name: &str) -> Option<SignalId> {
+        self.netlist_names.get(name).copied()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The current value of a signal.
+    pub fn value(&self, signal: SignalId) -> &LogicVector {
+        &self.signals[signal.0].value
+    }
+
+    /// The trace of monitored signals recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the simulator and returns its trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Total number of events applied so far (a throughput statistic).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Inverts one memorised bit of `component` (an SEU) and schedules a
+    /// re-evaluation so the corrupted state propagates immediately.
+    pub fn flip_state(&mut self, component: ComponentId, bit: usize) {
+        self.components[component.0].comp.flip_state_bit(bit);
+        self.push_event(
+            self.now,
+            EventKind::Wake {
+                component: component.0,
+            },
+        );
+    }
+
+    /// Forces the encoded state of `component` (an erroneous FSM transition)
+    /// and schedules a re-evaluation.
+    pub fn force_state(&mut self, component: ComponentId, value: u64) {
+        self.components[component.0].comp.force_state(value);
+        self.push_event(
+            self.now,
+            EventKind::Wake {
+                component: component.0,
+            },
+        );
+    }
+
+    /// Forces `signal` to `value` at time `at` (which must not precede the
+    /// current time). This is the entry point for values crossing the
+    /// analog-to-digital boundary: the mixed-mode kernel's digitizers call it
+    /// with the interpolated threshold-crossing instant.
+    ///
+    /// The target signal should have no component driver; an external drive
+    /// on a driven signal is overwritten by the driver's next transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`Simulator::now`].
+    pub fn inject_value(&mut self, signal: SignalId, value: LogicVector, at: Time) {
+        assert!(
+            at >= self.now,
+            "cannot inject at {at}: simulator already at {}",
+            self.now
+        );
+        self.push_event(
+            at,
+            EventKind::External {
+                signal: signal.0,
+                value,
+            },
+        );
+    }
+
+    /// The time of the earliest pending event, if any. The mixed-mode kernel
+    /// uses this to clamp analog integration steps so that digital activity
+    /// lands exactly on analog step boundaries.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// The encoded state of `component`, if it exposes one.
+    pub fn state_value(&self, component: ComponentId) -> Option<u64> {
+        self.components[component.0].comp.state_value()
+    }
+
+    /// Enumerates every SEU-targetable memorised bit, like
+    /// [`Netlist::mutant_targets`] but after the netlist has been lowered
+    /// into the simulator.
+    ///
+    /// [`Netlist::mutant_targets`]: crate::Netlist::mutant_targets
+    pub fn mutant_targets(&self) -> Vec<crate::MutantTarget> {
+        let mut out = Vec::new();
+        for (idx, slot) in self.components.iter().enumerate() {
+            for bit in 0..slot.comp.state_bits() {
+                out.push(crate::MutantTarget {
+                    component: ComponentId(idx),
+                    component_name: slot.name.clone(),
+                    bit,
+                    label: slot.comp.state_label(bit),
+                });
+            }
+        }
+        out
+    }
+
+    /// Mutable access to a component instance, for configuring saboteurs
+    /// after the netlist has been lowered into the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn component_mut(&mut self, component: ComponentId) -> &mut dyn crate::Component {
+        &mut *self.components[component.0].comp
+    }
+
+    /// Runs until simulation time `t_end`, processing every event scheduled
+    /// at or before it. Idempotent if no events remain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DeltaOverflow`] if a time point does not converge
+    /// (zero-delay combinational loop).
+    pub fn run_until(&mut self, t_end: Time) -> Result<(), SimError> {
+        self.started = true;
+        while let Some(event) = self.queue.peek() {
+            let t = event.time;
+            if t > t_end {
+                break;
+            }
+            self.advance_time_point(t)?;
+        }
+        if t_end > self.now {
+            self.now = t_end;
+        }
+        Ok(())
+    }
+
+    fn push_event(&mut self, time: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+
+    /// Processes every event and delta cycle at time `t`.
+    fn advance_time_point(&mut self, t: Time) -> Result<(), SimError> {
+        self.now = t;
+        let mut changed_this_point: BTreeSet<usize> = BTreeSet::new();
+        let mut delta = 0usize;
+        loop {
+            // Apply the current batch of events at time t.
+            let mut eval_set: BTreeSet<usize> = BTreeSet::new();
+            let mut any_event = false;
+            while self.queue.peek().is_some_and(|e| e.time == t) {
+                let event = self.queue.pop().expect("peeked");
+                any_event = true;
+                self.events_processed += 1;
+                match event.kind {
+                    EventKind::Drive {
+                        component,
+                        output,
+                        value,
+                        generation,
+                    } => {
+                        let slot = &self.components[component];
+                        if slot.out_generation[output] != generation {
+                            continue; // cancelled by a later inertial drive
+                        }
+                        let sig = slot.outputs[output].0;
+                        let state = &mut self.signals[sig];
+                        debug_assert_eq!(
+                            state.width,
+                            value.width(),
+                            "component {:?} drove width {} onto signal {:?} of width {}",
+                            slot.name,
+                            value.width(),
+                            state.name,
+                            state.width
+                        );
+                        if state.value != value {
+                            state.value = value;
+                            changed_this_point.insert(sig);
+                            for &r in &state.readers {
+                                eval_set.insert(r);
+                            }
+                        }
+                    }
+                    EventKind::Wake { component } => {
+                        eval_set.insert(component);
+                    }
+                    EventKind::External { signal, value } => {
+                        let state = &mut self.signals[signal];
+                        if state.value != value {
+                            state.value = value;
+                            changed_this_point.insert(signal);
+                            for &r in &state.readers {
+                                eval_set.insert(r);
+                            }
+                        }
+                    }
+                }
+            }
+            if !any_event && eval_set.is_empty() {
+                break;
+            }
+            // Evaluate sensitive components in deterministic id order.
+            let mut scratch_inputs: Vec<LogicVector> = Vec::new();
+            for c in eval_set {
+                scratch_inputs.clear();
+                scratch_inputs.extend(
+                    self.components[c]
+                        .inputs
+                        .iter()
+                        .map(|sig| self.signals[sig.0].value.clone()),
+                );
+                let mut ctx = EvalContext::new(t, &scratch_inputs);
+                self.components[c].comp.eval(&mut ctx);
+                let actions = std::mem::take(&mut ctx.actions);
+                for action in actions {
+                    match action {
+                        Action::DriveInertial {
+                            output,
+                            value,
+                            delay,
+                        } => {
+                            let slot = &mut self.components[c];
+                            slot.out_generation[output] += 1;
+                            let generation = slot.out_generation[output];
+                            self.push_event(
+                                t + delay,
+                                EventKind::Drive {
+                                    component: c,
+                                    output,
+                                    value,
+                                    generation,
+                                },
+                            );
+                        }
+                        Action::DriveTransport {
+                            output,
+                            value,
+                            delay,
+                        } => {
+                            let generation = self.components[c].out_generation[output];
+                            self.push_event(
+                                t + delay,
+                                EventKind::Drive {
+                                    component: c,
+                                    output,
+                                    value,
+                                    generation,
+                                },
+                            );
+                        }
+                        Action::Wake { delay } => {
+                            self.push_event(t + delay, EventKind::Wake { component: c });
+                        }
+                    }
+                }
+            }
+            delta += 1;
+            if delta > self.delta_limit {
+                return Err(SimError::DeltaOverflow {
+                    time: t,
+                    limit: self.delta_limit,
+                });
+            }
+            if self.queue.peek().is_none_or(|e| e.time != t) {
+                break;
+            }
+        }
+        // Record monitored signals that settled to a new value at t.
+        for sig in changed_this_point {
+            let state = &self.signals[sig];
+            if !state.monitored {
+                continue;
+            }
+            if state.width == 1 {
+                self.trace
+                    .record_digital(&state.name, t, state.value[0])
+                    .expect("time is monotonic");
+            } else {
+                for bit in 0..state.width {
+                    let bit_name = format!("{}[{bit}]", state.name);
+                    self.trace
+                        .record_digital(&bit_name, t, state.value[bit])
+                        .expect("time is monotonic");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use amsfi_waves::Logic;
+
+    /// Inverter with a configurable delay.
+    #[derive(Debug, Clone)]
+    struct Inv(Time);
+
+    impl Component for Inv {
+        fn eval(&mut self, ctx: &mut EvalContext<'_>) {
+            let v = !ctx.input_bit(0);
+            ctx.drive_bit(0, v, self.0);
+        }
+    }
+
+    /// Drives a constant after an initial delay.
+    #[derive(Debug, Clone)]
+    struct Step {
+        at: Time,
+        value: Logic,
+        fired: bool,
+    }
+
+    impl Component for Step {
+        fn eval(&mut self, ctx: &mut EvalContext<'_>) {
+            if !self.fired {
+                self.fired = true;
+                ctx.drive_bit(0, !self.value, Time::ZERO);
+                ctx.drive_transport_bit(0, self.value, self.at);
+            }
+        }
+    }
+
+    fn step(at: Time, value: Logic) -> Step {
+        Step {
+            at,
+            value,
+            fired: false,
+        }
+    }
+
+    #[test]
+    fn inverter_chain_propagates_with_delay() {
+        let mut net = Netlist::new();
+        let a = net.signal("a", 1);
+        let b = net.signal("b", 1);
+        let c = net.signal("c", 1);
+        net.add("src", step(Time::from_ns(10), Logic::One), &[], &[a]);
+        net.add("inv1", Inv(Time::from_ns(1)), &[a], &[b]);
+        net.add("inv2", Inv(Time::from_ns(1)), &[b], &[c]);
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("c");
+        sim.run_until(Time::from_us(1)).unwrap();
+        let wave = sim.trace().digital("c").unwrap();
+        // a: 0 at t0, 1 at 10ns -> b: 1 at 1ns, 0 at 11ns -> c: 0 at 2ns, 1 at 12ns.
+        assert_eq!(wave.value_at(Time::from_ns(5)), Logic::Zero);
+        assert_eq!(wave.value_at(Time::from_ns(12)), Logic::One);
+        assert_eq!(sim.value(sim.signal_id("c").unwrap())[0], Logic::One);
+    }
+
+    #[test]
+    fn zero_delay_loop_reports_delta_overflow() {
+        // A zero-delay inverter that maps 'U' to '1' so the loop escapes the
+        // stable uninitialised fixed point and oscillates within one instant.
+        #[derive(Debug, Clone)]
+        struct HotInv;
+        impl Component for HotInv {
+            fn eval(&mut self, ctx: &mut EvalContext<'_>) {
+                let out = match ctx.input_bit(0) {
+                    Logic::One => Logic::Zero,
+                    _ => Logic::One,
+                };
+                ctx.drive_bit(0, out, Time::ZERO);
+            }
+        }
+        let mut net = Netlist::new();
+        let a = net.signal("a", 1);
+        let b = net.signal("b", 1);
+        net.add("i1", HotInv, &[a], &[b]);
+        net.add("i2", HotInv, &[b], &[a]);
+        let mut sim = Simulator::new(net);
+        sim.set_delta_limit(100);
+        let err = sim.run_until(Time::from_ns(1)).unwrap_err();
+        assert!(matches!(err, SimError::DeltaOverflow { .. }));
+        assert!(err.to_string().contains("combinational loop"));
+    }
+
+    #[test]
+    fn inertial_drive_cancels_pending() {
+        // A component that schedules 1 after 5 ns, then (in the same eval)
+        // re-drives 0 after 2 ns: the 5 ns transaction must be cancelled.
+        #[derive(Debug, Clone)]
+        struct Glitcher {
+            fired: bool,
+        }
+        impl Component for Glitcher {
+            fn eval(&mut self, ctx: &mut EvalContext<'_>) {
+                if !self.fired {
+                    self.fired = true;
+                    ctx.drive_bit(0, Logic::One, Time::from_ns(5));
+                    ctx.drive_bit(0, Logic::Zero, Time::from_ns(2));
+                }
+            }
+        }
+        let mut net = Netlist::new();
+        let out = net.signal("out", 1);
+        net.add("g", Glitcher { fired: false }, &[], &[out]);
+        let mut sim = Simulator::new(net);
+        sim.monitor(out);
+        sim.run_until(Time::from_ns(10)).unwrap();
+        let wave = sim.trace().digital("out").unwrap();
+        assert_eq!(wave.value_at(Time::from_ns(6)), Logic::Zero);
+        // The cancelled 1-transaction never appears.
+        assert!(wave.transitions().iter().all(|&(_, v)| v != Logic::One));
+    }
+
+    #[test]
+    fn transport_drives_coexist() {
+        #[derive(Debug, Clone)]
+        struct Burst {
+            fired: bool,
+        }
+        impl Component for Burst {
+            fn eval(&mut self, ctx: &mut EvalContext<'_>) {
+                if !self.fired {
+                    self.fired = true;
+                    ctx.drive_transport_bit(0, Logic::Zero, Time::ZERO);
+                    ctx.drive_transport_bit(0, Logic::One, Time::from_ns(2));
+                    ctx.drive_transport_bit(0, Logic::Zero, Time::from_ns(4));
+                }
+            }
+        }
+        let mut net = Netlist::new();
+        let out = net.signal("out", 1);
+        net.add("b", Burst { fired: false }, &[], &[out]);
+        let mut sim = Simulator::new(net);
+        sim.monitor(out);
+        sim.run_until(Time::from_ns(10)).unwrap();
+        let wave = sim.trace().digital("out").unwrap();
+        assert_eq!(wave.value_at(Time::from_ns(1)), Logic::Zero);
+        assert_eq!(wave.value_at(Time::from_ns(3)), Logic::One);
+        assert_eq!(wave.value_at(Time::from_ns(5)), Logic::Zero);
+    }
+
+    #[test]
+    fn run_until_is_resumable_and_monotonic() {
+        let mut net = Netlist::new();
+        let a = net.signal("a", 1);
+        net.add("src", step(Time::from_ns(10), Logic::One), &[], &[a]);
+        let mut sim = Simulator::new(net);
+        sim.run_until(Time::from_ns(5)).unwrap();
+        assert_eq!(sim.now(), Time::from_ns(5));
+        let a_id = sim.signal_id("a").unwrap();
+        assert_eq!(sim.value(a_id)[0], Logic::Zero);
+        sim.run_until(Time::from_ns(20)).unwrap();
+        assert_eq!(sim.value(a_id)[0], Logic::One);
+        assert_eq!(sim.now(), Time::from_ns(20));
+        // Running backwards is a no-op, not a panic.
+        sim.run_until(Time::from_ns(1)).unwrap();
+        assert_eq!(sim.now(), Time::from_ns(20));
+    }
+
+    #[test]
+    fn events_processed_counts() {
+        let mut net = Netlist::new();
+        let a = net.signal("a", 1);
+        net.add("src", step(Time::from_ns(10), Logic::One), &[], &[a]);
+        let mut sim = Simulator::new(net);
+        sim.run_until(Time::from_ns(20)).unwrap();
+        assert!(sim.events_processed() >= 2);
+    }
+
+    #[test]
+    fn external_injection_drives_undriven_signal() {
+        let mut net = Netlist::new();
+        let ext = net.signal("ext", 1);
+        let out = net.signal("out", 1);
+        net.add("inv", Inv(Time::from_ns(1)), &[ext], &[out]);
+        let mut sim = Simulator::new(net);
+        sim.monitor(out);
+        sim.inject_value(
+            ext,
+            amsfi_waves::LogicVector::filled(Logic::One, 1),
+            Time::from_ns(10),
+        );
+        sim.run_until(Time::from_ns(20)).unwrap();
+        let w = sim.trace().digital("out").unwrap();
+        assert_eq!(w.value_at(Time::from_ns(12)), Logic::Zero);
+        assert_eq!(sim.value(ext)[0], Logic::One);
+    }
+
+    #[test]
+    fn next_event_time_peeks_queue() {
+        let mut net = Netlist::new();
+        let a = net.signal("a", 1);
+        net.add("src", step(Time::from_ns(10), Logic::One), &[], &[a]);
+        let mut sim = Simulator::new(net);
+        // Power-on wakes are queued at time zero.
+        assert_eq!(sim.next_event_time(), Some(Time::ZERO));
+        sim.run_until(Time::from_ns(5)).unwrap();
+        assert_eq!(sim.next_event_time(), Some(Time::from_ns(10)));
+        sim.run_until(Time::from_ns(20)).unwrap();
+        assert_eq!(sim.next_event_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject")]
+    fn injection_in_the_past_panics() {
+        let mut net = Netlist::new();
+        let a = net.signal("a", 1);
+        let _ = a;
+        let mut sim = Simulator::new(net);
+        sim.run_until(Time::from_ns(10)).unwrap();
+        sim.inject_value(
+            crate::SignalId(0),
+            amsfi_waves::LogicVector::filled(Logic::One, 1),
+            Time::from_ns(5),
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the digital simulator: determinism, saboteur
+//! transparency, adder correctness on random operands.
+
+use amsfi_digital::{cells, DigitalSaboteur, Netlist, Simulator};
+use amsfi_waves::{Logic, LogicVector, Time};
+use proptest::prelude::*;
+
+fn counter_bench(period_ns: i64) -> (Netlist, amsfi_digital::ComponentId) {
+    let mut net = Netlist::new();
+    let clk = net.signal("clk", 1);
+    let rst = net.signal("rst", 1);
+    let en = net.signal("en", 1);
+    let q = net.signal("q", 8);
+    net.add(
+        "ck",
+        cells::ClockGen::new(Time::from_ns(period_ns)),
+        &[],
+        &[clk],
+    );
+    net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+    net.add("e", cells::ConstVector::bit(Logic::One), &[], &[en]);
+    let ctr = net.add(
+        "ctr",
+        cells::Counter::new(8, Time::ZERO),
+        &[clk, rst, en],
+        &[q],
+    );
+    (net, ctr)
+}
+
+proptest! {
+    #[test]
+    fn adder_matches_integer_addition(a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let w = 32usize;
+        let mut net = Netlist::new();
+        let sa = net.signal("a", w);
+        let sb = net.signal("b", w);
+        let sc = net.signal("cin", 1);
+        let ss = net.signal("sum", w);
+        let sco = net.signal("cout", 1);
+        net.add("ca", cells::ConstVector::new(LogicVector::from_u64(a as u64, w)), &[], &[sa]);
+        net.add("cb", cells::ConstVector::new(LogicVector::from_u64(b as u64, w)), &[], &[sb]);
+        net.add("cc", cells::ConstVector::bit(Logic::from_bool(cin)), &[], &[sc]);
+        net.add("add", cells::Adder::new(w, Time::ZERO), &[sa, sb, sc], &[ss, sco]);
+        let mut sim = Simulator::new(net);
+        sim.run_until(Time::from_ns(1)).unwrap();
+        let full = a as u64 + b as u64 + cin as u64;
+        prop_assert_eq!(sim.value(ss).to_u64(), Some(full & 0xFFFF_FFFF));
+        prop_assert_eq!(sim.value(sco)[0], Logic::from_bool(full >> 32 == 1));
+    }
+
+    #[test]
+    fn counter_value_matches_edge_count(period_ns in 2i64..100, run_cycles in 1i64..60) {
+        let mut sim = Simulator::new(counter_bench(period_ns).0);
+        let t_end = Time::from_ns(period_ns * run_cycles);
+        sim.run_until(t_end).unwrap();
+        // Edges at period/2 + k*period that are <= t_end.
+        let half = Time::from_ns(period_ns) / 2;
+        let edges = if t_end < half {
+            0
+        } else {
+            (t_end - half) / Time::from_ns(period_ns) + 1
+        };
+        let q = sim.signal_id("q").unwrap();
+        prop_assert_eq!(sim.value(q).to_u64(), Some((edges as u64) & 0xFF));
+    }
+
+    #[test]
+    fn cloned_simulator_reproduces_identical_run(period_ns in 2i64..50, split_ns in 1i64..500) {
+        // Determinism: clone mid-run, finish both, traces must be identical.
+        let mut sim = Simulator::new(counter_bench(period_ns).0);
+        sim.monitor_name("q");
+        sim.run_until(Time::from_ns(split_ns)).unwrap();
+        let mut clone = sim.clone();
+        sim.run_until(Time::from_us(1)).unwrap();
+        clone.run_until(Time::from_us(1)).unwrap();
+        prop_assert_eq!(sim.trace(), clone.trace());
+    }
+
+    #[test]
+    fn transparent_saboteur_preserves_behaviour(period_ns in 2i64..50) {
+        let plain = {
+            let mut sim = Simulator::new(counter_bench(period_ns).0);
+            sim.monitor_name("q");
+            sim.run_until(Time::from_us(1)).unwrap();
+            sim.into_trace()
+        };
+        let instrumented = {
+            let mut net = counter_bench(period_ns).0;
+            let clk = net.signal_id("clk").unwrap();
+            net.insert_saboteur(clk, Box::new(DigitalSaboteur::new(1)));
+            let mut sim = Simulator::new(net);
+            sim.monitor_name("q");
+            sim.run_until(Time::from_us(1)).unwrap();
+            sim.into_trace()
+        };
+        // The counter output is bit-identical with and without the saboteur.
+        for bit in 0..8 {
+            let name = format!("q[{bit}]");
+            prop_assert_eq!(plain.digital(&name), instrumented.digital(&name));
+        }
+    }
+
+    #[test]
+    fn seu_flip_then_flip_back_restores_counter(flip_bit in 0usize..8) {
+        let (net, ctr) = counter_bench(10);
+        let mut sim = Simulator::new(net);
+        sim.run_until(Time::from_ns(101)).unwrap();
+        let before = sim.state_value(ctr).unwrap();
+        sim.flip_state(ctr, flip_bit);
+        sim.run_until(Time::from_ns(102)).unwrap();
+        prop_assert_eq!(sim.state_value(ctr), Some(before ^ (1 << flip_bit)));
+        sim.flip_state(ctr, flip_bit);
+        sim.run_until(Time::from_ns(103)).unwrap();
+        prop_assert_eq!(sim.state_value(ctr), Some(before));
+    }
+}

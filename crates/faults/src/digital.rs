@@ -1,0 +1,127 @@
+//! Fault models for digital blocks: the consequence of SETs and SEUs "in a
+//! synchronous digital block can be modeled at the functional level by one or
+//! several bit-flip(s)" (paper Section 2), plus the classical saboteur fault
+//! kinds (stuck-at, forced value, SET voltage pulses on interconnects).
+
+use amsfi_waves::{Logic, Time};
+use std::fmt;
+
+/// What a digital fault does to its target.
+///
+/// Bit-flips and forced states are applied by *mutants* (inside a component's
+/// memorised state); stuck-ats, forced values and SET pulses are applied by
+/// *saboteurs* (on interconnect signals) — the Section 3.2 dichotomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DigitalFaultKind {
+    /// Single-event upset: invert one memorised bit (mutant).
+    BitFlip,
+    /// Force a specific logic level for the fault duration (saboteur).
+    StuckAt(Logic),
+    /// Single-event transient: invert the signal value for `width`
+    /// (saboteur on a combinational interconnect).
+    SetPulse {
+        /// How long the inverted value is held.
+        width: Time,
+    },
+    /// Replace a multi-bit state with an arbitrary encoded value — the
+    /// "erroneous transitions in a finite state machine" model of \[11\]
+    /// (mutant).
+    ForceState {
+        /// The encoded state value to force.
+        value: u64,
+    },
+}
+
+impl fmt::Display for DigitalFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DigitalFaultKind::BitFlip => write!(f, "bit-flip"),
+            DigitalFaultKind::StuckAt(v) => write!(f, "stuck-at-{v}"),
+            DigitalFaultKind::SetPulse { width } => write!(f, "SET pulse ({width})"),
+            DigitalFaultKind::ForceState { value } => write!(f, "force-state({value:#x})"),
+        }
+    }
+}
+
+/// A digital fault: a kind plus its injection instant.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_faults::{DigitalFault, DigitalFaultKind};
+/// use amsfi_waves::Time;
+///
+/// let seu = DigitalFault::new(DigitalFaultKind::BitFlip, Time::from_us(170));
+/// assert_eq!(seu.to_string(), "bit-flip @ 170 us");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitalFault {
+    /// What the fault does.
+    pub kind: DigitalFaultKind,
+    /// When it strikes.
+    pub at: Time,
+}
+
+impl DigitalFault {
+    /// Creates a fault of `kind` striking at `at`.
+    pub fn new(kind: DigitalFaultKind, at: Time) -> Self {
+        DigitalFault { kind, at }
+    }
+
+    /// Convenience constructor for the most common fault: an SEU bit-flip.
+    pub fn bit_flip(at: Time) -> Self {
+        Self::new(DigitalFaultKind::BitFlip, at)
+    }
+
+    /// The time at which the fault's effect ends: the injection instant for
+    /// point faults (bit-flip, force-state), or `at + width` for timed kinds.
+    pub fn end(&self) -> Time {
+        match self.kind {
+            DigitalFaultKind::SetPulse { width } => self.at + width,
+            _ => self.at,
+        }
+    }
+}
+
+impl fmt::Display for DigitalFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.kind, self.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_of_point_faults_is_injection_time() {
+        let t = Time::from_ns(100);
+        assert_eq!(DigitalFault::bit_flip(t).end(), t);
+        assert_eq!(
+            DigitalFault::new(DigitalFaultKind::ForceState { value: 3 }, t).end(),
+            t
+        );
+    }
+
+    #[test]
+    fn end_of_set_pulse_includes_width() {
+        let f = DigitalFault::new(
+            DigitalFaultKind::SetPulse {
+                width: Time::from_ps(500),
+            },
+            Time::from_ns(100),
+        );
+        assert_eq!(f.end(), Time::from_ns(100) + Time::from_ps(500));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            DigitalFault::new(DigitalFaultKind::StuckAt(Logic::Zero), Time::from_ns(5)).to_string(),
+            "stuck-at-0 @ 5 ns"
+        );
+        assert!(DigitalFaultKind::ForceState { value: 0xAB }
+            .to_string()
+            .contains("0xab"));
+    }
+}

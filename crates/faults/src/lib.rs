@@ -1,0 +1,38 @@
+//! Transient and parametric fault models for the `amsfi` framework.
+//!
+//! Implements Section 2 of *Leveugle & Ammari, DATE 2004*:
+//!
+//! * [`TrapezoidPulse`] — the paper's proposed current-spike model for analog
+//!   blocks, parameterised by *(PA, RT, FT, PW)*;
+//! * [`DoubleExponential`] — the classical Messenger model it approximates,
+//!   with [`TrapezoidPulse::fit`] performing the Fig. 1b derivation;
+//! * [`DigitalFault`] / [`DigitalFaultKind`] — bit-flips (SEU), stuck-ats,
+//!   SET pulses and forced FSM states for digital blocks;
+//! * [`ParametricFault`] — the complementary equation-level faults of \[10\]
+//!   (process variation / aging), kept available per Section 4.1.
+//!
+//! # Example
+//!
+//! Building the paper's reference pulse and checking the charge a strike
+//! deposits:
+//!
+//! ```
+//! use amsfi_faults::{PulseShape, TrapezoidPulse};
+//!
+//! // Fig. 6: RT = 100 ps, FT = 300 ps, PW = 500 ps, PA = 10 mA.
+//! let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500)?;
+//! let pico_coulombs = pulse.charge() * 1e12;
+//! assert!((pico_coulombs - 6.0).abs() < 1e-9);
+//! # Ok::<(), amsfi_faults::InvalidPulseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod digital;
+mod parametric;
+mod pulse;
+
+pub use digital::{DigitalFault, DigitalFaultKind};
+pub use parametric::{ParamChange, ParametricFault};
+pub use pulse::{DoubleExponential, InvalidPulseError, PulseShape, TrapezoidPulse};

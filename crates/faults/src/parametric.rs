@@ -1,0 +1,133 @@
+//! Parametric faults in behavioural analog blocks.
+//!
+//! The paper contrasts its transient saboteurs with the earlier behavioural
+//! approach of \[10\], where faults are injected "by modifying the equations
+//! describing the behavior, i.e. by injecting parametric faults. Such faults
+//! can be representative of either process variations or circuit aging".
+//! Section 4.1 keeps them in the flow: "parametric fault injections can still
+//! be done, when significant, in the basic sub-blocks described at the
+//! behavioral level". This module provides that complementary model.
+
+use std::fmt;
+
+/// How a parameter value is perturbed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamChange {
+    /// Multiply the nominal value (e.g. `Scale(0.9)` = −10 % drift).
+    Scale(f64),
+    /// Add to the nominal value, in the parameter's unit.
+    Offset(f64),
+    /// Replace the nominal value outright.
+    Set(f64),
+}
+
+impl ParamChange {
+    /// Applies the change to a nominal value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amsfi_faults::ParamChange;
+    ///
+    /// assert_eq!(ParamChange::Scale(0.9).apply(100.0), 90.0);
+    /// assert_eq!(ParamChange::Offset(-5.0).apply(100.0), 95.0);
+    /// assert_eq!(ParamChange::Set(42.0).apply(100.0), 42.0);
+    /// ```
+    pub fn apply(&self, nominal: f64) -> f64 {
+        match *self {
+            ParamChange::Scale(k) => nominal * k,
+            ParamChange::Offset(d) => nominal + d,
+            ParamChange::Set(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for ParamChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParamChange::Scale(k) => write!(f, "×{k}"),
+            ParamChange::Offset(d) => write!(f, "{d:+}"),
+            ParamChange::Set(v) => write!(f, "={v}"),
+        }
+    }
+}
+
+/// A parametric fault: a named block parameter and how it deviates.
+///
+/// Unlike transients, a parametric fault is *permanent* for the whole run —
+/// it models process variation or aging, not a particle strike.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_faults::{ParamChange, ParametricFault};
+///
+/// let drift = ParametricFault::new("vco.gain_hz_per_v", ParamChange::Scale(0.8));
+/// assert_eq!(drift.apply(1e6), 8e5);
+/// assert_eq!(drift.to_string(), "vco.gain_hz_per_v ×0.8");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParametricFault {
+    parameter: String,
+    change: ParamChange,
+}
+
+impl ParametricFault {
+    /// Creates a fault on the parameter with the given hierarchical name.
+    pub fn new(parameter: impl Into<String>, change: ParamChange) -> Self {
+        ParametricFault {
+            parameter: parameter.into(),
+            change,
+        }
+    }
+
+    /// The hierarchical name of the targeted parameter.
+    pub fn parameter(&self) -> &str {
+        &self.parameter
+    }
+
+    /// The deviation applied to the parameter.
+    pub fn change(&self) -> ParamChange {
+        self.change
+    }
+
+    /// Applies the deviation to the parameter's nominal value.
+    pub fn apply(&self, nominal: f64) -> f64 {
+        self.change.apply(nominal)
+    }
+}
+
+impl fmt::Display for ParametricFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.parameter, self.change)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn changes_compose_with_nominals() {
+        assert_eq!(ParamChange::Scale(2.0).apply(3.0), 6.0);
+        assert_eq!(ParamChange::Offset(0.5).apply(3.0), 3.5);
+        assert_eq!(ParamChange::Set(-1.0).apply(3.0), -1.0);
+    }
+
+    #[test]
+    fn fault_carries_target_name() {
+        let f = ParametricFault::new("filter.r_ohm", ParamChange::Offset(100.0));
+        assert_eq!(f.parameter(), "filter.r_ohm");
+        assert_eq!(f.apply(1_000.0), 1_100.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ParamChange::Offset(-5.0).to_string(), "-5");
+        assert_eq!(ParamChange::Set(2.5).to_string(), "=2.5");
+        assert_eq!(
+            ParametricFault::new("a.b", ParamChange::Scale(1.1)).to_string(),
+            "a.b ×1.1"
+        );
+    }
+}

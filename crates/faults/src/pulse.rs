@@ -1,0 +1,564 @@
+//! Current-spike models for transients in analog blocks.
+//!
+//! Section 2 of the paper: at the electrical level a SET/SEU is a current
+//! spike provoked by ionisation. The classical reference shape is the
+//! [`DoubleExponential`] of Messenger; the paper proposes the simpler
+//! trapezoidal model [`TrapezoidPulse`] with parameters *(PA, RT, FT, PW)*
+//! whose values "can be derived from the classical double exponential model"
+//! (Fig. 1b) — see [`TrapezoidPulse::fit`].
+
+use amsfi_waves::{AnalogWave, Time};
+use std::fmt;
+
+/// A time-domain current pulse: a transient current (in amperes) as a
+/// function of the time elapsed since the injection instant.
+///
+/// Implementors are the paper's two spike models. The trait is object-safe so
+/// saboteurs can hold any shape behind `Box<dyn PulseShape>`.
+pub trait PulseShape: fmt::Debug + Send + Sync {
+    /// Instantaneous current `elapsed` after the injection time. Zero before
+    /// the injection and after the pulse dies out.
+    fn current(&self, elapsed: Time) -> f64;
+
+    /// The time after which the current is (essentially) zero. Saboteurs use
+    /// it to bound the interval needing refined time steps.
+    fn support(&self) -> Time;
+
+    /// Total injected charge in coulombs (the integral of the current).
+    fn charge(&self) -> f64;
+
+    /// Peak current in amperes.
+    fn peak(&self) -> f64;
+
+    /// Samples the pulse into a waveform with `steps` uniform points over its
+    /// support, for plotting (used by the Fig. 1 experiment).
+    fn to_wave(&self, steps: usize) -> AnalogWave {
+        let support = self.support();
+        let n = steps.max(2);
+        (0..=n)
+            .map(|i| {
+                let t = Time::from_fs(support.as_fs() * i as i64 / n as i64);
+                (t, self.current(t))
+            })
+            .collect()
+    }
+}
+
+/// The paper's proposed trapezoidal current-pulse model (Fig. 1a).
+///
+/// Parameters follow the paper exactly:
+///
+/// * `PA` — pulse amplitude (A);
+/// * `RT` — rising time: current ramps linearly from 0 to `PA`;
+/// * `PW` — pulse width: the duration of the injection control signal. The
+///   plateau therefore lasts `PW - RT` (the VHDL-AMS saboteur of the paper's
+///   Fig. 4 ramps while the control signal is asserted for `PW`);
+/// * `FT` — falling time: after `PW`, current ramps linearly back to 0.
+///
+/// The paper's reference pulse is `(PA, RT, FT, PW) = (10 mA, 100 ps, 300 ps,
+/// 500 ps)`.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_faults::{PulseShape, TrapezoidPulse};
+/// use amsfi_waves::Time;
+///
+/// let pulse = TrapezoidPulse::new(
+///     10e-3,
+///     Time::from_ps(100),
+///     Time::from_ps(300),
+///     Time::from_ps(500),
+/// )?;
+/// assert_eq!(pulse.peak(), 10e-3);
+/// assert_eq!(pulse.current(Time::from_ps(50)), 5e-3); // mid-rise
+/// assert_eq!(pulse.current(Time::from_ps(300)), 10e-3); // plateau
+/// assert_eq!(pulse.support(), Time::from_ps(800)); // PW + FT
+/// # Ok::<(), amsfi_faults::InvalidPulseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrapezoidPulse {
+    amplitude: f64,
+    rise: Time,
+    fall: Time,
+    width: Time,
+}
+
+/// Error returned when pulse parameters are inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidPulseError {
+    reason: String,
+}
+
+impl InvalidPulseError {
+    fn new(reason: impl Into<String>) -> Self {
+        InvalidPulseError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvalidPulseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pulse parameters: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidPulseError {}
+
+impl TrapezoidPulse {
+    /// Creates a trapezoid pulse from the paper's parameters
+    /// `(PA, RT, FT, PW)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPulseError`] when `PA` is not finite, any time is
+    /// negative, `RT` is zero (the ramp would be a discontinuity), or
+    /// `PW < RT` (the plateau would be negative).
+    pub fn new(
+        amplitude: f64,
+        rise: Time,
+        fall: Time,
+        width: Time,
+    ) -> Result<Self, InvalidPulseError> {
+        if !amplitude.is_finite() {
+            return Err(InvalidPulseError::new("amplitude must be finite"));
+        }
+        if rise <= Time::ZERO {
+            return Err(InvalidPulseError::new("rise time must be positive"));
+        }
+        if fall < Time::ZERO || width < Time::ZERO {
+            return Err(InvalidPulseError::new("times must be non-negative"));
+        }
+        if width < rise {
+            return Err(InvalidPulseError::new(format!(
+                "pulse width {width} is shorter than rise time {rise}"
+            )));
+        }
+        Ok(TrapezoidPulse {
+            amplitude,
+            rise,
+            fall,
+            width,
+        })
+    }
+
+    /// Convenience constructor taking amplitude in milliamperes and times in
+    /// picoseconds, matching how the paper quotes parameter sets, e.g.
+    /// `TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrapezoidPulse::new`].
+    pub fn from_ma_ps(
+        pa_ma: f64,
+        rt_ps: i64,
+        ft_ps: i64,
+        pw_ps: i64,
+    ) -> Result<Self, InvalidPulseError> {
+        Self::new(
+            pa_ma * 1e-3,
+            Time::from_ps(rt_ps),
+            Time::from_ps(ft_ps),
+            Time::from_ps(pw_ps),
+        )
+    }
+
+    /// Pulse amplitude `PA` in amperes.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Rising time `RT`.
+    pub fn rise(&self) -> Time {
+        self.rise
+    }
+
+    /// Falling time `FT`.
+    pub fn fall(&self) -> Time {
+        self.fall
+    }
+
+    /// Pulse width `PW` (duration of the injection control signal).
+    pub fn width(&self) -> Time {
+        self.width
+    }
+
+    /// Fits a trapezoid to a double-exponential spike, as the paper's
+    /// Fig. 1b: same peak amplitude, a rise time equal to the
+    /// double-exponential's time-to-peak, a plateau while the spike stays
+    /// above 90 % of its peak, and a fall time chosen so the **total charge
+    /// matches to femtosecond rounding**.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amsfi_faults::{DoubleExponential, PulseShape, TrapezoidPulse};
+    /// use amsfi_waves::Time;
+    ///
+    /// let de = DoubleExponential::from_peak(
+    ///     10e-3,
+    ///     Time::from_ps(50),
+    ///     Time::from_ps(200),
+    /// )?;
+    /// let trap = TrapezoidPulse::fit(&de);
+    /// assert!((trap.charge() - de.charge()).abs() / de.charge() < 1e-5);
+    /// assert!((trap.peak() - de.peak()).abs() < 1e-12);
+    /// # Ok::<(), amsfi_faults::InvalidPulseError>(())
+    /// ```
+    pub fn fit(de: &DoubleExponential) -> TrapezoidPulse {
+        let pa = de.peak();
+        let rt = de.time_to_peak().max(Time::RESOLUTION);
+        // Plateau: while the double exponential stays above 90 % of its peak.
+        let t90 = de.decay_to(0.9 * pa.abs());
+        let mut pw = t90.max(rt);
+        // Charge of a trapezoid: PA * (PW - RT/2 + FT/2).
+        // Solve for FT to conserve charge.
+        let target = de.charge() / pa;
+        let mut ft_secs = 2.0 * (target - (pw - rt / 2).as_secs_f64());
+        if ft_secs <= 0.0 {
+            // The plateau alone already exceeds the charge budget: shrink the
+            // plateau to zero (PW = RT) and put everything in the fall.
+            pw = rt;
+            ft_secs = 2.0 * (target - (rt / 2).as_secs_f64());
+        }
+        let ft = Time::from_secs_f64(ft_secs.max(0.0));
+        TrapezoidPulse {
+            amplitude: pa,
+            rise: rt,
+            fall: ft,
+            width: pw,
+        }
+    }
+}
+
+impl PulseShape for TrapezoidPulse {
+    fn current(&self, elapsed: Time) -> f64 {
+        if elapsed < Time::ZERO {
+            0.0
+        } else if elapsed < self.rise {
+            self.amplitude * elapsed.as_fs() as f64 / self.rise.as_fs() as f64
+        } else if elapsed <= self.width {
+            self.amplitude
+        } else if elapsed < self.width + self.fall {
+            let into_fall = (elapsed - self.width).as_fs() as f64;
+            self.amplitude * (1.0 - into_fall / self.fall.as_fs() as f64)
+        } else {
+            0.0
+        }
+    }
+
+    fn support(&self) -> Time {
+        self.width + self.fall
+    }
+
+    fn charge(&self) -> f64 {
+        // Trapezoid area: plateau (PW - RT) at PA, plus the two ramps.
+        self.amplitude
+            * ((self.width - self.rise).as_secs_f64()
+                + 0.5 * self.rise.as_secs_f64()
+                + 0.5 * self.fall.as_secs_f64())
+    }
+
+    fn peak(&self) -> f64 {
+        self.amplitude
+    }
+}
+
+impl fmt::Display for TrapezoidPulse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trapezoid(PA={:.3} mA, RT={}, FT={}, PW={})",
+            self.amplitude * 1e3,
+            self.rise,
+            self.fall,
+            self.width
+        )
+    }
+}
+
+/// The classical double-exponential current spike of Messenger (1982),
+/// reference \[12\] of the paper:
+///
+/// `I(t) = I₀ · (e^(−t/τf) − e^(−t/τr))`
+///
+/// with `τr < τf` (`τr` shapes the fast rise, `τf` the slow fall).
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_faults::{DoubleExponential, PulseShape};
+/// use amsfi_waves::Time;
+///
+/// let de = DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200))?;
+/// assert!((de.peak() - 10e-3).abs() < 1e-12);
+/// assert!(de.current(de.time_to_peak()) > de.current(Time::from_ps(1)));
+/// # Ok::<(), amsfi_faults::InvalidPulseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoubleExponential {
+    scale: f64, // I₀
+    tau_rise: Time,
+    tau_fall: Time,
+}
+
+impl DoubleExponential {
+    /// Creates a spike from the raw scale factor `I₀` and time constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPulseError`] if the time constants are not positive
+    /// or `tau_rise >= tau_fall`.
+    pub fn new(scale: f64, tau_rise: Time, tau_fall: Time) -> Result<Self, InvalidPulseError> {
+        if !scale.is_finite() {
+            return Err(InvalidPulseError::new("scale must be finite"));
+        }
+        if tau_rise <= Time::ZERO || tau_fall <= Time::ZERO {
+            return Err(InvalidPulseError::new("time constants must be positive"));
+        }
+        if tau_rise >= tau_fall {
+            return Err(InvalidPulseError::new(format!(
+                "tau_rise {tau_rise} must be smaller than tau_fall {tau_fall}"
+            )));
+        }
+        Ok(DoubleExponential {
+            scale,
+            tau_rise,
+            tau_fall,
+        })
+    }
+
+    /// Creates a spike with the given *peak* current, solving for `I₀`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DoubleExponential::new`].
+    pub fn from_peak(peak: f64, tau_rise: Time, tau_fall: Time) -> Result<Self, InvalidPulseError> {
+        let unit = DoubleExponential::new(1.0, tau_rise, tau_fall)?;
+        let unit_peak = unit.current(unit.time_to_peak());
+        DoubleExponential::new(peak / unit_peak, tau_rise, tau_fall)
+    }
+
+    /// Creates a spike depositing the given total *charge* (coulombs),
+    /// solving for `I₀`. This is the natural parameterisation for particle
+    /// strikes, where the collected charge is the physical quantity.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DoubleExponential::new`].
+    pub fn from_charge(
+        charge: f64,
+        tau_rise: Time,
+        tau_fall: Time,
+    ) -> Result<Self, InvalidPulseError> {
+        // ∫(e^(−t/τf) − e^(−t/τr)) dt = τf − τr
+        let area = tau_fall.as_secs_f64() - tau_rise.as_secs_f64();
+        DoubleExponential::new(charge / area, tau_rise, tau_fall)
+    }
+
+    /// The rise time constant `τr`.
+    pub fn tau_rise(&self) -> Time {
+        self.tau_rise
+    }
+
+    /// The fall time constant `τf`.
+    pub fn tau_fall(&self) -> Time {
+        self.tau_fall
+    }
+
+    /// Time at which the current peaks:
+    /// `t_peak = (τr·τf / (τf − τr)) · ln(τf/τr)`.
+    pub fn time_to_peak(&self) -> Time {
+        let tr = self.tau_rise.as_secs_f64();
+        let tf = self.tau_fall.as_secs_f64();
+        Time::from_secs_f64(tr * tf / (tf - tr) * (tf / tr).ln())
+    }
+
+    /// The first time after the peak at which the current decays below
+    /// `level` (amperes, compared in magnitude). Found by bisection.
+    pub fn decay_to(&self, level: f64) -> Time {
+        let level = level.abs();
+        let peak_t = self.time_to_peak();
+        if self.current(peak_t).abs() <= level {
+            return peak_t;
+        }
+        // Exponential decay: bracket generously then bisect.
+        let mut lo = peak_t;
+        let mut hi = peak_t + self.tau_fall * 64;
+        while self.current(hi).abs() > level {
+            hi += self.tau_fall * 64;
+        }
+        for _ in 0..128 {
+            let mid = lo + (hi - lo) / 2;
+            if self.current(mid).abs() > level {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= Time::RESOLUTION {
+                break;
+            }
+        }
+        hi
+    }
+}
+
+impl PulseShape for DoubleExponential {
+    fn current(&self, elapsed: Time) -> f64 {
+        if elapsed < Time::ZERO {
+            return 0.0;
+        }
+        let t = elapsed.as_secs_f64();
+        self.scale
+            * ((-t / self.tau_fall.as_secs_f64()).exp() - (-t / self.tau_rise.as_secs_f64()).exp())
+    }
+
+    fn support(&self) -> Time {
+        // Below 10⁻⁶ of the peak the contribution is negligible.
+        self.decay_to(1e-6 * self.peak().abs())
+    }
+
+    fn charge(&self) -> f64 {
+        self.scale * (self.tau_fall.as_secs_f64() - self.tau_rise.as_secs_f64())
+    }
+
+    fn peak(&self) -> f64 {
+        self.current(self.time_to_peak())
+    }
+}
+
+impl fmt::Display for DoubleExponential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "double-exp(peak={:.3} mA, tau_r={}, tau_f={})",
+            self.peak() * 1e3,
+            self.tau_rise,
+            self.tau_fall
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_pulse() -> TrapezoidPulse {
+        TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500).unwrap()
+    }
+
+    #[test]
+    fn trapezoid_shape_matches_paper_parameters() {
+        let p = paper_pulse();
+        assert_eq!(p.current(Time::ZERO), 0.0);
+        assert!((p.current(Time::from_ps(50)) - 5e-3).abs() < 1e-12);
+        assert!((p.current(Time::from_ps(100)) - 10e-3).abs() < 1e-12);
+        assert!((p.current(Time::from_ps(400)) - 10e-3).abs() < 1e-12);
+        assert!((p.current(Time::from_ps(500)) - 10e-3).abs() < 1e-12);
+        // Mid-fall: 150 ps into the 300 ps fall.
+        assert!((p.current(Time::from_ps(650)) - 5e-3).abs() < 1e-12);
+        assert_eq!(p.current(Time::from_ps(800)), 0.0);
+        assert_eq!(p.current(Time::from_ps(900)), 0.0);
+    }
+
+    #[test]
+    fn trapezoid_charge_is_area() {
+        let p = paper_pulse();
+        // PA * (plateau 400ps + rise/2 50ps + fall/2 150ps) = 10mA * 600ps
+        assert!((p.charge() - 10e-3 * 600e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn trapezoid_validation() {
+        assert!(TrapezoidPulse::from_ma_ps(10.0, 0, 300, 500).is_err());
+        assert!(TrapezoidPulse::from_ma_ps(10.0, 600, 300, 500).is_err());
+        assert!(
+            TrapezoidPulse::new(f64::NAN, Time::from_ps(1), Time::ZERO, Time::from_ps(1)).is_err()
+        );
+        // Negative amplitude is legal: spikes can pull current out of a node.
+        assert!(TrapezoidPulse::from_ma_ps(-10.0, 100, 300, 500).is_ok());
+    }
+
+    #[test]
+    fn double_exp_peak_location_and_value() {
+        let de =
+            DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        let tp = de.time_to_peak();
+        assert!((de.current(tp) - 10e-3).abs() < 1e-9);
+        // The peak is a maximum: neighbours are lower.
+        assert!(de.current(tp - Time::from_ps(5)) < de.current(tp));
+        assert!(de.current(tp + Time::from_ps(5)) < de.current(tp));
+    }
+
+    #[test]
+    fn double_exp_charge_parameterisation() {
+        let q = 1e-12; // 1 pC
+        let de = DoubleExponential::from_charge(q, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        assert!((de.charge() - q).abs() / q < 1e-12);
+    }
+
+    #[test]
+    fn double_exp_validation() {
+        assert!(DoubleExponential::new(1.0, Time::from_ps(200), Time::from_ps(50)).is_err());
+        assert!(DoubleExponential::new(1.0, Time::ZERO, Time::from_ps(50)).is_err());
+    }
+
+    #[test]
+    fn double_exp_decay_to_is_after_peak() {
+        let de =
+            DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        let half = de.decay_to(5e-3);
+        assert!(half > de.time_to_peak());
+        assert!((de.current(half) - 5e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_conserves_charge_and_peak() {
+        let de =
+            DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        let trap = TrapezoidPulse::fit(&de);
+        assert!((trap.peak() - de.peak()).abs() < 1e-12);
+        assert!(
+            (trap.charge() - de.charge()).abs() / de.charge() < 1e-5,
+            "trap {} vs de {}",
+            trap.charge(),
+            de.charge()
+        );
+    }
+
+    #[test]
+    fn fit_of_negative_spike() {
+        let de =
+            DoubleExponential::from_peak(-10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        let trap = TrapezoidPulse::fit(&de);
+        assert!(trap.peak() < 0.0);
+        assert!((trap.charge() - de.charge()).abs() / de.charge().abs() < 1e-5);
+    }
+
+    #[test]
+    fn to_wave_samples_the_support() {
+        let p = paper_pulse();
+        let w = p.to_wave(100);
+        assert_eq!(w.end_time(), Some(Time::from_ps(800)));
+        let max = w.max().unwrap();
+        assert!((max - 10e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn support_of_double_exp_is_finite_and_late() {
+        let de =
+            DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        let s = de.support();
+        assert!(s > de.time_to_peak());
+        assert!(de.current(s).abs() <= 1.0001e-6 * de.peak());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(paper_pulse().to_string().contains("10.000 mA"));
+        let de =
+            DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        assert!(de.to_string().contains("tau_f"));
+    }
+}

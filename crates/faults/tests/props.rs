@@ -1,0 +1,101 @@
+//! Property-based tests for the pulse models.
+
+use amsfi_faults::{DoubleExponential, PulseShape, TrapezoidPulse};
+use amsfi_waves::Time;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn trapezoid_current_never_exceeds_amplitude(
+        pa_ma in 0.1f64..50.0,
+        rt in 10i64..1_000,
+        ft in 0i64..1_000,
+        extra in 0i64..2_000,
+        frac in 0.0f64..1.5,
+    ) {
+        let pw = rt + extra;
+        let p = TrapezoidPulse::from_ma_ps(pa_ma, rt, ft, pw).unwrap();
+        let t = Time::from_fs((p.support().as_fs() as f64 * frac) as i64);
+        let i = p.current(t);
+        prop_assert!(i >= -1e-18 && i <= p.amplitude() + 1e-18);
+    }
+
+    #[test]
+    fn trapezoid_charge_matches_numeric_integral(
+        pa_ma in 0.1f64..50.0,
+        rt in 10i64..1_000,
+        ft in 1i64..1_000,
+        extra in 0i64..2_000,
+    ) {
+        let p = TrapezoidPulse::from_ma_ps(pa_ma, rt, ft, rt + extra).unwrap();
+        // Midpoint-rule integration over the support.
+        let n = 20_000;
+        let dt = p.support().as_secs_f64() / n as f64;
+        let mut q = 0.0;
+        for i in 0..n {
+            let t = Time::from_secs_f64((i as f64 + 0.5) * dt);
+            q += p.current(t) * dt;
+        }
+        let rel = (q - p.charge()).abs() / p.charge();
+        prop_assert!(rel < 1e-3, "numeric {q} vs analytic {}", p.charge());
+    }
+
+    #[test]
+    fn double_exp_charge_matches_numeric_integral(
+        peak_ma in 0.5f64..50.0,
+        tr in 10i64..200,
+        extra in 10i64..2_000,
+    ) {
+        let de = DoubleExponential::from_peak(
+            peak_ma * 1e-3,
+            Time::from_ps(tr),
+            Time::from_ps(tr + extra),
+        ).unwrap();
+        let n = 50_000;
+        let dt = de.support().as_secs_f64() / n as f64;
+        let mut q = 0.0;
+        for i in 0..n {
+            let t = Time::from_secs_f64((i as f64 + 0.5) * dt);
+            q += de.current(t) * dt;
+        }
+        let rel = (q - de.charge()).abs() / de.charge();
+        prop_assert!(rel < 1e-2, "numeric {q} vs analytic {}", de.charge());
+    }
+
+    #[test]
+    fn fit_preserves_peak_and_charge(
+        peak_ma in 0.5f64..50.0,
+        tr in 10i64..200,
+        extra in 10i64..2_000,
+    ) {
+        let de = DoubleExponential::from_peak(
+            peak_ma * 1e-3,
+            Time::from_ps(tr),
+            Time::from_ps(tr + extra),
+        ).unwrap();
+        let trap = TrapezoidPulse::fit(&de);
+        prop_assert!((trap.peak() - de.peak()).abs() / de.peak() < 1e-9);
+        prop_assert!(
+            (trap.charge() - de.charge()).abs() / de.charge() < 1e-3,
+            "trap charge {} vs de charge {}", trap.charge(), de.charge()
+        );
+    }
+
+    #[test]
+    fn double_exp_is_unimodal(
+        peak_ma in 0.5f64..50.0,
+        tr in 10i64..200,
+        extra in 10i64..2_000,
+    ) {
+        let de = DoubleExponential::from_peak(
+            peak_ma * 1e-3,
+            Time::from_ps(tr),
+            Time::from_ps(tr + extra),
+        ).unwrap();
+        let tp = de.time_to_peak();
+        // Rising before the peak, falling after.
+        let quarter = Time::from_fs(tp.as_fs() / 4);
+        prop_assert!(de.current(quarter) < de.current(tp - quarter) + 1e-18);
+        prop_assert!(de.current(tp + tp) > de.current(tp + tp * 3) - 1e-18);
+    }
+}

@@ -1,0 +1,271 @@
+//! Domain-boundary converters: the digitizer (analog → digital) and the
+//! level driver (digital → analog).
+
+use amsfi_analog::NodeId;
+use amsfi_digital::SignalId;
+use amsfi_waves::{Logic, Time};
+
+/// Digital-to-analog boundary: maps a digital signal's logic level onto an
+/// analog voltage node (zero-order hold, refreshed every synchronisation
+/// step).
+#[derive(Debug, Clone)]
+pub struct LevelDriver {
+    pub(crate) signal: SignalId,
+    pub(crate) bit: usize,
+    pub(crate) node: NodeId,
+    v_low: f64,
+    v_high: f64,
+    v_undefined: f64,
+}
+
+impl LevelDriver {
+    /// Creates a driver translating `signal` (a scalar) onto `node` with the
+    /// given rails. Metalogical values drive the mid-rail.
+    pub fn new(signal: SignalId, node: NodeId, v_low: f64, v_high: f64) -> Self {
+        Self::for_bit(signal, 0, node, v_low, v_high)
+    }
+
+    /// Creates a driver translating bit `bit` of a bus signal onto `node`
+    /// (e.g. one bit of a DAC code).
+    pub fn for_bit(signal: SignalId, bit: usize, node: NodeId, v_low: f64, v_high: f64) -> Self {
+        LevelDriver {
+            signal,
+            bit,
+            node,
+            v_low,
+            v_high,
+            v_undefined: 0.5 * (v_low + v_high),
+        }
+    }
+
+    /// The analog voltage for a logic level.
+    pub fn level(&self, value: Logic) -> f64 {
+        match value.to_bool() {
+            Some(true) => self.v_high,
+            Some(false) => self.v_low,
+            None => self.v_undefined,
+        }
+    }
+}
+
+/// Analog-to-digital boundary: the "Digitizer" of the paper's Fig. 5
+/// (a comparator with a 2.5 V threshold feeding the digital domain).
+///
+/// On each synchronisation step the digitizer compares the node value
+/// against its threshold (with hysteresis); when a crossing occurred inside
+/// the step it linearly interpolates the crossing instant and injects the new
+/// logic level into the digital simulator at that exact time — the analog
+/// step size therefore bounds the *detection* latency but not the *timing*
+/// resolution of the generated clock edge.
+#[derive(Debug, Clone)]
+pub struct Digitizer {
+    pub(crate) node: NodeId,
+    pub(crate) signal: SignalId,
+    threshold: f64,
+    hysteresis: f64,
+    state_high: Option<bool>,
+    /// Schmitt-trigger re-arm flag: after firing an edge, the opposite edge
+    /// only fires once the signal has cleared the guard band on the new
+    /// side, so noise around the threshold cannot chatter.
+    armed: bool,
+    /// When false, edges are stamped at the end of the detecting step
+    /// instead of the interpolated crossing instant (the ablation knob for
+    /// DESIGN.md's "crossing refinement" decision).
+    interpolate: bool,
+}
+
+/// A crossing detected by a [`Digitizer`] during one synchronisation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectedEdge {
+    /// Interpolated crossing instant.
+    pub at: Time,
+    /// The new logic level.
+    pub level: Logic,
+}
+
+impl Digitizer {
+    /// Creates a digitizer thresholding `node` at `threshold` (full
+    /// hysteresis band `hysteresis`) and driving `signal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis` is negative.
+    pub fn new(node: NodeId, signal: SignalId, threshold: f64, hysteresis: f64) -> Self {
+        assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
+        Digitizer {
+            node,
+            signal,
+            threshold,
+            hysteresis,
+            state_high: None,
+            armed: false,
+            interpolate: true,
+        }
+    }
+
+    /// Enables or disables crossing-time interpolation (enabled by default;
+    /// disabling quantises edge times to the synchronisation grid).
+    pub fn set_interpolation(&mut self, enabled: bool) {
+        self.interpolate = enabled;
+    }
+
+    /// The level corresponding to the initial node value (called once before
+    /// the first step to seed the digital side).
+    pub(crate) fn initial_level(&mut self, v: f64) -> Logic {
+        let high = v > self.threshold;
+        self.state_high = Some(high);
+        self.armed = self.arm_condition(high, v);
+        Logic::from_bool(high)
+    }
+
+    /// To fire the next edge out of state `high`, the signal must first sit
+    /// clear of the guard band on the current side.
+    fn arm_condition(&self, high: bool, v: f64) -> bool {
+        let half = self.hysteresis / 2.0;
+        if high {
+            v >= self.threshold + half
+        } else {
+            v <= self.threshold - half
+        }
+    }
+
+    /// Examines one analog step from `(t0, v0)` to `(t1, v1)` and returns
+    /// the detected edge, if any.
+    ///
+    /// The digitizer is a Schmitt trigger with *undelayed* timing: the edge
+    /// fires in the same step the raw threshold is crossed, at the linearly
+    /// interpolated crossing instant (so the timing is never deferred past
+    /// the co-simulation catch-up point), and the guard band is used only to
+    /// RE-ARM — after an edge, the opposite edge cannot fire until the
+    /// signal has cleared `threshold ± hysteresis/2` on the new side.
+    pub(crate) fn check(&mut self, t0: Time, v0: f64, t1: Time, v1: f64) -> Option<DetectedEdge> {
+        let state = *self.state_high.get_or_insert(v0 > self.threshold);
+        let half = self.hysteresis / 2.0;
+        if !self.armed {
+            self.armed = self.arm_condition(state, v0) || self.arm_condition(state, v1);
+        }
+        // A crossing clear beyond the full band always fires, armed or not:
+        // otherwise a small overshoot that crossed the threshold without
+        // clearing the band would leave the trigger disarmed forever.
+        let crossed_hard = if state {
+            v1 < self.threshold - half
+        } else {
+            v1 > self.threshold + half
+        };
+        let crossed = if state {
+            v1 < self.threshold
+        } else {
+            v1 > self.threshold
+        };
+        if !(crossed_hard || (self.armed && crossed)) {
+            return None;
+        }
+        let new_high = !state;
+        self.state_high = Some(new_high);
+        self.armed = self.arm_condition(new_high, v1);
+        let frac = if !self.interpolate || (v1 - v0).abs() < f64::EPSILON {
+            1.0
+        } else {
+            ((self.threshold - v0) / (v1 - v0)).clamp(0.0, 1.0)
+        };
+        let dt_fs = ((t1 - t0).as_fs() as f64 * frac).round() as i64;
+        Some(DetectedEdge {
+            at: t0 + Time::from_fs(dt_fs.max(1)),
+            level: Logic::from_bool(new_high),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (NodeId, SignalId) {
+        // Build real ids through the public constructors of each domain.
+        let mut ckt = amsfi_analog::AnalogCircuit::new();
+        let node = ckt.node("n", amsfi_analog::NodeKind::Voltage);
+        let mut net = amsfi_digital::Netlist::new();
+        let sig = net.signal("s", 1);
+        (node, sig)
+    }
+
+    #[test]
+    fn level_driver_maps_rails() {
+        let (node, sig) = ids();
+        let d = LevelDriver::new(sig, node, 0.0, 5.0);
+        assert_eq!(d.level(Logic::One), 5.0);
+        assert_eq!(d.level(Logic::WeakZero), 0.0);
+        assert_eq!(d.level(Logic::Unknown), 2.5);
+    }
+
+    #[test]
+    fn digitizer_interpolates_crossing_time() {
+        let (node, sig) = ids();
+        let mut dz = Digitizer::new(node, sig, 2.5, 0.2);
+        assert_eq!(dz.initial_level(0.0), Logic::Zero);
+        // Step from 0 V to 5 V over 10 ns: threshold crossed at 5 ns.
+        let edge = dz
+            .check(Time::ZERO, 0.0, Time::from_ns(10), 5.0)
+            .expect("edge");
+        assert_eq!(edge.at, Time::from_ns(5));
+        assert_eq!(edge.level, Logic::One);
+    }
+
+    #[test]
+    fn digitizer_hysteresis_prevents_retrigger_chatter() {
+        let (node, sig) = ids();
+        let mut dz = Digitizer::new(node, sig, 2.5, 0.4);
+        dz.initial_level(0.0);
+        // First crossing fires immediately (timing is never deferred)...
+        let edge = dz
+            .check(Time::ZERO, 2.4, Time::from_ns(1), 2.6)
+            .expect("fires");
+        assert_eq!(edge.level, Logic::One);
+        // ...but noise recrossing the threshold inside the band is silent:
+        // the falling edge is not armed until v >= 2.7 was seen.
+        assert!(dz
+            .check(Time::from_ns(1), 2.6, Time::from_ns(2), 2.45)
+            .is_none());
+        assert!(dz
+            .check(Time::from_ns(2), 2.45, Time::from_ns(3), 2.6)
+            .is_none());
+        // Clearing the band re-arms; the next true falling edge fires.
+        assert!(dz
+            .check(Time::from_ns(3), 2.6, Time::from_ns(4), 2.9)
+            .is_none());
+        let down = dz
+            .check(Time::from_ns(4), 2.9, Time::from_ns(5), 2.2)
+            .expect("fires");
+        assert_eq!(down.level, Logic::Zero);
+    }
+
+    #[test]
+    fn digitizer_alternates_directions() {
+        let (node, sig) = ids();
+        let mut dz = Digitizer::new(node, sig, 2.5, 0.0);
+        dz.initial_level(0.0);
+        let up = dz.check(Time::ZERO, 0.0, Time::from_ns(1), 5.0).unwrap();
+        assert_eq!(up.level, Logic::One);
+        // Still high: no new rising edge.
+        assert!(dz
+            .check(Time::from_ns(1), 5.0, Time::from_ns(2), 5.0)
+            .is_none());
+        let down = dz
+            .check(Time::from_ns(2), 5.0, Time::from_ns(3), 0.0)
+            .unwrap();
+        assert_eq!(down.level, Logic::Zero);
+    }
+
+    #[test]
+    fn crossing_time_is_strictly_after_step_start() {
+        let (node, sig) = ids();
+        let mut dz = Digitizer::new(node, sig, 2.5, 0.0);
+        dz.initial_level(0.0);
+        // v0 already at threshold: frac = 0 would inject *at* t0, which the
+        // digital simulator may have passed; the digitizer nudges by 1 fs.
+        let edge = dz
+            .check(Time::from_ns(5), 2.5, Time::from_ns(6), 5.0)
+            .unwrap();
+        assert!(edge.at > Time::from_ns(5));
+    }
+}

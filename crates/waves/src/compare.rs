@@ -1,0 +1,376 @@
+//! Golden-vs-faulty trace comparison with analog tolerance.
+//!
+//! Section 4.1 of the paper: when analog nodes are monitored "it may be
+//! necessary to define an additional tolerance on the values, in order to
+//! avoid non significant error identifications". [`Tolerance`] implements
+//! that check; the comparison functions report where and when waves diverge.
+
+use crate::{AnalogWave, DigitalWave, Time};
+
+/// Acceptance band for comparing analog quantities.
+///
+/// Two values `a` (golden) and `b` (faulty) match when
+/// `|a - b| <= absolute + relative * |a|`.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::Tolerance;
+///
+/// let tol = Tolerance::new(1e-3, 0.01);
+/// assert!(tol.matches(2.5, 2.52));
+/// assert!(!tol.matches(2.5, 2.6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute tolerance in the quantity's unit.
+    pub absolute: f64,
+    /// Relative tolerance as a fraction of the golden value.
+    pub relative: f64,
+}
+
+impl Tolerance {
+    /// Creates a tolerance with both an absolute floor and a relative band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is negative or non-finite.
+    pub fn new(absolute: f64, relative: f64) -> Self {
+        assert!(
+            absolute >= 0.0 && relative >= 0.0 && absolute.is_finite() && relative.is_finite(),
+            "tolerances must be finite and non-negative"
+        );
+        Tolerance { absolute, relative }
+    }
+
+    /// A purely absolute tolerance.
+    pub fn absolute(value: f64) -> Self {
+        Self::new(value, 0.0)
+    }
+
+    /// Exact comparison (zero tolerance).
+    pub fn exact() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// True when `faulty` is within tolerance of `golden`.
+    pub fn matches(&self, golden: f64, faulty: f64) -> bool {
+        (golden - faulty).abs() <= self.absolute + self.relative * golden.abs()
+    }
+}
+
+impl Default for Tolerance {
+    /// 1 mV/mA absolute with 0.1 % relative: a sensible default for
+    /// behavioural electrical quantities.
+    fn default() -> Self {
+        Tolerance::new(1e-3, 1e-3)
+    }
+}
+
+/// A time interval during which a monitored signal mismatched its golden
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MismatchInterval {
+    /// First observed mismatch time.
+    pub from: Time,
+    /// Last observed mismatch time.
+    pub to: Time,
+}
+
+impl MismatchInterval {
+    /// Length of the interval.
+    pub fn duration(&self) -> Time {
+        self.to - self.from
+    }
+}
+
+/// Outcome of comparing one monitored signal across two runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SignalComparison {
+    /// Maximal intervals during which the signal mismatched.
+    pub mismatches: Vec<MismatchInterval>,
+}
+
+impl SignalComparison {
+    /// True when no mismatch was observed.
+    pub fn is_match(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Time of the first divergence, if any.
+    pub fn first_divergence(&self) -> Option<Time> {
+        self.mismatches.first().map(|m| m.from)
+    }
+
+    /// Time of the last divergence, if any.
+    pub fn last_divergence(&self) -> Option<Time> {
+        self.mismatches.last().map(|m| m.to)
+    }
+
+    /// Total mismatched time across all intervals.
+    pub fn total_mismatch(&self) -> Time {
+        self.mismatches.iter().map(MismatchInterval::duration).sum()
+    }
+}
+
+/// Builds maximal mismatch intervals from a sequence of `(time, matched)`
+/// observations sorted by time. A mismatching observation extends until the
+/// *next* observation (between observations the comparison result holds —
+/// waves are piecewise defined); intervals closer than `merge_gap` merge.
+fn intervals_from_observations(
+    observations: &[(Time, bool)],
+    merge_gap: Time,
+) -> Vec<MismatchInterval> {
+    let mut out: Vec<MismatchInterval> = Vec::new();
+    for (i, &(t, matched)) in observations.iter().enumerate() {
+        if matched {
+            continue;
+        }
+        let end = observations.get(i + 1).map_or(t, |&(next, _)| next);
+        match out.last_mut() {
+            Some(last) if t - last.to <= merge_gap => last.to = last.to.max(end),
+            _ => out.push(MismatchInterval { from: t, to: end }),
+        }
+    }
+    out
+}
+
+/// Compares two digital waves at every transition of either, over
+/// `[from, to]`. Values are reduced to X01 before comparison, so `'1'` vs
+/// `'H'` is a match. Mismatching observations closer than `merge_gap` fuse
+/// into one interval.
+pub fn compare_digital(
+    golden: &DigitalWave,
+    faulty: &DigitalWave,
+    from: Time,
+    to: Time,
+    merge_gap: Time,
+) -> SignalComparison {
+    compare_digital_with_skew(golden, faulty, from, to, merge_gap, Time::ZERO)
+}
+
+/// Like [`compare_digital`], but tolerating edge-timing skew: an
+/// observation also counts as matching when the faulty value equals the
+/// golden value at `t ± skew` — so clock edges displaced by less than
+/// `skew` (jitter, residual phase offset) do not register as errors.
+///
+/// With `skew == 0` this is exactly [`compare_digital`].
+pub fn compare_digital_with_skew(
+    golden: &DigitalWave,
+    faulty: &DigitalWave,
+    from: Time,
+    to: Time,
+    merge_gap: Time,
+    skew: Time,
+) -> SignalComparison {
+    let mut times: Vec<Time> = golden
+        .transitions()
+        .iter()
+        .chain(faulty.transitions())
+        .flat_map(|&(t, _)| {
+            // With a skew tolerance, also observe just past the tolerance
+            // band of every transition, so a displacement larger than the
+            // skew cannot hide between observations.
+            if skew > Time::ZERO {
+                vec![t, t - skew, t + skew]
+            } else {
+                vec![t]
+            }
+        })
+        .filter(|&t| t >= from && t <= to)
+        .collect();
+    times.push(from);
+    times.push(to);
+    times.sort_unstable();
+    times.dedup();
+    let matches_at = |t: Time| {
+        let f = faulty.value_at(t).to_x01();
+        if golden.value_at(t).to_x01() == f {
+            return true;
+        }
+        skew > Time::ZERO
+            && (golden.value_at(t - skew).to_x01() == f || golden.value_at(t + skew).to_x01() == f)
+    };
+    let observations: Vec<(Time, bool)> = times.into_iter().map(|t| (t, matches_at(t))).collect();
+    SignalComparison {
+        mismatches: intervals_from_observations(&observations, merge_gap),
+    }
+}
+
+/// Compares two analog waves on the union of their sample points over
+/// `[from, to]`, applying `tolerance`. Mismatching samples closer than
+/// `merge_gap` fuse into one interval.
+pub fn compare_analog(
+    golden: &AnalogWave,
+    faulty: &AnalogWave,
+    from: Time,
+    to: Time,
+    tolerance: Tolerance,
+    merge_gap: Time,
+) -> SignalComparison {
+    let mut times: Vec<Time> = golden
+        .samples()
+        .iter()
+        .chain(faulty.samples())
+        .map(|&(t, _)| t)
+        .filter(|&t| t >= from && t <= to)
+        .collect();
+    times.push(from);
+    times.push(to);
+    times.sort_unstable();
+    times.dedup();
+    let observations: Vec<(Time, bool)> = times
+        .into_iter()
+        .map(|t| (t, tolerance.matches(golden.value_at(t), faulty.value_at(t))))
+        .collect();
+    SignalComparison {
+        mismatches: intervals_from_observations(&observations, merge_gap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Logic;
+
+    #[test]
+    fn tolerance_bands() {
+        let tol = Tolerance::new(0.1, 0.0);
+        assert!(tol.matches(1.0, 1.05));
+        assert!(!tol.matches(1.0, 1.2));
+        let rel = Tolerance::new(0.0, 0.1);
+        assert!(rel.matches(10.0, 10.9));
+        assert!(!rel.matches(10.0, 11.5));
+        assert!(Tolerance::exact().matches(1.0, 1.0));
+        assert!(!Tolerance::exact().matches(1.0, 1.0 + 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn tolerance_rejects_negative() {
+        let _ = Tolerance::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn digital_match_of_equal_waves() {
+        let mut w = DigitalWave::new();
+        w.push(Time::ZERO, Logic::Zero).unwrap();
+        w.push(Time::from_ns(10), Logic::One).unwrap();
+        let cmp = compare_digital(&w, &w, Time::ZERO, Time::from_ns(20), Time::from_ns(1));
+        assert!(cmp.is_match());
+        assert_eq!(cmp.total_mismatch(), Time::ZERO);
+    }
+
+    #[test]
+    fn digital_weak_strong_equivalence() {
+        let mut g = DigitalWave::new();
+        g.push(Time::ZERO, Logic::One).unwrap();
+        let mut f = DigitalWave::new();
+        f.push(Time::ZERO, Logic::WeakOne).unwrap();
+        let cmp = compare_digital(&g, &f, Time::ZERO, Time::from_ns(1), Time::ZERO);
+        assert!(cmp.is_match());
+    }
+
+    #[test]
+    fn digital_detects_transient_mismatch() {
+        let mut g = DigitalWave::new();
+        g.push(Time::ZERO, Logic::Zero).unwrap();
+        let mut f = DigitalWave::new();
+        f.push(Time::ZERO, Logic::Zero).unwrap();
+        f.push(Time::from_ns(10), Logic::One).unwrap();
+        f.push(Time::from_ns(12), Logic::Zero).unwrap();
+        let cmp = compare_digital(&g, &f, Time::ZERO, Time::from_ns(20), Time::from_ns(5));
+        assert_eq!(cmp.mismatches.len(), 1);
+        assert_eq!(cmp.first_divergence(), Some(Time::from_ns(10)));
+    }
+
+    #[test]
+    fn digital_separate_mismatches_stay_separate() {
+        let mut g = DigitalWave::new();
+        g.push(Time::ZERO, Logic::Zero).unwrap();
+        let mut f = DigitalWave::new();
+        f.push(Time::ZERO, Logic::Zero).unwrap();
+        f.push(Time::from_ns(10), Logic::One).unwrap();
+        f.push(Time::from_ns(11), Logic::Zero).unwrap();
+        f.push(Time::from_ns(50), Logic::One).unwrap();
+        f.push(Time::from_ns(51), Logic::Zero).unwrap();
+        let cmp = compare_digital(&g, &f, Time::ZERO, Time::from_ns(60), Time::from_ns(5));
+        assert_eq!(cmp.mismatches.len(), 2);
+        // The second mismatch extends to the next observation (its end).
+        assert_eq!(cmp.last_divergence(), Some(Time::from_ns(51)));
+    }
+
+    #[test]
+    fn skew_tolerance_forgives_displaced_edges() {
+        let mut g = DigitalWave::new();
+        g.push(Time::ZERO, Logic::Zero).unwrap();
+        g.push(Time::from_ns(100), Logic::One).unwrap();
+        let mut f = DigitalWave::new();
+        f.push(Time::ZERO, Logic::Zero).unwrap();
+        f.push(Time::from_ns(102), Logic::One).unwrap(); // edge 2 ns late
+                                                         // Exact comparison flags the 2 ns window.
+        let strict = compare_digital(&g, &f, Time::ZERO, Time::from_ns(200), Time::ZERO);
+        assert!(!strict.is_match());
+        // A 5 ns skew tolerance absorbs it.
+        let lax = compare_digital_with_skew(
+            &g,
+            &f,
+            Time::ZERO,
+            Time::from_ns(200),
+            Time::ZERO,
+            Time::from_ns(5),
+        );
+        assert!(lax.is_match(), "{lax:?}");
+        // But a 1 ns tolerance does not.
+        let tight = compare_digital_with_skew(
+            &g,
+            &f,
+            Time::ZERO,
+            Time::from_ns(200),
+            Time::ZERO,
+            Time::from_ns(1),
+        );
+        assert!(!tight.is_match());
+    }
+
+    #[test]
+    fn analog_tolerance_suppresses_noise() {
+        let g = AnalogWave::from_samples([(Time::ZERO, 2.5), (Time::from_us(1), 2.5)]);
+        let f = AnalogWave::from_samples([
+            (Time::ZERO, 2.5005),
+            (Time::from_ns(500), 2.4995),
+            (Time::from_us(1), 2.5002),
+        ]);
+        let cmp = compare_analog(
+            &g,
+            &f,
+            Time::ZERO,
+            Time::from_us(1),
+            Tolerance::absolute(0.01),
+            Time::from_ns(100),
+        );
+        assert!(cmp.is_match());
+    }
+
+    #[test]
+    fn analog_detects_excursion_beyond_tolerance() {
+        let g = AnalogWave::from_samples([(Time::ZERO, 2.5), (Time::from_us(1), 2.5)]);
+        let f = AnalogWave::from_samples([
+            (Time::ZERO, 2.5),
+            (Time::from_ns(400), 2.5),
+            (Time::from_ns(500), 3.2),
+            (Time::from_ns(600), 2.5),
+            (Time::from_us(1), 2.5),
+        ]);
+        let cmp = compare_analog(
+            &g,
+            &f,
+            Time::ZERO,
+            Time::from_us(1),
+            Tolerance::absolute(0.1),
+            Time::from_ns(100),
+        );
+        assert_eq!(cmp.mismatches.len(), 1);
+        assert_eq!(cmp.first_divergence(), Some(Time::from_ns(500)));
+    }
+}

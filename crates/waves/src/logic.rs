@@ -1,0 +1,431 @@
+//! Multi-valued digital logic in the style of IEEE 1164 `std_logic`.
+//!
+//! The digital analysis flow of the paper instruments VHDL descriptions, whose
+//! signals carry nine-valued resolved logic. Saboteurs rely on the same value
+//! system (e.g. forcing `X` on an interconnect), so the full set is modelled.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A nine-valued logic level, mirroring IEEE 1164 `std_ulogic`.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::Logic;
+///
+/// assert_eq!(Logic::One & Logic::Zero, Logic::Zero);
+/// assert_eq!(Logic::One & Logic::Unknown, Logic::Unknown);
+/// assert_eq!(Logic::Zero.resolve(Logic::One), Logic::Unknown);
+/// assert_eq!(Logic::HighZ.resolve(Logic::One), Logic::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// `'U'` — uninitialised (the power-on value of every signal).
+    #[default]
+    Uninitialized,
+    /// `'X'` — forcing unknown (e.g. two strong drivers in conflict).
+    Unknown,
+    /// `'0'` — forcing zero.
+    Zero,
+    /// `'1'` — forcing one.
+    One,
+    /// `'Z'` — high impedance.
+    HighZ,
+    /// `'W'` — weak unknown.
+    WeakUnknown,
+    /// `'L'` — weak zero (pull-down).
+    WeakZero,
+    /// `'H'` — weak one (pull-up).
+    WeakOne,
+    /// `'-'` — don't care.
+    DontCare,
+}
+
+impl Logic {
+    /// All nine values, in IEEE 1164 declaration order.
+    pub const ALL: [Logic; 9] = [
+        Logic::Uninitialized,
+        Logic::Unknown,
+        Logic::Zero,
+        Logic::One,
+        Logic::HighZ,
+        Logic::WeakUnknown,
+        Logic::WeakZero,
+        Logic::WeakOne,
+        Logic::DontCare,
+    ];
+
+    /// Converts a boolean to a strong logic level.
+    pub const fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Interprets this level as a boolean, treating weak levels as their
+    /// strong equivalents. Returns `None` for metalogical values
+    /// (`U`, `X`, `Z`, `W`, `-`).
+    pub const fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::One | Logic::WeakOne => Some(true),
+            Logic::Zero | Logic::WeakZero => Some(false),
+            _ => None,
+        }
+    }
+
+    /// True for `'1'` or `'H'`.
+    pub const fn is_high(self) -> bool {
+        matches!(self, Logic::One | Logic::WeakOne)
+    }
+
+    /// True for `'0'` or `'L'`.
+    pub const fn is_low(self) -> bool {
+        matches!(self, Logic::Zero | Logic::WeakZero)
+    }
+
+    /// True if the value is neither a strong nor a weak 0/1.
+    pub const fn is_metalogical(self) -> bool {
+        !(self.is_high() || self.is_low())
+    }
+
+    /// Reduces to the strong subset `{X, 0, 1}` as IEEE 1164 `to_x01` does.
+    #[must_use]
+    pub const fn to_x01(self) -> Logic {
+        match self {
+            Logic::Zero | Logic::WeakZero => Logic::Zero,
+            Logic::One | Logic::WeakOne => Logic::One,
+            _ => Logic::Unknown,
+        }
+    }
+
+    /// The inverted level of an SEU bit-flip: `0 -> 1`, `1 -> 0`; weak levels
+    /// flip to their strong complements; metalogical values are unchanged
+    /// (there is no stored charge to flip).
+    #[must_use]
+    pub const fn flipped(self) -> Logic {
+        match self {
+            Logic::Zero | Logic::WeakZero => Logic::One,
+            Logic::One | Logic::WeakOne => Logic::Zero,
+            other => other,
+        }
+    }
+
+    /// IEEE 1164 resolution of two simultaneous drivers on one signal.
+    ///
+    /// Strong beats weak, weak beats `Z`, equal strengths in conflict give an
+    /// unknown of the stronger strength, and `U` is contagious.
+    #[must_use]
+    pub const fn resolve(self, other: Logic) -> Logic {
+        use Logic::*;
+        // The IEEE 1164 resolution table, row = self, column = other.
+        const TABLE: [[Logic; 9]; 9] = [
+            // U             X        0        1        Z        W            L         H        -
+            [Uninitialized; 9], // U row: U resolves to U with everything
+            [
+                Uninitialized,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+            ], // X
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                Unknown,
+                Zero,
+                Zero,
+                Zero,
+                Zero,
+                Unknown,
+            ], // 0
+            [
+                Uninitialized,
+                Unknown,
+                Unknown,
+                One,
+                One,
+                One,
+                One,
+                One,
+                Unknown,
+            ], // 1
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                One,
+                HighZ,
+                WeakUnknown,
+                WeakZero,
+                WeakOne,
+                Unknown,
+            ], // Z
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                One,
+                WeakUnknown,
+                WeakUnknown,
+                WeakUnknown,
+                WeakUnknown,
+                Unknown,
+            ], // W
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                One,
+                WeakZero,
+                WeakUnknown,
+                WeakZero,
+                WeakUnknown,
+                Unknown,
+            ], // L
+            [
+                Uninitialized,
+                Unknown,
+                Zero,
+                One,
+                WeakOne,
+                WeakUnknown,
+                WeakUnknown,
+                WeakOne,
+                Unknown,
+            ], // H
+            [
+                Uninitialized,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+                Unknown,
+            ], // -
+        ];
+        TABLE[self.index()][other.index()]
+    }
+
+    /// The position of this value in [`Logic::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            Logic::Uninitialized => 0,
+            Logic::Unknown => 1,
+            Logic::Zero => 2,
+            Logic::One => 3,
+            Logic::HighZ => 4,
+            Logic::WeakUnknown => 5,
+            Logic::WeakZero => 6,
+            Logic::WeakOne => 7,
+            Logic::DontCare => 8,
+        }
+    }
+
+    /// The IEEE 1164 character for this value.
+    pub const fn to_char(self) -> char {
+        match self {
+            Logic::Uninitialized => 'U',
+            Logic::Unknown => 'X',
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::HighZ => 'Z',
+            Logic::WeakUnknown => 'W',
+            Logic::WeakZero => 'L',
+            Logic::WeakOne => 'H',
+            Logic::DontCare => '-',
+        }
+    }
+
+    /// Parses an IEEE 1164 character (case-insensitive for letters).
+    pub fn from_char(c: char) -> Option<Logic> {
+        Some(match c.to_ascii_uppercase() {
+            'U' => Logic::Uninitialized,
+            'X' => Logic::Unknown,
+            '0' => Logic::Zero,
+            '1' => Logic::One,
+            'Z' => Logic::HighZ,
+            'W' => Logic::WeakUnknown,
+            'L' => Logic::WeakZero,
+            'H' => Logic::WeakOne,
+            '-' => Logic::DontCare,
+            _ => return None,
+        })
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    /// Logical inversion with X-propagation: metalogical inputs give `X`
+    /// (except `U`, which stays `U`).
+    fn not(self) -> Logic {
+        match self.to_x01() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ if self == Logic::Uninitialized => Logic::Uninitialized,
+            _ => Logic::Unknown,
+        }
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+    fn bitand(self, rhs: Logic) -> Logic {
+        match (self.to_x01(), rhs.to_x01()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::Unknown,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+    fn bitor(self, rhs: Logic) -> Logic {
+        match (self.to_x01(), rhs.to_x01()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::Unknown,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self.to_x01(), rhs.to_x01()) {
+            (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One) => Logic::Zero,
+            (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero) => Logic::One,
+            _ => Logic::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::from_bool(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::WeakZero.to_bool(), Some(false));
+        assert_eq!(Logic::Unknown.to_bool(), None);
+        assert_eq!(Logic::HighZ.to_bool(), None);
+    }
+
+    #[test]
+    fn char_round_trip_all_values() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::from_char(v.to_char()), Some(v));
+        }
+        assert_eq!(Logic::from_char('h'), Some(Logic::WeakOne));
+        assert_eq!(Logic::from_char('q'), None);
+    }
+
+    #[test]
+    fn resolution_is_commutative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.resolve(b), b.resolve(a), "resolve({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_is_associative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                for c in Logic::ALL {
+                    assert_eq!(
+                        a.resolve(b).resolve(c),
+                        a.resolve(b.resolve(c)),
+                        "resolve({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_strength_ordering() {
+        // Strong conflicting drivers produce X.
+        assert_eq!(Logic::Zero.resolve(Logic::One), Logic::Unknown);
+        // Strong beats weak.
+        assert_eq!(Logic::Zero.resolve(Logic::WeakOne), Logic::Zero);
+        assert_eq!(Logic::One.resolve(Logic::WeakZero), Logic::One);
+        // Weak beats Z.
+        assert_eq!(Logic::HighZ.resolve(Logic::WeakOne), Logic::WeakOne);
+        // Weak conflict gives weak unknown.
+        assert_eq!(Logic::WeakZero.resolve(Logic::WeakOne), Logic::WeakUnknown);
+        // Z is the identity element.
+        for v in Logic::ALL {
+            assert_eq!(
+                Logic::HighZ.resolve(v),
+                if v == Logic::DontCare {
+                    Logic::Unknown
+                } else {
+                    v
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn uninitialized_is_contagious() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::Uninitialized.resolve(v), Logic::Uninitialized);
+        }
+    }
+
+    #[test]
+    fn flipped_models_seu() {
+        assert_eq!(Logic::Zero.flipped(), Logic::One);
+        assert_eq!(Logic::One.flipped(), Logic::Zero);
+        assert_eq!(Logic::WeakOne.flipped(), Logic::Zero);
+        assert_eq!(Logic::Unknown.flipped(), Logic::Unknown);
+        // Double flip restores 0/1 values.
+        assert_eq!(Logic::Zero.flipped().flipped(), Logic::Zero);
+    }
+
+    #[test]
+    fn gate_operators_propagate_x() {
+        assert_eq!(Logic::Zero & Logic::Unknown, Logic::Zero);
+        assert_eq!(Logic::One & Logic::Unknown, Logic::Unknown);
+        assert_eq!(Logic::One | Logic::Unknown, Logic::One);
+        assert_eq!(Logic::Zero | Logic::Unknown, Logic::Unknown);
+        assert_eq!(Logic::One ^ Logic::Unknown, Logic::Unknown);
+        assert_eq!(!Logic::Unknown, Logic::Unknown);
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::WeakZero, Logic::One);
+    }
+
+    #[test]
+    fn weak_levels_behave_as_strong_in_gates() {
+        assert_eq!(Logic::WeakOne & Logic::One, Logic::One);
+        assert_eq!(Logic::WeakZero | Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::WeakOne ^ Logic::WeakZero, Logic::One);
+    }
+}

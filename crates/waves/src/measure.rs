@@ -1,0 +1,408 @@
+//! Waveform measurements: periods, frequency, threshold crossings, deviation
+//! and perturbation metrics.
+//!
+//! These are the quantities the paper reads off its figures: the per-cycle
+//! frequency of the generated clock (Fig. 6), the deviation of the VCO input
+//! voltage from its nominal locked value and how long it persists (Figs. 6–8).
+
+use crate::{AnalogWave, DigitalWave, Time};
+
+/// Per-cycle periods of a digital clock: the deltas between consecutive
+/// rising edges.
+pub fn periods(wave: &DigitalWave) -> Vec<(Time, Time)> {
+    let edges = wave.rising_edges();
+    edges
+        .windows(2)
+        .map(|pair| (pair[0], pair[1] - pair[0]))
+        .collect()
+}
+
+/// Mean frequency (Hz) estimated from rising edges within `[from, to]`.
+/// Returns `None` with fewer than two edges in the window.
+pub fn mean_frequency(wave: &DigitalWave, from: Time, to: Time) -> Option<f64> {
+    let edges: Vec<Time> = wave
+        .rising_edges()
+        .into_iter()
+        .filter(|&t| t >= from && t <= to)
+        .collect();
+    if edges.len() < 2 {
+        return None;
+    }
+    let span = (*edges.last().expect("len >= 2") - edges[0]).as_secs_f64();
+    Some((edges.len() - 1) as f64 / span)
+}
+
+/// Peak-to-peak and RMS period jitter of a clock, over `[from, to]`.
+/// Returns `None` with fewer than two periods in the window.
+pub fn period_jitter(wave: &DigitalWave, from: Time, to: Time) -> Option<(Time, Time)> {
+    let ps: Vec<f64> = periods(wave)
+        .into_iter()
+        .filter(|&(s, _)| s >= from && s <= to)
+        .map(|(_, p)| p.as_fs() as f64)
+        .collect();
+    if ps.len() < 2 {
+        return None;
+    }
+    let mean = ps.iter().sum::<f64>() / ps.len() as f64;
+    let p2p =
+        ps.iter().cloned().fold(f64::MIN, f64::max) - ps.iter().cloned().fold(f64::MAX, f64::min);
+    let rms = (ps.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / ps.len() as f64).sqrt();
+    Some((Time::from_fs(p2p as i64), Time::from_fs(rms as i64)))
+}
+
+/// Fraction of `[from, to]` during which the signal is high.
+/// Returns `None` for an empty window.
+pub fn duty_cycle(wave: &DigitalWave, from: Time, to: Time) -> Option<f64> {
+    if to <= from {
+        return None;
+    }
+    let mut high_time = Time::ZERO;
+    let mut t = from;
+    let mut level = wave.value_at(from);
+    for &(tt, v) in wave.transitions() {
+        if tt <= from {
+            continue;
+        }
+        let seg_end = tt.min(to);
+        if level.is_high() {
+            high_time += seg_end - t;
+        }
+        if tt >= to {
+            break;
+        }
+        t = seg_end;
+        level = v;
+    }
+    if t < to && level.is_high() {
+        high_time += to - t;
+    }
+    Some(high_time.as_secs_f64() / (to - from).as_secs_f64())
+}
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrossingDirection {
+    /// Value goes from below to at-or-above the threshold.
+    Rising,
+    /// Value goes from above to at-or-below the threshold.
+    Falling,
+}
+
+/// A threshold crossing of an analog waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crossing {
+    /// Interpolated crossing time.
+    pub time: Time,
+    /// Crossing direction.
+    pub direction: CrossingDirection,
+}
+
+/// Finds every time the waveform crosses `threshold`, with linear
+/// interpolation between samples.
+pub fn crossings(wave: &AnalogWave, threshold: f64) -> Vec<Crossing> {
+    let mut out = Vec::new();
+    let samples = wave.samples();
+    for pair in samples.windows(2) {
+        let (t0, v0) = pair[0];
+        let (t1, v1) = pair[1];
+        let below0 = v0 < threshold;
+        let below1 = v1 < threshold;
+        if below0 == below1 {
+            continue;
+        }
+        let frac = (threshold - v0) / (v1 - v0);
+        let dt = ((t1 - t0).as_fs() as f64 * frac).round() as i64;
+        out.push(Crossing {
+            time: t0 + Time::from_fs(dt),
+            direction: if below0 {
+                CrossingDirection::Rising
+            } else {
+                CrossingDirection::Falling
+            },
+        });
+    }
+    out
+}
+
+/// Summary of how a faulty analog waveform deviates from its golden
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Deviation {
+    /// Largest absolute difference observed.
+    pub peak: f64,
+    /// Time at which the peak difference occurs.
+    pub peak_time: Time,
+    /// First time the difference exceeds the threshold, if it ever does.
+    pub onset: Option<Time>,
+    /// Last time the difference exceeds the threshold, if it ever does.
+    pub last_excursion: Option<Time>,
+    /// Integral of |difference| over time (V·s or A·s) — a measure of the
+    /// total disturbance ("cumulative effect" in the paper's Fig. 8).
+    pub area: f64,
+}
+
+impl Deviation {
+    /// Length of the perturbed interval (`last_excursion - onset`), or zero
+    /// when the threshold was never exceeded.
+    ///
+    /// This is the paper's headline observation for Fig. 6: a 500 ps pulse
+    /// perturbs the filter output "during a much larger time".
+    pub fn duration(&self) -> Time {
+        match (self.onset, self.last_excursion) {
+            (Some(a), Some(b)) => b - a,
+            _ => Time::ZERO,
+        }
+    }
+}
+
+/// Compares `faulty` against `golden` on the union of their sample points
+/// within `[from, to]` and summarises the deviation. Differences at or below
+/// `threshold` do not count towards onset/duration (they do count towards the
+/// peak if nothing exceeds the threshold).
+pub fn deviation(
+    golden: &AnalogWave,
+    faulty: &AnalogWave,
+    from: Time,
+    to: Time,
+    threshold: f64,
+) -> Deviation {
+    let mut times: Vec<Time> = golden
+        .samples()
+        .iter()
+        .chain(faulty.samples())
+        .map(|&(t, _)| t)
+        .filter(|&t| t >= from && t <= to)
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+
+    let mut dev = Deviation::default();
+    let mut prev: Option<(Time, f64)> = None;
+    for t in times {
+        let diff = (faulty.value_at(t) - golden.value_at(t)).abs();
+        if diff > dev.peak {
+            dev.peak = diff;
+            dev.peak_time = t;
+        }
+        if diff > threshold {
+            if dev.onset.is_none() {
+                dev.onset = Some(t);
+            }
+            dev.last_excursion = Some(t);
+        }
+        if let Some((pt, pd)) = prev {
+            // Trapezoidal integration of |difference|.
+            dev.area += 0.5 * (pd + diff) * (t - pt).as_secs_f64();
+        }
+        prev = Some((t, diff));
+    }
+    dev
+}
+
+/// The time after `from` at which the waveform settles to within `band` of
+/// `target` and stays there until the end of the trace. `None` if it never
+/// settles.
+pub fn settling_time(wave: &AnalogWave, from: Time, target: f64, band: f64) -> Option<Time> {
+    let mut settled_since: Option<Time> = None;
+    for &(t, v) in wave.samples() {
+        if t < from {
+            continue;
+        }
+        if (v - target).abs() <= band {
+            settled_since.get_or_insert(t);
+        } else {
+            settled_since = None;
+        }
+    }
+    settled_since.map(|t| t - from)
+}
+
+/// Counts the clock cycles whose period differs from `nominal` by more than
+/// `tolerance`, within `[from, to]`, and returns `(count, worst_period)`.
+///
+/// This quantifies the paper's Fig. 6 observation that a single analog
+/// transient perturbs the generated clock "during a large number of cycles
+/// and not only during one cycle".
+pub fn perturbed_cycles(
+    wave: &DigitalWave,
+    from: Time,
+    to: Time,
+    nominal: Time,
+    tolerance: Time,
+) -> (usize, Option<Time>) {
+    let mut count = 0;
+    let mut worst: Option<Time> = None;
+    for (start, period) in periods(wave) {
+        if start < from || start > to {
+            continue;
+        }
+        let err = (period - nominal).abs();
+        if err > tolerance {
+            count += 1;
+            if worst.is_none_or(|w| (w - nominal).abs() < err) {
+                worst = Some(period);
+            }
+        }
+    }
+    (count, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Logic;
+
+    fn clock(period_ns: i64, cycles: usize) -> DigitalWave {
+        let mut w = DigitalWave::new();
+        let half = Time::from_ns(period_ns) / 2;
+        let mut t = Time::ZERO;
+        for _ in 0..cycles {
+            w.push(t, Logic::One).unwrap();
+            w.push(t + half, Logic::Zero).unwrap();
+            t += Time::from_ns(period_ns);
+        }
+        w
+    }
+
+    #[test]
+    fn periods_of_uniform_clock() {
+        let w = clock(20, 5);
+        let p = periods(&w);
+        assert_eq!(p.len(), 4);
+        assert!(p.iter().all(|&(_, d)| d == Time::from_ns(20)));
+    }
+
+    #[test]
+    fn mean_frequency_of_50mhz_clock() {
+        let w = clock(20, 100);
+        let f = mean_frequency(&w, Time::ZERO, Time::from_us(2)).unwrap();
+        assert!((f - 50e6).abs() / 50e6 < 1e-9, "f = {f}");
+    }
+
+    #[test]
+    fn mean_frequency_needs_two_edges() {
+        let w = clock(20, 1);
+        assert_eq!(mean_frequency(&w, Time::ZERO, Time::from_us(1)), None);
+    }
+
+    #[test]
+    fn crossing_interpolation() {
+        let w = AnalogWave::from_samples([(Time::ZERO, 0.0), (Time::from_ns(10), 5.0)]);
+        let c = crossings(&w, 2.5);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].time, Time::from_ns(5));
+        assert_eq!(c[0].direction, CrossingDirection::Rising);
+    }
+
+    #[test]
+    fn crossing_both_directions() {
+        let w = AnalogWave::from_samples([
+            (Time::ZERO, 0.0),
+            (Time::from_ns(10), 5.0),
+            (Time::from_ns(20), 0.0),
+        ]);
+        let c = crossings(&w, 2.5);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[1].direction, CrossingDirection::Falling);
+        assert_eq!(c[1].time, Time::from_ns(15));
+    }
+
+    #[test]
+    fn deviation_detects_bump() {
+        let golden = AnalogWave::from_samples([(Time::ZERO, 1.0), (Time::from_us(1), 1.0)]);
+        let faulty = AnalogWave::from_samples([
+            (Time::ZERO, 1.0),
+            (Time::from_ns(100), 1.0),
+            (Time::from_ns(200), 3.0),
+            (Time::from_ns(250), 3.0),
+            (Time::from_ns(300), 1.0),
+            (Time::from_us(1), 1.0),
+        ]);
+        let d = deviation(&golden, &faulty, Time::ZERO, Time::from_us(1), 0.1);
+        assert!((d.peak - 2.0).abs() < 1e-12);
+        assert_eq!(d.peak_time, Time::from_ns(200));
+        assert_eq!(d.onset, Some(Time::from_ns(200)));
+        assert_eq!(d.duration(), Time::from_ns(50));
+        assert!(d.area > 0.0);
+    }
+
+    #[test]
+    fn deviation_of_identical_waves_is_zero() {
+        let w = AnalogWave::from_samples([(Time::ZERO, 1.0), (Time::from_us(1), 2.0)]);
+        let d = deviation(&w, &w, Time::ZERO, Time::from_us(1), 1e-9);
+        assert_eq!(d.peak, 0.0);
+        assert_eq!(d.onset, None);
+        assert_eq!(d.duration(), Time::ZERO);
+        assert_eq!(d.area, 0.0);
+    }
+
+    #[test]
+    fn settling_time_finds_band_entry() {
+        let w = AnalogWave::from_samples([
+            (Time::ZERO, 0.0),
+            (Time::from_ns(10), 0.5),
+            (Time::from_ns(20), 0.95),
+            (Time::from_ns(30), 1.0),
+        ]);
+        let s = settling_time(&w, Time::ZERO, 1.0, 0.1).unwrap();
+        assert_eq!(s, Time::from_ns(20));
+        assert_eq!(settling_time(&w, Time::ZERO, 5.0, 0.1), None);
+    }
+
+    #[test]
+    fn perturbed_cycles_counts_long_periods() {
+        let mut w = DigitalWave::new();
+        // Three 20 ns cycles, one 25 ns cycle, two more 20 ns cycles.
+        let mut t = Time::ZERO;
+        for p in [20i64, 20, 20, 25, 20, 20] {
+            w.push(t, Logic::One).unwrap();
+            w.push(t + Time::from_ns(p) / 2, Logic::Zero).unwrap();
+            t += Time::from_ns(p);
+        }
+        w.push(t, Logic::One).unwrap();
+        let (count, worst) =
+            perturbed_cycles(&w, Time::ZERO, t, Time::from_ns(20), Time::from_ns(1));
+        assert_eq!(count, 1);
+        assert_eq!(worst, Some(Time::from_ns(25)));
+    }
+
+    #[test]
+    fn jitter_of_perfect_clock_is_zero() {
+        let w = clock(20, 50);
+        let (p2p, rms) = period_jitter(&w, Time::ZERO, Time::from_us(1)).unwrap();
+        assert_eq!(p2p, Time::ZERO);
+        assert_eq!(rms, Time::ZERO);
+    }
+
+    #[test]
+    fn jitter_of_wobbling_clock() {
+        let mut w = DigitalWave::new();
+        let mut t = Time::ZERO;
+        for p in [20i64, 22, 18, 20, 22, 18, 20] {
+            w.push(t, Logic::One).unwrap();
+            w.push(t + Time::from_ns(p) / 2, Logic::Zero).unwrap();
+            t += Time::from_ns(p);
+        }
+        w.push(t, Logic::One).unwrap();
+        let (p2p, rms) = period_jitter(&w, Time::ZERO, t).unwrap();
+        assert_eq!(p2p, Time::from_ns(4));
+        assert!(rms > Time::from_ps(500) && rms < Time::from_ns(2), "{rms}");
+    }
+
+    #[test]
+    fn duty_cycle_of_square_is_half() {
+        let w = clock(20, 50);
+        let d = duty_cycle(&w, Time::ZERO, Time::from_ns(1000)).unwrap();
+        assert!((d - 0.5).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn duty_cycle_of_mostly_high_signal() {
+        let mut w = DigitalWave::new();
+        w.push(Time::ZERO, Logic::One).unwrap();
+        w.push(Time::from_ns(75), Logic::Zero).unwrap();
+        let d = duty_cycle(&w, Time::ZERO, Time::from_ns(100)).unwrap();
+        assert!((d - 0.75).abs() < 1e-9, "{d}");
+        assert_eq!(duty_cycle(&w, Time::from_ns(10), Time::from_ns(10)), None);
+    }
+}

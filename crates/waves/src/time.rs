@@ -1,0 +1,309 @@
+//! Simulation time with femtosecond resolution.
+//!
+//! The paper's case study spans eleven decades of time: current-pulse rise
+//! times of 40 ps inside a 0.2 ms transient. An integer femtosecond base unit
+//! keeps event ordering exact (no floating-point ties in the scheduler) while
+//! leaving headroom: `i64` femtoseconds cover ±2.5 hours.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// A point in simulation time, or a duration, in femtoseconds.
+///
+/// `Time` is used both as an absolute instant (since simulation start) and as
+/// a span between instants, mirroring VHDL's single `time` type.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::Time;
+///
+/// let period = Time::from_ns(20);
+/// assert_eq!(period * 50, Time::from_us(1));
+/// assert_eq!(period.as_secs_f64(), 20e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Time {
+    /// Zero time: the simulation origin.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinite" horizon.
+    pub const MAX: Time = Time(i64::MAX);
+    /// One femtosecond, the base resolution.
+    pub const RESOLUTION: Time = Time(1);
+
+    /// Creates a time from femtoseconds.
+    pub const fn from_fs(fs: i64) -> Self {
+        Time(fs)
+    }
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: i64) -> Self {
+        Time(ps * 1_000)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: i64) -> Self {
+        Time(ns * 1_000_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: i64) -> Self {
+        Time(us * 1_000_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: i64) -> Self {
+        Time(ms * 1_000_000_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_s(s: i64) -> Self {
+        Time(s * 1_000_000_000_000_000)
+    }
+
+    /// Creates a time from a floating-point number of seconds, rounding to
+    /// the nearest femtosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not finite or does not fit in the representable
+    /// range.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        let fs = secs * 1e15;
+        assert!(
+            fs.is_finite() && fs >= i64::MIN as f64 && fs <= i64::MAX as f64,
+            "time out of range: {secs} s"
+        );
+        Time(fs.round() as i64)
+    }
+
+    /// The raw femtosecond count.
+    pub const fn as_fs(self) -> i64 {
+        self.0
+    }
+
+    /// This time as a floating-point number of seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// This time as a floating-point number of picoseconds.
+    pub fn as_ps_f64(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// This time as a floating-point number of nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Saturating addition; clamps at [`Time::MAX`].
+    #[must_use]
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Absolute value of a (possibly negative) duration.
+    #[must_use]
+    pub fn abs(self) -> Time {
+        Time(self.0.abs())
+    }
+
+    /// The smaller of two times.
+    #[must_use]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two times.
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is a zero (or negative) duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Mul<i64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: i64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for i64 {
+    type Output = Time;
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Time {
+    type Output = Time;
+    fn div(self, rhs: i64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Div<Time> for Time {
+    /// Ratio of two durations (truncating).
+    type Output = i64;
+    fn div(self, rhs: Time) -> i64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Time> for Time {
+    type Output = Time;
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    /// Formats with the largest unit that yields an integral mantissa part,
+    /// e.g. `20 ns`, `170 us`, `500 ps`, `1.5 ns`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fs = self.0;
+        let (value, unit) = if fs == 0 {
+            return write!(f, "0 s");
+        } else if fs.abs() >= 1_000_000_000_000_000 {
+            (fs as f64 / 1e15, "s")
+        } else if fs.abs() >= 1_000_000_000_000 {
+            (fs as f64 / 1e12, "ms")
+        } else if fs.abs() >= 1_000_000_000 {
+            (fs as f64 / 1e9, "us")
+        } else if fs.abs() >= 1_000_000 {
+            (fs as f64 / 1e6, "ns")
+        } else if fs.abs() >= 1_000 {
+            (fs as f64 / 1e3, "ps")
+        } else {
+            (fs as f64, "fs")
+        };
+        if value.fract() == 0.0 {
+            write!(f, "{} {}", value as i64, unit)
+        } else {
+            write!(f, "{value} {unit}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_scale_correctly() {
+        assert_eq!(Time::from_ps(1).as_fs(), 1_000);
+        assert_eq!(Time::from_ns(1).as_fs(), 1_000_000);
+        assert_eq!(Time::from_us(1).as_fs(), 1_000_000_000);
+        assert_eq!(Time::from_ms(1).as_fs(), 1_000_000_000_000);
+        assert_eq!(Time::from_s(1).as_fs(), 1_000_000_000_000_000);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let t = Time::from_secs_f64(0.17e-3);
+        assert_eq!(t, Time::from_us(170));
+        assert!((t.as_secs_f64() - 0.17e-3).abs() < 1e-20);
+    }
+
+    #[test]
+    fn paper_case_study_times_fit() {
+        // 0.2 ms transient with 40 ps rise times: both representable exactly.
+        let transient = Time::from_ms(1) / 5;
+        assert_eq!(transient, Time::from_us(200));
+        let rise = Time::from_ps(40);
+        assert_eq!(transient % rise, Time::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let a = Time::from_ns(20);
+        let b = Time::from_ns(5);
+        assert_eq!(a + b, Time::from_ns(25));
+        assert_eq!(a - b, Time::from_ns(15));
+        assert_eq!(a * 3, Time::from_ns(60));
+        assert_eq!(a / 4, Time::from_ns(5));
+        assert_eq!(a / b, 4);
+        assert!(b < a);
+        assert_eq!((-b).abs(), b);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(Time::MAX.saturating_add(Time::from_ns(1)), Time::MAX);
+    }
+
+    #[test]
+    fn display_picks_natural_units() {
+        assert_eq!(Time::from_ns(20).to_string(), "20 ns");
+        assert_eq!(Time::from_ps(500).to_string(), "500 ps");
+        assert_eq!(Time::from_us(170).to_string(), "170 us");
+        assert_eq!(Time::from_fs(1500).to_string(), "1.5 ps");
+        assert_eq!(Time::ZERO.to_string(), "0 s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Time = [Time::from_ns(1), Time::from_ns(2), Time::from_ns(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Time::from_ns(6));
+    }
+}

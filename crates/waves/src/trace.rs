@@ -1,0 +1,214 @@
+//! A named collection of monitored waveforms — the output of one simulation
+//! run, digital and analog signals together.
+
+use crate::{AnalogWave, DigitalWave, Logic, PushOutOfOrderError, Time};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The waveforms recorded by one simulation run.
+///
+/// Signals are keyed by hierarchical name (e.g. `"pll.vco_in"`). A `Trace`
+/// is what the campaign engine compares between a golden run and each fault
+/// injection run.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::{Logic, Time, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.record_digital("clk", Time::ZERO, Logic::Zero)?;
+/// trace.record_analog("vctrl", Time::ZERO, 2.5)?;
+/// assert_eq!(trace.digital("clk").unwrap().value_at(Time::ZERO), Logic::Zero);
+/// # Ok::<(), amsfi_waves::PushOutOfOrderError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    digital: BTreeMap<String, DigitalWave>,
+    analog: BTreeMap<String, AnalogWave>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transition to the named digital signal, creating it if
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushOutOfOrderError`] if `time` precedes the signal's last
+    /// recorded transition.
+    pub fn record_digital(
+        &mut self,
+        name: &str,
+        time: Time,
+        value: Logic,
+    ) -> Result<(), PushOutOfOrderError> {
+        if let Some(wave) = self.digital.get_mut(name) {
+            wave.push(time, value)
+        } else {
+            let mut wave = DigitalWave::new();
+            wave.push(time, value)?;
+            self.digital.insert(name.to_owned(), wave);
+            Ok(())
+        }
+    }
+
+    /// Appends a sample to the named analog signal, creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushOutOfOrderError`] if `time` precedes the signal's last
+    /// recorded sample.
+    pub fn record_analog(
+        &mut self,
+        name: &str,
+        time: Time,
+        value: f64,
+    ) -> Result<(), PushOutOfOrderError> {
+        if let Some(wave) = self.analog.get_mut(name) {
+            wave.push(time, value)
+        } else {
+            let mut wave = AnalogWave::new();
+            wave.push(time, value)?;
+            self.analog.insert(name.to_owned(), wave);
+            Ok(())
+        }
+    }
+
+    /// The named digital waveform, if recorded.
+    pub fn digital(&self, name: &str) -> Option<&DigitalWave> {
+        self.digital.get(name)
+    }
+
+    /// The named analog waveform, if recorded.
+    pub fn analog(&self, name: &str) -> Option<&AnalogWave> {
+        self.analog.get(name)
+    }
+
+    /// Names of all recorded digital signals, sorted.
+    pub fn digital_names(&self) -> impl Iterator<Item = &str> {
+        self.digital.keys().map(String::as_str)
+    }
+
+    /// Names of all recorded analog signals, sorted.
+    pub fn analog_names(&self) -> impl Iterator<Item = &str> {
+        self.analog.keys().map(String::as_str)
+    }
+
+    /// Number of recorded signals (digital + analog).
+    pub fn len(&self) -> usize {
+        self.digital.len() + self.analog.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.digital.is_empty() && self.analog.is_empty()
+    }
+
+    /// The latest time appearing in any waveform.
+    pub fn end_time(&self) -> Option<Time> {
+        self.digital
+            .values()
+            .filter_map(DigitalWave::end_time)
+            .chain(self.analog.values().filter_map(AnalogWave::end_time))
+            .max()
+    }
+
+    /// Merges another trace into this one. Signals with the same name are
+    /// replaced by `other`'s waveform.
+    pub fn absorb(&mut self, other: Trace) {
+        self.digital.extend(other.digital);
+        self.analog.extend(other.analog);
+    }
+
+    /// Renders the analog signals as CSV sampled every `step` over
+    /// `[from, to]`, one time column plus one column per signal, suitable for
+    /// external plotting of the paper's figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or negative.
+    pub fn analog_csv(&self, from: Time, to: Time, step: Time) -> String {
+        assert!(step > Time::ZERO, "step must be positive");
+        let mut out = String::from("time_s");
+        for name in self.analog.keys() {
+            let _ = write!(out, ",{name}");
+        }
+        out.push('\n');
+        let mut t = from;
+        while t <= to {
+            let _ = write!(out, "{}", t.as_secs_f64());
+            for wave in self.analog.values() {
+                let _ = write!(out, ",{}", wave.value_at(t));
+            }
+            out.push('\n');
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_retrieves_both_kinds() {
+        let mut tr = Trace::new();
+        tr.record_digital("clk", Time::ZERO, Logic::One).unwrap();
+        tr.record_digital("clk", Time::from_ns(10), Logic::Zero)
+            .unwrap();
+        tr.record_analog("vctrl", Time::ZERO, 2.5).unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.digital("clk").unwrap().len(), 2);
+        assert_eq!(tr.analog("vctrl").unwrap().value_at(Time::ZERO), 2.5);
+        assert!(tr.digital("nope").is_none());
+        assert_eq!(tr.end_time(), Some(Time::from_ns(10)));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut tr = Trace::new();
+        tr.record_analog("b", Time::ZERO, 0.0).unwrap();
+        tr.record_analog("a", Time::ZERO, 0.0).unwrap();
+        let names: Vec<&str> = tr.analog_names().collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = Trace::new();
+        tr.record_analog("v", Time::ZERO, 1.0).unwrap();
+        tr.record_analog("v", Time::from_ns(10), 2.0).unwrap();
+        let csv = tr.analog_csv(Time::ZERO, Time::from_ns(10), Time::from_ns(5));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,v");
+        assert_eq!(lines.len(), 4); // header + t=0,5,10 ns
+        assert!(lines[2].ends_with("1.5"));
+    }
+
+    #[test]
+    fn out_of_order_record_is_an_error() {
+        let mut tr = Trace::new();
+        tr.record_digital("s", Time::from_ns(5), Logic::One)
+            .unwrap();
+        assert!(tr.record_digital("s", Time::ZERO, Logic::Zero).is_err());
+    }
+
+    #[test]
+    fn absorb_merges_traces() {
+        let mut a = Trace::new();
+        a.record_digital("clk", Time::ZERO, Logic::One).unwrap();
+        let mut b = Trace::new();
+        b.record_analog("v", Time::ZERO, 1.0).unwrap();
+        b.record_digital("clk", Time::ZERO, Logic::Zero).unwrap();
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        // The absorbed trace wins on name clashes.
+        assert_eq!(a.digital("clk").unwrap().value_at(Time::ZERO), Logic::Zero);
+    }
+}

@@ -1,0 +1,186 @@
+//! Value-change-dump (VCD) export, so recorded traces open directly in
+//! GTKWave or any other standard waveform viewer.
+//!
+//! Digital signals are emitted as 1-bit wires (bus bits recorded as
+//! `name[i]` appear as separate wires, which viewers regroup); analog
+//! signals are emitted as IEEE 1364-2001 `real` variables.
+
+use crate::{Logic, Time, Trace};
+use std::fmt::Write as _;
+
+fn vcd_logic(value: Logic) -> char {
+    match value.to_x01() {
+        Logic::Zero => '0',
+        Logic::One => '1',
+        _ => {
+            if value == Logic::HighZ {
+                'z'
+            } else {
+                'x'
+            }
+        }
+    }
+}
+
+/// A compact VCD identifier for variable `index` (printable ASCII 33..=126).
+fn vcd_id(mut index: usize) -> String {
+    let mut out = String::new();
+    loop {
+        out.push((33 + (index % 94)) as u8 as char);
+        index /= 94;
+        if index == 0 {
+            return out;
+        }
+        index -= 1;
+    }
+}
+
+/// Renders the trace as a VCD document with 1 fs timescale.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::{vcd, Logic, Time, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.record_digital("clk", Time::ZERO, Logic::Zero)?;
+/// trace.record_digital("clk", Time::from_ns(10), Logic::One)?;
+/// trace.record_analog("vctrl", Time::ZERO, 2.5)?;
+/// let out = vcd::to_vcd(&trace, "amsfi run");
+/// assert!(out.contains("$timescale 1 fs $end"));
+/// assert!(out.contains("$var wire 1"));
+/// assert!(out.contains("$var real 64"));
+/// # Ok::<(), amsfi_waves::PushOutOfOrderError>(())
+/// ```
+pub fn to_vcd(trace: &Trace, comment: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$comment {comment} $end");
+    let _ = writeln!(out, "$version amsfi trace export $end");
+    let _ = writeln!(out, "$timescale 1 fs $end");
+    let _ = writeln!(out, "$scope module amsfi $end");
+    let mut ids = Vec::new();
+    let mut next = 0usize;
+    for name in trace.digital_names() {
+        let id = vcd_id(next);
+        next += 1;
+        let _ = writeln!(out, "$var wire 1 {id} {} $end", vcd_name(name));
+        ids.push(id);
+    }
+    let mut analog_ids = Vec::new();
+    for name in trace.analog_names() {
+        let id = vcd_id(next);
+        next += 1;
+        let _ = writeln!(out, "$var real 64 {id} {} $end", vcd_name(name));
+        analog_ids.push(id);
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Merge all change events, time-ordered.
+    enum Change<'a> {
+        Digital(&'a str, Logic),
+        Analog(&'a str, f64),
+    }
+    let digital_ids: std::collections::BTreeMap<&str, &str> = trace
+        .digital_names()
+        .zip(ids.iter().map(String::as_str))
+        .collect();
+    let analog_id_map: std::collections::BTreeMap<&str, &str> = trace
+        .analog_names()
+        .zip(analog_ids.iter().map(String::as_str))
+        .collect();
+    let mut events: Vec<(Time, Change<'_>)> = Vec::new();
+    for name in trace.digital_names() {
+        for &(t, v) in trace.digital(name).expect("listed").transitions() {
+            events.push((t, Change::Digital(name, v)));
+        }
+    }
+    for name in trace.analog_names() {
+        for &(t, v) in trace.analog(name).expect("listed").samples() {
+            events.push((t, Change::Analog(name, v)));
+        }
+    }
+    events.sort_by_key(|&(t, _)| t);
+
+    let mut current: Option<Time> = None;
+    for (t, change) in events {
+        if current != Some(t) {
+            let _ = writeln!(out, "#{}", t.as_fs());
+            current = Some(t);
+        }
+        match change {
+            Change::Digital(name, v) => {
+                let _ = writeln!(out, "{}{}", vcd_logic(v), digital_ids[name]);
+            }
+            Change::Analog(name, v) => {
+                let _ = writeln!(out, "r{v} {}", analog_id_map[name]);
+            }
+        }
+    }
+    out
+}
+
+/// VCD variable names cannot contain whitespace; bus-bit suffixes `[i]` are
+/// legal and understood by viewers.
+fn vcd_name(name: &str) -> String {
+    name.replace([' ', '\t'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.record_digital("clk", Time::ZERO, Logic::Zero).unwrap();
+        t.record_digital("clk", Time::from_ns(10), Logic::One)
+            .unwrap();
+        t.record_digital("q[0]", Time::from_ns(10), Logic::Unknown)
+            .unwrap();
+        t.record_analog("vctrl", Time::ZERO, 2.5).unwrap();
+        t.record_analog("vctrl", Time::from_ns(5), 2.75).unwrap();
+        t
+    }
+
+    #[test]
+    fn header_and_definitions() {
+        let vcd = to_vcd(&sample_trace(), "test");
+        assert!(vcd.starts_with("$comment test $end"));
+        assert!(vcd.contains("$var wire 1 ! clk $end"));
+        assert!(vcd.contains("$var wire 1 \" q[0] $end"));
+        assert!(vcd.contains("$var real 64 # vctrl $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn changes_are_time_ordered_and_grouped() {
+        let vcd = to_vcd(&sample_trace(), "test");
+        let t0 = vcd.find("#0\n").expect("time 0 stamp");
+        let t5 = vcd.find("#5000000\n").expect("5 ns stamp");
+        let t10 = vcd.find("#10000000\n").expect("10 ns stamp");
+        assert!(t0 < t5 && t5 < t10);
+        // Both 10 ns changes share one timestamp.
+        assert_eq!(vcd.matches("#10000000\n").count(), 1);
+    }
+
+    #[test]
+    fn logic_values_map_to_vcd_chars() {
+        let vcd = to_vcd(&sample_trace(), "test");
+        assert!(vcd.contains("0!"), "clk low at t0");
+        assert!(vcd.contains("1!"), "clk high at 10 ns");
+        assert!(vcd.contains("x\""), "q[0] unknown");
+        assert!(vcd.contains("r2.5 #"), "real sample");
+    }
+
+    #[test]
+    fn id_generation_is_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let id = vcd_id(i);
+            assert!(id.chars().all(|c| (33..=126).contains(&(c as u32))));
+            assert!(seen.insert(id), "duplicate id for {i}");
+        }
+        assert_eq!(vcd_id(0), "!");
+        assert_eq!(vcd_id(94), "!!");
+    }
+}

@@ -1,0 +1,389 @@
+//! Recorded waveforms: the traces produced by fault-injection runs.
+//!
+//! Two kinds of quantity are traced, matching the two halves of the flow:
+//!
+//! * [`DigitalWave`] — a piecewise-constant sequence of [`Logic`] transitions
+//!   (what a VHDL simulator would write to a VCD file);
+//! * [`AnalogWave`] — a sampled real-valued quantity, interpreted with linear
+//!   interpolation between samples (what a mixed-mode simulator plots).
+
+use crate::{Logic, Time};
+use std::fmt;
+
+/// Error returned when a sample is appended out of time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushOutOfOrderError {
+    last: Time,
+    attempted: Time,
+}
+
+impl fmt::Display for PushOutOfOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sample at {} pushed after sample at {}",
+            self.attempted, self.last
+        )
+    }
+}
+
+impl std::error::Error for PushOutOfOrderError {}
+
+/// A piecewise-constant logic waveform: a list of `(time, new value)`
+/// transitions sorted by time.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::{DigitalWave, Logic, Time};
+///
+/// let mut w = DigitalWave::new();
+/// w.push(Time::ZERO, Logic::Zero)?;
+/// w.push(Time::from_ns(10), Logic::One)?;
+/// assert_eq!(w.value_at(Time::from_ns(5)), Logic::Zero);
+/// assert_eq!(w.value_at(Time::from_ns(10)), Logic::One);
+/// # Ok::<(), amsfi_waves::PushOutOfOrderError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DigitalWave {
+    transitions: Vec<(Time, Logic)>,
+}
+
+impl DigitalWave {
+    /// An empty waveform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transition. Transitions at the same time overwrite the
+    /// previous value (the last delta cycle wins); redundant transitions to
+    /// the current value are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushOutOfOrderError`] if `time` is earlier than the last
+    /// recorded transition.
+    pub fn push(&mut self, time: Time, value: Logic) -> Result<(), PushOutOfOrderError> {
+        if let Some(&mut (last, ref mut v)) = self.transitions.last_mut() {
+            if time < last {
+                return Err(PushOutOfOrderError {
+                    last,
+                    attempted: time,
+                });
+            }
+            if time == last {
+                *v = value;
+                return Ok(());
+            }
+            if *v == value {
+                return Ok(());
+            }
+        }
+        self.transitions.push((time, value));
+        Ok(())
+    }
+
+    /// The value at `time`: the value of the latest transition not later
+    /// than `time`, or `'U'` before the first transition.
+    pub fn value_at(&self, time: Time) -> Logic {
+        match self.transitions.partition_point(|&(t, _)| t <= time) {
+            0 => Logic::Uninitialized,
+            n => self.transitions[n - 1].1,
+        }
+    }
+
+    /// The recorded transitions, sorted by time.
+    pub fn transitions(&self) -> &[(Time, Logic)] {
+        &self.transitions
+    }
+
+    /// The number of recorded transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True if no transition has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The time of the last transition, if any.
+    pub fn end_time(&self) -> Option<Time> {
+        self.transitions.last().map(|&(t, _)| t)
+    }
+
+    /// Times of transitions to `'1'`/`'H'` from a non-high value.
+    pub fn rising_edges(&self) -> Vec<Time> {
+        self.edges(true)
+    }
+
+    /// Times of transitions to `'0'`/`'L'` from a non-low value.
+    pub fn falling_edges(&self) -> Vec<Time> {
+        self.edges(false)
+    }
+
+    fn edges(&self, rising: bool) -> Vec<Time> {
+        let mut prev = Logic::Uninitialized;
+        let mut out = Vec::new();
+        for &(t, v) in &self.transitions {
+            let is_edge = if rising {
+                v.is_high() && !prev.is_high()
+            } else {
+                v.is_low() && !prev.is_low()
+            };
+            if is_edge {
+                out.push(t);
+            }
+            prev = v;
+        }
+        out
+    }
+}
+
+/// A sampled real-valued waveform with linear interpolation.
+///
+/// Samples must be pushed in non-decreasing time order; duplicate times
+/// overwrite (supporting discontinuities is not needed for behavioural
+/// quantities, which are continuous).
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::{AnalogWave, Time};
+///
+/// let mut w = AnalogWave::new();
+/// w.push(Time::ZERO, 0.0)?;
+/// w.push(Time::from_ns(10), 1.0)?;
+/// assert_eq!(w.value_at(Time::from_ns(5)), 0.5);
+/// # Ok::<(), amsfi_waves::PushOutOfOrderError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalogWave {
+    samples: Vec<(Time, f64)>,
+}
+
+impl AnalogWave {
+    /// An empty waveform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a waveform from `(time, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pairs are not sorted by non-decreasing time.
+    pub fn from_samples<I: IntoIterator<Item = (Time, f64)>>(samples: I) -> Self {
+        let mut w = AnalogWave::new();
+        for (t, v) in samples {
+            w.push(t, v).expect("samples must be sorted by time");
+        }
+        w
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushOutOfOrderError`] if `time` is earlier than the last
+    /// recorded sample.
+    pub fn push(&mut self, time: Time, value: f64) -> Result<(), PushOutOfOrderError> {
+        if let Some(&mut (last, ref mut v)) = self.samples.last_mut() {
+            if time < last {
+                return Err(PushOutOfOrderError {
+                    last,
+                    attempted: time,
+                });
+            }
+            if time == last {
+                *v = value;
+                return Ok(());
+            }
+        }
+        self.samples.push((time, value));
+        Ok(())
+    }
+
+    /// The linearly interpolated value at `time`. Before the first sample the
+    /// first value is held; after the last, the last value.
+    ///
+    /// Returns `0.0` for an empty waveform.
+    pub fn value_at(&self, time: Time) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.partition_point(|&(t, _)| t <= time);
+        if n == 0 {
+            return self.samples[0].1;
+        }
+        if n == self.samples.len() {
+            return self.samples[n - 1].1;
+        }
+        let (t0, v0) = self.samples[n - 1];
+        let (t1, v1) = self.samples[n];
+        let frac = (time - t0).as_fs() as f64 / (t1 - t0).as_fs() as f64;
+        v0 + (v1 - v0) * frac
+    }
+
+    /// The recorded samples, sorted by time.
+    pub fn samples(&self) -> &[(Time, f64)] {
+        &self.samples
+    }
+
+    /// The number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The time of the last sample, if any.
+    pub fn end_time(&self) -> Option<Time> {
+        self.samples.last().map(|&(t, _)| t)
+    }
+
+    /// The minimum sampled value, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).reduce(f64::min)
+    }
+
+    /// The maximum sampled value, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).reduce(f64::max)
+    }
+
+    /// Restricts the waveform to `[from, to]`, adding interpolated boundary
+    /// samples so the window's end-point values are preserved.
+    #[must_use]
+    pub fn window(&self, from: Time, to: Time) -> AnalogWave {
+        let mut out = AnalogWave::new();
+        if self.samples.is_empty() || from > to {
+            return out;
+        }
+        out.push(from, self.value_at(from)).expect("from is first");
+        for &(t, v) in &self.samples {
+            if t > from && t < to {
+                out.push(t, v).expect("samples are sorted");
+            }
+        }
+        if to > from {
+            out.push(to, self.value_at(to)).expect("to is last");
+        }
+        out
+    }
+}
+
+impl FromIterator<(Time, f64)> for AnalogWave {
+    /// # Panics
+    ///
+    /// Panics if the pairs are not sorted by non-decreasing time.
+    fn from_iter<I: IntoIterator<Item = (Time, f64)>>(iter: I) -> Self {
+        AnalogWave::from_samples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digital_holds_value_between_transitions() {
+        let mut w = DigitalWave::new();
+        w.push(Time::from_ns(1), Logic::Zero).unwrap();
+        w.push(Time::from_ns(3), Logic::One).unwrap();
+        assert_eq!(w.value_at(Time::ZERO), Logic::Uninitialized);
+        assert_eq!(w.value_at(Time::from_ns(1)), Logic::Zero);
+        assert_eq!(w.value_at(Time::from_ns(2)), Logic::Zero);
+        assert_eq!(w.value_at(Time::from_ns(3)), Logic::One);
+        assert_eq!(w.value_at(Time::from_ns(99)), Logic::One);
+    }
+
+    #[test]
+    fn digital_rejects_out_of_order() {
+        let mut w = DigitalWave::new();
+        w.push(Time::from_ns(5), Logic::One).unwrap();
+        let err = w.push(Time::from_ns(4), Logic::Zero).unwrap_err();
+        assert!(err.to_string().contains("4 ns"));
+    }
+
+    #[test]
+    fn digital_same_time_overwrites_and_redundant_dropped() {
+        let mut w = DigitalWave::new();
+        w.push(Time::ZERO, Logic::Zero).unwrap();
+        w.push(Time::ZERO, Logic::One).unwrap(); // delta-cycle overwrite
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.value_at(Time::ZERO), Logic::One);
+        w.push(Time::from_ns(1), Logic::One).unwrap(); // redundant
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn digital_edge_detection() {
+        let mut w = DigitalWave::new();
+        for (t, v) in [
+            (0, Logic::Zero),
+            (10, Logic::One),
+            (20, Logic::Zero),
+            (30, Logic::One),
+        ] {
+            w.push(Time::from_ns(t), v).unwrap();
+        }
+        assert_eq!(w.rising_edges(), vec![Time::from_ns(10), Time::from_ns(30)]);
+        assert_eq!(w.falling_edges(), vec![Time::from_ns(0), Time::from_ns(20)]);
+    }
+
+    #[test]
+    fn rising_edge_from_uninitialized_counts() {
+        let mut w = DigitalWave::new();
+        w.push(Time::from_ns(7), Logic::One).unwrap();
+        assert_eq!(w.rising_edges(), vec![Time::from_ns(7)]);
+    }
+
+    #[test]
+    fn analog_interpolates_linearly() {
+        let w = AnalogWave::from_samples([
+            (Time::ZERO, 0.0),
+            (Time::from_ns(10), 2.0),
+            (Time::from_ns(20), 0.0),
+        ]);
+        assert_eq!(w.value_at(Time::from_ns(5)), 1.0);
+        assert_eq!(w.value_at(Time::from_ns(15)), 1.0);
+        assert_eq!(w.value_at(Time::from_ns(10)), 2.0);
+    }
+
+    #[test]
+    fn analog_holds_ends() {
+        let w = AnalogWave::from_samples([(Time::from_ns(5), 3.0), (Time::from_ns(6), 4.0)]);
+        assert_eq!(w.value_at(Time::ZERO), 3.0);
+        assert_eq!(w.value_at(Time::from_ns(100)), 4.0);
+    }
+
+    #[test]
+    fn analog_empty_is_zero() {
+        assert_eq!(AnalogWave::new().value_at(Time::from_ns(1)), 0.0);
+    }
+
+    #[test]
+    fn analog_min_max() {
+        let w = AnalogWave::from_samples([
+            (Time::ZERO, 1.0),
+            (Time::from_ns(1), -2.0),
+            (Time::from_ns(2), 5.0),
+        ]);
+        assert_eq!(w.min(), Some(-2.0));
+        assert_eq!(w.max(), Some(5.0));
+    }
+
+    #[test]
+    fn analog_window_preserves_boundary_values() {
+        let w = AnalogWave::from_samples([(Time::ZERO, 0.0), (Time::from_ns(10), 10.0)]);
+        let cut = w.window(Time::from_ns(2), Time::from_ns(8));
+        assert_eq!(cut.value_at(Time::from_ns(2)), 2.0);
+        assert_eq!(cut.value_at(Time::from_ns(8)), 8.0);
+        assert_eq!(cut.samples().first().unwrap().0, Time::from_ns(2));
+        assert_eq!(cut.end_time(), Some(Time::from_ns(8)));
+    }
+}

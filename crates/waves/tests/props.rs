@@ -1,0 +1,150 @@
+//! Property-based tests for the waveform and logic primitives.
+
+use amsfi_waves::{measure, AnalogWave, DigitalWave, Logic, LogicVector, Time};
+use proptest::prelude::*;
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop::sample::select(Logic::ALL.to_vec())
+}
+
+fn arb_time() -> impl Strategy<Value = Time> {
+    (0i64..=1_000_000_000_000).prop_map(Time::from_fs)
+}
+
+proptest! {
+    #[test]
+    fn resolution_commutative(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(a.resolve(b), b.resolve(a));
+    }
+
+    #[test]
+    fn resolution_idempotent(a in arb_logic()) {
+        // IEEE 1164 resolves '-' with '-' to 'X'; all other values are
+        // idempotent under resolution.
+        if a == Logic::DontCare {
+            prop_assert_eq!(a.resolve(a), Logic::Unknown);
+        } else {
+            prop_assert_eq!(a.resolve(a), a);
+        }
+    }
+
+    #[test]
+    fn highz_is_resolution_identity_for_drivers(a in arb_logic()) {
+        // '-' is the only value Z does not pass through unchanged (it becomes X).
+        if a != Logic::DontCare {
+            prop_assert_eq!(Logic::HighZ.resolve(a), a);
+        }
+    }
+
+    #[test]
+    fn double_flip_restores_binary_values(a in arb_logic()) {
+        if a.to_bool().is_some() {
+            prop_assert_eq!(a.flipped().flipped().to_x01(), a.to_x01());
+        } else {
+            prop_assert_eq!(a.flipped(), a);
+        }
+    }
+
+    #[test]
+    fn de_morgan_on_x01(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(!(a & b), (!a) | (!b));
+        prop_assert_eq!(!(a | b), (!a) & (!b));
+    }
+
+    #[test]
+    fn vector_u64_round_trip(value in any::<u64>(), width in 1usize..=64) {
+        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+        let v = LogicVector::from_u64(masked, width);
+        prop_assert_eq!(v.to_u64(), Some(masked));
+        prop_assert_eq!(v.width(), width);
+    }
+
+    #[test]
+    fn vector_display_parse_round_trip(value in any::<u64>(), width in 1usize..=32) {
+        let masked = value & ((1u64 << width) - 1);
+        let v = LogicVector::from_u64(masked, width);
+        let parsed: LogicVector = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn vector_flip_changes_hamming_by_one(value in any::<u64>(), width in 1usize..=32, bit in 0usize..32) {
+        prop_assume!(bit < width);
+        let masked = value & ((1u64 << width) - 1);
+        let v = LogicVector::from_u64(masked, width);
+        let mut w = v.clone();
+        w.flip_bit(bit);
+        prop_assert_eq!(v.hamming_distance(&w), 1);
+    }
+
+    #[test]
+    fn digital_value_at_is_last_transition(
+        times in prop::collection::vec(arb_time(), 1..20),
+        values in prop::collection::vec(arb_logic(), 20),
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort();
+        sorted.dedup();
+        let mut w = DigitalWave::new();
+        let mut expected: Vec<(Time, Logic)> = Vec::new();
+        for (i, &t) in sorted.iter().enumerate() {
+            let v = values[i % values.len()];
+            w.push(t, v).unwrap();
+            expected.push((t, v));
+        }
+        // At every recorded time, the waveform returns that value.
+        for &(t, v) in &expected {
+            prop_assert_eq!(w.value_at(t).to_x01(), v.to_x01());
+        }
+        // Before the first transition the value is 'U'.
+        if expected[0].0 > Time::ZERO {
+            prop_assert_eq!(w.value_at(expected[0].0 - Time::RESOLUTION), Logic::Uninitialized);
+        }
+    }
+
+    #[test]
+    fn analog_interpolation_is_bounded_by_neighbours(
+        v0 in -10.0f64..10.0, v1 in -10.0f64..10.0, frac in 0.0f64..=1.0
+    ) {
+        let t1 = Time::from_ns(100);
+        let w = AnalogWave::from_samples([(Time::ZERO, v0), (t1, v1)]);
+        let t = Time::from_fs((t1.as_fs() as f64 * frac) as i64);
+        let v = w.value_at(t);
+        let (lo, hi) = (v0.min(v1), v0.max(v1));
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "v = {v}, bounds [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn crossings_alternate_direction(samples in prop::collection::vec(-5.0f64..5.0, 2..40)) {
+        let w: AnalogWave = samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Time::from_ns(i as i64 * 10), v))
+            .collect();
+        let crossings = measure::crossings(&w, 0.0);
+        for pair in crossings.windows(2) {
+            prop_assert_ne!(pair[0].direction, pair[1].direction);
+        }
+    }
+
+    #[test]
+    fn deviation_of_wave_with_itself_is_zero(samples in prop::collection::vec(-5.0f64..5.0, 2..20)) {
+        let w: AnalogWave = samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Time::from_ns(i as i64 * 10), v))
+            .collect();
+        let end = w.end_time().unwrap();
+        let d = measure::deviation(&w, &w, Time::ZERO, end, 1e-12);
+        prop_assert_eq!(d.peak, 0.0);
+        prop_assert_eq!(d.onset, None);
+    }
+
+    #[test]
+    fn time_display_round_trips_through_seconds(fs in 0i64..=1_000_000_000_000_000) {
+        let t = Time::from_fs(fs);
+        let back = Time::from_secs_f64(t.as_secs_f64());
+        // f64 has 52 mantissa bits; round trip is exact to ~128 fs at 0.5 s.
+        prop_assert!((back - t).abs() <= Time::from_fs(256));
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: inject the paper's reference SEU current pulse into the PLL
+//! and watch the consequences — the whole flow in ~40 lines.
+//!
+//! ```text
+//! cargo run --release -p amsfi-examples --bin quickstart
+//! ```
+
+use amsfi_circuits::pll::{self, names};
+use amsfi_faults::{PulseShape, TrapezoidPulse};
+use amsfi_waves::{measure, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The fault: the paper's reference current spike —
+    //    PA = 10 mA, RT = 100 ps, FT = 300 ps, PW = 500 ps.
+    let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500)?;
+    let strike_at = Time::from_us(20);
+
+    // 2. The circuit: the Fig. 5 PLL (fast-locking variant), with the
+    //    saboteur on the loop-filter input armed with our pulse.
+    let golden_cfg = pll::PllConfig::fast();
+    let faulty_cfg = golden_cfg.clone().with_fault(pulse, strike_at);
+
+    // 3. Run both: a golden (fault-free) reference and the faulty circuit.
+    let mut traces = Vec::new();
+    for cfg in [&golden_cfg, &faulty_cfg] {
+        let mut bench = pll::build(cfg);
+        bench.monitor_standard();
+        bench.run_until(Time::from_us(40))?;
+        traces.push(bench.trace());
+    }
+    let (golden, faulty) = (&traces[0], &traces[1]);
+
+    // 4. Measure the consequences on the VCO control voltage...
+    let deviation = measure::deviation(
+        golden.analog(names::VCTRL).expect("monitored"),
+        faulty.analog(names::VCTRL).expect("monitored"),
+        strike_at - Time::from_us(1),
+        Time::from_us(40),
+        0.01,
+    );
+    println!(
+        "VCO input: peak deviation {:.1} mV, perturbed for {} \
+         ({}x the {} pulse)",
+        deviation.peak * 1e3,
+        deviation.duration(),
+        deviation.duration() / pulse.support(),
+        pulse.support(),
+    );
+
+    // 5. ...and on the generated 50 MHz clock.
+    let (cycles, worst) = measure::perturbed_cycles(
+        faulty.digital(names::F_OUT).expect("monitored"),
+        strike_at - Time::from_us(1),
+        Time::from_us(40),
+        Time::from_ns(20),
+        Time::from_ps(100),
+    );
+    println!(
+        "Generated clock: {cycles} perturbed cycles, worst period {}",
+        worst.map_or("-".to_owned(), |w| w.to_string())
+    );
+
+    // 6. Dump the faulty run for a waveform viewer.
+    std::fs::write(
+        "quickstart_faulty.vcd",
+        amsfi_waves::vcd::to_vcd(faulty, "quickstart faulty PLL run"),
+    )?;
+    println!("Wrote quickstart_faulty.vcd (open with GTKWave).");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Shared helpers for the `amsfi` integration test suite.
+
+use amsfi_circuits::pll;
+use amsfi_waves::{Time, Trace};
+
+/// Builds, monitors and runs a PLL bench to `t_end`, returning its trace.
+///
+/// # Panics
+///
+/// Panics if the simulation reports an error.
+pub fn run_pll(config: &pll::PllConfig, t_end: Time) -> Trace {
+    let mut bench = pll::build(config);
+    bench.monitor_standard();
+    bench.run_until(t_end).expect("pll simulation");
+    bench.trace()
+}
+
+/// The fast-locking PLL configuration used throughout the integration tests.
+pub fn fast_pll() -> pll::PllConfig {
+    pll::PllConfig::fast()
+}

@@ -1,0 +1,154 @@
+//! Integration of the campaign engine with real mixed-signal circuits:
+//! parallel equals sequential, reports render, and the propagation model
+//! reflects the physical error path.
+
+use amsfi_circuits::pll::{self, names};
+use amsfi_core::{
+    plan, report, run_campaign, run_campaign_parallel, ClassifySpec, FaultCase, FaultClass,
+    PropagationModel,
+};
+use amsfi_faults::TrapezoidPulse;
+use amsfi_integration::fast_pll;
+use amsfi_waves::{Time, Tolerance, Trace};
+
+const T_END: Time = Time::from_us(25);
+
+fn spec() -> ClassifySpec {
+    ClassifySpec::new((Time::from_us(10), T_END), vec![names::FB.to_owned()])
+        .with_internals(vec![names::VCTRL.to_owned(), names::F_OUT.to_owned()])
+        // The tolerance sits above the residual charge-pump ripple on vctrl
+        // (the paper's Section 4.1: "avoid non significant error
+        // identifications").
+        .with_tolerance(Tolerance::new(0.05, 0.0))
+        // The loop nulls phase error asymptotically; sub-5-ns residual skew on
+        // the 200 ns feedback clock is not an error.
+        .with_digital_skew(Time::from_ns(5))
+}
+
+fn runner<'a>(
+    pulses: &'a [TrapezoidPulse],
+    times: &'a [Time],
+) -> impl Fn(Option<usize>) -> Result<Trace, Box<dyn std::error::Error + Send + Sync>> + Sync + 'a {
+    move |case| {
+        let cfg = match case {
+            Some(i) => {
+                let pulse = pulses[i / times.len()];
+                let at = times[i % times.len()];
+                fast_pll().with_fault(pulse, at)
+            }
+            None => fast_pll(),
+        };
+        let mut bench = pll::build(&cfg);
+        bench.monitor_standard();
+        bench.run_until(T_END)?;
+        Ok(bench.trace())
+    }
+}
+
+fn cases(pulses: &[TrapezoidPulse], times: &[Time]) -> Vec<FaultCase> {
+    let mut out = Vec::new();
+    for p in pulses {
+        for &at in times {
+            out.push(FaultCase::new(format!("icp {p}"), at));
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_campaign_equals_sequential_on_real_circuit() {
+    let pulses = plan::pulse_grid(&[2.0, 10.0], &[100], &[300], &[500]);
+    let times = plan::uniform_times(Time::from_us(12), Time::from_us(14), 2);
+    let spec = spec();
+    let seq = run_campaign(&spec, cases(&pulses, &times), runner(&pulses, &times)).unwrap();
+    let par =
+        run_campaign_parallel(&spec, cases(&pulses, &times), 4, runner(&pulses, &times)).unwrap();
+    assert_eq!(seq.summary(), par.summary());
+    for (a, b) in seq.cases.iter().zip(&par.cases) {
+        assert_eq!(a.outcome, b.outcome, "case {}", a.case);
+    }
+}
+
+#[test]
+fn small_pulse_is_no_effect_big_pulse_disturbs() {
+    // 0.05 mA barely moves the 200 pF loop; 10 mA clearly does.
+    let pulses = plan::pulse_grid(&[0.05, 10.0], &[100], &[300], &[500]);
+    let times = vec![Time::from_us(13)];
+    let spec = spec();
+    let result = run_campaign(&spec, cases(&pulses, &times), runner(&pulses, &times)).unwrap();
+    assert_eq!(
+        result.cases[0].outcome.class,
+        FaultClass::NoEffect,
+        "small-pulse outcome: {:?}",
+        result.cases[0].outcome
+    );
+
+    assert_ne!(result.cases[1].outcome.class, FaultClass::NoEffect);
+}
+
+#[test]
+fn reports_render_for_real_campaign() {
+    let pulses = plan::pulse_grid(&[10.0], &[100], &[300], &[500]);
+    let times = vec![Time::from_us(13)];
+    let spec = spec();
+    let result = run_campaign(&spec, cases(&pulses, &times), runner(&pulses, &times)).unwrap();
+    let table = report::summary_table(&result);
+    assert!(table.contains("total"));
+    let csv = report::cases_csv(&result);
+    assert_eq!(csv.lines().count(), 2);
+    let targets = report::per_target_table(&result);
+    assert!(targets.contains("icp"));
+}
+
+#[test]
+fn propagation_model_shows_analog_to_digital_path() {
+    let pulses = plan::pulse_grid(&[10.0, 20.0], &[100], &[300], &[1_000]);
+    let times = plan::uniform_times(Time::from_us(12), Time::from_us(14), 2);
+    let spec = spec();
+    let mut faulty_traces = Vec::new();
+    let run = runner(&pulses, &times);
+    let result = run_campaign(&spec, cases(&pulses, &times), |case| {
+        let trace = run(case)?;
+        if case.is_some() {
+            faulty_traces.push(trace.clone());
+        }
+        Ok(trace)
+    })
+    .unwrap();
+    let model = PropagationModel::from_traces(&spec, &result, &faulty_traces);
+    assert!(model.cases > 0);
+    // The strike lands on the analog node first; it must lead the orderings.
+    assert!(model.node_hits.contains_key(names::VCTRL));
+    let vctrl_to_fout = model
+        .edges
+        .iter()
+        .find(|e| e.from == names::VCTRL && e.to == names::F_OUT);
+    assert!(
+        vctrl_to_fout.is_some(),
+        "expected vctrl -> f_out ordering, edges: {:?}",
+        model.edges
+    );
+    let dot = model.to_dot();
+    assert!(dot.contains(names::VCTRL));
+}
+
+#[test]
+fn campaign_error_propagates_from_failed_run() {
+    let spec = spec();
+    let err = run_campaign(
+        &spec,
+        vec![FaultCase::new("x", Time::ZERO)],
+        |case| match case {
+            None => {
+                let mut bench = pll::build(&fast_pll());
+                bench.monitor_standard();
+                bench.run_until(Time::from_us(1))?;
+                Ok(bench.trace())
+            }
+            Some(_) => Err("injection machinery exploded".into()),
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err.case, Some(0));
+    assert!(err.to_string().contains("exploded"));
+}

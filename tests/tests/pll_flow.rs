@@ -1,0 +1,135 @@
+//! End-to-end integration: the paper's Fig. 6 experiment shape on the
+//! fast-locking PLL — strike the filter input, observe a perturbation far
+//! longer than the pulse and a multi-cycle clock disturbance.
+
+use amsfi_circuits::pll::names;
+use amsfi_core::{classify, ClassifySpec, FaultClass};
+use amsfi_faults::{DoubleExponential, PulseShape, TrapezoidPulse};
+use amsfi_integration::{fast_pll, run_pll};
+use amsfi_waves::{measure, Time, Tolerance};
+
+const T_END: Time = Time::from_us(40);
+const T_STRIKE: Time = Time::from_us(20);
+
+#[test]
+fn strike_perturbation_outlives_pulse_by_orders_of_magnitude() {
+    let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500).unwrap();
+    let golden = run_pll(&fast_pll(), T_END);
+    let faulty = run_pll(&fast_pll().with_fault(pulse, T_STRIKE), T_END);
+    let dev = measure::deviation(
+        golden.analog(names::VCTRL).unwrap(),
+        faulty.analog(names::VCTRL).unwrap(),
+        T_STRIKE - Time::from_us(1),
+        T_END,
+        0.02,
+    );
+    // Fig. 6's headline: the 800 ps pulse perturbs the VCO input during a
+    // much larger time.
+    assert!(
+        dev.duration() > pulse.support() * 100,
+        "duration {} vs pulse {}",
+        dev.duration(),
+        pulse.support()
+    );
+    assert!(dev.peak > 0.1, "peak {} too small", dev.peak);
+}
+
+#[test]
+fn clock_is_perturbed_for_many_cycles_not_one() {
+    let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500).unwrap();
+    let faulty = run_pll(&fast_pll().with_fault(pulse, T_STRIKE), T_END);
+    let (cycles, worst) = measure::perturbed_cycles(
+        faulty.digital(names::F_OUT).unwrap(),
+        T_STRIKE - Time::from_us(1),
+        T_END,
+        Time::from_ns(20),
+        Time::from_ps(200),
+    );
+    assert!(cycles > 10, "only {cycles} perturbed cycles");
+    let worst = worst.expect("some perturbed period");
+    assert!(
+        (worst - Time::from_ns(20)).abs() > Time::from_ps(200),
+        "worst period {worst} not actually perturbed"
+    );
+}
+
+#[test]
+fn fig7_shape_trapezoid_and_double_exp_agree_at_system_level() {
+    let de = DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+    let trap = TrapezoidPulse::fit(&de);
+    let golden = run_pll(&fast_pll(), T_END);
+    let with_de = run_pll(&fast_pll().with_fault(de, T_STRIKE), T_END);
+    let with_trap = run_pll(&fast_pll().with_fault(trap, T_STRIKE), T_END);
+    let window = (T_STRIKE - Time::from_us(1), T_END);
+    let dev_de = measure::deviation(
+        golden.analog(names::VCTRL).unwrap(),
+        with_de.analog(names::VCTRL).unwrap(),
+        window.0,
+        window.1,
+        0.02,
+    );
+    let dev_trap = measure::deviation(
+        golden.analog(names::VCTRL).unwrap(),
+        with_trap.analog(names::VCTRL).unwrap(),
+        window.0,
+        window.1,
+        0.02,
+    );
+    // "Very similar, numeric values slightly different": peaks within 20 %.
+    let rel = (dev_de.peak - dev_trap.peak).abs() / dev_de.peak;
+    assert!(
+        rel < 0.2,
+        "peak mismatch {rel:.2} (de {} trap {})",
+        dev_de.peak,
+        dev_trap.peak
+    );
+}
+
+#[test]
+fn fig8_shape_larger_charge_larger_disturbance() {
+    let golden = run_pll(&fast_pll(), T_END);
+    let mut peaks = Vec::new();
+    for (pa, pw) in [(2.0, 300), (8.0, 300), (10.0, 540)] {
+        let pulse = TrapezoidPulse::from_ma_ps(pa, 100, 100, pw).unwrap();
+        let faulty = run_pll(&fast_pll().with_fault(pulse, T_STRIKE), T_END);
+        let dev = measure::deviation(
+            golden.analog(names::VCTRL).unwrap(),
+            faulty.analog(names::VCTRL).unwrap(),
+            T_STRIKE - Time::from_us(1),
+            T_END,
+            0.01,
+        );
+        peaks.push((pulse.charge(), dev.peak));
+    }
+    // Cumulative effect: sorted by charge, peaks must be increasing.
+    peaks.sort_by(|a, b| a.0.total_cmp(&b.0));
+    assert!(
+        peaks.windows(2).all(|w| w[1].1 > w[0].1),
+        "peaks not monotone in charge: {peaks:?}"
+    );
+}
+
+#[test]
+fn classification_of_strike_on_locked_pll_recovers() {
+    // The loop corrects the disturbance: vctrl is back within tolerance by
+    // the end of the window -> transient, not failure.
+    let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500).unwrap();
+    let golden = run_pll(&fast_pll(), T_END);
+    let faulty = run_pll(&fast_pll().with_fault(pulse, T_STRIKE), T_END);
+    let spec = ClassifySpec::new(
+        (T_STRIKE - Time::from_us(1), T_END),
+        vec![names::VCTRL.to_owned()],
+    )
+    .with_tolerance(Tolerance::new(0.05, 0.0));
+    let outcome = classify(&spec, &golden, &faulty);
+    assert_eq!(outcome.class, FaultClass::Transient, "{outcome:?}");
+    assert!(outcome.error_onset.is_some());
+    assert!(outcome.latency_from(T_STRIKE).unwrap() < Time::from_us(1));
+}
+
+#[test]
+fn unarmed_fault_configuration_matches_golden_exactly() {
+    let a = run_pll(&fast_pll(), Time::from_us(15));
+    let b = run_pll(&fast_pll(), Time::from_us(15));
+    assert_eq!(a, b, "identical configurations must give identical traces");
+}
