@@ -1,0 +1,7 @@
+#!/bin/sh
+# Local CI gate: formatting, lints as errors, full test suite.
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q

@@ -3,9 +3,11 @@
 
 use amsfi_core::{run_campaign_parallel, ClassifySpec, FaultCase};
 use amsfi_digital::{cells, Netlist, Simulator};
+use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig};
 use amsfi_waves::{Logic, Time, Trace};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn build_counter() -> (Simulator, Vec<amsfi_digital::MutantTarget>) {
     let mut net = Netlist::new();
@@ -58,6 +60,68 @@ fn campaign_worker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The counter SEU campaign as an engine [`Campaign`], for the
+/// engine-vs-legacy throughput comparison.
+fn counter_campaign() -> Campaign {
+    let at = Time::from_us(5);
+    Campaign {
+        name: "bench-counter".to_owned(),
+        spec: ClassifySpec::new(
+            (Time::ZERO, Time::from_us(50)),
+            (0..16).map(|i| format!("q[{i}]")).collect(),
+        ),
+        cases: (0..16)
+            .map(|i| FaultCase::new(format!("bit{i}"), at))
+            .collect(),
+        runner: Arc::new(move |ctx: &CaseCtx| {
+            let (mut sim, targets) = build_counter();
+            if let Some(i) = ctx.index() {
+                sim.run_until(at)?;
+                sim.flip_state(targets[i].component, targets[i].bit);
+            }
+            sim.run_until(Time::from_us(50))?;
+            Ok(sim.into_trace())
+        }),
+    }
+}
+
+/// Engine vs legacy runner over the identical 16-SEU counter campaign, at
+/// each worker count. The engine adds journaling hooks, retry/timeout
+/// plumbing and atomic stats; this measures what that machinery costs.
+fn engine_vs_legacy(c: &mut Criterion) {
+    let at = Time::from_us(5);
+    let campaign = counter_campaign();
+    let mut group = c.benchmark_group("engine_vs_legacy_16_seu_runs");
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("engine", workers), &workers, |b, &w| {
+            let engine = Engine::new(EngineConfig::default().with_workers(w));
+            b.iter(|| {
+                let report = engine.run(&campaign).expect("engine campaign");
+                black_box(report.result.summary())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("legacy", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let cases: Vec<FaultCase> = (0..16)
+                    .map(|i| FaultCase::new(format!("bit{i}"), at))
+                    .collect();
+                let result = run_campaign_parallel(&campaign.spec, cases, w, |case| {
+                    let (mut sim, targets) = build_counter();
+                    if let Some(i) = case {
+                        sim.run_until(at)?;
+                        sim.flip_state(targets[i].component, targets[i].bit);
+                    }
+                    sim.run_until(Time::from_us(50))?;
+                    Ok(sim.into_trace())
+                })
+                .expect("campaign");
+                black_box(result.summary())
+            });
+        });
+    }
+    group.finish();
+}
+
 fn classification_cost(c: &mut Criterion) {
     // Two traces with thousands of transitions, half of them mismatched.
     let mut golden = Trace::new();
@@ -89,6 +153,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = campaigns;
     config = config();
-    targets = campaign_worker_scaling, classification_cost
+    targets = campaign_worker_scaling, engine_vs_legacy, classification_cost
 }
 criterion_main!(campaigns);

@@ -12,6 +12,7 @@ use amsfi_bench::{banner, write_result};
 use amsfi_circuits::cpu::{checksum_program, TinyCpu};
 use amsfi_core::{plan, report, run_campaign_parallel, ClassifySpec, FaultCase, FaultClass};
 use amsfi_digital::{cells, ComponentId, Netlist, Simulator};
+use amsfi_engine::{campaigns, Engine, EngineConfig};
 use amsfi_waves::{Logic, Time};
 use std::collections::BTreeMap;
 
@@ -138,6 +139,31 @@ fn main() {
         csv.push_str(&format!("{res},{ne},{la},{tr},{fa}\n"));
     }
     write_result("ext_cpu_campaign.csv", &csv);
+
+    banner("Engine path (amsfi-engine) vs legacy runner");
+    let engine_campaign = campaigns::build("cpu", None).expect("cpu is a named campaign");
+    assert_eq!(
+        engine_campaign.cases.len(),
+        result.cases.len(),
+        "engine campaign must mirror the legacy fault list"
+    );
+    let engine_start = std::time::Instant::now();
+    let engine_report = Engine::new(EngineConfig::default().with_workers(workers))
+        .run(&engine_campaign)
+        .expect("engine campaign");
+    let engine_elapsed = engine_start.elapsed();
+    assert_eq!(
+        engine_report.result.summary(),
+        result.summary(),
+        "engine and legacy classifications must agree"
+    );
+    println!(
+        "  legacy runner: {:?}; engine: {:?} ({:.1} cases/s), classifications identical",
+        started.elapsed(),
+        engine_elapsed,
+        engine_report.stats.rate()
+    );
+    print!("{}", engine_report.stats.stage_table());
 
     banner("Reading");
     println!(

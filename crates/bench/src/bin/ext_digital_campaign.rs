@@ -10,6 +10,7 @@
 use amsfi_bench::{banner, write_result};
 use amsfi_circuits::pll::{self, names};
 use amsfi_core::{plan, report, run_campaign_parallel, ClassifySpec, FaultCase};
+use amsfi_engine::{campaigns, Engine, EngineConfig};
 use amsfi_waves::{Time, Tolerance};
 
 const T_END: Time = Time::from_us(30);
@@ -80,6 +81,32 @@ fn main() {
     print!("{}", report::per_target_table(&result));
 
     write_result("ext_digital_campaign.csv", &report::cases_csv(&result));
+
+    banner("Engine path (amsfi-engine) vs legacy runner");
+    let engine_campaign =
+        campaigns::build("pll-digital", None).expect("pll-digital is a named campaign");
+    assert_eq!(
+        engine_campaign.cases.len(),
+        result.cases.len(),
+        "engine campaign must mirror the legacy fault list"
+    );
+    let engine_start = std::time::Instant::now();
+    let engine_report = Engine::new(EngineConfig::default().with_workers(workers()))
+        .run(&engine_campaign)
+        .expect("engine campaign");
+    let engine_elapsed = engine_start.elapsed();
+    assert_eq!(
+        engine_report.result.summary(),
+        result.summary(),
+        "engine and legacy classifications must agree"
+    );
+    println!(
+        "  legacy runner: {:?}; engine: {:?} ({:.1} cases/s), classifications identical",
+        start.elapsed(),
+        engine_elapsed,
+        engine_report.stats.rate()
+    );
+    print!("{}", engine_report.stats.stage_table());
 
     banner("Reading");
     println!(

@@ -18,6 +18,8 @@
 
 use amsfi_bench::{ascii_plot, banner, write_result};
 use amsfi_circuits::pll::{self, names};
+use amsfi_core::report;
+use amsfi_engine::{campaigns, Engine, EngineConfig};
 use amsfi_faults::{PulseShape, TrapezoidPulse};
 use amsfi_waves::{measure, Time, Trace};
 use std::fmt::Write as _;
@@ -189,4 +191,31 @@ fn main() {
         corr > 0.9,
         "cumulative-effect correlation should be strong, got {corr}"
     );
+
+    // The same pulse list as a *classification* campaign through the
+    // engine: where the raw sweep above measures deviations, the engine
+    // path reports the paper's no-effect/latent/transient/failure verdicts
+    // (and demonstrates the resumable path the `amsfi` CLI drives).
+    banner("Engine path — the sweep as a classified campaign (amsfi run pll-sweep)");
+    let campaign = campaigns::build("pll-sweep", None).expect("pll-sweep is a named campaign");
+    assert_eq!(
+        campaign.cases.len(),
+        all.len(),
+        "engine campaign must cover the same pulse sets"
+    );
+    let engine_start = std::time::Instant::now();
+    let engine_report = Engine::new(EngineConfig::default())
+        .run(&campaign)
+        .expect("engine campaign");
+    assert!(
+        engine_report.skipped.is_empty(),
+        "no pulse set may fail to simulate"
+    );
+    print!("{}", report::summary_table(&engine_report.result));
+    println!(
+        "  engine: {:?} ({:.1} cases/s)",
+        engine_start.elapsed(),
+        engine_report.stats.rate()
+    );
+    print!("{}", engine_report.stats.stage_table());
 }

@@ -63,8 +63,19 @@ impl std::error::Error for RunError {
     }
 }
 
+/// Converts a panic payload (from `catch_unwind`) into a printable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("run closure panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("run closure panicked: {s}")
+    } else {
+        "run closure panicked (non-string payload)".to_owned()
+    }
+}
+
 /// The result of one classified fault case.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CaseResult {
     /// The case that was injected.
     pub case: FaultCase,
@@ -105,6 +116,17 @@ impl CampaignResult {
     /// Cases with a given verdict.
     pub fn with_class(&self, class: FaultClass) -> impl Iterator<Item = &CaseResult> {
         self.cases.iter().filter(move |c| c.outcome.class == class)
+    }
+
+    /// Appends another result's cases to this one (keeping this golden
+    /// trace), e.g. to combine the shards of a distributed campaign.
+    ///
+    /// The caller is responsible for merge order; for a deterministic merge
+    /// of interleaved shards, append in shard order and then restore the
+    /// original case order (the `amsfi-engine` journal does this by case
+    /// index).
+    pub fn merge(&mut self, other: CampaignResult) {
+        self.cases.extend(other.cases);
     }
 
     /// Mean error latency over cases whose outputs diverged.
@@ -161,8 +183,10 @@ where
 ///
 /// # Errors
 ///
-/// Returns the first [`RunError`] reported by `run` (remaining work is
-/// abandoned).
+/// Returns the first [`RunError`] reported by `run` (remaining cases still
+/// execute, but their results are discarded). A `run` closure that
+/// *panics* is caught and surfaced the same way, as a [`RunError`] for that
+/// case, so one diverging simulation cannot take down the whole process.
 ///
 /// # Panics
 ///
@@ -183,25 +207,31 @@ where
     let slots: Vec<Mutex<Option<Result<CaseOutcome, RunError>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
     let golden_ref = &golden;
-    crossbeam::thread::scope(|scope| {
+    let run_ref = &run;
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let result = match run(Some(i)) {
-                    Ok(trace) => Ok(classify(spec, golden_ref, &trace)),
-                    Err(source) => Err(RunError {
+                let unwound =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_ref(Some(i))));
+                let result = match unwound {
+                    Ok(Ok(trace)) => Ok(classify(spec, golden_ref, &trace)),
+                    Ok(Err(source)) => Err(RunError {
                         case: Some(i),
                         source,
+                    }),
+                    Err(payload) => Err(RunError {
+                        case: Some(i),
+                        source: panic_message(payload).into(),
                     }),
                 };
                 *slots[i].lock().expect("slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
     let mut results = Vec::with_capacity(n);
     for (case, slot) in cases.into_iter().zip(slots) {
         let outcome = slot
@@ -291,6 +321,33 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.case, Some(1));
         assert!(err.to_string().contains("case 1"));
+    }
+
+    #[test]
+    fn worker_panic_is_surfaced_as_run_error() {
+        let err = run_campaign_parallel(&spec(), toy_cases(8), 4, |case| {
+            if case == Some(3) {
+                panic!("simulated diverging solver");
+            }
+            toy_run(case)
+        })
+        .unwrap_err();
+        assert_eq!(err.case, Some(3));
+        assert!(
+            err.to_string().contains("simulated diverging solver"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn merge_appends_cases() {
+        let mut a = run_campaign(&spec(), toy_cases(3), toy_run).unwrap();
+        let b = run_campaign(&spec(), toy_cases(2), toy_run).unwrap();
+        a.merge(b);
+        assert_eq!(a.cases.len(), 5);
+        // 0..3 then 0..2 again: three no-effect (0, 2, 0), two transient (1, 1).
+        assert_eq!(a.summary()[0], (FaultClass::NoEffect, 3));
+        assert_eq!(a.summary()[2], (FaultClass::Transient, 2));
     }
 
     #[test]

@@ -40,6 +40,44 @@ impl fmt::Display for FaultClass {
     }
 }
 
+/// Error parsing a [`FaultClass`] from its display form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultClassError(String);
+
+impl fmt::Display for ParseFaultClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown fault class {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFaultClassError {}
+
+impl std::str::FromStr for FaultClass {
+    type Err = ParseFaultClassError;
+
+    /// Parses the [`Display`](fmt::Display) form, so classes round-trip
+    /// through textual artifacts such as the campaign journal.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "no-effect" => Ok(FaultClass::NoEffect),
+            "latent" => Ok(FaultClass::Latent),
+            "transient" => Ok(FaultClass::Transient),
+            "failure" => Ok(FaultClass::Failure),
+            other => Err(ParseFaultClassError(other.to_owned())),
+        }
+    }
+}
+
+impl FaultClass {
+    /// All classes, in report order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::NoEffect,
+        FaultClass::Latent,
+        FaultClass::Transient,
+        FaultClass::Failure,
+    ];
+}
+
 /// How traces are compared and verdicts drawn.
 #[derive(Debug, Clone)]
 pub struct ClassifySpec {
@@ -337,5 +375,13 @@ mod tests {
     fn class_display() {
         assert_eq!(FaultClass::NoEffect.to_string(), "no-effect");
         assert_eq!(FaultClass::Failure.to_string(), "failure");
+    }
+
+    #[test]
+    fn class_round_trips_through_display() {
+        for class in FaultClass::ALL {
+            assert_eq!(class.to_string().parse::<FaultClass>(), Ok(class));
+        }
+        assert!("glitch".parse::<FaultClass>().is_err());
     }
 }

@@ -79,5 +79,5 @@ pub mod report;
 pub use campaign::{
     run_campaign, run_campaign_parallel, CampaignResult, CaseResult, FaultCase, RunError,
 };
-pub use classify::{classify, CaseOutcome, ClassifySpec, FaultClass};
+pub use classify::{classify, CaseOutcome, ClassifySpec, FaultClass, ParseFaultClassError};
 pub use propagation::{PropagationEdge, PropagationModel};

@@ -1,0 +1,277 @@
+//! `amsfi` — the campaign driver CLI.
+//!
+//! ```text
+//! amsfi list
+//! amsfi run <campaign> [--workers N] [--shard I/C] [--journal PATH]
+//!           [--resume] [--timeout-ms N] [--retries N] [--backoff-ms N]
+//!           [--policy fail-fast|skip] [--progress-ms N] [--limit N]
+//!           [--out DIR]
+//! amsfi merge <journal>... [--out DIR]
+//! ```
+//!
+//! `run` executes a named campaign (see `amsfi list`) through the engine:
+//! sharded with `--shard I/C`, checkpointed with `--journal`, resumable
+//! with `--resume`. `merge` combines shard journals into one report.
+
+use amsfi_core::report;
+use amsfi_engine::{campaigns, journal, Engine, EngineConfig, EngineReport, ErrorPolicy, Shard};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+amsfi — resumable, sharded fault-injection campaign driver
+
+USAGE:
+  amsfi list
+        Show the available campaigns.
+
+  amsfi run <campaign> [options]
+        Execute a campaign through the engine.
+          --workers N        worker threads (default: one per core)
+          --shard I/C        run only shard I of C (default 0/1)
+          --journal PATH     stream results to PATH (checkpoint file)
+          --resume           continue an existing journal
+          --timeout-ms N     per-attempt wall-clock timeout
+          --retries N        extra attempts per failing case (default 0)
+          --backoff-ms N     base retry backoff, doubled per retry (default 50)
+          --policy P         fail-fast | skip (default skip)
+          --progress-ms N    progress line to stderr every N ms
+          --limit N          truncate the campaign to its first N cases
+          --out DIR          write cases.csv and stages.csv under DIR
+
+  amsfi merge <journal>... [--out DIR]
+        Merge shard journals of one campaign into a single report.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some("merge") => merge(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("amsfi: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(64)
+        }
+    }
+}
+
+fn list() {
+    println!("available campaigns:");
+    for (name, description) in campaigns::catalog() {
+        println!("  {name:<12} {description}");
+    }
+}
+
+/// Pulls the value of `--flag VALUE` style options; returns `Err` on a
+/// flag with a missing or unparsable value.
+struct Options<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Options<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Options { args, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let arg = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(arg)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let value = self.value(flag)?;
+        value
+            .parse()
+            .map_err(|e| format!("bad value for {flag}: {e}"))
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut name: Option<&str> = None;
+    let mut config = EngineConfig::default();
+    let mut limit = None;
+    let mut out: Option<PathBuf> = None;
+
+    let mut opts = Options::new(args);
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = opts.next() {
+            match arg {
+                "--workers" => config.workers = opts.parse(arg)?,
+                "--shard" => config.shard = opts.parse::<Shard>(arg)?,
+                "--journal" => config.journal = Some(PathBuf::from(opts.value(arg)?)),
+                "--resume" => config.resume = true,
+                "--timeout-ms" => {
+                    config.timeout = Some(Duration::from_millis(opts.parse(arg)?));
+                }
+                "--retries" => config.retries = opts.parse(arg)?,
+                "--backoff-ms" => {
+                    config.backoff = Duration::from_millis(opts.parse(arg)?);
+                }
+                "--policy" => {
+                    config.error_policy = match opts.value(arg)? {
+                        "fail-fast" => ErrorPolicy::FailFast,
+                        "skip" | "skip-and-record" => ErrorPolicy::SkipAndRecord,
+                        other => return Err(format!("bad value for --policy: {other:?}")),
+                    };
+                }
+                "--progress-ms" => {
+                    config.progress = Some(Duration::from_millis(opts.parse(arg)?));
+                }
+                "--limit" => limit = Some(opts.parse(arg)?),
+                "--out" => out = Some(PathBuf::from(opts.value(arg)?)),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown option {flag:?}"));
+                }
+                positional if name.is_none() => name = Some(positional),
+                extra => return Err(format!("unexpected argument {extra:?}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("amsfi run: {e}");
+        return ExitCode::from(64);
+    }
+    let Some(name) = name else {
+        eprintln!("amsfi run: missing campaign name (try `amsfi list`)");
+        return ExitCode::from(64);
+    };
+    let Some(campaign) = campaigns::build(name, limit) else {
+        eprintln!("amsfi run: unknown campaign {name:?} (try `amsfi list`)");
+        return ExitCode::from(64);
+    };
+
+    println!(
+        "campaign {name}: {} case(s), shard {}, {}",
+        campaign.cases.len(),
+        config.shard,
+        match config.workers {
+            0 => "one worker per core".to_owned(),
+            n => format!("{n} worker(s)"),
+        }
+    );
+    let report = match Engine::new(config).run(&campaign) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("amsfi run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print_report(&report);
+    if let Err(e) = write_outputs(out.as_deref(), &report) {
+        eprintln!("amsfi run: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn merge(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut opts = Options::new(args);
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = opts.next() {
+            match arg {
+                "--out" => out = Some(PathBuf::from(opts.value(arg)?)),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown option {flag:?}"));
+                }
+                path => paths.push(PathBuf::from(path)),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("amsfi merge: {e}");
+        return ExitCode::from(64);
+    }
+    if paths.is_empty() {
+        eprintln!("amsfi merge: no journal files given");
+        return ExitCode::from(64);
+    }
+
+    let (meta, entries) = match journal::merge(&paths) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("amsfi merge: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (result, skipped) = journal::assemble(&entries);
+    println!(
+        "campaign {}: {} of {} case(s) across {} journal(s)",
+        meta.name,
+        entries.len(),
+        meta.cases,
+        paths.len()
+    );
+    print!("{}", report::summary_table(&result));
+    print!("{}", report::per_target_table(&result));
+    print_skips(&skipped);
+    if let Some(dir) = out.as_deref() {
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("cases.csv"), report::cases_csv(&result)))
+        {
+            eprintln!("amsfi merge: writing {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", dir.join("cases.csv").display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_report(report: &EngineReport) {
+    print!("{}", report::summary_table(&report.result));
+    print!("{}", report::per_target_table(&report.result));
+    print_skips(&report.skipped);
+    if report.resumed > 0 {
+        println!("resumed {} case(s) from the journal", report.resumed);
+    }
+    println!("{}", report.stats);
+    print!("{}", report.stats.stage_table());
+}
+
+fn print_skips(skipped: &[amsfi_engine::SkippedCase]) {
+    if skipped.is_empty() {
+        return;
+    }
+    println!("skipped cases:");
+    for skip in skipped {
+        println!(
+            "  #{} {} after {} attempt(s): {}",
+            skip.index, skip.case.label, skip.attempts, skip.error
+        );
+    }
+}
+
+fn write_outputs(out: Option<&std::path::Path>, report: &EngineReport) -> std::io::Result<()> {
+    let Some(dir) = out else { return Ok(()) };
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("cases.csv"), report::cases_csv(&report.result))?;
+    std::fs::write(dir.join("stages.csv"), report.stats.stage_csv())?;
+    println!(
+        "wrote {} and {}",
+        dir.join("cases.csv").display(),
+        dir.join("stages.csv").display()
+    );
+    Ok(())
+}

@@ -1,0 +1,348 @@
+//! The named case-study campaigns the `amsfi` CLI can run.
+//!
+//! Each builder returns a self-contained [`Campaign`]: the fault list, the
+//! classification spec, and a runner closure that rebuilds the circuit per
+//! case (simulator state is not shareable across threads, and rebuilding is
+//! what the engine's build/simulate stage split measures).
+//!
+//! The definitions mirror the standalone study binaries in `crates/bench`
+//! (`fig8_parameter_sweep`, `ext_digital_campaign`, `ext_adc_sensitivity`,
+//! `ext_cpu_campaign`) so engine runs are comparable with the legacy path.
+
+use crate::executor::{Campaign, CaseCtx};
+use crate::stats::Stage;
+use amsfi_circuits::adc::{self, AdcInput};
+use amsfi_circuits::cpu::{checksum_program, TinyCpu};
+use amsfi_circuits::pll::{self, names};
+use amsfi_core::{plan, ClassifySpec, FaultCase};
+use amsfi_digital::{cells, ComponentId, Netlist, Simulator};
+use amsfi_faults::TrapezoidPulse;
+use amsfi_waves::{Logic, Time, Tolerance};
+use std::sync::Arc;
+
+/// `(name, description)` of every campaign [`build`] understands.
+pub fn catalog() -> [(&'static str, &'static str); 4] {
+    [
+        (
+            "pll-sweep",
+            "Fig. 8 current-pulse parameter sweep on the PLL loop filter \
+             (paper's four sets + amplitude x width grid, 24 cases)",
+        ),
+        (
+            "pll-digital",
+            "exhaustive SEU campaign over the fast PLL's digital blocks and \
+             payload (Section 3 digital flow)",
+        ),
+        (
+            "adc-flash",
+            "flash ADC sensitivity: analog input strikes vs digital SEUs \
+             (the paper's mixed-signal future-work case)",
+        ),
+        (
+            "cpu",
+            "SEU campaign over a tiny accumulator CPU running a checksum \
+             program (processor case study of reference [2])",
+        ),
+    ]
+}
+
+/// Builds a named campaign, optionally truncated to its first `limit`
+/// cases (handy for smoke tests; the truncation changes the campaign
+/// fingerprint, so differently-limited journals never merge by accident).
+pub fn build(name: &str, limit: Option<usize>) -> Option<Campaign> {
+    let mut campaign = match name {
+        "pll-sweep" => pll_sweep(),
+        "pll-digital" => pll_digital(),
+        "adc-flash" => adc_flash(),
+        "cpu" => cpu(),
+        _ => return None,
+    };
+    if let Some(limit) = limit {
+        campaign.cases.truncate(limit);
+    }
+    Some(campaign)
+}
+
+/// The Fig. 8 pulse list: the paper's four `(PA, RT, FT, PW)` sets plus the
+/// amplitude x width grid at 100 ps edges.
+fn fig8_pulses() -> Vec<(TrapezoidPulse, String)> {
+    let mut pulses = Vec::new();
+    for &(pa, rt, ft, pw) in &[
+        (2.0, 100_i64, 100_i64, 300_i64),
+        (8.0, 100, 100, 300),
+        (10.0, 40, 40, 120),
+        (10.0, 180, 180, 540),
+    ] {
+        let pulse = TrapezoidPulse::from_ma_ps(pa, rt, ft, pw).expect("paper set");
+        pulses.push((pulse, format!("({pa} mA; {rt} ps; {ft} ps; {pw} ps)")));
+    }
+    for &pa in &[1.0, 2.0, 5.0, 10.0, 20.0] {
+        for &pw in &[150_i64, 300, 600, 1200] {
+            let pulse = TrapezoidPulse::from_ma_ps(pa, 100, 100, pw).expect("grid set");
+            pulses.push((pulse, format!("({pa} mA; PW {pw} ps)")));
+        }
+    }
+    pulses
+}
+
+fn pll_sweep() -> Campaign {
+    const T_END: Time = Time::from_us(200);
+    const T_INJECT: Time = Time::from_us(170);
+    let pulses = fig8_pulses();
+    let cases = pulses
+        .iter()
+        .map(|(_, label)| FaultCase::new(format!("icp {label}"), T_INJECT))
+        .collect();
+    let spec = ClassifySpec::new((Time::from_us(165), T_END), vec![names::F_OUT.to_owned()])
+        .with_internals(vec![names::VCTRL.to_owned(), names::FB.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        .with_digital_skew(Time::from_ns(2));
+    let pulses: Arc<Vec<(TrapezoidPulse, String)>> = Arc::new(pulses);
+    Campaign {
+        name: "pll-sweep".to_owned(),
+        spec,
+        cases,
+        runner: Arc::new(move |ctx: &CaseCtx| {
+            ctx.stage(Stage::Build);
+            let mut config = pll::PllConfig::default();
+            if let Some(i) = ctx.index() {
+                config = config.with_fault(pulses[i].0, T_INJECT);
+            }
+            let mut bench = pll::build(&config);
+            bench.monitor_standard();
+            ctx.stage(Stage::Simulate);
+            bench.run_until(T_END)?;
+            Ok(bench.trace())
+        }),
+    }
+}
+
+fn pll_digital() -> Campaign {
+    const T_END: Time = Time::from_us(30);
+    let mut config = pll::PllConfig::fast();
+    config.payload = true;
+
+    let probe = pll::build(&config);
+    let targets = probe.mixed.digital().mutant_targets();
+    let times = plan::uniform_times(Time::from_us(12), Time::from_us(16), 4);
+
+    let mut cases = Vec::new();
+    let mut index = Vec::new();
+    for (ti, &at) in times.iter().enumerate() {
+        for (gi, target) in targets.iter().enumerate() {
+            cases.push(FaultCase::new(format!("{target} @ {at}"), at));
+            index.push((gi, ti));
+        }
+    }
+
+    let mut outputs: Vec<String> = (0..8).map(|i| format!("{}[{i}]", names::COUNT)).collect();
+    outputs.push(names::SHIFT_OUT.to_owned());
+    let spec = ClassifySpec::new((Time::from_us(12), T_END), outputs)
+        .with_internals(vec![names::FB.to_owned(), names::VCTRL.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        .with_digital_skew(Time::from_ns(2));
+
+    let targets = Arc::new(targets);
+    let times = Arc::new(times);
+    let index = Arc::new(index);
+    Campaign {
+        name: "pll-digital".to_owned(),
+        spec,
+        cases,
+        runner: Arc::new(move |ctx: &CaseCtx| {
+            ctx.stage(Stage::Build);
+            let mut bench = pll::build(&config);
+            bench.monitor_standard();
+            ctx.stage(Stage::Simulate);
+            if let Some(i) = ctx.index() {
+                let (gi, ti) = index[i];
+                bench.run_until(times[ti])?;
+                let target = &targets[gi];
+                bench
+                    .mixed
+                    .digital_mut()
+                    .flip_state(target.component, target.bit);
+            }
+            bench.run_until(T_END)?;
+            Ok(bench.trace())
+        }),
+    }
+}
+
+fn adc_flash() -> Campaign {
+    const T_END: Time = Time::from_us(10);
+    let base = adc::FlashAdcConfig {
+        input: AdcInput::Sine {
+            freq_hz: 100e3,
+            amplitude: 2.0,
+            offset: 2.5,
+        },
+        ..adc::FlashAdcConfig::default()
+    };
+    let pulses = plan::pulse_grid(
+        &[-10.0, -5.0, 5.0, 10.0],
+        &[100],
+        &[100],
+        &[500, 20_000, 200_000],
+    );
+    let times = plan::random_times(Time::from_us(2), Time::from_us(8), 8, 11);
+    let probe = adc::build_flash(&base);
+    let targets = probe.mixed.digital().mutant_targets();
+
+    // First the analog-surface strikes, then an equally sized block of
+    // digital SEUs (cycling over the register bits), as in the standalone
+    // `ext_adc_sensitivity` study.
+    let mut cases = Vec::new();
+    let mut setup = Vec::new();
+    for (pi, p) in pulses.iter().enumerate() {
+        for (ti, &at) in times.iter().enumerate() {
+            cases.push(FaultCase::new(format!("input {p}"), at));
+            setup.push(AdcCase::Strike(pi, ti));
+        }
+    }
+    let n_analog = cases.len();
+    for i in 0..n_analog {
+        let gi = i % targets.len();
+        let ti = i % times.len();
+        cases.push(FaultCase::new(targets[gi].to_string(), times[ti]));
+        setup.push(AdcCase::Flip(gi, ti));
+    }
+
+    let outputs = (0..3)
+        .map(|i| format!("{}[{i}]", adc::FLASH_CODE))
+        .collect();
+    let spec = ClassifySpec::new((Time::from_us(1), T_END), outputs);
+
+    let pulses = Arc::new(pulses);
+    let times = Arc::new(times);
+    let targets = Arc::new(targets);
+    let setup = Arc::new(setup);
+    Campaign {
+        name: "adc-flash".to_owned(),
+        spec,
+        cases,
+        runner: Arc::new(move |ctx: &CaseCtx| {
+            ctx.stage(Stage::Build);
+            let mut cfg = base.clone();
+            let flip = match ctx.index().map(|i| setup[i]) {
+                Some(AdcCase::Strike(pi, ti)) => {
+                    cfg = cfg.with_fault(pulses[pi], times[ti]);
+                    None
+                }
+                Some(AdcCase::Flip(gi, ti)) => Some((gi, ti)),
+                None => None,
+            };
+            let mut bench = adc::build_flash(&cfg);
+            bench.mixed.digital_mut().monitor_name(adc::FLASH_CODE);
+            ctx.stage(Stage::Simulate);
+            if let Some((gi, ti)) = flip {
+                bench.mixed.run_until(times[ti])?;
+                let t = &targets[gi];
+                bench.mixed.digital_mut().flip_state(t.component, t.bit);
+            }
+            bench.mixed.run_until(T_END)?;
+            Ok(bench.mixed.merged_trace())
+        }),
+    }
+}
+
+/// How one `adc-flash` case perturbs the converter.
+#[derive(Clone, Copy)]
+enum AdcCase {
+    /// Current strike `pulses[.0]` on the input node at `times[.1]`.
+    Strike(usize, usize),
+    /// Bit-flip of `targets[.0]` at `times[.1]`.
+    Flip(usize, usize),
+}
+
+fn cpu() -> Campaign {
+    const T_END: Time = Time::from_us(20);
+    fn build_sim() -> Simulator {
+        let mut net = Netlist::new();
+        let clk = net.signal("clk", 1);
+        let rst = net.signal("rst", 1);
+        let out = net.signal("out", 8);
+        let pc = net.signal("pc", 6);
+        net.add("ck", cells::ClockGen::new(Time::from_ns(10)), &[], &[clk]);
+        net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+        let _cpu: ComponentId = net.add(
+            "cpu",
+            TinyCpu::new(checksum_program(), Time::ZERO),
+            &[clk, rst],
+            &[out, pc],
+        );
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("out");
+        sim
+    }
+
+    let targets = build_sim().mutant_targets();
+    let times = plan::uniform_times(Time::from_us(2), Time::from_us(4), 3);
+    let mut cases = Vec::new();
+    let mut index = Vec::new();
+    for (ti, &at) in times.iter().enumerate() {
+        for (gi, t) in targets.iter().enumerate() {
+            cases.push(FaultCase::new(format!("{t} @ {at}"), at));
+            index.push((gi, ti));
+        }
+    }
+    let spec = ClassifySpec::new(
+        (Time::from_us(2), T_END),
+        (0..8).map(|i| format!("out[{i}]")).collect(),
+    );
+
+    let targets = Arc::new(targets);
+    let times = Arc::new(times);
+    let index = Arc::new(index);
+    Campaign {
+        name: "cpu".to_owned(),
+        spec,
+        cases,
+        runner: Arc::new(move |ctx: &CaseCtx| {
+            ctx.stage(Stage::Build);
+            let mut sim = build_sim();
+            ctx.stage(Stage::Simulate);
+            if let Some(i) = ctx.index() {
+                let (gi, ti) = index[i];
+                sim.run_until(times[ti])?;
+                let t = &targets[gi];
+                sim.flip_state(t.component, t.bit);
+            }
+            sim.run_until(T_END)?;
+            Ok(sim.into_trace())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_entry_builds() {
+        for (name, _) in catalog() {
+            let campaign = build(name, None).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(campaign.name, name);
+            assert!(!campaign.cases.is_empty(), "{name} has no cases");
+        }
+        assert!(build("nope", None).is_none());
+    }
+
+    #[test]
+    fn limit_truncates_and_changes_the_fingerprint() {
+        let full = build("pll-sweep", None).unwrap();
+        let limited = build("pll-sweep", Some(4)).unwrap();
+        assert_eq!(limited.cases.len(), 4);
+        assert_eq!(full.cases.len(), 24);
+        assert_ne!(full.meta(), limited.meta());
+    }
+
+    #[test]
+    fn case_lists_are_deterministic_across_builds() {
+        for (name, _) in catalog() {
+            let a = build(name, None).unwrap();
+            let b = build(name, None).unwrap();
+            assert_eq!(a.meta(), b.meta(), "{name} fingerprint unstable");
+        }
+    }
+}

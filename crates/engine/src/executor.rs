@@ -1,0 +1,802 @@
+//! The work-stealing campaign executor.
+//!
+//! Workers pull case indices from a shared atomic cursor (work stealing by
+//! construction: a worker stuck on a slow mixed-signal simulation simply
+//! stops claiming work while the others drain the queue). Each case gets a
+//! bounded retry budget with exponential backoff, an optional wall-clock
+//! timeout, and panic isolation — one diverging solver no longer kills a
+//! million-case campaign. Completed cases stream to the results
+//! [`journal`](crate::journal) as they finish, so a run can be killed at
+//! any instant and resumed.
+
+use crate::journal::{self, Journal, JournalEntry, JournalError, JournalMeta, SkippedCase};
+use crate::shard::Shard;
+use crate::stats::{EngineStats, Stage, StatsSnapshot};
+use crate::BoxError;
+use amsfi_core::{classify, CampaignResult, CaseResult, ClassifySpec, FaultCase};
+use amsfi_waves::Trace;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What the engine does when a case exhausts its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Stop claiming new work and return the first error. Cases already
+    /// journaled are kept, so a fail-fast run is still resumable.
+    FailFast,
+    /// Record the case as skipped (journal + report) and keep going. This
+    /// is the default: large campaigns should survive individual diverging
+    /// simulations.
+    #[default]
+    SkipAndRecord,
+}
+
+/// Tuning knobs for one engine run. All fields have workable defaults;
+/// use the `with_*` builders to override.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. `0` (the default) means one per available core.
+    pub workers: usize,
+    /// Wall-clock budget per attempt. `None` disables the timeout.
+    pub timeout: Option<Duration>,
+    /// Extra attempts after the first failure.
+    pub retries: u32,
+    /// Sleep before retry `n` is `backoff * 2^(n-1)`.
+    pub backoff: Duration,
+    /// See [`ErrorPolicy`].
+    pub error_policy: ErrorPolicy,
+    /// The slice of the case list this process executes.
+    pub shard: Shard,
+    /// Where to stream results; `None` keeps them in memory only.
+    pub journal: Option<PathBuf>,
+    /// Continue an existing journal instead of refusing to overwrite it.
+    pub resume: bool,
+    /// Emit a progress line to stderr this often; `None` disables.
+    pub progress: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            timeout: None,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            error_policy: ErrorPolicy::default(),
+            shard: Shard::FULL,
+            journal: None,
+            resume: false,
+            progress: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the worker-thread count (`0` = one per core).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-attempt wall-clock timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the retry budget (extra attempts after the first failure).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the base backoff between attempts.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the [`ErrorPolicy`].
+    #[must_use]
+    pub fn with_error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.error_policy = policy;
+        self
+    }
+
+    /// Restricts this run to one [`Shard`] of the case list.
+    #[must_use]
+    pub fn with_shard(mut self, shard: Shard) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Streams results to (and resumes from) a journal file.
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Allows continuing an existing journal.
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Enables periodic progress lines on stderr.
+    #[must_use]
+    pub fn with_progress(mut self, interval: Duration) -> Self {
+        self.progress = Some(interval);
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+/// Per-attempt context handed to a campaign's run closure.
+///
+/// Tells the closure which case to inject (`None` = golden run) and lets it
+/// attribute wall-clock time to pipeline stages via [`CaseCtx::stage`]. The
+/// classify stage is timed by the engine itself.
+#[derive(Debug)]
+pub struct CaseCtx {
+    index: Option<usize>,
+    attempt: u32,
+    stats: Option<Arc<EngineStats>>,
+    timer: Mutex<(Instant, Option<Stage>)>,
+}
+
+impl CaseCtx {
+    fn attached(index: Option<usize>, attempt: u32, stats: Arc<EngineStats>) -> Self {
+        CaseCtx {
+            index,
+            attempt,
+            stats: Some(stats),
+            timer: Mutex::new((Instant::now(), None)),
+        }
+    }
+
+    /// A context with no stats sink, for driving an engine-style runner
+    /// through the legacy [`amsfi_core::run_campaign_parallel`] path (the
+    /// old-vs-new comparisons in `crates/bench`).
+    pub fn detached(index: Option<usize>) -> Self {
+        CaseCtx {
+            index,
+            attempt: 0,
+            stats: None,
+            timer: Mutex::new((Instant::now(), None)),
+        }
+    }
+
+    /// Which case to inject; `None` asks for the golden (fault-free) run.
+    pub fn index(&self) -> Option<usize> {
+        self.index
+    }
+
+    /// Zero-based attempt number (`> 0` on retries).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Marks the start of `stage`, closing (and crediting) the previous one.
+    ///
+    /// Calling this is optional — a runner that never calls it simply
+    /// contributes nothing to the stage breakdown.
+    pub fn stage(&self, stage: Stage) {
+        let mut timer = self.timer.lock().expect("stage timer poisoned");
+        let now = Instant::now();
+        if let (Some(stats), Some(open)) = (&self.stats, timer.1) {
+            stats.record_stage(open, now - timer.0);
+        }
+        *timer = (now, Some(stage));
+    }
+
+    fn finish(&self) {
+        let mut timer = self.timer.lock().expect("stage timer poisoned");
+        if let (Some(stats), Some(open)) = (&self.stats, timer.1.take()) {
+            stats.record_stage(open, timer.0.elapsed());
+        }
+    }
+}
+
+/// Shared simulation callback: produces the trace for `ctx.index()`
+/// (golden when `None`).
+///
+/// `Arc` + `'static` because a timed-out attempt keeps running on its
+/// (abandoned) thread and must not borrow from the engine's stack.
+pub type CaseRunner = Arc<dyn Fn(&CaseCtx) -> Result<Trace, BoxError> + Send + Sync>;
+
+/// A runnable campaign: the fault list, how to classify, and how to
+/// produce a trace for one case.
+#[derive(Clone)]
+pub struct Campaign {
+    /// Name, recorded in the journal header.
+    pub name: String,
+    /// How traces are compared and verdicts drawn.
+    pub spec: ClassifySpec,
+    /// The full (unsharded) case list.
+    pub cases: Vec<FaultCase>,
+    /// Produces the trace for one case; see [`CaseRunner`].
+    pub runner: CaseRunner,
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("name", &self.name)
+            .field("cases", &self.cases.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Campaign {
+    /// The journal-header identity of this campaign.
+    pub fn meta(&self) -> JournalMeta {
+        JournalMeta::of(&self.name, &self.cases)
+    }
+}
+
+/// Everything an engine run produces.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// Classified cases (resumed + newly executed), in case order, plus
+    /// the golden trace. For a sharded run this covers only the cases
+    /// present in the journal/shard.
+    pub result: CampaignResult,
+    /// Cases abandoned under [`ErrorPolicy::SkipAndRecord`].
+    pub skipped: Vec<SkippedCase>,
+    /// Final counter snapshot (rates, tallies, stage breakdown).
+    pub stats: StatsSnapshot,
+    /// How many cases were taken from the journal instead of re-run.
+    pub resumed: usize,
+}
+
+/// Fatal engine errors. Per-case trouble is only fatal under
+/// [`ErrorPolicy::FailFast`]; otherwise it lands in
+/// [`EngineReport::skipped`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// Journal I/O, syntax or campaign-mismatch failure.
+    Journal(JournalError),
+    /// The golden (fault-free) run failed; nothing can be classified.
+    Golden(String),
+    /// A case failed under [`ErrorPolicy::FailFast`].
+    Case {
+        /// Index of the failing case.
+        index: usize,
+        /// Its label.
+        label: String,
+        /// Attempts made (first try + retries).
+        attempts: u32,
+        /// The last error observed.
+        error: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Journal(e) => e.fmt(f),
+            EngineError::Golden(e) => write!(f, "golden run failed: {e}"),
+            EngineError::Case {
+                index,
+                label,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "case {index} ({label}) failed after {attempts} attempt(s): {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for EngineError {
+    fn from(e: JournalError) -> Self {
+        EngineError::Journal(e)
+    }
+}
+
+/// How one attempt ended (before retry/policy handling).
+enum Attempt {
+    Ok(Trace),
+    Failed(String),
+    TimedOut,
+}
+
+/// The campaign-execution engine. Construct with a config, then call
+/// [`Engine::run`] per campaign.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Executes `campaign` (this engine's shard of it) and returns the
+    /// streamed, merged report.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`].
+    pub fn run(&self, campaign: &Campaign) -> Result<EngineReport, EngineError> {
+        let cfg = &self.config;
+        let total = campaign.cases.len();
+        let meta = campaign.meta();
+
+        // Open (or resume) the journal and work out what is left to do.
+        let mut entries: BTreeMap<usize, JournalEntry> = BTreeMap::new();
+        let journal = match &cfg.journal {
+            Some(path) => {
+                let (journal, existing) = Journal::open(path, &meta, cfg.resume)?;
+                entries = existing;
+                Some(journal)
+            }
+            None => None,
+        };
+        let resumed = entries
+            .values()
+            .filter(|e| matches!(e, JournalEntry::Done(_)))
+            .count();
+        let pending = journal::pending(&entries, total, cfg.shard);
+
+        let stats = Arc::new(EngineStats::new(pending.len()));
+
+        // The golden run is mandatory even when everything is resumed —
+        // the report's golden trace is not journaled (it can be huge).
+        let golden = match self.attempt_case(campaign, None, &stats).0 {
+            Attempt::Ok(trace) => trace,
+            Attempt::Failed(e) => return Err(EngineError::Golden(e)),
+            Attempt::TimedOut => return Err(EngineError::Golden("timed out".to_owned())),
+        };
+
+        let golden_ref = &golden;
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let fatal: Mutex<Option<EngineError>> = Mutex::new(None);
+        let fresh: Mutex<Vec<(usize, JournalEntry)>> = Mutex::new(Vec::new());
+        let workers = cfg.effective_workers().min(pending.len()).max(1);
+
+        std::thread::scope(|scope| {
+            let progress = cfg.progress.map(|interval| {
+                let stats = Arc::clone(&stats);
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut last = Instant::now();
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(25));
+                        if last.elapsed() >= interval {
+                            eprintln!("{}", stats.snapshot());
+                            last = Instant::now();
+                        }
+                    }
+                })
+            });
+
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let stats = Arc::clone(&stats);
+                    let (next, stop, fatal, fresh) = (&next, &stop, &fatal, &fresh);
+                    let (pending, journal) = (&pending, &journal);
+                    scope.spawn(move || loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = pending.get(slot) else {
+                            break;
+                        };
+                        let outcome =
+                            self.execute_one(campaign, index, golden_ref, &stats, journal.as_ref());
+                        match outcome {
+                            Ok(entry) => {
+                                fresh.lock().expect("results poisoned").push((index, entry));
+                            }
+                            Err(error) => {
+                                stop.store(true, Ordering::Relaxed);
+                                let mut fatal = fatal.lock().expect("fatal slot poisoned");
+                                if fatal.is_none() {
+                                    *fatal = Some(error);
+                                }
+                                break;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let _ = handle.join();
+            }
+            stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = progress {
+                let _ = handle.join();
+            }
+        });
+
+        if let Some(error) = fatal.into_inner().expect("fatal slot poisoned") {
+            return Err(error);
+        }
+
+        // Merge resumed + fresh entries; fresh results win (a resumed skip
+        // that was re-attempted is superseded either way).
+        for (index, entry) in fresh.into_inner().expect("results poisoned") {
+            entries.insert(index, entry);
+        }
+        let (mut result, skipped) = journal::assemble(&entries);
+        result.golden = golden;
+        Ok(EngineReport {
+            result,
+            skipped,
+            stats: stats.snapshot(),
+            resumed,
+        })
+    }
+
+    /// Runs one case end-to-end: attempts (with retries), classification,
+    /// journaling, counter updates. `Err` only under [`ErrorPolicy::FailFast`].
+    fn execute_one(
+        &self,
+        campaign: &Campaign,
+        index: usize,
+        golden: &Trace,
+        stats: &Arc<EngineStats>,
+        journal: Option<&Journal>,
+    ) -> Result<JournalEntry, EngineError> {
+        let case = &campaign.cases[index];
+        let (attempt, attempts) = self.attempt_case(campaign, Some(index), stats);
+        match attempt {
+            Attempt::Ok(trace) => {
+                let t0 = Instant::now();
+                let outcome = classify(&campaign.spec, golden, &trace);
+                stats.record_stage(Stage::Classify, t0.elapsed());
+                stats.record_class(outcome.class);
+                let result = CaseResult {
+                    case: case.clone(),
+                    outcome,
+                };
+                if let Some(journal) = journal {
+                    journal.record_case(index, &result)?;
+                }
+                Ok(JournalEntry::Done(result))
+            }
+            Attempt::Failed(_) | Attempt::TimedOut => {
+                let error = match attempt {
+                    Attempt::TimedOut => format!(
+                        "timed out after {:?}",
+                        self.config.timeout.unwrap_or_default()
+                    ),
+                    Attempt::Failed(e) => e,
+                    Attempt::Ok(_) => unreachable!(),
+                };
+                match self.config.error_policy {
+                    ErrorPolicy::FailFast => Err(EngineError::Case {
+                        index,
+                        label: case.label.clone(),
+                        attempts,
+                        error,
+                    }),
+                    ErrorPolicy::SkipAndRecord => {
+                        let skip = SkippedCase {
+                            index,
+                            case: case.clone(),
+                            attempts,
+                            error,
+                        };
+                        if let Some(journal) = journal {
+                            journal.record_skip(&skip)?;
+                        }
+                        stats.record_skip();
+                        Ok(JournalEntry::Skipped(skip))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The retry loop around [`Engine::run_attempt`]. Returns the final
+    /// attempt outcome and how many attempts were made.
+    fn attempt_case(
+        &self,
+        campaign: &Campaign,
+        index: Option<usize>,
+        stats: &Arc<EngineStats>,
+    ) -> (Attempt, u32) {
+        let mut last = Attempt::Failed("no attempt made".to_owned());
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                stats.record_retry();
+                let backoff = self.config.backoff * 2u32.saturating_pow(attempt - 1);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            last = self.run_attempt(campaign, index, attempt, stats);
+            if let Attempt::TimedOut = last {
+                stats.record_timeout();
+            }
+            if let Attempt::Ok(_) = last {
+                return (last, attempt + 1);
+            }
+        }
+        (last, self.config.retries + 1)
+    }
+
+    /// One attempt: panic-isolated, optionally under a wall-clock timeout.
+    fn run_attempt(
+        &self,
+        campaign: &Campaign,
+        index: Option<usize>,
+        attempt: u32,
+        stats: &Arc<EngineStats>,
+    ) -> Attempt {
+        let runner = Arc::clone(&campaign.runner);
+        let call = {
+            let stats = Arc::clone(stats);
+            move || {
+                let ctx = CaseCtx::attached(index, attempt, stats);
+                let out = catch_unwind(AssertUnwindSafe(|| runner(&ctx)));
+                ctx.finish();
+                match out {
+                    Ok(Ok(trace)) => Attempt::Ok(trace),
+                    Ok(Err(e)) => Attempt::Failed(e.to_string()),
+                    Err(payload) => Attempt::Failed(panic_message(payload)),
+                }
+            }
+        };
+        match self.config.timeout {
+            None => call(),
+            Some(timeout) => {
+                // The attempt runs on its own thread; on timeout the thread
+                // is abandoned (std offers no safe cancellation). It still
+                // holds an `Arc` clone of runner and stats, so nothing
+                // dangles — the cost of a stuck solver is one leaked thread
+                // and some late stage-time attribution.
+                let (tx, rx) = mpsc::sync_channel(1);
+                let spawned = std::thread::Builder::new()
+                    .name("amsfi-attempt".to_owned())
+                    .spawn(move || {
+                        let _ = tx.send(call());
+                    });
+                if spawned.is_err() {
+                    return Attempt::Failed("failed to spawn attempt thread".to_owned());
+                }
+                match rx.recv_timeout(timeout) {
+                    Ok(attempt) => attempt,
+                    Err(mpsc::RecvTimeoutError::Timeout) => Attempt::TimedOut,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        Attempt::Failed("attempt thread died without reporting".to_owned())
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("run closure panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("run closure panicked: {s}")
+    } else {
+        "run closure panicked (non-string payload)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amsfi_waves::{Logic, Time};
+
+    /// A deterministic toy campaign: case index decides the digital value
+    /// pattern on signal "out"; odd indices diverge transiently, index 4
+    /// fails outright, everything else matches the golden run.
+    fn toy_campaign(name: &str, n: usize) -> Campaign {
+        let window = (Time::from_ns(0), Time::from_ns(1000));
+        let spec = ClassifySpec::new(window, vec!["out".to_owned()]);
+        let cases = (0..n)
+            .map(|i| FaultCase::new(format!("bit{i}"), Time::from_ns(100)))
+            .collect();
+        Campaign {
+            name: name.to_owned(),
+            spec,
+            cases,
+            runner: Arc::new(|ctx: &CaseCtx| {
+                ctx.stage(Stage::Build);
+                let mut trace = Trace::new();
+                trace.record_digital("out", Time::from_ns(0), Logic::Zero)?;
+                ctx.stage(Stage::Simulate);
+                match ctx.index() {
+                    None => {}
+                    Some(4) => {
+                        // Still wrong at end of window: failure.
+                        trace.record_digital("out", Time::from_ns(200), Logic::One)?;
+                    }
+                    Some(i) if i % 2 == 1 => {
+                        // Wrong then recovered: transient.
+                        trace.record_digital("out", Time::from_ns(200), Logic::One)?;
+                        trace.record_digital("out", Time::from_ns(400), Logic::Zero)?;
+                    }
+                    Some(_) => {}
+                }
+                Ok(trace)
+            }),
+        }
+    }
+
+    #[test]
+    fn engine_matches_legacy_classification() {
+        let campaign = toy_campaign("toy", 8);
+        let report = Engine::new(EngineConfig::default().with_workers(4))
+            .run(&campaign)
+            .unwrap();
+        let summary = report.result.summary();
+        use amsfi_core::FaultClass;
+        assert_eq!(summary[0], (FaultClass::NoEffect, 3)); // 0, 2, 6
+        assert_eq!(summary[2], (FaultClass::Transient, 4)); // 1, 3, 5, 7
+        assert_eq!(summary[3], (FaultClass::Failure, 1)); // 4
+        assert_eq!(report.resumed, 0);
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.stats.done, 8);
+        // The runner marked build/simulate stages, the engine classify.
+        assert!(report.stats.stage_ns.iter().all(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn failing_case_is_skipped_and_recorded() {
+        let mut campaign = toy_campaign("toy-skip", 6);
+        campaign.runner = Arc::new(|ctx: &CaseCtx| {
+            if ctx.index() == Some(2) {
+                return Err("solver diverged".into());
+            }
+            if ctx.index() == Some(3) {
+                panic!("numerical panic");
+            }
+            Ok(Trace::new())
+        });
+        campaign.spec.outputs.clear();
+        let report = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_error_policy(ErrorPolicy::SkipAndRecord),
+        )
+        .run(&campaign)
+        .unwrap();
+        assert_eq!(report.result.cases.len(), 4);
+        assert_eq!(report.skipped.len(), 2);
+        let errors: Vec<&str> = report.skipped.iter().map(|s| s.error.as_str()).collect();
+        assert!(
+            errors.iter().any(|e| e.contains("solver diverged")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("numerical panic")),
+            "{errors:?}"
+        );
+        assert_eq!(report.stats.skipped, 2);
+    }
+
+    #[test]
+    fn fail_fast_surfaces_the_case_error() {
+        let mut campaign = toy_campaign("toy-ff", 6);
+        campaign.runner = Arc::new(|ctx: &CaseCtx| {
+            if ctx.index() == Some(1) {
+                return Err("boom".into());
+            }
+            Ok(Trace::new())
+        });
+        let err = Engine::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_error_policy(ErrorPolicy::FailFast),
+        )
+        .run(&campaign)
+        .unwrap_err();
+        match err {
+            EngineError::Case { index, error, .. } => {
+                assert_eq!(index, 1);
+                assert!(error.contains("boom"), "{error}");
+            }
+            other => panic!("expected Case error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn retries_eventually_succeed_and_are_counted() {
+        use std::sync::atomic::AtomicU32;
+        let tries = Arc::new(AtomicU32::new(0));
+        let mut campaign = toy_campaign("toy-retry", 1);
+        let tries_in = Arc::clone(&tries);
+        campaign.spec.outputs.clear();
+        campaign.runner = Arc::new(move |ctx: &CaseCtx| {
+            if ctx.index().is_some() && tries_in.fetch_add(1, Ordering::Relaxed) < 2 {
+                return Err("flaky".into());
+            }
+            Ok(Trace::new())
+        });
+        let report = Engine::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_retries(3)
+                .with_backoff(Duration::from_millis(1)),
+        )
+        .run(&campaign)
+        .unwrap();
+        assert_eq!(report.result.cases.len(), 1);
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.stats.retries, 2);
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn timeout_abandons_the_attempt() {
+        let mut campaign = toy_campaign("toy-timeout", 2);
+        campaign.spec.outputs.clear();
+        campaign.runner = Arc::new(|ctx: &CaseCtx| {
+            if ctx.index() == Some(1) {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            Ok(Trace::new())
+        });
+        let report = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_timeout(Duration::from_millis(40))
+                .with_error_policy(ErrorPolicy::SkipAndRecord),
+        )
+        .run(&campaign)
+        .unwrap();
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].index, 1);
+        assert!(report.skipped[0].error.contains("timed out"));
+        assert_eq!(report.stats.timeouts, 1);
+    }
+
+    #[test]
+    fn golden_failure_is_fatal() {
+        let mut campaign = toy_campaign("toy-golden", 2);
+        campaign.runner = Arc::new(|ctx: &CaseCtx| {
+            if ctx.index().is_none() {
+                return Err("no golden".into());
+            }
+            Ok(Trace::new())
+        });
+        let err = Engine::new(EngineConfig::default())
+            .run(&campaign)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Golden(_)), "{err}");
+    }
+}

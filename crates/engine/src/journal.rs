@@ -1,0 +1,714 @@
+//! The append-only results journal: one line per classified case, written
+//! as each case finishes, so a campaign can be killed at any instant and
+//! resumed without losing completed work.
+//!
+//! The format is a deliberately plain, line-based text format (no serde, no
+//! framing) so shards on different machines can write independently and a
+//! human can inspect or `grep` a journal mid-run:
+//!
+//! ```text
+//! #amsfi-journal v1
+//! #campaign name=pll-sweep cases=24 fingerprint=9f1a2b3c4d5e6f70
+//! case 3 at=170000000000 class=transient onset=170001200000 end=171800000000 mismatch=902000000 affected=vctrl label=(8 mA; 100 ps; 100 ps; 300 ps)
+//! skip 7 at=170000000000 attempts=3 label=(10 mA; 40 ps; 40 ps; 120 ps) error=simulation diverged
+//! ```
+//!
+//! * Times are integer femtoseconds (`-` for "none"), so outcomes
+//!   round-trip exactly and merged summaries are byte-identical to an
+//!   uninterrupted run.
+//! * The header `fingerprint` hashes the campaign's case list; resuming or
+//!   merging with a journal whose fingerprint differs is refused, which
+//!   catches "same name, different fault list" mistakes early.
+//! * Records are keyed by case index. Duplicate indices are legal (a
+//!   killed-and-resumed shard may rewrite its in-flight case); the last
+//!   record wins. A `skip` for an index is superseded by a later `case`.
+
+use crate::shard::Shard;
+use amsfi_core::{CampaignResult, CaseOutcome, CaseResult, FaultCase, FaultClass};
+use amsfi_waves::{Time, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The format version this module writes and understands.
+pub const JOURNAL_VERSION: &str = "v1";
+
+/// Campaign identity recorded in (and validated against) a journal header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalMeta {
+    /// Campaign name (informational).
+    pub name: String,
+    /// Total number of cases in the full (unsharded) campaign.
+    pub cases: usize,
+    /// FNV-1a hash of the case list; see [`fingerprint`].
+    pub fingerprint: u64,
+}
+
+impl JournalMeta {
+    /// Builds the metadata for a campaign's case list.
+    pub fn of(name: &str, cases: &[FaultCase]) -> Self {
+        JournalMeta {
+            name: name.to_owned(),
+            cases: cases.len(),
+            fingerprint: fingerprint(name, cases),
+        }
+    }
+}
+
+/// One record read back from a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// The case completed and was classified.
+    Done(CaseResult),
+    /// The case was abandoned after exhausting its retry budget.
+    Skipped(SkippedCase),
+}
+
+/// A case abandoned under [`crate::ErrorPolicy::SkipAndRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedCase {
+    /// Index of the case in the campaign's case list.
+    pub index: usize,
+    /// The case itself.
+    pub case: FaultCase,
+    /// How many attempts were made.
+    pub attempts: u32,
+    /// The last error observed.
+    pub error: String,
+}
+
+/// Errors reading, writing or validating a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying I/O failure.
+    Io(PathBuf, std::io::Error),
+    /// The file exists but the engine was not asked to resume.
+    ExistsWithoutResume(PathBuf),
+    /// Header or record syntax error.
+    Malformed(PathBuf, usize, String),
+    /// The journal belongs to a different campaign or case list.
+    CampaignMismatch {
+        /// The journal that does not match.
+        path: PathBuf,
+        /// What the journal header says.
+        found: JournalMeta,
+        /// What the running campaign expects.
+        expected: JournalMeta,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(path, e) => write!(f, "journal {}: {e}", path.display()),
+            JournalError::ExistsWithoutResume(path) => write!(
+                f,
+                "journal {} already exists; pass --resume to continue it or choose a new path",
+                path.display()
+            ),
+            JournalError::Malformed(path, line, why) => {
+                write!(f, "journal {} line {line}: {why}", path.display())
+            }
+            JournalError::CampaignMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "journal {} was written by campaign {:?} ({} cases, fingerprint {:016x}) \
+                 but this run is {:?} ({} cases, fingerprint {:016x})",
+                path.display(),
+                found.name,
+                found.cases,
+                found.fingerprint,
+                expected.name,
+                expected.cases,
+                expected.fingerprint,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// FNV-1a over the campaign name and every case's label and injection time.
+///
+/// Deterministic across processes and machines (no pointer or hash-seed
+/// dependence), which is what lets independently launched shards verify
+/// they are slicing the same fault list.
+pub fn fingerprint(name: &str, cases: &[FaultCase]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(name.as_bytes());
+    for case in cases {
+        eat(case.label.as_bytes());
+        eat(&case.injected_at.as_fs().to_le_bytes());
+    }
+    h
+}
+
+/// An open, append-mode journal writer shared by the engine's workers.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Journal {
+    /// Opens `path` for this campaign.
+    ///
+    /// * If the file does not exist, it is created and the header written.
+    /// * If it exists and `resume` is true, the header is validated against
+    ///   `meta` and all completed records are returned so the engine can
+    ///   skip them.
+    /// * If it exists and `resume` is false, the call is refused —
+    ///   silently appending a different run to an old journal is almost
+    ///   always a mistake.
+    ///
+    /// # Errors
+    ///
+    /// See [`JournalError`].
+    pub fn open(
+        path: &Path,
+        meta: &JournalMeta,
+        resume: bool,
+    ) -> Result<(Self, BTreeMap<usize, JournalEntry>), JournalError> {
+        let exists = path.exists();
+        let mut entries = BTreeMap::new();
+        if exists {
+            if !resume {
+                return Err(JournalError::ExistsWithoutResume(path.to_owned()));
+            }
+            let (found, existing) = load(path)?;
+            if &found != meta {
+                return Err(JournalError::CampaignMismatch {
+                    path: path.to_owned(),
+                    found,
+                    expected: meta.clone(),
+                });
+            }
+            entries = existing;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError::Io(path.to_owned(), e))?;
+        let mut writer = BufWriter::new(file);
+        if !exists {
+            writeln!(writer, "#amsfi-journal {JOURNAL_VERSION}")
+                .and_then(|()| {
+                    writeln!(
+                        writer,
+                        "#campaign name={} cases={} fingerprint={:016x}",
+                        sanitize(&meta.name),
+                        meta.cases,
+                        meta.fingerprint
+                    )
+                })
+                .and_then(|()| writer.flush())
+                .map_err(|e| JournalError::Io(path.to_owned(), e))?;
+        }
+        Ok((
+            Journal {
+                path: path.to_owned(),
+                writer: Mutex::new(writer),
+            },
+            entries,
+        ))
+    }
+
+    /// Appends one completed case and flushes, so the record survives a
+    /// kill immediately after.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on write failure.
+    pub fn record_case(&self, index: usize, result: &CaseResult) -> Result<(), JournalError> {
+        let o = &result.outcome;
+        let line = format!(
+            "case {index} at={} class={} onset={} end={} mismatch={} affected={} label={}",
+            result.case.injected_at.as_fs(),
+            o.class,
+            opt_fs(o.error_onset),
+            opt_fs(o.error_end),
+            o.total_mismatch.as_fs(),
+            if o.affected.is_empty() {
+                "-".to_owned()
+            } else {
+                o.affected.join("|")
+            },
+            sanitize(&result.case.label),
+        );
+        self.append(&line)
+    }
+
+    /// Appends one skipped case and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on write failure.
+    pub fn record_skip(&self, skip: &SkippedCase) -> Result<(), JournalError> {
+        let line = format!(
+            "skip {} at={} attempts={} label={} error={}",
+            skip.index,
+            skip.case.injected_at.as_fs(),
+            skip.attempts,
+            sanitize(&skip.case.label),
+            sanitize(&skip.error),
+        );
+        self.append(&line)
+    }
+
+    fn append(&self, line: &str) -> Result<(), JournalError> {
+        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        writeln!(writer, "{line}")
+            .and_then(|()| writer.flush())
+            .map_err(|e| JournalError::Io(self.path.clone(), e))
+    }
+
+    /// The path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads a journal: header metadata plus all records, keyed by case index
+/// (last record per index wins, `case` superseding `skip`).
+///
+/// # Errors
+///
+/// See [`JournalError`].
+pub fn load(path: &Path) -> Result<(JournalMeta, BTreeMap<usize, JournalEntry>), JournalError> {
+    let file = File::open(path).map_err(|e| JournalError::Io(path.to_owned(), e))?;
+    let reader = BufReader::new(file);
+    let bad = |line_nr: usize, why: &str| {
+        JournalError::Malformed(path.to_owned(), line_nr, why.to_owned())
+    };
+
+    let mut lines = reader.lines().enumerate();
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| bad(1, "empty journal"))
+        .and_then(|(n, l)| {
+            l.map(|l| (n, l))
+                .map_err(|e| JournalError::Io(path.to_owned(), e))
+        })?;
+    if first.trim() != format!("#amsfi-journal {JOURNAL_VERSION}") {
+        return Err(bad(1, "not an amsfi journal (bad magic line)"));
+    }
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| bad(2, "missing campaign header"))
+        .and_then(|(n, l)| {
+            l.map(|l| (n, l))
+                .map_err(|e| JournalError::Io(path.to_owned(), e))
+        })?;
+    let meta = parse_header(&header).ok_or_else(|| bad(2, "malformed campaign header"))?;
+
+    let mut entries: BTreeMap<usize, JournalEntry> = BTreeMap::new();
+    for (idx, line) in lines {
+        let line_nr = idx + 1;
+        let line = line.map_err(|e| JournalError::Io(path.to_owned(), e))?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let entry = parse_record(line).ok_or_else(|| bad(line_nr, "malformed record"))?;
+        let index = match &entry {
+            JournalEntry::Done(_) => index_of(line),
+            JournalEntry::Skipped(s) => Some(s.index),
+        }
+        .ok_or_else(|| bad(line_nr, "record without index"))?;
+        if meta.cases > 0 && index >= meta.cases {
+            return Err(bad(line_nr, "case index out of range for campaign"));
+        }
+        // Last record wins, except a completed case is never demoted to a
+        // skip (a resumed run may re-attempt and then succeed).
+        match (&entry, entries.get(&index)) {
+            (JournalEntry::Skipped(_), Some(JournalEntry::Done(_))) => {}
+            _ => {
+                entries.insert(index, entry);
+            }
+        }
+    }
+    Ok((meta, entries))
+}
+
+/// Loads several shard journals for the same campaign and merges their
+/// records into one deterministic, index-ordered map.
+///
+/// # Errors
+///
+/// Fails if any journal is unreadable or the journals disagree about the
+/// campaign (name, case count or fingerprint).
+pub fn merge(
+    paths: &[PathBuf],
+) -> Result<(JournalMeta, BTreeMap<usize, JournalEntry>), JournalError> {
+    assert!(!paths.is_empty(), "nothing to merge");
+    let (meta, mut entries) = load(&paths[0])?;
+    for path in &paths[1..] {
+        let (other_meta, other) = load(path)?;
+        if other_meta != meta {
+            return Err(JournalError::CampaignMismatch {
+                path: path.clone(),
+                found: other_meta,
+                expected: meta,
+            });
+        }
+        for (index, entry) in other {
+            match (&entry, entries.get(&index)) {
+                (JournalEntry::Skipped(_), Some(JournalEntry::Done(_))) => {}
+                _ => {
+                    entries.insert(index, entry);
+                }
+            }
+        }
+    }
+    Ok((meta, entries))
+}
+
+/// Builds a [`CampaignResult`] (with an empty golden trace) plus the skip
+/// list from merged journal entries — what the `amsfi merge` subcommand
+/// reports on. Cases appear in index order, so two merges of the same
+/// shards produce byte-identical reports.
+pub fn assemble(entries: &BTreeMap<usize, JournalEntry>) -> (CampaignResult, Vec<SkippedCase>) {
+    let mut cases = Vec::new();
+    let mut skipped = Vec::new();
+    for entry in entries.values() {
+        match entry {
+            JournalEntry::Done(result) => cases.push(result.clone()),
+            JournalEntry::Skipped(skip) => skipped.push(skip.clone()),
+        }
+    }
+    (
+        CampaignResult {
+            golden: Trace::new(),
+            cases,
+        },
+        skipped,
+    )
+}
+
+/// Which of `total` cases are still missing from `entries` and owned by
+/// `shard` — the work list of a (resumed) run.
+pub fn pending(entries: &BTreeMap<usize, JournalEntry>, total: usize, shard: Shard) -> Vec<usize> {
+    shard
+        .case_indices(total)
+        .filter(|i| !matches!(entries.get(i), Some(JournalEntry::Done(_))))
+        .collect()
+}
+
+fn opt_fs(t: Option<Time>) -> String {
+    t.map_or_else(|| "-".to_owned(), |t| t.as_fs().to_string())
+}
+
+fn parse_opt_fs(s: &str) -> Option<Option<Time>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        s.parse::<i64>().ok().map(|fs| Some(Time::from_fs(fs)))
+    }
+}
+
+/// Journals are line-oriented; free-text fields must not contain newlines.
+fn sanitize(s: &str) -> String {
+    if s.contains('\n') || s.contains('\r') {
+        s.replace(['\n', '\r'], " ")
+    } else {
+        s.to_owned()
+    }
+}
+
+fn parse_header(line: &str) -> Option<JournalMeta> {
+    let rest = line.strip_prefix("#campaign ")?;
+    let name_and_more = rest.strip_prefix("name=")?;
+    // `name` may contain spaces; `cases=` starts the fixed tail.
+    let cases_pos = name_and_more.rfind(" cases=")?;
+    let name = name_and_more[..cases_pos].to_owned();
+    let tail = &name_and_more[cases_pos + 1..];
+    let mut cases = None;
+    let mut fp = None;
+    for token in tail.split_whitespace() {
+        if let Some(v) = token.strip_prefix("cases=") {
+            cases = v.parse::<usize>().ok();
+        } else if let Some(v) = token.strip_prefix("fingerprint=") {
+            fp = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    Some(JournalMeta {
+        name,
+        cases: cases?,
+        fingerprint: fp?,
+    })
+}
+
+fn index_of(line: &str) -> Option<usize> {
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn parse_record(line: &str) -> Option<JournalEntry> {
+    let label_pos = line.find(" label=")?;
+    let tail = &line[label_pos + " label=".len()..];
+    // `label=` holds controlled text (target names); `error=`, when present,
+    // is arbitrary free text and therefore always the final field.
+    let (label, error) = match tail.find(" error=") {
+        Some(p) => (
+            tail[..p].to_owned(),
+            Some(tail[p + " error=".len()..].to_owned()),
+        ),
+        None => (tail.to_owned(), None),
+    };
+    let head = &line[..label_pos];
+    let mut tokens = head.split_whitespace();
+    let kind = tokens.next()?;
+    let index: usize = tokens.next()?.parse().ok()?;
+    let mut at = None;
+    let mut class = None;
+    let mut onset = None;
+    let mut end = None;
+    let mut mismatch = None;
+    let mut affected = None;
+    let mut attempts = None;
+    for token in tokens {
+        let (key, value) = token.split_once('=')?;
+        match key {
+            "at" => at = Some(Time::from_fs(value.parse::<i64>().ok()?)),
+            "class" => class = Some(value.parse::<FaultClass>().ok()?),
+            "onset" => onset = Some(parse_opt_fs(value)?),
+            "end" => end = Some(parse_opt_fs(value)?),
+            "mismatch" => mismatch = Some(Time::from_fs(value.parse::<i64>().ok()?)),
+            "affected" => {
+                affected = Some(if value == "-" {
+                    Vec::new()
+                } else {
+                    value.split('|').map(str::to_owned).collect()
+                });
+            }
+            "attempts" => attempts = Some(value.parse::<u32>().ok()?),
+            _ => {}
+        }
+    }
+    let case = FaultCase::new(label, at?);
+    match kind {
+        "case" => Some(JournalEntry::Done(CaseResult {
+            case,
+            outcome: CaseOutcome {
+                class: class?,
+                error_onset: onset?,
+                error_end: end?,
+                total_mismatch: mismatch?,
+                affected: affected?,
+            },
+        })),
+        "skip" => Some(JournalEntry::Skipped(SkippedCase {
+            index,
+            case,
+            attempts: attempts?,
+            error: error.unwrap_or_default(),
+        })),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn unique_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "amsfi-journal-test-{}-{tag}-{n}.journal",
+            std::process::id()
+        ))
+    }
+
+    fn sample_cases() -> Vec<FaultCase> {
+        (0..4)
+            .map(|i| FaultCase::new(format!("bit{i} @ 5 us"), Time::from_us(5)))
+            .collect()
+    }
+
+    fn sample_result(i: usize) -> CaseResult {
+        CaseResult {
+            case: sample_cases()[i].clone(),
+            outcome: CaseOutcome {
+                class: if i.is_multiple_of(2) {
+                    FaultClass::NoEffect
+                } else {
+                    FaultClass::Failure
+                },
+                error_onset: (i % 2 == 1).then(|| Time::from_ns(100)),
+                error_end: (i % 2 == 1).then(|| Time::from_ns(900)),
+                total_mismatch: Time::from_ns(800 * (i % 2) as i64),
+                affected: if i % 2 == 1 {
+                    vec!["out".to_owned()]
+                } else {
+                    Vec::new()
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_exactly() {
+        let path = unique_path("roundtrip");
+        let cases = sample_cases();
+        let meta = JournalMeta::of("toy", &cases);
+        let (journal, existing) = Journal::open(&path, &meta, false).unwrap();
+        assert!(existing.is_empty());
+        for i in 0..3 {
+            journal.record_case(i, &sample_result(i)).unwrap();
+        }
+        journal
+            .record_skip(&SkippedCase {
+                index: 3,
+                case: cases[3].clone(),
+                attempts: 2,
+                error: "solver blew\nup".to_owned(),
+            })
+            .unwrap();
+        drop(journal);
+
+        let (found, entries) = load(&path).unwrap();
+        assert_eq!(found, meta);
+        assert_eq!(entries.len(), 4);
+        for i in 0..3 {
+            match &entries[&i] {
+                JournalEntry::Done(r) => assert_eq!(r, &sample_result(i)),
+                other => panic!("expected Done, got {other:?}"),
+            }
+        }
+        match &entries[&3] {
+            JournalEntry::Skipped(s) => {
+                assert_eq!(s.attempts, 2);
+                assert!(!s.error.contains('\n'), "newlines sanitised: {:?}", s.error);
+            }
+            other => panic!("expected Skipped, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_refuses_existing_without_resume() {
+        let path = unique_path("noresume");
+        let meta = JournalMeta::of("toy", &sample_cases());
+        let (j, _) = Journal::open(&path, &meta, false).unwrap();
+        drop(j);
+        let err = Journal::open(&path, &meta, false).unwrap_err();
+        assert!(matches!(err, JournalError::ExistsWithoutResume(_)), "{err}");
+        // With resume it opens fine and returns the (empty) record set.
+        let (_, entries) = Journal::open(&path, &meta, true).unwrap();
+        assert!(entries.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_different_campaign() {
+        let path = unique_path("mismatch");
+        let meta = JournalMeta::of("toy", &sample_cases());
+        let (j, _) = Journal::open(&path, &meta, false).unwrap();
+        drop(j);
+        let other = JournalMeta::of("other", &sample_cases());
+        let err = Journal::open(&path, &other, true).unwrap_err();
+        assert!(
+            matches!(err, JournalError::CampaignMismatch { .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn later_case_record_supersedes_skip_but_not_vice_versa() {
+        let path = unique_path("supersede");
+        let cases = sample_cases();
+        let meta = JournalMeta::of("toy", &cases);
+        let (journal, _) = Journal::open(&path, &meta, false).unwrap();
+        journal
+            .record_skip(&SkippedCase {
+                index: 1,
+                case: cases[1].clone(),
+                attempts: 1,
+                error: "first try".to_owned(),
+            })
+            .unwrap();
+        journal.record_case(1, &sample_result(1)).unwrap();
+        // A stray later skip must not demote the completed case.
+        journal
+            .record_skip(&SkippedCase {
+                index: 1,
+                case: cases[1].clone(),
+                attempts: 1,
+                error: "late duplicate".to_owned(),
+            })
+            .unwrap();
+        drop(journal);
+        let (_, entries) = load(&path).unwrap();
+        assert!(matches!(&entries[&1], JournalEntry::Done(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_combines_disjoint_shards() {
+        let cases = sample_cases();
+        let meta = JournalMeta::of("toy", &cases);
+        let paths = [unique_path("merge0"), unique_path("merge1")];
+        for (shard, path) in paths.iter().enumerate() {
+            let (journal, _) = Journal::open(path, &meta, false).unwrap();
+            for i in (shard..4).step_by(2) {
+                journal.record_case(i, &sample_result(i)).unwrap();
+            }
+        }
+        let (meta_back, entries) = merge(&paths).unwrap();
+        assert_eq!(meta_back, meta);
+        assert_eq!(entries.len(), 4);
+        let (result, skipped) = assemble(&entries);
+        assert!(skipped.is_empty());
+        assert_eq!(result.cases.len(), 4);
+        // Index order regardless of which shard wrote what.
+        assert_eq!(result.cases[0].case.label, "bit0 @ 5 us");
+        assert_eq!(result.cases[3].case.label, "bit3 @ 5 us");
+        for path in &paths {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn pending_respects_shard_and_completed_entries() {
+        let path = unique_path("pending");
+        let cases = sample_cases();
+        let meta = JournalMeta::of("toy", &cases);
+        let (journal, _) = Journal::open(&path, &meta, false).unwrap();
+        journal.record_case(0, &sample_result(0)).unwrap();
+        drop(journal);
+        let (_, entries) = load(&path).unwrap();
+        assert_eq!(pending(&entries, 4, Shard::FULL), vec![1, 2, 3]);
+        let shard0: Shard = "0/2".parse().unwrap();
+        assert_eq!(pending(&entries, 4, shard0), vec![2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_depends_on_labels_and_times() {
+        let a = sample_cases();
+        let mut b = sample_cases();
+        b[2].injected_at = Time::from_us(6);
+        assert_ne!(fingerprint("toy", &a), fingerprint("toy", &b));
+        assert_ne!(fingerprint("toy", &a), fingerprint("other", &a));
+        assert_eq!(fingerprint("toy", &a), fingerprint("toy", &sample_cases()));
+    }
+}

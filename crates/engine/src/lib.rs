@@ -1,0 +1,41 @@
+//! The campaign-execution engine: streams results instead of accumulating
+//! them, so the paper's "instrument once, inject many" loop scales to
+//! million-case campaigns that can be stopped, resumed, sharded across
+//! machines, and observed while they run.
+//!
+//! What it adds over [`amsfi_core::run_campaign_parallel`]:
+//!
+//! * a work-stealing executor with per-case timeout, bounded retry with
+//!   exponential backoff and an [`ErrorPolicy`] — one diverging simulation
+//!   no longer kills the whole run ([`executor`]);
+//! * an append-only, line-based results [`journal`] with checkpoint/resume:
+//!   rerunning a campaign with an existing journal skips completed cases
+//!   and merges deterministically;
+//! * a [`Shard`] API that partitions the case list deterministically so
+//!   shards run in separate processes or on separate machines, and their
+//!   journals merge into one [`amsfi_core::CampaignResult`] ([`shard`]);
+//! * an observability layer: atomic counters, periodic progress lines and a
+//!   per-stage (build / simulate / classify) wall-clock breakdown
+//!   ([`stats`]).
+//!
+//! The `amsfi` CLI binary (`src/bin/amsfi.rs`) drives the named case-study
+//! [`campaigns`] through this engine.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaigns;
+pub mod executor;
+pub mod journal;
+pub mod shard;
+pub mod stats;
+
+pub use executor::{
+    Campaign, CaseCtx, CaseRunner, Engine, EngineConfig, EngineError, EngineReport, ErrorPolicy,
+};
+pub use journal::{Journal, JournalEntry, JournalError, JournalMeta, SkippedCase};
+pub use shard::Shard;
+pub use stats::{EngineStats, Stage, StatsSnapshot};
+
+/// The boxed error type run closures report, matching `amsfi_core`.
+pub type BoxError = Box<dyn std::error::Error + Send + Sync>;

@@ -1,0 +1,161 @@
+//! Deterministic partitioning of a campaign's case list across processes
+//! or machines.
+//!
+//! A shard owns every case index `i` with `i % count == index` (round-robin
+//! striping). Striping — rather than contiguous chunks — keeps the per-shard
+//! workload balanced even when case cost correlates with position in the
+//! fault list (e.g. injection times sweeping through a transient), and it
+//! makes the partition a pure function of `(index, count)` so shards can be
+//! launched independently with no coordination.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One slice of a partitioned campaign: shard `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    /// This shard's position, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the campaign is split into.
+    pub count: usize,
+}
+
+/// An invalid shard specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError(String);
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid shard: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl Shard {
+    /// The whole campaign as a single shard.
+    pub const FULL: Shard = Shard { index: 0, count: 1 };
+
+    /// Creates shard `index` of `count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if `count` is zero or `index >= count`.
+    pub fn new(index: usize, count: usize) -> Result<Self, ShardError> {
+        if count == 0 {
+            return Err(ShardError("shard count must be positive".to_owned()));
+        }
+        if index >= count {
+            return Err(ShardError(format!(
+                "shard index {index} out of range for {count} shard(s)"
+            )));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard executes case `i`.
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+
+    /// The case indices this shard owns, out of `total` cases, ascending.
+    pub fn case_indices(&self, total: usize) -> impl Iterator<Item = usize> + '_ {
+        (self.index..total).step_by(self.count)
+    }
+
+    /// How many of `total` cases this shard owns.
+    pub fn len(&self, total: usize) -> usize {
+        if total > self.index {
+            1 + (total - self.index - 1) / self.count
+        } else {
+            0
+        }
+    }
+
+    /// Whether this shard owns none of `total` cases.
+    pub fn is_empty(&self, total: usize) -> bool {
+        self.len(total) == 0
+    }
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::FULL
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for Shard {
+    type Err = ShardError;
+
+    /// Parses the CLI form `INDEX/COUNT`, e.g. `0/2`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| ShardError(format!("expected INDEX/COUNT, got {s:?}")))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| ShardError(format!("bad shard index in {s:?}")))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| ShardError(format!("bad shard count in {s:?}")))?;
+        Shard::new(index, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_exactly() {
+        let total = 23;
+        let count = 4;
+        let mut seen = vec![0u32; total];
+        for index in 0..count {
+            let shard = Shard::new(index, count).unwrap();
+            for i in shard.case_indices(total) {
+                assert!(shard.owns(i));
+                seen[i] += 1;
+            }
+            assert_eq!(shard.case_indices(total).count(), shard.len(total));
+        }
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "each case in exactly one shard"
+        );
+    }
+
+    #[test]
+    fn full_shard_owns_everything() {
+        assert!((0..100).all(|i| Shard::FULL.owns(i)));
+        assert_eq!(Shard::FULL.len(100), 100);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s: Shard = "1/4".parse().unwrap();
+        assert_eq!(s, Shard { index: 1, count: 4 });
+        assert_eq!(s.to_string(), "1/4");
+        assert!("4/4".parse::<Shard>().is_err());
+        assert!("0/0".parse::<Shard>().is_err());
+        assert!("x/2".parse::<Shard>().is_err());
+        assert!("3".parse::<Shard>().is_err());
+    }
+
+    #[test]
+    fn empty_and_small_totals() {
+        let s = Shard::new(2, 4).unwrap();
+        assert_eq!(s.len(2), 0);
+        assert!(s.is_empty(2));
+        assert_eq!(s.len(3), 1);
+        assert_eq!(s.case_indices(0).count(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Campaign observability: lock-free counters updated by the workers,
+//! periodic progress lines, and a per-stage wall-clock breakdown.
+//!
+//! All counters are relaxed atomics — they are statistics, not
+//! synchronisation — so the observability layer costs a few nanoseconds per
+//! case and never serialises the workers.
+
+use amsfi_core::FaultClass;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// The pipeline stages the engine attributes wall-clock time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Constructing the circuit instance for a case.
+    Build,
+    /// Running the (mixed-signal) simulation.
+    Simulate,
+    /// Comparing against the golden trace and classifying.
+    Classify,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 3] = [Stage::Build, Stage::Simulate, Stage::Classify];
+
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            Stage::Build => 0,
+            Stage::Simulate => 1,
+            Stage::Classify => 2,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Build => "build",
+            Stage::Simulate => "simulate",
+            Stage::Classify => "classify",
+        })
+    }
+}
+
+/// Shared live counters for one engine run.
+#[derive(Debug)]
+pub struct EngineStats {
+    started: Instant,
+    /// Cases finished (classified or skipped).
+    done: AtomicUsize,
+    /// Total cases this run will execute (shard-local, excluding resumed).
+    total: AtomicUsize,
+    /// Per-class tallies, in [`FaultClass::ALL`] order.
+    classes: [AtomicUsize; 4],
+    /// Attempts beyond the first, across all cases.
+    retries: AtomicUsize,
+    /// Attempts that hit the per-case timeout.
+    timeouts: AtomicUsize,
+    /// Cases abandoned under [`crate::ErrorPolicy::SkipAndRecord`].
+    skipped: AtomicUsize,
+    /// Nanoseconds per [`Stage`].
+    stage_ns: [AtomicU64; 3],
+}
+
+impl EngineStats {
+    /// Fresh counters; `total` is the number of cases this run owns.
+    pub fn new(total: usize) -> Self {
+        EngineStats {
+            started: Instant::now(),
+            done: AtomicUsize::new(0),
+            total: AtomicUsize::new(total),
+            classes: Default::default(),
+            retries: AtomicUsize::new(0),
+            timeouts: AtomicUsize::new(0),
+            skipped: AtomicUsize::new(0),
+            stage_ns: Default::default(),
+        }
+    }
+
+    pub(crate) fn record_class(&self, class: FaultClass) {
+        let idx = FaultClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .unwrap_or(0);
+        self.classes[idx].fetch_add(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_skip(&self) {
+        self.skipped.fetch_add(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `elapsed` to `stage`'s wall-clock tally.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stage_ns[stage.idx()].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the counters for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            elapsed: self.started.elapsed(),
+            done: self.done.load(Ordering::Relaxed),
+            total: self.total.load(Ordering::Relaxed),
+            classes: [
+                self.classes[0].load(Ordering::Relaxed),
+                self.classes[1].load(Ordering::Relaxed),
+                self.classes[2].load(Ordering::Relaxed),
+                self.classes[3].load(Ordering::Relaxed),
+            ],
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            stage_ns: [
+                self.stage_ns[0].load(Ordering::Relaxed),
+                self.stage_ns[1].load(Ordering::Relaxed),
+                self.stage_ns[2].load(Ordering::Relaxed),
+            ],
+        }
+    }
+}
+
+/// A point-in-time copy of [`EngineStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Wall-clock time since the engine run started.
+    pub elapsed: Duration,
+    /// Cases finished (classified or skipped).
+    pub done: usize,
+    /// Cases this run owns.
+    pub total: usize,
+    /// Per-class tallies in [`FaultClass::ALL`] order.
+    pub classes: [usize; 4],
+    /// Attempts beyond the first.
+    pub retries: usize,
+    /// Attempts that timed out.
+    pub timeouts: usize,
+    /// Cases abandoned after exhausting retries.
+    pub skipped: usize,
+    /// Nanoseconds attributed to each [`Stage`].
+    pub stage_ns: [u64; 3],
+}
+
+impl StatsSnapshot {
+    /// Completed cases per second of wall-clock time.
+    pub fn rate(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.done as f64 / secs
+        }
+    }
+
+    /// The per-stage wall-clock breakdown as an aligned text table.
+    pub fn stage_table(&self) -> String {
+        use std::fmt::Write as _;
+        let total_ns: u64 = self.stage_ns.iter().sum();
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<10} {:>12} {:>7}", "stage", "wall-clock", "share");
+        for stage in Stage::ALL {
+            let ns = self.stage_ns[stage.idx()];
+            let share = if total_ns == 0 {
+                0.0
+            } else {
+                100.0 * ns as f64 / total_ns as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:>12} {share:>6.1}%",
+                stage.to_string(),
+                format_ns(ns),
+            );
+        }
+        out
+    }
+
+    /// The per-stage breakdown as CSV (`stage,wall_clock_s,share`).
+    pub fn stage_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let total_ns: u64 = self.stage_ns.iter().sum();
+        let mut out = String::from("stage,wall_clock_s,share\n");
+        for stage in Stage::ALL {
+            let ns = self.stage_ns[stage.idx()];
+            let share = if total_ns == 0 {
+                0.0
+            } else {
+                ns as f64 / total_ns as f64
+            };
+            let _ = writeln!(out, "{stage},{},{share}", ns as f64 / 1e9);
+        }
+        out
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    /// The periodic progress line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>7.1}s] {}/{} cases ({:.1}/s) \
+             no-effect={} latent={} transient={} failure={} \
+             retries={} timeouts={} skipped={}",
+            self.elapsed.as_secs_f64(),
+            self.done,
+            self.total,
+            self.rate(),
+            self.classes[0],
+            self.classes[1],
+            self.classes[2],
+            self.classes[3],
+            self.retries,
+            self.timeouts,
+            self.skipped,
+        )
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = EngineStats::new(10);
+        stats.record_class(FaultClass::Failure);
+        stats.record_class(FaultClass::NoEffect);
+        stats.record_retry();
+        stats.record_timeout();
+        stats.record_skip();
+        let snap = stats.snapshot();
+        assert_eq!(snap.done, 3);
+        assert_eq!(snap.classes, [1, 0, 0, 1]);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.skipped, 1);
+        assert!(snap.rate() >= 0.0);
+    }
+
+    #[test]
+    fn stage_breakdown_sums_to_100_percent() {
+        let stats = EngineStats::new(1);
+        stats.record_stage(Stage::Build, Duration::from_millis(10));
+        stats.record_stage(Stage::Simulate, Duration::from_millis(70));
+        stats.record_stage(Stage::Classify, Duration::from_millis(20));
+        let snap = stats.snapshot();
+        let table = snap.stage_table();
+        assert!(table.contains("simulate"), "{table}");
+        assert!(table.contains("70.0%"), "{table}");
+        let csv = snap.stage_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("build,0.01,0.1"), "{csv}");
+    }
+
+    #[test]
+    fn progress_line_mentions_rate_and_tallies() {
+        let stats = EngineStats::new(5);
+        stats.record_class(FaultClass::Transient);
+        let line = stats.snapshot().to_string();
+        assert!(line.contains("1/5 cases"), "{line}");
+        assert!(line.contains("transient=1"), "{line}");
+    }
+}

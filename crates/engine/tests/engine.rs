@@ -1,0 +1,259 @@
+//! End-to-end engine behaviour: checkpoint/resume after a kill, shard-merge
+//! determinism, and fail-fast runs leaving a resumable journal.
+
+use amsfi_core::report;
+use amsfi_core::{ClassifySpec, FaultCase};
+use amsfi_engine::{
+    campaigns, journal, Campaign, CaseCtx, Engine, EngineConfig, EngineError, ErrorPolicy, Shard,
+};
+use amsfi_waves::{Logic, Time, Trace};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn unique_path(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "amsfi-engine-test-{}-{tag}-{n}.journal",
+        std::process::id()
+    ))
+}
+
+/// A deterministic toy campaign over `n` cases; `calls` counts faulty-case
+/// runner invocations so tests can prove the resume path skipped work.
+/// Classification: index 4 fails, odd indices are transient, the rest clean.
+fn toy_campaign(n: usize, calls: Arc<AtomicUsize>) -> Campaign {
+    let window = (Time::from_ns(0), Time::from_ns(1000));
+    Campaign {
+        name: "toy".to_owned(),
+        spec: ClassifySpec::new(window, vec!["out".to_owned()]),
+        cases: (0..n)
+            .map(|i| FaultCase::new(format!("bit{i}"), Time::from_ns(100)))
+            .collect(),
+        runner: Arc::new(move |ctx: &CaseCtx| {
+            let mut trace = Trace::new();
+            trace.record_digital("out", Time::from_ns(0), Logic::Zero)?;
+            match ctx.index() {
+                None => {}
+                Some(i) => {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    if i == 4 {
+                        trace.record_digital("out", Time::from_ns(200), Logic::One)?;
+                    } else if i % 2 == 1 {
+                        trace.record_digital("out", Time::from_ns(200), Logic::One)?;
+                        trace.record_digital("out", Time::from_ns(400), Logic::Zero)?;
+                    }
+                }
+            }
+            Ok(trace)
+        }),
+    }
+}
+
+#[test]
+fn kill_and_resume_round_trip() {
+    let path = unique_path("resume");
+    let calls = Arc::new(AtomicUsize::new(0));
+    let campaign = toy_campaign(12, Arc::clone(&calls));
+
+    // Reference: one uninterrupted run, no journal.
+    let clean = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&campaign)
+        .unwrap();
+
+    // "Kill" partway: run only shard 0/2 into the journal, as an
+    // interrupted run would have left it.
+    calls.store(0, Ordering::Relaxed);
+    let partial = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_shard("0/2".parse().unwrap())
+            .with_journal(&path),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert_eq!(partial.result.cases.len(), 6);
+    assert_eq!(calls.load(Ordering::Relaxed), 6);
+
+    // Resume over the full case list: only the missing half may run.
+    calls.store(0, Ordering::Relaxed);
+    let resumed = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_journal(&path)
+            .with_resume(true),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert_eq!(calls.load(Ordering::Relaxed), 6, "completed cases re-ran");
+    assert_eq!(resumed.resumed, 6);
+    assert_eq!(resumed.result.cases.len(), 12);
+
+    // The merged report is indistinguishable from the uninterrupted run.
+    assert_eq!(
+        report::summary_table(&resumed.result),
+        report::summary_table(&clean.result)
+    );
+    assert_eq!(
+        report::cases_csv(&resumed.result),
+        report::cases_csv(&clean.result)
+    );
+
+    // Rerunning once more is a pure no-op: everything resumes.
+    calls.store(0, Ordering::Relaxed);
+    let noop = Engine::new(
+        EngineConfig::default()
+            .with_journal(&path)
+            .with_resume(true),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert_eq!(calls.load(Ordering::Relaxed), 0);
+    assert_eq!(noop.resumed, 12);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shard_journals_merge_into_the_single_shard_result() {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let campaign = toy_campaign(11, Arc::clone(&calls));
+    let clean = Engine::new(EngineConfig::default()).run(&campaign).unwrap();
+
+    let paths = [unique_path("shard0"), unique_path("shard1")];
+    for (i, path) in paths.iter().enumerate() {
+        let shard = Shard::new(i, 2).unwrap();
+        Engine::new(EngineConfig::default().with_shard(shard).with_journal(path))
+            .run(&campaign)
+            .unwrap();
+    }
+
+    let (meta, entries) = journal::merge(&paths).unwrap();
+    assert_eq!(meta, campaign.meta());
+    let (merged, skipped) = journal::assemble(&entries);
+    assert!(skipped.is_empty());
+    assert_eq!(
+        report::summary_table(&merged),
+        report::summary_table(&clean.result),
+        "merged shard summary must be byte-identical to the unsharded run"
+    );
+    assert_eq!(report::cases_csv(&merged), report::cases_csv(&clean.result));
+    for path in &paths {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn fail_fast_leaves_a_resumable_journal() {
+    let path = unique_path("failfast");
+    let healed = Arc::new(AtomicBool::new(false));
+    let window = (Time::from_ns(0), Time::from_ns(1000));
+    let healed_in = Arc::clone(&healed);
+    let campaign = Campaign {
+        name: "flaky".to_owned(),
+        spec: ClassifySpec::new(window, vec!["out".to_owned()]),
+        cases: (0..8)
+            .map(|i| FaultCase::new(format!("bit{i}"), Time::from_ns(100)))
+            .collect(),
+        runner: Arc::new(move |ctx: &CaseCtx| {
+            if ctx.index() == Some(5) && !healed_in.load(Ordering::Relaxed) {
+                return Err("transient infrastructure failure".into());
+            }
+            let mut trace = Trace::new();
+            trace.record_digital("out", Time::from_ns(0), Logic::Zero)?;
+            Ok(trace)
+        }),
+    };
+
+    // Sequential fail-fast run: cases 0..=4 are journaled, 5 aborts.
+    let err = Engine::new(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_error_policy(ErrorPolicy::FailFast)
+            .with_journal(&path),
+    )
+    .run(&campaign)
+    .unwrap_err();
+    match err {
+        EngineError::Case { index, .. } => assert_eq!(index, 5),
+        other => panic!("expected a case failure, got {other}"),
+    }
+    let (_, entries) = journal::load(&path).unwrap();
+    assert_eq!(entries.len(), 5, "completed prefix must be journaled");
+
+    // The flake clears; resuming finishes the remaining three cases.
+    healed.store(true, Ordering::Relaxed);
+    let resumed = Engine::new(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_error_policy(ErrorPolicy::FailFast)
+            .with_journal(&path)
+            .with_resume(true),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert_eq!(resumed.resumed, 5);
+    assert_eq!(resumed.result.cases.len(), 8);
+    assert!(resumed.skipped.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_refuses_a_journal_from_another_campaign() {
+    let path = unique_path("foreign");
+    let campaign_a = toy_campaign(4, Arc::new(AtomicUsize::new(0)));
+    Engine::new(EngineConfig::default().with_journal(&path))
+        .run(&campaign_a)
+        .unwrap();
+
+    let mut campaign_b = toy_campaign(4, Arc::new(AtomicUsize::new(0)));
+    campaign_b.cases[1].injected_at = Time::from_ns(999);
+    let err = Engine::new(
+        EngineConfig::default()
+            .with_journal(&path)
+            .with_resume(true),
+    )
+    .run(&campaign_b)
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Journal(journal::JournalError::CampaignMismatch { .. })
+        ),
+        "{err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The acceptance scenario end-to-end on a real (truncated) named campaign:
+/// the Fig. 8 PLL sweep, sharded two ways with the fast flash-ADC campaign
+/// kept out of the hot path by truncating to the paper's four pulse sets.
+#[test]
+fn named_campaign_shards_and_merges() {
+    let limit = Some(4);
+    let paths = [unique_path("pll0"), unique_path("pll1")];
+    for (i, path) in paths.iter().enumerate() {
+        let campaign = campaigns::build("adc-flash", limit).unwrap();
+        Engine::new(
+            EngineConfig::default()
+                .with_shard(Shard::new(i, 2).unwrap())
+                .with_journal(path),
+        )
+        .run(&campaign)
+        .unwrap();
+    }
+    let campaign = campaigns::build("adc-flash", limit).unwrap();
+    let clean = Engine::new(EngineConfig::default()).run(&campaign).unwrap();
+
+    let (meta, entries) = journal::merge(&paths).unwrap();
+    assert_eq!(meta, campaign.meta());
+    let (merged, _) = journal::assemble(&entries);
+    assert_eq!(
+        report::summary_table(&merged),
+        report::summary_table(&clean.result)
+    );
+    assert_eq!(report::cases_csv(&merged), report::cases_csv(&clean.result));
+    for path in &paths {
+        std::fs::remove_file(path).ok();
+    }
+}
