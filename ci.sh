@@ -1,7 +1,13 @@
 #!/bin/sh
-# Local CI gate: formatting, lints as errors, full test suite.
+# Local CI gate: formatting, lints as errors, full test suite, bench smoke.
 set -eux
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
+
+# PR 2 bench smoke: checkpoint-vs-scratch speedup on the PLL injection-time
+# sweep, emitting BENCH_pr2.json (cases/sec + speedup at 1/4/8 workers).
+# The binary also asserts forked runs are byte-identical to from-scratch.
+cargo build --release -p amsfi-bench --bin pr2_checkpoint_bench
+./target/release/pr2_checkpoint_bench

@@ -117,15 +117,23 @@ impl<'a> AnalogContext<'a> {
     }
 }
 
-/// Object-safe clone support for boxed analog blocks.
+/// Object-safe clone and downcast support for boxed analog blocks.
 pub trait AnalogBlockClone {
     /// Clones this block into a new box.
     fn clone_box(&self) -> Box<dyn AnalogBlock>;
+
+    /// The block as `Any`, so callers holding a `BlockId` can downcast to
+    /// the concrete type (e.g. to re-arm a saboteur inside a built solver).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 impl<T: AnalogBlock + Clone + 'static> AnalogBlockClone for T {
     fn clone_box(&self) -> Box<dyn AnalogBlock> {
         Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

@@ -73,6 +73,15 @@ impl AnalogSaboteur {
         self
     }
 
+    /// Arms (or re-arms) the saboteur in place: inject `pulse` starting at
+    /// `at`. The in-place form of [`AnalogSaboteur::with_pulse_arc`], for
+    /// saboteurs already lowered into a solver — campaigns build the
+    /// circuit once, disarmed, then arm the per-case pulse through
+    /// [`AnalogSolver::block_mut`](crate::AnalogSolver::block_mut).
+    pub fn arm(&mut self, pulse: Arc<dyn PulseShape>, at: Time) {
+        self.pulse = Some((pulse, at));
+    }
+
     /// The armed injection time, if any.
     pub fn injection_time(&self) -> Option<Time> {
         self.pulse.as_ref().map(|&(_, at)| at)

@@ -8,9 +8,10 @@
 //!
 //! [`AnalogBlock::max_step`]: crate::AnalogBlock::max_step
 
-use crate::block::{AnalogContext, UnknownParamError};
+use crate::block::{AnalogBlock, AnalogContext, UnknownParamError};
 use crate::circuit::{AnalogCircuit, BlockId, NodeId, NodeKind};
-use amsfi_waves::{Time, Trace};
+use amsfi_waves::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, Time, Trace};
+use std::convert::Infallible;
 
 #[derive(Debug, Clone)]
 struct Monitor {
@@ -163,6 +164,71 @@ impl AnalogSolver {
         self.circuit.blocks[block.0].block.set_param(param, value)
     }
 
+    /// Mutable access to a block instance, for reconfiguring saboteurs
+    /// after the circuit has been lowered into the solver (downcast via
+    /// [`AnalogBlockClone::as_any_mut`](crate::AnalogBlockClone::as_any_mut)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block_mut(&mut self, block: BlockId) -> &mut dyn AnalogBlock {
+        &mut *self.circuit.blocks[block.0].block
+    }
+
+    /// A hash of the solver's structure — node names, kinds and initial
+    /// values, block names and port bindings, and the base step — but none
+    /// of its mutable run state. A [`Checkpoint`] refuses to restore across
+    /// differing fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str("amsfi-analog");
+        h.eat();
+        h.write_u64(self.base_dt.as_fs() as u64);
+        h.eat();
+        h.write_u64(self.circuit.nodes.len() as u64);
+        h.eat();
+        for n in &self.circuit.nodes {
+            h.write_str(&n.name);
+            h.eat();
+            h.write_u64(matches!(n.kind, NodeKind::Current) as u64);
+            h.write_u64(n.initial.to_bits());
+            h.eat();
+        }
+        h.write_u64(self.circuit.blocks.len() as u64);
+        h.eat();
+        for b in &self.circuit.blocks {
+            h.write_str(&b.name);
+            h.eat();
+            for port in b.inputs.iter().chain(&b.outputs) {
+                h.write_u64(port.0 as u64);
+            }
+            h.write_u64(b.inputs.len() as u64);
+            h.eat();
+        }
+        h.finish()
+    }
+
+    /// Snapshots the complete solver — node values, block state, adaptive
+    /// recording state and the trace so far — for golden-prefix forking.
+    pub fn checkpoint(&self) -> Checkpoint<AnalogSolver> {
+        Checkpoint::capture(self)
+    }
+
+    /// Replaces this solver's state with `checkpoint`'s, validating the
+    /// structural fingerprint first.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointMismatch`] when the checkpoint was captured from a
+    /// structurally different circuit.
+    pub fn restore(
+        &mut self,
+        checkpoint: &Checkpoint<AnalogSolver>,
+    ) -> Result<(), CheckpointMismatch> {
+        *self = checkpoint.restore_into(self)?;
+        Ok(())
+    }
+
     /// The step the solver would take at `now`: the base step clamped by
     /// every block's [`max_step`](crate::AnalogBlock::max_step) hint.
     pub fn propose_dt(&self) -> Time {
@@ -230,6 +296,31 @@ impl AnalogSolver {
                 m.has_sample = true;
             }
         }
+    }
+}
+
+impl ForkableSim for AnalogSolver {
+    type Error = Infallible;
+
+    /// Equivalence caveat: with adaptive stepping, the *stop sequence*
+    /// shapes the step grid (the last step before each stop is clamped), so
+    /// fork-vs-scratch byte identity requires driving both runs through the
+    /// same stops. The campaign runner guarantees this by construction.
+    fn advance_to(&mut self, t: Time) -> Result<(), Infallible> {
+        self.run_until(t);
+        Ok(())
+    }
+
+    fn current_time(&self) -> Time {
+        self.now
+    }
+
+    fn snapshot_trace(&self) -> Trace {
+        self.trace.clone()
+    }
+
+    fn structural_fingerprint(&self) -> u64 {
+        self.fingerprint()
     }
 }
 
@@ -382,6 +473,92 @@ mod tests {
         let i = ckt.node("i", NodeKind::Current);
         let mut solver = AnalogSolver::new(ckt, Time::from_ns(1));
         solver.set_value(i, 1.0);
+    }
+
+    fn ramp_bench() -> AnalogSolver {
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("ramp", Ramp { k: 1e6, v: 0.0 }, &[], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.monitor_name("out");
+        solver.set_recording(0.01, Time::from_ns(50));
+        solver
+    }
+
+    #[test]
+    fn checkpoint_fork_equals_scratch_with_shared_stops() {
+        // Both runs pause at the same instant: the adaptive grid then
+        // matches step for step and the traces are byte-identical.
+        let stop = Time::from_ns(333); // off the 10 ns grid on purpose
+        let end = Time::from_us(1);
+
+        let mut golden = ramp_bench();
+        golden.run_until(stop);
+        let cp = golden.checkpoint();
+        golden.run_until(end);
+
+        let mut scratch = ramp_bench();
+        scratch.run_until(stop);
+        scratch.run_until(end);
+
+        let mut fork = cp.fork();
+        assert_eq!(fork.now(), stop);
+        fork.run_until(end);
+        assert_eq!(fork.trace(), scratch.trace());
+        assert_eq!(fork.trace(), golden.trace());
+        assert_eq!(fork.steps_taken(), scratch.steps_taken());
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_circuit() {
+        let mut solver = ramp_bench();
+        solver.run_until(Time::from_ns(100));
+        let cp = solver.checkpoint();
+
+        let mut other_ckt = AnalogCircuit::new();
+        other_ckt.node("different", NodeKind::Current);
+        let mut other = AnalogSolver::new(other_ckt, Time::from_ns(10));
+        assert!(other.restore(&cp).is_err());
+
+        let mut twin = ramp_bench();
+        twin.run_until(Time::from_us(1));
+        twin.restore(&cp).unwrap();
+        assert_eq!(twin.now(), Time::from_ns(100));
+    }
+
+    #[test]
+    fn fingerprint_is_structural_not_stateful() {
+        let a = ramp_bench();
+        let mut b = ramp_bench();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.run_until(Time::from_us(1));
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "run state must not matter"
+        );
+        // The base step is structural: it shapes the integration grid.
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("ramp", Ramp { k: 1e6, v: 0.0 }, &[], &[out]);
+        let coarser = AnalogSolver::new(ckt, Time::from_ns(20));
+        assert_ne!(a.fingerprint(), coarser.fingerprint());
+    }
+
+    #[test]
+    fn block_mut_downcasts_to_the_concrete_block() {
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("out", NodeKind::Voltage);
+        let id = ckt.add("ramp", Ramp { k: 1e6, v: 0.0 }, &[], &[out]);
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        let ramp = solver
+            .block_mut(id)
+            .as_any_mut()
+            .downcast_mut::<Ramp>()
+            .expect("concrete type");
+        ramp.k = 2e6;
+        solver.run_until(Time::from_us(1));
+        assert!((solver.value(out) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Criterion benches for the campaign engine: worker scaling of the
 //! parallel runner and the cost of trace classification.
 
+use amsfi_circuits::pll::{self, names, PllConfig};
 use amsfi_core::{run_campaign_parallel, ClassifySpec, FaultCase};
 use amsfi_digital::{cells, Netlist, Simulator};
 use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig};
-use amsfi_waves::{Logic, Time, Trace};
+use amsfi_faults::TrapezoidPulse;
+use amsfi_waves::{Logic, Time, Tolerance, Trace};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -82,7 +84,76 @@ fn counter_campaign() -> Campaign {
             sim.run_until(Time::from_us(50))?;
             Ok(sim.into_trace())
         }),
+        fork: None,
     }
+}
+
+/// The PLL injection-time sweep built through [`Campaign::forked`]: 24
+/// current strikes on the fast PLL's loop filter, all injected in the last
+/// eighth of a 20 µs horizon, so checkpoint mode replays at most 2.5 µs per
+/// case instead of the full 20.
+fn forked_pll_campaign() -> Campaign {
+    let t_end = Time::from_us(20);
+    let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 100, 300).expect("paper pulse");
+    let times: Vec<Time> = (0..24i64)
+        .map(|i| Time::from_ns(17_500 + i * 100))
+        .collect();
+    let cases = times
+        .iter()
+        .map(|&at| FaultCase::new(format!("icp @ {at}"), at))
+        .collect();
+    let spec = ClassifySpec::new((Time::ZERO, t_end), vec![names::F_OUT.to_owned()])
+        .with_internals(vec![names::VCTRL.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        .with_digital_skew(Time::from_ns(2));
+    let times = Arc::new(times);
+    Campaign::forked(
+        "bench-pll-forked",
+        spec,
+        cases,
+        t_end,
+        |_ctx: &CaseCtx| {
+            let mut bench = pll::build(&PllConfig::fast());
+            bench.monitor_standard();
+            Ok(bench)
+        },
+        move |bench: &mut pll::PllBench, i| {
+            bench.arm_saboteur(Arc::new(pulse), times[i]);
+            Ok(())
+        },
+    )
+}
+
+/// Checkpoint & fork vs from-scratch execution of the identical PLL
+/// injection-time sweep (the PR 2 tentpole: N·T vs T + Σ(T − tᵢ)).
+fn checkpoint_vs_scratch(c: &mut Criterion) {
+    let campaign = forked_pll_campaign();
+    let mut group = c.benchmark_group("checkpoint_vs_scratch_pll_sweep");
+    for workers in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("scratch", workers), &workers, |b, &w| {
+            let engine = Engine::new(EngineConfig::default().with_workers(w));
+            b.iter(|| {
+                let report = engine.run(&campaign).expect("scratch campaign");
+                black_box(report.result.summary())
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("checkpoint", workers),
+            &workers,
+            |b, &w| {
+                let engine = Engine::new(
+                    EngineConfig::default()
+                        .with_workers(w)
+                        .with_checkpoint(true),
+                );
+                b.iter(|| {
+                    let report = engine.run(&campaign).expect("checkpoint campaign");
+                    black_box(report.result.summary())
+                });
+            },
+        );
+    }
+    group.finish();
 }
 
 /// Engine vs legacy runner over the identical 16-SEU counter campaign, at
@@ -153,6 +224,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = campaigns;
     config = config();
-    targets = campaign_worker_scaling, engine_vs_legacy, classification_cost
+    targets = campaign_worker_scaling, engine_vs_legacy, checkpoint_vs_scratch, classification_cost
 }
 criterion_main!(campaigns);

@@ -165,6 +165,31 @@ fn main() {
     );
     print!("{}", engine_report.stats.stage_table());
 
+    banner("Checkpoint & fork path (amsfi run cpu --checkpoint)");
+    let ckpt_start = std::time::Instant::now();
+    let ckpt_report = Engine::new(
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_checkpoint(true),
+    )
+    .run(&engine_campaign)
+    .expect("checkpointed campaign");
+    let ckpt_elapsed = ckpt_start.elapsed();
+    assert_eq!(
+        ckpt_report.result.golden, engine_report.result.golden,
+        "checkpointed golden trace must be byte-identical to from-scratch"
+    );
+    assert_eq!(
+        ckpt_report.result.cases, engine_report.result.cases,
+        "checkpoint-forked cases must be byte-identical to from-scratch"
+    );
+    println!(
+        "  from-scratch: {engine_elapsed:?}; checkpointed: {ckpt_elapsed:?} \
+         ({:.2}x, {:.1} cases/s), traces byte-identical",
+        engine_elapsed.as_secs_f64() / ckpt_elapsed.as_secs_f64(),
+        ckpt_report.stats.rate()
+    );
+
     banner("Reading");
     println!(
         "  The architectural breakdown mirrors what [2] reports for real\n\

@@ -9,7 +9,7 @@
 
 use amsfi_bench::{banner, write_result};
 use amsfi_circuits::pll::{self, names};
-use amsfi_core::{plan, report, run_campaign_parallel, ClassifySpec, FaultCase};
+use amsfi_core::{injection_stops, plan, report, run_campaign_parallel, ClassifySpec, FaultCase};
 use amsfi_engine::{campaigns, Engine, EngineConfig};
 use amsfi_waves::{Time, Tolerance};
 
@@ -55,18 +55,34 @@ fn main() {
         // cycle shifts edges by a full 20 ns period and still registers.
         .with_digital_skew(Time::from_ns(2));
 
+    // Every run — golden included — pauses at the same distinct injection
+    // instants, matching the engine's checkpoint/fork stop sequence: the
+    // adaptive-step analog kernel's step grid depends on where `run_until`
+    // stops, so sharing the stops is what makes the legacy, engine and
+    // checkpointed paths byte-comparable.
+    let stops = injection_stops(&cases, T_END);
     let start = std::time::Instant::now();
     let result = run_campaign_parallel(&spec, cases, workers(), |case| {
         let mut bench = pll::build(&config);
         bench.monitor_standard();
-        if let Some(i) = case {
-            let (gi, ti) = plan_index[i];
-            bench.run_until(times[ti])?;
-            let target = &targets[gi];
-            bench
-                .mixed
-                .digital_mut()
-                .flip_state(target.component, target.bit);
+        match case {
+            None => {
+                for &stop in &stops {
+                    bench.run_until(stop)?;
+                }
+            }
+            Some(i) => {
+                let (gi, ti) = plan_index[i];
+                let at = times[ti];
+                for &stop in stops.iter().take_while(|&&s| s <= at) {
+                    bench.run_until(stop)?;
+                }
+                let target = &targets[gi];
+                bench
+                    .mixed
+                    .digital_mut()
+                    .flip_state(target.component, target.bit);
+            }
         }
         bench.run_until(T_END)?;
         Ok(bench.trace())
@@ -107,6 +123,31 @@ fn main() {
         engine_report.stats.rate()
     );
     print!("{}", engine_report.stats.stage_table());
+
+    banner("Checkpoint & fork path (amsfi run pll-digital --checkpoint)");
+    let ckpt_start = std::time::Instant::now();
+    let ckpt_report = Engine::new(
+        EngineConfig::default()
+            .with_workers(workers())
+            .with_checkpoint(true),
+    )
+    .run(&engine_campaign)
+    .expect("checkpointed campaign");
+    let ckpt_elapsed = ckpt_start.elapsed();
+    assert_eq!(
+        ckpt_report.result.golden, engine_report.result.golden,
+        "checkpointed golden trace must be byte-identical to from-scratch"
+    );
+    assert_eq!(
+        ckpt_report.result.cases, engine_report.result.cases,
+        "checkpoint-forked cases must be byte-identical to from-scratch"
+    );
+    println!(
+        "  from-scratch: {engine_elapsed:?}; checkpointed: {ckpt_elapsed:?} \
+         ({:.2}x, {:.1} cases/s), traces byte-identical",
+        engine_elapsed.as_secs_f64() / ckpt_elapsed.as_secs_f64(),
+        ckpt_report.stats.rate()
+    );
 
     banner("Reading");
     println!(

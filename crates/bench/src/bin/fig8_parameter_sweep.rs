@@ -212,10 +212,35 @@ fn main() {
         "no pulse set may fail to simulate"
     );
     print!("{}", report::summary_table(&engine_report.result));
+    let engine_elapsed = engine_start.elapsed();
     println!(
-        "  engine: {:?} ({:.1} cases/s)",
-        engine_start.elapsed(),
+        "  engine: {engine_elapsed:?} ({:.1} cases/s)",
         engine_report.stats.rate()
     );
     print!("{}", engine_report.stats.stage_table());
+
+    // The tentpole acceptance check: all 24 pulses inject at the same
+    // instant (170 of 200 µs), so `--checkpoint` forks every case from one
+    // snapshot and replays only the last 30 µs — and must nonetheless be
+    // byte-identical to the from-scratch engine run.
+    banner("Checkpoint & fork path (amsfi run pll-sweep --checkpoint)");
+    let ckpt_start = std::time::Instant::now();
+    let ckpt_report = Engine::new(EngineConfig::default().with_checkpoint(true))
+        .run(&campaign)
+        .expect("checkpointed campaign");
+    let ckpt_elapsed = ckpt_start.elapsed();
+    assert_eq!(
+        ckpt_report.result.golden, engine_report.result.golden,
+        "checkpointed golden trace must be byte-identical to from-scratch"
+    );
+    assert_eq!(
+        ckpt_report.result.cases, engine_report.result.cases,
+        "checkpoint-forked cases must be byte-identical to from-scratch"
+    );
+    println!(
+        "  from-scratch: {engine_elapsed:?}; checkpointed: {ckpt_elapsed:?} \
+         ({:.2}x, {:.1} cases/s), traces byte-identical",
+        engine_elapsed.as_secs_f64() / ckpt_elapsed.as_secs_f64(),
+        ckpt_report.stats.rate()
+    );
 }

@@ -1,0 +1,139 @@
+//! **PR 2 bench smoke** — checkpoint & fork vs from-scratch execution of a
+//! PLL injection-time sweep, at 1/4/8 workers, emitting `BENCH_pr2.json`
+//! (cases/sec and speedup per worker count) for the CI bench trajectory.
+//!
+//! The campaign is fork-friendly by design: 24 current strikes on the fast
+//! PLL's loop filter, all in the last eighth of a 20 µs horizon, so the
+//! from-scratch path simulates ~24 × 20 µs while the checkpointed path
+//! simulates 20 µs once plus ~2 µs per fork (the tentpole's
+//! N·T → T + Σ(T − tᵢ)).
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin pr2_checkpoint_bench
+//! ```
+
+use amsfi_bench::banner;
+use amsfi_circuits::pll::{self, names, PllConfig};
+use amsfi_core::{ClassifySpec, FaultCase};
+use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig, EngineReport};
+use amsfi_faults::TrapezoidPulse;
+use amsfi_waves::{Time, Tolerance};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+const T_END: Time = Time::from_us(20);
+const CASES: i64 = 24;
+
+fn campaign() -> Campaign {
+    let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 100, 300).expect("paper pulse");
+    let times: Vec<Time> = (0..CASES)
+        .map(|i| Time::from_ns(17_500 + i * 100))
+        .collect();
+    let cases = times
+        .iter()
+        .map(|&at| FaultCase::new(format!("icp @ {at}"), at))
+        .collect();
+    let spec = ClassifySpec::new((Time::ZERO, T_END), vec![names::F_OUT.to_owned()])
+        .with_internals(vec![names::VCTRL.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        .with_digital_skew(Time::from_ns(2));
+    let times = Arc::new(times);
+    Campaign::forked(
+        "pr2-checkpoint-bench",
+        spec,
+        cases,
+        T_END,
+        |_ctx: &CaseCtx| {
+            let mut bench = pll::build(&PllConfig::fast());
+            bench.monitor_standard();
+            Ok(bench)
+        },
+        move |bench: &mut pll::PllBench, i| {
+            bench.arm_saboteur(Arc::new(pulse), times[i]);
+            Ok(())
+        },
+    )
+}
+
+fn timed_run(campaign: &Campaign, workers: usize, checkpoint: bool) -> (Duration, EngineReport) {
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_workers(workers)
+            .with_checkpoint(checkpoint),
+    );
+    let start = std::time::Instant::now();
+    let report = engine.run(campaign).expect("bench campaign");
+    (start.elapsed(), report)
+}
+
+fn main() {
+    banner("PR 2 — checkpoint & fork vs from-scratch (PLL injection-time sweep)");
+    let campaign = campaign();
+    println!(
+        "  campaign: {} strikes on the fast PLL loop filter, horizon {T_END}, \
+         injections in [{} .. {}]",
+        campaign.cases.len(),
+        campaign.cases.first().map(|c| c.injected_at).unwrap(),
+        campaign.cases.last().map(|c| c.injected_at).unwrap(),
+    );
+
+    // Warm-up (also validates equivalence once before timing anything).
+    let (_, scratch_ref) = timed_run(&campaign, 0, false);
+    let (_, forked_ref) = timed_run(&campaign, 0, true);
+    assert_eq!(
+        scratch_ref.result.cases, forked_ref.result.cases,
+        "checkpoint-forked cases must be byte-identical to from-scratch"
+    );
+    assert_eq!(scratch_ref.result.golden, forked_ref.result.golden);
+
+    println!(
+        "\n  {:>7} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "workers", "scratch [s]", "ckpt [s]", "scratch c/s", "ckpt c/s", "speedup"
+    );
+    let mut entries = String::new();
+    for &workers in &[1usize, 4, 8] {
+        let (scratch_t, scratch) = timed_run(&campaign, workers, false);
+        let (ckpt_t, ckpt) = timed_run(&campaign, workers, true);
+        assert_eq!(
+            scratch.result.cases, ckpt.result.cases,
+            "equivalence must hold at {workers} worker(s)"
+        );
+        let n = campaign.cases.len() as f64;
+        let speedup = scratch_t.as_secs_f64() / ckpt_t.as_secs_f64();
+        println!(
+            "  {:>7} {:>12.3} {:>12.3} {:>12.1} {:>12.1} {:>7.2}x",
+            workers,
+            scratch_t.as_secs_f64(),
+            ckpt_t.as_secs_f64(),
+            n / scratch_t.as_secs_f64(),
+            n / ckpt_t.as_secs_f64(),
+            speedup
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        let _ = write!(
+            entries,
+            "    {{\"workers\": {workers}, \"scratch_s\": {:.6}, \"checkpoint_s\": {:.6}, \
+             \"scratch_cases_per_s\": {:.3}, \"checkpoint_cases_per_s\": {:.3}, \
+             \"speedup\": {:.3}}}",
+            scratch_t.as_secs_f64(),
+            ckpt_t.as_secs_f64(),
+            n / scratch_t.as_secs_f64(),
+            n / ckpt_t.as_secs_f64(),
+            speedup
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr2_checkpoint_vs_scratch\",\n  \"campaign\": \
+         \"fast-PLL injection-time sweep\",\n  \"cases\": {},\n  \"t_end_us\": 20,\n  \
+         \"results\": [\n{entries}\n  ]\n}}\n",
+        campaign.cases.len()
+    );
+    let path: std::path::PathBuf =
+        std::env::var_os("AMSFI_BENCH_JSON").map_or_else(|| "BENCH_pr2.json".into(), Into::into);
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("\n  -> wrote {}", path.display());
+}

@@ -23,7 +23,7 @@ use amsfi_analog::{blocks, AnalogCircuit, AnalogSolver, BlockId, NodeKind};
 use amsfi_digital::{cells, Netlist, Simulator};
 use amsfi_faults::PulseShape;
 use amsfi_mixed::MixedSimulator;
-use amsfi_waves::{measure, Time, Trace};
+use amsfi_waves::{measure, Fnv1a, ForkableSim, Time, Trace};
 use std::sync::Arc;
 
 /// Parameters of the PLL test bench. [`PllConfig::default`] reproduces the
@@ -208,6 +208,47 @@ impl PllBench {
     pub fn measured_fout(&self, from: Time, to: Time) -> Option<f64> {
         let trace = self.mixed.digital().trace();
         measure::mean_frequency(trace.digital(names::F_OUT)?, from, to)
+    }
+
+    /// Arms (or re-arms) the built-in saboteur on the `icp` node in place:
+    /// inject `pulse` at `at`. Campaigns build the bench once, disarmed,
+    /// and arm the per-case pulse on a forked copy — the instrumented and
+    /// pristine circuits are structurally identical, so checkpoints
+    /// transfer between them.
+    pub fn arm_saboteur(&mut self, pulse: Arc<dyn PulseShape>, at: Time) {
+        self.mixed
+            .analog_mut()
+            .block_mut(self.saboteur)
+            .as_any_mut()
+            .downcast_mut::<blocks::AnalogSaboteur>()
+            .expect("saboteur block id points at an AnalogSaboteur")
+            .arm(pulse, at);
+    }
+}
+
+impl ForkableSim for PllBench {
+    type Error = amsfi_digital::SimError;
+
+    fn advance_to(&mut self, t: Time) -> Result<(), amsfi_digital::SimError> {
+        self.mixed.run_until(t)
+    }
+
+    fn current_time(&self) -> Time {
+        self.mixed.now()
+    }
+
+    fn snapshot_trace(&self) -> Trace {
+        self.mixed.merged_trace()
+    }
+
+    fn structural_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str("amsfi-pll-bench");
+        h.eat();
+        h.write_u64(self.mixed.fingerprint());
+        h.eat();
+        h.write_u64(self.nominal_period.as_fs() as u64);
+        h.finish()
     }
 }
 
@@ -456,6 +497,53 @@ mod tests {
             "duration {}",
             dev.duration()
         );
+    }
+
+    #[test]
+    fn arming_in_place_equals_arming_at_build() {
+        let at = Time::from_us(20);
+        let end = Time::from_us(22);
+        let pulse = amsfi_faults::TrapezoidPulse::from_ma_ps(10.0, 100, 300, 500).unwrap();
+
+        // Reference: saboteur armed when the bench is built.
+        let mut built = build(&fast_config().with_fault(pulse, at));
+        built.monitor_standard();
+        built.run_until(at).unwrap();
+        built.run_until(end).unwrap();
+
+        // Same pulse armed mid-run on a disarmed bench, pausing at the
+        // injection instant so both runs share the stop sequence.
+        let mut armed = build(&fast_config());
+        armed.monitor_standard();
+        armed.run_until(at).unwrap();
+        armed.arm_saboteur(Arc::new(pulse), at);
+        armed.run_until(end).unwrap();
+
+        assert_eq!(armed.trace(), built.trace());
+        // Arming is behavioural, not structural: checkpoints transfer.
+        assert_eq!(
+            armed.structural_fingerprint(),
+            built.structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn forked_bench_equals_scratch_bench() {
+        let stop = Time::from_us(5);
+        let end = Time::from_us(8);
+        let mut golden = build(&fast_config());
+        golden.monitor_standard();
+        golden.advance_to(stop).unwrap();
+        let cp = amsfi_waves::Checkpoint::capture(&golden);
+
+        let mut fork = cp.fork();
+        fork.advance_to(end).unwrap();
+
+        let mut scratch = build(&fast_config());
+        scratch.monitor_standard();
+        scratch.advance_to(stop).unwrap();
+        scratch.advance_to(end).unwrap();
+        assert_eq!(fork.snapshot_trace(), scratch.snapshot_trace());
     }
 
     #[test]

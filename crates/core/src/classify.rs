@@ -174,16 +174,14 @@ fn compare_signal(
     if let (Some(g), Some(f)) = (golden.analog(name), faulty.analog(name)) {
         return compare_analog(g, f, from, to, spec.analog_tolerance, spec.merge_gap);
     }
-    // Present in one trace only (or never recorded): treat a signal that
-    // exists in exactly one trace as a permanent mismatch.
-    let one_sided = golden.digital(name).is_some() != faulty.digital(name).is_some()
-        || golden.analog(name).is_some() != faulty.analog(name).is_some();
-    if one_sided {
-        SignalComparison {
-            mismatches: vec![amsfi_waves::MismatchInterval { from, to }],
-        }
-    } else {
-        SignalComparison::default()
+    // Anything the typed comparisons above could not handle — the signal is
+    // missing from one trace, missing from *both* (a typo'd monitor name, a
+    // signal that never transitioned into the trace), or recorded in
+    // different domains — is a permanent full-window mismatch. Silently
+    // reporting a match here would let a misspelled `ClassifySpec` output
+    // turn every case into a false no-effect verdict.
+    SignalComparison {
+        mismatches: vec![amsfi_waves::MismatchInterval { from, to }],
     }
 }
 
@@ -355,6 +353,31 @@ mod tests {
         let faulty = Trace::new();
         let out = classify(&spec(), &golden(), &faulty);
         assert_eq!(out.class, FaultClass::Failure);
+    }
+
+    /// Regression: a monitored name present in *neither* trace (e.g. a typo
+    /// in `ClassifySpec.outputs`) used to compare as a silent match, turning
+    /// every case into a false no-effect verdict.
+    #[test]
+    fn signal_missing_from_both_traces_is_a_failure_not_no_effect() {
+        let mut s = spec();
+        s.outputs = vec!["outt".to_owned()]; // typo: never recorded anywhere
+        let out = classify(&s, &golden(), &golden());
+        assert_eq!(out.class, FaultClass::Failure);
+        assert_eq!(out.affected, vec!["outt".to_owned()]);
+        assert_eq!(out.error_onset, Some(s.window.0));
+        assert_eq!(out.error_end, Some(s.window.1));
+    }
+
+    /// Same for an internal signal: a never-recorded internal is at least a
+    /// latent error, never silently clean.
+    #[test]
+    fn internal_missing_from_both_traces_is_latent() {
+        let mut s = spec();
+        s.internals = vec!["statee".to_owned()];
+        let out = classify(&s, &golden(), &golden());
+        assert_eq!(out.class, FaultClass::Latent);
+        assert_eq!(out.affected, vec!["statee".to_owned()]);
     }
 
     #[test]

@@ -72,6 +72,7 @@
 
 mod campaign;
 mod classify;
+mod fork;
 pub mod plan;
 mod propagation;
 pub mod report;
@@ -80,4 +81,5 @@ pub use campaign::{
     run_campaign, run_campaign_parallel, CampaignResult, CaseResult, FaultCase, RunError,
 };
 pub use classify::{classify, CaseOutcome, ClassifySpec, FaultClass, ParseFaultClassError};
+pub use fork::{injection_stops, run_campaign_forked};
 pub use propagation::{PropagationEdge, PropagationModel};

@@ -9,7 +9,7 @@
 
 use crate::component::{Action, EvalContext};
 use crate::netlist::{ComponentDecl, ComponentId, Netlist, SignalDecl, SignalId};
-use amsfi_waves::{LogicVector, Time, Trace};
+use amsfi_waves::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, LogicVector, Time, Trace};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
@@ -232,6 +232,15 @@ impl Simulator {
         self.netlist_names.get(name).copied()
     }
 
+    /// The name of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn signal_name(&self, signal: SignalId) -> &str {
+        &self.signals[signal.0].name
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> Time {
         self.now
@@ -347,6 +356,56 @@ impl Simulator {
     /// Panics if the id is out of range.
     pub fn component_mut(&mut self, component: ComponentId) -> &mut dyn crate::Component {
         &mut *self.components[component.0].comp
+    }
+
+    /// A hash of the simulator's structure — signal names and widths,
+    /// component names and port arities — but none of its mutable run
+    /// state. Two simulators lowered from the same netlist agree; a
+    /// [`Checkpoint`] refuses to restore across differing fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str("amsfi-digital");
+        h.eat();
+        h.write_u64(self.signals.len() as u64);
+        h.eat();
+        for s in &self.signals {
+            h.write_str(&s.name);
+            h.eat();
+            h.write_u64(s.width as u64);
+            h.eat();
+        }
+        h.write_u64(self.components.len() as u64);
+        h.eat();
+        for c in &self.components {
+            h.write_str(&c.name);
+            h.eat();
+            h.write_u64(c.inputs.len() as u64);
+            h.write_u64(c.outputs.len() as u64);
+            h.eat();
+        }
+        h.finish()
+    }
+
+    /// Snapshots the complete simulator — pending event queue, component
+    /// state, signal values and the trace recorded so far — for
+    /// golden-prefix forking.
+    pub fn checkpoint(&self) -> Checkpoint<Simulator> {
+        Checkpoint::capture(self)
+    }
+
+    /// Replaces this simulator's state with `checkpoint`'s, validating the
+    /// structural fingerprint first.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointMismatch`] when the checkpoint was captured from a
+    /// structurally different netlist.
+    pub fn restore(
+        &mut self,
+        checkpoint: &Checkpoint<Simulator>,
+    ) -> Result<(), CheckpointMismatch> {
+        *self = checkpoint.restore_into(self)?;
+        Ok(())
     }
 
     /// Runs until simulation time `t_end`, processing every event scheduled
@@ -524,6 +583,26 @@ impl Simulator {
             }
         }
         Ok(())
+    }
+}
+
+impl ForkableSim for Simulator {
+    type Error = SimError;
+
+    fn advance_to(&mut self, t: Time) -> Result<(), SimError> {
+        self.run_until(t)
+    }
+
+    fn current_time(&self) -> Time {
+        self.now
+    }
+
+    fn snapshot_trace(&self) -> Trace {
+        self.trace.clone()
+    }
+
+    fn structural_fingerprint(&self) -> u64 {
+        self.fingerprint()
     }
 }
 
@@ -732,6 +811,90 @@ mod tests {
         assert_eq!(sim.next_event_time(), Some(Time::from_ns(10)));
         sim.run_until(Time::from_ns(20)).unwrap();
         assert_eq!(sim.next_event_time(), None);
+    }
+
+    fn clocked_counter() -> Simulator {
+        let mut net = Netlist::new();
+        let clk = net.signal("clk", 1);
+        let rst = net.signal("rst", 1);
+        let en = net.signal("en", 1);
+        let q = net.signal("q", 8);
+        net.add(
+            "ck",
+            crate::cells::ClockGen::new(Time::from_ns(20)),
+            &[],
+            &[clk],
+        );
+        net.add(
+            "r",
+            crate::cells::ConstVector::bit(Logic::Zero),
+            &[],
+            &[rst],
+        );
+        net.add("e", crate::cells::ConstVector::bit(Logic::One), &[], &[en]);
+        net.add(
+            "ctr",
+            crate::cells::Counter::new(8, Time::ZERO),
+            &[clk, rst, en],
+            &[q],
+        );
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("q");
+        sim
+    }
+
+    #[test]
+    fn checkpoint_fork_equals_from_scratch_run() {
+        // Scratch run, paused at the same instant the checkpoint is taken
+        // (the stop sequence is part of the equivalence contract).
+        let mut scratch = clocked_counter();
+        scratch.run_until(Time::from_ns(205)).unwrap();
+        scratch.run_until(Time::from_us(1)).unwrap();
+
+        let mut golden = clocked_counter();
+        golden.run_until(Time::from_ns(205)).unwrap();
+        let cp = golden.checkpoint();
+        assert_eq!(cp.at(), Time::from_ns(205));
+        golden.run_until(Time::from_us(1)).unwrap();
+
+        let mut fork = cp.fork();
+        assert_eq!(fork.now(), Time::from_ns(205));
+        fork.run_until(Time::from_us(1)).unwrap();
+        assert_eq!(fork.trace(), scratch.trace());
+        assert_eq!(fork.trace(), golden.trace());
+        let q = fork.signal_id("q").unwrap();
+        assert_eq!(fork.value(q), scratch.value(q));
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_netlist() {
+        let mut sim = clocked_counter();
+        sim.run_until(Time::from_ns(100)).unwrap();
+        let cp = sim.checkpoint();
+
+        let mut net = Netlist::new();
+        let a = net.signal("a", 1);
+        net.add("src", step(Time::from_ns(10), Logic::One), &[], &[a]);
+        let mut other = Simulator::new(net);
+        assert!(other.restore(&cp).is_err());
+        // Restoring into a same-structure simulator rewinds it.
+        let mut twin = clocked_counter();
+        twin.run_until(Time::from_us(2)).unwrap();
+        twin.restore(&cp).unwrap();
+        assert_eq!(twin.now(), Time::from_ns(100));
+    }
+
+    #[test]
+    fn fingerprint_is_structural_not_stateful() {
+        let a = clocked_counter();
+        let mut b = clocked_counter();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.run_until(Time::from_us(1)).unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "run state must not matter"
+        );
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! ```text
 //! amsfi list
 //! amsfi run <campaign> [--workers N] [--shard I/C] [--journal PATH]
-//!           [--resume] [--timeout-ms N] [--retries N] [--backoff-ms N]
-//!           [--policy fail-fast|skip] [--progress-ms N] [--limit N]
-//!           [--out DIR]
+//!           [--resume] [--checkpoint] [--timeout-ms N] [--retries N]
+//!           [--backoff-ms N] [--policy fail-fast|skip] [--progress-ms N]
+//!           [--limit N] [--out DIR]
 //! amsfi merge <journal>... [--out DIR]
 //! ```
 //!
@@ -32,6 +32,9 @@ USAGE:
           --shard I/C        run only shard I of C (default 0/1)
           --journal PATH     stream results to PATH (checkpoint file)
           --resume           continue an existing journal
+          --checkpoint       fork cases from golden-prefix checkpoints
+                             (campaigns without fork support fall back
+                             to from-scratch runs)
           --timeout-ms N     per-attempt wall-clock timeout
           --retries N        extra attempts per failing case (default 0)
           --backoff-ms N     base retry backoff, doubled per retry (default 50)
@@ -119,6 +122,7 @@ fn run(args: &[String]) -> ExitCode {
                 "--shard" => config.shard = opts.parse::<Shard>(arg)?,
                 "--journal" => config.journal = Some(PathBuf::from(opts.value(arg)?)),
                 "--resume" => config.resume = true,
+                "--checkpoint" => config.checkpoint = true,
                 "--timeout-ms" => {
                     config.timeout = Some(Duration::from_millis(opts.parse(arg)?));
                 }

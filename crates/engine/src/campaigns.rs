@@ -98,23 +98,27 @@ fn pll_sweep() -> Campaign {
         .with_tolerance(Tolerance::new(0.05, 0.01))
         .with_digital_skew(Time::from_ns(2));
     let pulses: Arc<Vec<(TrapezoidPulse, String)>> = Arc::new(pulses);
-    Campaign {
-        name: "pll-sweep".to_owned(),
+    // `Campaign::forked` arms the saboteur in place on a simulator already
+    // positioned at T_INJECT instead of baking the fault into the build
+    // (equivalent by `amsfi_circuits::pll` test
+    // `arming_in_place_equals_arming_at_build`), which is what lets
+    // `--checkpoint` fork every case from one golden prefix.
+    Campaign::forked(
+        "pll-sweep",
         spec,
         cases,
-        runner: Arc::new(move |ctx: &CaseCtx| {
+        T_END,
+        |ctx: &CaseCtx| {
             ctx.stage(Stage::Build);
-            let mut config = pll::PllConfig::default();
-            if let Some(i) = ctx.index() {
-                config = config.with_fault(pulses[i].0, T_INJECT);
-            }
-            let mut bench = pll::build(&config);
+            let mut bench = pll::build(&pll::PllConfig::default());
             bench.monitor_standard();
-            ctx.stage(Stage::Simulate);
-            bench.run_until(T_END)?;
-            Ok(bench.trace())
-        }),
-    }
+            Ok(bench)
+        },
+        move |bench: &mut pll::PllBench, i| {
+            bench.arm_saboteur(Arc::new(pulses[i].0), T_INJECT);
+            Ok(())
+        },
+    )
 }
 
 fn pll_digital() -> Campaign {
@@ -143,30 +147,28 @@ fn pll_digital() -> Campaign {
         .with_digital_skew(Time::from_ns(2));
 
     let targets = Arc::new(targets);
-    let times = Arc::new(times);
     let index = Arc::new(index);
-    Campaign {
-        name: "pll-digital".to_owned(),
+    Campaign::forked(
+        "pll-digital",
         spec,
         cases,
-        runner: Arc::new(move |ctx: &CaseCtx| {
+        T_END,
+        move |ctx: &CaseCtx| {
             ctx.stage(Stage::Build);
             let mut bench = pll::build(&config);
             bench.monitor_standard();
-            ctx.stage(Stage::Simulate);
-            if let Some(i) = ctx.index() {
-                let (gi, ti) = index[i];
-                bench.run_until(times[ti])?;
-                let target = &targets[gi];
-                bench
-                    .mixed
-                    .digital_mut()
-                    .flip_state(target.component, target.bit);
-            }
-            bench.run_until(T_END)?;
-            Ok(bench.trace())
-        }),
-    }
+            Ok(bench)
+        },
+        move |bench: &mut pll::PllBench, i| {
+            let (gi, _ti) = index[i];
+            let target = &targets[gi];
+            bench
+                .mixed
+                .digital_mut()
+                .flip_state(target.component, target.bit);
+            Ok(())
+        },
+    )
 }
 
 fn adc_flash() -> Campaign {
@@ -243,6 +245,10 @@ fn adc_flash() -> Campaign {
             bench.mixed.run_until(T_END)?;
             Ok(bench.mixed.merged_trace())
         }),
+        // Strikes are armed at config level (before build), so this
+        // campaign cannot fork from a shared golden prefix; `--checkpoint`
+        // falls back to the from-scratch runner.
+        fork: None,
     }
 }
 
@@ -292,26 +298,23 @@ fn cpu() -> Campaign {
     );
 
     let targets = Arc::new(targets);
-    let times = Arc::new(times);
     let index = Arc::new(index);
-    Campaign {
-        name: "cpu".to_owned(),
+    Campaign::forked(
+        "cpu",
         spec,
         cases,
-        runner: Arc::new(move |ctx: &CaseCtx| {
+        T_END,
+        |ctx: &CaseCtx| {
             ctx.stage(Stage::Build);
-            let mut sim = build_sim();
-            ctx.stage(Stage::Simulate);
-            if let Some(i) = ctx.index() {
-                let (gi, ti) = index[i];
-                sim.run_until(times[ti])?;
-                let t = &targets[gi];
-                sim.flip_state(t.component, t.bit);
-            }
-            sim.run_until(T_END)?;
-            Ok(sim.into_trace())
-        }),
-    }
+            Ok(build_sim())
+        },
+        move |sim: &mut Simulator, i| {
+            let (gi, _ti) = index[i];
+            let t = &targets[gi];
+            sim.flip_state(t.component, t.bit);
+            Ok(())
+        },
+    )
 }
 
 #[cfg(test)]

@@ -13,8 +13,9 @@ use crate::journal::{self, Journal, JournalEntry, JournalError, JournalMeta, Ski
 use crate::shard::Shard;
 use crate::stats::{EngineStats, Stage, StatsSnapshot};
 use crate::BoxError;
-use amsfi_core::{classify, CampaignResult, CaseResult, ClassifySpec, FaultCase};
-use amsfi_waves::Trace;
+use amsfi_core::{classify, injection_stops, CampaignResult, CaseResult, ClassifySpec, FaultCase};
+use amsfi_waves::{Checkpoint, ForkableSim, Time, Trace};
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -58,6 +59,11 @@ pub struct EngineConfig {
     pub resume: bool,
     /// Emit a progress line to stderr this often; `None` disables.
     pub progress: Option<Duration>,
+    /// Run cases by forking from golden-prefix checkpoints instead of
+    /// re-simulating the fault-free prefix per case. Requires the campaign
+    /// to carry a [`ForkSpec`]; campaigns without one fall back to their
+    /// from-scratch runner.
+    pub checkpoint: bool,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +78,7 @@ impl Default for EngineConfig {
             journal: None,
             resume: false,
             progress: None,
+            checkpoint: false,
         }
     }
 }
@@ -137,6 +144,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_progress(mut self, interval: Duration) -> Self {
         self.progress = Some(interval);
+        self
+    }
+
+    /// Enables golden-prefix checkpoint & fork execution.
+    #[must_use]
+    pub fn with_checkpoint(mut self, checkpoint: bool) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 
@@ -222,6 +236,68 @@ impl CaseCtx {
 /// (abandoned) thread and must not borrow from the engine's stack.
 pub type CaseRunner = Arc<dyn Fn(&CaseCtx) -> Result<Trace, BoxError> + Send + Sync>;
 
+/// A type-erased simulator checkpoint held by the engine's per-worker
+/// caches. Snapshots are `Send` (they move between threads) but not
+/// `Sync` — simulator component trait objects are `Send`-only — so the
+/// engine deep-clones them instead of sharing references.
+pub trait AnySnapshot: Send {
+    /// Deep-clones the snapshot.
+    fn clone_snapshot(&self) -> Snapshot;
+    /// Downcast access for the campaign's fork closure.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Any + Clone + Send> AnySnapshot for T {
+    fn clone_snapshot(&self) -> Snapshot {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// An owned, type-erased checkpoint (see [`AnySnapshot`]).
+pub type Snapshot = Box<dyn AnySnapshot>;
+
+/// Emits `(time, snapshot)` pairs during the checkpointed golden run.
+pub type SnapshotSink<'a> = dyn FnMut(Time, Snapshot) + 'a;
+
+/// How a campaign supports golden-prefix checkpoint & fork execution
+/// (enabled per run with [`EngineConfig::with_checkpoint`]).
+///
+/// Most campaigns should not build this by hand: [`Campaign::forked`]
+/// derives both the from-scratch runner and this spec from one pair of
+/// build/inject closures, which is what guarantees forked and from-scratch
+/// traces are byte-identical (they share the `advance_to` stop sequence,
+/// so adaptive-step solvers take identical step grids).
+#[derive(Clone)]
+pub struct ForkSpec {
+    /// The distinct injection instants the golden run snapshots at,
+    /// ascending (see [`amsfi_core::injection_stops`]).
+    pub stops: Vec<Time>,
+    /// The simulation horizon every run advances to.
+    pub t_end: Time,
+    /// Runs the golden simulation, handing a snapshot to the sink at every
+    /// stop, and returns the golden trace.
+    #[allow(clippy::type_complexity)]
+    pub golden: Arc<
+        dyn for<'a> Fn(&CaseCtx, &mut SnapshotSink<'a>) -> Result<Trace, BoxError> + Send + Sync,
+    >,
+    /// Forks one faulty run from a snapshot taken at the case's injection
+    /// instant and returns its full-length trace.
+    #[allow(clippy::type_complexity)]
+    pub fork: Arc<dyn Fn(&CaseCtx, &Snapshot) -> Result<Trace, BoxError> + Send + Sync>,
+}
+
+impl fmt::Debug for ForkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ForkSpec")
+            .field("stops", &self.stops.len())
+            .field("t_end", &self.t_end)
+            .finish_non_exhaustive()
+    }
+}
+
 /// A runnable campaign: the fault list, how to classify, and how to
 /// produce a trace for one case.
 #[derive(Clone)]
@@ -234,6 +310,9 @@ pub struct Campaign {
     pub cases: Vec<FaultCase>,
     /// Produces the trace for one case; see [`CaseRunner`].
     pub runner: CaseRunner,
+    /// Checkpoint & fork support; `None` means `--checkpoint` falls back
+    /// to the from-scratch runner.
+    pub fork: Option<ForkSpec>,
 }
 
 impl fmt::Debug for Campaign {
@@ -249,6 +328,119 @@ impl Campaign {
     /// The journal-header identity of this campaign.
     pub fn meta(&self) -> JournalMeta {
         JournalMeta::of(&self.name, &self.cases)
+    }
+
+    /// Builds a campaign whose from-scratch runner and [`ForkSpec`] are
+    /// derived from one pair of closures, so `--checkpoint` runs are
+    /// byte-identical to plain runs by construction.
+    ///
+    /// * `build` constructs the fault-free simulator with monitoring
+    ///   already attached.
+    /// * `inject(sim, i)` arms fault case `i` on a simulator positioned
+    ///   exactly at that case's injection instant.
+    ///
+    /// Both execution paths advance the simulator through every distinct
+    /// injection stop up to the case's own injection time (the golden run
+    /// through all of them), then to `t_end`. Sharing the stop sequence is
+    /// what keeps adaptive-step analog/mixed kernels on identical step
+    /// grids in both paths; see [`amsfi_waves::ForkableSim`].
+    pub fn forked<S, B, I>(
+        name: impl Into<String>,
+        spec: ClassifySpec,
+        cases: Vec<FaultCase>,
+        t_end: Time,
+        build: B,
+        inject: I,
+    ) -> Campaign
+    where
+        S: ForkableSim + 'static,
+        B: Fn(&CaseCtx) -> Result<S, BoxError> + Send + Sync + 'static,
+        I: Fn(&mut S, usize) -> Result<(), BoxError> + Send + Sync + 'static,
+    {
+        fn sim_err<E: std::error::Error + Send + Sync + 'static>(e: E) -> BoxError {
+            Box::new(e)
+        }
+        let stops = injection_stops(&cases, t_end);
+        let case_stops: Arc<Vec<Time>> =
+            Arc::new(cases.iter().map(|c| c.injected_at.min(t_end)).collect());
+        let build = Arc::new(build);
+        let inject = Arc::new(inject);
+        let stops_shared = Arc::new(stops.clone());
+
+        let runner: CaseRunner = {
+            let (build, inject) = (Arc::clone(&build), Arc::clone(&inject));
+            let (stops, case_stops) = (Arc::clone(&stops_shared), Arc::clone(&case_stops));
+            Arc::new(move |ctx: &CaseCtx| {
+                let mut sim = build(ctx)?;
+                ctx.stage(Stage::Simulate);
+                match ctx.index() {
+                    None => {
+                        for &stop in stops.iter() {
+                            sim.advance_to(stop).map_err(sim_err)?;
+                        }
+                    }
+                    Some(i) => {
+                        let at = case_stops[i];
+                        for &stop in stops.iter().take_while(|&&s| s <= at) {
+                            sim.advance_to(stop).map_err(sim_err)?;
+                        }
+                        inject(&mut sim, i)?;
+                    }
+                }
+                sim.advance_to(t_end).map_err(sim_err)?;
+                Ok(sim.snapshot_trace())
+            })
+        };
+
+        let golden = {
+            let build = Arc::clone(&build);
+            let stops = Arc::clone(&stops_shared);
+            Arc::new(
+                move |ctx: &CaseCtx, sink: &mut SnapshotSink<'_>| -> Result<Trace, BoxError> {
+                    let mut sim = build(ctx)?;
+                    ctx.stage(Stage::Simulate);
+                    for &stop in stops.iter() {
+                        sim.advance_to(stop).map_err(sim_err)?;
+                        sink(stop, Box::new(Checkpoint::capture(&sim)));
+                    }
+                    sim.advance_to(t_end).map_err(sim_err)?;
+                    Ok(sim.snapshot_trace())
+                },
+            )
+        };
+
+        let fork = {
+            let inject = Arc::clone(&inject);
+            Arc::new(
+                move |ctx: &CaseCtx, snap: &Snapshot| -> Result<Trace, BoxError> {
+                    let cp = snap
+                        .as_any()
+                        .downcast_ref::<Checkpoint<S>>()
+                        .ok_or("snapshot does not hold this campaign's simulator type")?;
+                    let i = ctx
+                        .index()
+                        .ok_or("the golden run is never forked from a snapshot")?;
+                    ctx.stage(Stage::Simulate);
+                    let mut sim = cp.fork();
+                    inject(&mut sim, i)?;
+                    sim.advance_to(t_end).map_err(sim_err)?;
+                    Ok(sim.snapshot_trace())
+                },
+            )
+        };
+
+        Campaign {
+            name: name.into(),
+            spec,
+            cases,
+            runner,
+            fork: Some(ForkSpec {
+                stops,
+                t_end,
+                golden,
+                fork,
+            }),
+        }
     }
 }
 
@@ -376,12 +568,38 @@ impl Engine {
 
         let stats = Arc::new(EngineStats::new(pending.len()));
 
+        let fork_spec = if cfg.checkpoint {
+            campaign.fork.as_ref()
+        } else {
+            None
+        };
+
         // The golden run is mandatory even when everything is resumed —
-        // the report's golden trace is not journaled (it can be huge).
-        let golden = match self.attempt_case(campaign, None, &stats).0 {
-            Attempt::Ok(trace) => trace,
-            Attempt::Failed(e) => return Err(EngineError::Golden(e)),
-            Attempt::TimedOut => return Err(EngineError::Golden("timed out".to_owned())),
+        // the report's golden trace is not journaled (it can be huge). In
+        // checkpoint mode it also fills the snapshot cache, so it runs
+        // inline (panic-isolated but without retry/timeout: a failing
+        // golden run is fatal under any policy).
+        let mut snaps: BTreeMap<Time, Snapshot> = BTreeMap::new();
+        let golden = match fork_spec {
+            Some(spec) => {
+                let ctx = CaseCtx::attached(None, 0, Arc::clone(&stats));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    (spec.golden)(&ctx, &mut |t, snap| {
+                        snaps.insert(t, snap);
+                    })
+                }));
+                ctx.finish();
+                match outcome {
+                    Ok(Ok(trace)) => trace,
+                    Ok(Err(e)) => return Err(EngineError::Golden(e.to_string())),
+                    Err(payload) => return Err(EngineError::Golden(panic_message(payload))),
+                }
+            }
+            None => match self.attempt_case(&campaign.runner, None, &stats).0 {
+                Attempt::Ok(trace) => trace,
+                Attempt::Failed(e) => return Err(EngineError::Golden(e)),
+                Attempt::TimedOut => return Err(EngineError::Golden("timed out".to_owned())),
+            },
         };
 
         let golden_ref = &golden;
@@ -390,6 +608,20 @@ impl Engine {
         let fatal: Mutex<Option<EngineError>> = Mutex::new(None);
         let fresh: Mutex<Vec<(usize, JournalEntry)>> = Mutex::new(Vec::new());
         let workers = cfg.effective_workers().min(pending.len()).max(1);
+
+        // Per-worker checkpoint caches: snapshots are `Send` but not
+        // `Sync` (simulator internals hold `Send`-only trait objects), so
+        // every worker owns a deep clone of the cache instead of sharing
+        // references. The per-stop `Arc<Mutex<..>>` lets the per-case fork
+        // runner be `'static` for the timeout machinery.
+        let worker_caches: Vec<BTreeMap<Time, Arc<Mutex<Snapshot>>>> = (0..workers)
+            .map(|_| {
+                snaps
+                    .iter()
+                    .map(|(t, s)| (*t, Arc::new(Mutex::new(s.clone_snapshot()))))
+                    .collect()
+            })
+            .collect();
 
         std::thread::scope(|scope| {
             let progress = cfg.progress.map(|interval| {
@@ -407,8 +639,9 @@ impl Engine {
                 })
             });
 
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
+            let handles: Vec<_> = worker_caches
+                .into_iter()
+                .map(|cache| {
                     let stats = Arc::clone(&stats);
                     let (next, stop, fatal, fresh) = (&next, &stop, &fatal, &fresh);
                     let (pending, journal) = (&pending, &journal);
@@ -420,8 +653,33 @@ impl Engine {
                         let Some(&index) = pending.get(slot) else {
                             break;
                         };
-                        let outcome =
-                            self.execute_one(campaign, index, golden_ref, &stats, journal.as_ref());
+                        // In checkpoint mode, wrap the fork closure and this
+                        // case's snapshot (taken at the largest stop not
+                        // after its injection instant) into a runner.
+                        let forked = fork_spec.and_then(|spec| {
+                            let at = campaign.cases[index].injected_at.min(spec.t_end);
+                            cache.range(..=at).next_back().map(|(t, snap)| {
+                                let snap = Arc::clone(snap);
+                                let fork = Arc::clone(&spec.fork);
+                                let runner: CaseRunner = Arc::new(move |ctx: &CaseCtx| {
+                                    // Deep-clone under a short lock so a
+                                    // timed-out (abandoned) attempt cannot
+                                    // wedge later retries of the same case.
+                                    let owned =
+                                        snap.lock().expect("snapshot poisoned").clone_snapshot();
+                                    fork(ctx, &owned)
+                                });
+                                (runner, *t)
+                            })
+                        });
+                        let outcome = self.execute_one(
+                            campaign,
+                            index,
+                            golden_ref,
+                            &stats,
+                            journal.as_ref(),
+                            forked,
+                        );
                         match outcome {
                             Ok(entry) => {
                                 fresh.lock().expect("results poisoned").push((index, entry));
@@ -468,6 +726,10 @@ impl Engine {
 
     /// Runs one case end-to-end: attempts (with retries), classification,
     /// journaling, counter updates. `Err` only under [`ErrorPolicy::FailFast`].
+    ///
+    /// `forked` carries the checkpoint-fork runner and the snapshot instant
+    /// when the case runs in checkpoint mode; `None` uses the campaign's
+    /// from-scratch runner.
     fn execute_one(
         &self,
         campaign: &Campaign,
@@ -475,9 +737,14 @@ impl Engine {
         golden: &Trace,
         stats: &Arc<EngineStats>,
         journal: Option<&Journal>,
+        forked: Option<(CaseRunner, Time)>,
     ) -> Result<JournalEntry, EngineError> {
         let case = &campaign.cases[index];
-        let (attempt, attempts) = self.attempt_case(campaign, Some(index), stats);
+        let (runner, forked_at) = match forked {
+            Some((runner, at)) => (runner, Some(at)),
+            None => (Arc::clone(&campaign.runner), None),
+        };
+        let (attempt, attempts) = self.attempt_case(&runner, Some(index), stats);
         match attempt {
             Attempt::Ok(trace) => {
                 let t0 = Instant::now();
@@ -489,7 +756,7 @@ impl Engine {
                     outcome,
                 };
                 if let Some(journal) = journal {
-                    journal.record_case(index, &result)?;
+                    journal.record_case(index, &result, forked_at)?;
                 }
                 Ok(JournalEntry::Done(result))
             }
@@ -531,7 +798,7 @@ impl Engine {
     /// attempt outcome and how many attempts were made.
     fn attempt_case(
         &self,
-        campaign: &Campaign,
+        runner: &CaseRunner,
         index: Option<usize>,
         stats: &Arc<EngineStats>,
     ) -> (Attempt, u32) {
@@ -544,7 +811,7 @@ impl Engine {
                     std::thread::sleep(backoff);
                 }
             }
-            last = self.run_attempt(campaign, index, attempt, stats);
+            last = self.run_attempt(runner, index, attempt, stats);
             if let Attempt::TimedOut = last {
                 stats.record_timeout();
             }
@@ -558,12 +825,12 @@ impl Engine {
     /// One attempt: panic-isolated, optionally under a wall-clock timeout.
     fn run_attempt(
         &self,
-        campaign: &Campaign,
+        runner: &CaseRunner,
         index: Option<usize>,
         attempt: u32,
         stats: &Arc<EngineStats>,
     ) -> Attempt {
-        let runner = Arc::clone(&campaign.runner);
+        let runner = Arc::clone(runner);
         let call = {
             let stats = Arc::clone(stats);
             move || {
@@ -654,7 +921,192 @@ mod tests {
                 }
                 Ok(trace)
             }),
+            fork: None,
         }
+    }
+
+    /// A `Campaign::forked` toy over a tick-per-nanosecond counter: even
+    /// case indices stick "out" high (failure), odd ones flip one tick
+    /// (transient).
+    #[derive(Debug, Clone)]
+    struct TickSim {
+        now: Time,
+        ticks: u64,
+        stuck: bool,
+        invert_next: bool,
+        trace: Trace,
+    }
+
+    impl ForkableSim for TickSim {
+        type Error = std::convert::Infallible;
+
+        fn advance_to(&mut self, t: Time) -> Result<(), Self::Error> {
+            while self.now + Time::from_ns(1) <= t {
+                self.now += Time::from_ns(1);
+                self.ticks += 1;
+                let mut bit = if self.stuck {
+                    true
+                } else {
+                    self.ticks % 2 == 1
+                };
+                if std::mem::take(&mut self.invert_next) {
+                    bit = !bit;
+                }
+                self.trace
+                    .record_digital("out", self.now, Logic::from_bool(bit))
+                    .unwrap();
+            }
+            Ok(())
+        }
+
+        fn current_time(&self) -> Time {
+            self.now
+        }
+
+        fn snapshot_trace(&self) -> Trace {
+            self.trace.clone()
+        }
+
+        fn structural_fingerprint(&self) -> u64 {
+            0x71C5
+        }
+    }
+
+    fn forked_campaign(name: &str, n: usize) -> Campaign {
+        let t_end = Time::from_ns(40);
+        let spec = ClassifySpec::new((Time::ZERO, t_end), vec!["out".to_owned()]);
+        let cases = (0..n)
+            .map(|i| FaultCase::new(format!("tick{i}"), Time::from_ns(5 + (i as i64 % 3) * 9)))
+            .collect();
+        Campaign::forked(
+            name,
+            spec,
+            cases,
+            t_end,
+            |_ctx: &CaseCtx| {
+                Ok(TickSim {
+                    now: Time::ZERO,
+                    ticks: 0,
+                    stuck: false,
+                    invert_next: false,
+                    trace: Trace::new(),
+                })
+            },
+            |sim: &mut TickSim, i| {
+                if i.is_multiple_of(2) {
+                    sim.stuck = true;
+                } else {
+                    sim.invert_next = true;
+                }
+                Ok(())
+            },
+        )
+    }
+
+    #[test]
+    fn checkpoint_mode_matches_from_scratch_mode() {
+        let campaign = forked_campaign("toy-fork", 9);
+        let scratch = Engine::new(EngineConfig::default().with_workers(3))
+            .run(&campaign)
+            .unwrap();
+        let forked = Engine::new(
+            EngineConfig::default()
+                .with_workers(3)
+                .with_checkpoint(true),
+        )
+        .run(&campaign)
+        .unwrap();
+        assert_eq!(scratch.result.golden, forked.result.golden);
+        assert_eq!(scratch.result.cases.len(), forked.result.cases.len());
+        for (a, b) in scratch.result.cases.iter().zip(&forked.result.cases) {
+            assert_eq!(a, b, "case {}", a.case);
+        }
+    }
+
+    #[test]
+    fn checkpoint_mode_journals_the_fork_instant() {
+        let campaign = forked_campaign("toy-fork-journal", 4);
+        let path = std::env::temp_dir().join(format!(
+            "amsfi-executor-fork-{}.journal",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_checkpoint(true)
+                .with_journal(&path),
+        )
+        .run(&campaign)
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Every case record carries the snapshot instant it forked from.
+        for line in text.lines().filter(|l| l.starts_with("case ")) {
+            assert!(line.contains(" forked="), "{line}");
+            assert!(!line.contains(" forked=-"), "{line}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_flag_without_fork_spec_falls_back_to_scratch() {
+        let campaign = toy_campaign("toy-nofork", 6);
+        let report = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_checkpoint(true),
+        )
+        .run(&campaign)
+        .unwrap();
+        assert_eq!(report.result.cases.len(), 6);
+    }
+
+    #[test]
+    fn checkpoint_mode_retries_through_a_flaky_fork() {
+        use std::sync::atomic::AtomicU32;
+        let t_end = Time::from_ns(20);
+        let spec = {
+            let mut s = ClassifySpec::new((Time::ZERO, t_end), vec!["out".to_owned()]);
+            s.outputs.clear();
+            s
+        };
+        let cases = vec![FaultCase::new("flaky", Time::from_ns(5))];
+        let tries = Arc::new(AtomicU32::new(0));
+        let tries_in = Arc::clone(&tries);
+        let campaign = Campaign::forked(
+            "toy-fork-flaky",
+            spec,
+            cases,
+            t_end,
+            |_ctx: &CaseCtx| {
+                Ok(TickSim {
+                    now: Time::ZERO,
+                    ticks: 0,
+                    stuck: false,
+                    invert_next: false,
+                    trace: Trace::new(),
+                })
+            },
+            move |_sim: &mut TickSim, _i| {
+                if tries_in.fetch_add(1, Ordering::Relaxed) < 2 {
+                    return Err("flaky fork".into());
+                }
+                Ok(())
+            },
+        );
+        let report = Engine::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_checkpoint(true)
+                .with_retries(3)
+                .with_backoff(Duration::from_millis(1)),
+        )
+        .run(&campaign)
+        .unwrap();
+        assert_eq!(report.result.cases.len(), 1);
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.stats.retries, 2);
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -7,21 +7,31 @@
 //! human can inspect or `grep` a journal mid-run:
 //!
 //! ```text
-//! #amsfi-journal v1
+//! #amsfi-journal v2
 //! #campaign name=pll-sweep cases=24 fingerprint=9f1a2b3c4d5e6f70
-//! case 3 at=170000000000 class=transient onset=170001200000 end=171800000000 mismatch=902000000 affected=vctrl label=(8 mA; 100 ps; 100 ps; 300 ps)
-//! skip 7 at=170000000000 attempts=3 label=(10 mA; 40 ps; 40 ps; 120 ps) error=simulation diverged
+//! case 3 at=170000000000 class=transient onset=170001200000 end=171800000000 mismatch=902000000 affected=vctrl forked=170000000000 label=(8\smA;\s100\sps;\s100\sps;\s300\sps)
+//! skip 7 at=170000000000 attempts=3 label=(10\smA;\s40\sps;\s40\sps;\s120\sps) error=simulation\sdiverged
 //! ```
 //!
 //! * Times are integer femtoseconds (`-` for "none"), so outcomes
 //!   round-trip exactly and merged summaries are byte-identical to an
 //!   uninterrupted run.
+//! * Every record is a flat list of whitespace-separated `key=value`
+//!   tokens. Free-text values (campaign name, case label, error message,
+//!   affected signal names) are [escaped](escape) so they contain no
+//!   whitespace and no `|` — arbitrary text, including the multi-word
+//!   solver errors that broke `--resume` under format v1, round-trips
+//!   losslessly. Unknown keys (such as `forked`, written by checkpointed
+//!   runs) are ignored on read, so the format is forward-extensible.
 //! * The header `fingerprint` hashes the campaign's case list; resuming or
 //!   merging with a journal whose fingerprint differs is refused, which
 //!   catches "same name, different fault list" mistakes early.
 //! * Records are keyed by case index. Duplicate indices are legal (a
 //!   killed-and-resumed shard may rewrite its in-flight case); the last
 //!   record wins. A `skip` for an index is superseded by a later `case`.
+//! * `forked=<t>` on a `case` record means the run was forked from a
+//!   golden-prefix checkpoint taken at `t` fs (`-` or absent: simulated
+//!   from scratch). Informational — resume does not depend on it.
 
 use crate::shard::Shard;
 use amsfi_core::{CampaignResult, CaseOutcome, CaseResult, FaultCase, FaultClass};
@@ -34,7 +44,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// The format version this module writes and understands.
-pub const JOURNAL_VERSION: &str = "v1";
+pub const JOURNAL_VERSION: &str = "v2";
 
 /// Campaign identity recorded in (and validated against) a journal header.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -213,7 +223,7 @@ impl Journal {
                     writeln!(
                         writer,
                         "#campaign name={} cases={} fingerprint={:016x}",
-                        sanitize(&meta.name),
+                        escape(&meta.name),
                         meta.cases,
                         meta.fingerprint
                     )
@@ -231,15 +241,21 @@ impl Journal {
     }
 
     /// Appends one completed case and flushes, so the record survives a
-    /// kill immediately after.
+    /// kill immediately after. `forked` records the checkpoint instant the
+    /// case was forked from (`None` for a from-scratch run).
     ///
     /// # Errors
     ///
     /// Returns [`JournalError::Io`] on write failure.
-    pub fn record_case(&self, index: usize, result: &CaseResult) -> Result<(), JournalError> {
+    pub fn record_case(
+        &self,
+        index: usize,
+        result: &CaseResult,
+        forked: Option<Time>,
+    ) -> Result<(), JournalError> {
         let o = &result.outcome;
         let line = format!(
-            "case {index} at={} class={} onset={} end={} mismatch={} affected={} label={}",
+            "case {index} at={} class={} onset={} end={} mismatch={} affected={} forked={} label={}",
             result.case.injected_at.as_fs(),
             o.class,
             opt_fs(o.error_onset),
@@ -248,9 +264,14 @@ impl Journal {
             if o.affected.is_empty() {
                 "-".to_owned()
             } else {
-                o.affected.join("|")
+                o.affected
+                    .iter()
+                    .map(|s| escape(s))
+                    .collect::<Vec<_>>()
+                    .join("|")
             },
-            sanitize(&result.case.label),
+            opt_fs(forked),
+            escape(&result.case.label),
         );
         self.append(&line)
     }
@@ -266,8 +287,8 @@ impl Journal {
             skip.index,
             skip.case.injected_at.as_fs(),
             skip.attempts,
-            sanitize(&skip.case.label),
-            sanitize(&skip.error),
+            escape(&skip.case.label),
+            escape(&skip.error),
         );
         self.append(&line)
     }
@@ -423,33 +444,77 @@ fn parse_opt_fs(s: &str) -> Option<Option<Time>> {
     }
 }
 
-/// Journals are line-oriented; free-text fields must not contain newlines.
-fn sanitize(s: &str) -> String {
-    if s.contains('\n') || s.contains('\r') {
-        s.replace(['\n', '\r'], " ")
-    } else {
-        s.to_owned()
+/// Escapes free text into a whitespace- and `|`-free token value.
+///
+/// Journals are line-oriented and records are whitespace-tokenised, so
+/// values must not contain whitespace; `|` is the `affected` list
+/// separator. The escaping is lossless — see [`unescape`] — which is what
+/// makes arbitrary solver error messages survive a write/`--resume` round
+/// trip (format v1 word-split them and corrupted resumed reports).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '|' => out.push_str("\\p"),
+            // Any other whitespace (vertical tab, form feed, NEL, U+2028…)
+            // or control character would still break tokenisation or the
+            // line framing: hex-escape it.
+            c if c.is_whitespace() || c.is_control() => {
+                out.push_str(&format!("\\x{:x};", c as u32));
+            }
+            c => out.push(c),
+        }
     }
+    out
+}
+
+/// Inverse of [`escape`]; `None` on a malformed escape sequence.
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            's' => out.push(' '),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'p' => out.push('|'),
+            'x' => {
+                let hex: String = chars.by_ref().take_while(|&c| c != ';').collect();
+                out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
 }
 
 fn parse_header(line: &str) -> Option<JournalMeta> {
     let rest = line.strip_prefix("#campaign ")?;
-    let name_and_more = rest.strip_prefix("name=")?;
-    // `name` may contain spaces; `cases=` starts the fixed tail.
-    let cases_pos = name_and_more.rfind(" cases=")?;
-    let name = name_and_more[..cases_pos].to_owned();
-    let tail = &name_and_more[cases_pos + 1..];
+    let mut name = None;
     let mut cases = None;
     let mut fp = None;
-    for token in tail.split_whitespace() {
-        if let Some(v) = token.strip_prefix("cases=") {
-            cases = v.parse::<usize>().ok();
-        } else if let Some(v) = token.strip_prefix("fingerprint=") {
-            fp = u64::from_str_radix(v, 16).ok();
+    for token in rest.split_whitespace() {
+        let (key, value) = token.split_once('=')?;
+        match key {
+            "name" => name = Some(unescape(value)?),
+            "cases" => cases = value.parse::<usize>().ok(),
+            "fingerprint" => fp = u64::from_str_radix(value, 16).ok(),
+            _ => {}
         }
     }
     Some(JournalMeta {
-        name,
+        name: name?,
         cases: cases?,
         fingerprint: fp?,
     })
@@ -460,19 +525,7 @@ fn index_of(line: &str) -> Option<usize> {
 }
 
 fn parse_record(line: &str) -> Option<JournalEntry> {
-    let label_pos = line.find(" label=")?;
-    let tail = &line[label_pos + " label=".len()..];
-    // `label=` holds controlled text (target names); `error=`, when present,
-    // is arbitrary free text and therefore always the final field.
-    let (label, error) = match tail.find(" error=") {
-        Some(p) => (
-            tail[..p].to_owned(),
-            Some(tail[p + " error=".len()..].to_owned()),
-        ),
-        None => (tail.to_owned(), None),
-    };
-    let head = &line[..label_pos];
-    let mut tokens = head.split_whitespace();
+    let mut tokens = line.split_whitespace();
     let kind = tokens.next()?;
     let index: usize = tokens.next()?.parse().ok()?;
     let mut at = None;
@@ -482,7 +535,10 @@ fn parse_record(line: &str) -> Option<JournalEntry> {
     let mut mismatch = None;
     let mut affected = None;
     let mut attempts = None;
+    let mut label = None;
+    let mut error = None;
     for token in tokens {
+        // `split_once` keeps any further `=` inside the value.
         let (key, value) = token.split_once('=')?;
         match key {
             "at" => at = Some(Time::from_fs(value.parse::<i64>().ok()?)),
@@ -494,14 +550,21 @@ fn parse_record(line: &str) -> Option<JournalEntry> {
                 affected = Some(if value == "-" {
                     Vec::new()
                 } else {
-                    value.split('|').map(str::to_owned).collect()
+                    value
+                        .split('|')
+                        .map(unescape)
+                        .collect::<Option<Vec<String>>>()?
                 });
             }
             "attempts" => attempts = Some(value.parse::<u32>().ok()?),
+            "label" => label = Some(unescape(value)?),
+            "error" => error = Some(unescape(value)?),
+            // Unknown keys (e.g. `forked`) are informational: skip them so
+            // newer writers stay readable by this parser.
             _ => {}
         }
     }
-    let case = FaultCase::new(label, at?);
+    let case = FaultCase::new(label?, at?);
     match kind {
         "case" => Some(JournalEntry::Done(CaseResult {
             case,
@@ -572,7 +635,8 @@ mod tests {
         let (journal, existing) = Journal::open(&path, &meta, false).unwrap();
         assert!(existing.is_empty());
         for i in 0..3 {
-            journal.record_case(i, &sample_result(i)).unwrap();
+            let forked = (i > 0).then(|| Time::from_us(5));
+            journal.record_case(i, &sample_result(i), forked).unwrap();
         }
         journal
             .record_skip(&SkippedCase {
@@ -596,9 +660,55 @@ mod tests {
         match &entries[&3] {
             JournalEntry::Skipped(s) => {
                 assert_eq!(s.attempts, 2);
-                assert!(!s.error.contains('\n'), "newlines sanitised: {:?}", s.error);
+                // v2 escapes instead of sanitising: the error is lossless.
+                assert_eq!(s.error, "solver blew\nup");
             }
             other => panic!("expected Skipped, got {other:?}"),
+        }
+        // The forked instants were written and tolerated by the parser.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("forked=5000000000"), "{text}");
+        assert!(text.contains("forked=-"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hostile_error_and_label_text_round_trips() {
+        let path = unique_path("hostile");
+        // Labels and errors full of the characters that broke format v1:
+        // whitespace, `=`, `|`, the ` error=` field marker itself, and
+        // exotic Unicode whitespace.
+        let label = "pfd.up error= |weird\ttarget| a=b";
+        let error = "diverged: dt=1e-15 |state| at line\u{2028}two \\ end ";
+        let cases = vec![FaultCase::new(label, Time::from_us(5)); 2];
+        let meta = JournalMeta::of("hostile name=x", &cases);
+        let (journal, _) = Journal::open(&path, &meta, false).unwrap();
+        journal
+            .record_skip(&SkippedCase {
+                index: 0,
+                case: cases[0].clone(),
+                attempts: 1,
+                error: error.to_owned(),
+            })
+            .unwrap();
+        let mut done = sample_result(1);
+        done.case = cases[1].clone();
+        done.outcome.affected = vec!["a b".to_owned(), "c|d".to_owned()];
+        journal.record_case(1, &done, None).unwrap();
+        drop(journal);
+
+        // Re-open with resume: exactly what a killed run does.
+        let (_, entries) = Journal::open(&path, &meta, true).unwrap();
+        match &entries[&0] {
+            JournalEntry::Skipped(s) => {
+                assert_eq!(s.error, error);
+                assert_eq!(s.case.label, label);
+            }
+            other => panic!("expected Skipped, got {other:?}"),
+        }
+        match &entries[&1] {
+            JournalEntry::Done(r) => assert_eq!(r, &done),
+            other => panic!("expected Done, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
     }
@@ -646,7 +756,7 @@ mod tests {
                 error: "first try".to_owned(),
             })
             .unwrap();
-        journal.record_case(1, &sample_result(1)).unwrap();
+        journal.record_case(1, &sample_result(1), None).unwrap();
         // A stray later skip must not demote the completed case.
         journal
             .record_skip(&SkippedCase {
@@ -670,7 +780,7 @@ mod tests {
         for (shard, path) in paths.iter().enumerate() {
             let (journal, _) = Journal::open(path, &meta, false).unwrap();
             for i in (shard..4).step_by(2) {
-                journal.record_case(i, &sample_result(i)).unwrap();
+                journal.record_case(i, &sample_result(i), None).unwrap();
             }
         }
         let (meta_back, entries) = merge(&paths).unwrap();
@@ -693,13 +803,80 @@ mod tests {
         let cases = sample_cases();
         let meta = JournalMeta::of("toy", &cases);
         let (journal, _) = Journal::open(&path, &meta, false).unwrap();
-        journal.record_case(0, &sample_result(0)).unwrap();
+        journal.record_case(0, &sample_result(0), None).unwrap();
         drop(journal);
         let (_, entries) = load(&path).unwrap();
         assert_eq!(pending(&entries, 4, Shard::FULL), vec![1, 2, 3]);
         let shard0: Shard = "0/2".parse().unwrap();
         assert_eq!(pending(&entries, 4, shard0), vec![2]);
         std::fs::remove_file(&path).ok();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Characters chosen to stress the v2 escaping: plain text, every
+        /// escaped class (whitespace, `|`, `\`, controls, Unicode spaces),
+        /// and the `key=value` / ` error=` framing characters.
+        fn hostile_chars() -> Vec<char> {
+            vec![
+                'a', 'Z', '0', '.', ':', ';', '(', ')', '/', '-', '_', 'µ', '→', ' ', '\t', '\n',
+                '\r', '|', '\\', '=', '#', '\u{b}', '\u{c}', '\u{a0}', '\u{2028}', '\u{0}', 's',
+                'x', 'p', 'n',
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn arbitrary_error_and_label_strings_round_trip(
+                error_chars in prop::collection::vec(prop::sample::select(hostile_chars()), 0..40),
+                label_chars in prop::collection::vec(prop::sample::select(hostile_chars()), 0..20),
+                attempts in 1u32..9,
+            ) {
+                let error: String = error_chars.into_iter().collect();
+                let label: String = label_chars.into_iter().collect();
+                let path = unique_path("prop");
+                let cases = vec![FaultCase::new(label.clone(), Time::from_ns(17))];
+                let meta = JournalMeta::of("prop", &cases);
+                let (journal, _) = Journal::open(&path, &meta, false).unwrap();
+                journal
+                    .record_skip(&SkippedCase {
+                        index: 0,
+                        case: cases[0].clone(),
+                        attempts,
+                        error: error.clone(),
+                    })
+                    .unwrap();
+                drop(journal);
+                let (_, entries) = load(&path).unwrap();
+                std::fs::remove_file(&path).ok();
+                match &entries[&0] {
+                    JournalEntry::Skipped(s) => {
+                        prop_assert_eq!(&s.error, &error);
+                        prop_assert_eq!(&s.case.label, &label);
+                        prop_assert_eq!(s.attempts, attempts);
+                    }
+                    other => prop_assert!(false, "expected Skipped, got {:?}", other),
+                }
+            }
+
+            #[test]
+            fn escape_unescape_is_the_identity(
+                chars in prop::collection::vec(prop::sample::select(hostile_chars()), 0..60),
+            ) {
+                let s: String = chars.into_iter().collect();
+                let escaped = escape(&s);
+                prop_assert!(
+                    !escaped.chars().any(|c| c.is_whitespace() || c == '|'),
+                    "escaped text still has separators: {:?}",
+                    escaped
+                );
+                prop_assert_eq!(unescape(&escaped), Some(s));
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod shard;
 pub mod stats;
 
 pub use executor::{
-    Campaign, CaseCtx, CaseRunner, Engine, EngineConfig, EngineError, EngineReport, ErrorPolicy,
+    AnySnapshot, Campaign, CaseCtx, CaseRunner, Engine, EngineConfig, EngineError, EngineReport,
+    ErrorPolicy, ForkSpec, Snapshot, SnapshotSink,
 };
 pub use journal::{Journal, JournalEntry, JournalError, JournalMeta, SkippedCase};
 pub use shard::Shard;

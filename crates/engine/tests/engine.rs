@@ -6,7 +6,7 @@ use amsfi_core::{ClassifySpec, FaultCase};
 use amsfi_engine::{
     campaigns, journal, Campaign, CaseCtx, Engine, EngineConfig, EngineError, ErrorPolicy, Shard,
 };
-use amsfi_waves::{Logic, Time, Trace};
+use amsfi_waves::{ForkableSim, Logic, Time, Trace};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -48,7 +48,163 @@ fn toy_campaign(n: usize, calls: Arc<AtomicUsize>) -> Campaign {
             }
             Ok(trace)
         }),
+        fork: None,
     }
+}
+
+/// A tick-per-nanosecond counter for checkpointed campaigns; "out" carries
+/// the tick parity. Even case indices stick the output high (failure), odd
+/// ones invert one tick (transient).
+#[derive(Debug, Clone)]
+struct TickSim {
+    now: Time,
+    ticks: u64,
+    stuck: bool,
+    invert_next: bool,
+    trace: Trace,
+}
+
+impl ForkableSim for TickSim {
+    type Error = std::convert::Infallible;
+
+    fn advance_to(&mut self, t: Time) -> Result<(), Self::Error> {
+        while self.now + Time::from_ns(1) <= t {
+            self.now += Time::from_ns(1);
+            self.ticks += 1;
+            let mut bit = if self.stuck {
+                true
+            } else {
+                self.ticks % 2 == 1
+            };
+            if std::mem::take(&mut self.invert_next) {
+                bit = !bit;
+            }
+            self.trace
+                .record_digital("out", self.now, Logic::from_bool(bit))
+                .unwrap();
+        }
+        Ok(())
+    }
+
+    fn current_time(&self) -> Time {
+        self.now
+    }
+
+    fn snapshot_trace(&self) -> Trace {
+        self.trace.clone()
+    }
+
+    fn structural_fingerprint(&self) -> u64 {
+        0x7E57
+    }
+}
+
+/// A checkpoint-capable toy campaign; `injects` counts fork/inject calls so
+/// tests can prove resumed cases were not re-forked.
+fn forked_toy_campaign(n: usize, injects: Arc<AtomicUsize>) -> Campaign {
+    let t_end = Time::from_ns(60);
+    let spec = ClassifySpec::new((Time::ZERO, t_end), vec!["out".to_owned()]);
+    let cases = (0..n)
+        .map(|i| FaultCase::new(format!("tick{i}"), Time::from_ns(7 + (i as i64 % 4) * 11)))
+        .collect();
+    Campaign::forked(
+        "forked-toy",
+        spec,
+        cases,
+        t_end,
+        |_ctx: &CaseCtx| {
+            Ok(TickSim {
+                now: Time::ZERO,
+                ticks: 0,
+                stuck: false,
+                invert_next: false,
+                trace: Trace::new(),
+            })
+        },
+        move |sim: &mut TickSim, i| {
+            injects.fetch_add(1, Ordering::Relaxed);
+            if i.is_multiple_of(2) {
+                sim.stuck = true;
+            } else {
+                sim.invert_next = true;
+            }
+            Ok(())
+        },
+    )
+}
+
+/// PR 2 tentpole end-to-end: a checkpointed run can be killed (simulated by
+/// journaling only one shard), resumed with `--checkpoint` still on, and the
+/// merged result is byte-identical to both an uninterrupted checkpointed run
+/// and a plain from-scratch run.
+#[test]
+fn checkpointed_kill_and_resume_round_trip() {
+    let path = unique_path("ckpt-resume");
+    let injects = Arc::new(AtomicUsize::new(0));
+    let campaign = forked_toy_campaign(12, Arc::clone(&injects));
+
+    // References: an uninterrupted checkpointed run and a scratch run.
+    let clean = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_checkpoint(true),
+    )
+    .run(&campaign)
+    .unwrap();
+    let scratch = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&campaign)
+        .unwrap();
+    assert_eq!(
+        report::cases_csv(&clean.result),
+        report::cases_csv(&scratch.result),
+        "checkpointed and from-scratch classifications must agree"
+    );
+    assert_eq!(clean.result.golden, scratch.result.golden);
+
+    // "Kill" partway: journal only shard 0/2, checkpointed.
+    injects.store(0, Ordering::Relaxed);
+    let partial = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_checkpoint(true)
+            .with_shard("0/2".parse().unwrap())
+            .with_journal(&path),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert_eq!(partial.result.cases.len(), 6);
+    assert_eq!(injects.load(Ordering::Relaxed), 6);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.lines()
+            .filter(|l| l.starts_with("case "))
+            .all(|l| l.contains(" forked=") && !l.contains(" forked=-")),
+        "checkpointed case records must carry the fork instant:\n{text}"
+    );
+
+    // Resume the full list: only the missing half may fork again.
+    injects.store(0, Ordering::Relaxed);
+    let resumed = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_checkpoint(true)
+            .with_journal(&path)
+            .with_resume(true),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert_eq!(
+        injects.load(Ordering::Relaxed),
+        6,
+        "completed cases re-forked"
+    );
+    assert_eq!(resumed.resumed, 6);
+    assert_eq!(resumed.result.cases.len(), 12);
+    assert_eq!(
+        report::cases_csv(&resumed.result),
+        report::cases_csv(&clean.result)
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
@@ -163,6 +319,7 @@ fn fail_fast_leaves_a_resumable_journal() {
             trace.record_digital("out", Time::from_ns(0), Logic::Zero)?;
             Ok(trace)
         }),
+        fork: None,
     };
 
     // Sequential fail-fast run: cases 0..=4 are journaled, 5 aborts.

@@ -1,0 +1,73 @@
+//! PR 2 acceptance property: for random injection instants on the PLL,
+//! a `--checkpoint` engine run (fork at tᵢ from the golden prefix) produces
+//! traces and classifications byte-identical to the from-scratch run.
+//!
+//! Identity holds by construction — both paths advance the simulator
+//! through the same distinct-injection-instant stop sequence, so the
+//! adaptive-step analog kernel takes the same step grid — and this test is
+//! what keeps that construction honest.
+
+use amsfi_circuits::pll::{self, names, PllConfig};
+use amsfi_core::{ClassifySpec, FaultCase};
+use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig};
+use amsfi_faults::TrapezoidPulse;
+use amsfi_waves::{Time, Tolerance};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A fast-PLL campaign striking the loop filter with one paper pulse at
+/// each of the given instants, built through [`Campaign::forked`].
+fn pll_campaign(times: &[Time], t_end: Time) -> Campaign {
+    let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 100, 300).expect("paper pulse");
+    let cases = times
+        .iter()
+        .enumerate()
+        .map(|(i, &at)| FaultCase::new(format!("icp @ {at} #{i}"), at))
+        .collect();
+    let spec = ClassifySpec::new((Time::ZERO, t_end), vec![names::F_OUT.to_owned()])
+        .with_internals(vec![names::VCTRL.to_owned(), names::FB.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        .with_digital_skew(Time::from_ns(2));
+    let times: Arc<Vec<Time>> = Arc::new(times.to_vec());
+    Campaign::forked(
+        "pll-fork-equivalence",
+        spec,
+        cases,
+        t_end,
+        |_ctx: &CaseCtx| {
+            let mut bench = pll::build(&PllConfig::fast());
+            bench.monitor_standard();
+            Ok(bench)
+        },
+        move |bench: &mut pll::PllBench, i| {
+            bench.arm_saboteur(Arc::new(pulse), times[i]);
+            Ok(())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn forked_pll_runs_equal_scratch_runs(
+        times_ns in prop::collection::vec(1_000i64..5_500, 1..=3),
+    ) {
+        let t_end = Time::from_us(6);
+        let times: Vec<Time> = times_ns.iter().map(|&ns| Time::from_ns(ns)).collect();
+        let campaign = pll_campaign(&times, t_end);
+        let scratch = Engine::new(EngineConfig::default().with_workers(2))
+            .run(&campaign)
+            .expect("scratch run");
+        let forked = Engine::new(
+            EngineConfig::default().with_workers(2).with_checkpoint(true),
+        )
+        .run(&campaign)
+        .expect("checkpointed run");
+        prop_assert_eq!(&scratch.result.golden, &forked.result.golden);
+        prop_assert_eq!(scratch.result.cases.len(), forked.result.cases.len());
+        for (a, b) in scratch.result.cases.iter().zip(&forked.result.cases) {
+            prop_assert_eq!(a, b, "case {} diverged between paths", a.case);
+        }
+    }
+}

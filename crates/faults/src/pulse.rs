@@ -206,15 +206,45 @@ impl TrapezoidPulse {
     /// assert!((trap.peak() - de.peak()).abs() < 1e-12);
     /// # Ok::<(), amsfi_faults::InvalidPulseError>(())
     /// ```
+    ///
+    /// The fit is polarity-independent: a negative-amplitude (p-hit) spike
+    /// fits to the exact mirror image of the positive case.
+    ///
+    /// ```
+    /// use amsfi_faults::{DoubleExponential, PulseShape, TrapezoidPulse};
+    /// use amsfi_waves::Time;
+    ///
+    /// let p_hit = DoubleExponential::from_peak(
+    ///     -10e-3,
+    ///     Time::from_ps(50),
+    ///     Time::from_ps(200),
+    /// )?;
+    /// let trap = TrapezoidPulse::fit(&p_hit);
+    /// assert!(trap.peak() < 0.0);
+    /// assert!((trap.charge() - p_hit.charge()).abs() / p_hit.charge().abs() < 1e-5);
+    /// # Ok::<(), amsfi_faults::InvalidPulseError>(())
+    /// ```
     pub fn fit(de: &DoubleExponential) -> TrapezoidPulse {
+        // All shape parameters are solved in the magnitude domain — the
+        // timing of a spike is independent of its polarity — and the signed
+        // amplitude carries the polarity into the result.
         let pa = de.peak();
+        let magnitude = pa.abs();
         let rt = de.time_to_peak().max(Time::RESOLUTION);
-        // Plateau: while the double exponential stays above 90 % of its peak.
-        let t90 = de.decay_to(0.9 * pa.abs());
+        // Plateau: while the spike magnitude stays above 90 % of the peak
+        // magnitude.
+        let t90 = de.decay_to(0.9 * magnitude);
         let mut pw = t90.max(rt);
-        // Charge of a trapezoid: PA * (PW - RT/2 + FT/2).
-        // Solve for FT to conserve charge.
-        let target = de.charge() / pa;
+        // Charge of a trapezoid: PA * (PW - RT/2 + FT/2). The charge and
+        // the peak share the spike's sign, so their ratio is a positive
+        // effective duration for both polarities; solve it for FT.
+        // A zero-amplitude spike degenerates to a zero-charge sliver
+        // instead of dividing 0/0.
+        let target = if magnitude == 0.0 {
+            0.0
+        } else {
+            de.charge() / pa
+        };
         let mut ft_secs = 2.0 * (target - (pw - rt / 2).as_secs_f64());
         if ft_secs <= 0.0 {
             // The plateau alone already exceeds the charge budget: shrink the
@@ -534,6 +564,35 @@ mod tests {
         let trap = TrapezoidPulse::fit(&de);
         assert!(trap.peak() < 0.0);
         assert!((trap.charge() - de.charge()).abs() / de.charge().abs() < 1e-5);
+    }
+
+    /// The p-hit fit is the exact mirror image of the n-hit fit: identical
+    /// timing parameters, negated amplitude (so charge conservation at
+    /// negative PA is inherited bit-for-bit from the positive case).
+    #[test]
+    fn fit_mirrors_exactly_under_polarity_flip() {
+        let pos =
+            DoubleExponential::from_peak(10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        let neg =
+            DoubleExponential::from_peak(-10e-3, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        let t_pos = TrapezoidPulse::fit(&pos);
+        let t_neg = TrapezoidPulse::fit(&neg);
+        assert_eq!(t_neg.rise(), t_pos.rise());
+        assert_eq!(t_neg.width(), t_pos.width());
+        assert_eq!(t_neg.fall(), t_pos.fall());
+        assert_eq!(t_neg.amplitude(), -t_pos.amplitude());
+        // Mid-fall current mirrors too.
+        let probe = t_pos.width() + t_pos.fall() / 2;
+        assert_eq!(t_neg.current(probe), -t_pos.current(probe));
+    }
+
+    #[test]
+    fn fit_of_zero_amplitude_spike_is_degenerate_not_nan() {
+        let de = DoubleExponential::new(0.0, Time::from_ps(50), Time::from_ps(200)).unwrap();
+        let trap = TrapezoidPulse::fit(&de);
+        assert_eq!(trap.amplitude(), 0.0);
+        assert_eq!(trap.charge(), 0.0);
+        assert!(trap.fall() >= Time::ZERO);
     }
 
     #[test]

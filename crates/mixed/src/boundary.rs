@@ -13,8 +13,8 @@ pub struct LevelDriver {
     pub(crate) signal: SignalId,
     pub(crate) bit: usize,
     pub(crate) node: NodeId,
-    v_low: f64,
-    v_high: f64,
+    pub(crate) v_low: f64,
+    pub(crate) v_high: f64,
     v_undefined: f64,
 }
 
@@ -61,8 +61,8 @@ impl LevelDriver {
 pub struct Digitizer {
     pub(crate) node: NodeId,
     pub(crate) signal: SignalId,
-    threshold: f64,
-    hysteresis: f64,
+    pub(crate) threshold: f64,
+    pub(crate) hysteresis: f64,
     state_high: Option<bool>,
     /// Schmitt-trigger re-arm flag: after firing an edge, the opposite edge
     /// only fires once the signal has cleared the guard band on the new

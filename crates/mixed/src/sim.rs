@@ -3,7 +3,7 @@
 use crate::boundary::{Digitizer, LevelDriver};
 use amsfi_analog::{AnalogSolver, NodeId};
 use amsfi_digital::{SignalId, SimError, Simulator};
-use amsfi_waves::{LogicVector, Time, Trace};
+use amsfi_waves::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, LogicVector, Time, Trace};
 
 /// Co-simulates a digital [`Simulator`] and an analog [`AnalogSolver`] with
 /// synchronised time, exchanging values through [`LevelDriver`]s
@@ -213,6 +213,68 @@ impl MixedSimulator {
         t
     }
 
+    /// A hash of the co-simulation's structure: both kernels' structural
+    /// fingerprints plus every boundary binding (driver rails, digitizer
+    /// thresholds and hysteresis) and the synchronisation-step cap. A
+    /// [`Checkpoint`] refuses to restore across differing fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str("amsfi-mixed");
+        h.eat();
+        h.write_u64(self.digital.fingerprint());
+        h.write_u64(self.analog.fingerprint());
+        h.eat();
+        h.write_u64(self.max_sync_step.as_fs() as u64);
+        h.eat();
+        h.write_u64(self.drivers.len() as u64);
+        h.eat();
+        for d in &self.drivers {
+            h.write_str(self.digital.signal_name(d.signal));
+            h.eat();
+            h.write_u64(d.bit as u64);
+            h.eat();
+            h.write_str(self.analog.circuit().node_name(d.node));
+            h.eat();
+            h.write_u64(d.v_low.to_bits());
+            h.write_u64(d.v_high.to_bits());
+            h.eat();
+        }
+        h.write_u64(self.digitizers.len() as u64);
+        h.eat();
+        for dz in &self.digitizers {
+            h.write_str(self.analog.circuit().node_name(dz.node));
+            h.eat();
+            h.write_str(self.digital.signal_name(dz.signal));
+            h.eat();
+            h.write_u64(dz.threshold.to_bits());
+            h.write_u64(dz.hysteresis.to_bits());
+            h.eat();
+        }
+        h.finish()
+    }
+
+    /// Snapshots the complete co-simulation — both kernels (event queue,
+    /// solver state, traces), digitizer hysteresis/arming state and the
+    /// one-time seeding flag — for golden-prefix forking.
+    pub fn checkpoint(&self) -> Checkpoint<MixedSimulator> {
+        Checkpoint::capture(self)
+    }
+
+    /// Replaces this co-simulation's state with `checkpoint`'s, validating
+    /// the structural fingerprint first.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointMismatch`] when the checkpoint was captured from a
+    /// structurally different testbench.
+    pub fn restore(
+        &mut self,
+        checkpoint: &Checkpoint<MixedSimulator>,
+    ) -> Result<(), CheckpointMismatch> {
+        *self = checkpoint.restore_into(self)?;
+        Ok(())
+    }
+
     /// Runs both domains, synchronised, until `t_end`.
     ///
     /// # Errors
@@ -271,6 +333,31 @@ impl MixedSimulator {
             self.digital.run_until(self.now)?;
         }
         Ok(())
+    }
+}
+
+impl ForkableSim for MixedSimulator {
+    type Error = SimError;
+
+    /// Equivalence caveat: the synchronisation grid depends on where
+    /// previous `advance_to` calls stopped (each stop clamps the step in
+    /// flight), so fork-vs-scratch byte identity requires driving both runs
+    /// through the same stop sequence. The campaign runner guarantees this
+    /// by construction.
+    fn advance_to(&mut self, t: Time) -> Result<(), SimError> {
+        self.run_until(t)
+    }
+
+    fn current_time(&self) -> Time {
+        self.now
+    }
+
+    fn snapshot_trace(&self) -> Trace {
+        self.merged_trace()
+    }
+
+    fn structural_fingerprint(&self) -> u64 {
+        self.fingerprint()
     }
 }
 
@@ -402,6 +489,50 @@ mod tests {
         let trace = mixed.merged_trace();
         assert!(trace.digital("clk").is_some());
         assert!(trace.analog("sine").is_some());
+    }
+
+    #[test]
+    fn checkpoint_fork_equals_scratch_with_shared_stops() {
+        let stop = Time::from_ns(437); // off every step grid on purpose
+        let end = Time::from_us(2);
+
+        let mut golden = sine_counter(10e6);
+        golden.digital_mut().monitor_name("clk");
+        golden.analog_mut().monitor_name("sine");
+        golden.run_until(stop).unwrap();
+        let cp = golden.checkpoint();
+        golden.run_until(end).unwrap();
+
+        let mut scratch = sine_counter(10e6);
+        scratch.digital_mut().monitor_name("clk");
+        scratch.analog_mut().monitor_name("sine");
+        scratch.run_until(stop).unwrap();
+        scratch.run_until(end).unwrap();
+
+        let mut fork = cp.fork();
+        assert_eq!(fork.now(), stop);
+        fork.run_until(end).unwrap();
+        assert_eq!(fork.merged_trace(), scratch.merged_trace());
+        assert_eq!(fork.merged_trace(), golden.merged_trace());
+        let q = fork.digital().signal_id("q").unwrap();
+        assert_eq!(fork.digital().value(q), scratch.digital().value(q));
+    }
+
+    #[test]
+    fn restore_validates_the_testbench_structure() {
+        let mut mixed = sine_counter(10e6);
+        mixed.run_until(Time::from_ns(100)).unwrap();
+        let cp = mixed.checkpoint();
+
+        // A different digitizer threshold is a different structure.
+        let mut other = sine_counter(10e6);
+        other.digitizers[0].threshold = 3.0;
+        assert!(other.restore(&cp).is_err());
+
+        let mut twin = sine_counter(10e6);
+        twin.run_until(Time::from_us(1)).unwrap();
+        twin.restore(&cp).unwrap();
+        assert_eq!(twin.now(), Time::from_ns(100));
     }
 
     #[test]

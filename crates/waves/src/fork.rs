@@ -1,0 +1,341 @@
+//! Golden-prefix checkpointing: snapshot a simulator mid-run and fork
+//! faulty runs from the snapshot instead of re-simulating from time zero.
+//!
+//! A fault injected at time *t* cannot perturb the circuit before *t*, so a
+//! campaign of N cases over a horizon T only needs the golden prefix
+//! `[0, tᵢ)` simulated once per distinct injection instant. [`ForkableSim`]
+//! is the capability contract a simulation kernel implements to take part;
+//! [`Checkpoint`] is the snapshot itself, stamped with a structural
+//! [fingerprint](ForkableSim::structural_fingerprint) so restoring into a
+//! mismatched circuit is a reported error, not silent corruption.
+//!
+//! Because a snapshot clones the *whole* simulator — event queue, solver
+//! step state, digitizer hysteresis and the trace recorded so far — a fork
+//! already carries the golden prefix of every monitored waveform. Running
+//! the fork to the horizon therefore yields a full-length trace with no
+//! explicit stitching step.
+
+use crate::{Time, Trace};
+use std::fmt;
+
+/// The FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// An incremental FNV-1a hasher for structural fingerprints.
+///
+/// The same idiom the engine journal uses for campaign fingerprints: hash
+/// bytes, and call [`Fnv1a::eat`] between fields so `("ab", "c")` and
+/// `("a", "bc")` hash differently.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write_str("vctrl");
+/// h.eat();
+/// h.write_u64(3);
+/// let a = h.finish();
+///
+/// let mut h = Fnv1a::new();
+/// h.write_str("vctrl3");
+/// assert_ne!(a, h.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    hash: u64,
+}
+
+impl Fnv1a {
+    /// Starts a fresh hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a { hash: FNV_OFFSET }
+    }
+
+    /// Hashes a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes a string's bytes.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    /// Hashes a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Terminates the current field: a delimiter byte that cannot occur in
+    /// UTF-8, so adjacent fields cannot be confused.
+    pub fn eat(&mut self) {
+        self.hash ^= 0xFF;
+        self.hash = self.hash.wrapping_mul(FNV_PRIME);
+    }
+
+    /// The hash accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// A checkpoint was restored into a simulator with a different structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMismatch {
+    /// Fingerprint baked into the checkpoint at capture time.
+    pub expected: u64,
+    /// Fingerprint of the simulator the restore targeted.
+    pub found: u64,
+}
+
+impl fmt::Display for CheckpointMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checkpoint fingerprint {:016x} does not match target circuit {:016x}: \
+             refusing to restore into a different structure",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for CheckpointMismatch {}
+
+/// A simulation kernel that can be snapshotted mid-run and forked.
+///
+/// Implementors are `Clone`, and the clone must capture *all* run-relevant
+/// state: pending event queues, adaptive solver step state, boundary
+/// element (digitizer/driver) state and the trace recorded so far. The
+/// digital [`Simulator`], [`AnalogSolver`] and [`MixedSimulator`] kernels
+/// all satisfy this because their state lives in owned fields.
+///
+/// Equivalence contract: advancing through the *same* sequence of
+/// `advance_to` stops must be deterministic, so a fork taken at `t` and a
+/// fresh run driven through the identical stop sequence up to `t` produce
+/// byte-identical traces when both are then advanced to the horizon.
+/// (The stop sequence matters for adaptive-step solvers: each stop clamps
+/// the final partial step, which shifts the subsequent step grid.)
+///
+/// [`Simulator`]: https://docs.rs/amsfi-digital
+/// [`AnalogSolver`]: https://docs.rs/amsfi-analog
+/// [`MixedSimulator`]: https://docs.rs/amsfi-mixed
+pub trait ForkableSim: Clone + Send {
+    /// Error produced while advancing simulation time.
+    type Error: std::error::Error + Send + Sync + 'static;
+
+    /// Advances simulation time to `t` (a no-op if already past it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's simulation error (e.g. delta overflow).
+    fn advance_to(&mut self, t: Time) -> Result<(), Self::Error>;
+
+    /// Current simulation time.
+    fn current_time(&self) -> Time;
+
+    /// The trace of monitored signals recorded so far.
+    fn snapshot_trace(&self) -> Trace;
+
+    /// A hash of the simulator's *structure* (nodes, components, bindings
+    /// — not mutable run state). Two simulators built from the same
+    /// description report the same fingerprint; a checkpoint only restores
+    /// into a matching structure.
+    fn structural_fingerprint(&self) -> u64;
+}
+
+/// A point-in-time snapshot of a [`ForkableSim`], validated on restore.
+///
+/// Capture is a deep clone; forking clones again, so one checkpoint serves
+/// arbitrarily many faulty runs.
+#[derive(Debug, Clone)]
+pub struct Checkpoint<S: ForkableSim> {
+    state: S,
+    fingerprint: u64,
+    at: Time,
+}
+
+impl<S: ForkableSim> Checkpoint<S> {
+    /// Snapshots `sim` at its current time.
+    pub fn capture(sim: &S) -> Self {
+        Checkpoint {
+            state: sim.clone(),
+            fingerprint: sim.structural_fingerprint(),
+            at: sim.current_time(),
+        }
+    }
+
+    /// Simulation time at which the snapshot was taken.
+    pub fn at(&self) -> Time {
+        self.at
+    }
+
+    /// Structural fingerprint of the snapshotted simulator.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Produces an independent simulator resumed from the snapshot.
+    pub fn fork(&self) -> S {
+        self.state.clone()
+    }
+
+    /// Like [`Checkpoint::fork`], but validates that the snapshot matches
+    /// `target`'s structure first — the safe entry point when checkpoint
+    /// and simulator were built in different places.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointMismatch`] when the fingerprints differ.
+    pub fn restore_into(&self, target: &S) -> Result<S, CheckpointMismatch> {
+        let found = target.structural_fingerprint();
+        if found != self.fingerprint {
+            return Err(CheckpointMismatch {
+                expected: self.fingerprint,
+                found,
+            });
+        }
+        Ok(self.fork())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Logic;
+    use std::convert::Infallible;
+
+    /// A counter "simulator": one tick per nanosecond, traced as a bit.
+    #[derive(Debug, Clone)]
+    struct Ticker {
+        now: Time,
+        ticks: u64,
+        trace: Trace,
+        shape: u64,
+    }
+
+    impl Ticker {
+        fn new(shape: u64) -> Self {
+            Ticker {
+                now: Time::ZERO,
+                ticks: 0,
+                trace: Trace::new(),
+                shape,
+            }
+        }
+    }
+
+    impl ForkableSim for Ticker {
+        type Error = Infallible;
+
+        fn advance_to(&mut self, t: Time) -> Result<(), Infallible> {
+            while self.now + Time::from_ns(1) <= t {
+                self.now += Time::from_ns(1);
+                self.ticks += 1;
+                let bit = if self.ticks.is_multiple_of(2) {
+                    Logic::Zero
+                } else {
+                    Logic::One
+                };
+                self.trace.record_digital("tick", self.now, bit).unwrap();
+            }
+            Ok(())
+        }
+
+        fn current_time(&self) -> Time {
+            self.now
+        }
+
+        fn snapshot_trace(&self) -> Trace {
+            self.trace.clone()
+        }
+
+        fn structural_fingerprint(&self) -> u64 {
+            self.shape
+        }
+    }
+
+    #[test]
+    fn fork_resumes_with_prefix_trace() {
+        let mut sim = Ticker::new(7);
+        sim.advance_to(Time::from_ns(5)).unwrap();
+        let cp = Checkpoint::capture(&sim);
+        assert_eq!(cp.at(), Time::from_ns(5));
+
+        // The original keeps running; the fork is independent.
+        sim.advance_to(Time::from_ns(20)).unwrap();
+        let mut fork = cp.fork();
+        assert_eq!(fork.current_time(), Time::from_ns(5));
+        fork.advance_to(Time::from_ns(10)).unwrap();
+        assert_eq!(fork.ticks, 10);
+        assert_eq!(sim.ticks, 20);
+        // The fork's trace carries the golden prefix.
+        let w = fork.snapshot_trace();
+        assert_eq!(
+            w.digital("tick").unwrap().value_at(Time::from_ns(1)),
+            Logic::One
+        );
+    }
+
+    #[test]
+    fn forked_run_equals_scratch_run() {
+        let mut golden = Ticker::new(1);
+        golden.advance_to(Time::from_ns(8)).unwrap();
+        let cp = Checkpoint::capture(&golden);
+        let mut fork = cp.fork();
+        fork.advance_to(Time::from_ns(30)).unwrap();
+
+        let mut scratch = Ticker::new(1);
+        scratch.advance_to(Time::from_ns(8)).unwrap();
+        scratch.advance_to(Time::from_ns(30)).unwrap();
+        assert_eq!(fork.snapshot_trace(), scratch.snapshot_trace());
+    }
+
+    #[test]
+    fn restore_validates_the_fingerprint() {
+        let sim = Ticker::new(42);
+        let cp = Checkpoint::capture(&sim);
+        assert_eq!(cp.fingerprint(), 42);
+        assert!(cp.restore_into(&Ticker::new(42)).is_ok());
+        let err = cp.restore_into(&Ticker::new(43)).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointMismatch {
+                expected: 42,
+                found: 43
+            }
+        );
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn fnv_field_delimiters_distinguish_splits() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.eat();
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.eat();
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        // Deterministic across instances.
+        let mut c = Fnv1a::new();
+        c.write_str("ab");
+        c.eat();
+        c.write_str("c");
+        assert_eq!(a.finish(), c.finish());
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 mod compare;
+mod fork;
 mod logic;
 pub mod measure;
 mod time;
@@ -59,6 +60,7 @@ pub use compare::{
     compare_analog, compare_digital, compare_digital_with_skew, MismatchInterval, SignalComparison,
     Tolerance,
 };
+pub use fork::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim};
 pub use logic::Logic;
 pub use time::Time;
 pub use trace::Trace;
