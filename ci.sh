@@ -11,3 +11,14 @@ cargo test -q
 # The binary also asserts forked runs are byte-identical to from-scratch.
 cargo build --release -p amsfi-bench --bin pr2_checkpoint_bench
 ./target/release/pr2_checkpoint_bench
+
+# PR 3 chaos smoke: forced solver divergence, poison-case quarantine and
+# kill-and-resume recovery from a torn journal tail; asserts every failure
+# mode is contained instead of killing the campaign.
+cargo build --release -p amsfi-bench --bin pr3_chaos_smoke
+./target/release/pr3_chaos_smoke
+
+# PR 3 guard-overhead bench: guarded vs unguarded fast-PLL sweep, emitting
+# BENCH_pr3.json; asserts the robustness layer costs <= 5% on the hot path.
+cargo build --release -p amsfi-bench --bin pr3_guard_bench
+./target/release/pr3_guard_bench

@@ -10,8 +10,9 @@
 
 use crate::block::{AnalogBlock, AnalogContext, UnknownParamError};
 use crate::circuit::{AnalogCircuit, BlockId, NodeId, NodeKind};
-use amsfi_waves::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, Time, Trace};
-use std::convert::Infallible;
+use amsfi_waves::{
+    Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, GuardViolation, SimBudget, Time, Trace,
+};
 
 #[derive(Debug, Clone)]
 struct Monitor {
@@ -36,6 +37,7 @@ pub struct AnalogSolver {
     record_epsilon: f64,
     record_interval: Time,
     steps_taken: u64,
+    budget: SimBudget,
 }
 
 impl AnalogSolver {
@@ -59,6 +61,7 @@ impl AnalogSolver {
             record_epsilon: 1e-3,
             record_interval: Time::from_ns(100),
             steps_taken: 0,
+            budget: SimBudget::unlimited(),
         }
     }
 
@@ -272,12 +275,68 @@ impl AnalogSolver {
         self.record();
     }
 
+    /// Installs a per-attempt [`SimBudget`] observed by
+    /// [`AnalogSolver::advance`] (and through it `ForkableSim::advance_to`).
+    /// Replaces any previous budget, including one cloned in through a
+    /// checkpoint fork.
+    pub fn set_budget(&mut self, budget: SimBudget) {
+        self.budget = budget;
+    }
+
+    /// The installed budget (default: unlimited).
+    pub fn budget(&self) -> &SimBudget {
+        &self.budget
+    }
+
+    /// The first node currently holding a NaN or infinite value, if any —
+    /// the solver-level divergence probe the guards (and the mixed-mode
+    /// kernel) scan after every step.
+    pub fn first_non_finite(&self) -> Option<(&str, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .find(|&(_, v)| !v.is_finite())
+            .map(|(i, &v)| (self.circuit.node_name(NodeId(i)), v))
+    }
+
     /// Runs until `t_end`, choosing step sizes adaptively.
+    ///
+    /// The *unguarded* loop: it ignores the installed budget, for direct
+    /// solver studies that want the raw kernel. Campaigns drive the solver
+    /// through [`AnalogSolver::advance`] (or `ForkableSim::advance_to`),
+    /// which enforces the budget.
     pub fn run_until(&mut self, t_end: Time) {
         while self.now < t_end {
             let dt = self.propose_dt().min(t_end - self.now);
             self.step(dt);
         }
+    }
+
+    /// Runs until `t_end` under the installed [`SimBudget`]: each iteration
+    /// checks the proposed timestep against the `min_dt` floor, counts one
+    /// step against the step budget (which also observes cancellation and
+    /// the wall-clock deadline), and scans the node vector for NaN/Inf
+    /// after stepping.
+    ///
+    /// # Errors
+    ///
+    /// The first [`GuardViolation`] encountered; the solver stops at the
+    /// step where the guard fired.
+    pub fn advance(&mut self, t_end: Time) -> Result<(), GuardViolation> {
+        while self.now < t_end {
+            let proposed = self.propose_dt();
+            self.budget.check_dt(proposed, self.now)?;
+            self.budget.note_step(self.now)?;
+            let dt = proposed.min(t_end - self.now);
+            self.step(dt);
+            if let Some((signal, _)) = self.first_non_finite() {
+                return Err(GuardViolation::NonFinite {
+                    signal: signal.to_owned(),
+                    t: self.now,
+                });
+            }
+        }
+        Ok(())
     }
 
     fn record(&mut self) {
@@ -300,15 +359,14 @@ impl AnalogSolver {
 }
 
 impl ForkableSim for AnalogSolver {
-    type Error = Infallible;
+    type Error = GuardViolation;
 
     /// Equivalence caveat: with adaptive stepping, the *stop sequence*
     /// shapes the step grid (the last step before each stop is clamped), so
     /// fork-vs-scratch byte identity requires driving both runs through the
     /// same stops. The campaign runner guarantees this by construction.
-    fn advance_to(&mut self, t: Time) -> Result<(), Infallible> {
-        self.run_until(t);
-        Ok(())
+    fn advance_to(&mut self, t: Time) -> Result<(), GuardViolation> {
+        self.advance(t)
     }
 
     fn current_time(&self) -> Time {
@@ -321,6 +379,10 @@ impl ForkableSim for AnalogSolver {
 
     fn structural_fingerprint(&self) -> u64 {
         self.fingerprint()
+    }
+
+    fn install_budget(&mut self, budget: SimBudget) {
+        self.set_budget(budget);
     }
 }
 
@@ -543,6 +605,101 @@ mod tests {
         ckt.add("ramp", Ramp { k: 1e6, v: 0.0 }, &[], &[out]);
         let coarser = AnalogSolver::new(ckt, Time::from_ns(20));
         assert_ne!(a.fingerprint(), coarser.fingerprint());
+    }
+
+    #[test]
+    fn advance_honours_the_step_budget() {
+        let mut solver = ramp_bench();
+        solver.set_budget(SimBudget::unlimited().with_max_steps(10));
+        // 10 ns base step: 10 steps reach exactly 100 ns; the 11th trips.
+        solver.advance(Time::from_ns(100)).unwrap();
+        let err = solver.advance(Time::from_us(1)).unwrap_err();
+        assert!(
+            matches!(err, GuardViolation::StepBudgetExhausted { steps: 11, .. }),
+            "{err}"
+        );
+        assert_eq!(solver.now(), Time::from_ns(100), "stopped where it tripped");
+        // An unguarded run_until is unaffected by the budget.
+        solver.run_until(Time::from_us(1));
+        assert_eq!(solver.now(), Time::from_us(1));
+    }
+
+    #[test]
+    fn advance_detects_timestep_collapse() {
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("out", NodeKind::Voltage);
+        ckt.add("ramp", Ramp { k: 1e6, v: 0.0 }, &[], &[out]);
+        ckt.add(
+            "fussy",
+            Fussy {
+                from: Time::from_ns(50),
+                to: Time::from_ns(60),
+            },
+            &[],
+            &[],
+        );
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        solver.set_budget(SimBudget::unlimited().with_min_dt(Time::from_ns(1)));
+        let err = solver.advance(Time::from_us(1)).unwrap_err();
+        match err {
+            GuardViolation::TimestepCollapse { dt, min_dt, .. } => {
+                assert_eq!(dt, Time::from_ps(10));
+                assert_eq!(min_dt, Time::from_ns(1));
+            }
+            other => panic!("expected collapse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn advance_detects_non_finite_nodes() {
+        #[derive(Debug, Clone)]
+        struct Poison {
+            after: Time,
+        }
+        impl AnalogBlock for Poison {
+            fn step(&mut self, ctx: &mut AnalogContext<'_>) {
+                let v = if ctx.now() >= self.after {
+                    f64::NAN
+                } else {
+                    1.0
+                };
+                ctx.set(0, v);
+            }
+        }
+        let mut ckt = AnalogCircuit::new();
+        let out = ckt.node("victim", NodeKind::Voltage);
+        ckt.add(
+            "poison",
+            Poison {
+                after: Time::from_ns(40),
+            },
+            &[],
+            &[out],
+        );
+        let mut solver = AnalogSolver::new(ckt, Time::from_ns(10));
+        let err = solver.advance(Time::from_us(1)).unwrap_err();
+        match err {
+            GuardViolation::NonFinite { signal, t } => {
+                assert_eq!(signal, "victim");
+                assert_eq!(t, Time::from_ns(50));
+            }
+            other => panic!("expected non-finite, got {other}"),
+        }
+        assert_eq!(solver.first_non_finite().map(|(n, _)| n), Some("victim"));
+    }
+
+    #[test]
+    fn install_budget_replaces_a_forked_budget() {
+        let mut solver = ramp_bench();
+        solver.set_budget(SimBudget::unlimited().with_max_steps(5));
+        solver.advance(Time::from_ns(50)).unwrap();
+        let cp = solver.checkpoint();
+        // The fork inherits the consumed budget; a fresh install resets it.
+        let mut fork = cp.fork();
+        assert_eq!(fork.budget().steps_used(), 5);
+        fork.install_budget(SimBudget::unlimited().with_max_steps(5));
+        assert_eq!(fork.budget().steps_used(), 0);
+        fork.advance(Time::from_ns(100)).unwrap();
     }
 
     #[test]

@@ -117,6 +117,9 @@ fn main() {
             FaultClass::Latent => 1,
             FaultClass::Transient => 2,
             FaultClass::Failure => 3,
+            // A case that failed to simulate carries no propagation
+            // verdict to attribute to a resource.
+            FaultClass::SimFailure => continue,
         };
         counts[idx] += 1;
     }

@@ -1,0 +1,146 @@
+//! **PR 3 chaos smoke** — the CI gate for the robustness layer: a campaign
+//! seeded with forced solver divergence and a deterministic poison case
+//! must complete with structured verdicts and a quarantine record, and a
+//! journal torn by a mid-write kill must resume to a full report.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin pr3_chaos_smoke
+//! ```
+//!
+//! Exits non-zero (assert) on any deviation, so `ci.sh` can gate on it.
+
+use amsfi_bench::{banner, SquarePulse};
+use amsfi_circuits::pll::{self, names, PllConfig};
+use amsfi_core::{ClassifySpec, FaultCase, FaultClass, SimFailure};
+use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig, ErrorPolicy};
+use amsfi_waves::{Time, Tolerance};
+use std::sync::Arc;
+
+const T_END: Time = Time::from_us(3);
+const T_INJECT: Time = Time::from_us(1);
+const POISON: usize = 2; // diverging strike
+const RIG_FAILURE: usize = 4; // deterministic arm error -> quarantine
+
+/// Six strikes on the fast PLL: four benign 10 mA pulses, one 1e300 A
+/// diverging pulse and one case whose rig deterministically fails to arm.
+fn campaign() -> Campaign {
+    let cases = (0..6)
+        .map(|i| {
+            let kind = match i {
+                POISON => "diverging",
+                RIG_FAILURE => "rig-failure",
+                _ => "benign",
+            };
+            FaultCase::new(format!("icp {kind} #{i}"), T_INJECT)
+        })
+        .collect();
+    let spec = ClassifySpec::new((Time::from_ns(500), T_END), vec![names::F_OUT.to_owned()])
+        .with_internals(vec![names::VCTRL.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        .with_digital_skew(Time::from_ns(2));
+    Campaign::forked(
+        "pr3-chaos-smoke",
+        spec,
+        cases,
+        T_END,
+        |_ctx: &CaseCtx| {
+            let mut bench = pll::build(&PllConfig::fast());
+            bench.monitor_standard();
+            Ok(bench)
+        },
+        move |bench: &mut pll::PllBench, i| {
+            if i == RIG_FAILURE {
+                return Err("synthetic rig failure (deterministic)".into());
+            }
+            let amplitude = if i == POISON { 1e300 } else { 10e-3 };
+            bench.arm_saboteur(
+                Arc::new(SquarePulse {
+                    amplitude,
+                    width: Time::from_ns(5),
+                }),
+                T_INJECT,
+            );
+            Ok(())
+        },
+    )
+}
+
+fn main() {
+    banner("PR 3 chaos smoke — divergence, quarantine, kill-and-resume");
+    let campaign = campaign();
+    let journal = std::env::temp_dir().join(format!(
+        "amsfi-pr3-chaos-smoke-{}.journal",
+        std::process::id()
+    ));
+    std::fs::remove_file(&journal).ok();
+    let config = EngineConfig::default()
+        .with_workers(1) // deterministic journal order for the kill leg
+        .with_max_steps(200_000)
+        .with_min_dt(Time::from_fs(1))
+        .with_retries(1)
+        .with_backoff(std::time::Duration::from_millis(1))
+        .with_error_policy(ErrorPolicy::SkipAndRecord)
+        .with_quarantine(true)
+        .with_journal(&journal);
+
+    // Leg 1: forced divergence is a verdict, poison is quarantined, and
+    // neither kills the campaign.
+    let report = Engine::new(config.clone())
+        .run(&campaign)
+        .expect("campaign must survive its saboteurs");
+    assert_eq!(report.result.cases.len(), 5, "5 of 6 cases classified");
+    let diverging = &report.result.cases[POISON];
+    assert_eq!(diverging.outcome.class, FaultClass::SimFailure);
+    match &diverging.outcome.failure {
+        Some(SimFailure::NonFinite { signal, t }) => {
+            println!("  divergence caught: non-finite {signal} at {t} -> SimFailure verdict");
+        }
+        other => panic!("diverging strike must trip the non-finite guard, got {other:?}"),
+    }
+    assert_eq!(report.quarantined.len(), 1, "rig failure quarantined");
+    assert_eq!(report.quarantined[0].index, RIG_FAILURE);
+    println!(
+        "  poison quarantined: #{} after {} attempt(s): {}",
+        report.quarantined[0].index, report.quarantined[0].attempts, report.quarantined[0].reason
+    );
+    for (i, case) in report.result.cases.iter().enumerate() {
+        if i != POISON {
+            assert_ne!(
+                case.outcome.class,
+                FaultClass::SimFailure,
+                "benign case {i} misclassified"
+            );
+        }
+    }
+
+    // Leg 2: replace the journal's final record with a torn partial line
+    // (as a kill mid-write would) and resume. The run must absorb the torn
+    // tail, keep the quarantine, and re-run only the case whose record was
+    // destroyed.
+    let bytes = std::fs::read(&journal).expect("journal exists");
+    let newlines: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == b'\n').then_some(i))
+        .collect();
+    let cut = newlines[newlines.len() - 2] + 1; // start of the final record
+    let mut torn = bytes[..cut].to_vec();
+    torn.extend_from_slice(b"case 5 at=1000000000 cl");
+    std::fs::write(&journal, &torn).expect("tear journal tail");
+    let resumed = Engine::new(config.with_resume(true))
+        .run(&campaign)
+        .expect("resume must survive a torn journal tail");
+    assert_eq!(resumed.result.cases.len(), 5, "resume restores full report");
+    assert_eq!(resumed.quarantined.len(), 1, "quarantine survives resume");
+    assert_eq!(
+        resumed.resumed, 4,
+        "resume must reuse exactly the intact journal prefix"
+    );
+    println!(
+        "  kill-and-resume: {} case(s) resumed from the torn journal, report complete",
+        resumed.resumed
+    );
+    std::fs::remove_file(&journal).ok();
+
+    println!("\n  chaos smoke OK: every failure mode was contained");
+}

@@ -1,0 +1,136 @@
+//! **PR 3 guard-overhead bench** — the robustness layer must be close to
+//! free on the hot path. Runs the fast-PLL current-strike sweep twice
+//! through the engine — once unguarded (no budget armed, guard checks
+//! compile down to a cold branch) and once guarded (step budget, timestep
+//! floor and per-step non-finite scan armed) — and emits `BENCH_pr3.json`
+//! with the relative overhead. Target: <= 5%.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin pr3_guard_bench
+//! ```
+
+use amsfi_bench::banner;
+use amsfi_circuits::pll::{self, names, PllConfig};
+use amsfi_core::{ClassifySpec, FaultCase, FaultClass};
+use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig};
+use amsfi_faults::TrapezoidPulse;
+use amsfi_waves::{Time, Tolerance};
+use std::sync::Arc;
+use std::time::Duration;
+
+const T_END: Time = Time::from_us(20);
+const CASES: i64 = 24;
+const ROUNDS: usize = 3;
+const TARGET_PCT: f64 = 5.0;
+
+/// The pr2 bench sweep: 24 benign 10 mA strikes across the last eighth of
+/// a 20 µs horizon on the fast PLL — a pure hot-path workload where the
+/// guards should never fire.
+fn campaign() -> Campaign {
+    let pulse = TrapezoidPulse::from_ma_ps(10.0, 100, 100, 300).expect("paper pulse");
+    let times: Vec<Time> = (0..CASES)
+        .map(|i| Time::from_ns(17_500 + i * 100))
+        .collect();
+    let cases = times
+        .iter()
+        .map(|&at| FaultCase::new(format!("icp @ {at}"), at))
+        .collect();
+    let spec = ClassifySpec::new((Time::ZERO, T_END), vec![names::F_OUT.to_owned()])
+        .with_internals(vec![names::VCTRL.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        .with_digital_skew(Time::from_ns(2));
+    let times = Arc::new(times);
+    Campaign::forked(
+        "pr3-guard-bench",
+        spec,
+        cases,
+        T_END,
+        |_ctx: &CaseCtx| {
+            let mut bench = pll::build(&PllConfig::fast());
+            bench.monitor_standard();
+            Ok(bench)
+        },
+        move |bench: &mut pll::PllBench, i| {
+            bench.arm_saboteur(Arc::new(pulse), times[i]);
+            Ok(())
+        },
+    )
+}
+
+/// Best-of-`ROUNDS` wall-clock for one configuration (best-of filters
+/// scheduler noise far better than a mean does).
+fn best_of(campaign: &Campaign, config: &EngineConfig) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..ROUNDS {
+        let start = std::time::Instant::now();
+        let report = Engine::new(config.clone())
+            .run(campaign)
+            .expect("bench campaign");
+        best = best.min(start.elapsed());
+        assert!(
+            report
+                .result
+                .cases
+                .iter()
+                .all(|c| c.outcome.class != FaultClass::SimFailure),
+            "a benign sweep must never trip a guard"
+        );
+    }
+    best
+}
+
+fn main() {
+    banner("PR 3 — guard overhead on the hot path (fast-PLL sweep)");
+    let campaign = campaign();
+    let unguarded_cfg = EngineConfig::default();
+    // Generous budgets: armed (so every per-step check is live) but sized
+    // never to fire on this workload.
+    let guarded_cfg = EngineConfig::default()
+        .with_max_steps(100_000_000)
+        .with_min_dt(Time::from_fs(1));
+
+    println!(
+        "  campaign: {} strikes, horizon {T_END}; best of {ROUNDS} run(s) each",
+        campaign.cases.len()
+    );
+    // Warm-up (page cache, allocator, thread pool) before timing.
+    let _ = Engine::new(unguarded_cfg.clone()).run(&campaign);
+
+    let unguarded = best_of(&campaign, &unguarded_cfg);
+    let guarded = best_of(&campaign, &guarded_cfg);
+    let n = campaign.cases.len() as f64;
+    let overhead_pct = 100.0 * (guarded.as_secs_f64() / unguarded.as_secs_f64() - 1.0);
+    println!(
+        "\n  {:>12} {:>12} {:>14}\n  {:>12.3} {:>12.3} {:>13.2}%",
+        "unguarded[s]",
+        "guarded [s]",
+        "overhead",
+        unguarded.as_secs_f64(),
+        guarded.as_secs_f64(),
+        overhead_pct,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr3_guard_overhead\",\n  \"campaign\": \
+         \"fast-PLL current-strike sweep\",\n  \"cases\": {},\n  \"t_end_us\": 20,\n  \
+         \"rounds\": {ROUNDS},\n  \"unguarded_s\": {:.6},\n  \"guarded_s\": {:.6},\n  \
+         \"unguarded_cases_per_s\": {:.3},\n  \"guarded_cases_per_s\": {:.3},\n  \
+         \"overhead_pct\": {:.3},\n  \"target_pct\": {TARGET_PCT}\n}}\n",
+        campaign.cases.len(),
+        unguarded.as_secs_f64(),
+        guarded.as_secs_f64(),
+        n / unguarded.as_secs_f64(),
+        n / guarded.as_secs_f64(),
+        overhead_pct,
+    );
+    let path: std::path::PathBuf =
+        std::env::var_os("AMSFI_BENCH_JSON").map_or_else(|| "BENCH_pr3.json".into(), Into::into);
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("\n  -> wrote {}", path.display());
+
+    assert!(
+        overhead_pct <= TARGET_PCT,
+        "guard overhead {overhead_pct:.2}% exceeds the {TARGET_PCT}% budget"
+    );
+    println!("  guard overhead {overhead_pct:.2}% <= {TARGET_PCT}% budget");
+}

@@ -3,9 +3,45 @@
 
 #![warn(missing_docs)]
 
+use amsfi_faults::PulseShape;
 use amsfi_waves::{AnalogWave, Time};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// A square current pulse: no rise, no fall, arbitrarily large amplitude.
+///
+/// [`amsfi_faults::TrapezoidPulse`] deliberately rejects this shape (rise
+/// and fall times must be positive), so the chaos harness and the PR 3
+/// smoke binary carry their own pathological saboteur. At amplitudes of
+/// 1e300 A and beyond it overflows the PLL loop filter to non-finite on
+/// the first integration step, which is exactly the divergence the
+/// simulation guards must catch.
+#[derive(Debug, Clone)]
+pub struct SquarePulse {
+    /// Flat-top current in amperes (may be absurdly large on purpose).
+    pub amplitude: f64,
+    /// Pulse duration; the current is `amplitude` on `[0, width)`.
+    pub width: Time,
+}
+
+impl PulseShape for SquarePulse {
+    fn current(&self, elapsed: Time) -> f64 {
+        if elapsed >= Time::ZERO && elapsed < self.width {
+            self.amplitude
+        } else {
+            0.0
+        }
+    }
+    fn support(&self) -> Time {
+        self.width
+    }
+    fn charge(&self) -> f64 {
+        self.amplitude * self.width.as_secs_f64()
+    }
+    fn peak(&self) -> f64 {
+        self.amplitude
+    }
+}
 
 /// Renders an analog waveform as an ASCII plot (time left-to-right, value
 /// bottom-to-top), so experiment binaries can show the paper's waveform

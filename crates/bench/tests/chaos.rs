@@ -1,0 +1,237 @@
+//! Chaos harness: every way a campaign can go wrong must land in a
+//! classified sim-failure, a quarantine record, or a clean recovery —
+//! never in campaign death.
+//!
+//! The saboteurs here are deliberately pathological: a square current
+//! pulse with no edges (the trapezoid constructor rejects zero rise/fall
+//! times) at amplitudes up to 1e307 A, runners that panic mid-campaign,
+//! and journals whose final record was torn by a kill.
+
+use amsfi_bench::SquarePulse;
+use amsfi_circuits::pll::{self, names, PllConfig};
+use amsfi_core::{ClassifySpec, FaultCase, FaultClass, SimFailure};
+use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig, ErrorPolicy};
+use amsfi_waves::{GuardViolation, Logic, SimBudget, Time, Tolerance, Trace};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+const T_END: Time = Time::from_us(3);
+const T_INJECT: Time = Time::from_us(1);
+
+/// A small fast-PLL strike campaign where `poison` indices get a diverging
+/// square pulse (1e300 A overflows the loop filter on the first
+/// integration step) and the rest a benign 10 mA strike.
+fn pll_chaos_campaign(n: usize, poison: &'static [usize]) -> Campaign {
+    let cases = (0..n)
+        .map(|i| {
+            let kind = if poison.contains(&i) { "poison" } else { "ok" };
+            FaultCase::new(format!("icp {kind} #{i}"), T_INJECT)
+        })
+        .collect();
+    let spec = ClassifySpec::new((Time::from_ns(500), T_END), vec![names::F_OUT.to_owned()])
+        .with_internals(vec![names::VCTRL.to_owned()])
+        .with_tolerance(Tolerance::new(0.05, 0.01))
+        .with_digital_skew(Time::from_ns(2));
+    Campaign::forked(
+        "pll-chaos",
+        spec,
+        cases,
+        T_END,
+        |_ctx: &CaseCtx| {
+            let mut bench = pll::build(&PllConfig::fast());
+            bench.monitor_standard();
+            Ok(bench)
+        },
+        move |bench: &mut pll::PllBench, i| {
+            let amplitude = if poison.contains(&i) { 1e300 } else { 10e-3 };
+            bench.arm_saboteur(
+                Arc::new(SquarePulse {
+                    amplitude,
+                    width: Time::from_ns(5),
+                }),
+                T_INJECT,
+            );
+            Ok(())
+        },
+    )
+}
+
+/// A cheap trace-synthesising campaign for the journal chaos tests.
+fn toy_campaign(name: &str, n: usize, panic_at: Option<usize>) -> Campaign {
+    let spec = ClassifySpec::new((Time::ZERO, Time::from_ns(1000)), vec!["out".to_owned()]);
+    let cases = (0..n)
+        .map(|i| FaultCase::new(format!("case{i}"), Time::from_ns(100)))
+        .collect();
+    Campaign {
+        name: name.to_owned(),
+        spec,
+        cases,
+        runner: Arc::new(move |ctx: &CaseCtx| {
+            if panic_at.is_some() && ctx.index() == panic_at {
+                panic!("solver exploded mid-campaign");
+            }
+            let mut trace = Trace::new();
+            trace.record_digital("out", Time::ZERO, Logic::Zero)?;
+            Ok(trace)
+        }),
+        fork: None,
+    }
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("amsfi-chaos-{tag}-{}.journal", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+#[test]
+fn forced_divergence_is_classified_not_fatal() {
+    let campaign = pll_chaos_campaign(4, &[1]);
+    let report = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_max_steps(200_000),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert!(report.skipped.is_empty());
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.result.cases.len(), 4);
+    let poisoned = &report.result.cases[1];
+    assert_eq!(poisoned.outcome.class, FaultClass::SimFailure);
+    match &poisoned.outcome.failure {
+        Some(SimFailure::NonFinite { signal, .. }) => assert_eq!(signal, names::VCTRL),
+        other => panic!("expected a non-finite guard trip, got {other:?}"),
+    }
+    for (i, case) in report.result.cases.iter().enumerate() {
+        if i != 1 {
+            assert_ne!(case.outcome.class, FaultClass::SimFailure, "case {i}");
+        }
+    }
+}
+
+#[test]
+fn divergence_in_checkpoint_mode_matches_from_scratch() {
+    let campaign = pll_chaos_campaign(3, &[0]);
+    let config = EngineConfig::default()
+        .with_workers(2)
+        .with_max_steps(200_000);
+    let scratch = Engine::new(config.clone()).run(&campaign).unwrap();
+    let forked = Engine::new(config.with_checkpoint(true))
+        .run(&campaign)
+        .unwrap();
+    assert_eq!(scratch.result.cases.len(), forked.result.cases.len());
+    for (i, (a, b)) in scratch
+        .result
+        .cases
+        .iter()
+        .zip(&forked.result.cases)
+        .enumerate()
+    {
+        assert_eq!(a.outcome.class, b.outcome.class, "case {i}");
+    }
+}
+
+#[test]
+fn mid_campaign_panic_is_quarantined_and_never_rerun() {
+    let attempts = Arc::new(AtomicU32::new(0));
+    let campaign = {
+        let mut campaign = toy_campaign("chaos-panic", 5, None);
+        let attempts = Arc::clone(&attempts);
+        let inner = Arc::clone(&campaign.runner);
+        campaign.runner = Arc::new(move |ctx: &CaseCtx| {
+            if ctx.index() == Some(3) {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                panic!("solver exploded mid-campaign");
+            }
+            inner(ctx)
+        });
+        campaign
+    };
+    let path = temp_journal("panic");
+    let config = EngineConfig::default()
+        .with_workers(2)
+        .with_retries(1)
+        .with_backoff(std::time::Duration::from_millis(1))
+        .with_error_policy(ErrorPolicy::SkipAndRecord)
+        .with_quarantine(true)
+        .with_journal(&path);
+
+    let report = Engine::new(config.clone()).run(&campaign).unwrap();
+    assert_eq!(report.result.cases.len(), 4);
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].index, 3);
+    assert!(report.quarantined[0].reason.contains("panicked"));
+    assert_eq!(attempts.load(Ordering::SeqCst), 2); // first try + one retry
+
+    // Resume: the poison case stays quarantined, nothing re-runs.
+    let resumed = Engine::new(config.with_resume(true))
+        .run(&campaign)
+        .unwrap();
+    assert_eq!(attempts.load(Ordering::SeqCst), 2, "poison case re-ran");
+    assert_eq!(resumed.quarantined.len(), 1);
+    assert_eq!(resumed.resumed, 4);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_journal_tail_recovers_on_resume() {
+    let campaign = toy_campaign("chaos-torn", 6, None);
+    let path = temp_journal("torn");
+    let config = EngineConfig::default().with_workers(1).with_journal(&path);
+    Engine::new(config.clone()).run(&campaign).unwrap();
+
+    // A kill mid-write leaves a partial final record (here with stray
+    // non-UTF-8 bytes for good measure). Resume must absorb it and re-run
+    // only whatever the torn record covered.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let keep = bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(bytes.len(), |p| p + 1);
+    bytes.truncate(keep);
+    bytes.extend_from_slice(b"case 5 at=10000000 cla\xFF\xFE");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let resumed = Engine::new(config.with_resume(true))
+        .run(&campaign)
+        .unwrap();
+    assert_eq!(resumed.result.cases.len(), 6);
+    assert!(resumed.skipped.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any strike violent enough to diverge trips a guard — non-finite
+    /// detection or, failing that, the step budget — well before consuming
+    /// twice the configured step budget.
+    #[test]
+    fn forced_divergence_always_trips_a_guard(exp in 300i32..308) {
+        const MAX_STEPS: u64 = 50_000;
+        let mut bench = pll::build(&PllConfig::fast());
+        bench.monitor_standard();
+        bench.set_budget(SimBudget::unlimited().with_max_steps(MAX_STEPS));
+        bench.arm_saboteur(
+            Arc::new(SquarePulse {
+                amplitude: 10f64.powi(exp),
+                width: Time::from_ns(5),
+            }),
+            T_INJECT,
+        );
+        let err = bench.run_until(T_END);
+        prop_assert!(err.is_err(), "a 1e{} A strike simulated to completion", exp);
+        match err.unwrap_err() {
+            amsfi_digital::SimError::Guard(
+                GuardViolation::NonFinite { .. } | GuardViolation::StepBudgetExhausted { .. },
+            ) => {}
+            other => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+        }
+        let used = bench.mixed.budget().steps_used();
+        prop_assert!(used < 2 * MAX_STEPS, "guard tripped only after {} steps", used);
+    }
+}

@@ -210,6 +210,14 @@ impl PllBench {
         measure::mean_frequency(trace.digital(names::F_OUT)?, from, to)
     }
 
+    /// Installs a [`amsfi_waves::SimBudget`] on the co-simulation loop (see
+    /// [`MixedSimulator::set_budget`]): step/deadline budgets, the `min_dt`
+    /// timestep floor and the per-step non-finite node scan all apply to
+    /// every subsequent [`PllBench::run_until`].
+    pub fn set_budget(&mut self, budget: amsfi_waves::SimBudget) {
+        self.mixed.set_budget(budget);
+    }
+
     /// Arms (or re-arms) the built-in saboteur on the `icp` node in place:
     /// inject `pulse` at `at`. Campaigns build the bench once, disarmed,
     /// and arm the per-case pulse on a forked copy — the instrumented and
@@ -249,6 +257,10 @@ impl ForkableSim for PllBench {
         h.eat();
         h.write_u64(self.nominal_period.as_fs() as u64);
         h.finish()
+    }
+
+    fn install_budget(&mut self, budget: amsfi_waves::SimBudget) {
+        self.set_budget(budget);
     }
 }
 
@@ -544,6 +556,18 @@ mod tests {
         scratch.advance_to(stop).unwrap();
         scratch.advance_to(end).unwrap();
         assert_eq!(fork.snapshot_trace(), scratch.snapshot_trace());
+    }
+
+    #[test]
+    fn budget_guard_interrupts_the_bench() {
+        use amsfi_waves::{GuardViolation, SimBudget};
+        let mut bench = build(&fast_config());
+        bench.install_budget(SimBudget::unlimited().with_max_steps(100));
+        let err = bench.run_until(Time::from_us(30)).unwrap_err();
+        assert!(matches!(
+            err,
+            amsfi_digital::SimError::Guard(GuardViolation::StepBudgetExhausted { .. })
+        ));
     }
 
     #[test]

@@ -93,22 +93,16 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Counts of cases per class, ordered no-effect, latent, transient,
-    /// failure.
-    pub fn summary(&self) -> [(FaultClass, usize); 4] {
-        let mut counts = [
-            (FaultClass::NoEffect, 0),
-            (FaultClass::Latent, 0),
-            (FaultClass::Transient, 0),
-            (FaultClass::Failure, 0),
-        ];
+    /// Counts of cases per class, in [`FaultClass::ALL`] order (no-effect,
+    /// latent, transient, failure, sim-failure).
+    pub fn summary(&self) -> [(FaultClass, usize); FaultClass::ALL.len()] {
+        let mut counts = FaultClass::ALL.map(|class| (class, 0));
         for c in &self.cases {
-            match c.outcome.class {
-                FaultClass::NoEffect => counts[0].1 += 1,
-                FaultClass::Latent => counts[1].1 += 1,
-                FaultClass::Transient => counts[2].1 += 1,
-                FaultClass::Failure => counts[3].1 += 1,
-            }
+            let idx = FaultClass::ALL
+                .iter()
+                .position(|&k| k == c.outcome.class)
+                .expect("every class is in ALL");
+            counts[idx].1 += 1;
         }
         counts
     }

@@ -8,8 +8,9 @@
 //! Section 4.1 tolerance "in order to avoid non significant error
 //! identifications".
 
+use crate::failure::SimFailure;
 use amsfi_waves::{
-    compare_analog, compare_digital_with_skew, SignalComparison, Time, Tolerance, Trace,
+    compare_analog, compare_digital_with_skew, AnalogWave, SignalComparison, Time, Tolerance, Trace,
 };
 use std::fmt;
 
@@ -26,6 +27,11 @@ pub enum FaultClass {
     Transient,
     /// An output is still wrong at (or near) the end of the window.
     Failure,
+    /// The case did not produce a comparable trace: the simulation itself
+    /// failed (non-finite samples, exhausted budget, collapsed timestep,
+    /// deadline or panic — see [`SimFailure`]). Reported as its own class
+    /// so infrastructure failures are never mistaken for error propagation.
+    SimFailure,
 }
 
 impl fmt::Display for FaultClass {
@@ -35,6 +41,7 @@ impl fmt::Display for FaultClass {
             FaultClass::Latent => "latent",
             FaultClass::Transient => "transient",
             FaultClass::Failure => "failure",
+            FaultClass::SimFailure => "sim-failure",
         };
         f.write_str(s)
     }
@@ -63,6 +70,7 @@ impl std::str::FromStr for FaultClass {
             "latent" => Ok(FaultClass::Latent),
             "transient" => Ok(FaultClass::Transient),
             "failure" => Ok(FaultClass::Failure),
+            "sim-failure" => Ok(FaultClass::SimFailure),
             other => Err(ParseFaultClassError(other.to_owned())),
         }
     }
@@ -70,11 +78,12 @@ impl std::str::FromStr for FaultClass {
 
 impl FaultClass {
     /// All classes, in report order.
-    pub const ALL: [FaultClass; 4] = [
+    pub const ALL: [FaultClass; 5] = [
         FaultClass::NoEffect,
         FaultClass::Latent,
         FaultClass::Transient,
         FaultClass::Failure,
+        FaultClass::SimFailure,
     ];
 }
 
@@ -152,6 +161,8 @@ pub struct CaseOutcome {
     /// Monitored signals (outputs and internals) that diverged at least
     /// once, sorted.
     pub affected: Vec<String>,
+    /// When `class` is [`FaultClass::SimFailure`], the structured reason.
+    pub failure: Option<SimFailure>,
 }
 
 impl CaseOutcome {
@@ -159,20 +170,76 @@ impl CaseOutcome {
     pub fn latency_from(&self, injected_at: Time) -> Option<Time> {
         self.error_onset.map(|t| t - injected_at)
     }
+
+    /// The verdict for a case whose *simulation* failed: class
+    /// [`FaultClass::SimFailure`] carrying the structured reason, with the
+    /// failure instant (when the taxonomy records one) as the onset.
+    pub fn from_sim_failure(failure: SimFailure) -> CaseOutcome {
+        let t = match &failure {
+            SimFailure::NonFinite { t, .. }
+            | SimFailure::StepBudgetExhausted { t, .. }
+            | SimFailure::TimestepCollapse { t, .. }
+            | SimFailure::Deadline { t } => Some(*t),
+            SimFailure::Panicked { .. } => None,
+        };
+        CaseOutcome {
+            class: FaultClass::SimFailure,
+            error_onset: t,
+            error_end: None,
+            total_mismatch: Time::ZERO,
+            affected: Vec::new(),
+            failure: Some(failure),
+        }
+    }
 }
 
-fn compare_signal(
-    spec: &ClassifySpec,
-    golden: &Trace,
-    faulty: &Trace,
-    name: &str,
-) -> SignalComparison {
+/// The result of checking one monitored signal: an ordinary comparison, or
+/// the discovery that a trace is not comparable at all.
+enum SignalCheck {
+    Cmp(SignalComparison),
+    /// A NaN/Inf sample at `t` — IEEE comparison semantics must never be
+    /// allowed to decide this case (`NaN <= x` is false, so a NaN sample
+    /// would read as an ordinary mismatch and quietly inflate `failure`
+    /// counts).
+    NonFinite(Time),
+}
+
+/// First non-finite sample of `wave` within `[from, to]`.
+fn first_non_finite(wave: &AnalogWave, from: Time, to: Time) -> Option<Time> {
+    wave.samples()
+        .iter()
+        .filter(|&&(t, _)| t >= from && t <= to)
+        .find(|&&(_, v)| !v.is_finite())
+        .map(|&(t, _)| t)
+}
+
+fn compare_signal(spec: &ClassifySpec, golden: &Trace, faulty: &Trace, name: &str) -> SignalCheck {
     let (from, to) = spec.window;
     if let (Some(g), Some(f)) = (golden.digital(name), faulty.digital(name)) {
-        return compare_digital_with_skew(g, f, from, to, spec.merge_gap, spec.digital_skew);
+        return SignalCheck::Cmp(compare_digital_with_skew(
+            g,
+            f,
+            from,
+            to,
+            spec.merge_gap,
+            spec.digital_skew,
+        ));
     }
     if let (Some(g), Some(f)) = (golden.analog(name), faulty.analog(name)) {
-        return compare_analog(g, f, from, to, spec.analog_tolerance, spec.merge_gap);
+        // The faulty trace is checked first: it is the one a diverging
+        // kernel poisons, so its (earlier or equal) timestamp is the one
+        // worth reporting.
+        if let Some(t) = first_non_finite(f, from, to).or_else(|| first_non_finite(g, from, to)) {
+            return SignalCheck::NonFinite(t);
+        }
+        return SignalCheck::Cmp(compare_analog(
+            g,
+            f,
+            from,
+            to,
+            spec.analog_tolerance,
+            spec.merge_gap,
+        ));
     }
     // Anything the typed comparisons above could not handle — the signal is
     // missing from one trace, missing from *both* (a typo'd monitor name, a
@@ -180,9 +247,9 @@ fn compare_signal(
     // different domains — is a permanent full-window mismatch. Silently
     // reporting a match here would let a misspelled `ClassifySpec` output
     // turn every case into a false no-effect verdict.
-    SignalComparison {
+    SignalCheck::Cmp(SignalComparison {
         mismatches: vec![amsfi_waves::MismatchInterval { from, to }],
-    }
+    })
 }
 
 /// Classifies one faulty trace against the golden trace.
@@ -197,7 +264,10 @@ pub fn classify(spec: &ClassifySpec, golden: &Trace, faulty: &Trace) -> CaseOutc
     let mut internal_unrecovered = false;
 
     for name in &spec.outputs {
-        let cmp = compare_signal(spec, golden, faulty, name);
+        let cmp = match compare_signal(spec, golden, faulty, name) {
+            SignalCheck::NonFinite(t) => return sim_failure_outcome(name, t),
+            SignalCheck::Cmp(cmp) => cmp,
+        };
         if cmp.is_match() {
             continue;
         }
@@ -213,7 +283,10 @@ pub fn classify(spec: &ClassifySpec, golden: &Trace, faulty: &Trace) -> CaseOutc
         }
     }
     for name in &spec.internals {
-        let cmp = compare_signal(spec, golden, faulty, name);
+        let cmp = match compare_signal(spec, golden, faulty, name) {
+            SignalCheck::NonFinite(t) => return sim_failure_outcome(name, t),
+            SignalCheck::Cmp(cmp) => cmp,
+        };
         if cmp.is_match() {
             continue;
         }
@@ -241,7 +314,18 @@ pub fn classify(spec: &ClassifySpec, golden: &Trace, faulty: &Trace) -> CaseOutc
         error_end: end,
         total_mismatch: total,
         affected,
+        failure: None,
     }
+}
+
+/// The verdict for a trace poisoned by a non-finite sample on `signal`.
+fn sim_failure_outcome(signal: &str, t: Time) -> CaseOutcome {
+    let mut outcome = CaseOutcome::from_sim_failure(SimFailure::NonFinite {
+        signal: signal.to_owned(),
+        t,
+    });
+    outcome.affected = vec![signal.to_owned()];
+    outcome
 }
 
 #[cfg(test)]
@@ -394,10 +478,56 @@ mod tests {
         assert_eq!(lax.class, FaultClass::NoEffect);
     }
 
+    /// Satellite regression: a NaN sample used to fall through IEEE
+    /// comparison semantics (`NaN` fails every tolerance check) and read as
+    /// an ordinary failure-class mismatch. It must be its own class.
+    #[test]
+    fn nan_sample_is_sim_failure_not_mismatch() {
+        let s = ClassifySpec::new((Time::ZERO, Time::from_us(10)), vec!["out".to_owned()]);
+        let mut golden = Trace::new();
+        golden.record_analog("out", Time::ZERO, 2.5).unwrap();
+        golden.record_analog("out", Time::from_us(10), 2.5).unwrap();
+        let mut faulty = Trace::new();
+        faulty.record_analog("out", Time::ZERO, 2.5).unwrap();
+        faulty
+            .record_analog("out", Time::from_us(3), f64::NAN)
+            .unwrap();
+        faulty.record_analog("out", Time::from_us(10), 2.5).unwrap();
+        let out = classify(&s, &golden, &faulty);
+        assert_eq!(out.class, FaultClass::SimFailure);
+        assert_eq!(out.error_onset, Some(Time::from_us(3)));
+        assert_eq!(out.affected, vec!["out".to_owned()]);
+        assert_eq!(
+            out.failure,
+            Some(SimFailure::NonFinite {
+                signal: "out".to_owned(),
+                t: Time::from_us(3)
+            })
+        );
+        // A NaN in the *golden* trace is equally fatal.
+        let swapped = classify(&s, &faulty, &golden);
+        assert_eq!(swapped.class, FaultClass::SimFailure);
+        // Infinities count too.
+        let mut inf = Trace::new();
+        inf.record_analog("out", Time::ZERO, 2.5).unwrap();
+        inf.record_analog("out", Time::from_us(5), f64::INFINITY)
+            .unwrap();
+        inf.record_analog("out", Time::from_us(10), 2.5).unwrap();
+        assert_eq!(classify(&s, &golden, &inf).class, FaultClass::SimFailure);
+        // A non-finite sample *outside* the window is not this case's
+        // problem.
+        let narrow = ClassifySpec::new((Time::from_us(4), Time::from_us(10)), vec!["out".into()]);
+        assert_ne!(
+            classify(&narrow, &golden, &faulty).class,
+            FaultClass::SimFailure
+        );
+    }
+
     #[test]
     fn class_display() {
         assert_eq!(FaultClass::NoEffect.to_string(), "no-effect");
         assert_eq!(FaultClass::Failure.to_string(), "failure");
+        assert_eq!(FaultClass::SimFailure.to_string(), "sim-failure");
     }
 
     #[test]

@@ -72,6 +72,7 @@
 
 mod campaign;
 mod classify;
+mod failure;
 mod fork;
 pub mod plan;
 mod propagation;
@@ -81,5 +82,6 @@ pub use campaign::{
     run_campaign, run_campaign_parallel, CampaignResult, CaseResult, FaultCase, RunError,
 };
 pub use classify::{classify, CaseOutcome, ClassifySpec, FaultClass, ParseFaultClassError};
+pub use failure::{ParseSimFailureError, SimFailure};
 pub use fork::{injection_stops, run_campaign_forked};
 pub use propagation::{PropagationEdge, PropagationModel};

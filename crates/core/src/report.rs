@@ -71,27 +71,28 @@ pub fn cases_csv(result: &CampaignResult) -> String {
 /// the paper's introduction.
 pub fn per_target_table(result: &CampaignResult) -> String {
     use std::collections::BTreeMap;
-    let mut per: BTreeMap<&str, [usize; 4]> = BTreeMap::new();
+    let mut per: BTreeMap<&str, [usize; FaultClass::ALL.len()]> = BTreeMap::new();
     for c in &result.cases {
         let target = c.case.label.split(" @").next().unwrap_or(&c.case.label);
         let counts = per.entry(target).or_default();
-        let idx = match c.outcome.class {
-            FaultClass::NoEffect => 0,
-            FaultClass::Latent => 1,
-            FaultClass::Transient => 2,
-            FaultClass::Failure => 3,
-        };
+        let idx = FaultClass::ALL
+            .iter()
+            .position(|&k| k == c.outcome.class)
+            .expect("every class is in ALL");
         counts[idx] += 1;
     }
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<32} {:>9} {:>8} {:>10} {:>8}",
-        "target", "no-effect", "latent", "transient", "failure"
+        "{:<32} {:>9} {:>8} {:>10} {:>8} {:>11}",
+        "target", "no-effect", "latent", "transient", "failure", "sim-failure"
     );
-    let _ = writeln!(out, "{:-<70}", "");
-    for (target, [ne, la, tr, fa]) in per {
-        let _ = writeln!(out, "{target:<32} {ne:>9} {la:>8} {tr:>10} {fa:>8}");
+    let _ = writeln!(out, "{:-<82}", "");
+    for (target, [ne, la, tr, fa, sf]) in per {
+        let _ = writeln!(
+            out,
+            "{target:<32} {ne:>9} {la:>8} {tr:>10} {fa:>8} {sf:>11}"
+        );
     }
     out
 }

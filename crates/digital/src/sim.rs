@@ -9,13 +9,16 @@
 
 use crate::component::{Action, EvalContext};
 use crate::netlist::{ComponentDecl, ComponentId, Netlist, SignalDecl, SignalId};
-use amsfi_waves::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, LogicVector, Time, Trace};
+use amsfi_waves::{
+    Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, GuardViolation, LogicVector, SimBudget,
+    Time, Trace,
+};
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// Errors produced while simulating.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// A time point did not converge within the delta-cycle limit —
     /// almost always a zero-delay combinational loop.
@@ -25,6 +28,9 @@ pub enum SimError {
         /// The configured delta limit.
         limit: usize,
     },
+    /// The installed [`SimBudget`] tripped: step budget exhausted, deadline
+    /// passed, cooperative cancellation, or a numerical guard.
+    Guard(GuardViolation),
 }
 
 impl fmt::Display for SimError {
@@ -34,11 +40,25 @@ impl fmt::Display for SimError {
                 f,
                 "delta cycles exceeded {limit} at {time}: probable zero-delay combinational loop"
             ),
+            SimError::Guard(v) => write!(f, "{v}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Guard(v) => Some(v),
+            SimError::DeltaOverflow { .. } => None,
+        }
+    }
+}
+
+impl From<GuardViolation> for SimError {
+    fn from(v: GuardViolation) -> Self {
+        SimError::Guard(v)
+    }
+}
 
 #[derive(Debug, Clone, PartialEq)]
 enum EventKind {
@@ -136,6 +156,7 @@ pub struct Simulator {
     delta_limit: usize,
     events_processed: u64,
     netlist_names: std::collections::HashMap<String, SignalId>,
+    budget: SimBudget,
 }
 
 impl Simulator {
@@ -195,6 +216,7 @@ impl Simulator {
             delta_limit: 10_000,
             events_processed: 0,
             netlist_names: names,
+            budget: SimBudget::unlimited(),
         };
         for c in 0..sim.components.len() {
             sim.push_event(Time::ZERO, EventKind::Wake { component: c });
@@ -205,6 +227,18 @@ impl Simulator {
     /// Sets the delta-cycle limit per time point (default 10 000).
     pub fn set_delta_limit(&mut self, limit: usize) {
         self.delta_limit = limit.max(1);
+    }
+
+    /// Installs a [`SimBudget`]. Every simulated time point counts as one
+    /// budget step; the cancellation token and deadline are probed at the
+    /// same cadence. The default budget is unlimited.
+    pub fn set_budget(&mut self, budget: SimBudget) {
+        self.budget = budget;
+    }
+
+    /// The installed budget.
+    pub fn budget(&self) -> &SimBudget {
+        &self.budget
     }
 
     /// Marks a signal for tracing. Must be called before the first
@@ -414,7 +448,8 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`SimError::DeltaOverflow`] if a time point does not converge
-    /// (zero-delay combinational loop).
+    /// (zero-delay combinational loop), or [`SimError::Guard`] if the
+    /// installed [`SimBudget`] trips (step budget, deadline, cancellation).
     pub fn run_until(&mut self, t_end: Time) -> Result<(), SimError> {
         self.started = true;
         while let Some(event) = self.queue.peek() {
@@ -422,6 +457,7 @@ impl Simulator {
             if t > t_end {
                 break;
             }
+            self.budget.note_step(t)?;
             self.advance_time_point(t)?;
         }
         if t_end > self.now {
@@ -603,6 +639,10 @@ impl ForkableSim for Simulator {
 
     fn structural_fingerprint(&self) -> u64 {
         self.fingerprint()
+    }
+
+    fn install_budget(&mut self, budget: SimBudget) {
+        self.set_budget(budget);
     }
 }
 
@@ -895,6 +935,48 @@ mod tests {
             b.fingerprint(),
             "run state must not matter"
         );
+    }
+
+    #[test]
+    fn step_budget_stops_a_free_running_clock() {
+        let mut sim = clocked_counter();
+        sim.set_budget(SimBudget::unlimited().with_max_steps(10));
+        let err = sim.run_until(Time::from_ms(1)).unwrap_err();
+        match err {
+            SimError::Guard(GuardViolation::StepBudgetExhausted { steps, .. }) => {
+                assert_eq!(steps, 11);
+            }
+            other => panic!("expected step-budget guard, got {other:?}"),
+        }
+        // The failure is sticky: a retry with the same budget trips again.
+        assert!(matches!(
+            sim.run_until(Time::from_ms(1)),
+            Err(SimError::Guard(_))
+        ));
+        // Replacing the budget lets the simulation proceed.
+        sim.set_budget(SimBudget::unlimited());
+        sim.run_until(Time::from_us(1)).unwrap();
+        assert_eq!(sim.now(), Time::from_us(1));
+    }
+
+    #[test]
+    fn cancellation_interrupts_run_until() {
+        let mut sim = clocked_counter();
+        let token = amsfi_waves::CancelToken::new();
+        token.cancel();
+        sim.set_budget(SimBudget::unlimited().with_cancel(token));
+        let err = sim.run_until(Time::from_us(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Guard(GuardViolation::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn install_budget_via_forkable_sim() {
+        let mut sim = clocked_counter();
+        ForkableSim::install_budget(&mut sim, SimBudget::unlimited().with_max_steps(3));
+        assert!(ForkableSim::advance_to(&mut sim, Time::from_us(1)).is_err());
     }
 
     #[test]

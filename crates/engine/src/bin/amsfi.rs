@@ -5,6 +5,7 @@
 //! amsfi run <campaign> [--workers N] [--shard I/C] [--journal PATH]
 //!           [--resume] [--checkpoint] [--timeout-ms N] [--retries N]
 //!           [--backoff-ms N] [--policy fail-fast|skip] [--progress-ms N]
+//!           [--max-steps N] [--min-dt-fs N] [--quarantine]
 //!           [--limit N] [--out DIR]
 //! amsfi merge <journal>... [--out DIR]
 //! ```
@@ -12,9 +13,12 @@
 //! `run` executes a named campaign (see `amsfi list`) through the engine:
 //! sharded with `--shard I/C`, checkpointed with `--journal`, resumable
 //! with `--resume`. `merge` combines shard journals into one report.
+//! A `run` that completes but leaves quarantined poison cases exits with
+//! code 3 (distinct from success 0, engine failure 2 and usage error 64).
 
 use amsfi_core::report;
 use amsfi_engine::{campaigns, journal, Engine, EngineConfig, EngineReport, ErrorPolicy, Shard};
+use amsfi_waves::Time;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -40,11 +44,23 @@ USAGE:
           --backoff-ms N     base retry backoff, doubled per retry (default 50)
           --policy P         fail-fast | skip (default skip)
           --progress-ms N    progress line to stderr every N ms
+          --max-steps N      per-attempt simulation step budget
+          --min-dt-fs N      adaptive-timestep floor in femtoseconds;
+                             a kernel proposing a smaller step is stopped
+                             (timestep collapse)
+          --quarantine       journal poison cases (retry budget exhausted)
+                             as quarantined; --resume never re-runs them
           --limit N          truncate the campaign to its first N cases
           --out DIR          write cases.csv and stages.csv under DIR
 
   amsfi merge <journal>... [--out DIR]
         Merge shard journals of one campaign into a single report.
+
+EXIT CODES:
+  0   success
+  2   engine, journal or report failure
+  3   the run completed but quarantined poison case(s) remain
+  64  usage error
 ";
 
 fn main() -> ExitCode {
@@ -140,6 +156,11 @@ fn run(args: &[String]) -> ExitCode {
                 "--progress-ms" => {
                     config.progress = Some(Duration::from_millis(opts.parse(arg)?));
                 }
+                "--max-steps" => config.max_steps = Some(opts.parse(arg)?),
+                "--min-dt-fs" => {
+                    config.min_dt = Some(Time::from_fs(opts.parse(arg)?));
+                }
+                "--quarantine" => config.quarantine = true,
                 "--limit" => limit = Some(opts.parse(arg)?),
                 "--out" => out = Some(PathBuf::from(opts.value(arg)?)),
                 flag if flag.starts_with('-') => {
@@ -185,7 +206,13 @@ fn run(args: &[String]) -> ExitCode {
         eprintln!("amsfi run: {e}");
         return ExitCode::from(2);
     }
-    ExitCode::SUCCESS
+    if report.quarantined.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        // Distinct from hard failure (2): the campaign completed, but some
+        // cases are poisoned and permanently excluded from resumes.
+        ExitCode::from(3)
+    }
 }
 
 fn merge(args: &[String]) -> ExitCode {
@@ -220,7 +247,7 @@ fn merge(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (result, skipped) = journal::assemble(&entries);
+    let (result, skipped, quarantined) = journal::assemble(&entries);
     println!(
         "campaign {}: {} of {} case(s) across {} journal(s)",
         meta.name,
@@ -231,6 +258,7 @@ fn merge(args: &[String]) -> ExitCode {
     print!("{}", report::summary_table(&result));
     print!("{}", report::per_target_table(&result));
     print_skips(&skipped);
+    print_quarantine(&quarantined);
     if let Some(dir) = out.as_deref() {
         if let Err(e) = std::fs::create_dir_all(dir)
             .and_then(|()| std::fs::write(dir.join("cases.csv"), report::cases_csv(&result)))
@@ -247,6 +275,7 @@ fn print_report(report: &EngineReport) {
     print!("{}", report::summary_table(&report.result));
     print!("{}", report::per_target_table(&report.result));
     print_skips(&report.skipped);
+    print_quarantine(&report.quarantined);
     if report.resumed > 0 {
         println!("resumed {} case(s) from the journal", report.resumed);
     }
@@ -263,6 +292,19 @@ fn print_skips(skipped: &[amsfi_engine::SkippedCase]) {
         println!(
             "  #{} {} after {} attempt(s): {}",
             skip.index, skip.case.label, skip.attempts, skip.error
+        );
+    }
+}
+
+fn print_quarantine(quarantined: &[amsfi_engine::QuarantinedCase]) {
+    if quarantined.is_empty() {
+        return;
+    }
+    println!("quarantined (poison) cases — excluded from --resume:");
+    for q in quarantined {
+        println!(
+            "  #{} {} after {} attempt(s): {}",
+            q.index, q.case.label, q.attempts, q.reason
         );
     }
 }

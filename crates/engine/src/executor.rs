@@ -9,12 +9,17 @@
 //! [`journal`](crate::journal) as they finish, so a run can be killed at
 //! any instant and resumed.
 
-use crate::journal::{self, Journal, JournalEntry, JournalError, JournalMeta, SkippedCase};
+use crate::journal::{
+    self, Journal, JournalEntry, JournalError, JournalMeta, QuarantinedCase, SkippedCase,
+};
 use crate::shard::Shard;
 use crate::stats::{EngineStats, Stage, StatsSnapshot};
 use crate::BoxError;
-use amsfi_core::{classify, injection_stops, CampaignResult, CaseResult, ClassifySpec, FaultCase};
-use amsfi_waves::{Checkpoint, ForkableSim, Time, Trace};
+use amsfi_core::{
+    classify, injection_stops, CampaignResult, CaseOutcome, CaseResult, ClassifySpec, FaultCase,
+    SimFailure,
+};
+use amsfi_waves::{CancelToken, Checkpoint, ForkableSim, SimBudget, Time, Trace};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -64,6 +69,16 @@ pub struct EngineConfig {
     /// to carry a [`ForkSpec`]; campaigns without one fall back to their
     /// from-scratch runner.
     pub checkpoint: bool,
+    /// Per-attempt simulation step cap (see [`SimBudget::with_max_steps`]).
+    /// `None` leaves the step count unguarded.
+    pub max_steps: Option<u64>,
+    /// Adaptive-timestep floor: a kernel proposing a step strictly below
+    /// this trips a timestep-collapse guard. `None` leaves it unguarded.
+    pub min_dt: Option<Time>,
+    /// Quarantine poison cases: a case that exhausts its retry budget is
+    /// journaled as quarantined and excluded from every future `--resume`
+    /// of that journal, instead of being re-attempted on each resume.
+    pub quarantine: bool,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +94,9 @@ impl Default for EngineConfig {
             resume: false,
             progress: None,
             checkpoint: false,
+            max_steps: None,
+            min_dt: None,
+            quarantine: false,
         }
     }
 }
@@ -154,6 +172,27 @@ impl EngineConfig {
         self
     }
 
+    /// Caps the simulation steps each attempt may take.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Floors the adaptive timestep for every attempt.
+    #[must_use]
+    pub fn with_min_dt(mut self, min_dt: Time) -> Self {
+        self.min_dt = Some(min_dt);
+        self
+    }
+
+    /// Enables poison-case quarantine under [`ErrorPolicy::SkipAndRecord`].
+    #[must_use]
+    pub fn with_quarantine(mut self, quarantine: bool) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+
     fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
@@ -173,15 +212,22 @@ pub struct CaseCtx {
     index: Option<usize>,
     attempt: u32,
     stats: Option<Arc<EngineStats>>,
+    budget: SimBudget,
     timer: Mutex<(Instant, Option<Stage>)>,
 }
 
 impl CaseCtx {
-    fn attached(index: Option<usize>, attempt: u32, stats: Arc<EngineStats>) -> Self {
+    fn attached(
+        index: Option<usize>,
+        attempt: u32,
+        stats: Arc<EngineStats>,
+        budget: SimBudget,
+    ) -> Self {
         CaseCtx {
             index,
             attempt,
             stats: Some(stats),
+            budget,
             timer: Mutex::new((Instant::now(), None)),
         }
     }
@@ -194,6 +240,7 @@ impl CaseCtx {
             index,
             attempt: 0,
             stats: None,
+            budget: SimBudget::unlimited(),
             timer: Mutex::new((Instant::now(), None)),
         }
     }
@@ -206,6 +253,15 @@ impl CaseCtx {
     /// Zero-based attempt number (`> 0` on retries).
     pub fn attempt(&self) -> u32 {
         self.attempt
+    }
+
+    /// The attempt's simulation budget (step cap, timestep floor and
+    /// deadline token from the engine config). Runners install a clone on
+    /// their kernel — [`Campaign::forked`] does this automatically via
+    /// [`ForkableSim::install_budget`] — so guard trips surface as
+    /// structured [`SimFailure`] verdicts instead of hung attempts.
+    pub fn budget(&self) -> &SimBudget {
+        &self.budget
     }
 
     /// Marks the start of `stage`, closing (and crediting) the previous one.
@@ -372,6 +428,7 @@ impl Campaign {
             let (stops, case_stops) = (Arc::clone(&stops_shared), Arc::clone(&case_stops));
             Arc::new(move |ctx: &CaseCtx| {
                 let mut sim = build(ctx)?;
+                sim.install_budget(ctx.budget().clone());
                 ctx.stage(Stage::Simulate);
                 match ctx.index() {
                     None => {
@@ -398,6 +455,7 @@ impl Campaign {
             Arc::new(
                 move |ctx: &CaseCtx, sink: &mut SnapshotSink<'_>| -> Result<Trace, BoxError> {
                     let mut sim = build(ctx)?;
+                    sim.install_budget(ctx.budget().clone());
                     ctx.stage(Stage::Simulate);
                     for &stop in stops.iter() {
                         sim.advance_to(stop).map_err(sim_err)?;
@@ -416,12 +474,17 @@ impl Campaign {
                     let cp = snap
                         .as_any()
                         .downcast_ref::<Checkpoint<S>>()
-                        .ok_or("snapshot does not hold this campaign's simulator type")?;
+                        .ok_or_else(|| {
+                            Box::new(SnapshotRestoreError(
+                                "snapshot does not hold this campaign's simulator type".to_owned(),
+                            )) as BoxError
+                        })?;
                     let i = ctx
                         .index()
                         .ok_or("the golden run is never forked from a snapshot")?;
                     ctx.stage(Stage::Simulate);
                     let mut sim = cp.fork();
+                    sim.install_budget(ctx.budget().clone());
                     inject(&mut sim, i)?;
                     sim.advance_to(t_end).map_err(sim_err)?;
                     Ok(sim.snapshot_trace())
@@ -444,6 +507,21 @@ impl Campaign {
     }
 }
 
+/// A checkpoint snapshot could not be restored for this campaign (wrong
+/// simulator type or structural drift). The engine treats this as
+/// non-retryable — restoring the same snapshot again is deterministic —
+/// and degrades gracefully by re-running the case from scratch.
+#[derive(Debug, Clone)]
+pub struct SnapshotRestoreError(pub String);
+
+impl fmt::Display for SnapshotRestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot restore failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotRestoreError {}
+
 /// Everything an engine run produces.
 #[derive(Debug)]
 pub struct EngineReport {
@@ -453,6 +531,9 @@ pub struct EngineReport {
     pub result: CampaignResult,
     /// Cases abandoned under [`ErrorPolicy::SkipAndRecord`].
     pub skipped: Vec<SkippedCase>,
+    /// Poison cases quarantined under [`EngineConfig::with_quarantine`]
+    /// (this run's and every prior resumed run's).
+    pub quarantined: Vec<QuarantinedCase>,
     /// Final counter snapshot (rates, tallies, stage breakdown).
     pub stats: StatsSnapshot,
     /// How many cases were taken from the journal instead of re-run.
@@ -518,6 +599,13 @@ impl From<JournalError> for EngineError {
 enum Attempt {
     Ok(Trace),
     Failed(String),
+    /// The kernel tripped a [`SimBudget`] guard (or otherwise surfaced a
+    /// parseable [`SimFailure`]): a deterministic, *classified* outcome —
+    /// not retried, not skipped.
+    SimFailed(SimFailure),
+    /// A checkpoint snapshot could not be restored; non-retryable, the
+    /// case falls back to its from-scratch runner.
+    RestoreFailed(String),
     TimedOut,
 }
 
@@ -582,7 +670,7 @@ impl Engine {
         let mut snaps: BTreeMap<Time, Snapshot> = BTreeMap::new();
         let golden = match fork_spec {
             Some(spec) => {
-                let ctx = CaseCtx::attached(None, 0, Arc::clone(&stats));
+                let ctx = CaseCtx::attached(None, 0, Arc::clone(&stats), self.case_budget());
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     (spec.golden)(&ctx, &mut |t, snap| {
                         snaps.insert(t, snap);
@@ -597,7 +685,13 @@ impl Engine {
             }
             None => match self.attempt_case(&campaign.runner, None, &stats).0 {
                 Attempt::Ok(trace) => trace,
-                Attempt::Failed(e) => return Err(EngineError::Golden(e)),
+                Attempt::Failed(e) | Attempt::RestoreFailed(e) => {
+                    return Err(EngineError::Golden(e))
+                }
+                // A guard trip on the fault-free run means the budget (or
+                // the model) cannot cover the horizon: fatal, nothing can
+                // be classified against it.
+                Attempt::SimFailed(f) => return Err(EngineError::Golden(f.to_string())),
                 Attempt::TimedOut => return Err(EngineError::Golden("timed out".to_owned())),
             },
         };
@@ -714,11 +808,12 @@ impl Engine {
         for (index, entry) in fresh.into_inner().expect("results poisoned") {
             entries.insert(index, entry);
         }
-        let (mut result, skipped) = journal::assemble(&entries);
+        let (mut result, skipped, quarantined) = journal::assemble(&entries);
         result.golden = golden;
         Ok(EngineReport {
             result,
             skipped,
+            quarantined,
             stats: stats.snapshot(),
             resumed,
         })
@@ -740,11 +835,20 @@ impl Engine {
         forked: Option<(CaseRunner, Time)>,
     ) -> Result<JournalEntry, EngineError> {
         let case = &campaign.cases[index];
-        let (runner, forked_at) = match forked {
+        let (runner, mut forked_at) = match forked {
             Some((runner, at)) => (runner, Some(at)),
             None => (Arc::clone(&campaign.runner), None),
         };
-        let (attempt, attempts) = self.attempt_case(&runner, Some(index), stats);
+        let (mut attempt, mut attempts) = self.attempt_case(&runner, Some(index), stats);
+        // Graceful degradation: a snapshot that cannot be restored fails
+        // deterministically, so instead of burning the retry budget on the
+        // fork path the case re-runs from scratch.
+        if matches!(attempt, Attempt::RestoreFailed(_)) && forked_at.is_some() {
+            forked_at = None;
+            let (fallback, n) = self.attempt_case(&campaign.runner, Some(index), stats);
+            attempt = fallback;
+            attempts += n;
+        }
         match attempt {
             Attempt::Ok(trace) => {
                 let t0 = Instant::now();
@@ -760,14 +864,28 @@ impl Engine {
                 }
                 Ok(JournalEntry::Done(result))
             }
-            Attempt::Failed(_) | Attempt::TimedOut => {
+            Attempt::SimFailed(failure) => {
+                // A guard trip is a verdict, not an infrastructure error:
+                // the case is done, classified as a simulation failure.
+                let outcome = CaseOutcome::from_sim_failure(failure);
+                stats.record_class(outcome.class);
+                let result = CaseResult {
+                    case: case.clone(),
+                    outcome,
+                };
+                if let Some(journal) = journal {
+                    journal.record_case(index, &result, forked_at)?;
+                }
+                Ok(JournalEntry::Done(result))
+            }
+            Attempt::Failed(_) | Attempt::RestoreFailed(_) | Attempt::TimedOut => {
                 let error = match attempt {
                     Attempt::TimedOut => format!(
                         "timed out after {:?}",
                         self.config.timeout.unwrap_or_default()
                     ),
-                    Attempt::Failed(e) => e,
-                    Attempt::Ok(_) => unreachable!(),
+                    Attempt::Failed(e) | Attempt::RestoreFailed(e) => e,
+                    Attempt::Ok(_) | Attempt::SimFailed(_) => unreachable!(),
                 };
                 match self.config.error_policy {
                     ErrorPolicy::FailFast => Err(EngineError::Case {
@@ -776,6 +894,19 @@ impl Engine {
                         attempts,
                         error,
                     }),
+                    ErrorPolicy::SkipAndRecord if self.config.quarantine => {
+                        let q = QuarantinedCase {
+                            index,
+                            case: case.clone(),
+                            attempts,
+                            reason: error,
+                        };
+                        if let Some(journal) = journal {
+                            journal.record_quarantine(&q)?;
+                        }
+                        stats.record_quarantine();
+                        Ok(JournalEntry::Quarantined(q))
+                    }
                     ErrorPolicy::SkipAndRecord => {
                         let skip = SkippedCase {
                             index,
@@ -815,11 +946,30 @@ impl Engine {
             if let Attempt::TimedOut = last {
                 stats.record_timeout();
             }
-            if let Attempt::Ok(_) = last {
+            if matches!(
+                last,
+                // A guard trip or failed restore is deterministic; retrying
+                // would reproduce it. Both end the loop like a success.
+                Attempt::Ok(_) | Attempt::SimFailed(_) | Attempt::RestoreFailed(_)
+            ) {
                 return (last, attempt + 1);
             }
         }
         (last, self.config.retries + 1)
+    }
+
+    /// The per-attempt [`SimBudget`] from the engine knobs, without a
+    /// deadline token — [`Engine::run_attempt`] attaches a fresh one per
+    /// attempt when a timeout is configured.
+    fn case_budget(&self) -> SimBudget {
+        let mut budget = SimBudget::unlimited();
+        if let Some(max_steps) = self.config.max_steps {
+            budget = budget.with_max_steps(max_steps);
+        }
+        if let Some(min_dt) = self.config.min_dt {
+            budget = budget.with_min_dt(min_dt);
+        }
+        budget
     }
 
     /// One attempt: panic-isolated, optionally under a wall-clock timeout.
@@ -831,43 +981,79 @@ impl Engine {
         stats: &Arc<EngineStats>,
     ) -> Attempt {
         let runner = Arc::clone(runner);
+        let token = self.config.timeout.map(CancelToken::with_deadline);
+        let budget = match &token {
+            Some(token) => self.case_budget().with_cancel(token.clone()),
+            None => self.case_budget(),
+        };
         let call = {
             let stats = Arc::clone(stats);
             move || {
-                let ctx = CaseCtx::attached(index, attempt, stats);
+                let ctx = CaseCtx::attached(index, attempt, stats, budget);
                 let out = catch_unwind(AssertUnwindSafe(|| runner(&ctx)));
                 ctx.finish();
                 match out {
                     Ok(Ok(trace)) => Attempt::Ok(trace),
-                    Ok(Err(e)) => Attempt::Failed(e.to_string()),
+                    Ok(Err(e)) => {
+                        if e.is::<SnapshotRestoreError>() {
+                            Attempt::RestoreFailed(e.to_string())
+                        } else if let Some(failure) = SimFailure::from_error(e.as_ref()) {
+                            Attempt::SimFailed(failure)
+                        } else {
+                            Attempt::Failed(e.to_string())
+                        }
+                    }
                     Err(payload) => Attempt::Failed(panic_message(payload)),
                 }
             }
         };
-        match self.config.timeout {
-            None => call(),
-            Some(timeout) => {
-                // The attempt runs on its own thread; on timeout the thread
-                // is abandoned (std offers no safe cancellation). It still
-                // holds an `Arc` clone of runner and stats, so nothing
-                // dangles — the cost of a stuck solver is one leaked thread
-                // and some late stage-time attribution.
-                let (tx, rx) = mpsc::sync_channel(1);
-                let spawned = std::thread::Builder::new()
-                    .name("amsfi-attempt".to_owned())
-                    .spawn(move || {
-                        let _ = tx.send(call());
-                    });
-                if spawned.is_err() {
-                    return Attempt::Failed("failed to spawn attempt thread".to_owned());
+        let Some(timeout) = self.config.timeout else {
+            return call();
+        };
+        // The attempt runs on its own thread so a wedged solver cannot
+        // stall the worker. Cancellation is cooperative: the deadline token
+        // is armed inside the attempt's budget, so a guarded kernel
+        // observes the expiry and returns promptly — the engine then joins
+        // the thread instead of leaking it. Only a runner that never polls
+        // its budget is abandoned, and only after a grace window.
+        let (tx, rx) = mpsc::sync_channel(1);
+        let spawned = std::thread::Builder::new()
+            .name("amsfi-attempt".to_owned())
+            .spawn(move || {
+                let _ = tx.send(call());
+            });
+        let Ok(handle) = spawned else {
+            return Attempt::Failed("failed to spawn attempt thread".to_owned());
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(outcome) => {
+                let _ = handle.join();
+                outcome
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(token) = &token {
+                    token.cancel();
                 }
-                match rx.recv_timeout(timeout) {
-                    Ok(attempt) => attempt,
-                    Err(mpsc::RecvTimeoutError::Timeout) => Attempt::TimedOut,
-                    Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        Attempt::Failed("attempt thread died without reporting".to_owned())
+                let grace = timeout.clamp(Duration::from_millis(50), Duration::from_secs(2));
+                match rx.recv_timeout(grace) {
+                    Ok(late) => {
+                        let _ = handle.join();
+                        match late {
+                            // The attempt finished in the race window
+                            // between expiry and cancellation; keep it.
+                            Attempt::Ok(trace) => Attempt::Ok(trace),
+                            _ => Attempt::TimedOut,
+                        }
                     }
+                    // The runner ignored its token; abandon the thread. It
+                    // holds only `Arc` clones of runner and stats, so
+                    // nothing dangles — the cost of one genuinely wedged
+                    // solver is one leaked thread.
+                    Err(_) => Attempt::TimedOut,
                 }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Attempt::Failed("attempt thread died without reporting".to_owned())
             }
         }
     }
@@ -1235,6 +1421,150 @@ mod tests {
         assert_eq!(report.skipped[0].index, 1);
         assert!(report.skipped[0].error.contains("timed out"));
         assert_eq!(report.stats.timeouts, 1);
+    }
+
+    #[test]
+    fn guard_violation_classifies_as_sim_failure() {
+        use amsfi_core::FaultClass;
+        use amsfi_waves::GuardViolation;
+        let mut campaign = toy_campaign("toy-guard", 3);
+        campaign.spec.outputs.clear();
+        campaign.runner = Arc::new(|ctx: &CaseCtx| {
+            if ctx.index() == Some(1) {
+                return Err(Box::new(GuardViolation::NonFinite {
+                    signal: "vctrl".to_owned(),
+                    t: Time::from_ns(70),
+                }) as BoxError);
+            }
+            Ok(Trace::new())
+        });
+        let report = Engine::new(EngineConfig::default().with_workers(2).with_retries(3))
+            .run(&campaign)
+            .unwrap();
+        // A guard trip is a verdict: classified, not skipped, not retried.
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.stats.retries, 0);
+        assert_eq!(report.result.cases.len(), 3);
+        let failed = &report.result.cases[1];
+        assert_eq!(failed.outcome.class, FaultClass::SimFailure);
+        assert_eq!(
+            failed.outcome.failure,
+            Some(amsfi_core::SimFailure::NonFinite {
+                signal: "vctrl".to_owned(),
+                t: Time::from_ns(70)
+            })
+        );
+    }
+
+    #[test]
+    fn cooperative_cancel_reclaims_the_attempt_thread() {
+        use amsfi_waves::GuardViolation;
+        // The slow case polls its budget's cancel token like a guarded
+        // kernel; `live` counts attempt closures still on their thread.
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut campaign = toy_campaign("toy-cancel", 2);
+        campaign.spec.outputs.clear();
+        let live_in = Arc::clone(&live);
+        campaign.runner = Arc::new(move |ctx: &CaseCtx| {
+            if ctx.index() == Some(1) {
+                live_in.fetch_add(1, Ordering::SeqCst);
+                let token = ctx.budget().cancel_token().clone();
+                while !token.should_stop() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                live_in.fetch_sub(1, Ordering::SeqCst);
+                return Err(Box::new(GuardViolation::Cancelled { t: Time::ZERO }) as BoxError);
+            }
+            Ok(Trace::new())
+        });
+        let report = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_timeout(Duration::from_millis(30)),
+        )
+        .run(&campaign)
+        .unwrap();
+        assert_eq!(report.stats.timeouts, 1);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].error.contains("timed out"));
+        // The attempt observed the cancellation and its thread was joined
+        // before the engine returned — nothing leaked.
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn quarantine_records_poison_and_resume_skips_it() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = Arc::new(AtomicU32::new(0));
+        let mut campaign = toy_campaign("toy-poison", 4);
+        campaign.spec.outputs.clear();
+        let attempts_in = Arc::clone(&attempts);
+        campaign.runner = Arc::new(move |ctx: &CaseCtx| {
+            if ctx.index() == Some(2) {
+                attempts_in.fetch_add(1, Ordering::SeqCst);
+                return Err("deterministic divergence".into());
+            }
+            Ok(Trace::new())
+        });
+        let path = std::env::temp_dir().join(format!(
+            "amsfi-executor-poison-{}.journal",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let config = EngineConfig::default()
+            .with_workers(1)
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(1))
+            .with_quarantine(true)
+            .with_journal(&path);
+        let report = Engine::new(config.clone()).run(&campaign).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].index, 2);
+        assert_eq!(report.quarantined[0].attempts, 2);
+        assert!(report.quarantined[0]
+            .reason
+            .contains("deterministic divergence"));
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.stats.quarantined, 1);
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+
+        // Resuming never re-attempts the poison case, but still reports it.
+        let resumed = Engine::new(config.with_resume(true))
+            .run(&campaign)
+            .unwrap();
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "poison case re-ran");
+        assert_eq!(resumed.quarantined.len(), 1);
+        assert_eq!(resumed.resumed, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unrestorable_snapshot_falls_back_to_scratch() {
+        let scratch = Engine::new(EngineConfig::default().with_workers(2))
+            .run(&forked_campaign("toy-fallback", 6))
+            .unwrap();
+        let mut campaign = forked_campaign("toy-fallback", 6);
+        // Sabotage restore: every fork now fails the way a snapshot of the
+        // wrong simulator type (or drifted structure) would.
+        campaign.fork.as_mut().unwrap().fork = Arc::new(|_ctx, _snap| {
+            Err(Box::new(SnapshotRestoreError("structural drift".to_owned())) as BoxError)
+        });
+        let report = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_checkpoint(true)
+                .with_retries(2),
+        )
+        .run(&campaign)
+        .unwrap();
+        // Every case degraded to its from-scratch runner: same verdicts,
+        // nothing skipped, no retries burned on the deterministic failure.
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.stats.retries, 0);
+        assert_eq!(scratch.result.cases.len(), report.result.cases.len());
+        for (a, b) in scratch.result.cases.iter().zip(&report.result.cases) {
+            assert_eq!(a, b, "case {}", a.case);
+        }
     }
 
     #[test]

@@ -32,14 +32,27 @@
 //! * `forked=<t>` on a `case` record means the run was forked from a
 //!   golden-prefix checkpoint taken at `t` fs (`-` or absent: simulated
 //!   from scratch). Informational — resume does not depend on it.
+//! * `quarantine=<reason>` on a `skip` record marks a **poison case**: the
+//!   engine exhausted the retry budget and quarantined the case so that
+//!   `--resume` never re-runs it. Readers that predate quarantine see a
+//!   plain skip (the extra key is ignored), so quarantined journals stay
+//!   readable by older tooling.
+//! * `simfail=<taxonomy>` on a `case` record carries the structured
+//!   [`SimFailure`] for cases classified `sim-failure`, so the failure
+//!   taxonomy round-trips through resume and merge.
+//! * The journal is append-only and written record-at-a-time, so only its
+//!   final line can ever be torn by a kill or a full disk. [`load`]
+//!   therefore tolerates (ignores) a malformed or truncated *final* record
+//!   line — and invalid UTF-8 anywhere is replaced rather than fatal —
+//!   while corruption anywhere else is still reported as an error.
 
 use crate::shard::Shard;
-use amsfi_core::{CampaignResult, CaseOutcome, CaseResult, FaultCase, FaultClass};
+use amsfi_core::{CampaignResult, CaseOutcome, CaseResult, FaultCase, FaultClass, SimFailure};
 use amsfi_waves::{Time, Trace};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -75,6 +88,9 @@ pub enum JournalEntry {
     Done(CaseResult),
     /// The case was abandoned after exhausting its retry budget.
     Skipped(SkippedCase),
+    /// The case was quarantined as poison: abandoned *and* excluded from
+    /// every future `--resume` of this journal.
+    Quarantined(QuarantinedCase),
 }
 
 /// A case abandoned under [`crate::ErrorPolicy::SkipAndRecord`].
@@ -88,6 +104,20 @@ pub struct SkippedCase {
     pub attempts: u32,
     /// The last error observed.
     pub error: String,
+}
+
+/// A poison case: it exhausted the engine's retry budget and was placed in
+/// quarantine, so resumed runs skip it instead of dying on it again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedCase {
+    /// Index of the case in the campaign's case list.
+    pub index: usize,
+    /// The case itself.
+    pub case: FaultCase,
+    /// How many attempts were made before quarantine.
+    pub attempts: u32,
+    /// Why the case was quarantined (the last error observed).
+    pub reason: String,
 }
 
 /// Errors reading, writing or validating a journal.
@@ -254,8 +284,12 @@ impl Journal {
         forked: Option<Time>,
     ) -> Result<(), JournalError> {
         let o = &result.outcome;
+        let simfail = match &o.failure {
+            Some(f) => format!(" simfail={}", escape(&f.to_string())),
+            None => String::new(),
+        };
         let line = format!(
-            "case {index} at={} class={} onset={} end={} mismatch={} affected={} forked={} label={}",
+            "case {index} at={} class={} onset={} end={} mismatch={} affected={} forked={}{simfail} label={}",
             result.case.injected_at.as_fs(),
             o.class,
             opt_fs(o.error_onset),
@@ -293,6 +327,26 @@ impl Journal {
         self.append(&line)
     }
 
+    /// Appends one quarantined (poison) case and flushes. Written as a
+    /// `skip` record with an extra `quarantine=<reason>` key, so readers
+    /// that predate quarantine degrade gracefully to a plain skip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on write failure.
+    pub fn record_quarantine(&self, q: &QuarantinedCase) -> Result<(), JournalError> {
+        let line = format!(
+            "skip {} at={} attempts={} label={} error={} quarantine={}",
+            q.index,
+            q.case.injected_at.as_fs(),
+            q.attempts,
+            escape(&q.case.label),
+            escape(&q.reason),
+            escape(&q.reason),
+        );
+        self.append(&line)
+    }
+
     fn append(&self, line: &str) -> Result<(), JournalError> {
         let mut writer = self.writer.lock().expect("journal writer poisoned");
         writeln!(writer, "{line}")
@@ -309,63 +363,77 @@ impl Journal {
 /// Reads a journal: header metadata plus all records, keyed by case index
 /// (last record per index wins, `case` superseding `skip`).
 ///
+/// Robust against a torn tail: the journal is append-only, so a kill (or a
+/// full disk) can corrupt at most its final line. A malformed or truncated
+/// *final* record line is silently ignored — the engine re-runs that case —
+/// and invalid UTF-8 is lossily replaced. Corruption on any non-final line
+/// is still an error.
+///
 /// # Errors
 ///
 /// See [`JournalError`].
 pub fn load(path: &Path) -> Result<(JournalMeta, BTreeMap<usize, JournalEntry>), JournalError> {
-    let file = File::open(path).map_err(|e| JournalError::Io(path.to_owned(), e))?;
-    let reader = BufReader::new(file);
+    let bytes = std::fs::read(path).map_err(|e| JournalError::Io(path.to_owned(), e))?;
+    let text = String::from_utf8_lossy(&bytes);
     let bad = |line_nr: usize, why: &str| {
         JournalError::Malformed(path.to_owned(), line_nr, why.to_owned())
     };
 
-    let mut lines = reader.lines().enumerate();
-    let (_, first) = lines
-        .next()
-        .ok_or_else(|| bad(1, "empty journal"))
-        .and_then(|(n, l)| {
-            l.map(|l| (n, l))
-                .map_err(|e| JournalError::Io(path.to_owned(), e))
-        })?;
+    let lines: Vec<&str> = text.lines().collect();
+    let first = *lines.first().ok_or_else(|| bad(1, "empty journal"))?;
     if first.trim() != format!("#amsfi-journal {JOURNAL_VERSION}") {
         return Err(bad(1, "not an amsfi journal (bad magic line)"));
     }
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| bad(2, "missing campaign header"))
-        .and_then(|(n, l)| {
-            l.map(|l| (n, l))
-                .map_err(|e| JournalError::Io(path.to_owned(), e))
-        })?;
-    let meta = parse_header(&header).ok_or_else(|| bad(2, "malformed campaign header"))?;
+    let header = *lines
+        .get(1)
+        .ok_or_else(|| bad(2, "missing campaign header"))?;
+    let meta = parse_header(header).ok_or_else(|| bad(2, "malformed campaign header"))?;
 
     let mut entries: BTreeMap<usize, JournalEntry> = BTreeMap::new();
-    for (idx, line) in lines {
+    let last_nr = lines.len();
+    for (idx, line) in lines.iter().enumerate().skip(2) {
         let line_nr = idx + 1;
-        let line = line.map_err(|e| JournalError::Io(path.to_owned(), e))?;
         let line = line.trim_end();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let entry = parse_record(line).ok_or_else(|| bad(line_nr, "malformed record"))?;
-        let index = match &entry {
-            JournalEntry::Done(_) => index_of(line),
-            JournalEntry::Skipped(s) => Some(s.index),
-        }
-        .ok_or_else(|| bad(line_nr, "record without index"))?;
+        let parsed = parse_record(line).and_then(|entry| {
+            let index = match &entry {
+                JournalEntry::Done(_) => index_of(line),
+                JournalEntry::Skipped(s) => Some(s.index),
+                JournalEntry::Quarantined(q) => Some(q.index),
+            }?;
+            Some((index, entry))
+        });
+        let Some((index, entry)) = parsed else {
+            if line_nr == last_nr {
+                // Torn tail: the write was interrupted mid-record. The
+                // case it described is simply still pending.
+                continue;
+            }
+            return Err(bad(line_nr, "malformed record"));
+        };
         if meta.cases > 0 && index >= meta.cases {
+            if line_nr == last_nr {
+                continue;
+            }
             return Err(bad(line_nr, "case index out of range for campaign"));
         }
-        // Last record wins, except a completed case is never demoted to a
-        // skip (a resumed run may re-attempt and then succeed).
-        match (&entry, entries.get(&index)) {
-            (JournalEntry::Skipped(_), Some(JournalEntry::Done(_))) => {}
-            _ => {
-                entries.insert(index, entry);
-            }
-        }
+        apply_entry(&mut entries, index, entry);
     }
     Ok((meta, entries))
+}
+
+/// Record-precedence rule shared by [`load`] and [`merge`]: the last record
+/// for an index wins, except a completed case is never demoted to a skip or
+/// a quarantine (a resumed run may re-attempt and then succeed).
+fn apply_entry(entries: &mut BTreeMap<usize, JournalEntry>, index: usize, entry: JournalEntry) {
+    match (&entry, entries.get(&index)) {
+        (JournalEntry::Skipped(_) | JournalEntry::Quarantined(_), Some(JournalEntry::Done(_))) => {}
+        _ => {
+            entries.insert(index, entry);
+        }
+    }
 }
 
 /// Loads several shard journals for the same campaign and merges their
@@ -390,28 +458,27 @@ pub fn merge(
             });
         }
         for (index, entry) in other {
-            match (&entry, entries.get(&index)) {
-                (JournalEntry::Skipped(_), Some(JournalEntry::Done(_))) => {}
-                _ => {
-                    entries.insert(index, entry);
-                }
-            }
+            apply_entry(&mut entries, index, entry);
         }
     }
     Ok((meta, entries))
 }
 
 /// Builds a [`CampaignResult`] (with an empty golden trace) plus the skip
-/// list from merged journal entries — what the `amsfi merge` subcommand
-/// reports on. Cases appear in index order, so two merges of the same
-/// shards produce byte-identical reports.
-pub fn assemble(entries: &BTreeMap<usize, JournalEntry>) -> (CampaignResult, Vec<SkippedCase>) {
+/// and quarantine lists from merged journal entries — what the `amsfi
+/// merge` subcommand reports on. Cases appear in index order, so two merges
+/// of the same shards produce byte-identical reports.
+pub fn assemble(
+    entries: &BTreeMap<usize, JournalEntry>,
+) -> (CampaignResult, Vec<SkippedCase>, Vec<QuarantinedCase>) {
     let mut cases = Vec::new();
     let mut skipped = Vec::new();
+    let mut quarantined = Vec::new();
     for entry in entries.values() {
         match entry {
             JournalEntry::Done(result) => cases.push(result.clone()),
             JournalEntry::Skipped(skip) => skipped.push(skip.clone()),
+            JournalEntry::Quarantined(q) => quarantined.push(q.clone()),
         }
     }
     (
@@ -420,15 +487,22 @@ pub fn assemble(entries: &BTreeMap<usize, JournalEntry>) -> (CampaignResult, Vec
             cases,
         },
         skipped,
+        quarantined,
     )
 }
 
 /// Which of `total` cases are still missing from `entries` and owned by
-/// `shard` — the work list of a (resumed) run.
+/// `shard` — the work list of a (resumed) run. Completed cases are done;
+/// quarantined cases are poison and deliberately never re-claimed.
 pub fn pending(entries: &BTreeMap<usize, JournalEntry>, total: usize, shard: Shard) -> Vec<usize> {
     shard
         .case_indices(total)
-        .filter(|i| !matches!(entries.get(i), Some(JournalEntry::Done(_))))
+        .filter(|i| {
+            !matches!(
+                entries.get(i),
+                Some(JournalEntry::Done(_) | JournalEntry::Quarantined(_))
+            )
+        })
         .collect()
 }
 
@@ -537,6 +611,8 @@ fn parse_record(line: &str) -> Option<JournalEntry> {
     let mut attempts = None;
     let mut label = None;
     let mut error = None;
+    let mut quarantine = None;
+    let mut simfail = None;
     for token in tokens {
         // `split_once` keeps any further `=` inside the value.
         let (key, value) = token.split_once('=')?;
@@ -559,6 +635,8 @@ fn parse_record(line: &str) -> Option<JournalEntry> {
             "attempts" => attempts = Some(value.parse::<u32>().ok()?),
             "label" => label = Some(unescape(value)?),
             "error" => error = Some(unescape(value)?),
+            "quarantine" => quarantine = Some(unescape(value)?),
+            "simfail" => simfail = Some(unescape(value)?.parse::<SimFailure>().ok()?),
             // Unknown keys (e.g. `forked`) are informational: skip them so
             // newer writers stay readable by this parser.
             _ => {}
@@ -574,14 +652,23 @@ fn parse_record(line: &str) -> Option<JournalEntry> {
                 error_end: end?,
                 total_mismatch: mismatch?,
                 affected: affected?,
+                failure: simfail,
             },
         })),
-        "skip" => Some(JournalEntry::Skipped(SkippedCase {
-            index,
-            case,
-            attempts: attempts?,
-            error: error.unwrap_or_default(),
-        })),
+        "skip" => match quarantine {
+            Some(reason) => Some(JournalEntry::Quarantined(QuarantinedCase {
+                index,
+                case,
+                attempts: attempts?,
+                reason,
+            })),
+            None => Some(JournalEntry::Skipped(SkippedCase {
+                index,
+                case,
+                attempts: attempts?,
+                error: error.unwrap_or_default(),
+            })),
+        },
         _ => None,
     }
 }
@@ -623,6 +710,7 @@ mod tests {
                 } else {
                     Vec::new()
                 },
+                failure: None,
             },
         }
     }
@@ -786,8 +874,9 @@ mod tests {
         let (meta_back, entries) = merge(&paths).unwrap();
         assert_eq!(meta_back, meta);
         assert_eq!(entries.len(), 4);
-        let (result, skipped) = assemble(&entries);
+        let (result, skipped, quarantined) = assemble(&entries);
         assert!(skipped.is_empty());
+        assert!(quarantined.is_empty());
         assert_eq!(result.cases.len(), 4);
         // Index order regardless of which shard wrote what.
         assert_eq!(result.cases[0].case.label, "bit0 @ 5 us");
@@ -795,6 +884,120 @@ mod tests {
         for path in &paths {
             std::fs::remove_file(path).ok();
         }
+    }
+
+    #[test]
+    fn quarantine_round_trips_and_is_excluded_from_pending() {
+        let path = unique_path("quarantine");
+        let cases = sample_cases();
+        let meta = JournalMeta::of("toy", &cases);
+        let (journal, _) = Journal::open(&path, &meta, false).unwrap();
+        let q = QuarantinedCase {
+            index: 2,
+            case: cases[2].clone(),
+            attempts: 4,
+            reason: "non-finite signal=vctrl t=170000000000".to_owned(),
+        };
+        journal.record_quarantine(&q).unwrap();
+        journal
+            .record_skip(&SkippedCase {
+                index: 1,
+                case: cases[1].clone(),
+                attempts: 1,
+                error: "transient flake".to_owned(),
+            })
+            .unwrap();
+        drop(journal);
+
+        let (_, entries) = load(&path).unwrap();
+        assert_eq!(entries[&2], JournalEntry::Quarantined(q.clone()));
+        // Plain skips stay pending (they are retried on resume); the
+        // quarantined poison case is not.
+        assert_eq!(pending(&entries, 4, Shard::FULL), vec![0, 1, 3]);
+        let (_, skipped, quarantined) = assemble(&entries);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(quarantined, vec![q]);
+
+        // Merging preserves the quarantine record.
+        let (_, merged) = merge(std::slice::from_ref(&path)).unwrap();
+        assert!(matches!(&merged[&2], JournalEntry::Quarantined(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantine_never_demotes_a_done_case() {
+        let path = unique_path("quarantine-demote");
+        let cases = sample_cases();
+        let meta = JournalMeta::of("toy", &cases);
+        let (journal, _) = Journal::open(&path, &meta, false).unwrap();
+        journal.record_case(1, &sample_result(1), None).unwrap();
+        journal
+            .record_quarantine(&QuarantinedCase {
+                index: 1,
+                case: cases[1].clone(),
+                attempts: 4,
+                reason: "late duplicate".to_owned(),
+            })
+            .unwrap();
+        drop(journal);
+        let (_, entries) = load(&path).unwrap();
+        assert!(matches!(&entries[&1], JournalEntry::Done(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simfail_key_round_trips_the_failure_taxonomy() {
+        let path = unique_path("simfail");
+        let cases = sample_cases();
+        let meta = JournalMeta::of("toy", &cases);
+        let (journal, _) = Journal::open(&path, &meta, false).unwrap();
+        let mut result = sample_result(0);
+        result.outcome.class = FaultClass::SimFailure;
+        result.outcome.failure = Some(SimFailure::NonFinite {
+            signal: "vctrl out".to_owned(),
+            t: Time::from_ns(170),
+        });
+        journal.record_case(0, &result, None).unwrap();
+        drop(journal);
+        let (_, entries) = load(&path).unwrap();
+        match &entries[&0] {
+            JournalEntry::Done(r) => assert_eq!(r, &result),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_but_interior_corruption_is_not() {
+        use std::io::Write as _;
+        let path = unique_path("torn");
+        let cases = sample_cases();
+        let meta = JournalMeta::of("toy", &cases);
+        let (journal, _) = Journal::open(&path, &meta, false).unwrap();
+        journal.record_case(0, &sample_result(0), None).unwrap();
+        journal.record_case(1, &sample_result(1), None).unwrap();
+        drop(journal);
+
+        // Simulate a kill mid-write: append a truncated record with some
+        // invalid UTF-8 thrown in.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"case 2 at=5000000000 cla\xFF\xFE").unwrap();
+        drop(f);
+        let (_, entries) = load(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(pending(&entries, 4, Shard::FULL), vec![2, 3]);
+
+        // The same garbage in the middle of the journal is corruption.
+        let text = String::from_utf8_lossy(&std::fs::read(&path).unwrap()).into_owned();
+        let rotated: String = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            let torn = lines.pop().unwrap();
+            lines.insert(2, torn);
+            lines.join("\n") + "\n"
+        };
+        std::fs::write(&path, rotated).unwrap();
+        assert!(matches!(load(&path), Err(JournalError::Malformed(_, _, _))));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //!
 //! What it adds over [`amsfi_core::run_campaign_parallel`]:
 //!
-//! * a work-stealing executor with per-case timeout, bounded retry with
-//!   exponential backoff and an [`ErrorPolicy`] — one diverging simulation
-//!   no longer kills the whole run ([`executor`]);
+//! * a work-stealing executor with per-case cooperative timeout, bounded
+//!   retry with exponential backoff and an [`ErrorPolicy`] — one diverging
+//!   simulation no longer kills the whole run ([`executor`]);
+//! * per-attempt simulation budgets (step cap, timestep floor, deadline
+//!   token) installed on every kernel, so guard trips come back as
+//!   structured [`amsfi_core::SimFailure`] verdicts, and poison-case
+//!   quarantine that keeps deterministic failures out of every `--resume`;
 //! * an append-only, line-based results [`journal`] with checkpoint/resume:
 //!   rerunning a campaign with an existing journal skips completed cases
 //!   and merges deterministically;
@@ -32,9 +36,9 @@ pub mod stats;
 
 pub use executor::{
     AnySnapshot, Campaign, CaseCtx, CaseRunner, Engine, EngineConfig, EngineError, EngineReport,
-    ErrorPolicy, ForkSpec, Snapshot, SnapshotSink,
+    ErrorPolicy, ForkSpec, Snapshot, SnapshotRestoreError, SnapshotSink,
 };
-pub use journal::{Journal, JournalEntry, JournalError, JournalMeta, SkippedCase};
+pub use journal::{Journal, JournalEntry, JournalError, JournalMeta, QuarantinedCase, SkippedCase};
 pub use shard::Shard;
 pub use stats::{EngineStats, Stage, StatsSnapshot};
 

@@ -53,13 +53,15 @@ pub struct EngineStats {
     /// Total cases this run will execute (shard-local, excluding resumed).
     total: AtomicUsize,
     /// Per-class tallies, in [`FaultClass::ALL`] order.
-    classes: [AtomicUsize; 4],
+    classes: [AtomicUsize; FaultClass::ALL.len()],
     /// Attempts beyond the first, across all cases.
     retries: AtomicUsize,
     /// Attempts that hit the per-case timeout.
     timeouts: AtomicUsize,
     /// Cases abandoned under [`crate::ErrorPolicy::SkipAndRecord`].
     skipped: AtomicUsize,
+    /// Cases quarantined after exhausting the retry budget.
+    quarantined: AtomicUsize,
     /// Nanoseconds per [`Stage`].
     stage_ns: [AtomicU64; 3],
 }
@@ -75,6 +77,7 @@ impl EngineStats {
             retries: AtomicUsize::new(0),
             timeouts: AtomicUsize::new(0),
             skipped: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
             stage_ns: Default::default(),
         }
     }
@@ -90,6 +93,11 @@ impl EngineStats {
 
     pub(crate) fn record_skip(&self) {
         self.skipped.fetch_add(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quarantine(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
         self.done.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -112,15 +120,11 @@ impl EngineStats {
             elapsed: self.started.elapsed(),
             done: self.done.load(Ordering::Relaxed),
             total: self.total.load(Ordering::Relaxed),
-            classes: [
-                self.classes[0].load(Ordering::Relaxed),
-                self.classes[1].load(Ordering::Relaxed),
-                self.classes[2].load(Ordering::Relaxed),
-                self.classes[3].load(Ordering::Relaxed),
-            ],
+            classes: std::array::from_fn(|i| self.classes[i].load(Ordering::Relaxed)),
             retries: self.retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
             stage_ns: [
                 self.stage_ns[0].load(Ordering::Relaxed),
                 self.stage_ns[1].load(Ordering::Relaxed),
@@ -140,13 +144,16 @@ pub struct StatsSnapshot {
     /// Cases this run owns.
     pub total: usize,
     /// Per-class tallies in [`FaultClass::ALL`] order.
-    pub classes: [usize; 4],
+    pub classes: [usize; FaultClass::ALL.len()],
     /// Attempts beyond the first.
     pub retries: usize,
     /// Attempts that timed out.
     pub timeouts: usize,
     /// Cases abandoned after exhausting retries.
     pub skipped: usize,
+    /// Cases quarantined after exhausting retries (a subset of the journal's
+    /// poison list; disjoint from `skipped`).
+    pub quarantined: usize,
     /// Nanoseconds attributed to each [`Stage`].
     pub stage_ns: [u64; 3],
 }
@@ -209,8 +216,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "[{:>7.1}s] {}/{} cases ({:.1}/s) \
-             no-effect={} latent={} transient={} failure={} \
-             retries={} timeouts={} skipped={}",
+             no-effect={} latent={} transient={} failure={} sim-failure={} \
+             retries={} timeouts={} skipped={} quarantined={}",
             self.elapsed.as_secs_f64(),
             self.done,
             self.total,
@@ -219,9 +226,11 @@ impl fmt::Display for StatsSnapshot {
             self.classes[1],
             self.classes[2],
             self.classes[3],
+            self.classes[4],
             self.retries,
             self.timeouts,
             self.skipped,
+            self.quarantined,
         )
     }
 }
@@ -250,12 +259,14 @@ mod tests {
         stats.record_retry();
         stats.record_timeout();
         stats.record_skip();
+        stats.record_quarantine();
         let snap = stats.snapshot();
-        assert_eq!(snap.done, 3);
-        assert_eq!(snap.classes, [1, 0, 0, 1]);
+        assert_eq!(snap.done, 4);
+        assert_eq!(snap.classes, [1, 0, 0, 1, 0]);
         assert_eq!(snap.retries, 1);
         assert_eq!(snap.timeouts, 1);
         assert_eq!(snap.skipped, 1);
+        assert_eq!(snap.quarantined, 1);
         assert!(snap.rate() >= 0.0);
     }
 

@@ -286,8 +286,9 @@ fn shard_journals_merge_into_the_single_shard_result() {
 
     let (meta, entries) = journal::merge(&paths).unwrap();
     assert_eq!(meta, campaign.meta());
-    let (merged, skipped) = journal::assemble(&entries);
+    let (merged, skipped, quarantined) = journal::assemble(&entries);
     assert!(skipped.is_empty());
+    assert!(quarantined.is_empty());
     assert_eq!(
         report::summary_table(&merged),
         report::summary_table(&clean.result),
@@ -404,7 +405,7 @@ fn named_campaign_shards_and_merges() {
 
     let (meta, entries) = journal::merge(&paths).unwrap();
     assert_eq!(meta, campaign.meta());
-    let (merged, _) = journal::assemble(&entries);
+    let (merged, _, _) = journal::assemble(&entries);
     assert_eq!(
         report::summary_table(&merged),
         report::summary_table(&clean.result)

@@ -3,7 +3,10 @@
 use crate::boundary::{Digitizer, LevelDriver};
 use amsfi_analog::{AnalogSolver, NodeId};
 use amsfi_digital::{SignalId, SimError, Simulator};
-use amsfi_waves::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, LogicVector, Time, Trace};
+use amsfi_waves::{
+    Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, GuardViolation, LogicVector, SimBudget,
+    Time, Trace,
+};
 
 /// Co-simulates a digital [`Simulator`] and an analog [`AnalogSolver`] with
 /// synchronised time, exchanging values through [`LevelDriver`]s
@@ -64,6 +67,7 @@ pub struct MixedSimulator {
     digitizers: Vec<Digitizer>,
     max_sync_step: Time,
     seeded: bool,
+    budget: SimBudget,
 }
 
 impl MixedSimulator {
@@ -77,7 +81,26 @@ impl MixedSimulator {
             digitizers: Vec::new(),
             max_sync_step: Time::MAX,
             seeded: false,
+            budget: SimBudget::unlimited(),
         }
+    }
+
+    /// Installs a [`SimBudget`] on the co-simulation loop. Every
+    /// synchronisation step counts as one budget step; the analog solver's
+    /// proposed timestep is checked against the budget's `min_dt` floor
+    /// *before* event clamping (so digital activity cannot mask a collapsing
+    /// analog step), and every analog node is scanned for non-finite values
+    /// after each integration step.
+    ///
+    /// The two halves keep their own (unlimited) budgets: installing the
+    /// budget here avoids double-counting steps across the three kernels.
+    pub fn set_budget(&mut self, budget: SimBudget) {
+        self.budget = budget;
+    }
+
+    /// The installed budget.
+    pub fn budget(&self) -> &SimBudget {
+        &self.budget
     }
 
     /// Enables or disables crossing-time interpolation on every digitizer
@@ -279,7 +302,11 @@ impl MixedSimulator {
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from the digital kernel (delta overflow).
+    /// Propagates [`SimError`] from the digital kernel (delta overflow) and
+    /// reports [`SimError::Guard`] when the installed [`SimBudget`] trips:
+    /// the step budget or deadline is exhausted, the analog solver proposes
+    /// a timestep below the `min_dt` floor, or an analog node goes
+    /// non-finite.
     pub fn run_until(&mut self, t_end: Time) -> Result<(), SimError> {
         if !self.seeded {
             self.seeded = true;
@@ -301,9 +328,15 @@ impl MixedSimulator {
                 let level = d.level(self.digital.value(d.signal)[d.bit]);
                 self.analog.set_value(d.node, level);
             }
+            // Guard checks: the proposed step is inspected *before* the
+            // event clamp so a collapsing analog timestep is caught even
+            // when dense digital activity would shrink the step anyway.
+            let proposed = self.analog.propose_dt();
+            self.budget.check_dt(proposed, self.now)?;
+            self.budget.note_step(self.now)?;
             let mut t_next = self
                 .now
-                .saturating_add(self.analog.propose_dt().min(self.max_sync_step))
+                .saturating_add(proposed.min(self.max_sync_step))
                 .min(t_end);
             if let Some(te) = self.digital.next_event_time() {
                 if te > self.now {
@@ -318,6 +351,15 @@ impl MixedSimulator {
                 .map(|dz| self.analog.value(dz.node))
                 .collect();
             self.analog.step(t_next - t0);
+            if self.budget.is_limited() {
+                if let Some((signal, _)) = self.analog.first_non_finite() {
+                    return Err(GuardViolation::NonFinite {
+                        signal: signal.to_owned(),
+                        t: t0,
+                    }
+                    .into());
+                }
+            }
             for (dz, &v0) in self.digitizers.iter_mut().zip(&prev) {
                 let v1 = self.analog.value(dz.node);
                 if let Some(edge) = dz.check(t0, v0, t_next, v1) {
@@ -358,6 +400,10 @@ impl ForkableSim for MixedSimulator {
 
     fn structural_fingerprint(&self) -> u64 {
         self.fingerprint()
+    }
+
+    fn install_budget(&mut self, budget: SimBudget) {
+        self.set_budget(budget);
     }
 }
 
@@ -533,6 +579,75 @@ mod tests {
         twin.run_until(Time::from_us(1)).unwrap();
         twin.restore(&cp).unwrap();
         assert_eq!(twin.now(), Time::from_ns(100));
+    }
+
+    #[test]
+    fn step_budget_bounds_the_sync_loop() {
+        let mut mixed = sine_counter(10e6);
+        mixed.set_budget(SimBudget::unlimited().with_max_steps(5));
+        let err = mixed.run_until(Time::from_us(2)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Guard(GuardViolation::StepBudgetExhausted { .. })
+        ));
+        assert!(mixed.now() < Time::from_us(2));
+    }
+
+    #[test]
+    fn min_dt_floor_detects_timestep_collapse() {
+        // The sine source hints a ~3 ns step; a 1 us floor trips instantly,
+        // even though digital event clamping would also shrink the step.
+        let mut mixed = sine_counter(10e6);
+        mixed.set_budget(SimBudget::unlimited().with_min_dt(Time::from_us(1)));
+        let err = mixed.run_until(Time::from_us(1)).unwrap_err();
+        match err {
+            SimError::Guard(GuardViolation::TimestepCollapse { min_dt, .. }) => {
+                assert_eq!(min_dt, Time::from_us(1));
+            }
+            other => panic!("expected timestep collapse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_analog_node_trips_the_guard() {
+        // A source that pushes the node to infinity mid-run.
+        #[derive(Debug, Clone)]
+        struct Bomb {
+            at: Time,
+        }
+        impl amsfi_analog::AnalogBlock for Bomb {
+            fn step(&mut self, ctx: &mut amsfi_analog::AnalogContext<'_>) {
+                let v = if ctx.now() >= self.at {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                ctx.set(0, v);
+            }
+        }
+        let mut ckt = AnalogCircuit::new();
+        let n = ckt.node("boom", NodeKind::Voltage);
+        ckt.add(
+            "bomb",
+            Bomb {
+                at: Time::from_ns(50),
+            },
+            &[],
+            &[n],
+        );
+        let net = Netlist::new();
+        let mut mixed = MixedSimulator::new(
+            Simulator::new(net),
+            AnalogSolver::new(ckt, Time::from_ns(2)),
+        );
+        mixed.set_budget(SimBudget::unlimited().with_max_steps(1_000_000));
+        let err = mixed.run_until(Time::from_us(1)).unwrap_err();
+        match err {
+            SimError::Guard(GuardViolation::NonFinite { signal, .. }) => {
+                assert_eq!(signal, "boom");
+            }
+            other => panic!("expected non-finite guard, got {other:?}"),
+        }
     }
 
     #[test]

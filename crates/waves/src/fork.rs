@@ -15,7 +15,7 @@
 //! the fork to the horizon therefore yields a full-length trace with no
 //! explicit stitching step.
 
-use crate::{Time, Trace};
+use crate::{SimBudget, Time, Trace};
 use std::fmt;
 
 /// The FNV-1a offset basis (64-bit).
@@ -154,6 +154,17 @@ pub trait ForkableSim: Clone + Send {
     /// description report the same fingerprint; a checkpoint only restores
     /// into a matching structure.
     fn structural_fingerprint(&self) -> u64;
+
+    /// Installs a per-attempt [`SimBudget`] that subsequent `advance_to`
+    /// calls must observe (step budget, timestep floor, NaN/Inf guard,
+    /// cooperative cancellation). Replaces any previous budget wholesale —
+    /// in particular one inherited through [`Checkpoint::fork`] — so
+    /// consumed steps never leak across attempts. The default
+    /// implementation ignores the budget (for toy simulators that cannot
+    /// run away); the real kernels override it.
+    fn install_budget(&mut self, budget: SimBudget) {
+        let _ = budget;
+    }
 }
 
 /// A point-in-time snapshot of a [`ForkableSim`], validated on restore.

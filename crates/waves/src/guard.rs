@@ -1,0 +1,395 @@
+//! Cooperative simulation budgets and numerical guards.
+//!
+//! At campaign scale some faulty cases drive a behavioural kernel into
+//! numerical divergence (non-finite node values), timestep collapse (an
+//! adaptive step shrinking without bound) or plain runaway (an event loop
+//! that never converges). A [`SimBudget`] is the contract between the
+//! campaign engine and a simulation kernel that bounds all of these: the
+//! kernel calls the cheap check methods inside its `advance_to` loop and
+//! surfaces a structured [`GuardViolation`] instead of hanging, spinning or
+//! emitting NaNs into the trace.
+//!
+//! The wall-clock half is a [`CancelToken`]: a shared flag plus an optional
+//! deadline. The engine hands the token to the attempt it spawns; when the
+//! timeout fires it cancels the token and the attempt *returns* — no
+//! abandoned thread keeps burning a core.
+//!
+//! All checks are designed to sit on a hot simulation loop: a step check is
+//! an integer compare plus a relaxed atomic load, and the wall clock is only
+//! probed every [`CLOCK_STRIDE`] steps.
+//!
+//! # Examples
+//!
+//! ```
+//! use amsfi_waves::{GuardViolation, SimBudget, Time};
+//!
+//! let mut budget = SimBudget::unlimited().with_max_steps(2);
+//! assert!(budget.note_step(Time::ZERO).is_ok());
+//! assert!(budget.note_step(Time::ZERO).is_ok());
+//! let err = budget.note_step(Time::from_ns(3)).unwrap_err();
+//! assert!(matches!(err, GuardViolation::StepBudgetExhausted { .. }));
+//! ```
+
+use crate::Time;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many steps elapse between wall-clock probes of a budget's
+/// [`CancelToken`] deadline. The cancellation *flag* is checked every step
+/// (a relaxed atomic load); only the `Instant::now()` syscall is strided.
+pub const CLOCK_STRIDE: u32 = 64;
+
+/// A structured reason a guarded simulation was stopped.
+///
+/// Every variant carries the simulation time `t` at which the guard fired,
+/// so a campaign report can say *where* in the transient a case went bad.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardViolation {
+    /// A node or signal took a NaN or infinite value.
+    NonFinite {
+        /// Name of the offending node or signal.
+        signal: String,
+        /// Simulation time of the first non-finite sample.
+        t: Time,
+    },
+    /// The step budget ran out before the horizon was reached.
+    StepBudgetExhausted {
+        /// Steps consumed when the budget tripped.
+        steps: u64,
+        /// Simulation time when the budget tripped.
+        t: Time,
+    },
+    /// The adaptive timestep collapsed below the configured floor.
+    TimestepCollapse {
+        /// The offending proposed step.
+        dt: Time,
+        /// The configured floor.
+        min_dt: Time,
+        /// Simulation time of the collapse.
+        t: Time,
+    },
+    /// The attempt's wall-clock deadline expired.
+    Deadline {
+        /// Simulation time reached when the deadline expired.
+        t: Time,
+    },
+    /// The attempt was cooperatively cancelled by its owner.
+    Cancelled {
+        /// Simulation time reached when cancellation was observed.
+        t: Time,
+    },
+}
+
+impl fmt::Display for GuardViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardViolation::NonFinite { signal, t } => {
+                write!(f, "non-finite signal={signal} t={}", t.as_fs())
+            }
+            GuardViolation::StepBudgetExhausted { steps, t } => {
+                write!(f, "step-budget-exhausted steps={steps} t={}", t.as_fs())
+            }
+            GuardViolation::TimestepCollapse { dt, min_dt, t } => write!(
+                f,
+                "timestep-collapse dt={} min={} t={}",
+                dt.as_fs(),
+                min_dt.as_fs(),
+                t.as_fs()
+            ),
+            GuardViolation::Deadline { t } => write!(f, "deadline t={}", t.as_fs()),
+            GuardViolation::Cancelled { t } => write!(f, "cancelled t={}", t.as_fs()),
+        }
+    }
+}
+
+impl std::error::Error for GuardViolation {}
+
+/// A shared cooperative-cancellation flag with an optional wall-clock
+/// deadline.
+///
+/// Clones share the flag: the engine keeps one clone and hands another to
+/// the attempt; [`CancelToken::cancel`] on either side is observed by all.
+/// The default token never cancels and has no deadline, so an unconfigured
+/// budget costs one relaxed load per step.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own (cancellable only via
+    /// [`CancelToken::cancel`]).
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally expires `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// Requests cancellation; observed by every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called (does not consult
+    /// the deadline — that costs a clock read; see
+    /// [`CancelToken::expired`]).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Whether the deadline (if any) has passed. Reads the clock.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Flag *or* deadline: the full (clock-reading) stop check.
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.expired()
+    }
+}
+
+/// A per-attempt simulation budget: step count, timestep floor and a
+/// [`CancelToken`] for wall-clock deadline / cooperative cancellation.
+///
+/// A kernel holds one `SimBudget` (default: unlimited) and calls
+/// [`SimBudget::note_step`] once per step of its main loop,
+/// [`SimBudget::check_dt`] on each proposed adaptive step and
+/// [`SimBudget::check_finite`] on freshly computed values. The budget is
+/// `Clone` so snapshotting a kernel snapshots its budget; the engine
+/// installs a fresh budget per attempt, so consumed steps never leak
+/// across cases.
+#[derive(Debug, Clone, Default)]
+pub struct SimBudget {
+    max_steps: Option<u64>,
+    min_dt: Option<Time>,
+    cancel: CancelToken,
+    steps: u64,
+    probe: u32,
+    armed: bool,
+}
+
+impl SimBudget {
+    /// A budget with no limits: every check passes.
+    pub fn unlimited() -> Self {
+        SimBudget::default()
+    }
+
+    /// Caps the number of simulation steps.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self.armed = true;
+        self
+    }
+
+    /// Floors the adaptive timestep: a proposed step strictly below
+    /// `min_dt` is a [`GuardViolation::TimestepCollapse`].
+    #[must_use]
+    pub fn with_min_dt(mut self, min_dt: Time) -> Self {
+        self.min_dt = Some(min_dt);
+        self.armed = true;
+        self
+    }
+
+    /// Attaches a cancellation token (deadline and/or cooperative cancel).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self.armed = true;
+        self
+    }
+
+    /// Whether any guard is configured. `false` for
+    /// [`SimBudget::unlimited`]; kernels may use this to skip optional
+    /// (per-value) checks when running unguarded.
+    pub fn is_limited(&self) -> bool {
+        self.armed
+    }
+
+    /// The configured step cap, if any.
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
+    }
+
+    /// The configured timestep floor, if any.
+    pub fn min_dt(&self) -> Option<Time> {
+        self.min_dt
+    }
+
+    /// The attached cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Steps consumed so far (via [`SimBudget::note_step`]).
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Counts one simulation step and runs the per-step checks: step
+    /// budget, cancellation flag, and (every [`CLOCK_STRIDE`] steps) the
+    /// wall-clock deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardViolation::StepBudgetExhausted`], [`GuardViolation::Cancelled`]
+    /// or [`GuardViolation::Deadline`].
+    pub fn note_step(&mut self, now: Time) -> Result<(), GuardViolation> {
+        self.steps += 1;
+        if let Some(max) = self.max_steps {
+            if self.steps > max {
+                return Err(GuardViolation::StepBudgetExhausted {
+                    steps: self.steps,
+                    t: now,
+                });
+            }
+        }
+        if self.cancel.is_cancelled() {
+            return Err(GuardViolation::Cancelled { t: now });
+        }
+        self.probe += 1;
+        if self.probe >= CLOCK_STRIDE {
+            self.probe = 0;
+            if self.cancel.expired() {
+                return Err(GuardViolation::Deadline { t: now });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a proposed adaptive timestep against the configured floor.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardViolation::TimestepCollapse`] when `dt < min_dt`.
+    pub fn check_dt(&self, dt: Time, now: Time) -> Result<(), GuardViolation> {
+        if let Some(min_dt) = self.min_dt {
+            if dt < min_dt {
+                return Err(GuardViolation::TimestepCollapse { dt, min_dt, t: now });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks one freshly computed value for NaN/Inf.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardViolation::NonFinite`] when `value` is NaN or infinite.
+    pub fn check_finite(signal: &str, value: f64, now: Time) -> Result<(), GuardViolation> {
+        if value.is_finite() {
+            Ok(())
+        } else {
+            Err(GuardViolation::NonFinite {
+                signal: signal.to_owned(),
+                t: now,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_passes_every_check() {
+        let mut b = SimBudget::unlimited();
+        for i in 0..10_000 {
+            b.note_step(Time::from_ns(i)).unwrap();
+        }
+        b.check_dt(Time::RESOLUTION, Time::ZERO).unwrap();
+        assert_eq!(b.steps_used(), 10_000);
+    }
+
+    #[test]
+    fn step_budget_trips_exactly_after_the_cap() {
+        let mut b = SimBudget::unlimited().with_max_steps(3);
+        for _ in 0..3 {
+            b.note_step(Time::ZERO).unwrap();
+        }
+        match b.note_step(Time::from_ns(9)).unwrap_err() {
+            GuardViolation::StepBudgetExhausted { steps, t } => {
+                assert_eq!(steps, 4);
+                assert_eq!(t, Time::from_ns(9));
+            }
+            other => panic!("unexpected violation {other}"),
+        }
+    }
+
+    #[test]
+    fn min_dt_floor_detects_collapse() {
+        let b = SimBudget::unlimited().with_min_dt(Time::from_ps(10));
+        b.check_dt(Time::from_ps(10), Time::ZERO).unwrap();
+        let err = b.check_dt(Time::from_ps(9), Time::from_ns(1)).unwrap_err();
+        assert_eq!(
+            err,
+            GuardViolation::TimestepCollapse {
+                dt: Time::from_ps(9),
+                min_dt: Time::from_ps(10),
+                t: Time::from_ns(1),
+            }
+        );
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let mut b = SimBudget::unlimited().with_cancel(token.clone());
+        b.note_step(Time::ZERO).unwrap();
+        token.cancel();
+        assert!(matches!(
+            b.note_step(Time::ZERO).unwrap_err(),
+            GuardViolation::Cancelled { .. }
+        ));
+        assert!(b.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_trips_within_one_clock_stride() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(token.expired() && token.should_stop());
+        let mut b = SimBudget::unlimited().with_cancel(token);
+        let mut tripped = None;
+        for i in 0..=u64::from(CLOCK_STRIDE) {
+            if let Err(e) = b.note_step(Time::from_ns(i as i64)) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        assert!(
+            matches!(tripped, Some(GuardViolation::Deadline { .. })),
+            "{tripped:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_values_are_named() {
+        SimBudget::check_finite("vctrl", 2.5, Time::ZERO).unwrap();
+        let err = SimBudget::check_finite("vctrl", f64::NAN, Time::from_ns(5)).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            format!("non-finite signal=vctrl t={}", Time::from_ns(5).as_fs())
+        );
+        assert!(SimBudget::check_finite("x", f64::INFINITY, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn violation_display_is_stable() {
+        let v = GuardViolation::StepBudgetExhausted {
+            steps: 11,
+            t: Time::from_ns(2),
+        };
+        assert_eq!(v.to_string(), "step-budget-exhausted steps=11 t=2000000");
+    }
+}

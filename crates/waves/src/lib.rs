@@ -48,6 +48,7 @@
 
 mod compare;
 mod fork;
+mod guard;
 mod logic;
 pub mod measure;
 mod time;
@@ -61,6 +62,7 @@ pub use compare::{
     Tolerance,
 };
 pub use fork::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim};
+pub use guard::{CancelToken, GuardViolation, SimBudget, CLOCK_STRIDE};
 pub use logic::Logic;
 pub use time::Time;
 pub use trace::Trace;
