@@ -7,8 +7,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 
 # PR 2 bench smoke: checkpoint-vs-scratch speedup on the PLL injection-time
-# sweep, emitting BENCH_pr2.json (cases/sec + speedup at 1/4/8 workers).
-# The binary also asserts forked runs are byte-identical to from-scratch.
+# sweep, emitting results/bench/BENCH_pr2.json (cases/sec + speedup at
+# 1/4/8 workers). The binary also asserts forked runs are byte-identical
+# to from-scratch.
 cargo build --release -p amsfi-bench --bin pr2_checkpoint_bench
 ./target/release/pr2_checkpoint_bench
 
@@ -19,6 +20,33 @@ cargo build --release -p amsfi-bench --bin pr3_chaos_smoke
 ./target/release/pr3_chaos_smoke
 
 # PR 3 guard-overhead bench: guarded vs unguarded fast-PLL sweep, emitting
-# BENCH_pr3.json; asserts the robustness layer costs <= 5% on the hot path.
+# results/bench/BENCH_pr3.json; asserts the robustness layer costs <= 5%
+# on the hot path.
 cargo build --release -p amsfi-bench --bin pr3_guard_bench
 ./target/release/pr3_guard_bench
+
+# PR 4 telemetry smoke: in-process validation (every JSONL record parses,
+# one case span per executed case, Prometheus dump line-parseable), then
+# the CLI surface — a guarded run with --events/--metrics and an
+# `amsfi report` journal+events join.
+cargo build --release -p amsfi-bench --bin pr4_telemetry_smoke
+./target/release/pr4_telemetry_smoke
+
+cargo build --release -p amsfi-engine --bin amsfi
+tmp=$(mktemp -d)
+./target/release/amsfi run pll-digital --limit 6 --checkpoint \
+    --max-steps 100000000 --min-dt-fs 1 --quarantine \
+    --journal "$tmp/j.log" --events "$tmp/e.jsonl" --metrics "$tmp/m.prom" \
+    --progress-secs 1
+test -s "$tmp/e.jsonl"
+test -s "$tmp/m.prom"
+grep -q amsfi_solver_steps_total "$tmp/m.prom"
+grep -q amsfi_stage_latency_microseconds "$tmp/m.prom"
+./target/release/amsfi report "$tmp/j.log" --events "$tmp/e.jsonl"
+rm -rf "$tmp"
+
+# PR 4 telemetry-overhead bench: Telemetry::disabled() vs fully
+# instrumented (metrics + JSONL events) fast-PLL sweep, emitting
+# results/bench/BENCH_pr4.json; asserts telemetry costs <= 5%.
+cargo build --release -p amsfi-bench --bin pr4_telemetry_bench
+./target/release/pr4_telemetry_bench

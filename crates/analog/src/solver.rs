@@ -10,6 +10,14 @@
 
 use crate::block::{AnalogBlock, AnalogContext, UnknownParamError};
 use crate::circuit::{AnalogCircuit, BlockId, NodeId, NodeKind};
+
+/// Telemetry batching stride for the shared solver-step counter: the hot
+/// loop touches the contended atomic once per this many steps.
+const SOLVER_METRICS_STRIDE: u32 = 64;
+
+/// Telemetry sampling stride for the proposed-`dt` histogram: record every
+/// N-th proposal (including the first) instead of all of them.
+const DT_SAMPLE_STRIDE: u64 = 16;
 use amsfi_waves::{
     Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, GuardViolation, SimBudget, Time, Trace,
 };
@@ -241,6 +249,15 @@ impl AnalogSolver {
                 dt = dt.min(hint.max(Time::RESOLUTION));
             }
         }
+        // Sampled 1-in-16 (keyed off the step count, so the very first
+        // proposal is always recorded): the distribution is what matters,
+        // and per-proposal atomic RMWs on the shared registry are the
+        // dominant telemetry cost under multi-worker contention.
+        if self.steps_taken.is_multiple_of(DT_SAMPLE_STRIDE) {
+            if let Some(metrics) = self.budget.metrics() {
+                metrics.proposed_dt_fs.observe(dt.as_fs().max(0) as u64);
+            }
+        }
         dt
     }
 
@@ -272,6 +289,16 @@ impl AnalogSolver {
         }
         self.now += dt;
         self.steps_taken += 1;
+        // Batched: one contended RMW per SOLVER_METRICS_STRIDE steps. The
+        // tail (< stride, per attempt) is noise on a throughput counter.
+        if self
+            .steps_taken
+            .is_multiple_of(u64::from(SOLVER_METRICS_STRIDE))
+        {
+            if let Some(metrics) = self.budget.metrics() {
+                metrics.solver_steps.add(u64::from(SOLVER_METRICS_STRIDE));
+            }
+        }
         self.record();
     }
 

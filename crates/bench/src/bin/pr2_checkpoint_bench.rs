@@ -132,8 +132,11 @@ fn main() {
          \"results\": [\n{entries}\n  ]\n}}\n",
         campaign.cases.len()
     );
-    let path: std::path::PathBuf =
-        std::env::var_os("AMSFI_BENCH_JSON").map_or_else(|| "BENCH_pr2.json".into(), Into::into);
+    let path: std::path::PathBuf = std::env::var_os("AMSFI_BENCH_JSON")
+        .map_or_else(|| "results/bench/BENCH_pr2.json".into(), Into::into);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create bench output dir");
+    }
     std::fs::write(&path, &json).expect("write bench json");
     println!("\n  -> wrote {}", path.display());
 }

@@ -1,0 +1,103 @@
+//! **PR 4 telemetry smoke** — end-to-end check of the observability layer
+//! on a small guarded PLL campaign: every JSONL record parses, every
+//! executed case has a span record, and the Prometheus dump is
+//! line-parseable with the expected metric families present.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin pr4_telemetry_smoke
+//! ```
+
+use amsfi_bench::banner;
+use amsfi_engine::{campaigns, Engine, EngineConfig, Event, Telemetry};
+use amsfi_waves::Time;
+use std::collections::BTreeSet;
+
+const LIMIT: usize = 6;
+
+/// A Prometheus text line is a comment or `name[{labels}] value`.
+fn assert_prometheus_line(line: &str) {
+    if line.is_empty() || line.starts_with('#') {
+        return;
+    }
+    let (name_part, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("metrics line without a value: {line:?}"));
+    assert!(
+        value.parse::<f64>().is_ok(),
+        "unparseable metric value in {line:?}"
+    );
+    let name = name_part.split('{').next().unwrap_or(name_part);
+    assert!(
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "bad metric name in {line:?}"
+    );
+}
+
+fn main() {
+    banner("PR 4 — telemetry smoke (guarded fast-PLL campaign)");
+    let events_path =
+        std::env::temp_dir().join(format!("amsfi-pr4-smoke-{}.jsonl", std::process::id()));
+    let telemetry = Telemetry::builder()
+        .events_path(&events_path)
+        .build()
+        .expect("open events stream");
+    let campaign = campaigns::build("pll-digital", Some(LIMIT)).expect("catalog campaign");
+    let config = EngineConfig::default()
+        .with_checkpoint(true)
+        .with_max_steps(100_000_000)
+        .with_min_dt(Time::from_fs(1))
+        .with_telemetry(telemetry.clone());
+    let report = Engine::new(config).run(&campaign).expect("smoke campaign");
+    telemetry.close();
+
+    // Every JSONL record must parse; every executed case must have a span.
+    let text = std::fs::read_to_string(&events_path).expect("read events stream");
+    let mut case_spans: BTreeSet<u64> = BTreeSet::new();
+    let mut records = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let event =
+            Event::parse(line).unwrap_or_else(|e| panic!("malformed event record {line:?}: {e}"));
+        records += 1;
+        if event.kind == "span" && event.name == "case" {
+            case_spans.insert(event.case.expect("case span without an index"));
+        }
+    }
+    assert_eq!(
+        case_spans.len(),
+        report.stats.done,
+        "expected one case span per executed case"
+    );
+    println!(
+        "  {} event record(s), {} case span(s)",
+        records,
+        case_spans.len()
+    );
+
+    // The Prometheus dump must be line-parseable and carry the new families.
+    let metrics = telemetry.metrics().expect("enabled telemetry has metrics");
+    let dump = format!("{}{}", report.stats.prometheus(), metrics.to_prometheus());
+    for line in dump.lines() {
+        assert_prometheus_line(line);
+    }
+    for family in [
+        "amsfi_solver_steps_total",
+        "amsfi_guard_trips_total",
+        "amsfi_stage_latency_microseconds",
+        "amsfi_case_latency_microseconds",
+        "amsfi_proposed_dt_femtoseconds",
+        "amsfi_snapshot_cache_total",
+        "amsfi_budget_steps_used",
+    ] {
+        assert!(dump.contains(family), "metrics dump missing {family}");
+    }
+    println!(
+        "  metrics dump: {} line(s), all parseable",
+        dump.lines().count()
+    );
+
+    std::fs::remove_file(&events_path).ok();
+    println!("  telemetry smoke passed ({} case(s))", report.stats.done);
+}

@@ -452,6 +452,15 @@ impl Simulator {
     /// installed [`SimBudget`] trips (step budget, deadline, cancellation).
     pub fn run_until(&mut self, t_end: Time) -> Result<(), SimError> {
         self.started = true;
+        let before = self.events_processed;
+        let result = self.drain_until(t_end);
+        if let Some(metrics) = self.budget.metrics() {
+            metrics.digital_events.add(self.events_processed - before);
+        }
+        result
+    }
+
+    fn drain_until(&mut self, t_end: Time) -> Result<(), SimError> {
         while let Some(event) = self.queue.peek() {
             let t = event.time;
             if t > t_end {

@@ -4,22 +4,30 @@
 //! amsfi list
 //! amsfi run <campaign> [--workers N] [--shard I/C] [--journal PATH]
 //!           [--resume] [--checkpoint] [--timeout-ms N] [--retries N]
-//!           [--backoff-ms N] [--policy fail-fast|skip] [--progress-ms N]
+//!           [--backoff-ms N] [--policy fail-fast|skip] [--progress-secs N]
 //!           [--max-steps N] [--min-dt-fs N] [--quarantine]
-//!           [--limit N] [--out DIR]
+//!           [--events PATH] [--metrics PATH] [--limit N] [--out DIR]
 //! amsfi merge <journal>... [--out DIR]
+//! amsfi report <journal> [--events PATH] [--top N]
 //! ```
 //!
 //! `run` executes a named campaign (see `amsfi list`) through the engine:
 //! sharded with `--shard I/C`, checkpointed with `--journal`, resumable
-//! with `--resume`. `merge` combines shard journals into one report.
-//! A `run` that completes but leaves quarantined poison cases exits with
-//! code 3 (distinct from success 0, engine failure 2 and usage error 64).
+//! with `--resume`, traced with `--events` (JSONL) and `--metrics`
+//! (Prometheus text). `merge` combines shard journals into one report.
+//! `report` joins a journal with its event stream into a per-case
+//! latency/retry/guard breakdown. A `run` that completes but leaves
+//! quarantined poison cases exits with code 3 (distinct from success 0,
+//! engine failure 2 and usage error 64).
 
 use amsfi_core::report;
-use amsfi_engine::{campaigns, journal, Engine, EngineConfig, EngineReport, ErrorPolicy, Shard};
+use amsfi_engine::{
+    campaigns, journal, Engine, EngineConfig, EngineReport, ErrorPolicy, Event, JournalEntry,
+    Shard, StatsSnapshot, Telemetry,
+};
 use amsfi_waves::Time;
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -43,7 +51,17 @@ USAGE:
           --retries N        extra attempts per failing case (default 0)
           --backoff-ms N     base retry backoff, doubled per retry (default 50)
           --policy P         fail-fast | skip (default skip)
-          --progress-ms N    progress line to stderr every N ms
+          --progress-secs N  progress cadence in seconds (default 2, 0 = off);
+                             each tick goes to stderr and, with --events,
+                             to the JSONL stream as a `progress` record
+          --progress-ms N    progress cadence in milliseconds (fine-grained
+                             alias of --progress-secs)
+          --events PATH      stream structured JSONL events (spans, guard
+                             trips, retries, quarantines, worker lifecycle)
+                             to PATH
+          --metrics PATH     dump engine + kernel metrics to PATH in
+                             Prometheus text format at exit (also written
+                             when the run fails or is cancelled)
           --max-steps N      per-attempt simulation step budget
           --min-dt-fs N      adaptive-timestep floor in femtoseconds;
                              a kernel proposing a smaller step is stopped
@@ -55,6 +73,11 @@ USAGE:
 
   amsfi merge <journal>... [--out DIR]
         Merge shard journals of one campaign into a single report.
+
+  amsfi report <journal> [--events PATH] [--top N]
+        Join a journal with its `--events` JSONL stream into a per-case
+        latency/retry/guard breakdown and a top-N slowest listing
+        (default top 10).
 
 EXIT CODES:
   0   success
@@ -72,6 +95,7 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("merge") => merge(&args[1..]),
+        Some("report") => report_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -126,9 +150,16 @@ impl<'a> Options<'a> {
 
 fn run(args: &[String]) -> ExitCode {
     let mut name: Option<&str> = None;
-    let mut config = EngineConfig::default();
+    let mut config = EngineConfig {
+        // The CLI defaults to a 2-second progress cadence; `--progress-secs 0`
+        // switches it off.
+        progress: Some(Duration::from_secs(2)),
+        ..EngineConfig::default()
+    };
     let mut limit = None;
     let mut out: Option<PathBuf> = None;
+    let mut events: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
 
     let mut opts = Options::new(args);
     let parsed: Result<(), String> = (|| {
@@ -153,9 +184,16 @@ fn run(args: &[String]) -> ExitCode {
                         other => return Err(format!("bad value for --policy: {other:?}")),
                     };
                 }
-                "--progress-ms" => {
-                    config.progress = Some(Duration::from_millis(opts.parse(arg)?));
+                "--progress-secs" => {
+                    let secs: u64 = opts.parse(arg)?;
+                    config.progress = (secs > 0).then(|| Duration::from_secs(secs));
                 }
+                "--progress-ms" => {
+                    let ms: u64 = opts.parse(arg)?;
+                    config.progress = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                "--events" => events = Some(PathBuf::from(opts.value(arg)?)),
+                "--metrics" => metrics_out = Some(PathBuf::from(opts.value(arg)?)),
                 "--max-steps" => config.max_steps = Some(opts.parse(arg)?),
                 "--min-dt-fs" => {
                     config.min_dt = Some(Time::from_fs(opts.parse(arg)?));
@@ -185,6 +223,25 @@ fn run(args: &[String]) -> ExitCode {
         return ExitCode::from(64);
     };
 
+    // Telemetry is enabled as soon as either export is requested:
+    // `--metrics` alone runs metrics-only (no event ring, no drainer).
+    let telemetry = if events.is_some() || metrics_out.is_some() {
+        let mut builder = Telemetry::builder();
+        if let Some(path) = &events {
+            builder = builder.events_path(path);
+        }
+        match builder.build() {
+            Ok(telemetry) => telemetry,
+            Err(e) => {
+                eprintln!("amsfi run: opening events stream: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Telemetry::disabled()
+    };
+    config.telemetry = telemetry.clone();
+
     println!(
         "campaign {name}: {} case(s), shard {}, {}",
         campaign.cases.len(),
@@ -198,10 +255,14 @@ fn run(args: &[String]) -> ExitCode {
         Ok(report) => report,
         Err(e) => {
             eprintln!("amsfi run: {e}");
+            // A failed (or cooperatively cancelled) run still dumps the
+            // kernel metrics gathered so far.
+            finish_telemetry(&telemetry, metrics_out.as_deref(), None);
             return ExitCode::from(2);
         }
     };
     print_report(&report);
+    finish_telemetry(&telemetry, metrics_out.as_deref(), Some(&report.stats));
     if let Err(e) = write_outputs(out.as_deref(), &report) {
         eprintln!("amsfi run: {e}");
         return ExitCode::from(2);
@@ -307,6 +368,167 @@ fn print_quarantine(quarantined: &[amsfi_engine::QuarantinedCase]) {
             q.index, q.case.label, q.attempts, q.reason
         );
     }
+}
+
+/// Flushes the telemetry sinks at the end of a run: writes the Prometheus
+/// dump (engine gauges + kernel registry) when `--metrics` was given, then
+/// closes the event drainer so the JSONL stream is complete on disk.
+fn finish_telemetry(
+    telemetry: &Telemetry,
+    metrics_out: Option<&Path>,
+    stats: Option<&StatsSnapshot>,
+) {
+    if let Some(path) = metrics_out {
+        let mut text = String::new();
+        if let Some(stats) = stats {
+            text.push_str(&stats.prometheus());
+        }
+        if let Some(metrics) = telemetry.metrics() {
+            text.push_str(&metrics.to_prometheus());
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("amsfi run: writing {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+    telemetry.close();
+}
+
+/// Per-case aggregate joined from the event stream.
+#[derive(Default)]
+struct CaseBreakdown {
+    total_us: u64,
+    simulate_us: u64,
+    retries: u64,
+    timeouts: u64,
+    guards: Vec<String>,
+    attempts: u64,
+}
+
+fn report_cmd(args: &[String]) -> ExitCode {
+    let mut journal_path: Option<PathBuf> = None;
+    let mut events_path: Option<PathBuf> = None;
+    let mut top = 10usize;
+    let mut opts = Options::new(args);
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = opts.next() {
+            match arg {
+                "--events" => events_path = Some(PathBuf::from(opts.value(arg)?)),
+                "--top" => top = opts.parse(arg)?,
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown option {flag:?}"));
+                }
+                path if journal_path.is_none() => journal_path = Some(PathBuf::from(path)),
+                extra => return Err(format!("unexpected argument {extra:?}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("amsfi report: {e}");
+        return ExitCode::from(64);
+    }
+    let Some(journal_path) = journal_path else {
+        eprintln!("amsfi report: missing journal path");
+        return ExitCode::from(64);
+    };
+
+    let (meta, entries) = match journal::merge(std::slice::from_ref(&journal_path)) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("amsfi report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (result, skipped, quarantined) = journal::assemble(&entries);
+    println!(
+        "campaign {}: {} of {} case(s) journaled",
+        meta.name,
+        entries.len(),
+        meta.cases
+    );
+    print!("{}", report::summary_table(&result));
+
+    // Join the JSONL event stream (if given) into per-case aggregates.
+    let mut cases: BTreeMap<u64, CaseBreakdown> = BTreeMap::new();
+    let mut parsed_events = 0u64;
+    let mut malformed = 0u64;
+    if let Some(path) = &events_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("amsfi report: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let Ok(event) = Event::parse(line) else {
+                malformed += 1;
+                continue;
+            };
+            parsed_events += 1;
+            let Some(case) = event.case else { continue };
+            let slot = cases.entry(case).or_default();
+            match (event.kind.as_str(), event.name.as_str()) {
+                ("span", "case") => {
+                    slot.total_us = slot.total_us.max(event.dur_us.unwrap_or(0));
+                    if let Some((_, attempts)) = event.fields.iter().find(|(k, _)| k == "attempts")
+                    {
+                        slot.attempts = slot.attempts.max(attempts.parse().unwrap_or(0));
+                    }
+                }
+                ("span", "case/simulate") => {
+                    slot.simulate_us += event.dur_us.unwrap_or(0);
+                }
+                ("retry", _) => slot.retries += 1,
+                ("timeout", _) => slot.timeouts += 1,
+                ("guard", _) => slot.guards.push(event.name.clone()),
+                _ => {}
+            }
+        }
+        println!("events: {parsed_events} parsed, {malformed} malformed");
+    }
+
+    if !cases.is_empty() {
+        let mut ranked: Vec<(&u64, &CaseBreakdown)> = cases.iter().collect();
+        ranked.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
+        ranked.truncate(top);
+        println!("top {} slowest case(s):", ranked.len());
+        println!(
+            "  {:>6} {:<24} {:<12} {:>8} {:>10} {:>10} {:>7} {:>8} guards",
+            "case", "label", "class", "attempts", "total_us", "sim_us", "retries", "timeouts"
+        );
+        for (index, breakdown) in ranked {
+            let (label, class) = match entries.get(&(*index as usize)) {
+                Some(JournalEntry::Done(r)) => (r.case.label.clone(), r.outcome.class.to_string()),
+                Some(JournalEntry::Skipped(s)) => (s.case.label.clone(), "skipped".to_owned()),
+                Some(JournalEntry::Quarantined(q)) => {
+                    (q.case.label.clone(), "quarantined".to_owned())
+                }
+                None => ("?".to_owned(), "?".to_owned()),
+            };
+            println!(
+                "  {:>6} {:<24} {:<12} {:>8} {:>10} {:>10} {:>7} {:>8} {}",
+                index,
+                label,
+                class,
+                breakdown.attempts,
+                breakdown.total_us,
+                breakdown.simulate_us,
+                breakdown.retries,
+                breakdown.timeouts,
+                if breakdown.guards.is_empty() {
+                    "-".to_owned()
+                } else {
+                    breakdown.guards.join(",")
+                }
+            );
+        }
+    }
+    print_skips(&skipped);
+    print_quarantine(&quarantined);
+    ExitCode::SUCCESS
 }
 
 fn write_outputs(out: Option<&std::path::Path>, report: &EngineReport) -> std::io::Result<()> {

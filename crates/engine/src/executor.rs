@@ -19,6 +19,7 @@ use amsfi_core::{
     classify, injection_stops, CampaignResult, CaseOutcome, CaseResult, ClassifySpec, FaultCase,
     SimFailure,
 };
+use amsfi_telemetry::{Event, GuardKind, KernelMetrics, Telemetry};
 use amsfi_waves::{CancelToken, Checkpoint, ForkableSim, SimBudget, Time, Trace};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -79,6 +80,9 @@ pub struct EngineConfig {
     /// journaled as quarantined and excluded from every future `--resume`
     /// of that journal, instead of being re-attempted on each resume.
     pub quarantine: bool,
+    /// Telemetry sink: structured JSONL events plus kernel metrics. The
+    /// default [`Telemetry::disabled`] handle is a near-zero-cost no-op.
+    pub telemetry: Telemetry,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +101,7 @@ impl Default for EngineConfig {
             max_steps: None,
             min_dt: None,
             quarantine: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -193,6 +198,13 @@ impl EngineConfig {
         self
     }
 
+    /// Routes structured events and kernel metrics through `telemetry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
@@ -213,6 +225,7 @@ pub struct CaseCtx {
     attempt: u32,
     stats: Option<Arc<EngineStats>>,
     budget: SimBudget,
+    telemetry: Telemetry,
     timer: Mutex<(Instant, Option<Stage>)>,
 }
 
@@ -222,12 +235,14 @@ impl CaseCtx {
         attempt: u32,
         stats: Arc<EngineStats>,
         budget: SimBudget,
+        telemetry: Telemetry,
     ) -> Self {
         CaseCtx {
             index,
             attempt,
             stats: Some(stats),
             budget,
+            telemetry,
             timer: Mutex::new((Instant::now(), None)),
         }
     }
@@ -241,6 +256,7 @@ impl CaseCtx {
             attempt: 0,
             stats: None,
             budget: SimBudget::unlimited(),
+            telemetry: Telemetry::disabled(),
             timer: Mutex::new((Instant::now(), None)),
         }
     }
@@ -273,6 +289,7 @@ impl CaseCtx {
         let now = Instant::now();
         if let (Some(stats), Some(open)) = (&self.stats, timer.1) {
             stats.record_stage(open, now - timer.0);
+            self.emit_stage(open, now - timer.0);
         }
         *timer = (now, Some(stage));
     }
@@ -281,7 +298,25 @@ impl CaseCtx {
         let mut timer = self.timer.lock().expect("stage timer poisoned");
         if let (Some(stats), Some(open)) = (&self.stats, timer.1.take()) {
             stats.record_stage(open, timer.0.elapsed());
+            self.emit_stage(open, timer.0.elapsed());
         }
+    }
+
+    fn emit_stage(&self, stage: Stage, elapsed: Duration) {
+        self.telemetry.emit_with(|| {
+            let scope = if self.index.is_some() {
+                "case"
+            } else {
+                "golden"
+            };
+            let mut event = Event::new("span", format!("{scope}/{stage}"))
+                .with_dur_us(elapsed.as_micros() as u64)
+                .with_field("attempt", self.attempt);
+            if let Some(index) = self.index {
+                event = event.with_case(index);
+            }
+            event
+        });
     }
 }
 
@@ -654,7 +689,29 @@ impl Engine {
             .count();
         let pending = journal::pending(&entries, total, cfg.shard);
 
-        let stats = Arc::new(EngineStats::new(pending.len()));
+        // Resumed completions and previously-quarantined cases both count
+        // exactly once in the summary denominator.
+        let prior_quarantined = entries
+            .values()
+            .filter(|e| matches!(e, JournalEntry::Quarantined(_)))
+            .count();
+
+        let tele = &cfg.telemetry;
+        let metrics = tele
+            .metrics()
+            .cloned()
+            .unwrap_or_else(|| Arc::new(KernelMetrics::new()));
+        let stats = Arc::new(EngineStats::with_metrics(pending.len(), metrics));
+        stats.seed_resumed(resumed + prior_quarantined, prior_quarantined);
+
+        tele.emit_with(|| {
+            Event::new("campaign", &campaign.name)
+                .with_field("cases", pending.len())
+                .with_field("resumed", resumed)
+                .with_field("prior_quarantined", prior_quarantined)
+                .with_field("workers", cfg.effective_workers())
+                .with_field("checkpoint", cfg.checkpoint)
+        });
 
         let fork_spec = if cfg.checkpoint {
             campaign.fork.as_ref()
@@ -668,9 +725,16 @@ impl Engine {
         // inline (panic-isolated but without retry/timeout: a failing
         // golden run is fatal under any policy).
         let mut snaps: BTreeMap<Time, Snapshot> = BTreeMap::new();
+        let golden_t0 = Instant::now();
         let golden = match fork_spec {
             Some(spec) => {
-                let ctx = CaseCtx::attached(None, 0, Arc::clone(&stats), self.case_budget());
+                let ctx = CaseCtx::attached(
+                    None,
+                    0,
+                    Arc::clone(&stats),
+                    self.case_budget(),
+                    tele.clone(),
+                );
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     (spec.golden)(&ctx, &mut |t, snap| {
                         snaps.insert(t, snap);
@@ -695,6 +759,12 @@ impl Engine {
                 Attempt::TimedOut => return Err(EngineError::Golden("timed out".to_owned())),
             },
         };
+        tele.emit_with(|| {
+            Event::new("span", "golden")
+                .with_dur_us(golden_t0.elapsed().as_micros() as u64)
+                .with_field("snapshots", snaps.len())
+                .with_field("checkpoint", fork_spec.is_some())
+        });
 
         let golden_ref = &golden;
         let next = AtomicUsize::new(0);
@@ -726,7 +796,15 @@ impl Engine {
                     while !stop.load(Ordering::Relaxed) {
                         std::thread::sleep(Duration::from_millis(25));
                         if last.elapsed() >= interval {
-                            eprintln!("{}", stats.snapshot());
+                            let snap = stats.snapshot();
+                            eprintln!("{snap}");
+                            tele.emit_with(|| {
+                                Event::new("progress", "tick")
+                                    .with_field("done", snap.done)
+                                    .with_field("total", snap.total)
+                                    .with_field("quarantined", snap.quarantined)
+                                    .with_field("rate_per_s", format!("{:.1}", snap.rate()))
+                            });
                             last = Instant::now();
                         }
                     }
@@ -735,58 +813,81 @@ impl Engine {
 
             let handles: Vec<_> = worker_caches
                 .into_iter()
-                .map(|cache| {
+                .enumerate()
+                .map(|(worker_id, cache)| {
                     let stats = Arc::clone(&stats);
                     let (next, stop, fatal, fresh) = (&next, &stop, &fatal, &fresh);
                     let (pending, journal) = (&pending, &journal);
-                    scope.spawn(move || loop {
-                        if stop.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let slot = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&index) = pending.get(slot) else {
-                            break;
-                        };
-                        // In checkpoint mode, wrap the fork closure and this
-                        // case's snapshot (taken at the largest stop not
-                        // after its injection instant) into a runner.
-                        let forked = fork_spec.and_then(|spec| {
-                            let at = campaign.cases[index].injected_at.min(spec.t_end);
-                            cache.range(..=at).next_back().map(|(t, snap)| {
-                                let snap = Arc::clone(snap);
-                                let fork = Arc::clone(&spec.fork);
-                                let runner: CaseRunner = Arc::new(move |ctx: &CaseCtx| {
-                                    // Deep-clone under a short lock so a
-                                    // timed-out (abandoned) attempt cannot
-                                    // wedge later retries of the same case.
-                                    let owned =
-                                        snap.lock().expect("snapshot poisoned").clone_snapshot();
-                                    fork(ctx, &owned)
-                                });
-                                (runner, *t)
-                            })
+                    scope.spawn(move || {
+                        tele.emit_with(|| {
+                            Event::new("worker", "start").with_field("worker", worker_id)
                         });
-                        let outcome = self.execute_one(
-                            campaign,
-                            index,
-                            golden_ref,
-                            &stats,
-                            journal.as_ref(),
-                            forked,
-                        );
-                        match outcome {
-                            Ok(entry) => {
-                                fresh.lock().expect("results poisoned").push((index, entry));
-                            }
-                            Err(error) => {
-                                stop.store(true, Ordering::Relaxed);
-                                let mut fatal = fatal.lock().expect("fatal slot poisoned");
-                                if fatal.is_none() {
-                                    *fatal = Some(error);
-                                }
+                        let mut claimed = 0usize;
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
                                 break;
                             }
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&index) = pending.get(slot) else {
+                                break;
+                            };
+                            claimed += 1;
+                            // In checkpoint mode, wrap the fork closure and this
+                            // case's snapshot (taken at the largest stop not
+                            // after its injection instant) into a runner.
+                            let forked = fork_spec.and_then(|spec| {
+                                let at = campaign.cases[index].injected_at.min(spec.t_end);
+                                let hit = cache.range(..=at).next_back().map(|(t, snap)| {
+                                    let snap = Arc::clone(snap);
+                                    let fork = Arc::clone(&spec.fork);
+                                    let runner: CaseRunner = Arc::new(move |ctx: &CaseCtx| {
+                                        // Deep-clone under a short lock so a
+                                        // timed-out (abandoned) attempt cannot
+                                        // wedge later retries of the same case.
+                                        let owned = snap
+                                            .lock()
+                                            .expect("snapshot poisoned")
+                                            .clone_snapshot();
+                                        fork(ctx, &owned)
+                                    });
+                                    (runner, *t)
+                                });
+                                if let Some(metrics) = tele.metrics() {
+                                    if hit.is_some() {
+                                        metrics.snapshot_hits.inc();
+                                    } else {
+                                        metrics.snapshot_misses.inc();
+                                    }
+                                }
+                                hit
+                            });
+                            let outcome = self.execute_one(
+                                campaign,
+                                index,
+                                golden_ref,
+                                &stats,
+                                journal.as_ref(),
+                                forked,
+                            );
+                            match outcome {
+                                Ok(entry) => {
+                                    fresh.lock().expect("results poisoned").push((index, entry));
+                                }
+                                Err(error) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    let mut fatal = fatal.lock().expect("fatal slot poisoned");
+                                    if fatal.is_none() {
+                                        *fatal = Some(error);
+                                    }
+                                    break;
+                                }
+                            }
                         }
+                        tele.emit_with(|| {
+                            Event::new("worker", "exit")
+                                .with_field("worker", worker_id)
+                                .with_field("claimed", claimed)
+                        });
                     })
                 })
                 .collect();
@@ -799,6 +900,20 @@ impl Engine {
             }
         });
 
+        // Fold journal I/O tallies into the metrics before any early
+        // return, so a fatal run still dumps accurate counters.
+        if let Some(journal) = &journal {
+            if let Some(metrics) = tele.metrics() {
+                metrics.journal_records.add(journal.records_written());
+                metrics.journal_bytes.add(journal.bytes_written());
+            }
+            tele.emit_with(|| {
+                Event::new("journal", "summary")
+                    .with_field("records", journal.records_written())
+                    .with_field("bytes", journal.bytes_written())
+            });
+        }
+
         if let Some(error) = fatal.into_inner().expect("fatal slot poisoned") {
             return Err(error);
         }
@@ -810,11 +925,19 @@ impl Engine {
         }
         let (mut result, skipped, quarantined) = journal::assemble(&entries);
         result.golden = golden;
+        let stats = stats.snapshot();
+        tele.emit_with(|| {
+            Event::new("campaign", "end")
+                .with_field("done", stats.done)
+                .with_field("total", stats.total)
+                .with_field("skipped", skipped.len())
+                .with_field("quarantined", quarantined.len())
+        });
         Ok(EngineReport {
             result,
             skipped,
             quarantined,
-            stats: stats.snapshot(),
+            stats,
             resumed,
         })
     }
@@ -835,6 +958,8 @@ impl Engine {
         forked: Option<(CaseRunner, Time)>,
     ) -> Result<JournalEntry, EngineError> {
         let case = &campaign.cases[index];
+        let tele = &self.config.telemetry;
+        let case_t0 = Instant::now();
         let (runner, mut forked_at) = match forked {
             Some((runner, at)) => (runner, Some(at)),
             None => (Arc::clone(&campaign.runner), None),
@@ -845,11 +970,15 @@ impl Engine {
         // fork path the case re-runs from scratch.
         if matches!(attempt, Attempt::RestoreFailed(_)) && forked_at.is_some() {
             forked_at = None;
+            if let Some(metrics) = tele.metrics() {
+                metrics.restore_fallbacks.inc();
+            }
+            tele.emit_with(|| Event::new("checkpoint", "fallback").with_case(index));
             let (fallback, n) = self.attempt_case(&campaign.runner, Some(index), stats);
             attempt = fallback;
             attempts += n;
         }
-        match attempt {
+        let outcome = match attempt {
             Attempt::Ok(trace) => {
                 let t0 = Instant::now();
                 let outcome = classify(&campaign.spec, golden, &trace);
@@ -867,6 +996,15 @@ impl Engine {
             Attempt::SimFailed(failure) => {
                 // A guard trip is a verdict, not an infrastructure error:
                 // the case is done, classified as a simulation failure.
+                let kind = guard_kind(&failure);
+                if let Some(metrics) = tele.metrics() {
+                    metrics.guard_trip(kind);
+                }
+                tele.emit_with(|| {
+                    Event::new("guard", kind.label())
+                        .with_case(index)
+                        .with_field("detail", &failure)
+                });
                 let outcome = CaseOutcome::from_sim_failure(failure);
                 stats.record_class(outcome.class);
                 let result = CaseResult {
@@ -905,6 +1043,12 @@ impl Engine {
                             journal.record_quarantine(&q)?;
                         }
                         stats.record_quarantine();
+                        tele.emit_with(|| {
+                            Event::new("quarantine", "case")
+                                .with_case(index)
+                                .with_field("attempts", q.attempts)
+                                .with_field("reason", &q.reason)
+                        });
                         Ok(JournalEntry::Quarantined(q))
                     }
                     ErrorPolicy::SkipAndRecord => {
@@ -918,11 +1062,36 @@ impl Engine {
                             journal.record_skip(&skip)?;
                         }
                         stats.record_skip();
+                        tele.emit_with(|| {
+                            Event::new("skip", "case")
+                                .with_case(index)
+                                .with_field("attempts", skip.attempts)
+                                .with_field("reason", &skip.error)
+                        });
                         Ok(JournalEntry::Skipped(skip))
                     }
                 }
             }
+        };
+        let dur_us = case_t0.elapsed().as_micros() as u64;
+        if let Some(metrics) = tele.metrics() {
+            metrics.case_latency_us.observe(dur_us);
         }
+        tele.emit_with(|| {
+            let mut event = Event::new("span", "case")
+                .with_case(index)
+                .with_dur_us(dur_us)
+                .with_field("label", &case.label)
+                .with_field("attempts", attempts);
+            event = match &outcome {
+                Ok(JournalEntry::Done(result)) => event.with_field("class", result.outcome.class),
+                Ok(JournalEntry::Skipped(_)) => event.with_field("outcome", "skipped"),
+                Ok(JournalEntry::Quarantined(_)) => event.with_field("outcome", "quarantined"),
+                Err(_) => event.with_field("outcome", "fatal"),
+            };
+            event
+        });
+        outcome
     }
 
     /// The retry loop around [`Engine::run_attempt`]. Returns the final
@@ -933,10 +1102,18 @@ impl Engine {
         index: Option<usize>,
         stats: &Arc<EngineStats>,
     ) -> (Attempt, u32) {
+        let tele = &self.config.telemetry;
         let mut last = Attempt::Failed("no attempt made".to_owned());
         for attempt in 0..=self.config.retries {
             if attempt > 0 {
                 stats.record_retry();
+                tele.emit_with(|| {
+                    let mut event = Event::new("retry", "attempt").with_field("attempt", attempt);
+                    if let Some(index) = index {
+                        event = event.with_case(index);
+                    }
+                    event
+                });
                 let backoff = self.config.backoff * 2u32.saturating_pow(attempt - 1);
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
@@ -945,6 +1122,13 @@ impl Engine {
             last = self.run_attempt(runner, index, attempt, stats);
             if let Attempt::TimedOut = last {
                 stats.record_timeout();
+                tele.emit_with(|| {
+                    let mut event = Event::new("timeout", "attempt").with_field("attempt", attempt);
+                    if let Some(index) = index {
+                        event = event.with_case(index);
+                    }
+                    event
+                });
             }
             if matches!(
                 last,
@@ -982,14 +1166,22 @@ impl Engine {
     ) -> Attempt {
         let runner = Arc::clone(runner);
         let token = self.config.timeout.map(CancelToken::with_deadline);
-        let budget = match &token {
+        let mut budget = match &token {
             Some(token) => self.case_budget().with_cancel(token.clone()),
             None => self.case_budget(),
         };
+        if let Some(metrics) = self.config.telemetry.metrics() {
+            budget = budget.with_metrics(Arc::clone(metrics));
+        }
+        // The probe shares the attempt's step tally (it is behind an `Arc`),
+        // so the engine can observe steps even when the attempt thread is
+        // abandoned after a timeout.
+        let budget_probe = budget.clone();
         let call = {
             let stats = Arc::clone(stats);
+            let telemetry = self.config.telemetry.clone();
             move || {
-                let ctx = CaseCtx::attached(index, attempt, stats, budget);
+                let ctx = CaseCtx::attached(index, attempt, stats, budget, telemetry);
                 let out = catch_unwind(AssertUnwindSafe(|| runner(&ctx)));
                 ctx.finish();
                 match out {
@@ -1007,6 +1199,19 @@ impl Engine {
                 }
             }
         };
+        let outcome = self.drive_attempt(call, &token);
+        if let Some(metrics) = self.config.telemetry.metrics() {
+            metrics.steps_used.observe(budget_probe.attempt_steps());
+        }
+        outcome
+    }
+
+    /// Runs `call` inline, or on a watchdog thread when a timeout is set.
+    fn drive_attempt(
+        &self,
+        call: impl FnOnce() -> Attempt + Send + 'static,
+        token: &Option<CancelToken>,
+    ) -> Attempt {
         let Some(timeout) = self.config.timeout else {
             return call();
         };
@@ -1028,7 +1233,16 @@ impl Engine {
         match rx.recv_timeout(timeout) {
             Ok(outcome) => {
                 let _ = handle.join();
-                outcome
+                match outcome {
+                    // The attempt observed its deadline token cooperatively
+                    // a moment before the engine's own timer expired. Same
+                    // timeout, same report — otherwise the winner of that
+                    // race decides between `timed out` and `sim-failure`.
+                    Attempt::SimFailed(SimFailure::Deadline { .. }) if token.is_some() => {
+                        Attempt::TimedOut
+                    }
+                    outcome => outcome,
+                }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if let Some(token) = &token {
@@ -1056,6 +1270,17 @@ impl Engine {
                 Attempt::Failed("attempt thread died without reporting".to_owned())
             }
         }
+    }
+}
+
+/// Which metrics/event bucket a structured simulation failure lands in.
+fn guard_kind(failure: &SimFailure) -> GuardKind {
+    match failure {
+        SimFailure::NonFinite { .. } => GuardKind::NonFinite,
+        SimFailure::StepBudgetExhausted { .. } => GuardKind::StepBudget,
+        SimFailure::TimestepCollapse { .. } => GuardKind::TimestepCollapse,
+        SimFailure::Deadline { .. } => GuardKind::Deadline,
+        SimFailure::Panicked { .. } => GuardKind::Panic,
     }
 }
 

@@ -204,6 +204,11 @@ pub fn fingerprint(name: &str, cases: &[FaultCase]) -> u64 {
 pub struct Journal {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+    /// Records appended by this writer (observability; excludes the header
+    /// and any pre-existing resumed records).
+    records: std::sync::atomic::AtomicU64,
+    /// Bytes appended by this writer, including record newlines.
+    bytes: std::sync::atomic::AtomicU64,
 }
 
 impl Journal {
@@ -265,6 +270,8 @@ impl Journal {
             Journal {
                 path: path.to_owned(),
                 writer: Mutex::new(writer),
+                records: std::sync::atomic::AtomicU64::new(0),
+                bytes: std::sync::atomic::AtomicU64::new(0),
             },
             entries,
         ))
@@ -348,10 +355,26 @@ impl Journal {
     }
 
     fn append(&self, line: &str) -> Result<(), JournalError> {
+        use std::sync::atomic::Ordering;
         let mut writer = self.writer.lock().expect("journal writer poisoned");
         writeln!(writer, "{line}")
             .and_then(|()| writer.flush())
-            .map_err(|e| JournalError::Io(self.path.clone(), e))
+            .map_err(|e| JournalError::Io(self.path.clone(), e))?;
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Records appended by this writer so far (excludes the header and any
+    /// records written by previous runs of a resumed journal).
+    pub fn records_written(&self) -> u64 {
+        self.records.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Bytes appended by this writer so far, including record newlines.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The path this journal writes to.

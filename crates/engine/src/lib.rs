@@ -18,9 +18,12 @@
 //! * a [`Shard`] API that partitions the case list deterministically so
 //!   shards run in separate processes or on separate machines, and their
 //!   journals merge into one [`amsfi_core::CampaignResult`] ([`shard`]);
-//! * an observability layer: atomic counters, periodic progress lines and a
-//!   per-stage (build / simulate / classify) wall-clock breakdown
-//!   ([`stats`]).
+//! * an observability layer: atomic counters, periodic progress lines, a
+//!   per-stage (build / simulate / classify) wall-clock breakdown with
+//!   latency percentiles ([`stats`]), and structured [`telemetry`] — JSONL
+//!   span/guard/retry/quarantine events plus kernel metrics (solver steps,
+//!   proposed-`dt` distribution, snapshot-cache hits) exportable as
+//!   Prometheus text via [`EngineConfig::with_telemetry`].
 //!
 //! The `amsfi` CLI binary (`src/bin/amsfi.rs`) drives the named case-study
 //! [`campaigns`] through this engine.
@@ -41,6 +44,10 @@ pub use executor::{
 pub use journal::{Journal, JournalEntry, JournalError, JournalMeta, QuarantinedCase, SkippedCase};
 pub use shard::Shard;
 pub use stats::{EngineStats, Stage, StatsSnapshot};
+
+/// Structured tracing and kernel metrics (re-export of `amsfi-telemetry`).
+pub use amsfi_telemetry as telemetry;
+pub use amsfi_telemetry::{Event, KernelMetrics, Telemetry};
 
 /// The boxed error type run closures report, matching `amsfi_core`.
 pub type BoxError = Box<dyn std::error::Error + Send + Sync>;

@@ -6,8 +6,10 @@
 //! case and never serialises the workers.
 
 use amsfi_core::FaultClass;
+use amsfi_telemetry::{prom_sample, prom_type, KernelMetrics};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The pipeline stages the engine attributes wall-clock time to.
@@ -62,13 +64,27 @@ pub struct EngineStats {
     skipped: AtomicUsize,
     /// Cases quarantined after exhausting the retry budget.
     quarantined: AtomicUsize,
+    /// Cases pre-counted into `done`/`total` because a previous run already
+    /// settled them (resumed `Done` + previously quarantined). They are part
+    /// of the summary denominator but must not inflate the live rate.
+    seeded: AtomicUsize,
     /// Nanoseconds per [`Stage`].
     stage_ns: [AtomicU64; 3],
+    /// The kernel/engine metric registry — the telemetry handle's when
+    /// telemetry is enabled, otherwise a private zeroed one so latency
+    /// percentiles are always available.
+    metrics: Arc<KernelMetrics>,
 }
 
 impl EngineStats {
     /// Fresh counters; `total` is the number of cases this run owns.
     pub fn new(total: usize) -> Self {
+        Self::with_metrics(total, Arc::new(KernelMetrics::new()))
+    }
+
+    /// Fresh counters recording stage/case latency histograms into the
+    /// given registry (shared with an enabled telemetry handle).
+    pub fn with_metrics(total: usize, metrics: Arc<KernelMetrics>) -> Self {
         EngineStats {
             started: Instant::now(),
             done: AtomicUsize::new(0),
@@ -78,8 +94,28 @@ impl EngineStats {
             timeouts: AtomicUsize::new(0),
             skipped: AtomicUsize::new(0),
             quarantined: AtomicUsize::new(0),
+            seeded: AtomicUsize::new(0),
             stage_ns: Default::default(),
+            metrics,
         }
+    }
+
+    /// The metric registry shared with the kernels.
+    pub fn metrics(&self) -> &Arc<KernelMetrics> {
+        &self.metrics
+    }
+
+    /// Pre-counts cases settled by a previous run of the same journal so
+    /// that the summary denominator covers every case exactly once:
+    /// `done` resumed completions of which `quarantined` were quarantined.
+    /// Without this, a case quarantined in run N disappeared from run
+    /// N+1's `done`/`total`/`quarantined` tallies entirely.
+    pub(crate) fn seed_resumed(&self, done: usize, quarantined: usize) {
+        debug_assert!(quarantined <= done);
+        self.done.fetch_add(done, Ordering::Relaxed);
+        self.total.fetch_add(done, Ordering::Relaxed);
+        self.quarantined.fetch_add(quarantined, Ordering::Relaxed);
+        self.seeded.fetch_add(done, Ordering::Relaxed);
     }
 
     pub(crate) fn record_class(&self, class: FaultClass) {
@@ -109,9 +145,11 @@ impl EngineStats {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Adds `elapsed` to `stage`'s wall-clock tally.
+    /// Adds `elapsed` to `stage`'s wall-clock tally and the stage's
+    /// latency histogram (for p50/p90/p99 reporting).
     pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
         self.stage_ns[stage.idx()].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.metrics.stage_latency_us[stage.idx()].observe(elapsed.as_micros() as u64);
     }
 
     /// A consistent-enough copy of the counters for reporting.
@@ -125,11 +163,20 @@ impl EngineStats {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            seeded: self.seeded.load(Ordering::Relaxed),
             stage_ns: [
                 self.stage_ns[0].load(Ordering::Relaxed),
                 self.stage_ns[1].load(Ordering::Relaxed),
                 self.stage_ns[2].load(Ordering::Relaxed),
             ],
+            stage_pctl_us: std::array::from_fn(|i| {
+                let hist = &self.metrics.stage_latency_us[i];
+                [
+                    hist.percentile(50.0),
+                    hist.percentile(90.0),
+                    hist.percentile(99.0),
+                ]
+            }),
         }
     }
 }
@@ -152,29 +199,44 @@ pub struct StatsSnapshot {
     /// Cases abandoned after exhausting retries.
     pub skipped: usize,
     /// Cases quarantined after exhausting retries (a subset of the journal's
-    /// poison list; disjoint from `skipped`).
+    /// poison list; disjoint from `skipped`). Includes cases quarantined by
+    /// a *previous* run of the same journal, so resumed summaries count
+    /// every case exactly once.
     pub quarantined: usize,
+    /// Of `done`, how many were settled by a previous run (resumed
+    /// completions and prior quarantines). Excluded from [`rate`](Self::rate).
+    pub seeded: usize,
     /// Nanoseconds attributed to each [`Stage`].
     pub stage_ns: [u64; 3],
+    /// Per-stage latency percentiles `[p50, p90, p99]` in microseconds,
+    /// indexed like [`Stage::ALL`]. Resolved from base-2 log histograms, so
+    /// each value is the upper bound of its bucket.
+    pub stage_pctl_us: [[u64; 3]; 3],
 }
 
 impl StatsSnapshot {
-    /// Completed cases per second of wall-clock time.
+    /// Cases completed *by this run* per second of wall-clock time
+    /// (seeded/resumed cases are excluded from the numerator).
     pub fn rate(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs <= 0.0 {
             0.0
         } else {
-            self.done as f64 / secs
+            self.done.saturating_sub(self.seeded) as f64 / secs
         }
     }
 
-    /// The per-stage wall-clock breakdown as an aligned text table.
+    /// The per-stage wall-clock breakdown as an aligned text table with
+    /// per-attempt latency percentiles (microseconds).
     pub fn stage_table(&self) -> String {
         use std::fmt::Write as _;
         let total_ns: u64 = self.stage_ns.iter().sum();
         let mut out = String::new();
-        let _ = writeln!(out, "{:<10} {:>12} {:>7}", "stage", "wall-clock", "share");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>7} {:>10} {:>10} {:>10}",
+            "stage", "wall-clock", "share", "p50", "p90", "p99"
+        );
         for stage in Stage::ALL {
             let ns = self.stage_ns[stage.idx()];
             let share = if total_ns == 0 {
@@ -182,21 +244,26 @@ impl StatsSnapshot {
             } else {
                 100.0 * ns as f64 / total_ns as f64
             };
+            let [p50, p90, p99] = self.stage_pctl_us[stage.idx()];
             let _ = writeln!(
                 out,
-                "{:<10} {:>12} {share:>6.1}%",
+                "{:<10} {:>12} {share:>6.1}% {:>10} {:>10} {:>10}",
                 stage.to_string(),
                 format_ns(ns),
+                format_us(p50),
+                format_us(p90),
+                format_us(p99),
             );
         }
         out
     }
 
-    /// The per-stage breakdown as CSV (`stage,wall_clock_s,share`).
+    /// The per-stage breakdown as CSV
+    /// (`stage,wall_clock_s,share,p50_us,p90_us,p99_us`).
     pub fn stage_csv(&self) -> String {
         use std::fmt::Write as _;
         let total_ns: u64 = self.stage_ns.iter().sum();
-        let mut out = String::from("stage,wall_clock_s,share\n");
+        let mut out = String::from("stage,wall_clock_s,share,p50_us,p90_us,p99_us\n");
         for stage in Stage::ALL {
             let ns = self.stage_ns[stage.idx()];
             let share = if total_ns == 0 {
@@ -204,7 +271,53 @@ impl StatsSnapshot {
             } else {
                 ns as f64 / total_ns as f64
             };
-            let _ = writeln!(out, "{stage},{},{share}", ns as f64 / 1e9);
+            let [p50, p90, p99] = self.stage_pctl_us[stage.idx()];
+            let _ = writeln!(out, "{stage},{},{share},{p50},{p90},{p99}", ns as f64 / 1e9);
+        }
+        out
+    }
+
+    /// Renders the engine-level counters in Prometheus text exposition
+    /// format (the kernel registry renders itself separately via
+    /// [`KernelMetrics::to_prometheus`]).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        prom_type(&mut out, "amsfi_cases_done", "gauge");
+        prom_sample(&mut out, "amsfi_cases_done", &[], self.done as u64);
+        prom_type(&mut out, "amsfi_cases_total", "gauge");
+        prom_sample(&mut out, "amsfi_cases_total", &[], self.total as u64);
+        prom_type(&mut out, "amsfi_cases_resumed", "gauge");
+        prom_sample(&mut out, "amsfi_cases_resumed", &[], self.seeded as u64);
+        prom_type(&mut out, "amsfi_case_class_total", "counter");
+        for (i, class) in FaultClass::ALL.iter().enumerate() {
+            prom_sample(
+                &mut out,
+                "amsfi_case_class_total",
+                &[("class", &class.to_string())],
+                self.classes[i] as u64,
+            );
+        }
+        prom_type(&mut out, "amsfi_retries_total", "counter");
+        prom_sample(&mut out, "amsfi_retries_total", &[], self.retries as u64);
+        prom_type(&mut out, "amsfi_timeouts_total", "counter");
+        prom_sample(&mut out, "amsfi_timeouts_total", &[], self.timeouts as u64);
+        prom_type(&mut out, "amsfi_skipped_total", "counter");
+        prom_sample(&mut out, "amsfi_skipped_total", &[], self.skipped as u64);
+        prom_type(&mut out, "amsfi_quarantined_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_quarantined_total",
+            &[],
+            self.quarantined as u64,
+        );
+        prom_type(&mut out, "amsfi_stage_wall_nanoseconds_total", "counter");
+        for stage in Stage::ALL {
+            prom_sample(
+                &mut out,
+                "amsfi_stage_wall_nanoseconds_total",
+                &[("stage", &stage.to_string())],
+                self.stage_ns[stage.idx()],
+            );
         }
         out
     }
@@ -232,6 +345,16 @@ impl fmt::Display for StatsSnapshot {
             self.skipped,
             self.quarantined,
         )
+    }
+}
+
+fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us} us")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2} s", us as f64 / 1e6)
     }
 }
 
@@ -292,5 +415,53 @@ mod tests {
         let line = stats.snapshot().to_string();
         assert!(line.contains("1/5 cases"), "{line}");
         assert!(line.contains("transient=1"), "{line}");
+    }
+
+    #[test]
+    fn seeding_counts_resumed_and_quarantined_once() {
+        // A resumed run owning 3 fresh cases, with 2 previously done of
+        // which 1 was quarantined: the denominator covers all 5 exactly
+        // once and the quarantine tally survives the resume.
+        let stats = EngineStats::new(3);
+        stats.seed_resumed(2, 1);
+        stats.record_class(FaultClass::NoEffect);
+        let snap = stats.snapshot();
+        assert_eq!(snap.total, 5);
+        assert_eq!(snap.done, 3);
+        assert_eq!(snap.quarantined, 1);
+        assert_eq!(snap.seeded, 2);
+        // The live rate only counts this run's single completion.
+        assert!(snap.rate() <= snap.done as f64 / snap.elapsed.as_secs_f64());
+    }
+
+    #[test]
+    fn stage_percentiles_appear_in_table_and_csv() {
+        let stats = EngineStats::new(4);
+        for ms in [1u64, 2, 4, 100] {
+            stats.record_stage(Stage::Simulate, Duration::from_millis(ms));
+        }
+        let snap = stats.snapshot();
+        let [p50, p90, p99] = snap.stage_pctl_us[Stage::Simulate.idx()];
+        assert!(p50 <= p90 && p90 <= p99, "{:?}", snap.stage_pctl_us);
+        assert!(p99 >= 100_000, "p99 must cover the 100 ms outlier: {p99}");
+        let table = snap.stage_table();
+        assert!(table.contains("p99"), "{table}");
+        let csv = snap.stage_csv();
+        assert!(csv.starts_with("stage,wall_clock_s,share,p50_us,p90_us,p99_us"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn prometheus_dump_has_engine_counters() {
+        let stats = EngineStats::new(2);
+        stats.record_class(FaultClass::Failure);
+        stats.record_quarantine();
+        let text = stats.snapshot().prometheus();
+        assert!(text.contains("amsfi_cases_done 2"), "{text}");
+        assert!(
+            text.contains("amsfi_case_class_total{class=\"failure\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("amsfi_quarantined_total 1"), "{text}");
     }
 }

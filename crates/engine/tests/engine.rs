@@ -415,3 +415,52 @@ fn named_campaign_shards_and_merges() {
         std::fs::remove_file(path).ok();
     }
 }
+
+/// PR 4 satellite: quarantined cases land in the summary denominator exactly
+/// once — both in the run that quarantines them and in every subsequent
+/// `--resume` (which never re-runs them, but must still account for them).
+#[test]
+fn resumed_summary_counts_quarantined_cases_exactly_once() {
+    let path = unique_path("quarantine-accounting");
+    let calls = Arc::new(AtomicUsize::new(0));
+    let mut campaign = toy_campaign(5, Arc::clone(&calls));
+    // Case 2 is poison: every attempt errors deterministically.
+    let inner = Arc::clone(&campaign.runner);
+    campaign.runner = Arc::new(move |ctx: &CaseCtx| {
+        if ctx.index() == Some(2) {
+            return Err("rigged failure".into());
+        }
+        inner(ctx)
+    });
+
+    let config = EngineConfig::default()
+        .with_workers(2)
+        .with_journal(&path)
+        .with_quarantine(true)
+        .with_retries(1);
+    let first = Engine::new(config.clone())
+        .run(&campaign)
+        .expect("first run");
+    assert_eq!(first.quarantined.len(), 1);
+    assert_eq!(first.stats.total, 5);
+    assert_eq!(first.stats.done, 5);
+    assert_eq!(first.stats.quarantined, 1);
+
+    // Resume: nothing is left to execute, yet the summary still covers all
+    // five cases — four resumed completions plus the prior quarantine.
+    calls.store(0, Ordering::Relaxed);
+    let resumed = Engine::new(config.with_resume(true))
+        .run(&campaign)
+        .expect("resumed run");
+    assert_eq!(calls.load(Ordering::Relaxed), 0, "resume re-ran a case");
+    assert_eq!(resumed.resumed, 4);
+    assert_eq!(resumed.quarantined.len(), 1);
+    assert_eq!(
+        resumed.stats.total, 5,
+        "prior quarantine fell out of the summary denominator"
+    );
+    assert_eq!(resumed.stats.done, 5);
+    assert_eq!(resumed.stats.quarantined, 1);
+    assert_eq!(resumed.stats.seeded, 5);
+    std::fs::remove_file(&path).ok();
+}

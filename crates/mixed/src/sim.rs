@@ -1,6 +1,11 @@
 //! The lock-step mixed-mode co-simulation kernel.
 
 use crate::boundary::{Digitizer, LevelDriver};
+
+/// Telemetry batching stride for the shared sync-step counter: the sync
+/// loop touches the contended atomic once per this many steps.
+const SYNC_METRICS_STRIDE: u32 = 64;
+
 use amsfi_analog::{AnalogSolver, NodeId};
 use amsfi_digital::{SignalId, SimError, Simulator};
 use amsfi_waves::{
@@ -94,7 +99,25 @@ impl MixedSimulator {
     ///
     /// The two halves keep their own (unlimited) budgets: installing the
     /// budget here avoids double-counting steps across the three kernels.
+    /// A metric registry attached to the budget *is* propagated to both
+    /// sub-kernels (metrics-only budgets never arm a guard), so solver
+    /// steps, proposed timesteps and digital events are recorded in mixed
+    /// mode too.
     pub fn set_budget(&mut self, budget: SimBudget) {
+        if let Some(metrics) = budget.metrics() {
+            let analog_budget = self
+                .analog
+                .budget()
+                .clone()
+                .with_metrics(std::sync::Arc::clone(metrics));
+            self.analog.set_budget(analog_budget);
+            let digital_budget = self
+                .digital
+                .budget()
+                .clone()
+                .with_metrics(std::sync::Arc::clone(metrics));
+            self.digital.set_budget(digital_budget);
+        }
         self.budget = budget;
     }
 
@@ -334,6 +357,17 @@ impl MixedSimulator {
             let proposed = self.analog.propose_dt();
             self.budget.check_dt(proposed, self.now)?;
             self.budget.note_step(self.now)?;
+            // Batched at the budget's local step count: one contended RMW
+            // per SYNC_METRICS_STRIDE sync steps instead of one per step.
+            if self
+                .budget
+                .steps_used()
+                .is_multiple_of(u64::from(SYNC_METRICS_STRIDE))
+            {
+                if let Some(metrics) = self.budget.metrics() {
+                    metrics.sync_steps.add(u64::from(SYNC_METRICS_STRIDE));
+                }
+            }
             let mut t_next = self
                 .now
                 .saturating_add(proposed.min(self.max_sync_step))

@@ -1,0 +1,425 @@
+//! JSONL event records: the machine-readable run ledger.
+//!
+//! Every record is one line of JSON with a tiny, fixed schema:
+//!
+//! ```json
+//! {"t_us":1234,"kind":"span","name":"case/simulate","case":7,"dur_us":913,"fields":{"class":"transient"}}
+//! ```
+//!
+//! The encoder and parser are hand-rolled (no serde — the workspace is
+//! offline-vendored) and are exact inverses of each other for every
+//! [`Event`] value, including hostile field labels containing `=`, `|`,
+//! quotes, backslashes, control characters and non-ASCII text. The parser
+//! additionally tolerates unknown top-level keys so future producers can
+//! extend the schema without breaking old readers.
+
+use std::error::Error;
+use std::fmt;
+
+/// One structured record in the campaign's JSONL event ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since telemetry start (monotonic clock).
+    pub t_us: u64,
+    /// Record category: `span`, `guard`, `retry`, `timeout`, `quarantine`,
+    /// `skip`, `checkpoint`, `worker`, `progress`, `campaign`, `journal`, ...
+    pub kind: String,
+    /// Name within the category — a span path (`case/simulate`), a guard
+    /// kind (`non-finite`), a lifecycle edge (`start`/`exit`), ...
+    pub name: String,
+    /// Campaign case index this record belongs to, when applicable.
+    pub case: Option<u64>,
+    /// Duration in microseconds (span-close records).
+    pub dur_us: Option<u64>,
+    /// Free-form key/value payload, preserved in emission order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// Creates a new event of the given kind and name; `t_us` is stamped
+    /// by the [`Telemetry`](crate::Telemetry) handle when emitted.
+    pub fn new(kind: impl Into<String>, name: impl Into<String>) -> Self {
+        Event {
+            t_us: 0,
+            kind: kind.into(),
+            name: name.into(),
+            case: None,
+            dur_us: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a campaign case index.
+    #[must_use]
+    pub fn with_case(mut self, case: usize) -> Self {
+        self.case = Some(case as u64);
+        self
+    }
+
+    /// Attaches a duration in microseconds.
+    #[must_use]
+    pub fn with_dur_us(mut self, dur_us: u64) -> Self {
+        self.dur_us = Some(dur_us);
+        self
+    }
+
+    /// Appends a key/value field (the value is `Display`-formatted).
+    #[must_use]
+    pub fn with_field(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Encodes the event as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"t_us\":");
+        push_u64(&mut out, self.t_us);
+        out.push_str(",\"kind\":");
+        push_json_string(&mut out, &self.kind);
+        out.push_str(",\"name\":");
+        push_json_string(&mut out, &self.name);
+        if let Some(case) = self.case {
+            out.push_str(",\"case\":");
+            push_u64(&mut out, case);
+        }
+        if let Some(dur) = self.dur_us {
+            out.push_str(",\"dur_us\":");
+            push_u64(&mut out, dur);
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, k);
+                out.push(':');
+                push_json_string(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line back into an [`Event`].
+    ///
+    /// Unknown top-level keys are skipped (forward compatibility); malformed
+    /// input yields a [`ParseEventError`] with a byte offset.
+    pub fn parse(line: &str) -> Result<Event, ParseEventError> {
+        let mut cur = Cursor::new(line);
+        cur.skip_ws();
+        cur.expect('{')?;
+        let mut ev = Event::default();
+        cur.skip_ws();
+        if cur.peek() == Some('}') {
+            cur.bump();
+        } else {
+            loop {
+                cur.skip_ws();
+                let key = cur.string()?;
+                cur.skip_ws();
+                cur.expect(':')?;
+                cur.skip_ws();
+                match key.as_str() {
+                    "t_us" => ev.t_us = cur.number()?,
+                    "kind" => ev.kind = cur.string()?,
+                    "name" => ev.name = cur.string()?,
+                    "case" => ev.case = Some(cur.number()?),
+                    "dur_us" => ev.dur_us = Some(cur.number()?),
+                    "fields" => ev.fields = cur.field_map()?,
+                    _ => cur.skip_value()?,
+                }
+                cur.skip_ws();
+                match cur.bump() {
+                    Some(',') => continue,
+                    Some('}') => break,
+                    _ => return Err(cur.err("expected ',' or '}'")),
+                }
+            }
+        }
+        cur.skip_ws();
+        if cur.peek().is_some() {
+            return Err(cur.err("trailing characters after record"));
+        }
+        Ok(ev)
+    }
+}
+
+/// Error produced by [`Event::parse`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventError {
+    /// Approximate byte offset of the problem.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl Error for ParseEventError {}
+
+fn push_u64(out: &mut String, v: u64) {
+    use fmt::Write as _;
+    let _ = write!(out, "{v}");
+}
+
+/// JSON-escapes `s` into `out`, double-quoted. Escapes `"`/`\`, maps
+/// `\n`/`\r`/`\t` to their short forms and all other control characters to
+/// `\u00XX`; everything else (including non-ASCII) passes through raw.
+fn push_json_string(out: &mut String, s: &str) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Byte-offset cursor over one JSON line.
+struct Cursor<'a> {
+    s: &'a str,
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor { s, i: 0 }
+    }
+
+    fn err(&self, message: &str) -> ParseEventError {
+        ParseEventError {
+            offset: self.i,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.s[self.i..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += c.len_utf8();
+        Some(c)
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), ParseEventError> {
+        if self.bump() == Some(want) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{want}'")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    /// Parses a double-quoted JSON string, decoding escapes (including
+    /// `\uXXXX` surrogate pairs).
+    fn string(&mut self) -> Result<String, ParseEventError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.bump().ok_or_else(|| self.err("unterminated string"))?;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{0008}'),
+                        'f' => out.push('\u{000c}'),
+                        'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect a low surrogate next.
+                                self.expect('\\')?;
+                                self.expect('u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseEventError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex \\u digit"))?;
+            v = (v << 4) | d;
+        }
+        Ok(v)
+    }
+
+    /// Parses a non-negative integer (the only number shape we emit).
+    fn number(&mut self) -> Result<u64, ParseEventError> {
+        let start = self.i;
+        while matches!(self.peek(), Some('0'..='9')) {
+            self.bump();
+        }
+        if self.i == start {
+            return Err(self.err("expected a number"));
+        }
+        self.s[start..self.i]
+            .parse()
+            .map_err(|_| self.err("number out of range"))
+    }
+
+    /// Parses `"fields":{...}` — a flat string-to-string object.
+    fn field_map(&mut self) -> Result<Vec<(String, String)>, ParseEventError> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let v = self.string()?;
+            out.push((k, v));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(out),
+                _ => return Err(self.err("expected ',' or '}' in fields")),
+            }
+        }
+    }
+
+    /// Skips a value of unknown shape: string, number, flat object, or a
+    /// `true`/`false`/`null` literal. Used for forward compatibility.
+    fn skip_value(&mut self) -> Result<(), ParseEventError> {
+        match self.peek() {
+            Some('"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some('{') => {
+                self.field_map()?;
+                Ok(())
+            }
+            Some('-' | '0'..='9') => {
+                while matches!(self.peek(), Some('-' | '+' | '.' | 'e' | 'E' | '0'..='9')) {
+                    self.bump();
+                }
+                Ok(())
+            }
+            Some('t' | 'f' | 'n') => {
+                while matches!(self.peek(), Some('a'..='z')) {
+                    self.bump();
+                }
+                Ok(())
+            }
+            _ => Err(self.err("unparseable value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_event_round_trips() {
+        let ev = Event::new("span", "case/simulate");
+        let line = ev.to_json();
+        assert_eq!(Event::parse(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn full_event_round_trips() {
+        let ev = Event::new("guard", "step-budget")
+            .with_case(42)
+            .with_dur_us(913)
+            .with_field("detail", "steps=11 t=2000000")
+            .with_field("attempt", 2);
+        let line = ev.to_json();
+        assert_eq!(Event::parse(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn hostile_labels_round_trip() {
+        let hostile = "a=b|c \"quoted\\\" \n\t\r \u{1} \u{1F680} ключ";
+        let ev = Event::new(hostile, hostile).with_field(hostile, hostile);
+        let line = ev.to_json();
+        assert!(!line.contains('\n'), "JSONL records must stay on one line");
+        assert_eq!(Event::parse(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn parser_tolerates_unknown_keys_and_whitespace() {
+        let line = r#" { "t_us": 5 , "kind":"x", "name":"y", "extra":"ignored", "n":-1.5e3, "b":true, "o":{"k":"v"} } "#;
+        let ev = Event::parse(line).unwrap();
+        assert_eq!(ev.t_us, 5);
+        assert_eq!(ev.kind, "x");
+        assert_eq!(ev.name, "y");
+        assert!(ev.fields.is_empty());
+    }
+
+    #[test]
+    fn parser_decodes_surrogate_pairs() {
+        let line = "{\"t_us\":0,\"kind\":\"\\ud83d\\ude80\",\"name\":\"\"}";
+        let ev = Event::parse(line).unwrap();
+        assert_eq!(ev.kind, "\u{1F680}");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Event::parse("").is_err());
+        assert!(Event::parse("{").is_err());
+        assert!(Event::parse(r#"{"t_us":}"#).is_err());
+        assert!(Event::parse(r#"{"kind":"x"} trailing"#).is_err());
+    }
+}

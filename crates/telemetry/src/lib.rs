@@ -1,0 +1,433 @@
+//! `amsfi-telemetry` — structured tracing, kernel metrics and a JSONL run
+//! ledger for the amsfi fault-injection campaign stack.
+//!
+//! Hand-rolled and dependency-free, following the same vendoring
+//! discipline as the workspace's `rand`/`proptest`/`criterion` shims: no
+//! network, no serde, no tracing ecosystem. Three pieces:
+//!
+//! * **Spans & events** ([`Event`], [`Span`], [`span!`]) — a thread-local
+//!   span stack with monotonic timing feeding a lock-free bounded MPSC
+//!   ring buffer ([`ring::EventRing`]); a background drainer writes an
+//!   append-only JSONL event stream.
+//! * **Kernel metrics** ([`KernelMetrics`], [`LogHistogram`], [`Counter`])
+//!   — allocation-free counters and base-2 log-scale histograms for hot
+//!   simulation loops, rendered in Prometheus text format.
+//! * **A no-op mode** — [`Telemetry::disabled`] is a handle whose every
+//!   operation is a branch on a `None`; the instrumented kernels pay
+//!   nothing measurable when telemetry is off (enforced by
+//!   `pr4_telemetry_bench` in `amsfi-bench`).
+//!
+//! ```
+//! use amsfi_telemetry::{Event, Telemetry};
+//!
+//! // Disabled: every call is a cheap no-op.
+//! let tele = Telemetry::disabled();
+//! tele.emit_with(|| Event::new("span", "never-built"));
+//! assert!(!tele.is_enabled());
+//!
+//! // Enabled without an event sink: metrics only.
+//! let tele = Telemetry::builder().build().unwrap();
+//! tele.metrics().unwrap().solver_steps.inc();
+//! {
+//!     let mut span = tele.span("simulate");
+//!     span.set("case", 3);
+//! } // span closes (and would be written, had an events path been set)
+//! tele.close();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod event;
+pub mod metrics;
+pub mod ring;
+
+pub use event::{Event, ParseEventError};
+pub use metrics::{
+    prom_histogram, prom_sample, prom_type, Counter, GuardKind, KernelMetrics, LogHistogram,
+    HIST_BUCKETS, STAGE_NAMES,
+};
+
+use ring::EventRing;
+use std::cell::RefCell;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// The per-thread span stack; span paths are `/`-joined names.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// How long `close()`/`flush()` will wait for the drainer to catch up.
+const FLUSH_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct Shared {
+    metrics: Arc<KernelMetrics>,
+    ring: Option<Arc<EventRing>>,
+    start: Instant,
+    shutdown: Arc<AtomicBool>,
+    drainer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Shared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("events", &self.ring.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cheaply cloneable telemetry handle.
+///
+/// Either *disabled* (every operation is a no-op behind one branch) or
+/// *enabled* with a [`KernelMetrics`] registry and, optionally, a JSONL
+/// event stream drained by a background thread. Call [`Telemetry::close`]
+/// before reading the event file — it joins the drainer after a final
+/// drain.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    shared: Option<Arc<Shared>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.shared {
+            None => f.write_str("Telemetry(disabled)"),
+            Some(s) => write!(f, "Telemetry(enabled, events={})", s.ring.is_some()),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: no metrics, no events, near-zero cost.
+    pub fn disabled() -> Self {
+        Telemetry { shared: None }
+    }
+
+    /// Starts configuring an enabled handle.
+    pub fn builder() -> TelemetryBuilder {
+        TelemetryBuilder {
+            events: None,
+            capacity: 8192,
+        }
+    }
+
+    /// True when this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The metric registry, when enabled.
+    pub fn metrics(&self) -> Option<&Arc<KernelMetrics>> {
+        self.shared.as_ref().map(|s| &s.metrics)
+    }
+
+    /// Microseconds since this handle was built (0 when disabled).
+    pub fn elapsed_us(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map_or(0, |s| s.start.elapsed().as_micros() as u64)
+    }
+
+    /// Emits an event to the JSONL stream, stamping its timestamp. A
+    /// no-op unless enabled *with* an events path; the event is dropped
+    /// (and counted) if the ring is full.
+    pub fn emit(&self, mut ev: Event) {
+        if let Some(shared) = &self.shared {
+            if let Some(ring) = &shared.ring {
+                ev.t_us = shared.start.elapsed().as_micros() as u64;
+                ring.push(ev);
+            }
+        }
+    }
+
+    /// Like [`emit`](Self::emit) but the event is only *built* when it
+    /// would actually be written — use this on warm paths so formatting
+    /// costs nothing when telemetry is off.
+    pub fn emit_with(&self, build: impl FnOnce() -> Event) {
+        if let Some(shared) = &self.shared {
+            if shared.ring.is_some() {
+                let ev = build();
+                self.emit(ev);
+            }
+        }
+    }
+
+    /// Opens a [`Span`]: a RAII guard that emits a `span` record with its
+    /// `/`-joined thread-local path and duration when dropped. Returns an
+    /// inert guard when no event stream is configured.
+    pub fn span(&self, name: &'static str) -> Span {
+        let active = self.shared.as_ref().filter(|s| s.ring.is_some()).cloned();
+        let path = match &active {
+            Some(_) => SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                stack.push(name);
+                stack.join("/")
+            }),
+            None => String::new(),
+        };
+        Span {
+            shared: active,
+            path,
+            start: Instant::now(),
+            case: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Blocks until the drainer has caught up with the ring (bounded by
+    /// an internal timeout). No-op when disabled.
+    pub fn flush(&self) {
+        if let Some(shared) = &self.shared {
+            if let Some(ring) = &shared.ring {
+                let deadline = Instant::now() + FLUSH_TIMEOUT;
+                while !ring.is_empty() && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Shuts down the event drainer: signals it, joins it after a final
+    /// drain, and folds the ring's drop count into the metrics.
+    /// Idempotent; a no-op when disabled.
+    pub fn close(&self) {
+        if let Some(shared) = &self.shared {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            let handle = shared.drainer.lock().ok().and_then(|mut d| d.take());
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+            if let Some(ring) = &shared.ring {
+                shared.metrics.events_dropped.add(ring.dropped());
+            }
+        }
+    }
+}
+
+/// Builder for an enabled [`Telemetry`] handle.
+#[derive(Debug)]
+pub struct TelemetryBuilder {
+    events: Option<PathBuf>,
+    capacity: usize,
+}
+
+impl TelemetryBuilder {
+    /// Writes a JSONL event stream to `path` (created/truncated).
+    #[must_use]
+    pub fn events_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.events = Some(path.into());
+        self
+    }
+
+    /// Ring-buffer capacity (rounded up to a power of two).
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Builds the handle, spawning the drainer thread if an events path
+    /// was configured.
+    pub fn build(self) -> std::io::Result<Telemetry> {
+        let metrics = Arc::new(KernelMetrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (ring, drainer) = match self.events {
+            Some(path) => {
+                let file = File::create(&path)?;
+                let ring = Arc::new(EventRing::new(self.capacity));
+                let handle = spawn_drainer(
+                    Arc::clone(&ring),
+                    Arc::clone(&shutdown),
+                    BufWriter::new(file),
+                );
+                (Some(ring), Some(handle))
+            }
+            None => (None, None),
+        };
+        Ok(Telemetry {
+            shared: Some(Arc::new(Shared {
+                metrics,
+                ring,
+                start: Instant::now(),
+                shutdown,
+                drainer: Mutex::new(drainer),
+            })),
+        })
+    }
+}
+
+fn spawn_drainer(
+    ring: Arc<EventRing>,
+    shutdown: Arc<AtomicBool>,
+    mut writer: BufWriter<File>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("amsfi-telemetry".into())
+        .spawn(move || {
+            let mut broken = false;
+            loop {
+                let mut wrote = false;
+                while let Some(ev) = ring.pop() {
+                    wrote = true;
+                    if !broken && writeln!(writer, "{}", ev.to_json()).is_err() {
+                        // Keep draining so producers never stall, but stop
+                        // writing and warn once.
+                        eprintln!("amsfi-telemetry: event sink write failed; discarding events");
+                        broken = true;
+                    }
+                }
+                if wrote && !broken {
+                    let _ = writer.flush();
+                }
+                if shutdown.load(Ordering::Relaxed) && ring.is_empty() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if !broken {
+                let _ = writer.flush();
+            }
+        })
+        .expect("spawn telemetry drainer")
+}
+
+/// RAII span guard returned by [`Telemetry::span`] / [`span!`].
+///
+/// On drop it pops itself off the thread-local span stack and emits a
+/// `span` record carrying the full path (`golden/simulate`), the case
+/// index (if set), the wall-clock duration in microseconds, and any
+/// fields attached via [`Span::set`].
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    shared: Option<Arc<Shared>>,
+    path: String,
+    start: Instant,
+    case: Option<usize>,
+    fields: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Attaches a key/value field to the eventual span record.
+    pub fn set(&mut self, key: &str, value: impl fmt::Display) {
+        if self.shared.is_some() {
+            self.fields.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Tags the span with a campaign case index.
+    pub fn case(&mut self, index: usize) {
+        if self.shared.is_some() {
+            self.case = Some(index);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        if let Some(ring) = &shared.ring {
+            let mut ev = Event::new("span", std::mem::take(&mut self.path));
+            ev.t_us = shared.start.elapsed().as_micros() as u64;
+            ev.dur_us = Some(self.start.elapsed().as_micros() as u64);
+            ev.case = self.case.map(|c| c as u64);
+            ev.fields = std::mem::take(&mut self.fields);
+            ring.push(ev);
+        }
+    }
+}
+
+/// Opens a [`Span`] with optional `key = value` fields:
+///
+/// ```
+/// # let tele = amsfi_telemetry::Telemetry::disabled();
+/// let case_id = 7;
+/// let _span = amsfi_telemetry::span!(tele, "simulate", case = case_id);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($tele:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut span = $tele.span($name);
+        $(span.set(stringify!($key), &$val);)*
+        span
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tele = Telemetry::disabled();
+        assert!(!tele.is_enabled());
+        assert!(tele.metrics().is_none());
+        tele.emit(Event::new("span", "x"));
+        tele.emit_with(|| unreachable!("must not build events when disabled"));
+        let mut span = tele.span("x");
+        span.set("k", "v");
+        drop(span);
+        tele.flush();
+        tele.close();
+    }
+
+    #[test]
+    fn metrics_only_mode_records_without_a_sink() {
+        let tele = Telemetry::builder().build().unwrap();
+        assert!(tele.is_enabled());
+        tele.metrics().unwrap().solver_steps.add(3);
+        tele.emit(Event::new("span", "x")); // silently discarded: no sink
+        assert_eq!(tele.metrics().unwrap().solver_steps.get(), 3);
+        tele.close();
+    }
+
+    #[test]
+    fn events_stream_to_jsonl_in_order() {
+        let dir = std::env::temp_dir().join(format!("amsfi-telemetry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let tele = Telemetry::builder().events_path(&path).build().unwrap();
+        for i in 0..10usize {
+            tele.emit(Event::new("tick", "n").with_case(i));
+        }
+        {
+            let _outer = span!(tele, "outer");
+            let mut inner = span!(tele, "inner", attempt = 1);
+            inner.case(42);
+        }
+        tele.close();
+        tele.close(); // idempotent
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|l| Event::parse(l).expect("valid JSONL"))
+            .collect();
+        assert_eq!(events.len(), 12);
+        for (i, ev) in events.iter().take(10).enumerate() {
+            assert_eq!(ev.kind, "tick");
+            assert_eq!(ev.case, Some(i as u64));
+        }
+        // Spans close inner-first and carry nested paths.
+        assert_eq!(events[10].name, "outer/inner");
+        assert_eq!(events[10].case, Some(42));
+        assert_eq!(events[10].fields, vec![("attempt".into(), "1".into())]);
+        assert!(events[10].dur_us.is_some());
+        assert_eq!(events[11].name, "outer");
+        assert_eq!(tele.metrics().unwrap().events_dropped.get(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

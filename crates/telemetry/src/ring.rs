@@ -1,0 +1,218 @@
+//! A bounded multi-producer single-consumer event ring.
+//!
+//! Producers (worker threads, kernel call sites) push [`Event`]s without
+//! blocking; a single background drainer pops them and writes JSONL. Slot
+//! ownership is coordinated Vyukov-style with per-slot sequence numbers:
+//! a producer first claims a slot by CAS on the head cursor, so by
+//! construction at most one thread touches a slot's payload cell at a
+//! time. The payload cell is a `Mutex<Option<Event>>` purely to stay in
+//! safe Rust — the lock is uncontended by design and `try_lock` never
+//! fails in practice.
+//!
+//! When the ring is full the push is *dropped* (and counted), never
+//! blocked: telemetry must not be able to stall a simulation.
+
+use crate::Event;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Bounded MPSC ring buffer for [`Event`]s. See the module docs.
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Producer cursor: next sequence number to claim.
+    head: AtomicUsize,
+    /// Consumer cursor: next sequence number to pop.
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Vyukov sequence: `== pos` means free for the producer claiming
+    /// `pos`; `== pos + 1` means filled and ready for the consumer.
+    seq: AtomicUsize,
+    value: Mutex<Option<Event>>,
+}
+
+impl EventRing {
+    /// Creates a ring with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: Mutex::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            slots,
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pushes an event; returns `false` (and counts a drop) if the ring
+    /// is full. Never blocks.
+    pub fn push(&self, ev: Event) -> bool {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        if let Ok(mut cell) = slot.value.try_lock() {
+                            *cell = Some(ev);
+                        }
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                // The slot one lap behind is still unconsumed: ring full.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer claimed this position; reload and retry.
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pops the oldest event, or `None` if the ring is empty.
+    ///
+    /// Single-consumer: must only be called from one thread at a time
+    /// (the background drainer).
+    pub fn pop(&self) -> Option<Event> {
+        let pos = self.tail.load(Ordering::Relaxed);
+        let slot = &self.slots[pos & self.mask];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq != pos.wrapping_add(1) {
+            return None;
+        }
+        let ev = slot.value.try_lock().ok().and_then(|mut cell| cell.take());
+        // Mark the slot free for the producer one lap ahead.
+        slot.seq.store(
+            pos.wrapping_add(self.mask).wrapping_add(1),
+            Ordering::Release,
+        );
+        self.tail.store(pos.wrapping_add(1), Ordering::Relaxed);
+        ev
+    }
+
+    /// True when no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.tail.load(Ordering::Relaxed) == self.head.load(Ordering::Relaxed)
+    }
+
+    /// Number of pushes rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> Event {
+        let mut e = Event::new("test", "n");
+        e.t_us = n;
+        e
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let ring = EventRing::new(8);
+        for i in 0..5 {
+            assert!(ring.push(ev(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(ring.pop().unwrap().t_us, i);
+        }
+        assert!(ring.pop().is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let ring = EventRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            assert!(ring.push(ev(i)));
+        }
+        assert!(!ring.push(ev(99)));
+        assert_eq!(ring.dropped(), 1);
+        // Draining frees slots for new pushes.
+        assert_eq!(ring.pop().unwrap().t_us, 0);
+        assert!(ring.push(ev(4)));
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let ring = EventRing::new(4);
+        for i in 0..100 {
+            assert!(ring.push(ev(i)));
+            assert_eq!(ring.pop().unwrap().t_us, i);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        use std::sync::atomic::AtomicBool;
+        let ring = EventRing::new(1024);
+        let stop = AtomicBool::new(false);
+        let mut seen = Vec::new();
+        std::thread::scope(|scope| {
+            let producers: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let ring = &ring;
+                    scope.spawn(move || {
+                        for i in 0..200u64 {
+                            while !ring.push(ev(t * 1000 + i)) {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let drainer = scope.spawn(|| {
+                let mut got = Vec::new();
+                while !stop.load(Ordering::Relaxed) || !ring.is_empty() {
+                    match ring.pop() {
+                        Some(e) => got.push(e.t_us),
+                        None => std::thread::yield_now(),
+                    }
+                }
+                got
+            });
+            for p in producers {
+                p.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            seen = drainer.join().unwrap();
+        });
+        assert_eq!(seen.len(), 800);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 800, "duplicate or lost events");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: every JSONL event record round-trips through the same
+//! parser `amsfi report` uses, including hostile labels containing `=`,
+//! `|`, whitespace, quotes, backslashes and control characters (mirroring
+//! the PR 2 journal-escaping lessons).
+
+use amsfi_telemetry::Event;
+use proptest::prelude::*;
+
+/// Strings biased toward the characters that break naive encoders.
+fn hostile_string() -> impl Strategy<Value = String> {
+    let atoms: Vec<String> = vec![
+        "=".into(),
+        "|".into(),
+        " ".into(),
+        "\t".into(),
+        "\n".into(),
+        "\r".into(),
+        "\"".into(),
+        "\\".into(),
+        "\u{0}".into(),
+        "\u{1f}".into(),
+        "\u{7f}".into(),
+        "\u{1F680}".into(),
+        "ключ".into(),
+        "case".into(),
+        "t=17us|p-hit".into(),
+        "a/b.c-d_e".into(),
+        "0".into(),
+        "{}".into(),
+        String::new(),
+    ];
+    prop::collection::vec(prop::sample::select(atoms), 0..6).prop_map(|parts| parts.concat())
+}
+
+/// `Option<u64>` from a (present?, value) pair — the shim has no
+/// `prop::option::of`.
+fn maybe_u64() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        any::<u64>(),
+        hostile_string(),
+        hostile_string(),
+        maybe_u64(),
+        maybe_u64(),
+        prop::collection::vec((hostile_string(), hostile_string()), 0..4),
+    )
+        .prop_map(|(t_us, kind, name, case, dur_us, fields)| Event {
+            t_us,
+            kind,
+            name,
+            case,
+            dur_us,
+            fields,
+        })
+}
+
+proptest! {
+    #[test]
+    fn jsonl_records_round_trip(ev in arb_event()) {
+        let line = ev.to_json();
+        // JSONL invariant: one record, one line.
+        prop_assert!(!line.contains('\n'), "record spans lines: {:?}", line);
+        let back = Event::parse(&line).expect("encoder output must parse");
+        prop_assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mangled_records(
+        ev in arb_event(),
+        cut in 0usize..128,
+        junk in prop::sample::select(vec![
+            String::new(),
+            "}".to_string(),
+            "\\".to_string(),
+            "\"".to_string(),
+            "{\"t_us\":".to_string(),
+        ]),
+    ) {
+        // Truncate a valid record at an arbitrary byte-ish position and
+        // append junk: the parser must reject or accept, never panic.
+        let line = ev.to_json();
+        let mut cut = cut.min(line.len());
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let mangled = format!("{}{}", &line[..cut], junk);
+        let _ = Event::parse(&mangled);
+    }
+}

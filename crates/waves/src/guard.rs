@@ -31,8 +31,9 @@
 //! ```
 
 use crate::Time;
+use amsfi_telemetry::KernelMetrics;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -167,7 +168,7 @@ impl CancelToken {
 /// `Clone` so snapshotting a kernel snapshots its budget; the engine
 /// installs a fresh budget per attempt, so consumed steps never leak
 /// across cases.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SimBudget {
     max_steps: Option<u64>,
     min_dt: Option<Time>,
@@ -175,6 +176,43 @@ pub struct SimBudget {
     steps: u64,
     probe: u32,
     armed: bool,
+    /// Observability-only: total steps noted by this budget *and every
+    /// clone of it* within one attempt (the engine reads it after the
+    /// attempt for the `steps_used` histogram). Shared via `Arc` because
+    /// kernels clone their budget into sub-kernels and snapshots. To keep
+    /// the hot path free of contended atomics, steps accumulate locally in
+    /// `pending` and flush in [`CLOCK_STRIDE`]-sized batches (and on drop).
+    attempt_steps: Arc<AtomicU64>,
+    /// Steps noted locally but not yet flushed to `attempt_steps`.
+    pending: u32,
+    /// Observability-only metric registry; attaching it does *not* arm the
+    /// budget, so guard semantics are identical with telemetry on or off.
+    metrics: Option<Arc<KernelMetrics>>,
+}
+
+impl Clone for SimBudget {
+    fn clone(&self) -> Self {
+        SimBudget {
+            max_steps: self.max_steps,
+            min_dt: self.min_dt,
+            cancel: self.cancel.clone(),
+            steps: self.steps,
+            probe: self.probe,
+            armed: self.armed,
+            attempt_steps: Arc::clone(&self.attempt_steps),
+            // Unflushed steps stay with the instance that noted them: the
+            // original will flush them exactly once. A clone that copied
+            // `pending` would double-count on its own flush.
+            pending: 0,
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+impl Drop for SimBudget {
+    fn drop(&mut self) {
+        self.flush_pending();
+    }
 }
 
 impl SimBudget {
@@ -206,6 +244,33 @@ impl SimBudget {
         self.cancel = cancel;
         self.armed = true;
         self
+    }
+
+    /// Attaches a telemetry metric registry. Purely observational: it
+    /// does **not** arm the budget ([`SimBudget::is_limited`] is
+    /// unchanged), so enabling telemetry never alters guard semantics or
+    /// simulation behaviour.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<KernelMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metric registry, if telemetry is enabled.
+    pub fn metrics(&self) -> Option<&Arc<KernelMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Total steps noted by this budget and all of its clones (the
+    /// observability counter behind the engine's `steps_used` histogram).
+    /// Only maintained while a metric registry is attached, and updated in
+    /// [`CLOCK_STRIDE`]-sized batches: live reads may trail by up to
+    /// `CLOCK_STRIDE - 1` steps per active clone, but each clone flushes
+    /// its remainder on drop, so the count is exact once the kernels that
+    /// noted the steps have been dropped (which is how the engine reads
+    /// it: after the attempt thread is joined).
+    pub fn attempt_steps(&self) -> u64 {
+        self.attempt_steps.load(Ordering::Relaxed) + u64::from(self.pending)
     }
 
     /// Whether any guard is configured. `false` for
@@ -245,6 +310,11 @@ impl SimBudget {
     /// or [`GuardViolation::Deadline`].
     pub fn note_step(&mut self, now: Time) -> Result<(), GuardViolation> {
         self.steps += 1;
+        if self.metrics.is_some() {
+            // Batched: one contended RMW per CLOCK_STRIDE steps (flushed
+            // below with the clock probe, and on drop), not one per step.
+            self.pending += 1;
+        }
         if let Some(max) = self.max_steps {
             if self.steps > max {
                 return Err(GuardViolation::StepBudgetExhausted {
@@ -259,11 +329,21 @@ impl SimBudget {
         self.probe += 1;
         if self.probe >= CLOCK_STRIDE {
             self.probe = 0;
+            self.flush_pending();
             if self.cancel.expired() {
                 return Err(GuardViolation::Deadline { t: now });
             }
         }
         Ok(())
+    }
+
+    /// Publishes locally accumulated steps to the shared attempt counter.
+    fn flush_pending(&mut self) {
+        if self.pending > 0 {
+            self.attempt_steps
+                .fetch_add(u64::from(self.pending), Ordering::Relaxed);
+            self.pending = 0;
+        }
     }
 
     /// Checks a proposed adaptive timestep against the configured floor.
@@ -382,6 +462,40 @@ mod tests {
             format!("non-finite signal=vctrl t={}", Time::from_ns(5).as_fs())
         );
         assert!(SimBudget::check_finite("x", f64::INFINITY, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn attempt_steps_shared_across_clones_only_with_metrics() {
+        // Without metrics the observability counter stays untouched.
+        let mut plain = SimBudget::unlimited().with_max_steps(10);
+        plain.note_step(Time::ZERO).unwrap();
+        assert_eq!(plain.attempt_steps(), 0);
+        assert_eq!(plain.steps_used(), 1);
+
+        // With metrics, clones (sub-kernels, snapshots) share the counter.
+        // Updates are batched at CLOCK_STRIDE granularity, so cross the
+        // stride in one clone and rely on drop-flush for the other.
+        let metrics = Arc::new(KernelMetrics::new());
+        let mut a = SimBudget::unlimited().with_metrics(Arc::clone(&metrics));
+        assert!(!a.is_limited(), "with_metrics must not arm the budget");
+        let probe = a.clone();
+        let mut b = a.clone();
+        for _ in 0..CLOCK_STRIDE {
+            a.note_step(Time::ZERO).unwrap();
+        }
+        b.note_step(Time::ZERO).unwrap();
+        b.note_step(Time::ZERO).unwrap();
+        // `a` crossed the stride: its steps are already visible everywhere.
+        assert_eq!(probe.attempt_steps(), u64::from(CLOCK_STRIDE));
+        // A reader sees its *own* unflushed remainder immediately.
+        assert_eq!(b.attempt_steps(), u64::from(CLOCK_STRIDE) + 2);
+        // Per-clone guard accounting is unchanged.
+        assert_eq!(a.steps_used(), u64::from(CLOCK_STRIDE));
+        assert_eq!(b.steps_used(), 2);
+        // Dropping a clone flushes its remainder, making the total exact.
+        drop(a);
+        drop(b);
+        assert_eq!(probe.attempt_steps(), u64::from(CLOCK_STRIDE) + 2);
     }
 
     #[test]

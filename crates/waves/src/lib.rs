@@ -57,6 +57,7 @@ pub mod vcd;
 mod vector;
 mod wave;
 
+pub use amsfi_telemetry::KernelMetrics;
 pub use compare::{
     compare_analog, compare_digital, compare_digital_with_skew, MismatchInterval, SignalComparison,
     Tolerance,
