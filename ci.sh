@@ -50,3 +50,11 @@ rm -rf "$tmp"
 # results/bench/BENCH_pr4.json; asserts telemetry costs <= 5%.
 cargo build --release -p amsfi-bench --bin pr4_telemetry_bench
 ./target/release/pr4_telemetry_bench
+
+# PR 5 early-abort bench: checkpointed vs checkpointed + --early-abort on
+# the pll-sweep / pll-digital / cpu catalog campaigns at 8 workers,
+# emitting results/bench/BENCH_pr5.json (paired trimmed-mean speedups and
+# per-campaign oracle ceilings); asserts (class, onset, affected) verdicts
+# are byte-identical and early abort is never slower.
+cargo build --release -p amsfi-bench --bin pr5_early_abort_bench
+./target/release/pr5_early_abort_bench

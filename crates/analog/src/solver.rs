@@ -19,7 +19,8 @@ const SOLVER_METRICS_STRIDE: u32 = 64;
 /// N-th proposal (including the first) instead of all of them.
 const DT_SAMPLE_STRIDE: u64 = 16;
 use amsfi_waves::{
-    Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, GuardViolation, SimBudget, Time, Trace,
+    Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, GuardViolation, SimBudget, SimObserver,
+    Time, Trace,
 };
 
 #[derive(Debug, Clone)]
@@ -46,6 +47,7 @@ pub struct AnalogSolver {
     record_interval: Time,
     steps_taken: u64,
     budget: SimBudget,
+    observer: Option<SimObserver>,
 }
 
 impl AnalogSolver {
@@ -70,6 +72,7 @@ impl AnalogSolver {
             record_interval: Time::from_ns(100),
             steps_taken: 0,
             budget: SimBudget::unlimited(),
+            observer: None,
         }
     }
 
@@ -315,6 +318,14 @@ impl AnalogSolver {
         &self.budget
     }
 
+    /// Installs a [`SimObserver`] polled (at its stride) after each guarded
+    /// integration step in [`AnalogSolver::advance`], with the post-step
+    /// time as the finality watermark: every trace record strictly below it
+    /// is frozen. Replaces any previous observer.
+    pub fn set_observer(&mut self, observer: SimObserver) {
+        self.observer = Some(observer);
+    }
+
     /// The first node currently holding a NaN or infinite value, if any —
     /// the solver-level divergence probe the guards (and the mixed-mode
     /// kernel) scan after every step.
@@ -362,6 +373,12 @@ impl AnalogSolver {
                     t: self.now,
                 });
             }
+            if let Some(observer) = self.observer.as_mut() {
+                observer.poll(self.now, &[&self.trace]);
+            }
+        }
+        if let Some(observer) = self.observer.as_mut() {
+            observer.flush(self.now, &[&self.trace]);
         }
         Ok(())
     }
@@ -410,6 +427,10 @@ impl ForkableSim for AnalogSolver {
 
     fn install_budget(&mut self, budget: SimBudget) {
         self.set_budget(budget);
+    }
+
+    fn install_observer(&mut self, observer: SimObserver) {
+        self.set_observer(observer);
     }
 }
 

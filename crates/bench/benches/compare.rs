@@ -1,0 +1,136 @@
+//! Criterion benches for the streaming (merge-cursor) trace comparators
+//! against the pre-streaming binary-search baselines kept in
+//! `amsfi_waves::compare::baseline`. The traces are PLL-shaped and long —
+//! a 200 us divided clock with post-injection phase displacement, and a
+//! 100 us control-voltage transient with a strike perturbation — so the
+//! O(n) vs O(n log n) difference is what dominates.
+
+use amsfi_waves::{baseline, compare_analog, compare_digital_with_skew};
+use amsfi_waves::{AnalogWave, DigitalWave, Time, Tolerance};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const T_END: Time = Time::from_us(200);
+const T_INJECT: Time = Time::from_us(70);
+const PERIOD: Time = Time::from_ns(10);
+const SKEW: Time = Time::from_ns(2);
+const MERGE_GAP: Time = Time::from_ns(100);
+
+/// A divided-clock waveform: toggles every half `PERIOD`, with every edge
+/// after `T_INJECT` displaced by `displace` (residual phase offset after a
+/// strike) — ~40 k transitions over the window.
+fn clock(displace: Time) -> DigitalWave {
+    let mut w = DigitalWave::new();
+    let mut v = amsfi_waves::Logic::Zero;
+    let mut t = Time::ZERO;
+    while t <= T_END {
+        let at = if t > T_INJECT { t + displace } else { t };
+        w.push(at, v).expect("monotone");
+        v = v.flipped();
+        t += PERIOD / 2;
+    }
+    w
+}
+
+/// A control-voltage-shaped transient sampled every nanosecond: an
+/// exponential approach to the lock voltage with an injected disturbance
+/// decaying from `T_INJECT` — 100 k samples.
+fn vctrl(strike: f64) -> AnalogWave {
+    let mut w = AnalogWave::new();
+    let mut t = Time::ZERO;
+    while t <= Time::from_us(100) {
+        let ns = t.as_fs() as f64 * 1e-6;
+        let mut v = 2.5 * (1.0 - (-ns / 3_000.0).exp());
+        if t >= T_INJECT {
+            let dt = (t - T_INJECT).as_fs() as f64 * 1e-6;
+            v += strike * (-dt / 800.0).exp() * (dt / 40.0).cos();
+        }
+        w.push(t, v).expect("monotone");
+        t += Time::from_ns(1);
+    }
+    w
+}
+
+fn digital_compare(c: &mut Criterion) {
+    let golden = clock(Time::ZERO);
+    let faulty = clock(Time::from_ns(3));
+    // The rewrite must be a drop-in: identical intervals, only faster.
+    assert_eq!(
+        compare_digital_with_skew(&golden, &faulty, Time::ZERO, T_END, MERGE_GAP, SKEW).mismatches,
+        baseline::compare_digital_with_skew(&golden, &faulty, Time::ZERO, T_END, MERGE_GAP, SKEW)
+            .mismatches,
+    );
+    c.bench_function("compare_digital_stream_40k_edges", |b| {
+        b.iter(|| {
+            black_box(compare_digital_with_skew(
+                black_box(&golden),
+                black_box(&faulty),
+                Time::ZERO,
+                T_END,
+                MERGE_GAP,
+                SKEW,
+            ))
+        });
+    });
+    c.bench_function("compare_digital_baseline_40k_edges", |b| {
+        b.iter(|| {
+            black_box(baseline::compare_digital_with_skew(
+                black_box(&golden),
+                black_box(&faulty),
+                Time::ZERO,
+                T_END,
+                MERGE_GAP,
+                SKEW,
+            ))
+        });
+    });
+}
+
+fn analog_compare(c: &mut Criterion) {
+    let golden = vctrl(0.0);
+    let faulty = vctrl(0.4);
+    let tol = Tolerance::new(0.05, 0.01);
+    let to = Time::from_us(100);
+    assert_eq!(
+        compare_analog(&golden, &faulty, Time::ZERO, to, tol, MERGE_GAP).mismatches,
+        baseline::compare_analog(&golden, &faulty, Time::ZERO, to, tol, MERGE_GAP).mismatches,
+    );
+    c.bench_function("compare_analog_stream_100k_samples", |b| {
+        b.iter(|| {
+            black_box(compare_analog(
+                black_box(&golden),
+                black_box(&faulty),
+                Time::ZERO,
+                to,
+                tol,
+                MERGE_GAP,
+            ))
+        });
+    });
+    c.bench_function("compare_analog_baseline_100k_samples", |b| {
+        b.iter(|| {
+            black_box(baseline::compare_analog(
+                black_box(&golden),
+                black_box(&faulty),
+                Time::ZERO,
+                to,
+                tol,
+                MERGE_GAP,
+            ))
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = comparators;
+    config = config();
+    targets = digital_compare, analog_compare
+}
+criterion_main!(comparators);

@@ -11,7 +11,9 @@ use amsfi_bench::SquarePulse;
 use amsfi_circuits::pll::{self, names, PllConfig};
 use amsfi_core::{ClassifySpec, FaultCase, FaultClass, SimFailure};
 use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig, ErrorPolicy};
-use amsfi_waves::{GuardViolation, Logic, SimBudget, Time, Tolerance, Trace};
+use amsfi_waves::{
+    ForkableSim, GuardViolation, Logic, SimBudget, SimObserver, Time, Tolerance, Trace,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -77,6 +79,138 @@ fn toy_campaign(name: &str, n: usize, panic_at: Option<usize>) -> Campaign {
             Ok(trace)
         }),
         fork: None,
+    }
+}
+
+/// A tick-per-nanosecond sim whose monitored "flag" signal follows a fault
+/// program in tick numbers: high over `[pulse_from, pulse_to)`, then high
+/// again forever from `relapse_at`. Golden (no program) keeps it low.
+#[derive(Debug, Clone)]
+struct RelapseSim {
+    now: Time,
+    ticks: u64,
+    fault: Option<(u64, u64, u64)>,
+    trace: Trace,
+    observer: Option<SimObserver>,
+}
+
+impl RelapseSim {
+    fn fresh() -> Self {
+        RelapseSim {
+            now: Time::ZERO,
+            ticks: 0,
+            fault: None,
+            trace: Trace::new(),
+            observer: None,
+        }
+    }
+}
+
+impl ForkableSim for RelapseSim {
+    type Error = std::convert::Infallible;
+
+    fn advance_to(&mut self, t: Time) -> Result<(), Self::Error> {
+        while self.now + Time::from_ns(1) <= t {
+            self.now += Time::from_ns(1);
+            self.ticks += 1;
+            let flag = match self.fault {
+                Some((a, b, c)) => (self.ticks >= a && self.ticks < b) || self.ticks >= c,
+                None => false,
+            };
+            self.trace
+                .record_digital("flag", self.now, Logic::from_bool(flag))
+                .unwrap();
+            if let Some(observer) = &mut self.observer {
+                observer.poll(self.now, &[&self.trace]);
+            }
+        }
+        if let Some(observer) = &mut self.observer {
+            observer.flush(self.now, &[&self.trace]);
+        }
+        Ok(())
+    }
+
+    fn current_time(&self) -> Time {
+        self.now
+    }
+
+    fn snapshot_trace(&self) -> Trace {
+        self.trace.clone()
+    }
+
+    fn structural_fingerprint(&self) -> u64 {
+        0x5EA1
+    }
+
+    fn install_observer(&mut self, observer: SimObserver) {
+        self.observer = Some(observer);
+    }
+}
+
+/// The early-abort chaos campaign: case 0 pulses the flag for 10 ticks and
+/// relapses permanently 80 ticks after re-converging — *inside* the 100 ns
+/// settle window, so a correct quiescent seal must wait it out and land on
+/// `Failure`, never on a premature `Transient`. Case 1 is the control: the
+/// same pulse with no relapse, a genuine `Transient`.
+fn relapse_campaign() -> Campaign {
+    let t_end = Time::from_ns(2000);
+    let spec = ClassifySpec::new((Time::ZERO, t_end), vec!["flag".to_owned()]);
+    let cases = vec![
+        FaultCase::new("relapse", Time::from_ns(400)),
+        FaultCase::new("pulse-only", Time::from_ns(400)),
+    ];
+    Campaign::forked(
+        "chaos-relapse",
+        spec,
+        cases,
+        t_end,
+        |_ctx: &CaseCtx| Ok(RelapseSim::fresh()),
+        move |sim: &mut RelapseSim, i| {
+            sim.fault = Some(if i == 0 {
+                (401, 411, 491)
+            } else {
+                (401, 411, u64::MAX)
+            });
+            Ok(())
+        },
+    )
+}
+
+/// A fault that diverges again after apparent re-convergence must not be
+/// mis-sealed: the quiescence clock restarts on every comparison-state
+/// change, so a relapse inside the settle window always reaches the
+/// classifier before a `Transient` verdict could seal.
+#[test]
+fn relapse_within_settle_window_is_never_mis_sealed() {
+    let campaign = relapse_campaign();
+    let plain = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&campaign)
+        .unwrap();
+    let early = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_early_abort(true),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert_eq!(plain.result.cases[0].outcome.class, FaultClass::Failure);
+    assert_eq!(plain.result.cases[1].outcome.class, FaultClass::Transient);
+    for (a, b) in plain.result.cases.iter().zip(&early.result.cases) {
+        assert_eq!(a.outcome.class, b.outcome.class, "case {}", a.case);
+        assert_eq!(
+            a.outcome.error_onset, b.outcome.error_onset,
+            "case {}",
+            a.case
+        );
+        assert_eq!(a.outcome.affected, b.outcome.affected, "case {}", a.case);
+    }
+    for case in &early.result.cases {
+        let sealed_at = case.outcome.sealed_at.expect("early-abort case must seal");
+        assert!(
+            sealed_at < Time::from_ns(2000),
+            "case {} sealed only at the window end: {sealed_at:?}",
+            case.case
+        );
     }
 }
 

@@ -262,6 +262,10 @@ impl ForkableSim for PllBench {
     fn install_budget(&mut self, budget: amsfi_waves::SimBudget) {
         self.set_budget(budget);
     }
+
+    fn install_observer(&mut self, observer: amsfi_waves::SimObserver) {
+        self.mixed.set_observer(observer);
+    }
 }
 
 /// Builds the paper's PLL test bench from a configuration.

@@ -102,6 +102,13 @@ pub struct ClassifySpec {
     /// Edge-timing tolerance for digital signals: clock edges displaced by
     /// less than this are not errors (residual phase offsets, jitter).
     pub digital_skew: Time,
+    /// Settle window hint for *streaming* classification (ignored by the
+    /// post-hoc [`classify`]): how long a signal's comparison state must
+    /// stay unchanged — clean, or continuously diverged — before the
+    /// online classifier may treat it as final. This is a property of the
+    /// circuit's dynamics (e.g. a PLL's re-lock time), so campaigns that
+    /// know their bench should set it; `None` falls back to `recovery`.
+    pub settle: Option<Time>,
     /// Names of functional outputs (divergence ⇒ transient or failure).
     pub outputs: Vec<String>,
     /// Names of internal signals (divergence alone ⇒ latent).
@@ -120,6 +127,7 @@ impl ClassifySpec {
             merge_gap: Time::from_ns(100),
             recovery: span / 20,
             digital_skew: Time::ZERO,
+            settle: None,
             outputs,
             internals: Vec::new(),
         }
@@ -145,6 +153,13 @@ impl ClassifySpec {
         self.digital_skew = skew;
         self
     }
+
+    /// Sets the streaming-classification settle window (see [`Self::settle`]).
+    #[must_use]
+    pub fn with_settle(mut self, settle: Time) -> Self {
+        self.settle = Some(settle);
+        self
+    }
 }
 
 /// Everything measured about one fault-injection run.
@@ -163,6 +178,12 @@ pub struct CaseOutcome {
     pub affected: Vec<String>,
     /// When `class` is [`FaultClass::SimFailure`], the structured reason.
     pub failure: Option<SimFailure>,
+    /// Simulation time at which an online classifier sealed this verdict and
+    /// aborted the case early (`None` for post-hoc classification, which
+    /// always observes the full window). When set, [`CaseOutcome::error_end`]
+    /// and [`CaseOutcome::total_mismatch`] are as-of-seal lower bounds;
+    /// `class`, `error_onset` and `affected` are exact.
+    pub sealed_at: Option<Time>,
 }
 
 impl CaseOutcome {
@@ -189,6 +210,7 @@ impl CaseOutcome {
             total_mismatch: Time::ZERO,
             affected: Vec::new(),
             failure: Some(failure),
+            sealed_at: None,
         }
     }
 }
@@ -205,7 +227,7 @@ enum SignalCheck {
 }
 
 /// First non-finite sample of `wave` within `[from, to]`.
-fn first_non_finite(wave: &AnalogWave, from: Time, to: Time) -> Option<Time> {
+pub(crate) fn first_non_finite(wave: &AnalogWave, from: Time, to: Time) -> Option<Time> {
     wave.samples()
         .iter()
         .filter(|&&(t, _)| t >= from && t <= to)
@@ -315,6 +337,7 @@ pub fn classify(spec: &ClassifySpec, golden: &Trace, faulty: &Trace) -> CaseOutc
         total_mismatch: total,
         affected,
         failure: None,
+        sealed_at: None,
     }
 }
 

@@ -74,6 +74,7 @@ mod campaign;
 mod classify;
 mod failure;
 mod fork;
+mod online;
 pub mod plan;
 mod propagation;
 pub mod report;
@@ -84,4 +85,5 @@ pub use campaign::{
 pub use classify::{classify, CaseOutcome, ClassifySpec, FaultClass, ParseFaultClassError};
 pub use failure::{ParseSimFailureError, SimFailure};
 pub use fork::{injection_stops, run_campaign_forked};
+pub use online::OnlineClassifier;
 pub use propagation::{PropagationEdge, PropagationModel};

@@ -1,0 +1,975 @@
+//! Online (streaming) fault classification: sealing a verdict *during*
+//! simulation so a case can be aborted the moment its outcome is decided.
+//!
+//! [`classify`](crate::classify) waits for the full faulty trace and then
+//! compares it against the golden run. For most campaigns that wastes the
+//! bulk of the simulation budget: a PLL that has visibly re-locked at
+//! `t_inject + 2 µs` will be simulated for another 28 µs just to confirm
+//! nothing else happens. [`OnlineClassifier`] consumes the faulty trace
+//! incrementally — fed by a [`SimObserver`](amsfi_waves::SimObserver)
+//! polling from the kernel step loops — and *seals* the verdict as soon as
+//! one of three conditions holds:
+//!
+//! 1. **Permanent** — every monitored signal has already diverged and at
+//!    least one output's divergence reaches the recovery horizon
+//!    (`window.1 - recovery`). No future observation can downgrade the
+//!    verdict: class `Failure`, the onset and the affected set are exact;
+//!    `error_end` / `total_mismatch` are as-of-seal lower bounds.
+//! 2. **Quiescent** — every signal's comparison state has held unchanged
+//!    through a *settle window*: clean signals stayed clean, diverged
+//!    signals stayed continuously diverged. Closed mismatch intervals are
+//!    final, so recovered signals feed the verdict lattice (`NoEffect` /
+//!    `Transient` / `Latent` / `Failure`) exactly as the post-hoc
+//!    classifier would; a mismatch still open after a full settle window
+//!    is predicted to persist to the window end — the stuck or unlocked
+//!    regime — sealing `Failure` when the signal is an output. Any
+//!    re-convergence observation closes the interval and restarts the
+//!    quiescence clock, so beat and re-lock patterns keep the classifier
+//!    watching instead of mis-sealing. While any mismatch is still open
+//!    the seal additionally requires every signal to have diverged
+//!    already: corruption that is actively propagating can pull a
+//!    so-far-clean signal into the affected set later, so the
+//!    clean-stays-clean prediction is only trusted once the system has
+//!    globally re-converged (or every signal is already affected). The
+//!    settle window must exceed both the longest clean gap and the
+//!    longest single diverged episode of any non-final pattern the bench
+//!    can produce; that is a circuit property, so campaigns set
+//!    [`ClassifySpec::settle`] (a PLL uses its re-lock time) and the
+//!    fallback is the spec's recovery margin, clamped to at least the
+//!    merge gap.
+//! 3. **Window complete** — every stream has processed the whole
+//!    observation window; the outcome equals the post-hoc one by
+//!    construction.
+//!
+//! Anything the streaming comparison cannot decide soundly makes the
+//! classifier *inert* rather than wrong: a non-finite sample anywhere in
+//! the window (the post-hoc classifier short-circuits those into
+//! [`FaultClass::SimFailure`] with its own precedence order), or a
+//! monitored signal the faulty trace has not recorded yet. An inert
+//! classifier simply never seals and the case runs to completion —
+//! sim-failures and timeouts always stay terminal.
+//!
+//! On seal the classifier cancels its [`CancelToken`], which the engine
+//! wires to the same cooperative-stop path the simulation budgets use; the
+//! kernel winds down at the next stride probe and the engine records the
+//! sealed outcome (with [`CaseOutcome::sealed_at`] set) instead of
+//! classifying post-hoc.
+
+use crate::classify::{first_non_finite, CaseOutcome, ClassifySpec, FaultClass};
+use amsfi_waves::{
+    AnalogStream, CancelToken, DigitalStream, MismatchInterval, Time, Trace, TraceView,
+};
+use std::sync::Arc;
+
+/// Streaming comparison state for one monitored signal.
+#[derive(Debug)]
+enum SigStream {
+    /// The faulty trace has not yet recorded this signal in the domain the
+    /// golden trace uses, so comparison cannot start. Blocks every seal.
+    Unresolved,
+    /// Digital golden-vs-faulty merge cursor.
+    Digital(DigitalStream),
+    /// Analog golden-vs-faulty merge cursor.
+    Analog(AnalogStream),
+    /// The golden trace records this name in *neither* domain. The post-hoc
+    /// classifier reports a definitive full-window mismatch for such a
+    /// signal no matter what the faulty run does, so the online one may
+    /// treat it as permanently diverged from the first observation.
+    MissingInGolden,
+}
+
+/// `(closed intervals, open-mismatch start, last mismatch observation,
+/// finality bound)` of a comparing stream.
+type CursorState<'a> = (&'a [MismatchInterval], Option<Time>, Option<Time>, Time);
+
+impl SigStream {
+    /// The comparison-state snapshot of a live stream; `None` for signals
+    /// that are missing from the golden trace or not yet resolved.
+    fn cursor(&self) -> Option<CursorState<'_>> {
+        match self {
+            SigStream::Digital(s) => Some((
+                s.intervals(),
+                s.open_since(),
+                s.last_mismatch_obs(),
+                s.processed_to(),
+            )),
+            SigStream::Analog(s) => Some((
+                s.intervals(),
+                s.open_since(),
+                s.last_mismatch_obs(),
+                s.processed_to(),
+            )),
+            SigStream::MissingInGolden | SigStream::Unresolved => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SigState {
+    name: String,
+    /// True for functional outputs, false for internals.
+    output: bool,
+    stream: SigStream,
+    /// Number of faulty analog samples already scanned for non-finite
+    /// values (samples are append-only, so the scan never re-reads).
+    scanned: usize,
+}
+
+/// Incremental golden-vs-faulty classifier that mirrors
+/// [`classify`](crate::classify::classify)'s verdict lattice and seals the
+/// outcome as soon as no future observation can change it.
+///
+/// Feed it watermarks from a kernel observer via
+/// [`OnlineClassifier::observe`]; once [`OnlineClassifier::sealed`] returns
+/// an outcome the attached [`CancelToken`] has been cancelled and further
+/// observations are ignored.
+#[derive(Debug)]
+pub struct OnlineClassifier {
+    spec: ClassifySpec,
+    golden: Arc<Trace>,
+    injected_at: Time,
+    settle: Time,
+    token: CancelToken,
+    signals: Vec<SigState>,
+    /// Observations below this watermark are skipped: kernels poll every
+    /// few dozen sync steps (tens of ns of simulated time) while seals
+    /// move at settle-window granularity (µs), so checking every poll
+    /// costs more than early abort saves. Throttling to `settle / 8`
+    /// bounds the added seal latency at 12.5 % of the settle window.
+    next_check: Time,
+    /// Set when streaming comparison can no longer decide the case soundly
+    /// (non-finite samples). The case then always runs to completion.
+    inert: bool,
+    sealed: Option<CaseOutcome>,
+}
+
+impl OnlineClassifier {
+    /// Builds a classifier for one fault case.
+    ///
+    /// `injected_at` is the injection instant (quiescence is only
+    /// meaningful after it); `settle` is how long every signal's comparison
+    /// state must hold unchanged before the verdict seals — `None` uses the
+    /// spec's own [`ClassifySpec::settle`] hint, falling back to the
+    /// recovery margin. The settle window is clamped to at least the merge
+    /// gap (a mismatch inside the gap would merge into a "closed" interval)
+    /// and one femtosecond. `token` is cancelled on seal.
+    pub fn new(
+        spec: &ClassifySpec,
+        golden: Arc<Trace>,
+        injected_at: Time,
+        settle: Option<Time>,
+        token: CancelToken,
+    ) -> Self {
+        let settle = settle
+            .or(spec.settle)
+            .unwrap_or(spec.recovery)
+            .max(spec.merge_gap)
+            .max(Time::RESOLUTION);
+        let (from, to) = spec.window;
+        let signals: Vec<SigState> = spec
+            .outputs
+            .iter()
+            .map(|n| (n, true))
+            .chain(spec.internals.iter().map(|n| (n, false)))
+            .map(|(name, output)| SigState {
+                name: name.clone(),
+                output,
+                stream: SigStream::Unresolved,
+                scanned: 0,
+            })
+            .collect();
+        // A non-finite golden sample in the window makes the whole case a
+        // sim-failure under post-hoc precedence rules; never seal.
+        let inert = signals.iter().any(|s| {
+            golden
+                .analog(&s.name)
+                .and_then(|w| first_non_finite(w, from, to))
+                .is_some()
+        });
+        OnlineClassifier {
+            spec: spec.clone(),
+            golden,
+            injected_at,
+            settle,
+            token,
+            signals,
+            next_check: Time::ZERO,
+            inert,
+            sealed: None,
+        }
+    }
+
+    /// The sealed outcome, if the verdict has been decided.
+    pub fn sealed(&self) -> Option<&CaseOutcome> {
+        self.sealed.as_ref()
+    }
+
+    /// Consumes the classifier, returning the sealed outcome if any.
+    pub fn into_sealed(self) -> Option<CaseOutcome> {
+        self.sealed
+    }
+
+    /// True when the classifier has given up on sealing (non-finite data);
+    /// the case will run to completion and be classified post-hoc.
+    pub fn is_inert(&self) -> bool {
+        self.inert
+    }
+
+    /// Ingests all faulty-trace data that is final below `watermark`.
+    ///
+    /// The finality contract matches the kernel observer hooks: every
+    /// record in `view` strictly below `watermark` is frozen; the instant
+    /// itself may still gain records. Digital streams therefore advance to
+    /// `watermark - skew - 1 fs`, analog streams to
+    /// `min(watermark, last faulty sample)` (interpolation beyond the last
+    /// sample is not final).
+    pub fn observe(&mut self, watermark: Time, view: &TraceView<'_>) {
+        if self.sealed.is_some() || self.inert {
+            return;
+        }
+        let (from, to) = self.spec.window;
+        if to < from {
+            return; // degenerate window: leave it to the post-hoc path
+        }
+        // Watermarks at or past the window end are always processed (the
+        // window-complete seal must not be throttled away); in between,
+        // check at settle-window granularity only.
+        if watermark < self.next_check && watermark < to {
+            return;
+        }
+        self.next_check = watermark.saturating_add(self.settle / 8);
+        for sig in &mut self.signals {
+            if matches!(sig.stream, SigStream::Unresolved) {
+                let g_dig = self.golden.digital(&sig.name);
+                let g_ana = self.golden.analog(&sig.name);
+                if g_dig.is_some() && view.digital(&sig.name).is_some() {
+                    sig.stream = SigStream::Digital(DigitalStream::new(
+                        from,
+                        to,
+                        self.spec.merge_gap,
+                        self.spec.digital_skew,
+                    ));
+                } else if g_ana.is_some() && view.analog(&sig.name).is_some() {
+                    sig.stream = SigStream::Analog(AnalogStream::new(
+                        from,
+                        to,
+                        self.spec.analog_tolerance,
+                        self.spec.merge_gap,
+                    ));
+                } else if g_dig.is_none() && g_ana.is_none() {
+                    sig.stream = SigStream::MissingInGolden;
+                }
+            }
+            match &mut sig.stream {
+                SigStream::Digital(stream) => {
+                    let golden = self.golden.digital(&sig.name).expect("resolved digital");
+                    if let Some(faulty) = view.digital(&sig.name) {
+                        let upto = watermark - self.spec.digital_skew - Time::RESOLUTION;
+                        stream.advance(golden, faulty, upto);
+                    }
+                }
+                SigStream::Analog(stream) => {
+                    let golden = self.golden.analog(&sig.name).expect("resolved analog");
+                    if let Some(faulty) = view.analog(&sig.name) {
+                        // Only samples strictly below the watermark are
+                        // frozen: a sample *at* the watermark may still be
+                        // overwritten (same-time pushes replace the value),
+                        // which would retroactively change interpolated
+                        // values below it. Scan and advance up to the last
+                        // frozen sample only.
+                        let samples = faulty.samples();
+                        let frozen = samples.partition_point(|&(t, _)| t < watermark);
+                        while sig.scanned < frozen {
+                            let (t, v) = samples[sig.scanned];
+                            sig.scanned += 1;
+                            if t >= from && t <= to && !v.is_finite() {
+                                self.inert = true;
+                            }
+                        }
+                        if frozen > 0 {
+                            stream.advance(golden, faulty, samples[frozen - 1].0);
+                        }
+                    }
+                }
+                SigStream::Unresolved | SigStream::MissingInGolden => {}
+            }
+        }
+        if self.inert {
+            return;
+        }
+        let outcome = self
+            .try_seal_complete(view)
+            .or_else(|| self.try_seal_permanent())
+            .or_else(|| self.try_seal_quiescent());
+        if let Some(mut outcome) = outcome {
+            outcome.sealed_at = Some(watermark);
+            self.token.cancel();
+            self.sealed = Some(outcome);
+        }
+    }
+
+    /// Seal 3: every stream has processed the whole window — the verdict is
+    /// the post-hoc one by construction.
+    fn try_seal_complete(&mut self, view: &TraceView<'_>) -> Option<CaseOutcome> {
+        let (from, to) = self.spec.window;
+        let complete = self.signals.iter().all(|s| match &s.stream {
+            SigStream::Digital(stream) => stream.processed_to() >= to,
+            SigStream::Analog(stream) => stream.processed_to() >= to,
+            SigStream::MissingInGolden => true,
+            SigStream::Unresolved => false,
+        });
+        if !complete {
+            return None;
+        }
+        let per_signal: Vec<(String, bool, Vec<MismatchInterval>)> = self
+            .signals
+            .iter_mut()
+            .map(|sig| {
+                let intervals = match &mut sig.stream {
+                    SigStream::Digital(stream) => {
+                        let golden = self.golden.digital(&sig.name).expect("resolved digital");
+                        let faulty = view.digital(&sig.name).expect("resolved digital");
+                        stream.finish(golden, faulty).mismatches
+                    }
+                    SigStream::Analog(stream) => {
+                        let golden = self.golden.analog(&sig.name).expect("resolved analog");
+                        let faulty = view.analog(&sig.name).expect("resolved analog");
+                        stream.finish(golden, faulty).mismatches
+                    }
+                    SigStream::MissingInGolden => vec![MismatchInterval { from, to }],
+                    SigStream::Unresolved => unreachable!("complete implies resolved"),
+                };
+                (sig.name.clone(), sig.output, intervals)
+            })
+            .collect();
+        Some(aggregate(&self.spec, &per_signal))
+    }
+
+    /// Seal 1: all monitored signals have diverged (so the affected set is
+    /// complete) and at least one output's divergence reaches the recovery
+    /// horizon (so no future observation can downgrade `Failure`).
+    fn try_seal_permanent(&self) -> Option<CaseOutcome> {
+        let (from, to) = self.spec.window;
+        let recovered_by = to - self.spec.recovery;
+        let mut onset: Option<Time> = None;
+        let mut end: Option<Time> = None;
+        let mut total = Time::ZERO;
+        let mut any_output_failed = false;
+        for sig in &self.signals {
+            // (first divergence, definitively past the horizon, as-of-seal
+            // last divergence, as-of-seal mismatch total) — or bail if this
+            // signal has not diverged yet.
+            let (first, failed, last, mismatch) = match &sig.stream {
+                SigStream::MissingInGolden => (from, to >= recovered_by, to, to - from),
+                SigStream::Unresolved => return None,
+                stream => {
+                    let (intervals, open, last_obs, limit) =
+                        stream.cursor().expect("digital or analog");
+                    divergence_summary(intervals, open, last_obs, limit, recovered_by)?
+                }
+            };
+            if sig.output {
+                onset = Some(onset.map_or(first, |t| t.min(first)));
+                end = Some(end.map_or(last, |t| t.max(last)));
+                total += mismatch;
+                any_output_failed |= failed;
+            }
+        }
+        if !any_output_failed {
+            return None;
+        }
+        let mut affected: Vec<String> = self.signals.iter().map(|s| s.name.clone()).collect();
+        affected.sort();
+        Some(CaseOutcome {
+            class: FaultClass::Failure,
+            error_onset: onset,
+            error_end: end,
+            total_mismatch: total,
+            affected,
+            failure: None,
+            sealed_at: None,
+        })
+    }
+
+    /// Seal 2: every signal's comparison state has held unchanged through
+    /// the settle window — clean signals stayed clean since injection (or
+    /// their last re-convergence), diverged signals stayed continuously
+    /// diverged since their mismatch opened.
+    ///
+    /// Closed intervals are final and decide the lattice exactly; an open
+    /// mismatch held a full settle window is predicted to persist to the
+    /// window end (the stuck/unlocked regime), which makes an open output
+    /// `Failure` and an open internal unrecovered. Any re-convergence
+    /// observation closes the interval and restarts the quiescence clock,
+    /// so beat/re-lock patterns fall through to a later, better-informed
+    /// seal instead of a wrong one. `error_end` / `total_mismatch` for
+    /// still-open divergences are as-of-seal lower bounds.
+    fn try_seal_quiescent(&self) -> Option<CaseOutcome> {
+        let (from, to) = self.spec.window;
+        let recovered_by = to - self.spec.recovery;
+        // The quiescence clock is global: every signal must have held its
+        // state since the *latest* state change across all signals. A
+        // recent recovery on one signal delays the whole seal, because
+        // cross-coupled dynamics (one loop's re-lock) can disturb another
+        // signal that currently looks settled.
+        let mut quiet_since = self.injected_at.max(from);
+        let mut min_limit = Time::MAX;
+        let mut any_open = false;
+        let mut all_diverged = true;
+        for sig in &self.signals {
+            match &sig.stream {
+                // Definitively diverged over the full window; neither
+                // blocks nor delays quiescence.
+                SigStream::MissingInGolden => continue,
+                SigStream::Unresolved => return None,
+                stream => {
+                    let (intervals, open, _, limit) = stream.cursor().expect("digital or analog");
+                    // The comparison state last changed when the current
+                    // open mismatch opened, or when the last closed
+                    // interval re-converged.
+                    if let Some(t) = open.max(intervals.last().map(|iv| iv.to)) {
+                        quiet_since = quiet_since.max(t);
+                    }
+                    any_open |= open.is_some();
+                    all_diverged &= open.is_some() || !intervals.is_empty();
+                    min_limit = min_limit.min(limit);
+                }
+            }
+        }
+        if min_limit < quiet_since.saturating_add(self.settle) {
+            return None;
+        }
+        // The clean-stays-clean prediction is only trustworthy once the
+        // system has *globally* re-converged. While any mismatch is still
+        // open, corruption is actively propagating and a so-far-clean
+        // signal may yet join the affected set (a corrupted checksum
+        // exposes its high bits only when later carries reach them), so the
+        // seal then also requires every signal to have already diverged —
+        // making the affected set complete, as the permanent seal does.
+        if any_open && !all_diverged {
+            return None;
+        }
+        let mut affected = Vec::new();
+        let mut onset: Option<Time> = None;
+        let mut end: Option<Time> = None;
+        let mut total = Time::ZERO;
+        let mut output_failed = false;
+        let mut output_diverged = false;
+        let mut internal_unrecovered = false;
+        for sig in &self.signals {
+            let (first, failed, last, mismatch) = match &sig.stream {
+                SigStream::MissingInGolden => (from, to >= recovered_by, to, to - from),
+                SigStream::Unresolved => unreachable!("checked above"),
+                stream => {
+                    let (intervals, open, last_obs, limit) =
+                        stream.cursor().expect("digital or analog");
+                    match divergence_summary(intervals, open, last_obs, limit, recovered_by) {
+                        // A mismatch that has stayed open through the
+                        // settle window is predicted permanent.
+                        Some((first, failed, last, mismatch)) => {
+                            (first, failed || open.is_some(), last, mismatch)
+                        }
+                        None => continue, // clean signal
+                    }
+                }
+            };
+            affected.push(sig.name.clone());
+            if sig.output {
+                output_diverged = true;
+                onset = Some(onset.map_or(first, |t| t.min(first)));
+                end = Some(end.map_or(last, |t| t.max(last)));
+                total += mismatch;
+                output_failed |= failed;
+            } else if failed {
+                internal_unrecovered = true;
+            }
+        }
+        affected.sort();
+        let class = if output_failed {
+            FaultClass::Failure
+        } else if output_diverged || !affected.is_empty() {
+            if internal_unrecovered {
+                FaultClass::Latent
+            } else {
+                FaultClass::Transient
+            }
+        } else {
+            FaultClass::NoEffect
+        };
+        Some(CaseOutcome {
+            class,
+            error_onset: onset,
+            error_end: end,
+            total_mismatch: total,
+            affected,
+            failure: None,
+            sealed_at: None,
+        })
+    }
+}
+
+/// Divergence summary — `(first divergence, definitively past the recovery
+/// horizon, as-of-seal last divergence, as-of-seal mismatch total)` — for a
+/// digital/analog stream; `None` when the signal has not mismatched at all
+/// (blocking the permanent seal, whose affected set would be incomplete,
+/// and marking the signal clean for the quiescent one).
+fn divergence_summary(
+    intervals: &[MismatchInterval],
+    open_since: Option<Time>,
+    last_mismatch_obs: Option<Time>,
+    limit: Time,
+    recovered_by: Time,
+) -> Option<(Time, bool, Time, Time)> {
+    let first = match (intervals.first().map(|iv| iv.from), open_since) {
+        (Some(f), _) => f,
+        (None, Some(open)) => open,
+        (None, None) => return None,
+    };
+    // Three ways a divergence is definitively past the horizon: a mismatch
+    // *observed* at or past it (the interval extends at least to the next
+    // observation), a closed interval ending past it, or an open mismatch
+    // *held* through a finality bound past it — observations only occur
+    // where a wave changes, so no observation between the last mismatch and
+    // `limit` means the mismatch persists through `limit` and beyond.
+    let failed = last_mismatch_obs.is_some_and(|t| t >= recovered_by)
+        || intervals.last().is_some_and(|iv| iv.to >= recovered_by)
+        || (open_since.is_some() && limit >= recovered_by);
+    // As-of-seal lower bounds: an open mismatch held through `limit` will
+    // close no earlier than `limit`.
+    let closed_total: Time = intervals.iter().map(MismatchInterval::duration).sum();
+    let (last, total) = match open_since {
+        Some(open) => {
+            let held = limit.max(open);
+            (held, closed_total + (held - open))
+        }
+        None => (
+            intervals.last().map(|iv| iv.to).unwrap_or(first),
+            closed_total,
+        ),
+    };
+    Some((first, failed, last, total))
+}
+
+/// Replicates [`classify`](crate::classify::classify)'s aggregation lattice
+/// over per-signal mismatch intervals (signals in spec order, outputs
+/// flagged).
+fn aggregate(
+    spec: &ClassifySpec,
+    per_signal: &[(String, bool, Vec<MismatchInterval>)],
+) -> CaseOutcome {
+    let recovered_by = spec.window.1 - spec.recovery;
+    let mut affected = Vec::new();
+    let mut onset: Option<Time> = None;
+    let mut end: Option<Time> = None;
+    let mut total = Time::ZERO;
+    let mut output_failed = false;
+    let mut output_diverged = false;
+    let mut internal_unrecovered = false;
+    for (name, output, intervals) in per_signal {
+        let Some((first_iv, last_iv)) = intervals.first().zip(intervals.last()) else {
+            continue;
+        };
+        affected.push(name.clone());
+        if *output {
+            output_diverged = true;
+            total += intervals
+                .iter()
+                .map(MismatchInterval::duration)
+                .sum::<Time>();
+            onset = Some(onset.map_or(first_iv.from, |t| t.min(first_iv.from)));
+            end = Some(end.map_or(last_iv.to, |t| t.max(last_iv.to)));
+            if last_iv.to >= recovered_by {
+                output_failed = true;
+            }
+        } else if last_iv.to >= recovered_by {
+            internal_unrecovered = true;
+        }
+    }
+    affected.sort();
+    let class = if output_failed {
+        FaultClass::Failure
+    } else if output_diverged || !affected.is_empty() {
+        if internal_unrecovered {
+            FaultClass::Latent
+        } else {
+            FaultClass::Transient
+        }
+    } else {
+        FaultClass::NoEffect
+    };
+    CaseOutcome {
+        class,
+        error_onset: onset,
+        error_end: end,
+        total_mismatch: total,
+        affected,
+        failure: None,
+        sealed_at: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use amsfi_waves::Logic;
+
+    const US: i64 = 1_000;
+
+    fn spec() -> ClassifySpec {
+        ClassifySpec::new((Time::ZERO, Time::from_us(10)), vec!["out".to_owned()])
+            .with_internals(vec!["state".to_owned()])
+    }
+
+    fn trace_with(out: &[(i64, Logic)], state: &[(i64, Logic)]) -> Trace {
+        let mut t = Trace::new();
+        for &(ns, v) in out {
+            t.record_digital("out", Time::from_ns(ns), v).unwrap();
+        }
+        for &(ns, v) in state {
+            t.record_digital("state", Time::from_ns(ns), v).unwrap();
+        }
+        t
+    }
+
+    fn golden() -> Trace {
+        trace_with(&[(0, Logic::Zero)], &[(0, Logic::Zero)])
+    }
+
+    /// Drives the classifier over `faulty` with watermarks every `step_ns`
+    /// until it seals or passes `until_ns`; returns the seal if any.
+    fn drive(
+        cl: &mut OnlineClassifier,
+        faulty: &Trace,
+        step_ns: i64,
+        until_ns: i64,
+    ) -> Option<CaseOutcome> {
+        let mut t = 0;
+        while t <= until_ns + step_ns {
+            let parts = [faulty];
+            cl.observe(Time::from_ns(t), &TraceView::new(&parts));
+            if cl.sealed().is_some() {
+                return cl.sealed().cloned();
+            }
+            t += step_ns;
+        }
+        None
+    }
+
+    #[test]
+    fn clean_case_seals_no_effect_after_settle() {
+        let golden = Arc::new(golden());
+        let token = CancelToken::new();
+        let mut cl = OnlineClassifier::new(
+            &spec(),
+            Arc::clone(&golden),
+            Time::from_ns(100),
+            Some(Time::from_ns(500)),
+            token.clone(),
+        );
+        let faulty = trace_with(&[(0, Logic::Zero)], &[(0, Logic::Zero)]);
+        let sealed = drive(&mut cl, &faulty, 50, 2 * US).expect("seals well before window end");
+        assert_eq!(sealed.class, FaultClass::NoEffect);
+        assert!(sealed.sealed_at.unwrap() < Time::from_us(2));
+        assert!(token.is_cancelled(), "seal cancels the token");
+        // The sealed verdict matches the post-hoc classifier.
+        assert_eq!(sealed.class, classify(&spec(), &golden, &faulty).class);
+    }
+
+    #[test]
+    fn no_seal_before_injection_plus_settle() {
+        let golden = Arc::new(golden());
+        let mut cl = OnlineClassifier::new(
+            &spec(),
+            golden,
+            Time::from_us(5),
+            Some(Time::from_us(1)),
+            CancelToken::new(),
+        );
+        let faulty = trace_with(&[(0, Logic::Zero)], &[(0, Logic::Zero)]);
+        let parts = [&faulty];
+        cl.observe(Time::from_us(4), &TraceView::new(&parts));
+        assert!(cl.sealed().is_none(), "fault not injected yet");
+        cl.observe(
+            Time::from_us(5) + Time::from_ns(500),
+            &TraceView::new(&parts),
+        );
+        assert!(cl.sealed().is_none(), "settle window not elapsed");
+        cl.observe(Time::from_us(7), &TraceView::new(&parts));
+        assert_eq!(cl.sealed().unwrap().class, FaultClass::NoEffect);
+    }
+
+    #[test]
+    fn transient_seals_after_reconvergence_and_matches_post_hoc() {
+        let golden_t = golden();
+        let spec = spec();
+        let faulty = trace_with(
+            &[(0, Logic::Zero), (100, Logic::One), (200, Logic::Zero)],
+            &[(0, Logic::Zero)],
+        );
+        let post_hoc = classify(&spec, &golden_t, &faulty);
+        assert_eq!(post_hoc.class, FaultClass::Transient);
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::from_ns(50),
+            Some(Time::from_ns(400)),
+            CancelToken::new(),
+        );
+        let sealed = drive(&mut cl, &faulty, 25, 2 * US).expect("seals");
+        assert_eq!(sealed.class, post_hoc.class);
+        assert_eq!(sealed.error_onset, post_hoc.error_onset);
+        assert_eq!(sealed.affected, post_hoc.affected);
+        assert!(sealed.sealed_at.unwrap() < Time::from_us(1));
+    }
+
+    #[test]
+    fn stuck_divergence_seals_failure_after_settle() {
+        let golden_t = golden();
+        let spec = spec();
+        // Both signals stuck wrong from 100 ns on: once the mismatch has
+        // stayed open through the settle window the quiescent seal predicts
+        // it permanent and seals Failure — long before the recovery horizon
+        // at 9.5 µs.
+        let faulty = trace_with(
+            &[(0, Logic::Zero), (100, Logic::One)],
+            &[(0, Logic::Zero), (100, Logic::One)],
+        );
+        let post_hoc = classify(&spec, &golden_t, &faulty);
+        assert_eq!(post_hoc.class, FaultClass::Failure);
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::from_ns(50),
+            Some(Time::from_ns(500)),
+            CancelToken::new(),
+        );
+        let sealed = drive(&mut cl, &faulty, 50, 11 * US).expect("seals");
+        assert_eq!(sealed.class, FaultClass::Failure);
+        assert_eq!(sealed.error_onset, post_hoc.error_onset);
+        assert_eq!(sealed.affected, post_hoc.affected);
+        assert!(
+            sealed.sealed_at.unwrap() < Time::from_us(1),
+            "sealed at the settle window, not the horizon: {:?}",
+            sealed.sealed_at
+        );
+    }
+
+    #[test]
+    fn permanent_seal_fires_at_horizon_when_settle_is_long() {
+        let golden_t = golden();
+        let spec = spec();
+        // With a settle window longer than the run, only the
+        // exact-certainty permanent seal can fire: the mismatch must be
+        // *held* past the recovery horizon (10 µs - 500 ns), not a moment
+        // earlier.
+        let faulty = trace_with(
+            &[(0, Logic::Zero), (100, Logic::One)],
+            &[(0, Logic::Zero), (100, Logic::One)],
+        );
+        let post_hoc = classify(&spec, &golden_t, &faulty);
+        assert_eq!(post_hoc.class, FaultClass::Failure);
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::from_ns(50),
+            Some(Time::from_us(100)),
+            CancelToken::new(),
+        );
+        let parts = [&faulty];
+        cl.observe(Time::from_us(5), &TraceView::new(&parts));
+        assert!(cl.sealed().is_none(), "horizon not reached");
+        let sealed = drive(&mut cl, &faulty, 100, 11 * US).expect("seals at the horizon");
+        assert_eq!(sealed.class, FaultClass::Failure);
+        assert_eq!(sealed.error_onset, post_hoc.error_onset);
+        assert_eq!(sealed.affected, post_hoc.affected);
+    }
+
+    #[test]
+    fn episode_shorter_than_settle_never_predicted_permanent() {
+        let golden_t = golden();
+        let spec = spec();
+        // A single 500 ns divergence episode under an 800 ns settle window:
+        // the open mismatch is never *held* long enough for the permanence
+        // bet, the re-convergence restarts the clock, and the case seals as
+        // the transient it is.
+        let faulty = trace_with(
+            &[(0, Logic::Zero), (100, Logic::One), (600, Logic::Zero)],
+            &[(0, Logic::Zero)],
+        );
+        let post_hoc = classify(&spec, &golden_t, &faulty);
+        assert_eq!(post_hoc.class, FaultClass::Transient);
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::from_ns(50),
+            Some(Time::from_ns(800)),
+            CancelToken::new(),
+        );
+        let sealed = drive(&mut cl, &faulty, 25, 3 * US).expect("seals");
+        assert_eq!(sealed.class, post_hoc.class);
+        assert_eq!(sealed.error_onset, post_hoc.error_onset);
+        assert_eq!(sealed.affected, post_hoc.affected);
+        assert!(sealed.sealed_at.unwrap() >= Time::from_ns(600 + 800));
+    }
+
+    #[test]
+    fn divergence_inside_settle_window_prevents_early_seal() {
+        let golden_t = golden();
+        let spec = spec();
+        // Recover at 200 ns, then diverge again at 400 ns — inside the
+        // 500 ns settle window. The re-divergence restarts the quiescence
+        // clock, so the classifier keeps watching and agrees with the
+        // post-hoc verdict instead of sealing a false transient.
+        let faulty = trace_with(
+            &[
+                (0, Logic::Zero),
+                (100, Logic::One),
+                (200, Logic::Zero),
+                (400, Logic::One),
+            ],
+            &[(0, Logic::Zero)],
+        );
+        let post_hoc = classify(&spec, &golden_t, &faulty);
+        assert_eq!(post_hoc.class, FaultClass::Failure);
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::from_ns(50),
+            Some(Time::from_ns(500)),
+            CancelToken::new(),
+        );
+        let sealed = drive(&mut cl, &faulty, 10, 11 * US).expect("eventually seals");
+        assert_eq!(sealed.class, post_hoc.class);
+        assert_eq!(sealed.error_onset, post_hoc.error_onset);
+        assert_eq!(sealed.affected, post_hoc.affected);
+    }
+
+    #[test]
+    fn non_finite_faulty_sample_makes_classifier_inert() {
+        let mut golden_t = Trace::new();
+        golden_t.record_analog("out", Time::ZERO, 2.5).unwrap();
+        golden_t
+            .record_analog("out", Time::from_us(10), 2.5)
+            .unwrap();
+        let spec = ClassifySpec::new((Time::ZERO, Time::from_us(10)), vec!["out".to_owned()]);
+        let mut faulty = Trace::new();
+        faulty.record_analog("out", Time::ZERO, 2.5).unwrap();
+        faulty
+            .record_analog("out", Time::from_us(3), f64::NAN)
+            .unwrap();
+        faulty.record_analog("out", Time::from_us(10), 2.5).unwrap();
+        let token = CancelToken::new();
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::from_us(1),
+            None,
+            token.clone(),
+        );
+        assert!(drive(&mut cl, &faulty, 100, 12 * US).is_none());
+        assert!(cl.is_inert());
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn non_finite_golden_sample_is_inert_from_construction() {
+        let mut golden_t = Trace::new();
+        golden_t.record_analog("out", Time::ZERO, 2.5).unwrap();
+        golden_t
+            .record_analog("out", Time::from_us(5), f64::INFINITY)
+            .unwrap();
+        let spec = ClassifySpec::new((Time::ZERO, Time::from_us(10)), vec!["out".to_owned()]);
+        let cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::ZERO,
+            None,
+            CancelToken::new(),
+        );
+        assert!(cl.is_inert());
+    }
+
+    #[test]
+    fn signal_missing_from_golden_blocks_convergence_and_seals_failure() {
+        let spec = ClassifySpec::new((Time::ZERO, Time::from_us(10)), vec!["ghost".to_owned()]);
+        let golden_t = golden();
+        let faulty = trace_with(&[(0, Logic::Zero)], &[(0, Logic::Zero)]);
+        let post_hoc = classify(&spec, &golden_t, &faulty);
+        assert_eq!(post_hoc.class, FaultClass::Failure);
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::ZERO,
+            Some(Time::from_ns(100)),
+            CancelToken::new(),
+        );
+        let sealed = drive(&mut cl, &faulty, 100, 11 * US).expect("seals");
+        assert_eq!(sealed.class, FaultClass::Failure);
+        assert_eq!(sealed.error_onset, post_hoc.error_onset);
+        assert_eq!(sealed.affected, post_hoc.affected);
+    }
+
+    #[test]
+    fn unresolved_faulty_signal_never_seals() {
+        // Golden records "out"; the faulty run never does. Post-hoc this is
+        // a full-window mismatch (Failure), but online the stream stays
+        // unresolved and must not guess.
+        let spec = ClassifySpec::new((Time::ZERO, Time::from_us(10)), vec!["out".to_owned()]);
+        let golden_t = golden();
+        let faulty = Trace::new();
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::ZERO,
+            Some(Time::from_ns(100)),
+            CancelToken::new(),
+        );
+        assert!(drive(&mut cl, &faulty, 100, 12 * US).is_none());
+    }
+
+    #[test]
+    fn window_complete_seal_equals_post_hoc_exactly() {
+        let golden_t = golden();
+        let spec = spec();
+        let faulty = trace_with(
+            &[(0, Logic::Zero), (100, Logic::One), (300, Logic::Zero)],
+            &[(0, Logic::Zero), (150, Logic::One)],
+        );
+        let post_hoc = classify(&spec, &golden_t, &faulty);
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden_t),
+            Time::from_ns(50),
+            // A settle window longer than the run: only the
+            // window-complete seal can fire.
+            Some(Time::from_us(100)),
+            CancelToken::new(),
+        );
+        let parts = [&faulty];
+        cl.observe(Time::from_us(11), &TraceView::new(&parts));
+        let sealed = cl.sealed().expect("window fully processed").clone();
+        assert_eq!(sealed.class, post_hoc.class);
+        assert_eq!(sealed.error_onset, post_hoc.error_onset);
+        assert_eq!(sealed.error_end, post_hoc.error_end);
+        assert_eq!(sealed.total_mismatch, post_hoc.total_mismatch);
+        assert_eq!(sealed.affected, post_hoc.affected);
+    }
+
+    #[test]
+    fn observations_after_seal_are_ignored() {
+        let golden_t = golden();
+        let faulty = trace_with(&[(0, Logic::Zero)], &[(0, Logic::Zero)]);
+        let mut cl = OnlineClassifier::new(
+            &spec(),
+            Arc::new(golden_t),
+            Time::ZERO,
+            Some(Time::from_ns(100)),
+            CancelToken::new(),
+        );
+        let sealed = drive(&mut cl, &faulty, 50, US).expect("seals");
+        let parts = [&faulty];
+        cl.observe(Time::from_us(9), &TraceView::new(&parts));
+        assert_eq!(cl.sealed(), Some(&sealed));
+    }
+}

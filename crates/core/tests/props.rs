@@ -1,8 +1,9 @@
 //! Property-based tests for the campaign engine.
 
-use amsfi_core::{classify, plan, report, ClassifySpec, FaultClass};
-use amsfi_waves::{Logic, Time, Trace};
+use amsfi_core::{classify, plan, report, ClassifySpec, FaultClass, OnlineClassifier};
+use amsfi_waves::{CancelToken, DigitalWave, Logic, Time, Trace, TraceView};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn arb_trace(seed: Vec<(i64, bool)>) -> Trace {
     let mut t = Trace::new();
@@ -17,7 +18,105 @@ fn arb_trace(seed: Vec<(i64, bool)>) -> Trace {
     t
 }
 
+/// A clock toggling every `period` from time zero up to `horizon`.
+fn toggling(period: Time, horizon: Time) -> DigitalWave {
+    let mut w = DigitalWave::new();
+    let mut t = Time::ZERO;
+    let mut v = Logic::Zero;
+    while t <= horizon {
+        w.push(t, v).unwrap();
+        v = v.flipped();
+        t += period;
+    }
+    w
+}
+
+/// `golden` with its value inverted over the episode `[e0, e1)` — a single
+/// contiguous perturbation, the shape an injected SEU transient takes.
+fn perturbed(golden: &DigitalWave, e0: Time, e1: Time) -> DigitalWave {
+    let mut times: Vec<Time> = golden.transitions().iter().map(|&(t, _)| t).collect();
+    times.push(e0);
+    times.push(e1);
+    times.sort();
+    times.dedup();
+    let mut f = DigitalWave::new();
+    for t in times {
+        let v = golden.value_at(t);
+        let v = if t >= e0 && t < e1 { v.flipped() } else { v };
+        f.push(t, v).unwrap();
+    }
+    f
+}
+
 proptest! {
+    /// The tentpole invariant: whenever the online classifier seals a
+    /// verdict, its class, onset and affected set equal the post-hoc
+    /// classifier's — over random injection episodes, windows, settle
+    /// values and observation cadences. The settle window is drawn to
+    /// exceed the injected episode, per the classifier's soundness
+    /// contract: settle must be longer than any diverged episode (and any
+    /// clean gap) of a pattern that is not yet final.
+    #[test]
+    fn online_seal_matches_post_hoc_class_onset_affected(
+        period_ns in 20i64..200,
+        e0_ns in 0i64..8_000,
+        dur_ns in 1i64..3_000,
+        w0_ns in 0i64..2_000,
+        span_ns in 4_000i64..12_000,
+        extra_settle_ns in 50i64..2_000,
+        step_ns in 17i64..900,
+    ) {
+        let settle_ns = dur_ns + extra_settle_ns;
+        let horizon = Time::from_ns(16_000);
+        let g_out = toggling(Time::from_ns(period_ns), horizon);
+        let g_state = toggling(Time::from_ns(period_ns * 3), horizon);
+        let e0 = Time::from_ns(e0_ns);
+        let e1 = e0 + Time::from_ns(dur_ns);
+        let f_out = perturbed(&g_out, e0, e1);
+
+        let mut golden = Trace::new();
+        let mut faulty = Trace::new();
+        for &(t, v) in g_out.transitions() {
+            golden.record_digital("out", t, v).unwrap();
+        }
+        for &(t, v) in g_state.transitions() {
+            golden.record_digital("state", t, v).unwrap();
+            faulty.record_digital("state", t, v).unwrap();
+        }
+        for &(t, v) in f_out.transitions() {
+            faulty.record_digital("out", t, v).unwrap();
+        }
+
+        let spec = ClassifySpec::new(
+            (Time::from_ns(w0_ns), Time::from_ns(w0_ns + span_ns)),
+            vec!["out".to_owned()],
+        )
+        .with_internals(vec!["state".to_owned()]);
+        let post_hoc = classify(&spec, &golden, &faulty);
+
+        let mut cl = OnlineClassifier::new(
+            &spec,
+            Arc::new(golden),
+            e0,
+            Some(Time::from_ns(settle_ns)),
+            CancelToken::new(),
+        );
+        let mut t = Time::ZERO;
+        let sealed = loop {
+            let parts = [&faulty];
+            cl.observe(t, &TraceView::new(&parts));
+            if let Some(sealed) = cl.sealed() {
+                break sealed.clone();
+            }
+            prop_assert!(t <= horizon + Time::from_us(2), "never sealed");
+            t += Time::from_ns(step_ns);
+        };
+        prop_assert_eq!(sealed.class, post_hoc.class);
+        prop_assert_eq!(sealed.error_onset, post_hoc.error_onset);
+        prop_assert_eq!(&sealed.affected, &post_hoc.affected);
+        prop_assert!(sealed.sealed_at.is_some());
+    }
+
     #[test]
     fn any_trace_matches_itself(seed in prop::collection::vec((0i64..10_000, any::<bool>()), 0..30)) {
         let trace = arb_trace(seed);

@@ -11,7 +11,7 @@ use crate::component::{Action, EvalContext};
 use crate::netlist::{ComponentDecl, ComponentId, Netlist, SignalDecl, SignalId};
 use amsfi_waves::{
     Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, GuardViolation, LogicVector, SimBudget,
-    Time, Trace,
+    SimObserver, Time, Trace,
 };
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -157,6 +157,7 @@ pub struct Simulator {
     events_processed: u64,
     netlist_names: std::collections::HashMap<String, SignalId>,
     budget: SimBudget,
+    observer: Option<SimObserver>,
 }
 
 impl Simulator {
@@ -217,6 +218,7 @@ impl Simulator {
             events_processed: 0,
             netlist_names: names,
             budget: SimBudget::unlimited(),
+            observer: None,
         };
         for c in 0..sim.components.len() {
             sim.push_event(Time::ZERO, EventKind::Wake { component: c });
@@ -239,6 +241,14 @@ impl Simulator {
     /// The installed budget.
     pub fn budget(&self) -> &SimBudget {
         &self.budget
+    }
+
+    /// Installs a [`SimObserver`] polled (at its stride) after each fully
+    /// drained time point, with that instant as the finality watermark:
+    /// every trace record strictly below it is frozen. Replaces any
+    /// previous observer.
+    pub fn set_observer(&mut self, observer: SimObserver) {
+        self.observer = Some(observer);
     }
 
     /// Marks a signal for tracing. Must be called before the first
@@ -468,9 +478,15 @@ impl Simulator {
             }
             self.budget.note_step(t)?;
             self.advance_time_point(t)?;
+            if let Some(observer) = self.observer.as_mut() {
+                observer.poll(t, &[&self.trace]);
+            }
         }
         if t_end > self.now {
             self.now = t_end;
+        }
+        if let Some(observer) = self.observer.as_mut() {
+            observer.flush(self.now, &[&self.trace]);
         }
         Ok(())
     }
@@ -652,6 +668,10 @@ impl ForkableSim for Simulator {
 
     fn install_budget(&mut self, budget: SimBudget) {
         self.set_budget(budget);
+    }
+
+    fn install_observer(&mut self, observer: SimObserver) {
+        self.set_observer(observer);
     }
 }
 

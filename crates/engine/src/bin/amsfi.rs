@@ -3,7 +3,8 @@
 //! ```text
 //! amsfi list
 //! amsfi run <campaign> [--workers N] [--shard I/C] [--journal PATH]
-//!           [--resume] [--checkpoint] [--timeout-ms N] [--retries N]
+//!           [--resume] [--checkpoint] [--early-abort] [--settle-ns N]
+//!           [--timeout-ms N] [--retries N]
 //!           [--backoff-ms N] [--policy fail-fast|skip] [--progress-secs N]
 //!           [--max-steps N] [--min-dt-fs N] [--quarantine]
 //!           [--events PATH] [--metrics PATH] [--limit N] [--out DIR]
@@ -47,6 +48,13 @@ USAGE:
           --checkpoint       fork cases from golden-prefix checkpoints
                              (campaigns without fork support fall back
                              to from-scratch runs)
+          --early-abort      classify each case while it simulates and
+                             abort it the moment its verdict is sealed;
+                             journal records gain sealed_at=<t_fs>
+          --settle-ns N      early-abort settle window: how long every
+                             signal must match the golden run before a
+                             no-effect/transient verdict may seal
+                             (default: the campaign's recovery threshold)
           --timeout-ms N     per-attempt wall-clock timeout
           --retries N        extra attempts per failing case (default 0)
           --backoff-ms N     base retry backoff, doubled per retry (default 50)
@@ -170,6 +178,10 @@ fn run(args: &[String]) -> ExitCode {
                 "--journal" => config.journal = Some(PathBuf::from(opts.value(arg)?)),
                 "--resume" => config.resume = true,
                 "--checkpoint" => config.checkpoint = true,
+                "--early-abort" => config.early_abort = true,
+                "--settle-ns" => {
+                    config.settle = Some(Time::from_ns(opts.parse(arg)?));
+                }
                 "--timeout-ms" => {
                     config.timeout = Some(Duration::from_millis(opts.parse(arg)?));
                 }

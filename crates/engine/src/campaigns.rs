@@ -96,7 +96,12 @@ fn pll_sweep() -> Campaign {
     let spec = ClassifySpec::new((Time::from_us(165), T_END), vec![names::F_OUT.to_owned()])
         .with_internals(vec![names::VCTRL.to_owned(), names::FB.to_owned()])
         .with_tolerance(Tolerance::new(0.05, 0.01))
-        .with_digital_skew(Time::from_ns(2));
+        .with_digital_skew(Time::from_ns(2))
+        // The PLL takes several microseconds to visibly re-lock (or visibly
+        // fail to): divergence onsets trail the strike by up to ~5 us, so the
+        // streaming classifier must hold the settle window longer than the
+        // default recovery margin before calling a state final.
+        .with_settle(Time::from_us(8));
     let pulses: Arc<Vec<(TrapezoidPulse, String)>> = Arc::new(pulses);
     // `Campaign::forked` arms the saboteur in place on a simulator already
     // positioned at T_INJECT instead of baking the fault into the build

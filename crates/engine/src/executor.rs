@@ -17,10 +17,10 @@ use crate::stats::{EngineStats, Stage, StatsSnapshot};
 use crate::BoxError;
 use amsfi_core::{
     classify, injection_stops, CampaignResult, CaseOutcome, CaseResult, ClassifySpec, FaultCase,
-    SimFailure,
+    OnlineClassifier, SimFailure,
 };
 use amsfi_telemetry::{Event, GuardKind, KernelMetrics, Telemetry};
-use amsfi_waves::{CancelToken, Checkpoint, ForkableSim, SimBudget, Time, Trace};
+use amsfi_waves::{CancelToken, Checkpoint, ForkableSim, SimBudget, SimObserver, Time, Trace};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -83,6 +83,15 @@ pub struct EngineConfig {
     /// Telemetry sink: structured JSONL events plus kernel metrics. The
     /// default [`Telemetry::disabled`] handle is a near-zero-cost no-op.
     pub telemetry: Telemetry,
+    /// Classify each case *while* it simulates and cooperatively abort it
+    /// the moment its verdict is sealed (see
+    /// [`amsfi_core::OnlineClassifier`]). Off by default: the default path
+    /// stays post-hoc and bit-for-bit unchanged.
+    pub early_abort: bool,
+    /// How long every monitored signal must match the golden run before an
+    /// early-abort verdict of no-effect/transient may seal. `None` derives
+    /// the settle window from the campaign's recovery threshold.
+    pub settle: Option<Time>,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +111,8 @@ impl Default for EngineConfig {
             min_dt: None,
             quarantine: false,
             telemetry: Telemetry::disabled(),
+            early_abort: false,
+            settle: None,
         }
     }
 }
@@ -205,6 +216,22 @@ impl EngineConfig {
         self
     }
 
+    /// Enables early-verdict streaming classification (see
+    /// [`EngineConfig::early_abort`]).
+    #[must_use]
+    pub fn with_early_abort(mut self, early_abort: bool) -> Self {
+        self.early_abort = early_abort;
+        self
+    }
+
+    /// Overrides the early-abort settle window (see
+    /// [`EngineConfig::settle`]).
+    #[must_use]
+    pub fn with_settle(mut self, settle: Time) -> Self {
+        self.settle = Some(settle);
+        self
+    }
+
     fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
@@ -227,6 +254,7 @@ pub struct CaseCtx {
     budget: SimBudget,
     telemetry: Telemetry,
     timer: Mutex<(Instant, Option<Stage>)>,
+    observer: Mutex<Option<SimObserver>>,
 }
 
 impl CaseCtx {
@@ -236,6 +264,7 @@ impl CaseCtx {
         stats: Arc<EngineStats>,
         budget: SimBudget,
         telemetry: Telemetry,
+        observer: Option<SimObserver>,
     ) -> Self {
         CaseCtx {
             index,
@@ -244,6 +273,7 @@ impl CaseCtx {
             budget,
             telemetry,
             timer: Mutex::new((Instant::now(), None)),
+            observer: Mutex::new(observer),
         }
     }
 
@@ -258,7 +288,19 @@ impl CaseCtx {
             budget: SimBudget::unlimited(),
             telemetry: Telemetry::disabled(),
             timer: Mutex::new((Instant::now(), None)),
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Takes the attempt's streaming trace observer, armed by the engine
+    /// under [`EngineConfig::with_early_abort`] (`None` otherwise, and on
+    /// every call after the first). Runners hand it to their kernel —
+    /// [`Campaign::forked`] does this automatically via
+    /// [`ForkableSim::install_observer`] right after installing the
+    /// budget — so the engine's online classifier sees the trace grow and
+    /// can cancel the attempt's budget token the moment a verdict seals.
+    pub fn take_observer(&self) -> Option<SimObserver> {
+        self.observer.lock().expect("observer slot poisoned").take()
     }
 
     /// Which case to inject; `None` asks for the golden (fault-free) run.
@@ -464,6 +506,9 @@ impl Campaign {
             Arc::new(move |ctx: &CaseCtx| {
                 let mut sim = build(ctx)?;
                 sim.install_budget(ctx.budget().clone());
+                if let Some(observer) = ctx.take_observer() {
+                    sim.install_observer(observer);
+                }
                 ctx.stage(Stage::Simulate);
                 match ctx.index() {
                     None => {
@@ -520,6 +565,9 @@ impl Campaign {
                     ctx.stage(Stage::Simulate);
                     let mut sim = cp.fork();
                     sim.install_budget(ctx.budget().clone());
+                    if let Some(observer) = ctx.take_observer() {
+                        sim.install_observer(observer);
+                    }
                     inject(&mut sim, i)?;
                     sim.advance_to(t_end).map_err(sim_err)?;
                     Ok(sim.snapshot_trace())
@@ -630,9 +678,27 @@ impl From<JournalError> for EngineError {
     }
 }
 
+/// Everything one attempt needs to arm an online classifier under
+/// [`EngineConfig::with_early_abort`]: the campaign's classification spec,
+/// a shared handle on the golden trace (the attempt thread is `'static`,
+/// so it cannot borrow the engine's copy) and the case's injection instant.
+struct EarlyAbort {
+    spec: ClassifySpec,
+    golden: Arc<Trace>,
+    injected_at: Time,
+}
+
 /// How one attempt ended (before retry/policy handling).
 enum Attempt {
     Ok(Trace),
+    /// The attempt's online classifier sealed the verdict mid-simulation
+    /// and cancelled the budget token (`--early-abort`): a final,
+    /// *classified* outcome — not retried. `steps` is the attempt's
+    /// simulation-step tally at abort, used to estimate the saving.
+    Sealed {
+        outcome: Box<CaseOutcome>,
+        steps: u64,
+    },
     Failed(String),
     /// The kernel tripped a [`SimBudget`] guard (or otherwise surfaced a
     /// parseable [`SimFailure`]): a deterministic, *classified* outcome —
@@ -734,6 +800,7 @@ impl Engine {
                     Arc::clone(&stats),
                     self.case_budget(),
                     tele.clone(),
+                    None,
                 );
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     (spec.golden)(&ctx, &mut |t, snap| {
@@ -747,7 +814,7 @@ impl Engine {
                     Err(payload) => return Err(EngineError::Golden(panic_message(payload))),
                 }
             }
-            None => match self.attempt_case(&campaign.runner, None, &stats).0 {
+            None => match self.attempt_case(&campaign.runner, None, &stats, None).0 {
                 Attempt::Ok(trace) => trace,
                 Attempt::Failed(e) | Attempt::RestoreFailed(e) => {
                     return Err(EngineError::Golden(e))
@@ -757,8 +824,17 @@ impl Engine {
                 // be classified against it.
                 Attempt::SimFailed(f) => return Err(EngineError::Golden(f.to_string())),
                 Attempt::TimedOut => return Err(EngineError::Golden("timed out".to_owned())),
+                Attempt::Sealed { .. } => {
+                    unreachable!("the golden run never arms an online classifier")
+                }
             },
         };
+        // One shared golden trace for the whole run: the online classifiers
+        // on every worker hold `Arc` clones instead of deep copies.
+        let golden = Arc::new(golden);
+        if let Some(metrics) = tele.metrics() {
+            metrics.golden_trace_bytes.add(golden.approx_bytes());
+        }
         tele.emit_with(|| {
             Event::new("span", "golden")
                 .with_dur_us(golden_t0.elapsed().as_micros() as u64)
@@ -924,7 +1000,7 @@ impl Engine {
             entries.insert(index, entry);
         }
         let (mut result, skipped, quarantined) = journal::assemble(&entries);
-        result.golden = golden;
+        result.golden = Arc::try_unwrap(golden).unwrap_or_else(|shared| (*shared).clone());
         let stats = stats.snapshot();
         tele.emit_with(|| {
             Event::new("campaign", "end")
@@ -952,7 +1028,7 @@ impl Engine {
         &self,
         campaign: &Campaign,
         index: usize,
-        golden: &Trace,
+        golden: &Arc<Trace>,
         stats: &Arc<EngineStats>,
         journal: Option<&Journal>,
         forked: Option<(CaseRunner, Time)>,
@@ -964,7 +1040,13 @@ impl Engine {
             Some((runner, at)) => (runner, Some(at)),
             None => (Arc::clone(&campaign.runner), None),
         };
-        let (mut attempt, mut attempts) = self.attempt_case(&runner, Some(index), stats);
+        let early = self.config.early_abort.then(|| EarlyAbort {
+            spec: campaign.spec.clone(),
+            golden: Arc::clone(golden),
+            injected_at: case.injected_at,
+        });
+        let (mut attempt, mut attempts) =
+            self.attempt_case(&runner, Some(index), stats, early.as_ref());
         // Graceful degradation: a snapshot that cannot be restored fails
         // deterministically, so instead of burning the retry budget on the
         // fork path the case re-runs from scratch.
@@ -974,7 +1056,8 @@ impl Engine {
                 metrics.restore_fallbacks.inc();
             }
             tele.emit_with(|| Event::new("checkpoint", "fallback").with_case(index));
-            let (fallback, n) = self.attempt_case(&campaign.runner, Some(index), stats);
+            let (fallback, n) =
+                self.attempt_case(&campaign.runner, Some(index), stats, early.as_ref());
             attempt = fallback;
             attempts += n;
         }
@@ -984,6 +1067,54 @@ impl Engine {
                 let outcome = classify(&campaign.spec, golden, &trace);
                 stats.record_stage(Stage::Classify, t0.elapsed());
                 stats.record_class(outcome.class);
+                let result = CaseResult {
+                    case: case.clone(),
+                    outcome,
+                };
+                if let Some(journal) = journal {
+                    journal.record_case(index, &result, forked_at)?;
+                }
+                Ok(JournalEntry::Done(result))
+            }
+            Attempt::Sealed { outcome, steps } => {
+                let outcome = *outcome;
+                let class = outcome.class;
+                let sealed_at = outcome.sealed_at.unwrap_or(campaign.spec.window.1);
+                // The simulation time the abort skipped. Runs advance to
+                // the fork spec's horizon when there is one; campaigns
+                // without a fork spec stop at the observation window's end.
+                let horizon = campaign
+                    .fork
+                    .as_ref()
+                    .map_or(campaign.spec.window.1, |f| f.t_end);
+                let saved = if horizon > sealed_at {
+                    horizon - sealed_at
+                } else {
+                    Time::ZERO
+                };
+                // Extrapolate saved steps from the attempt's measured step
+                // density over the simulated span (fork instant → seal).
+                let covered = sealed_at - forked_at.unwrap_or(Time::ZERO);
+                let saved_steps = if covered > Time::ZERO {
+                    ((i128::from(steps) * i128::from(saved.as_fs())) / i128::from(covered.as_fs()))
+                        as u64
+                } else {
+                    0
+                };
+                stats.record_class(class);
+                if let Some(metrics) = tele.metrics() {
+                    metrics.early_aborts.inc();
+                    metrics.saved_sim_fs.add(saved.as_fs().max(0) as u64);
+                    metrics.saved_steps.add(saved_steps);
+                }
+                tele.emit_with(|| {
+                    Event::new("early_abort", "sealed")
+                        .with_case(index)
+                        .with_field("class", class)
+                        .with_field("sealed_at_fs", sealed_at.as_fs())
+                        .with_field("saved_fs", saved.as_fs())
+                        .with_field("saved_steps", saved_steps)
+                });
                 let result = CaseResult {
                     case: case.clone(),
                     outcome,
@@ -1023,7 +1154,9 @@ impl Engine {
                         self.config.timeout.unwrap_or_default()
                     ),
                     Attempt::Failed(e) | Attempt::RestoreFailed(e) => e,
-                    Attempt::Ok(_) | Attempt::SimFailed(_) => unreachable!(),
+                    Attempt::Ok(_) | Attempt::SimFailed(_) | Attempt::Sealed { .. } => {
+                        unreachable!()
+                    }
                 };
                 match self.config.error_policy {
                     ErrorPolicy::FailFast => Err(EngineError::Case {
@@ -1101,6 +1234,7 @@ impl Engine {
         runner: &CaseRunner,
         index: Option<usize>,
         stats: &Arc<EngineStats>,
+        early: Option<&EarlyAbort>,
     ) -> (Attempt, u32) {
         let tele = &self.config.telemetry;
         let mut last = Attempt::Failed("no attempt made".to_owned());
@@ -1119,7 +1253,7 @@ impl Engine {
                     std::thread::sleep(backoff);
                 }
             }
-            last = self.run_attempt(runner, index, attempt, stats);
+            last = self.run_attempt(runner, index, attempt, stats, early);
             if let Attempt::TimedOut = last {
                 stats.record_timeout();
                 tele.emit_with(|| {
@@ -1132,9 +1266,13 @@ impl Engine {
             }
             if matches!(
                 last,
-                // A guard trip or failed restore is deterministic; retrying
-                // would reproduce it. Both end the loop like a success.
-                Attempt::Ok(_) | Attempt::SimFailed(_) | Attempt::RestoreFailed(_)
+                // A guard trip, sealed verdict or failed restore is
+                // deterministic; retrying would reproduce it. All end the
+                // loop like a success.
+                Attempt::Ok(_)
+                    | Attempt::Sealed { .. }
+                    | Attempt::SimFailed(_)
+                    | Attempt::RestoreFailed(_)
             ) {
                 return (last, attempt + 1);
             }
@@ -1163,9 +1301,39 @@ impl Engine {
         index: Option<usize>,
         attempt: u32,
         stats: &Arc<EngineStats>,
+        early: Option<&EarlyAbort>,
     ) -> Attempt {
         let runner = Arc::clone(runner);
-        let token = self.config.timeout.map(CancelToken::with_deadline);
+        // Early abort rides the existing cooperative-stop plumbing: the
+        // classifier cancels the attempt's budget token, exactly like the
+        // timeout watchdog does, so a token is armed even with no timeout.
+        let token = if early.is_some() {
+            Some(
+                self.config
+                    .timeout
+                    .map_or_else(CancelToken::new, CancelToken::with_deadline),
+            )
+        } else {
+            self.config.timeout.map(CancelToken::with_deadline)
+        };
+        let classifier = match (early, &token) {
+            (Some(ea), Some(token)) => Some(Arc::new(Mutex::new(OnlineClassifier::new(
+                &ea.spec,
+                Arc::clone(&ea.golden),
+                ea.injected_at,
+                self.config.settle,
+                token.clone(),
+            )))),
+            _ => None,
+        };
+        let observer = classifier.as_ref().map(|classifier| {
+            let classifier = Arc::clone(classifier);
+            SimObserver::new(move |t, view| {
+                if let Ok(mut classifier) = classifier.lock() {
+                    classifier.observe(t, view);
+                }
+            })
+        });
         let mut budget = match &token {
             Some(token) => self.case_budget().with_cancel(token.clone()),
             None => self.case_budget(),
@@ -1181,7 +1349,7 @@ impl Engine {
             let stats = Arc::clone(stats);
             let telemetry = self.config.telemetry.clone();
             move || {
-                let ctx = CaseCtx::attached(index, attempt, stats, budget, telemetry);
+                let ctx = CaseCtx::attached(index, attempt, stats, budget, telemetry, observer);
                 let out = catch_unwind(AssertUnwindSafe(|| runner(&ctx)));
                 ctx.finish();
                 match out {
@@ -1200,8 +1368,26 @@ impl Engine {
             }
         };
         let outcome = self.drive_attempt(call, &token);
+        let steps = budget_probe.attempt_steps();
         if let Some(metrics) = self.config.telemetry.metrics() {
-            metrics.steps_used.observe(budget_probe.attempt_steps());
+            metrics.steps_used.observe(steps);
+        }
+        // A sealed verdict wins over whatever the aborted simulation
+        // reported — the cancellation typically surfaces as a deadline
+        // guard trip (normalised to a timeout above), and with a fast
+        // solver the run may even have finished `Ok` in the race window.
+        // Either way the sealed outcome is the verdict.
+        if let Some(classifier) = &classifier {
+            let sealed = classifier
+                .lock()
+                .ok()
+                .and_then(|guard| guard.sealed().cloned());
+            if let Some(sealed) = sealed {
+                return Attempt::Sealed {
+                    outcome: Box::new(sealed),
+                    steps,
+                };
+            }
         }
         outcome
     }

@@ -40,6 +40,10 @@
 //! * `simfail=<taxonomy>` on a `case` record carries the structured
 //!   [`SimFailure`] for cases classified `sim-failure`, so the failure
 //!   taxonomy round-trips through resume and merge.
+//! * `sealed_at=<t>` on a `case` record means an online classifier sealed
+//!   the verdict at `t` fs and the simulation was aborted early
+//!   (`--early-abort`). Absent for post-hoc classification. Readers that
+//!   predate early abort ignore the key.
 //! * The journal is append-only and written record-at-a-time, so only its
 //!   final line can ever be torn by a kill or a full disk. [`load`]
 //!   therefore tolerates (ignores) a malformed or truncated *final* record
@@ -295,8 +299,12 @@ impl Journal {
             Some(f) => format!(" simfail={}", escape(&f.to_string())),
             None => String::new(),
         };
+        let sealed = match o.sealed_at {
+            Some(t) => format!(" sealed_at={}", t.as_fs()),
+            None => String::new(),
+        };
         let line = format!(
-            "case {index} at={} class={} onset={} end={} mismatch={} affected={} forked={}{simfail} label={}",
+            "case {index} at={} class={} onset={} end={} mismatch={} affected={} forked={}{sealed}{simfail} label={}",
             result.case.injected_at.as_fs(),
             o.class,
             opt_fs(o.error_onset),
@@ -636,6 +644,7 @@ fn parse_record(line: &str) -> Option<JournalEntry> {
     let mut error = None;
     let mut quarantine = None;
     let mut simfail = None;
+    let mut sealed_at = None;
     for token in tokens {
         // `split_once` keeps any further `=` inside the value.
         let (key, value) = token.split_once('=')?;
@@ -660,6 +669,7 @@ fn parse_record(line: &str) -> Option<JournalEntry> {
             "error" => error = Some(unescape(value)?),
             "quarantine" => quarantine = Some(unescape(value)?),
             "simfail" => simfail = Some(unescape(value)?.parse::<SimFailure>().ok()?),
+            "sealed_at" => sealed_at = Some(Time::from_fs(value.parse::<i64>().ok()?)),
             // Unknown keys (e.g. `forked`) are informational: skip them so
             // newer writers stay readable by this parser.
             _ => {}
@@ -676,6 +686,7 @@ fn parse_record(line: &str) -> Option<JournalEntry> {
                 total_mismatch: mismatch?,
                 affected: affected?,
                 failure: simfail,
+                sealed_at,
             },
         })),
         "skip" => match quarantine {
@@ -734,6 +745,7 @@ mod tests {
                     Vec::new()
                 },
                 failure: None,
+                sealed_at: (i % 3 == 1).then(|| Time::from_ns(950)),
             },
         }
     }

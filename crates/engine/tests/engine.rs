@@ -6,7 +6,7 @@ use amsfi_core::{ClassifySpec, FaultCase};
 use amsfi_engine::{
     campaigns, journal, Campaign, CaseCtx, Engine, EngineConfig, EngineError, ErrorPolicy, Shard,
 };
-use amsfi_waves::{ForkableSim, Logic, Time, Trace};
+use amsfi_waves::{ForkableSim, Logic, SimObserver, Time, Trace};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -61,7 +61,27 @@ struct TickSim {
     ticks: u64,
     stuck: bool,
     invert_next: bool,
+    /// Remaining ticks the sparse "flag" signal is held high (`u64::MAX`
+    /// holds it forever). Golden keeps it low, so the repeated-value dedup
+    /// in the trace makes a raised flag an *observation-free* divergence —
+    /// exactly the shape the quiescent seal fires on.
+    flag_ticks: u64,
     trace: Trace,
+    observer: Option<SimObserver>,
+}
+
+impl TickSim {
+    fn fresh() -> Self {
+        TickSim {
+            now: Time::ZERO,
+            ticks: 0,
+            stuck: false,
+            invert_next: false,
+            flag_ticks: 0,
+            trace: Trace::new(),
+            observer: None,
+        }
+    }
 }
 
 impl ForkableSim for TickSim {
@@ -82,6 +102,19 @@ impl ForkableSim for TickSim {
             self.trace
                 .record_digital("out", self.now, Logic::from_bool(bit))
                 .unwrap();
+            let flag = self.flag_ticks > 0;
+            if self.flag_ticks != u64::MAX {
+                self.flag_ticks = self.flag_ticks.saturating_sub(1);
+            }
+            self.trace
+                .record_digital("flag", self.now, Logic::from_bool(flag))
+                .unwrap();
+            if let Some(observer) = &mut self.observer {
+                observer.poll(self.now, &[&self.trace]);
+            }
+        }
+        if let Some(observer) = &mut self.observer {
+            observer.flush(self.now, &[&self.trace]);
         }
         Ok(())
     }
@@ -96,6 +129,10 @@ impl ForkableSim for TickSim {
 
     fn structural_fingerprint(&self) -> u64 {
         0x7E57
+    }
+
+    fn install_observer(&mut self, observer: SimObserver) {
+        self.observer = Some(observer);
     }
 }
 
@@ -112,15 +149,7 @@ fn forked_toy_campaign(n: usize, injects: Arc<AtomicUsize>) -> Campaign {
         spec,
         cases,
         t_end,
-        |_ctx: &CaseCtx| {
-            Ok(TickSim {
-                now: Time::ZERO,
-                ticks: 0,
-                stuck: false,
-                invert_next: false,
-                trace: Trace::new(),
-            })
-        },
+        |_ctx: &CaseCtx| Ok(TickSim::fresh()),
         move |sim: &mut TickSim, i| {
             injects.fetch_add(1, Ordering::Relaxed);
             if i.is_multiple_of(2) {
@@ -131,6 +160,108 @@ fn forked_toy_campaign(n: usize, injects: Arc<AtomicUsize>) -> Campaign {
             Ok(())
         },
     )
+}
+
+/// A checkpointed toy campaign shaped for early-verdict sealing: a 600 ns
+/// window monitoring the sparse "flag" signal (settle defaults to the
+/// 100 ns merge gap). Even case indices raise the flag forever — an open
+/// mismatch with no further observations, sealed `Failure` by the
+/// quiescent rule one settle window after injection. Odd indices pulse it
+/// for one tick — a closed interval, sealed `Transient` one settle window
+/// after it re-converges. Both seal around 200 ns into the 600 ns window.
+fn ea_toy_campaign(n: usize) -> Campaign {
+    let t_end = Time::from_ns(600);
+    let spec = ClassifySpec::new((Time::ZERO, t_end), vec!["flag".to_owned()]);
+    let cases = (0..n)
+        .map(|i| FaultCase::new(format!("tick{i}"), Time::from_ns(7 + (i as i64 % 4) * 11)))
+        .collect();
+    Campaign::forked(
+        "ea-toy",
+        spec,
+        cases,
+        t_end,
+        |_ctx: &CaseCtx| Ok(TickSim::fresh()),
+        move |sim: &mut TickSim, i| {
+            sim.flag_ticks = if i.is_multiple_of(2) { u64::MAX } else { 1 };
+            Ok(())
+        },
+    )
+}
+
+/// PR 5 tentpole end-to-end: an `--early-abort` run seals every toy case
+/// well before the window end with verdicts identical to the full run, a
+/// killed run journals `sealed_at=`, and `--resume` round-trips it.
+#[test]
+fn early_abort_kill_and_resume_round_trips_sealed_at() {
+    let path = unique_path("ea-resume");
+    let campaign = ea_toy_campaign(12);
+    let config = || {
+        EngineConfig::default()
+            .with_workers(2)
+            .with_checkpoint(true)
+            .with_early_abort(true)
+    };
+
+    // References: the same checkpointed run without early abort seals
+    // nothing; the early-abort run seals everything, verdicts unchanged.
+    let base = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_checkpoint(true),
+    )
+    .run(&campaign)
+    .unwrap();
+    let clean = Engine::new(config()).run(&campaign).unwrap();
+    assert_eq!(base.result.cases.len(), clean.result.cases.len());
+    for (a, b) in base.result.cases.iter().zip(&clean.result.cases) {
+        assert_eq!(a.outcome.class, b.outcome.class, "case {}", a.case);
+        assert_eq!(
+            a.outcome.error_onset, b.outcome.error_onset,
+            "case {}",
+            a.case
+        );
+        assert_eq!(a.outcome.affected, b.outcome.affected, "case {}", a.case);
+        assert!(a.outcome.sealed_at.is_none(), "full run must not seal");
+        let sealed_at = b.outcome.sealed_at.expect("early-abort case must seal");
+        assert!(
+            sealed_at < Time::from_ns(600),
+            "case {} sealed only at the window end: {sealed_at:?}",
+            b.case
+        );
+    }
+
+    // "Kill" partway: journal only shard 0/2 with early abort on.
+    let partial = Engine::new(
+        config()
+            .with_shard("0/2".parse().unwrap())
+            .with_journal(&path),
+    )
+    .run(&campaign)
+    .unwrap();
+    assert_eq!(partial.result.cases.len(), 6);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.lines()
+            .filter(|l| l.starts_with("case "))
+            .all(|l| l.contains(" sealed_at=")),
+        "journaled early-abort cases must carry sealed_at:\n{text}"
+    );
+
+    // Resume the full list: the journaled half keeps its sealed_at.
+    let resumed = Engine::new(config().with_journal(&path).with_resume(true))
+        .run(&campaign)
+        .unwrap();
+    assert_eq!(resumed.resumed, 6);
+    assert_eq!(resumed.result.cases.len(), 12);
+    for (a, b) in clean.result.cases.iter().zip(&resumed.result.cases) {
+        assert_eq!(a.outcome.class, b.outcome.class, "case {}", a.case);
+        assert_eq!(
+            a.outcome.sealed_at, b.outcome.sealed_at,
+            "sealed_at did not survive the journal round-trip for case {}",
+            a.case
+        );
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 /// PR 2 tentpole end-to-end: a checkpointed run can be killed (simulated by

@@ -10,7 +10,7 @@ use amsfi_analog::{AnalogSolver, NodeId};
 use amsfi_digital::{SignalId, SimError, Simulator};
 use amsfi_waves::{
     Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim, GuardViolation, LogicVector, SimBudget,
-    Time, Trace,
+    SimObserver, Time, Trace,
 };
 
 /// Co-simulates a digital [`Simulator`] and an analog [`AnalogSolver`] with
@@ -73,6 +73,7 @@ pub struct MixedSimulator {
     max_sync_step: Time,
     seeded: bool,
     budget: SimBudget,
+    observer: Option<SimObserver>,
 }
 
 impl MixedSimulator {
@@ -87,6 +88,7 @@ impl MixedSimulator {
             max_sync_step: Time::MAX,
             seeded: false,
             budget: SimBudget::unlimited(),
+            observer: None,
         }
     }
 
@@ -119,6 +121,16 @@ impl MixedSimulator {
             self.digital.set_budget(digital_budget);
         }
         self.budget = budget;
+    }
+
+    /// Installs a [`SimObserver`] polled (at its stride) at the end of each
+    /// synchronisation step with the step boundary as the finality
+    /// watermark, over a view of *both* kernels' traces. The observer stays
+    /// on the co-simulation loop — the sub-kernels keep their own (empty)
+    /// observers, so a view is never polled with only half the signals.
+    /// Replaces any previous observer.
+    pub fn set_observer(&mut self, observer: SimObserver) {
+        self.observer = Some(observer);
     }
 
     /// The installed budget.
@@ -407,6 +419,17 @@ impl MixedSimulator {
             }
             self.now = t_next;
             self.digital.run_until(self.now)?;
+            // Poll the observer at the end of the sync step. Finality
+            // contract: both kernels have fully drained activity below
+            // `now`, and the only thing that can still land *at* `now` is
+            // a clamped digitizer edge in the next iteration — which is why
+            // the watermark instant itself is not advertised as final.
+            if let Some(observer) = self.observer.as_mut() {
+                observer.poll(self.now, &[self.digital.trace(), self.analog.trace()]);
+            }
+        }
+        if let Some(observer) = self.observer.as_mut() {
+            observer.flush(self.now, &[self.digital.trace(), self.analog.trace()]);
         }
         Ok(())
     }
@@ -438,6 +461,10 @@ impl ForkableSim for MixedSimulator {
 
     fn install_budget(&mut self, budget: SimBudget) {
         self.set_budget(budget);
+    }
+
+    fn install_observer(&mut self, observer: SimObserver) {
+        self.set_observer(observer);
     }
 }
 

@@ -226,6 +226,18 @@ pub struct KernelMetrics {
     pub case_latency_us: LogHistogram,
     /// Events dropped because the ring buffer was full.
     pub events_dropped: Counter,
+    /// Cases aborted early because an online classifier sealed the verdict
+    /// before the simulation horizon.
+    pub early_aborts: Counter,
+    /// Simulated femtoseconds *not* run thanks to early aborts (horizon
+    /// minus seal instant, summed over aborted cases).
+    pub saved_sim_fs: Counter,
+    /// Estimated kernel steps not run thanks to early aborts (consumed
+    /// steps scaled by the unsimulated fraction of each case).
+    pub saved_steps: Counter,
+    /// Approximate bytes of golden trace kept resident and shared across
+    /// workers (counted once per engine run).
+    pub golden_trace_bytes: Counter,
 }
 
 impl KernelMetrics {
@@ -322,6 +334,34 @@ impl KernelMetrics {
             "amsfi_events_dropped_total",
             &[],
             self.events_dropped.get(),
+        );
+        prom_type(&mut out, "amsfi_early_aborts_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_early_aborts_total",
+            &[],
+            self.early_aborts.get(),
+        );
+        prom_type(&mut out, "amsfi_saved_sim_femtoseconds_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_saved_sim_femtoseconds_total",
+            &[],
+            self.saved_sim_fs.get(),
+        );
+        prom_type(&mut out, "amsfi_saved_steps_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_saved_steps_total",
+            &[],
+            self.saved_steps.get(),
+        );
+        prom_type(&mut out, "amsfi_golden_trace_bytes", "gauge");
+        prom_sample(
+            &mut out,
+            "amsfi_golden_trace_bytes",
+            &[],
+            self.golden_trace_bytes.get(),
         );
 
         prom_type(&mut out, "amsfi_proposed_dt_femtoseconds", "histogram");

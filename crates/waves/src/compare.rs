@@ -155,6 +155,11 @@ pub fn compare_digital(
 /// `skew` (jitter, residual phase offset) do not register as errors.
 ///
 /// With `skew == 0` this is exactly [`compare_digital`].
+///
+/// Implemented as a single O(n) pass with the streaming merge cursor (see
+/// [`DigitalStream`](crate::DigitalStream)); the original
+/// binary-search-per-observation path survives as
+/// [`baseline::compare_digital_with_skew`] for regression benchmarking.
 pub fn compare_digital_with_skew(
     golden: &DigitalWave,
     faulty: &DigitalWave,
@@ -163,43 +168,16 @@ pub fn compare_digital_with_skew(
     merge_gap: Time,
     skew: Time,
 ) -> SignalComparison {
-    let mut times: Vec<Time> = golden
-        .transitions()
-        .iter()
-        .chain(faulty.transitions())
-        .flat_map(|&(t, _)| {
-            // With a skew tolerance, also observe just past the tolerance
-            // band of every transition, so a displacement larger than the
-            // skew cannot hide between observations.
-            if skew > Time::ZERO {
-                vec![t, t - skew, t + skew]
-            } else {
-                vec![t]
-            }
-        })
-        .filter(|&t| t >= from && t <= to)
-        .collect();
-    times.push(from);
-    times.push(to);
-    times.sort_unstable();
-    times.dedup();
-    let matches_at = |t: Time| {
-        let f = faulty.value_at(t).to_x01();
-        if golden.value_at(t).to_x01() == f {
-            return true;
-        }
-        skew > Time::ZERO
-            && (golden.value_at(t - skew).to_x01() == f || golden.value_at(t + skew).to_x01() == f)
-    };
-    let observations: Vec<(Time, bool)> = times.into_iter().map(|t| (t, matches_at(t))).collect();
-    SignalComparison {
-        mismatches: intervals_from_observations(&observations, merge_gap),
-    }
+    crate::stream::DigitalStream::new(from, to, merge_gap, skew).finish(golden, faulty)
 }
 
 /// Compares two analog waves on the union of their sample points over
 /// `[from, to]`, applying `tolerance`. Mismatching samples closer than
 /// `merge_gap` fuse into one interval.
+///
+/// Implemented as a single O(n) pass with the streaming merge cursor (see
+/// [`AnalogStream`](crate::AnalogStream)); the original path survives as
+/// [`baseline::compare_analog`] for regression benchmarking.
 pub fn compare_analog(
     golden: &AnalogWave,
     faulty: &AnalogWave,
@@ -208,23 +186,94 @@ pub fn compare_analog(
     tolerance: Tolerance,
     merge_gap: Time,
 ) -> SignalComparison {
-    let mut times: Vec<Time> = golden
-        .samples()
-        .iter()
-        .chain(faulty.samples())
-        .map(|&(t, _)| t)
-        .filter(|&t| t >= from && t <= to)
-        .collect();
-    times.push(from);
-    times.push(to);
-    times.sort_unstable();
-    times.dedup();
-    let observations: Vec<(Time, bool)> = times
-        .into_iter()
-        .map(|t| (t, tolerance.matches(golden.value_at(t), faulty.value_at(t))))
-        .collect();
-    SignalComparison {
-        mismatches: intervals_from_observations(&observations, merge_gap),
+    crate::stream::AnalogStream::new(from, to, tolerance, merge_gap).finish(golden, faulty)
+}
+
+/// The pre-streaming comparison implementations: one `value_at()` binary
+/// search per observation time, O(n log n) per signal.
+///
+/// Kept verbatim as the regression baseline for the streaming rewrite —
+/// the micro-benchmarks pit [`compare_digital_with_skew`] /
+/// [`compare_analog`] against these, and the property tests assert
+/// result equality. Not for production use.
+pub mod baseline {
+    use super::{intervals_from_observations, SignalComparison, Tolerance};
+    use crate::{AnalogWave, DigitalWave, Time};
+
+    /// Batch binary-search implementation of
+    /// [`compare_digital_with_skew`](super::compare_digital_with_skew).
+    pub fn compare_digital_with_skew(
+        golden: &DigitalWave,
+        faulty: &DigitalWave,
+        from: Time,
+        to: Time,
+        merge_gap: Time,
+        skew: Time,
+    ) -> SignalComparison {
+        let mut times: Vec<Time> = golden
+            .transitions()
+            .iter()
+            .chain(faulty.transitions())
+            .flat_map(|&(t, _)| {
+                // With a skew tolerance, also observe just past the tolerance
+                // band of every transition, so a displacement larger than the
+                // skew cannot hide between observations.
+                if skew > Time::ZERO {
+                    vec![t, t - skew, t + skew]
+                } else {
+                    vec![t]
+                }
+            })
+            .filter(|&t| t >= from && t <= to)
+            .collect();
+        times.push(from);
+        times.push(to);
+        times.sort_unstable();
+        times.dedup();
+        let matches_at = |t: Time| {
+            let f = faulty.value_at(t).to_x01();
+            if golden.value_at(t).to_x01() == f {
+                return true;
+            }
+            skew > Time::ZERO
+                && (golden.value_at(t - skew).to_x01() == f
+                    || golden.value_at(t + skew).to_x01() == f)
+        };
+        let observations: Vec<(Time, bool)> =
+            times.into_iter().map(|t| (t, matches_at(t))).collect();
+        SignalComparison {
+            mismatches: intervals_from_observations(&observations, merge_gap),
+        }
+    }
+
+    /// Batch binary-search implementation of
+    /// [`compare_analog`](super::compare_analog).
+    pub fn compare_analog(
+        golden: &AnalogWave,
+        faulty: &AnalogWave,
+        from: Time,
+        to: Time,
+        tolerance: Tolerance,
+        merge_gap: Time,
+    ) -> SignalComparison {
+        let mut times: Vec<Time> = golden
+            .samples()
+            .iter()
+            .chain(faulty.samples())
+            .map(|&(t, _)| t)
+            .filter(|&t| t >= from && t <= to)
+            .collect();
+        times.push(from);
+        times.push(to);
+        times.sort_unstable();
+        times.dedup();
+        let observations: Vec<(Time, bool)> = times
+            .into_iter()
+            .map(|t| (t, tolerance.matches(golden.value_at(t), faulty.value_at(t))))
+            .collect();
+        SignalComparison {
+            mismatches: intervals_from_observations(&observations, merge_gap),
+        }
     }
 }
 

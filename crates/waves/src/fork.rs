@@ -15,7 +15,7 @@
 //! the fork to the horizon therefore yields a full-length trace with no
 //! explicit stitching step.
 
-use crate::{SimBudget, Time, Trace};
+use crate::{SimBudget, SimObserver, Time, Trace};
 use std::fmt;
 
 /// The FNV-1a offset basis (64-bit).
@@ -164,6 +164,17 @@ pub trait ForkableSim: Clone + Send {
     /// run away); the real kernels override it.
     fn install_budget(&mut self, budget: SimBudget) {
         let _ = budget;
+    }
+
+    /// Installs a periodic [`SimObserver`] that subsequent `advance_to`
+    /// calls poll from their step loops (at instants where every recorded
+    /// value strictly below the current time is final). Replaces any
+    /// previous observer wholesale — in particular one inherited through
+    /// [`Checkpoint::fork`] — so an observer never outlives its attempt.
+    /// The default implementation ignores the observer (for toy
+    /// simulators); the real kernels override it.
+    fn install_observer(&mut self, observer: SimObserver) {
+        let _ = observer;
     }
 }
 

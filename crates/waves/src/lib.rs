@@ -51,6 +51,7 @@ mod fork;
 mod guard;
 mod logic;
 pub mod measure;
+mod stream;
 mod time;
 mod trace;
 pub mod vcd;
@@ -59,12 +60,13 @@ mod wave;
 
 pub use amsfi_telemetry::KernelMetrics;
 pub use compare::{
-    compare_analog, compare_digital, compare_digital_with_skew, MismatchInterval, SignalComparison,
-    Tolerance,
+    baseline, compare_analog, compare_digital, compare_digital_with_skew, MismatchInterval,
+    SignalComparison, Tolerance,
 };
 pub use fork::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim};
 pub use guard::{CancelToken, GuardViolation, SimBudget, CLOCK_STRIDE};
 pub use logic::Logic;
+pub use stream::{AnalogStream, DigitalStream, SimObserver, TraceView, OBSERVER_STRIDE};
 pub use time::Time;
 pub use trace::Trace;
 pub use vector::{LogicVector, ParseLogicVectorError};

@@ -1,0 +1,735 @@
+//! Streaming (single-pass) golden-vs-faulty comparison.
+//!
+//! The batch comparators in `compare` resolve every observation time with
+//! `value_at()` — a binary search per observation, O(n log n) per signal —
+//! and need the complete faulty wave up front. This module is the O(n)
+//! replacement: monotone *merge cursors* walk both waves exactly once,
+//! feeding an incremental interval builder, and — because they never look
+//! past a caller-supplied bound — they can run *while the faulty wave is
+//! still being recorded*. That is the substrate for early-verdict
+//! classification: an online classifier advances each signal's stream to
+//! the frozen prefix of the faulty trace between simulation steps (via a
+//! [`SimObserver`] hook installed on the kernel) and seals the verdict the
+//! moment no future observation can change it.
+//!
+//! # Finality contract
+//!
+//! A caller advancing a stream to `upto` asserts that both waves are
+//! *final* up to and including `upto`: every recorded point at `t <= upto`
+//! is immutable and no point with `t <= upto` will be appended later. The
+//! simulation kernels guarantee this for any time *strictly below* their
+//! current watermark — they only append at or after the instant they are
+//! currently executing (a mixed-signal digitizer crossing may clamp an
+//! injected edge back to the current sync-step start, so the watermark
+//! instant itself is not yet final). Digital comparisons with an edge-skew
+//! tolerance additionally read values at `t + skew`, so their safe bound is
+//! `watermark - skew` (exclusive); analog comparisons interpolate, so their
+//! safe bound is `min(watermark, last faulty sample)`.
+
+use crate::{
+    AnalogWave, DigitalWave, Logic, MismatchInterval, SignalComparison, Time, Tolerance, Trace,
+};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Default number of kernel steps between [`SimObserver`] hook invocations.
+///
+/// Matches the clock-probe stride of the simulation budgets: frequent
+/// enough that a sealed case stops within microseconds of simulated time,
+/// rare enough that the hook costs nothing measurable per step.
+pub const OBSERVER_STRIDE: u32 = 64;
+
+/// A monotone replacement for [`DigitalWave::value_at`]: amortized O(1)
+/// per query as long as query times never decrease.
+#[derive(Debug, Clone, Copy, Default)]
+struct DigitalValueCursor {
+    /// Number of transitions at or before the last queried time.
+    idx: usize,
+}
+
+impl DigitalValueCursor {
+    fn value_at(&mut self, wave: &DigitalWave, t: Time) -> Logic {
+        let tr = wave.transitions();
+        while self.idx < tr.len() && tr[self.idx].0 <= t {
+            self.idx += 1;
+        }
+        if self.idx == 0 {
+            Logic::Uninitialized
+        } else {
+            tr[self.idx - 1].1
+        }
+    }
+}
+
+/// A monotone replacement for [`AnalogWave::value_at`]: amortized O(1)
+/// per query as long as query times never decrease.
+#[derive(Debug, Clone, Copy, Default)]
+struct AnalogValueCursor {
+    /// Number of samples at or before the last queried time.
+    idx: usize,
+}
+
+impl AnalogValueCursor {
+    fn value_at(&mut self, wave: &AnalogWave, t: Time) -> f64 {
+        let s = wave.samples();
+        if s.is_empty() {
+            return 0.0;
+        }
+        while self.idx < s.len() && s[self.idx].0 <= t {
+            self.idx += 1;
+        }
+        if self.idx == 0 {
+            return s[0].1;
+        }
+        if self.idx == s.len() {
+            return s[self.idx - 1].1;
+        }
+        let (t0, v0) = s[self.idx - 1];
+        let (t1, v1) = s[self.idx];
+        let frac = (t - t0).as_fs() as f64 / (t1 - t0).as_fs() as f64;
+        v0 + (v1 - v0) * frac
+    }
+}
+
+/// Incremental equivalent of the batch interval builder: mismatch
+/// observations extend to the next observation, and intervals closer than
+/// `merge_gap` fuse. Feeding the same `(time, matched)` sequence produces
+/// byte-identical intervals.
+#[derive(Debug, Clone, Default)]
+struct IntervalBuilder {
+    merge_gap: Time,
+    intervals: Vec<MismatchInterval>,
+    /// The previous observation mismatched at this time; its interval stays
+    /// open until the next observation closes (and bounds) it.
+    open: Option<Time>,
+    /// Most recent mismatching observation time.
+    last_mismatch: Option<Time>,
+}
+
+impl IntervalBuilder {
+    fn new(merge_gap: Time) -> Self {
+        IntervalBuilder {
+            merge_gap,
+            ..IntervalBuilder::default()
+        }
+    }
+
+    fn observe(&mut self, t: Time, matched: bool) {
+        if let Some(from) = self.open.take() {
+            self.push(from, t);
+        }
+        if !matched {
+            self.open = Some(t);
+            self.last_mismatch = Some(t);
+        }
+    }
+
+    fn push(&mut self, from: Time, end: Time) {
+        match self.intervals.last_mut() {
+            Some(last) if from - last.to <= self.merge_gap => last.to = last.to.max(end),
+            _ => self.intervals.push(MismatchInterval { from, to: end }),
+        }
+    }
+
+    /// Closes a still-open mismatch at its own time (it was the final
+    /// observation, so it extends no further).
+    fn finalize(&mut self) {
+        if let Some(from) = self.open.take() {
+            self.push(from, from);
+        }
+    }
+}
+
+/// One merged observation-time source: the transition/sample times of one
+/// wave, shifted by `offset` (the `±skew` expansion of the batch path).
+#[derive(Debug, Clone, Copy)]
+struct ObsSource {
+    /// `true` reads the golden wave, `false` the faulty wave.
+    golden: bool,
+    offset: Time,
+    idx: usize,
+}
+
+/// Sentinel for "nothing processed yet" — below every representable time.
+const UNSET: Time = Time::from_fs(i64::MIN);
+
+/// A streaming digital comparator: equivalent to the batch
+/// `compare_digital_with_skew`, but incremental and O(n).
+///
+/// Feed it monotonically increasing finality bounds with
+/// [`DigitalStream::advance`]; read partial state any time; obtain the
+/// exact batch result with [`DigitalStream::finish`] once both waves are
+/// complete.
+#[derive(Debug, Clone)]
+pub struct DigitalStream {
+    from: Time,
+    to: Time,
+    skew: Time,
+    sources: [ObsSource; 6],
+    nsources: usize,
+    f_at: DigitalValueCursor,
+    g_at: DigitalValueCursor,
+    g_minus: DigitalValueCursor,
+    g_plus: DigitalValueCursor,
+    build: IntervalBuilder,
+    emitted_from: bool,
+    last_obs: Time,
+    limit: Time,
+    finished: bool,
+}
+
+impl DigitalStream {
+    /// A stream comparing over `[from, to]` with the given merge gap and
+    /// edge-skew tolerance (the exact parameters of the batch path).
+    pub fn new(from: Time, to: Time, merge_gap: Time, skew: Time) -> Self {
+        let mut sources = [ObsSource {
+            golden: true,
+            offset: Time::ZERO,
+            idx: 0,
+        }; 6];
+        let offsets: &[Time] = if skew > Time::ZERO {
+            &[Time::ZERO, -skew, skew]
+        } else {
+            &[Time::ZERO]
+        };
+        let mut n = 0;
+        for &golden in &[true, false] {
+            for &offset in offsets {
+                sources[n] = ObsSource {
+                    golden,
+                    offset,
+                    idx: 0,
+                };
+                n += 1;
+            }
+        }
+        DigitalStream {
+            from,
+            to,
+            skew,
+            sources,
+            nsources: n,
+            f_at: DigitalValueCursor::default(),
+            g_at: DigitalValueCursor::default(),
+            g_minus: DigitalValueCursor::default(),
+            g_plus: DigitalValueCursor::default(),
+            build: IntervalBuilder::new(merge_gap),
+            emitted_from: false,
+            last_obs: UNSET,
+            limit: UNSET,
+            finished: false,
+        }
+    }
+
+    fn observe(&mut self, golden: &DigitalWave, faulty: &DigitalWave, t: Time) {
+        let f = self.f_at.value_at(faulty, t).to_x01();
+        let matched = if self.g_at.value_at(golden, t).to_x01() == f {
+            true
+        } else {
+            self.skew > Time::ZERO
+                && (self.g_minus.value_at(golden, t - self.skew).to_x01() == f
+                    || self.g_plus.value_at(golden, t + self.skew).to_x01() == f)
+        };
+        self.build.observe(t, matched);
+        self.last_obs = t;
+    }
+
+    /// Processes every observation at `t <= min(upto, to)` not yet
+    /// processed. Both waves must be final up to `upto + skew` (see the
+    /// module-level finality contract).
+    pub fn advance(&mut self, golden: &DigitalWave, faulty: &DigitalWave, upto: Time) {
+        if self.finished {
+            return;
+        }
+        let cap = upto.min(self.to);
+        if cap > self.limit {
+            self.limit = cap;
+        }
+        if cap < self.from {
+            return;
+        }
+        if !self.emitted_from {
+            self.emitted_from = true;
+            self.observe(golden, faulty, self.from);
+        }
+        loop {
+            let mut best: Option<Time> = None;
+            for i in 0..self.nsources {
+                let src = &mut self.sources[i];
+                let tr = if src.golden {
+                    golden.transitions()
+                } else {
+                    faulty.transitions()
+                };
+                while src.idx < tr.len() && tr[src.idx].0 + src.offset <= self.last_obs {
+                    src.idx += 1;
+                }
+                if src.idx < tr.len() {
+                    let t = tr[src.idx].0 + src.offset;
+                    if t <= cap && best.is_none_or(|b| t < b) {
+                        best = Some(t);
+                    }
+                }
+            }
+            match best {
+                Some(t) => self.observe(golden, faulty, t),
+                None => break,
+            }
+        }
+    }
+
+    /// Processes everything up to the window end, emits the closing
+    /// sentinel observation and returns the completed comparison. Requires
+    /// both waves to be fully recorded. Idempotent.
+    pub fn finish(&mut self, golden: &DigitalWave, faulty: &DigitalWave) -> SignalComparison {
+        if !self.finished {
+            if self.from <= self.to {
+                self.advance(golden, faulty, self.to);
+                if self.last_obs < self.to {
+                    self.observe(golden, faulty, self.to);
+                }
+            } else {
+                // Degenerate inverted window: the batch path sorts the two
+                // sentinels, observing `to` then `from`.
+                self.observe(golden, faulty, self.to);
+                self.observe(golden, faulty, self.from);
+            }
+            self.build.finalize();
+            self.finished = true;
+        }
+        SignalComparison {
+            mismatches: self.build.intervals.clone(),
+        }
+    }
+
+    /// Mismatch intervals closed so far (an open mismatch is not included
+    /// until the observation that bounds it — see
+    /// [`DigitalStream::open_since`]).
+    pub fn intervals(&self) -> &[MismatchInterval] {
+        &self.build.intervals
+    }
+
+    /// Start of the currently open (still mismatching) interval, if any.
+    pub fn open_since(&self) -> Option<Time> {
+        self.build.open
+    }
+
+    /// Time of the most recent mismatching observation, if any.
+    pub fn last_mismatch_obs(&self) -> Option<Time> {
+        self.build.last_mismatch
+    }
+
+    /// True if any mismatch (closed or open) has been observed.
+    pub fn any_mismatch(&self) -> bool {
+        !self.build.intervals.is_empty() || self.build.open.is_some()
+    }
+
+    /// The highest finality bound processed so far, clamped to the window
+    /// end.
+    pub fn processed_to(&self) -> Time {
+        self.limit
+    }
+
+    /// True once [`DigitalStream::finish`] has run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+/// A streaming analog comparator: equivalent to the batch
+/// `compare_analog`, but incremental and O(n).
+#[derive(Debug, Clone)]
+pub struct AnalogStream {
+    from: Time,
+    to: Time,
+    tolerance: Tolerance,
+    g_idx: usize,
+    f_idx: usize,
+    g_val: AnalogValueCursor,
+    f_val: AnalogValueCursor,
+    build: IntervalBuilder,
+    emitted_from: bool,
+    last_obs: Time,
+    limit: Time,
+    finished: bool,
+}
+
+impl AnalogStream {
+    /// A stream comparing over `[from, to]` with the given tolerance and
+    /// merge gap (the exact parameters of the batch path).
+    pub fn new(from: Time, to: Time, tolerance: Tolerance, merge_gap: Time) -> Self {
+        AnalogStream {
+            from,
+            to,
+            tolerance,
+            g_idx: 0,
+            f_idx: 0,
+            g_val: AnalogValueCursor::default(),
+            f_val: AnalogValueCursor::default(),
+            build: IntervalBuilder::new(merge_gap),
+            emitted_from: false,
+            last_obs: UNSET,
+            limit: UNSET,
+            finished: false,
+        }
+    }
+
+    fn observe(&mut self, golden: &AnalogWave, faulty: &AnalogWave, t: Time) {
+        let matched = self.tolerance.matches(
+            self.g_val.value_at(golden, t),
+            self.f_val.value_at(faulty, t),
+        );
+        self.build.observe(t, matched);
+        self.last_obs = t;
+    }
+
+    /// Processes every observation at `t <= min(upto, to)` not yet
+    /// processed. Both waves must be final up to `upto` — for a faulty
+    /// wave still being recorded that means
+    /// `upto <= min(watermark - 1 fs, last faulty sample)`.
+    pub fn advance(&mut self, golden: &AnalogWave, faulty: &AnalogWave, upto: Time) {
+        if self.finished {
+            return;
+        }
+        let cap = upto.min(self.to);
+        if cap > self.limit {
+            self.limit = cap;
+        }
+        if cap < self.from {
+            return;
+        }
+        if !self.emitted_from {
+            self.emitted_from = true;
+            self.observe(golden, faulty, self.from);
+        }
+        loop {
+            let gs = golden.samples();
+            while self.g_idx < gs.len() && gs[self.g_idx].0 <= self.last_obs {
+                self.g_idx += 1;
+            }
+            let fs = faulty.samples();
+            while self.f_idx < fs.len() && fs[self.f_idx].0 <= self.last_obs {
+                self.f_idx += 1;
+            }
+            let g_head = gs.get(self.g_idx).map(|&(t, _)| t).filter(|&t| t <= cap);
+            let f_head = fs.get(self.f_idx).map(|&(t, _)| t).filter(|&t| t <= cap);
+            let t = match (g_head, f_head) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            self.observe(golden, faulty, t);
+        }
+    }
+
+    /// Processes everything up to the window end, emits the closing
+    /// sentinel observation and returns the completed comparison. Requires
+    /// both waves to be fully recorded. Idempotent.
+    pub fn finish(&mut self, golden: &AnalogWave, faulty: &AnalogWave) -> SignalComparison {
+        if !self.finished {
+            if self.from <= self.to {
+                self.advance(golden, faulty, self.to);
+                if self.last_obs < self.to {
+                    self.observe(golden, faulty, self.to);
+                }
+            } else {
+                self.observe(golden, faulty, self.to);
+                self.observe(golden, faulty, self.from);
+            }
+            self.build.finalize();
+            self.finished = true;
+        }
+        SignalComparison {
+            mismatches: self.build.intervals.clone(),
+        }
+    }
+
+    /// Mismatch intervals closed so far.
+    pub fn intervals(&self) -> &[MismatchInterval] {
+        &self.build.intervals
+    }
+
+    /// Start of the currently open (still mismatching) interval, if any.
+    pub fn open_since(&self) -> Option<Time> {
+        self.build.open
+    }
+
+    /// Time of the most recent mismatching observation, if any.
+    pub fn last_mismatch_obs(&self) -> Option<Time> {
+        self.build.last_mismatch
+    }
+
+    /// True if any mismatch (closed or open) has been observed.
+    pub fn any_mismatch(&self) -> bool {
+        !self.build.intervals.is_empty() || self.build.open.is_some()
+    }
+
+    /// The highest finality bound processed so far, clamped to the window
+    /// end.
+    pub fn processed_to(&self) -> Time {
+        self.limit
+    }
+
+    /// True once [`AnalogStream::finish`] has run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+/// A read-only view over the traces a (possibly composite) simulator has
+/// recorded so far. A mixed-signal kernel exposes its digital and analog
+/// sub-traces as separate parts without merging (merging clones); lookups
+/// scan the parts in order.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    parts: &'a [&'a Trace],
+}
+
+impl<'a> TraceView<'a> {
+    /// A view over the given trace parts.
+    pub fn new(parts: &'a [&'a Trace]) -> Self {
+        TraceView { parts }
+    }
+
+    /// The named digital waveform from the first part recording it.
+    pub fn digital(&self, name: &str) -> Option<&'a DigitalWave> {
+        self.parts.iter().find_map(|t| t.digital(name))
+    }
+
+    /// The named analog waveform from the first part recording it.
+    pub fn analog(&self, name: &str) -> Option<&'a AnalogWave> {
+        self.parts.iter().find_map(|t| t.analog(name))
+    }
+}
+
+/// The callback a [`SimObserver`] invokes: current simulation time (the
+/// *watermark* — everything strictly below it is final) plus a view of the
+/// traces recorded so far.
+type ObserverHook = dyn FnMut(Time, &TraceView<'_>) + Send;
+
+/// A periodic observation hook a simulation kernel polls from its step
+/// loop.
+///
+/// Installed via [`ForkableSim::install_observer`](crate::ForkableSim);
+/// the kernel calls [`SimObserver::poll`] once per step (or sync
+/// iteration) at a point where every recorded value strictly below the
+/// current time is final. The hook itself only runs every
+/// [`OBSERVER_STRIDE`] polls, so the per-step cost is a counter decrement.
+///
+/// Clones share the underlying hook (so a kernel snapshot does not
+/// duplicate an online classifier) but keep independent stride counters.
+#[derive(Clone)]
+pub struct SimObserver {
+    stride: u32,
+    countdown: u32,
+    hook: Arc<Mutex<ObserverHook>>,
+}
+
+impl fmt::Debug for SimObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimObserver")
+            .field("stride", &self.stride)
+            .field("countdown", &self.countdown)
+            .finish()
+    }
+}
+
+impl SimObserver {
+    /// Wraps a hook with the default [`OBSERVER_STRIDE`].
+    pub fn new<F>(hook: F) -> Self
+    where
+        F: FnMut(Time, &TraceView<'_>) + Send + 'static,
+    {
+        SimObserver {
+            stride: OBSERVER_STRIDE,
+            countdown: 0,
+            hook: Arc::new(Mutex::new(hook)),
+        }
+    }
+
+    /// Overrides the poll stride (clamped to at least 1).
+    #[must_use]
+    pub fn with_stride(mut self, stride: u32) -> Self {
+        self.stride = stride.max(1);
+        self
+    }
+
+    /// Stride-gated hook invocation: cheap enough for a kernel's inner
+    /// loop. `now` is the watermark; `parts` are the traces recorded so
+    /// far.
+    pub fn poll(&mut self, now: Time, parts: &[&Trace]) {
+        if self.countdown > 0 {
+            self.countdown -= 1;
+            return;
+        }
+        self.countdown = self.stride.saturating_sub(1);
+        self.flush(now, parts);
+    }
+
+    /// Ungated hook invocation (used at natural boundaries such as the end
+    /// of an `advance_to`). A poisoned hook (a previous invocation
+    /// panicked) is skipped.
+    pub fn flush(&mut self, now: Time, parts: &[&Trace]) {
+        if let Ok(mut hook) = self.hook.lock() {
+            let view = TraceView::new(parts);
+            hook(now, &view);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::baseline;
+    use crate::{compare_analog, compare_digital_with_skew};
+
+    fn dwave(points: &[(i64, Logic)]) -> DigitalWave {
+        let mut w = DigitalWave::new();
+        for &(ns, v) in points {
+            w.push(Time::from_ns(ns), v).unwrap();
+        }
+        w
+    }
+
+    fn awave(points: &[(i64, f64)]) -> AnalogWave {
+        AnalogWave::from_samples(points.iter().map(|&(ns, v)| (Time::from_ns(ns), v)))
+    }
+
+    #[test]
+    fn digital_stream_matches_batch_and_baseline() {
+        let g = dwave(&[(0, Logic::Zero), (100, Logic::One), (300, Logic::Zero)]);
+        let f = dwave(&[
+            (0, Logic::Zero),
+            (102, Logic::One),
+            (150, Logic::Zero),
+            (160, Logic::One),
+            (300, Logic::Zero),
+        ]);
+        for skew_ns in [0i64, 1, 5] {
+            let skew = Time::from_ns(skew_ns);
+            let batch = compare_digital_with_skew(
+                &g,
+                &f,
+                Time::ZERO,
+                Time::from_ns(400),
+                Time::from_ns(5),
+                skew,
+            );
+            let base = baseline::compare_digital_with_skew(
+                &g,
+                &f,
+                Time::ZERO,
+                Time::from_ns(400),
+                Time::from_ns(5),
+                skew,
+            );
+            assert_eq!(batch, base, "skew {skew_ns} ns");
+        }
+    }
+
+    #[test]
+    fn digital_stream_is_chunk_invariant() {
+        let g = dwave(&[(0, Logic::Zero), (100, Logic::One)]);
+        let f = dwave(&[(0, Logic::Zero), (103, Logic::One), (250, Logic::Zero)]);
+        let (from, to) = (Time::ZERO, Time::from_ns(400));
+        let gap = Time::from_ns(10);
+        let skew = Time::from_ns(2);
+        let mut chunked = DigitalStream::new(from, to, gap, skew);
+        for upto_ns in [0i64, 50, 103, 104, 200, 399] {
+            chunked.advance(&g, &f, Time::from_ns(upto_ns));
+        }
+        let chunked = chunked.finish(&g, &f);
+        let oneshot = DigitalStream::new(from, to, gap, skew).finish(&g, &f);
+        assert_eq!(chunked, oneshot);
+        assert_eq!(
+            chunked,
+            baseline::compare_digital_with_skew(&g, &f, from, to, gap, skew)
+        );
+    }
+
+    #[test]
+    fn analog_stream_matches_baseline() {
+        let g = awave(&[(0, 2.5), (1000, 2.5)]);
+        let f = awave(&[(0, 2.5), (400, 2.5), (500, 3.2), (600, 2.5), (1000, 2.5)]);
+        let tol = Tolerance::absolute(0.1);
+        let gap = Time::from_ns(100);
+        let batch = compare_analog(&g, &f, Time::ZERO, Time::from_us(1), tol, gap);
+        let base = baseline::compare_analog(&g, &f, Time::ZERO, Time::from_us(1), tol, gap);
+        assert_eq!(batch, base);
+        assert_eq!(batch.first_divergence(), Some(Time::from_ns(500)));
+    }
+
+    #[test]
+    fn analog_stream_is_chunk_invariant() {
+        let g = awave(&[(0, 1.0), (1000, 1.0)]);
+        let f = awave(&[(0, 1.0), (300, 5.0), (700, 1.0), (1000, 1.0)]);
+        let tol = Tolerance::absolute(0.5);
+        let gap = Time::from_ns(50);
+        let (from, to) = (Time::from_ns(100), Time::from_ns(900));
+        let mut chunked = AnalogStream::new(from, to, tol, gap);
+        for upto_ns in [0i64, 150, 300, 301, 699, 700, 850] {
+            chunked.advance(&g, &f, Time::from_ns(upto_ns));
+        }
+        let chunked = chunked.finish(&g, &f);
+        assert_eq!(
+            chunked,
+            baseline::compare_analog(&g, &f, from, to, tol, gap)
+        );
+    }
+
+    #[test]
+    fn open_mismatch_is_visible_before_it_closes() {
+        let g = dwave(&[(0, Logic::Zero)]);
+        let f = dwave(&[(0, Logic::Zero), (100, Logic::One)]);
+        let mut s = DigitalStream::new(Time::ZERO, Time::from_ns(1000), Time::ZERO, Time::ZERO);
+        s.advance(&g, &f, Time::from_ns(500));
+        assert!(s.any_mismatch());
+        assert_eq!(s.open_since(), Some(Time::from_ns(100)));
+        assert_eq!(s.last_mismatch_obs(), Some(Time::from_ns(100)));
+        assert!(s.intervals().is_empty(), "not closed yet");
+        let cmp = s.finish(&g, &f);
+        assert_eq!(cmp.first_divergence(), Some(Time::from_ns(100)));
+        assert_eq!(cmp.last_divergence(), Some(Time::from_ns(1000)));
+    }
+
+    #[test]
+    fn empty_window_single_observation() {
+        let g = dwave(&[(0, Logic::Zero)]);
+        let f = dwave(&[(0, Logic::One)]);
+        let t = Time::from_ns(10);
+        let cmp = DigitalStream::new(t, t, Time::ZERO, Time::ZERO).finish(&g, &f);
+        assert_eq!(
+            cmp,
+            baseline::compare_digital_with_skew(&g, &f, t, t, Time::ZERO, Time::ZERO)
+        );
+        assert!(!cmp.is_match());
+    }
+
+    #[test]
+    fn observer_stride_gates_hook_invocations() {
+        let count = Arc::new(Mutex::new(0u32));
+        let c = Arc::clone(&count);
+        let mut obs = SimObserver::new(move |_, _| *c.lock().unwrap() += 1).with_stride(4);
+        let trace = Trace::new();
+        for i in 0..9 {
+            obs.poll(Time::from_ns(i), &[&trace]);
+        }
+        assert_eq!(*count.lock().unwrap(), 3, "polls 0, 4, 8 fire");
+        obs.flush(Time::from_ns(9), &[&trace]);
+        assert_eq!(*count.lock().unwrap(), 4);
+    }
+
+    #[test]
+    fn trace_view_scans_parts_in_order() {
+        let mut a = Trace::new();
+        a.record_digital("d", Time::ZERO, Logic::One).unwrap();
+        let mut b = Trace::new();
+        b.record_analog("v", Time::ZERO, 1.5).unwrap();
+        let parts = [&a, &b];
+        let view = TraceView::new(&parts);
+        assert!(view.digital("d").is_some());
+        assert_eq!(view.analog("v").unwrap().value_at(Time::ZERO), 1.5);
+        assert!(view.digital("nope").is_none());
+    }
+}

@@ -125,6 +125,24 @@ impl Trace {
         self.analog.extend(other.analog);
     }
 
+    /// Approximate resident size of the recorded data in bytes: payload
+    /// vectors plus signal names (map/allocator overhead excluded). Used
+    /// for memory-telemetry counters such as the engine's shared
+    /// golden-trace gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        let digital: usize = self
+            .digital
+            .iter()
+            .map(|(name, w)| name.len() + std::mem::size_of_val(w.transitions()))
+            .sum();
+        let analog: usize = self
+            .analog
+            .iter()
+            .map(|(name, w)| name.len() + std::mem::size_of_val(w.samples()))
+            .sum();
+        (digital + analog) as u64
+    }
+
     /// Renders the analog signals as CSV sampled every `step` over
     /// `[from, to]`, one time column plus one column per signal, suitable for
     /// external plotting of the paper's figures.

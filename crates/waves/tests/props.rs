@@ -1,6 +1,9 @@
 //! Property-based tests for the waveform and logic primitives.
 
-use amsfi_waves::{measure, AnalogWave, DigitalWave, Logic, LogicVector, Time};
+use amsfi_waves::{
+    baseline, compare_analog, compare_digital_with_skew, measure, AnalogStream, AnalogWave,
+    DigitalStream, DigitalWave, Logic, LogicVector, Time, Tolerance,
+};
 use proptest::prelude::*;
 
 fn arb_logic() -> impl Strategy<Value = Logic> {
@@ -138,6 +141,78 @@ proptest! {
         let d = measure::deviation(&w, &w, Time::ZERO, end, 1e-12);
         prop_assert_eq!(d.peak, 0.0);
         prop_assert_eq!(d.onset, None);
+    }
+
+    #[test]
+    fn streaming_digital_compare_equals_baseline(
+        g_times in prop::collection::vec(0i64..2_000, 1..30),
+        f_times in prop::collection::vec(0i64..2_000, 1..30),
+        g_vals in prop::collection::vec(arb_logic(), 30),
+        f_vals in prop::collection::vec(arb_logic(), 30),
+        from_ns in 0i64..500,
+        span_ns in 0i64..2_000,
+        gap_ns in 0i64..50,
+        skew_ns in 0i64..10,
+        cuts in prop::collection::vec(0i64..2_500, 0..6),
+    ) {
+        let build = |times: &[i64], vals: &[Logic]| {
+            let mut sorted = times.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let mut w = DigitalWave::new();
+            for (i, &t) in sorted.iter().enumerate() {
+                w.push(Time::from_ns(t), vals[i % vals.len()]).unwrap();
+            }
+            w
+        };
+        let g = build(&g_times, &g_vals);
+        let f = build(&f_times, &f_vals);
+        let (from, to) = (Time::from_ns(from_ns), Time::from_ns(from_ns + span_ns));
+        let gap = Time::from_ns(gap_ns);
+        let skew = Time::from_ns(skew_ns);
+        let base = baseline::compare_digital_with_skew(&g, &f, from, to, gap, skew);
+        // One-shot streaming path (the production compare function).
+        prop_assert_eq!(&compare_digital_with_skew(&g, &f, from, to, gap, skew), &base);
+        // Chunked streaming with arbitrary (sorted) finality bounds.
+        let mut s = DigitalStream::new(from, to, gap, skew);
+        let mut bounds = cuts.clone();
+        bounds.sort_unstable();
+        for b in bounds {
+            s.advance(&g, &f, Time::from_ns(b));
+        }
+        prop_assert_eq!(&s.finish(&g, &f), &base);
+    }
+
+    #[test]
+    fn streaming_analog_compare_equals_baseline(
+        g_samples in prop::collection::vec((0i64..2_000, -5.0f64..5.0), 1..30),
+        f_samples in prop::collection::vec((0i64..2_000, -5.0f64..5.0), 1..30),
+        from_ns in 0i64..500,
+        span_ns in 0i64..2_000,
+        gap_ns in 0i64..50,
+        abs_tol in 0.0f64..2.0,
+        cuts in prop::collection::vec(0i64..2_500, 0..6),
+    ) {
+        let build = |samples: &[(i64, f64)]| {
+            let mut sorted = samples.to_vec();
+            sorted.sort_unstable_by_key(|&(t, _)| t);
+            sorted.dedup_by_key(|&mut (t, _)| t);
+            AnalogWave::from_samples(sorted.iter().map(|&(t, v)| (Time::from_ns(t), v)))
+        };
+        let g = build(&g_samples);
+        let f = build(&f_samples);
+        let (from, to) = (Time::from_ns(from_ns), Time::from_ns(from_ns + span_ns));
+        let gap = Time::from_ns(gap_ns);
+        let tol = Tolerance::absolute(abs_tol);
+        let base = baseline::compare_analog(&g, &f, from, to, tol, gap);
+        prop_assert_eq!(&compare_analog(&g, &f, from, to, tol, gap), &base);
+        let mut s = AnalogStream::new(from, to, tol, gap);
+        let mut bounds = cuts.clone();
+        bounds.sort_unstable();
+        for b in bounds {
+            s.advance(&g, &f, Time::from_ns(b));
+        }
+        prop_assert_eq!(&s.finish(&g, &f), &base);
     }
 
     #[test]
