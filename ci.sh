@@ -32,7 +32,7 @@ cargo build --release -p amsfi-bench --bin pr3_guard_bench
 cargo build --release -p amsfi-bench --bin pr4_telemetry_smoke
 ./target/release/pr4_telemetry_smoke
 
-cargo build --release -p amsfi-engine --bin amsfi
+cargo build --release -p amsfi-serve --bin amsfi
 tmp=$(mktemp -d)
 ./target/release/amsfi run pll-digital --limit 6 --checkpoint \
     --max-steps 100000000 --min-dt-fs 1 --quarantine \
@@ -58,3 +58,50 @@ cargo build --release -p amsfi-bench --bin pr4_telemetry_bench
 # are byte-identical and early abort is never slower.
 cargo build --release -p amsfi-bench --bin pr5_early_abort_bench
 ./target/release/pr5_early_abort_bench
+
+# PR 6 distributed-serve smoke: in-process coordinator + 2 loopback
+# workers run the full pll-sweep, one worker is forcibly killed mid-shard
+# (lease timeout -> reshard -> journal-resume), and the live-merged
+# journal must yield a cases.csv byte-identical to a single-process run.
+# Emits results/bench/BENCH_pr6.json with the wall-clock comparison.
+cargo build --release -p amsfi-bench --bin pr6_serve_smoke
+./target/release/pr6_serve_smoke
+
+# PR 6 CLI e2e: a real `amsfi serve` coordinator on 127.0.0.1 drains
+# pll-sweep through two `amsfi worker` processes, `amsfi status` answers
+# over the wire, the merged journal reproduces `amsfi run` byte-for-byte,
+# and `amsfi merge` across mismatched campaigns exits with code 4.
+tmp=$(mktemp -d)
+port=17171
+./target/release/amsfi serve --bind 127.0.0.1:$port --campaign pll-sweep \
+    --shards 3 --until-drained --journal-dir "$tmp/journals" \
+    --metrics "$tmp/serve.prom" &
+serve_pid=$!
+i=0
+until ./target/release/amsfi status 127.0.0.1:$port >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "amsfi serve never came up on 127.0.0.1:$port" >&2
+        kill $serve_pid 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+./target/release/amsfi status 127.0.0.1:$port
+./target/release/amsfi worker 127.0.0.1:$port --exit-when-done --name ci-w1 &
+w1=$!
+./target/release/amsfi worker 127.0.0.1:$port --exit-when-done --name ci-w2
+wait $w1
+wait $serve_pid
+grep -q amsfi_serve_cases_merged_total "$tmp/serve.prom"
+./target/release/amsfi run pll-sweep --out "$tmp/single" --progress-secs 0
+./target/release/amsfi merge "$tmp/journals"/*.journal --out "$tmp/merged"
+cmp "$tmp/single/cases.csv" "$tmp/merged/cases.csv"
+./target/release/amsfi run pll-digital --limit 4 --journal "$tmp/other.journal" \
+    --progress-secs 0
+set +e
+./target/release/amsfi merge "$tmp/journals"/*.journal "$tmp/other.journal"
+rc=$?
+set -e
+test "$rc" -eq 4
+rm -rf "$tmp"

@@ -1,0 +1,186 @@
+//! **PR 6 distributed-serve smoke** — the CI gate for the coordinator /
+//! worker service: a loopback coordinator and two in-process workers run
+//! the full `pll-sweep` campaign, one worker is forcibly killed
+//! mid-shard (lease timeout + reshard path), and the live-merged journal
+//! must produce a `cases.csv` **byte-identical** to a single-process run
+//! of the same campaign. Emits `results/bench/BENCH_pr6.json` with the
+//! wall-clock comparison and the failure-path counters.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin pr6_serve_smoke
+//! ```
+//!
+//! Exits non-zero (assert) on any deviation, so `ci.sh` can gate on it.
+
+use amsfi_bench::banner;
+use amsfi_core::report;
+use amsfi_engine::{campaigns, journal, Engine, EngineConfig, RecordSink};
+use amsfi_serve::proto::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use amsfi_serve::{catalog_source, Coordinator, CoordinatorConfig};
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const CAMPAIGN: &str = "pll-sweep";
+const SHARDS: usize = 4;
+const WORKERS: usize = 2;
+
+fn main() {
+    banner("PR 6: distributed campaign service (coordinator + workers + forced death)");
+
+    let campaign = campaigns::build(CAMPAIGN, None).expect("catalog campaign");
+    let cases = campaign.cases.len();
+    println!("  campaign {CAMPAIGN}: {cases} case(s), {SHARDS} shard(s), {WORKERS} worker(s)");
+
+    // --- Single-process reference (also captures per-case record lines
+    // so the zombie below can stream a genuine one). -------------------
+    let lines: Arc<Mutex<BTreeMap<usize, String>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = {
+        let lines = Arc::clone(&lines);
+        RecordSink::new(move |index, line| {
+            lines.lock().unwrap().insert(index, line.to_owned());
+        })
+    };
+    let t0 = Instant::now();
+    let reference = Engine::new(
+        EngineConfig::default()
+            .with_workers(WORKERS)
+            .with_record_sink(sink),
+    )
+    .run(&campaign)
+    .expect("single-process reference run");
+    let single_s = t0.elapsed().as_secs_f64();
+    let reference_csv = report::cases_csv(&reference.result);
+    let lines = Arc::try_unwrap(lines).unwrap().into_inner().unwrap();
+    assert_eq!(lines.len(), cases);
+    println!("  single-process reference: {single_s:.3}s");
+
+    // --- Distributed run over loopback TCP. ---------------------------
+    let dir = std::env::temp_dir().join(format!("amsfi-pr6-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg = CoordinatorConfig::new(&dir, catalog_source());
+    cfg.until_drained = true;
+    cfg.lease_timeout = Duration::from_millis(1000);
+    cfg.reap_interval = Duration::from_millis(50);
+    cfg.retry_ms = 25;
+    let coordinator = Arc::new(Coordinator::bind("127.0.0.1:0", cfg).expect("bind loopback"));
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let serve = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.run())
+    };
+    let info = coordinator
+        .submit(CAMPAIGN, SHARDS, None, false, false)
+        .expect("submit campaign");
+    assert_eq!(info.cases, cases);
+
+    // Forced worker death: lease a shard by hand, stream exactly one
+    // genuine record, then fall silent with the socket still open. The
+    // coordinator must reclaim the lease and re-lease the shard with
+    // that case marked done.
+    let mut zombie = TcpStream::connect(&addr).expect("zombie connects");
+    write_frame(
+        &mut zombie,
+        &Frame::Hello {
+            worker: "zombie".to_owned(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame(&mut zombie).unwrap(),
+        Frame::Welcome { .. }
+    ));
+    write_frame(&mut zombie, &Frame::LeaseRequest).unwrap();
+    let (lease, shard) = match read_frame(&mut zombie).unwrap() {
+        Frame::Lease { lease, shard, .. } => (lease, shard),
+        other => panic!("expected a lease, got {other:?}"),
+    };
+    let first_case = shard.case_indices(cases).next().unwrap();
+    write_frame(
+        &mut zombie,
+        &Frame::Record {
+            lease,
+            line: lines[&first_case].clone(),
+        },
+    )
+    .unwrap();
+
+    let metrics = coordinator.metrics();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while metrics.lease_timeouts.get() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "lease never timed out: the reaper is broken"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("  zombie lease reclaimed after timeout; shard back in the pool");
+
+    let t1 = Instant::now();
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|i| {
+            let mut wcfg = amsfi_serve::WorkerConfig::new(&addr, catalog_source());
+            wcfg.name = format!("smoke-w{i}");
+            wcfg.threads = 2;
+            wcfg.poll = Duration::from_millis(25);
+            wcfg.heartbeat = Duration::from_millis(200);
+            wcfg.exit_when_done = true;
+            std::thread::spawn(move || amsfi_serve::worker::run(wcfg))
+        })
+        .collect();
+    let mut records_streamed = 0;
+    for worker in workers {
+        let wreport = worker.join().unwrap().expect("worker runs cleanly");
+        records_streamed += wreport.records_streamed;
+    }
+    serve.join().unwrap().expect("coordinator drains");
+    drop(zombie);
+    let distributed_s = t1.elapsed().as_secs_f64();
+    println!("  distributed run ({WORKERS} workers after reshard): {distributed_s:.3}s");
+
+    // --- The gate: byte-identical merged report, no double counting. --
+    let (meta, entries) = journal::load(&info.journal).expect("merged journal loads");
+    assert_eq!(meta.cases, cases);
+    assert_eq!(entries.len(), cases, "every case merged exactly once");
+    let (result, skipped, quarantined) = journal::assemble(&entries);
+    assert!(skipped.is_empty() && quarantined.is_empty());
+    let merged = report::cases_csv(&result);
+    assert_eq!(
+        merged, reference_csv,
+        "distributed cases.csv must be byte-identical to the single-process run"
+    );
+    let text = std::fs::read_to_string(&info.journal).unwrap();
+    let case_lines = text.lines().filter(|l| l.starts_with("case ")).count();
+    assert_eq!(case_lines, cases, "one journal record per case");
+    assert!(metrics.lease_timeouts.get() >= 1);
+    assert!(metrics.shards_resharded.get() >= 1);
+    assert_eq!(metrics.shards_completed.get(), SHARDS as u64);
+    assert_eq!(metrics.cases_merged.get(), cases as u64);
+    println!(
+        "  byte-identity holds; {} record(s) streamed, {} reshard(s), {} lease timeout(s)",
+        records_streamed,
+        metrics.shards_resharded.get(),
+        metrics.lease_timeouts.get(),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr6_serve_smoke\",\n  \"campaign\": \"{CAMPAIGN}\",\n  \
+         \"cases\": {cases},\n  \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n  \
+         \"single_process_s\": {single_s:.6},\n  \"distributed_s\": {distributed_s:.6},\n  \
+         \"records_streamed\": {records_streamed},\n  \"lease_timeouts\": {},\n  \
+         \"shards_resharded\": {},\n  \"byte_identical\": true\n}}\n",
+        metrics.lease_timeouts.get(),
+        metrics.shards_resharded.get(),
+    );
+    let path: std::path::PathBuf = std::env::var_os("AMSFI_BENCH_JSON")
+        .map_or_else(|| "results/bench/BENCH_pr6.json".into(), Into::into);
+    if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create bench output dir");
+    }
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("\n  -> wrote {}", path.display());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,106 @@
+//! Campaign identity: a deterministic fingerprint over a fault list.
+//!
+//! Every consumer that slices, journals, merges or distributes a campaign
+//! needs the same answer to "are we talking about the same fault list?".
+//! The engine's journal header, `amsfi merge`, and the distributed
+//! coordinator/worker handshake all validate against this fingerprint, so
+//! it lives here at the bottom of the crate graph rather than in any one
+//! of them.
+
+use crate::campaign::FaultCase;
+use std::fmt;
+
+/// FNV-1a over the campaign name and every case's label and injection time.
+///
+/// Deterministic across processes and machines (no pointer or hash-seed
+/// dependence), which is what lets independently launched shards — or
+/// remote workers that rebuilt the campaign from its name — verify they
+/// are slicing the same fault list.
+pub fn fingerprint(name: &str, cases: &[FaultCase]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(name.as_bytes());
+    for case in cases {
+        eat(case.label.as_bytes());
+        eat(&case.injected_at.as_fs().to_le_bytes());
+    }
+    h
+}
+
+/// The compact identity of one campaign: name, case count and fault-list
+/// [`fingerprint`]. Two parties holding equal tags are guaranteed to be
+/// slicing the same fault list (same name, same labels, same injection
+/// times, same order), so their per-case results merge safely.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CampaignTag {
+    /// Campaign name (informational, but part of the fingerprint).
+    pub name: String,
+    /// Total number of cases in the full (unsharded) campaign.
+    pub cases: usize,
+    /// The fault-list [`fingerprint`].
+    pub fingerprint: u64,
+}
+
+impl CampaignTag {
+    /// Builds the tag for a campaign's case list.
+    pub fn of(name: &str, cases: &[FaultCase]) -> Self {
+        CampaignTag {
+            name: name.to_owned(),
+            cases: cases.len(),
+            fingerprint: fingerprint(name, cases),
+        }
+    }
+}
+
+impl fmt::Display for CampaignTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} ({} cases, fingerprint {:016x})",
+            self.name, self.cases, self.fingerprint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amsfi_waves::Time;
+
+    fn cases() -> Vec<FaultCase> {
+        (0..4)
+            .map(|i| FaultCase::new(format!("bit{i}"), Time::from_us(5)))
+            .collect()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = cases();
+        let mut b = cases();
+        assert_eq!(fingerprint("toy", &a), fingerprint("toy", &cases()));
+        assert_ne!(fingerprint("toy", &a), fingerprint("other", &a));
+        b[2].injected_at = Time::from_us(6);
+        assert_ne!(fingerprint("toy", &a), fingerprint("toy", &b));
+        let mut c = cases();
+        c[1].label.push('!');
+        assert_ne!(fingerprint("toy", &a), fingerprint("toy", &c));
+    }
+
+    #[test]
+    fn tag_round_trips_equality() {
+        let a = CampaignTag::of("toy", &cases());
+        let b = CampaignTag::of("toy", &cases());
+        assert_eq!(a, b);
+        assert_eq!(a.cases, 4);
+        assert!(a.to_string().contains("fingerprint"));
+    }
+}

@@ -74,6 +74,7 @@ mod campaign;
 mod classify;
 mod failure;
 mod fork;
+pub mod identity;
 mod online;
 pub mod plan;
 mod propagation;
@@ -85,5 +86,6 @@ pub use campaign::{
 pub use classify::{classify, CaseOutcome, ClassifySpec, FaultClass, ParseFaultClassError};
 pub use failure::{ParseSimFailureError, SimFailure};
 pub use fork::{injection_stops, run_campaign_forked};
+pub use identity::{fingerprint, CampaignTag};
 pub use online::OnlineClassifier;
 pub use propagation::{PropagationEdge, PropagationModel};

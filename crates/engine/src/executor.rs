@@ -92,6 +92,43 @@ pub struct EngineConfig {
     /// early-abort verdict of no-effect/transient may seal. `None` derives
     /// the settle window from the campaign's recovery threshold.
     pub settle: Option<Time>,
+    /// Called with every finished case's journal v2 record line (done,
+    /// skipped or quarantined), as it is written. This is how a remote
+    /// worker streams results to the distributed coordinator while the
+    /// shard is still running; it fires whether or not a local
+    /// [`EngineConfig::journal`] is configured.
+    pub record_sink: Option<RecordSink>,
+    /// Case indices to treat as already completed and never claim, on top
+    /// of whatever a resumed journal contains. A re-leased shard carries
+    /// the indices its dead predecessor already streamed to the
+    /// coordinator, so a partially-completed shard resumes instead of
+    /// re-running (and double-reporting) finished cases.
+    pub completed: Vec<usize>,
+}
+
+type RecordFn = dyn Fn(usize, &str) + Send + Sync;
+
+/// A callback receiving `(case index, journal v2 record line)` for every
+/// finished case; see [`EngineConfig::record_sink`].
+#[derive(Clone)]
+pub struct RecordSink(Arc<RecordFn>);
+
+impl RecordSink {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(usize, &str) + Send + Sync + 'static) -> Self {
+        RecordSink(Arc::new(f))
+    }
+
+    /// Delivers one record line.
+    pub fn deliver(&self, index: usize, line: &str) {
+        (self.0)(index, line);
+    }
+}
+
+impl fmt::Debug for RecordSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RecordSink(..)")
+    }
 }
 
 impl Default for EngineConfig {
@@ -113,6 +150,8 @@ impl Default for EngineConfig {
             telemetry: Telemetry::disabled(),
             early_abort: false,
             settle: None,
+            record_sink: None,
+            completed: Vec::new(),
         }
     }
 }
@@ -229,6 +268,22 @@ impl EngineConfig {
     #[must_use]
     pub fn with_settle(mut self, settle: Time) -> Self {
         self.settle = Some(settle);
+        self
+    }
+
+    /// Streams every finished case's journal record line to `sink` (see
+    /// [`EngineConfig::record_sink`]).
+    #[must_use]
+    pub fn with_record_sink(mut self, sink: RecordSink) -> Self {
+        self.record_sink = Some(sink);
+        self
+    }
+
+    /// Marks `indices` as already completed elsewhere (see
+    /// [`EngineConfig::completed`]).
+    #[must_use]
+    pub fn with_completed(mut self, indices: Vec<usize>) -> Self {
+        self.completed = indices;
         self
     }
 
@@ -753,7 +808,15 @@ impl Engine {
             .values()
             .filter(|e| matches!(e, JournalEntry::Done(_)))
             .count();
-        let pending = journal::pending(&entries, total, cfg.shard);
+        let pending = {
+            let mut pending = journal::pending(&entries, total, cfg.shard);
+            if !cfg.completed.is_empty() {
+                let done: std::collections::BTreeSet<usize> =
+                    cfg.completed.iter().copied().collect();
+                pending.retain(|i| !done.contains(i));
+            }
+            pending
+        };
 
         // Resumed completions and previously-quarantined cases both count
         // exactly once in the summary denominator.
@@ -1018,6 +1081,29 @@ impl Engine {
         })
     }
 
+    /// Writes one finished case's record line to the journal (when
+    /// configured) and streams it to the record sink (when configured).
+    /// `format` runs only if at least one of the two is present, so runs
+    /// with neither pay nothing.
+    fn emit_record(
+        &self,
+        journal: Option<&Journal>,
+        index: usize,
+        format: impl FnOnce() -> String,
+    ) -> Result<(), EngineError> {
+        if journal.is_none() && self.config.record_sink.is_none() {
+            return Ok(());
+        }
+        let line = format();
+        if let Some(journal) = journal {
+            journal.append_line(&line)?;
+        }
+        if let Some(sink) = &self.config.record_sink {
+            sink.deliver(index, &line);
+        }
+        Ok(())
+    }
+
     /// Runs one case end-to-end: attempts (with retries), classification,
     /// journaling, counter updates. `Err` only under [`ErrorPolicy::FailFast`].
     ///
@@ -1071,9 +1157,9 @@ impl Engine {
                     case: case.clone(),
                     outcome,
                 };
-                if let Some(journal) = journal {
-                    journal.record_case(index, &result, forked_at)?;
-                }
+                self.emit_record(journal, index, || {
+                    journal::case_line(index, &result, forked_at)
+                })?;
                 Ok(JournalEntry::Done(result))
             }
             Attempt::Sealed { outcome, steps } => {
@@ -1119,9 +1205,9 @@ impl Engine {
                     case: case.clone(),
                     outcome,
                 };
-                if let Some(journal) = journal {
-                    journal.record_case(index, &result, forked_at)?;
-                }
+                self.emit_record(journal, index, || {
+                    journal::case_line(index, &result, forked_at)
+                })?;
                 Ok(JournalEntry::Done(result))
             }
             Attempt::SimFailed(failure) => {
@@ -1142,9 +1228,9 @@ impl Engine {
                     case: case.clone(),
                     outcome,
                 };
-                if let Some(journal) = journal {
-                    journal.record_case(index, &result, forked_at)?;
-                }
+                self.emit_record(journal, index, || {
+                    journal::case_line(index, &result, forked_at)
+                })?;
                 Ok(JournalEntry::Done(result))
             }
             Attempt::Failed(_) | Attempt::RestoreFailed(_) | Attempt::TimedOut => {
@@ -1172,9 +1258,7 @@ impl Engine {
                             attempts,
                             reason: error,
                         };
-                        if let Some(journal) = journal {
-                            journal.record_quarantine(&q)?;
-                        }
+                        self.emit_record(journal, index, || journal::quarantine_line(&q))?;
                         stats.record_quarantine();
                         tele.emit_with(|| {
                             Event::new("quarantine", "case")
@@ -1191,9 +1275,7 @@ impl Engine {
                             attempts,
                             error,
                         };
-                        if let Some(journal) = journal {
-                            journal.record_skip(&skip)?;
-                        }
+                        self.emit_record(journal, index, || journal::skip_line(&skip))?;
                         stats.record_skip();
                         tele.emit_with(|| {
                             Event::new("skip", "case")

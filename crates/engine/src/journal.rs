@@ -178,30 +178,10 @@ impl fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
-/// FNV-1a over the campaign name and every case's label and injection time.
-///
-/// Deterministic across processes and machines (no pointer or hash-seed
-/// dependence), which is what lets independently launched shards verify
-/// they are slicing the same fault list.
-pub fn fingerprint(name: &str, cases: &[FaultCase]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-        h ^= 0xFF;
-        h = h.wrapping_mul(PRIME);
-    };
-    eat(name.as_bytes());
-    for case in cases {
-        eat(case.label.as_bytes());
-        eat(&case.injected_at.as_fs().to_le_bytes());
-    }
-    h
-}
+/// The campaign fingerprint (FNV-1a over name, labels and injection
+/// times). Re-exported from [`amsfi_core::identity`], where it also backs
+/// the distributed coordinator/worker handshake.
+pub use amsfi_core::fingerprint;
 
 /// An open, append-mode journal writer shared by the engine's workers.
 #[derive(Debug)]
@@ -294,35 +274,7 @@ impl Journal {
         result: &CaseResult,
         forked: Option<Time>,
     ) -> Result<(), JournalError> {
-        let o = &result.outcome;
-        let simfail = match &o.failure {
-            Some(f) => format!(" simfail={}", escape(&f.to_string())),
-            None => String::new(),
-        };
-        let sealed = match o.sealed_at {
-            Some(t) => format!(" sealed_at={}", t.as_fs()),
-            None => String::new(),
-        };
-        let line = format!(
-            "case {index} at={} class={} onset={} end={} mismatch={} affected={} forked={}{sealed}{simfail} label={}",
-            result.case.injected_at.as_fs(),
-            o.class,
-            opt_fs(o.error_onset),
-            opt_fs(o.error_end),
-            o.total_mismatch.as_fs(),
-            if o.affected.is_empty() {
-                "-".to_owned()
-            } else {
-                o.affected
-                    .iter()
-                    .map(|s| escape(s))
-                    .collect::<Vec<_>>()
-                    .join("|")
-            },
-            opt_fs(forked),
-            escape(&result.case.label),
-        );
-        self.append(&line)
+        self.append_line(&case_line(index, result, forked))
     }
 
     /// Appends one skipped case and flushes.
@@ -331,15 +283,7 @@ impl Journal {
     ///
     /// Returns [`JournalError::Io`] on write failure.
     pub fn record_skip(&self, skip: &SkippedCase) -> Result<(), JournalError> {
-        let line = format!(
-            "skip {} at={} attempts={} label={} error={}",
-            skip.index,
-            skip.case.injected_at.as_fs(),
-            skip.attempts,
-            escape(&skip.case.label),
-            escape(&skip.error),
-        );
-        self.append(&line)
+        self.append_line(&skip_line(skip))
     }
 
     /// Appends one quarantined (poison) case and flushes. Written as a
@@ -350,19 +294,23 @@ impl Journal {
     ///
     /// Returns [`JournalError::Io`] on write failure.
     pub fn record_quarantine(&self, q: &QuarantinedCase) -> Result<(), JournalError> {
-        let line = format!(
-            "skip {} at={} attempts={} label={} error={} quarantine={}",
-            q.index,
-            q.case.injected_at.as_fs(),
-            q.attempts,
-            escape(&q.case.label),
-            escape(&q.reason),
-            escape(&q.reason),
-        );
-        self.append(&line)
+        self.append_line(&quarantine_line(q))
     }
 
-    fn append(&self, line: &str) -> Result<(), JournalError> {
+    /// Appends one pre-formatted record line and flushes.
+    ///
+    /// This is how the distributed coordinator live-merges records that a
+    /// remote worker formatted with [`case_line`]/[`skip_line`]/
+    /// [`quarantine_line`] and streamed over the wire — the line lands in
+    /// the merged journal byte-for-byte as a local run would have written
+    /// it. The caller is responsible for passing a valid v2 record
+    /// (validate with [`parse_line`] first); a raw newline would corrupt
+    /// the journal framing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on write failure.
+    pub fn append_line(&self, line: &str) -> Result<(), JournalError> {
         use std::sync::atomic::Ordering;
         let mut writer = self.writer.lock().expect("journal writer poisoned");
         writeln!(writer, "{line}")
@@ -428,15 +376,7 @@ pub fn load(path: &Path) -> Result<(JournalMeta, BTreeMap<usize, JournalEntry>),
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let parsed = parse_record(line).and_then(|entry| {
-            let index = match &entry {
-                JournalEntry::Done(_) => index_of(line),
-                JournalEntry::Skipped(s) => Some(s.index),
-                JournalEntry::Quarantined(q) => Some(q.index),
-            }?;
-            Some((index, entry))
-        });
-        let Some((index, entry)) = parsed else {
+        let Some((index, entry)) = parse_line(line) else {
             if line_nr == last_nr {
                 // Torn tail: the write was interrupted mid-record. The
                 // case it described is simply still pending.
@@ -455,10 +395,11 @@ pub fn load(path: &Path) -> Result<(JournalMeta, BTreeMap<usize, JournalEntry>),
     Ok((meta, entries))
 }
 
-/// Record-precedence rule shared by [`load`] and [`merge`]: the last record
-/// for an index wins, except a completed case is never demoted to a skip or
-/// a quarantine (a resumed run may re-attempt and then succeed).
-fn apply_entry(entries: &mut BTreeMap<usize, JournalEntry>, index: usize, entry: JournalEntry) {
+/// Record-precedence rule shared by [`load`], [`merge`] and the
+/// distributed coordinator's live merge: the last record for an index
+/// wins, except a completed case is never demoted to a skip or a
+/// quarantine (a resumed run may re-attempt and then succeed).
+pub fn apply_entry(entries: &mut BTreeMap<usize, JournalEntry>, index: usize, entry: JournalEntry) {
     match (&entry, entries.get(&index)) {
         (JournalEntry::Skipped(_) | JournalEntry::Quarantined(_), Some(JournalEntry::Done(_))) => {}
         _ => {
@@ -537,6 +478,80 @@ pub fn pending(entries: &BTreeMap<usize, JournalEntry>, total: usize, shard: Sha
         .collect()
 }
 
+/// Formats the journal v2 `case` record for one classified case — exactly
+/// the line [`Journal::record_case`] appends. Public so remote workers can
+/// stream records that merge byte-identically with locally written ones.
+pub fn case_line(index: usize, result: &CaseResult, forked: Option<Time>) -> String {
+    let o = &result.outcome;
+    let simfail = match &o.failure {
+        Some(f) => format!(" simfail={}", escape(&f.to_string())),
+        None => String::new(),
+    };
+    let sealed = match o.sealed_at {
+        Some(t) => format!(" sealed_at={}", t.as_fs()),
+        None => String::new(),
+    };
+    format!(
+        "case {index} at={} class={} onset={} end={} mismatch={} affected={} forked={}{sealed}{simfail} label={}",
+        result.case.injected_at.as_fs(),
+        o.class,
+        opt_fs(o.error_onset),
+        opt_fs(o.error_end),
+        o.total_mismatch.as_fs(),
+        if o.affected.is_empty() {
+            "-".to_owned()
+        } else {
+            o.affected
+                .iter()
+                .map(|s| escape(s))
+                .collect::<Vec<_>>()
+                .join("|")
+        },
+        opt_fs(forked),
+        escape(&result.case.label),
+    )
+}
+
+/// Formats the journal v2 `skip` record for one abandoned case.
+pub fn skip_line(skip: &SkippedCase) -> String {
+    format!(
+        "skip {} at={} attempts={} label={} error={}",
+        skip.index,
+        skip.case.injected_at.as_fs(),
+        skip.attempts,
+        escape(&skip.case.label),
+        escape(&skip.error),
+    )
+}
+
+/// Formats the journal v2 quarantine record for one poison case.
+pub fn quarantine_line(q: &QuarantinedCase) -> String {
+    format!(
+        "skip {} at={} attempts={} label={} error={} quarantine={}",
+        q.index,
+        q.case.injected_at.as_fs(),
+        q.attempts,
+        escape(&q.case.label),
+        escape(&q.reason),
+        escape(&q.reason),
+    )
+}
+
+/// Parses one journal v2 record line into `(case index, entry)`.
+///
+/// `None` on malformed input. This is [`load`]'s per-line parser exposed
+/// for the distributed coordinator, which validates each streamed record
+/// before appending it to the campaign's merged journal.
+pub fn parse_line(line: &str) -> Option<(usize, JournalEntry)> {
+    let entry = parse_record(line)?;
+    let index = match &entry {
+        JournalEntry::Done(_) => index_of(line),
+        JournalEntry::Skipped(s) => Some(s.index),
+        JournalEntry::Quarantined(q) => Some(q.index),
+    }?;
+    Some((index, entry))
+}
+
 fn opt_fs(t: Option<Time>) -> String {
     t.map_or_else(|| "-".to_owned(), |t| t.as_fs().to_string())
 }
@@ -555,8 +570,10 @@ fn parse_opt_fs(s: &str) -> Option<Option<Time>> {
 /// values must not contain whitespace; `|` is the `affected` list
 /// separator. The escaping is lossless — see [`unescape`] — which is what
 /// makes arbitrary solver error messages survive a write/`--resume` round
-/// trip (format v1 word-split them and corrupted resumed reports).
-fn escape(s: &str) -> String {
+/// trip (format v1 word-split them and corrupted resumed reports). Public
+/// because the distributed wire protocol tokenises its frames the same
+/// way.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -579,7 +596,7 @@ fn escape(s: &str) -> String {
 }
 
 /// Inverse of [`escape`]; `None` on a malformed escape sequence.
-fn unescape(s: &str) -> Option<String> {
+pub fn unescape(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

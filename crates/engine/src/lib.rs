@@ -25,8 +25,9 @@
 //!   proposed-`dt` distribution, snapshot-cache hits) exportable as
 //!   Prometheus text via [`EngineConfig::with_telemetry`].
 //!
-//! The `amsfi` CLI binary (`src/bin/amsfi.rs`) drives the named case-study
-//! [`campaigns`] through this engine.
+//! The `amsfi` CLI binary (in the `amsfi-serve` crate, which also adds
+//! the distributed coordinator/worker service on top of this engine)
+//! drives the named case-study [`campaigns`] through it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -39,7 +40,7 @@ pub mod stats;
 
 pub use executor::{
     AnySnapshot, Campaign, CaseCtx, CaseRunner, Engine, EngineConfig, EngineError, EngineReport,
-    ErrorPolicy, ForkSpec, Snapshot, SnapshotRestoreError, SnapshotSink,
+    ErrorPolicy, ForkSpec, RecordSink, Snapshot, SnapshotRestoreError, SnapshotSink,
 };
 pub use journal::{Journal, JournalEntry, JournalError, JournalMeta, QuarantinedCase, SkippedCase};
 pub use shard::Shard;

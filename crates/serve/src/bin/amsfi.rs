@@ -10,6 +10,10 @@
 //!           [--events PATH] [--metrics PATH] [--limit N] [--out DIR]
 //! amsfi merge <journal>... [--out DIR]
 //! amsfi report <journal> [--events PATH] [--top N]
+//! amsfi serve [--bind ADDR] [--campaign NAME]... [--shards N] [...]
+//! amsfi worker <addr> [--threads N] [--exit-when-done] [...]
+//! amsfi submit <addr> <campaign> [--shards N] [...]
+//! amsfi status <addr>
 //! ```
 //!
 //! `run` executes a named campaign (see `amsfi list`) through the engine:
@@ -17,17 +21,25 @@
 //! with `--resume`, traced with `--events` (JSONL) and `--metrics`
 //! (Prometheus text). `merge` combines shard journals into one report.
 //! `report` joins a journal with its event stream into a per-case
-//! latency/retry/guard breakdown. A `run` that completes but leaves
-//! quarantined poison cases exits with code 3 (distinct from success 0,
-//! engine failure 2 and usage error 64).
+//! latency/retry/guard breakdown. `serve`/`worker`/`submit`/`status`
+//! distribute campaigns over TCP: the coordinator leases shards to
+//! workers and live-merges the records they stream back into one journal
+//! whose merged report is byte-identical to a single-process run.
+//!
+//! A `run` that completes but leaves quarantined poison cases exits with
+//! code 3 (distinct from success 0, engine failure 2 and usage error
+//! 64); a `merge` across journals of *different* campaigns exits with
+//! code 4 so scripts can tell "wrong journals" from "broken journals".
 
 use amsfi_core::report;
 use amsfi_engine::{
     campaigns, journal, Engine, EngineConfig, EngineReport, ErrorPolicy, Event, JournalEntry,
-    Shard, StatsSnapshot, Telemetry,
+    JournalError, Shard, StatsSnapshot, Telemetry,
 };
+use amsfi_serve::{catalog_source, proto, Coordinator, CoordinatorConfig, Frame, WorkerConfig};
 use amsfi_waves::Time;
 use std::collections::BTreeMap;
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -81,16 +93,59 @@ USAGE:
 
   amsfi merge <journal>... [--out DIR]
         Merge shard journals of one campaign into a single report.
+        Journals written by a different campaign (name, case count or
+        fingerprint) are refused with exit code 4.
 
   amsfi report <journal> [--events PATH] [--top N]
         Join a journal with its `--events` JSONL stream into a per-case
         latency/retry/guard breakdown and a top-N slowest listing
         (default top 10).
 
+  amsfi serve [options]
+        Run the distributed-campaign coordinator: accept submissions,
+        lease shards to workers, live-merge streamed records into one
+        journal per campaign. Survives worker death: a silent lease is
+        reclaimed and its remaining cases re-leased.
+          --bind ADDR            listen address (default 127.0.0.1:7171)
+          --campaign NAME        submit NAME at startup (repeatable)
+          --shards N             shards per submitted campaign (default 2)
+          --limit N              case cap for submitted campaigns
+          --checkpoint           workers fork cases from checkpoints
+          --early-abort          workers classify online and abort early
+          --journal-dir DIR      merged journals (default amsfi-journals)
+          --lease-timeout-ms N   silent-lease reclaim (default 10000)
+          --retry-ms N           worker poll hint when idle (default 250)
+          --until-drained        exit once every campaign completes
+          --progress-secs N      progress cadence (0 = off; counts
+                                 remotely merged cases)
+          --metrics PATH         Prometheus text snapshot (per tick and
+                                 at exit)
+          --events PATH          structured JSONL event stream
+
+  amsfi worker <addr> [options]
+        Lease shards from the coordinator at <addr>, execute them through
+        the engine, stream each finished case back as it completes.
+          --name NAME            display name (default worker-<pid>)
+          --threads N            engine threads (default: one per core)
+          --heartbeat-ms N       lease keep-alive cadence (default 1000)
+          --poll-ms N            idle poll cap (default 250)
+          --exit-when-done       exit when the coordinator drains
+          --max-shards N         stop after N shards (testing)
+          --events PATH          structured JSONL event stream
+
+  amsfi submit <addr> <campaign> [--shards N] [--limit N]
+              [--checkpoint] [--early-abort]
+        Submit a campaign to a running coordinator.
+
+  amsfi status <addr>
+        Print a running coordinator's campaigns, shards, leases and
+        workers (read-only).
+
 EXIT CODES:
   0   success
-  2   engine, journal or report failure
+  2   engine, journal, report or service failure
   3   the run completed but quarantined poison case(s) remain
+  4   merge refused: the journals belong to different campaigns
   64  usage error
 ";
 
@@ -104,6 +159,10 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("merge") => merge(&args[1..]),
         Some("report") => report_cmd(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("worker") => worker(&args[1..]),
+        Some("submit") => submit(&args[1..]),
+        Some("status") => status(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -315,6 +374,15 @@ fn merge(args: &[String]) -> ExitCode {
 
     let (meta, entries) = match journal::merge(&paths) {
         Ok(merged) => merged,
+        Err(e @ JournalError::CampaignMismatch { .. }) => {
+            eprintln!("amsfi merge: {e}");
+            eprintln!(
+                "amsfi merge: refusing to mix campaigns — shard journals merge only when \
+                 their headers agree on name, case count and fingerprint (the distributed \
+                 coordinator enforces the same rule on every lease)"
+            );
+            return ExitCode::from(4);
+        }
         Err(e) => {
             eprintln!("amsfi merge: {e}");
             return ExitCode::from(2);
@@ -541,6 +609,306 @@ fn report_cmd(args: &[String]) -> ExitCode {
     print_skips(&skipped);
     print_quarantine(&quarantined);
     ExitCode::SUCCESS
+}
+
+/// Builds a telemetry handle for the service subcommands: enabled as soon
+/// as an events stream or a metrics dump is requested.
+fn service_telemetry(events: Option<&Path>, metrics: bool) -> Result<Telemetry, String> {
+    if events.is_none() && !metrics {
+        return Ok(Telemetry::disabled());
+    }
+    let mut builder = Telemetry::builder();
+    if let Some(path) = events {
+        builder = builder.events_path(path);
+    }
+    builder
+        .build()
+        .map_err(|e| format!("opening events stream: {e}"))
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut bind = "127.0.0.1:7171".to_owned();
+    let mut names: Vec<String> = Vec::new();
+    let mut shards = 2usize;
+    let mut limit: Option<usize> = None;
+    let mut checkpoint = false;
+    let mut early_abort = false;
+    let mut events: Option<PathBuf> = None;
+    let mut cfg = CoordinatorConfig::new("amsfi-journals", catalog_source());
+
+    let mut opts = Options::new(args);
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = opts.next() {
+            match arg {
+                "--bind" => bind = opts.value(arg)?.to_owned(),
+                "--campaign" => names.push(opts.value(arg)?.to_owned()),
+                "--shards" => shards = opts.parse(arg)?,
+                "--limit" => limit = Some(opts.parse(arg)?),
+                "--checkpoint" => checkpoint = true,
+                "--early-abort" => early_abort = true,
+                "--journal-dir" => cfg.journal_dir = PathBuf::from(opts.value(arg)?),
+                "--lease-timeout-ms" => {
+                    cfg.lease_timeout = Duration::from_millis(opts.parse(arg)?);
+                    // Keep reap latency proportional to short test timeouts.
+                    cfg.reap_interval = (cfg.lease_timeout / 4).max(Duration::from_millis(10));
+                }
+                "--retry-ms" => cfg.retry_ms = opts.parse(arg)?,
+                "--until-drained" => cfg.until_drained = true,
+                "--progress-secs" => {
+                    let secs: u64 = opts.parse(arg)?;
+                    cfg.progress = (secs > 0).then(|| Duration::from_secs(secs));
+                }
+                "--metrics" => cfg.metrics_path = Some(PathBuf::from(opts.value(arg)?)),
+                "--events" => events = Some(PathBuf::from(opts.value(arg)?)),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown option {flag:?}"));
+                }
+                extra => return Err(format!("unexpected argument {extra:?}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("amsfi serve: {e}");
+        return ExitCode::from(64);
+    }
+    if cfg.until_drained && names.is_empty() {
+        eprintln!("amsfi serve: --until-drained needs at least one --campaign to drain");
+        return ExitCode::from(64);
+    }
+    cfg.telemetry = match service_telemetry(events.as_deref(), cfg.metrics_path.is_some()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("amsfi serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let telemetry = cfg.telemetry.clone();
+
+    let coordinator = match Coordinator::bind(&bind, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("amsfi serve: binding {bind}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match coordinator.local_addr() {
+        Ok(addr) => println!("amsfi serve: listening on {addr}"),
+        Err(_) => println!("amsfi serve: listening on {bind}"),
+    }
+    for name in &names {
+        match coordinator.submit(name, shards, limit, checkpoint, early_abort) {
+            Ok(info) => println!(
+                "amsfi serve: campaign [{}] {} — {} case(s), {} shard(s), \
+                 fingerprint {:016x}, journal {}",
+                info.id,
+                info.name,
+                info.cases,
+                info.shards,
+                info.fingerprint,
+                info.journal.display(),
+            ),
+            Err(e) => {
+                eprintln!("amsfi serve: submitting {name:?}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let result = coordinator.run();
+    telemetry.close();
+    match result {
+        Ok(()) => {
+            println!("amsfi serve: drained, shutting down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("amsfi serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn worker(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut threads = 0usize;
+    let mut heartbeat = Duration::from_millis(1000);
+    let mut poll = Duration::from_millis(250);
+    let mut exit_when_done = false;
+    let mut max_shards: Option<usize> = None;
+    let mut events: Option<PathBuf> = None;
+
+    let mut opts = Options::new(args);
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = opts.next() {
+            match arg {
+                "--name" => name = Some(opts.value(arg)?.to_owned()),
+                "--threads" => threads = opts.parse(arg)?,
+                "--heartbeat-ms" => heartbeat = Duration::from_millis(opts.parse(arg)?),
+                "--poll-ms" => poll = Duration::from_millis(opts.parse(arg)?),
+                "--exit-when-done" => exit_when_done = true,
+                "--max-shards" => max_shards = Some(opts.parse(arg)?),
+                "--events" => events = Some(PathBuf::from(opts.value(arg)?)),
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown option {flag:?}"));
+                }
+                positional if addr.is_none() => addr = Some(positional.to_owned()),
+                extra => return Err(format!("unexpected argument {extra:?}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("amsfi worker: {e}");
+        return ExitCode::from(64);
+    }
+    let Some(addr) = addr else {
+        eprintln!("amsfi worker: missing coordinator address");
+        return ExitCode::from(64);
+    };
+    let telemetry = match service_telemetry(events.as_deref(), false) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("amsfi worker: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = WorkerConfig::new(addr, catalog_source());
+    if let Some(name) = name {
+        cfg.name = name;
+    }
+    cfg.threads = threads;
+    cfg.heartbeat = heartbeat;
+    cfg.poll = poll;
+    cfg.exit_when_done = exit_when_done;
+    cfg.max_shards = max_shards;
+    cfg.telemetry = telemetry.clone();
+
+    let result = amsfi_serve::worker::run(cfg);
+    telemetry.close();
+    match result {
+        Ok(report) => {
+            println!(
+                "amsfi worker: {} shard(s) completed, {} case(s) executed, \
+                 {} record(s) streamed",
+                report.shards_completed, report.cases_executed, report.records_streamed,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("amsfi worker: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One request/reply exchange with a coordinator, for `submit`/`status`.
+fn coordinator_call(addr: &str, request: &Frame) -> Result<Frame, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    proto::write_frame(&mut stream, request).map_err(|e| e.to_string())?;
+    loop {
+        match proto::read_frame(&mut stream).map_err(|e| e.to_string())? {
+            // Frames from a newer coordinator we don't understand are
+            // skipped, like everywhere else in the protocol.
+            Frame::Unknown { .. } => {}
+            reply => return Ok(reply),
+        }
+    }
+}
+
+fn submit(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut campaign: Option<String> = None;
+    let mut shards = 2usize;
+    let mut limit: Option<usize> = None;
+    let mut checkpoint = false;
+    let mut early_abort = false;
+
+    let mut opts = Options::new(args);
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = opts.next() {
+            match arg {
+                "--shards" => shards = opts.parse(arg)?,
+                "--limit" => limit = Some(opts.parse(arg)?),
+                "--checkpoint" => checkpoint = true,
+                "--early-abort" => early_abort = true,
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown option {flag:?}"));
+                }
+                positional if addr.is_none() => addr = Some(positional.to_owned()),
+                positional if campaign.is_none() => campaign = Some(positional.to_owned()),
+                extra => return Err(format!("unexpected argument {extra:?}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("amsfi submit: {e}");
+        return ExitCode::from(64);
+    }
+    let (Some(addr), Some(campaign)) = (addr, campaign) else {
+        eprintln!("amsfi submit: usage: amsfi submit <addr> <campaign> [options]");
+        return ExitCode::from(64);
+    };
+    let request = Frame::Submit {
+        campaign,
+        shards,
+        limit,
+        checkpoint,
+        early_abort,
+    };
+    match coordinator_call(&addr, &request) {
+        Ok(Frame::Submitted {
+            id,
+            name,
+            cases,
+            shards,
+            fingerprint,
+        }) => {
+            println!(
+                "submitted campaign [{id}] {name}: {cases} case(s), {shards} shard(s), \
+                 fingerprint {fingerprint:016x}"
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(Frame::Error { reason }) => {
+            eprintln!("amsfi submit: coordinator refused: {reason}");
+            ExitCode::from(2)
+        }
+        Ok(other) => {
+            eprintln!("amsfi submit: unexpected reply {:?}", other.kind());
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("amsfi submit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn status(args: &[String]) -> ExitCode {
+    let [addr] = args else {
+        eprintln!("amsfi status: usage: amsfi status <addr>");
+        return ExitCode::from(64);
+    };
+    match coordinator_call(addr, &Frame::StatusRequest) {
+        Ok(Frame::Status { body, .. }) => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+        Ok(Frame::Error { reason }) => {
+            eprintln!("amsfi status: coordinator refused: {reason}");
+            ExitCode::from(2)
+        }
+        Ok(other) => {
+            eprintln!("amsfi status: unexpected reply {:?}", other.kind());
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("amsfi status: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn write_outputs(out: Option<&std::path::Path>, report: &EngineReport) -> std::io::Result<()> {

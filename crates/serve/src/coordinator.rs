@@ -1,0 +1,946 @@
+//! The campaign coordinator: accepts submissions, shards them, leases
+//! shards to workers, live-merges the records they stream back, and
+//! survives workers dying mid-shard.
+//!
+//! # Lease / reshard state machine
+//!
+//! Every campaign is split into `shards` deterministic round-robin
+//! [`Shard`]s (the same partition `amsfi run --shard` uses). Each shard
+//! slot is in exactly one of three states:
+//!
+//! ```text
+//!            lease_req                shard_done (all cases settled)
+//!   Idle ───────────────▶ Leased ───────────────────────────────▶ Done
+//!    ▲                      │
+//!    │   connection drop,   │
+//!    │   shard_abort, lease │
+//!    └──────────────────────┘
+//!        timeout (reaper)
+//! ```
+//!
+//! A lease carries the indices the coordinator has already merged for
+//! that shard, so a re-leased shard *resumes*: the new worker skips them
+//! (`EngineConfig::completed`) instead of re-running and double-counting.
+//! Records quoting a reclaimed (stale) lease id are rejected, so a zombie
+//! worker that comes back after its lease timed out cannot corrupt the
+//! merge — at worst its records duplicate information the replacement
+//! worker already streamed, and [`journal::apply_entry`]'s last-wins /
+//! never-demote rule keeps the merged map consistent either way.
+//!
+//! # Live merge
+//!
+//! Each streamed record is validated ([`journal::parse_line`], index
+//! range, shard ownership, live lease) and folded into the campaign's
+//! in-memory entry map with the same [`journal::apply_entry`] precedence
+//! used by `amsfi merge`. Only records that change the map are appended
+//! to the campaign's namespaced journal file, so the on-disk journal
+//! stays an exact, replayable transcript of the merged state and the
+//! final report is byte-identical to a single-process run.
+
+use crate::proto::{self, Frame, ProtoError, PROTOCOL_VERSION};
+use crate::CampaignSource;
+use amsfi_engine::journal::{self, Journal, JournalEntry, JournalMeta};
+use amsfi_engine::{Event, Shard, Telemetry};
+use amsfi_telemetry::ServeMetrics;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning and wiring for a [`Coordinator`].
+pub struct CoordinatorConfig {
+    /// Directory for the per-campaign merged journals (created if absent).
+    pub journal_dir: PathBuf,
+    /// A leased shard whose worker neither streams a record nor
+    /// heartbeats for this long is reclaimed and re-leased.
+    pub lease_timeout: Duration,
+    /// How often the reaper scans for expired leases.
+    pub reap_interval: Duration,
+    /// Poll delay suggested to workers when no shard is available.
+    pub retry_ms: u64,
+    /// Exit [`Coordinator::run`] once every submitted campaign completes.
+    pub until_drained: bool,
+    /// Emit a progress line to stderr this often; `None` disables.
+    pub progress: Option<Duration>,
+    /// Write the Prometheus metrics snapshot here on every progress tick
+    /// and at shutdown.
+    pub metrics_path: Option<PathBuf>,
+    /// Structured event sink.
+    pub telemetry: Telemetry,
+    /// Resolves submitted campaign names to case lists.
+    pub source: CampaignSource,
+}
+
+impl CoordinatorConfig {
+    /// Defaults: 10 s lease timeout, 1 s reap interval, 250 ms worker
+    /// poll, run forever, no progress, no metrics file.
+    pub fn new(journal_dir: impl Into<PathBuf>, source: CampaignSource) -> Self {
+        CoordinatorConfig {
+            journal_dir: journal_dir.into(),
+            lease_timeout: Duration::from_secs(10),
+            reap_interval: Duration::from_secs(1),
+            retry_ms: 250,
+            until_drained: false,
+            progress: None,
+            metrics_path: None,
+            telemetry: Telemetry::disabled(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Debug for CoordinatorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordinatorConfig")
+            .field("journal_dir", &self.journal_dir)
+            .field("lease_timeout", &self.lease_timeout)
+            .field("until_drained", &self.until_drained)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`Coordinator::submit`] reports back.
+#[derive(Debug, Clone)]
+pub struct SubmitInfo {
+    /// Coordinator-assigned campaign id.
+    pub id: u64,
+    /// Campaign name.
+    pub name: String,
+    /// Total cases.
+    pub cases: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Campaign fingerprint.
+    pub fingerprint: u64,
+    /// Path of the campaign's merged journal.
+    pub journal: PathBuf,
+}
+
+/// One shard slot's lifecycle state; see the module docs.
+enum Slot {
+    Idle,
+    Leased {
+        lease: u64,
+        worker: String,
+        granted: Instant,
+        last_seen: Instant,
+    },
+    Done,
+}
+
+struct CampaignState {
+    meta: JournalMeta,
+    limit: Option<usize>,
+    checkpoint: bool,
+    early_abort: bool,
+    slots: Vec<Slot>,
+    journal: Journal,
+    entries: BTreeMap<usize, JournalEntry>,
+    resharded: u64,
+    completed: bool,
+}
+
+impl CampaignState {
+    fn merged(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn slot_counts(&self) -> (usize, usize, usize) {
+        let (mut idle, mut leased, mut done) = (0, 0, 0);
+        for slot in &self.slots {
+            match slot {
+                Slot::Idle => idle += 1,
+                Slot::Leased { .. } => leased += 1,
+                Slot::Done => done += 1,
+            }
+        }
+        (idle, leased, done)
+    }
+}
+
+struct LeaseRef {
+    campaign: u64,
+    shard_index: usize,
+    conn: u64,
+}
+
+struct WorkerInfo {
+    name: String,
+    connected: Instant,
+    leases: usize,
+}
+
+#[derive(Default)]
+struct State {
+    campaigns: BTreeMap<u64, CampaignState>,
+    leases: BTreeMap<u64, LeaseRef>,
+    workers: BTreeMap<u64, WorkerInfo>,
+    next_campaign: u64,
+    next_lease: u64,
+    next_conn: u64,
+}
+
+impl State {
+    /// True once at least one campaign was submitted and all completed.
+    fn drained(&self) -> bool {
+        !self.campaigns.is_empty() && self.campaigns.values().all(|c| c.completed)
+    }
+
+    fn merged_total(&self) -> u64 {
+        self.campaigns.values().map(|c| c.merged() as u64).sum()
+    }
+}
+
+struct Shared {
+    cfg: CoordinatorConfig,
+    state: Mutex<State>,
+    metrics: Arc<ServeMetrics>,
+    shutdown: AtomicBool,
+    start: Instant,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("coordinator state poisoned")
+    }
+
+    fn event(&self, name: &str, build: impl FnOnce(Event) -> Event) {
+        self.cfg
+            .telemetry
+            .emit_with(|| build(Event::new("serve", name)));
+    }
+}
+
+/// A bound, not-yet-running coordinator. [`Coordinator::run`] serves until
+/// drained (if configured) or [`Coordinator::request_shutdown`].
+pub struct Coordinator {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Coordinator {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and prepares the journal
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind or directory-creation failure.
+    pub fn bind(addr: &str, cfg: CoordinatorConfig) -> io::Result<Coordinator> {
+        std::fs::create_dir_all(&cfg.journal_dir)?;
+        let listener = TcpListener::bind(addr)?;
+        Ok(Coordinator {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                state: Mutex::new(State::default()),
+                metrics: Arc::new(ServeMetrics::new()),
+                shutdown: AtomicBool::new(false),
+                start: Instant::now(),
+            }),
+        })
+    }
+
+    /// The address the coordinator is listening on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The coordinator's metric registry (shared with the Prometheus
+    /// export).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Submits a campaign locally (the CLI's startup `--campaign` flags
+    /// use this; remote clients send a `submit` frame instead).
+    ///
+    /// # Errors
+    ///
+    /// Unknown campaign name, empty case list, or journal-creation
+    /// failure.
+    pub fn submit(
+        &self,
+        name: &str,
+        shards: usize,
+        limit: Option<usize>,
+        checkpoint: bool,
+        early_abort: bool,
+    ) -> Result<SubmitInfo, String> {
+        submit(&self.shared, name, shards, limit, checkpoint, early_abort)
+    }
+
+    /// True once every submitted campaign has completed.
+    pub fn drained(&self) -> bool {
+        self.shared.lock().drained()
+    }
+
+    /// Asks [`Coordinator::run`] to return after its next accept poll.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// A snapshot of a campaign's merged entries, for tests and tools.
+    pub fn merged_entries(&self, id: u64) -> Option<BTreeMap<usize, JournalEntry>> {
+        self.shared
+            .lock()
+            .campaigns
+            .get(&id)
+            .map(|c| c.entries.clone())
+    }
+
+    /// Serves connections until drained (when configured), shut down, or
+    /// a fatal listener error.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failure only; per-connection trouble is contained
+    /// in that connection's handler thread.
+    pub fn run(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let reaper = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || reaper_loop(&shared))
+        };
+        let progress = self.shared.cfg.progress.map(|interval| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || progress_loop(&shared, interval))
+        });
+
+        let result = loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    // Handler threads are detached on purpose: one may sit
+                    // in a blocking read on a dead-silent zombie socket
+                    // until the peer's OS closes it, and joining it would
+                    // wedge shutdown. They hold only an Arc on shared
+                    // state and exit on EOF.
+                    std::thread::spawn(move || handle_conn(&shared, stream, peer));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => break Err(e),
+            }
+        };
+
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        reaper.join().ok();
+        if let Some(p) = progress {
+            p.join().ok();
+        }
+        write_metrics_file(&self.shared);
+        self.shared.cfg.telemetry.flush();
+        result
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+fn submit(
+    shared: &Shared,
+    name: &str,
+    shards: usize,
+    limit: Option<usize>,
+    checkpoint: bool,
+    early_abort: bool,
+) -> Result<SubmitInfo, String> {
+    let campaign = (shared.cfg.source)(name, limit)
+        .ok_or_else(|| format!("unknown campaign {name:?} (not in this coordinator's catalog)"))?;
+    let meta = campaign.meta();
+    drop(campaign); // the coordinator never runs cases, only identifies them
+    if meta.cases == 0 {
+        return Err(format!("campaign {name:?} has no cases"));
+    }
+    let shard_count = shards.clamp(1, meta.cases);
+
+    let mut state = shared.lock();
+    state.next_campaign += 1;
+    let id = state.next_campaign;
+    let path = shared
+        .cfg
+        .journal_dir
+        .join(format!("campaign-{id:04}-{}.journal", sanitize(name)));
+    let (journal, entries) = Journal::open(&path, &meta, false).map_err(|e| e.to_string())?;
+    let info = SubmitInfo {
+        id,
+        name: meta.name.clone(),
+        cases: meta.cases,
+        shards: shard_count,
+        fingerprint: meta.fingerprint,
+        journal: path,
+    };
+    state.campaigns.insert(
+        id,
+        CampaignState {
+            meta,
+            limit,
+            checkpoint,
+            early_abort,
+            slots: (0..shard_count).map(|_| Slot::Idle).collect(),
+            journal,
+            entries,
+            resharded: 0,
+            completed: false,
+        },
+    );
+    drop(state);
+    shared.metrics.campaigns_submitted.inc();
+    shared.event("submit", |e| {
+        e.with_field("campaign", id)
+            .with_field("name", &info.name)
+            .with_field("cases", info.cases)
+            .with_field("shards", info.shards)
+    });
+    Ok(info)
+}
+
+/// Returns a leased shard to the pool. `timeout` distinguishes the
+/// reaper's lease-timeout path from a connection drop / abort.
+fn release_lease(shared: &Shared, state: &mut State, lease_id: u64, why: &str, timeout: bool) {
+    let Some(lref) = state.leases.remove(&lease_id) else {
+        return;
+    };
+    if let Some(w) = state.workers.get_mut(&lref.conn) {
+        w.leases = w.leases.saturating_sub(1);
+    }
+    if let Some(c) = state.campaigns.get_mut(&lref.campaign) {
+        if let Some(slot) = c.slots.get_mut(lref.shard_index) {
+            if matches!(slot, Slot::Leased { lease, .. } if *lease == lease_id) {
+                *slot = Slot::Idle;
+                c.resharded += 1;
+                shared.metrics.shards_resharded.inc();
+                if timeout {
+                    shared.metrics.lease_timeouts.inc();
+                }
+                shared.event("reshard", |e| {
+                    e.with_field("campaign", lref.campaign)
+                        .with_field("shard", lref.shard_index)
+                        .with_field("lease", lease_id)
+                        .with_field("why", why)
+                });
+            }
+        }
+    }
+}
+
+fn reaper_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.cfg.reap_interval);
+        let now = Instant::now();
+        let mut state = shared.lock();
+        let expired: Vec<u64> = state
+            .leases
+            .iter()
+            .filter_map(|(&lease_id, lref)| {
+                let c = state.campaigns.get(&lref.campaign)?;
+                match c.slots.get(lref.shard_index)? {
+                    Slot::Leased { last_seen, .. }
+                        if now.duration_since(*last_seen) > shared.cfg.lease_timeout =>
+                    {
+                        Some(lease_id)
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        for lease_id in expired {
+            release_lease(shared, &mut state, lease_id, "lease timeout", true);
+        }
+    }
+}
+
+fn progress_loop(shared: &Shared, interval: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let (campaigns, complete, merged, workers, leases) = {
+            let state = shared.lock();
+            (
+                state.campaigns.len(),
+                state.campaigns.values().filter(|c| c.completed).count(),
+                state.merged_total(),
+                state.workers.len(),
+                state.leases.len(),
+            )
+        };
+        eprintln!(
+            "serve: {campaigns} campaigns ({complete} complete), {workers} workers, \
+             {leases} active leases, {merged} cases merged"
+        );
+        write_metrics_file(shared);
+    }
+}
+
+fn write_metrics_file(shared: &Shared) {
+    if let Some(path) = &shared.cfg.metrics_path {
+        let text = shared.metrics.to_prometheus();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("serve: metrics write {}: {e}", path.display());
+        }
+    }
+}
+
+fn status_frame(shared: &Shared) -> Frame {
+    let state = shared.lock();
+    let mut body = format!(
+        "amsfi-serve up {:.1}s\ncampaigns: {} submitted, {} complete, {} cases merged\n",
+        shared.start.elapsed().as_secs_f64(),
+        state.campaigns.len(),
+        state.campaigns.values().filter(|c| c.completed).count(),
+        state.merged_total(),
+    );
+    for (id, c) in &state.campaigns {
+        let (idle, leased, done) = c.slot_counts();
+        body.push_str(&format!(
+            "  [{id}] {}: {}/{} cases merged, shards {}/{} done ({} leased, {} idle), \
+             resharded {}, fingerprint {:016x}\n",
+            c.meta.name,
+            c.merged(),
+            c.meta.cases,
+            done,
+            c.slots.len(),
+            leased,
+            idle,
+            c.resharded,
+            c.meta.fingerprint,
+        ));
+        for (i, slot) in c.slots.iter().enumerate() {
+            if let Slot::Leased {
+                lease,
+                worker,
+                granted,
+                last_seen,
+                ..
+            } = slot
+            {
+                body.push_str(&format!(
+                    "      shard {i}/{} leased to {worker} (lease {lease}, age {:.1}s, \
+                     idle {:.1}s)\n",
+                    c.slots.len(),
+                    granted.elapsed().as_secs_f64(),
+                    last_seen.elapsed().as_secs_f64(),
+                ));
+            }
+        }
+    }
+    body.push_str(&format!("workers: {} connected\n", state.workers.len()));
+    for w in state.workers.values() {
+        body.push_str(&format!(
+            "  {} ({} leases, connected {:.1}s)\n",
+            w.name,
+            w.leases,
+            w.connected.elapsed().as_secs_f64(),
+        ));
+    }
+    body.push_str(&format!(
+        "drained: {}\n",
+        if state.drained() { "yes" } else { "no" }
+    ));
+    Frame::Status {
+        campaigns: state.campaigns.len(),
+        workers: state.workers.len(),
+        merged: state.merged_total(),
+        drained: state.drained(),
+        body,
+    }
+}
+
+/// Grants the lowest (campaign, shard) idle slot, or reports no work.
+fn grant_lease(shared: &Shared, conn: u64, worker_name: &str) -> Frame {
+    let mut state = shared.lock();
+    let mut found: Option<(u64, usize)> = None;
+    for (&id, c) in &state.campaigns {
+        if c.completed {
+            continue;
+        }
+        if let Some(i) = c.slots.iter().position(|s| matches!(s, Slot::Idle)) {
+            found = Some((id, i));
+            break;
+        }
+    }
+    let Some((campaign_id, shard_index)) = found else {
+        let drained = state.drained();
+        return Frame::NoWork {
+            retry_ms: shared.cfg.retry_ms,
+            drained,
+        };
+    };
+    state.next_lease += 1;
+    let lease_id = state.next_lease;
+    if let Some(w) = state.workers.get_mut(&conn) {
+        w.leases += 1;
+    }
+    let c = state
+        .campaigns
+        .get_mut(&campaign_id)
+        .expect("campaign just found");
+    let shard_count = c.slots.len();
+    let shard = Shard::new(shard_index, shard_count).expect("index < count");
+    let now = Instant::now();
+    c.slots[shard_index] = Slot::Leased {
+        lease: lease_id,
+        worker: worker_name.to_owned(),
+        granted: now,
+        last_seen: now,
+    };
+    // A re-leased shard resumes: cases the dead predecessor already
+    // streamed are handed over as `done` so they are never re-run.
+    let done: Vec<usize> = shard
+        .case_indices(c.meta.cases)
+        .filter(|i| {
+            matches!(
+                c.entries.get(i),
+                Some(JournalEntry::Done(_) | JournalEntry::Quarantined(_))
+            )
+        })
+        .collect();
+    let frame = Frame::Lease {
+        lease: lease_id,
+        campaign: campaign_id,
+        name: c.meta.name.clone(),
+        shard,
+        cases: c.meta.cases,
+        fingerprint: c.meta.fingerprint,
+        limit: c.limit,
+        checkpoint: c.checkpoint,
+        early_abort: c.early_abort,
+        done,
+    };
+    state.leases.insert(
+        lease_id,
+        LeaseRef {
+            campaign: campaign_id,
+            shard_index,
+            conn,
+        },
+    );
+    drop(state);
+    shared.metrics.shards_leased.inc();
+    shared.event("lease", |e| {
+        e.with_field("campaign", campaign_id)
+            .with_field("shard", shard_index)
+            .with_field("lease", lease_id)
+            .with_field("worker", worker_name)
+    });
+    frame
+}
+
+/// Folds one streamed record into its campaign. Every reject is counted
+/// and logged; none is fatal to the connection.
+fn merge_record(shared: &Shared, conn: u64, lease_id: u64, line: &str) {
+    let mut state = shared.lock();
+    let Some(lref) = state.leases.get(&lease_id) else {
+        // Stale lease: the shard was reclaimed (timeout) or finished.
+        // The replacement worker re-reports anything this record carried.
+        shared.metrics.records_rejected.inc();
+        return;
+    };
+    if lref.conn != conn {
+        shared.metrics.records_rejected.inc();
+        return;
+    }
+    let (campaign_id, shard_index) = (lref.campaign, lref.shard_index);
+    let Some(c) = state.campaigns.get_mut(&campaign_id) else {
+        shared.metrics.records_rejected.inc();
+        return;
+    };
+    let shard_count = c.slots.len();
+    if let Some(Slot::Leased { last_seen, .. }) = c.slots.get_mut(shard_index) {
+        *last_seen = Instant::now();
+    }
+    let Some((index, entry)) = journal::parse_line(line) else {
+        shared.metrics.records_rejected.inc();
+        shared.event("record_rejected", |e| {
+            e.with_field("lease", lease_id).with_field("why", "syntax")
+        });
+        return;
+    };
+    let shard = Shard::new(shard_index, shard_count).expect("slot index < count");
+    if index >= c.meta.cases || !shard.owns(index) {
+        shared.metrics.records_rejected.inc();
+        shared.event("record_rejected", |e| {
+            e.with_field("lease", lease_id)
+                .with_field("case", index)
+                .with_field("why", "out of shard")
+        });
+        return;
+    }
+    let newly_seen = !c.entries.contains_key(&index);
+    let before = c.entries.get(&index).cloned();
+    journal::apply_entry(&mut c.entries, index, entry);
+    if c.entries.get(&index) != before.as_ref() {
+        // Only state-changing records reach the disk journal, so the file
+        // replays to exactly the in-memory merge.
+        if let Err(e) = c.journal.append_line(line) {
+            eprintln!("serve: journal append failed: {e}");
+        }
+        if newly_seen {
+            shared.metrics.cases_merged.inc();
+        }
+    }
+}
+
+/// Marks a shard finished if (and only if) every one of its cases has
+/// settled; otherwise the shard goes back to the pool.
+fn finish_shard(shared: &Shared, conn: u64, lease_id: u64) {
+    let mut state = shared.lock();
+    let Some(lref) = state.leases.get(&lease_id) else {
+        return; // stale shard_done after a timeout reshard
+    };
+    if lref.conn != conn {
+        return;
+    }
+    let (campaign_id, shard_index) = (lref.campaign, lref.shard_index);
+    let complete = {
+        let Some(c) = state.campaigns.get(&campaign_id) else {
+            return;
+        };
+        let shard = Shard::new(shard_index, c.slots.len()).expect("slot index < count");
+        let all_settled = shard
+            .case_indices(c.meta.cases)
+            .all(|i| c.entries.contains_key(&i));
+        all_settled
+    };
+    if !complete {
+        // The worker claimed completion but cases are missing (a lost
+        // record frame or a buggy worker): treat as an abort.
+        release_lease(shared, &mut state, lease_id, "incomplete shard_done", false);
+        return;
+    }
+    state.leases.remove(&lease_id);
+    if let Some(w) = state.workers.get_mut(&conn) {
+        w.leases = w.leases.saturating_sub(1);
+    }
+    let campaign_done = {
+        let c = state
+            .campaigns
+            .get_mut(&campaign_id)
+            .expect("checked above");
+        c.slots[shard_index] = Slot::Done;
+        let done = c.slots.iter().all(|s| matches!(s, Slot::Done));
+        c.completed = done;
+        done
+    };
+    shared.metrics.shards_completed.inc();
+    shared.event("shard_done", |e| {
+        e.with_field("campaign", campaign_id)
+            .with_field("shard", shard_index)
+            .with_field("lease", lease_id)
+    });
+    if campaign_done {
+        shared.metrics.campaigns_completed.inc();
+        shared.event("campaign_done", |e| e.with_field("campaign", campaign_id));
+        if shared.cfg.until_drained && state.drained() {
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
+    stream.set_nodelay(true).ok();
+    let conn = {
+        let mut state = shared.lock();
+        state.next_conn += 1;
+        state.next_conn
+    };
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut registered = false;
+
+    let send = |writer: &mut TcpStream, frame: &Frame| -> bool {
+        match proto::write_frame(writer, frame) {
+            Ok(()) => {
+                shared.metrics.frames_tx.inc();
+                true
+            }
+            Err(_) => false,
+        }
+    };
+
+    loop {
+        let frame = match proto::read_frame(&mut reader) {
+            Ok(f) => {
+                shared.metrics.frames_rx.inc();
+                f
+            }
+            Err(ProtoError::Io(_)) => break, // EOF or reset: clean up below
+            Err(e) => {
+                // Structural garbage (bad length prefix, malformed known
+                // frame): tell the peer once and drop the connection —
+                // framing can no longer be trusted.
+                shared.event("proto_error", |ev| {
+                    ev.with_field("peer", peer).with_field("error", &e)
+                });
+                send(
+                    &mut writer,
+                    &Frame::Error {
+                        reason: e.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        match frame {
+            Frame::Hello { worker, protocol } => {
+                if protocol != PROTOCOL_VERSION {
+                    send(
+                        &mut writer,
+                        &Frame::Error {
+                            reason: format!(
+                                "protocol {protocol} unsupported (coordinator speaks \
+                                 {PROTOCOL_VERSION})"
+                            ),
+                        },
+                    );
+                    break;
+                }
+                let mut state = shared.lock();
+                state.workers.insert(
+                    conn,
+                    WorkerInfo {
+                        name: worker,
+                        connected: Instant::now(),
+                        leases: 0,
+                    },
+                );
+                drop(state);
+                if !registered {
+                    registered = true;
+                    shared.metrics.workers_connected.inc();
+                    shared.metrics.workers_total.inc();
+                }
+                if !send(
+                    &mut writer,
+                    &Frame::Welcome {
+                        server: "amsfi-serve".to_owned(),
+                        protocol: PROTOCOL_VERSION,
+                    },
+                ) {
+                    break;
+                }
+            }
+            Frame::Submit {
+                campaign,
+                shards,
+                limit,
+                checkpoint,
+                early_abort,
+            } => {
+                let reply = match submit(shared, &campaign, shards, limit, checkpoint, early_abort)
+                {
+                    Ok(info) => Frame::Submitted {
+                        id: info.id,
+                        name: info.name,
+                        cases: info.cases,
+                        shards: info.shards,
+                        fingerprint: info.fingerprint,
+                    },
+                    Err(reason) => Frame::Error { reason },
+                };
+                if !send(&mut writer, &reply) {
+                    break;
+                }
+            }
+            Frame::LeaseRequest => {
+                let name = shared
+                    .lock()
+                    .workers
+                    .get(&conn)
+                    .map_or_else(|| format!("conn-{conn}"), |w| w.name.clone());
+                let reply = grant_lease(shared, conn, &name);
+                if !send(&mut writer, &reply) {
+                    break;
+                }
+            }
+            Frame::Record { lease, line } => merge_record(shared, conn, lease, &line),
+            Frame::Heartbeat { lease } => {
+                let mut state = shared.lock();
+                if let Some(lref) = state.leases.get(&lease) {
+                    if lref.conn == conn {
+                        let (campaign, shard_index) = (lref.campaign, lref.shard_index);
+                        if let Some(c) = state.campaigns.get_mut(&campaign) {
+                            if let Some(Slot::Leased { last_seen, .. }) =
+                                c.slots.get_mut(shard_index)
+                            {
+                                *last_seen = Instant::now();
+                            }
+                        }
+                    }
+                }
+            }
+            Frame::ShardDone { lease } => finish_shard(shared, conn, lease),
+            Frame::ShardAbort { lease, reason } => {
+                let mut state = shared.lock();
+                release_lease(shared, &mut state, lease, &reason, false);
+            }
+            Frame::StatusRequest => {
+                let reply = status_frame(shared);
+                if !send(&mut writer, &reply) {
+                    break;
+                }
+            }
+            Frame::Bye => break,
+            // Replies we never expect as requests, and frames from a newer
+            // protocol revision: ignore, per the forward-compat contract.
+            Frame::Welcome { .. }
+            | Frame::Submitted { .. }
+            | Frame::Lease { .. }
+            | Frame::NoWork { .. }
+            | Frame::Status { .. }
+            | Frame::Error { .. }
+            | Frame::Unknown { .. } => {}
+        }
+    }
+
+    // Connection gone: every lease it held goes straight back to the pool
+    // (no need to wait for the reaper).
+    let mut state = shared.lock();
+    let held: Vec<u64> = state
+        .leases
+        .iter()
+        .filter(|(_, lref)| lref.conn == conn)
+        .map(|(&id, _)| id)
+        .collect();
+    for lease_id in held {
+        release_lease(shared, &mut state, lease_id, "connection lost", false);
+    }
+    state.workers.remove(&conn);
+    drop(state);
+    if registered {
+        shared.metrics.workers_connected.dec();
+    }
+}

@@ -1,0 +1,58 @@
+//! Distributed campaign service for the amsfi fault-injection flow: a
+//! lease-based [`coordinator`] and stateless [`worker`]s that split a
+//! campaign's case list over TCP and live-merge the streamed journal
+//! records, ending with a report **byte-identical** to a single-process
+//! `amsfi run` of the same campaign.
+//!
+//! The paper's flow makes each fault case an independent simulation, so
+//! campaigns distribute embarrassingly well — the hard part is the
+//! bookkeeping this crate owns:
+//!
+//! * **Deterministic sharding.** A submitted campaign is split with the
+//!   same round-robin [`amsfi_engine::Shard`] partition `amsfi run
+//!   --shard` uses, so distribution changes *where* cases run, never
+//!   *which* cases exist.
+//! * **Leases, not assignments.** Workers pull shards on a lease that
+//!   must be refreshed by records or heartbeats. A worker that dies (or
+//!   goes silent) forfeits the lease; the shard returns to the pool and
+//!   the replacement worker *resumes* it — the lease carries the indices
+//!   already merged, so finished cases are never re-run or double
+//!   counted.
+//! * **Live journal merge.** Workers stream each finished case as the
+//!   exact journal v2 record line a local run would have written; the
+//!   coordinator validates it (syntax, shard ownership, live lease,
+//!   fingerprint at lease time) and folds it into a per-campaign merged
+//!   journal with `amsfi merge`'s precedence rules. Kill the coordinator
+//!   and the journal resumes like any other.
+//! * **A deliberately boring wire [`proto`]col.** Length-prefixed UTF-8
+//!   text frames, tokenised and escaped exactly like journal records; no
+//!   dependencies, forward compatible by ignoring unknown keys and
+//!   kinds.
+//!
+//! The `amsfi` CLI front-end (`serve`, `worker`, `submit`, `status`
+//! subcommands) lives in this crate's `src/bin/amsfi.rs`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, SubmitInfo};
+pub use proto::{Frame, ProtoError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use worker::{WorkerConfig, WorkerError, WorkerReport};
+
+use amsfi_engine::Campaign;
+use std::sync::Arc;
+
+/// Resolves a campaign name (plus optional `--limit` cap) to a runnable
+/// [`Campaign`]. Coordinator and workers are parameterised by this so
+/// tests can serve toy campaigns; production uses [`catalog_source`].
+pub type CampaignSource = Arc<dyn Fn(&str, Option<usize>) -> Option<Campaign> + Send + Sync>;
+
+/// The real campaign catalog ([`amsfi_engine::campaigns::build`]) as a
+/// [`CampaignSource`].
+pub fn catalog_source() -> CampaignSource {
+    Arc::new(amsfi_engine::campaigns::build)
+}

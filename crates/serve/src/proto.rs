@@ -1,0 +1,649 @@
+//! The coordinator/worker wire protocol: length-prefixed text frames.
+//!
+//! Design goals, in order: **debuggability**, **forward compatibility**,
+//! **zero dependencies**. A frame on the wire is
+//!
+//! ```text
+//! <u32 big-endian payload length> <payload bytes (UTF-8)>
+//! ```
+//!
+//! and the payload is one line of text tokenised exactly like a journal v2
+//! record — a kind token followed by whitespace-separated `key=value`
+//! pairs whose free-text values use the journal's lossless
+//! [`escape`]/[`unescape`] scheme:
+//!
+//! ```text
+//! lease id=7 campaign=1 name=pll-sweep shard=2/4 cases=24 fingerprint=9f1a2b3c4d5e6f70 ...
+//! record lease=7 line=case\s3\sat=170000000000\s...
+//! ```
+//!
+//! So a captured stream is readable with `xxd`, a frame is greppable, and
+//! the same escaping that protects solver error messages in journals
+//! protects them here. Forward compatibility mirrors the journal too:
+//! unknown keys in a known frame are ignored, and a frame with an unknown
+//! kind token parses as [`Frame::Unknown`] so old peers tolerate (and
+//! skip) messages introduced by newer ones. Only *structural* damage — a
+//! truncated frame, an oversized length prefix, a missing required key —
+//! is an error.
+
+use amsfi_engine::journal::{escape, unescape};
+use amsfi_engine::Shard;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Protocol revision negotiated in `hello`/`welcome`. Bumped only for
+/// incompatible changes; additive frames and keys do not bump it.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on an encoded payload. A frame is one record or one status
+/// page, never bulk data, so anything larger is a corrupt or hostile
+/// length prefix and the connection is dropped rather than the allocation
+/// attempted.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Every message either side can send. See the module docs for framing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → coordinator: first frame on a worker connection.
+    Hello {
+        /// Worker's self-chosen display name (hostname-pid by default).
+        worker: String,
+        /// The worker's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Coordinator → worker: handshake reply.
+    Welcome {
+        /// Coordinator's display name.
+        server: String,
+        /// The coordinator's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Client → coordinator: submit a named campaign for distributed
+    /// execution.
+    Submit {
+        /// Catalog name of the campaign (e.g. `pll-sweep`).
+        campaign: String,
+        /// How many shards to split the case list into.
+        shards: usize,
+        /// Optional cap on the number of cases (`--limit`).
+        limit: Option<usize>,
+        /// Run workers with checkpoint-forked simulation.
+        checkpoint: bool,
+        /// Run workers with early-abort online classification.
+        early_abort: bool,
+    },
+    /// Coordinator → client: the campaign was accepted and sharded.
+    Submitted {
+        /// Coordinator-assigned campaign id.
+        id: u64,
+        /// Campaign name as resolved by the coordinator's catalog.
+        name: String,
+        /// Total cases in the campaign.
+        cases: usize,
+        /// Number of shards it was split into.
+        shards: usize,
+        /// Campaign fingerprint (journal-header identity).
+        fingerprint: u64,
+    },
+    /// Worker → coordinator: give me a shard.
+    LeaseRequest,
+    /// Coordinator → worker: a shard lease. The worker must heartbeat or
+    /// stream records within the coordinator's lease timeout or the shard
+    /// is reclaimed and the lease id invalidated.
+    Lease {
+        /// Lease id; quoted on every record/heartbeat for this shard.
+        lease: u64,
+        /// Campaign id the shard belongs to.
+        campaign: u64,
+        /// Campaign catalog name; the worker rebuilds the case list from
+        /// this and must match `cases`/`fingerprint` or abort the lease.
+        name: String,
+        /// The shard of the case list to execute.
+        shard: Shard,
+        /// Total cases in the (unsharded) campaign.
+        cases: usize,
+        /// Expected campaign fingerprint.
+        fingerprint: u64,
+        /// Case-list cap the campaign was submitted with.
+        limit: Option<usize>,
+        /// Execute with checkpoint forking.
+        checkpoint: bool,
+        /// Execute with early-abort classification.
+        early_abort: bool,
+        /// Case indices already merged by the coordinator (from a dead
+        /// predecessor's partial run): the worker must not re-run these.
+        done: Vec<usize>,
+    },
+    /// Coordinator → worker: no shard available right now.
+    NoWork {
+        /// Suggested poll delay before the next `lease_req`.
+        retry_ms: u64,
+        /// True once every submitted campaign has completed — a worker
+        /// running with `--exit-when-done` disconnects on seeing this.
+        drained: bool,
+    },
+    /// Worker → coordinator (fire-and-forget): one finished case, as the
+    /// exact journal v2 record line the engine would have written locally.
+    Record {
+        /// The lease this record belongs to.
+        lease: u64,
+        /// The journal v2 record line (no trailing newline).
+        line: String,
+    },
+    /// Worker → coordinator (fire-and-forget): lease keep-alive while a
+    /// long case simulates.
+    Heartbeat {
+        /// The lease being kept alive.
+        lease: u64,
+    },
+    /// Worker → coordinator (fire-and-forget): every case in the leased
+    /// shard has been streamed.
+    ShardDone {
+        /// The finished lease.
+        lease: u64,
+    },
+    /// Worker → coordinator (fire-and-forget): the worker cannot run this
+    /// shard (campaign mismatch, engine failure); re-lease it elsewhere.
+    ShardAbort {
+        /// The abandoned lease.
+        lease: u64,
+        /// Why, for the coordinator's log.
+        reason: String,
+    },
+    /// Client → coordinator: describe yourself (read-only).
+    StatusRequest,
+    /// Coordinator → client: current campaigns, shards, workers, leases.
+    Status {
+        /// Campaigns submitted so far.
+        campaigns: usize,
+        /// Workers currently connected.
+        workers: usize,
+        /// Distinct cases merged across all campaigns.
+        merged: u64,
+        /// True once every submitted campaign has completed.
+        drained: bool,
+        /// Human-readable multi-line status page.
+        body: String,
+    },
+    /// Either direction: the previous request was refused.
+    Error {
+        /// Why.
+        reason: String,
+    },
+    /// Clean disconnect announcement (optional; EOF is also legal).
+    Bye,
+    /// A frame whose kind token this peer does not know. Carried instead
+    /// of erroring so old peers skip messages from newer ones.
+    Unknown {
+        /// The unrecognised kind token.
+        kind: String,
+    },
+}
+
+/// Why a payload failed to parse or a frame failed to cross the wire.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Empty payload.
+    Empty,
+    /// Known kind, but a required key is missing or a value is malformed.
+    Malformed {
+        /// The frame kind being parsed.
+        kind: String,
+        /// What was wrong.
+        why: String,
+    },
+    /// Length prefix exceeds [`MAX_FRAME_LEN`] (corrupt or hostile peer).
+    TooLarge(usize),
+    /// Socket failure, including `UnexpectedEof` on a truncated frame.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Empty => write!(f, "empty frame"),
+            ProtoError::Malformed { kind, why } => write!(f, "malformed {kind} frame: {why}"),
+            ProtoError::TooLarge(len) => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME_LEN}")
+            }
+            ProtoError::Io(e) => write!(f, "protocol i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+fn opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "-".to_owned(), |n| n.to_string())
+}
+
+fn bool01(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+fn indices(done: &[usize]) -> String {
+    if done.is_empty() {
+        "-".to_owned()
+    } else {
+        done.iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl Frame {
+    /// The kind token this frame encodes as.
+    pub fn kind(&self) -> &str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Welcome { .. } => "welcome",
+            Frame::Submit { .. } => "submit",
+            Frame::Submitted { .. } => "submitted",
+            Frame::LeaseRequest => "lease_req",
+            Frame::Lease { .. } => "lease",
+            Frame::NoWork { .. } => "no_work",
+            Frame::Record { .. } => "record",
+            Frame::Heartbeat { .. } => "heartbeat",
+            Frame::ShardDone { .. } => "shard_done",
+            Frame::ShardAbort { .. } => "shard_abort",
+            Frame::StatusRequest => "status_req",
+            Frame::Status { .. } => "status",
+            Frame::Error { .. } => "error",
+            Frame::Bye => "bye",
+            Frame::Unknown { kind } => kind,
+        }
+    }
+
+    /// Encodes the frame payload (without the length prefix).
+    pub fn encode(&self) -> String {
+        match self {
+            Frame::Hello { worker, protocol } => {
+                format!("hello worker={} protocol={protocol}", escape(worker))
+            }
+            Frame::Welcome { server, protocol } => {
+                format!("welcome server={} protocol={protocol}", escape(server))
+            }
+            Frame::Submit {
+                campaign,
+                shards,
+                limit,
+                checkpoint,
+                early_abort,
+            } => format!(
+                "submit campaign={} shards={shards} limit={} checkpoint={} early_abort={}",
+                escape(campaign),
+                opt_usize(*limit),
+                bool01(*checkpoint),
+                bool01(*early_abort),
+            ),
+            Frame::Submitted {
+                id,
+                name,
+                cases,
+                shards,
+                fingerprint,
+            } => format!(
+                "submitted id={id} name={} cases={cases} shards={shards} fingerprint={fingerprint:016x}",
+                escape(name),
+            ),
+            Frame::LeaseRequest => "lease_req".to_owned(),
+            Frame::Lease {
+                lease,
+                campaign,
+                name,
+                shard,
+                cases,
+                fingerprint,
+                limit,
+                checkpoint,
+                early_abort,
+                done,
+            } => format!(
+                "lease id={lease} campaign={campaign} name={} shard={shard} cases={cases} \
+                 fingerprint={fingerprint:016x} limit={} checkpoint={} early_abort={} done={}",
+                escape(name),
+                opt_usize(*limit),
+                bool01(*checkpoint),
+                bool01(*early_abort),
+                indices(done),
+            ),
+            Frame::NoWork { retry_ms, drained } => {
+                format!("no_work retry_ms={retry_ms} drained={}", bool01(*drained))
+            }
+            Frame::Record { lease, line } => {
+                format!("record lease={lease} line={}", escape(line))
+            }
+            Frame::Heartbeat { lease } => format!("heartbeat lease={lease}"),
+            Frame::ShardDone { lease } => format!("shard_done lease={lease}"),
+            Frame::ShardAbort { lease, reason } => {
+                format!("shard_abort lease={lease} reason={}", escape(reason))
+            }
+            Frame::StatusRequest => "status_req".to_owned(),
+            Frame::Status {
+                campaigns,
+                workers,
+                merged,
+                drained,
+                body,
+            } => format!(
+                "status campaigns={campaigns} workers={workers} merged={merged} drained={} body={}",
+                bool01(*drained),
+                escape(body),
+            ),
+            Frame::Error { reason } => format!("error reason={}", escape(reason)),
+            Frame::Bye => "bye".to_owned(),
+            Frame::Unknown { kind } => kind.clone(),
+        }
+    }
+
+    /// Parses one frame payload. Unknown kind tokens yield
+    /// [`Frame::Unknown`]; unknown keys inside a known frame are ignored.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtoError`].
+    pub fn parse(payload: &str) -> Result<Frame, ProtoError> {
+        let mut tokens = payload.split_whitespace();
+        let kind = tokens.next().ok_or(ProtoError::Empty)?;
+        let mut fields = Fields::new(kind);
+        for token in tokens {
+            if let Some((key, value)) = token.split_once('=') {
+                fields.insert(key, value);
+            }
+            // A bare token in a known frame is tolerated like an unknown
+            // key: future revisions may add flag tokens.
+        }
+        let f = &fields;
+        Ok(match kind {
+            "hello" => Frame::Hello {
+                worker: f.text("worker")?,
+                protocol: f.num("protocol")?,
+            },
+            "welcome" => Frame::Welcome {
+                server: f.text("server")?,
+                protocol: f.num("protocol")?,
+            },
+            "submit" => Frame::Submit {
+                campaign: f.text("campaign")?,
+                shards: f.num("shards")?,
+                limit: f.opt_num("limit")?,
+                checkpoint: f.flag("checkpoint")?,
+                early_abort: f.flag("early_abort")?,
+            },
+            "submitted" => Frame::Submitted {
+                id: f.num("id")?,
+                name: f.text("name")?,
+                cases: f.num("cases")?,
+                shards: f.num("shards")?,
+                fingerprint: f.hex("fingerprint")?,
+            },
+            "lease_req" => Frame::LeaseRequest,
+            "lease" => Frame::Lease {
+                lease: f.num("id")?,
+                campaign: f.num("campaign")?,
+                name: f.text("name")?,
+                shard: f.shard("shard")?,
+                cases: f.num("cases")?,
+                fingerprint: f.hex("fingerprint")?,
+                limit: f.opt_num("limit")?,
+                checkpoint: f.flag("checkpoint")?,
+                early_abort: f.flag("early_abort")?,
+                done: f.indices("done")?,
+            },
+            "no_work" => Frame::NoWork {
+                retry_ms: f.num("retry_ms")?,
+                drained: f.flag("drained")?,
+            },
+            "record" => Frame::Record {
+                lease: f.num("lease")?,
+                line: f.text("line")?,
+            },
+            "heartbeat" => Frame::Heartbeat {
+                lease: f.num("lease")?,
+            },
+            "shard_done" => Frame::ShardDone {
+                lease: f.num("lease")?,
+            },
+            "shard_abort" => Frame::ShardAbort {
+                lease: f.num("lease")?,
+                reason: f.text("reason")?,
+            },
+            "status_req" => Frame::StatusRequest,
+            "status" => Frame::Status {
+                campaigns: f.num("campaigns")?,
+                workers: f.num("workers")?,
+                merged: f.num("merged")?,
+                drained: f.flag("drained")?,
+                body: f.text("body")?,
+            },
+            "error" => Frame::Error {
+                reason: f.text("reason")?,
+            },
+            "bye" => Frame::Bye,
+            other => Frame::Unknown {
+                kind: other.to_owned(),
+            },
+        })
+    }
+}
+
+/// `key=value` accessor with frame-kind-aware error messages.
+struct Fields<'a> {
+    kind: &'a str,
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(kind: &'a str) -> Self {
+        Fields {
+            kind,
+            pairs: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, key: &'a str, value: &'a str) {
+        self.pairs.push((key, value));
+    }
+
+    fn bad(&self, why: String) -> ProtoError {
+        ProtoError::Malformed {
+            kind: self.kind.to_owned(),
+            why,
+        }
+    }
+
+    fn raw(&self, key: &str) -> Result<&'a str, ProtoError> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| self.bad(format!("missing key {key:?}")))
+    }
+
+    fn text(&self, key: &str) -> Result<String, ProtoError> {
+        unescape(self.raw(key)?).ok_or_else(|| self.bad(format!("bad escape in {key:?}")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, ProtoError> {
+        self.raw(key)?
+            .parse()
+            .map_err(|_| self.bad(format!("non-numeric {key:?}")))
+    }
+
+    fn hex(&self, key: &str) -> Result<u64, ProtoError> {
+        u64::from_str_radix(self.raw(key)?, 16).map_err(|_| self.bad(format!("non-hex {key:?}")))
+    }
+
+    fn flag(&self, key: &str) -> Result<bool, ProtoError> {
+        match self.raw(key)? {
+            "1" => Ok(true),
+            "0" => Ok(false),
+            other => Err(self.bad(format!("bad flag {key:?}={other:?}"))),
+        }
+    }
+
+    fn opt_num(&self, key: &str) -> Result<Option<usize>, ProtoError> {
+        match self.raw(key)? {
+            "-" => Ok(None),
+            v => v
+                .parse()
+                .map(Some)
+                .map_err(|_| self.bad(format!("non-numeric {key:?}"))),
+        }
+    }
+
+    fn shard(&self, key: &str) -> Result<Shard, ProtoError> {
+        self.raw(key)?
+            .parse()
+            .map_err(|e| self.bad(format!("bad {key:?}: {e}")))
+    }
+
+    fn indices(&self, key: &str) -> Result<Vec<usize>, ProtoError> {
+        match self.raw(key)? {
+            "-" => Ok(Vec::new()),
+            v => v
+                .split(',')
+                .map(|s| s.parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|_| self.bad(format!("bad index list {key:?}"))),
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates socket errors; refuses to send a payload over
+/// [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), ProtoError> {
+    let payload = frame.encode();
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ProtoError::TooLarge(payload.len()));
+    }
+    let len = u32::try_from(payload.len()).expect("frame cap fits u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Blocks until a full frame arrives.
+///
+/// # Errors
+///
+/// [`ProtoError::Io`] with `UnexpectedEof` on a closed or truncated
+/// stream, [`ProtoError::TooLarge`] on a corrupt length prefix, parse
+/// errors as [`ProtoError::Malformed`]. Invalid UTF-8 in the payload is
+/// replaced rather than fatal, mirroring journal loading.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Frame::parse(&String::from_utf8_lossy(&payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &Frame) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, frame).unwrap();
+        let back = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(&back, frame, "payload was {:?}", frame.encode());
+    }
+
+    #[test]
+    fn representative_frames_round_trip() {
+        round_trip(&Frame::Hello {
+            worker: "host-1234 (lab)".to_owned(),
+            protocol: PROTOCOL_VERSION,
+        });
+        round_trip(&Frame::Lease {
+            lease: 7,
+            campaign: 1,
+            name: "pll sweep|v2".to_owned(),
+            shard: "2/4".parse().unwrap(),
+            cases: 24,
+            fingerprint: 0x9f1a_2b3c_4d5e_6f70,
+            limit: Some(10),
+            checkpoint: true,
+            early_abort: false,
+            done: vec![2, 6, 10],
+        });
+        round_trip(&Frame::Record {
+            lease: 7,
+            line: "case 3 at=17 class=transient label=(8\\smA)".to_owned(),
+        });
+        round_trip(&Frame::NoWork {
+            retry_ms: 250,
+            drained: true,
+        });
+    }
+
+    #[test]
+    fn unknown_kind_is_tolerated() {
+        let mut wire = Vec::new();
+        let payload = b"rebalance epoch=3";
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(payload);
+        match read_frame(&mut wire.as_slice()).unwrap() {
+            Frame::Unknown { kind } => assert_eq!(kind, "rebalance"),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error_not_a_panic() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Heartbeat { lease: 9 }).unwrap();
+        for cut in 0..wire.len() {
+            match read_frame(&mut &wire[..cut]) {
+                Err(ProtoError::Io(e)) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+                }
+                other => panic!("cut at {cut}: expected EOF error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(b"junk");
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ProtoError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn missing_required_key_is_malformed() {
+        let err = Frame::parse("lease id=1 campaign=1").unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_in_known_frames_are_ignored() {
+        let frame = Frame::parse("heartbeat lease=4 jitter_us=88 turbo").unwrap();
+        assert_eq!(frame, Frame::Heartbeat { lease: 4 });
+    }
+}

@@ -1,0 +1,376 @@
+//! The campaign worker: leases shards from a coordinator, executes them
+//! through the unchanged engine (checkpoint forking, guards, early abort,
+//! quarantine all apply), and streams every finished case's journal
+//! record back as it happens.
+//!
+//! The worker is deliberately stateless: it writes no journal of its own.
+//! Its entire output is the record stream, formatted by the same
+//! [`journal`](amsfi_engine::journal) line formatters a local run uses —
+//! which is what lets the coordinator's merged journal come out
+//! byte-identical to a single-process run.
+//!
+//! Before running a lease, the worker rebuilds the campaign from its own
+//! catalog and checks the case count and fingerprint against the lease.
+//! A mismatch (same name, different fault list — e.g. a worker built from
+//! a different revision) aborts the lease with a `shard_abort` so the
+//! coordinator can place it on a compatible worker, and fails the worker
+//! process: every lease for that campaign would fail the same way.
+
+use crate::proto::{self, Frame, ProtoError, PROTOCOL_VERSION};
+use crate::CampaignSource;
+use amsfi_engine::{Engine, EngineConfig, Event, RecordSink, Telemetry};
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning and wiring for [`run`].
+pub struct WorkerConfig {
+    /// Coordinator address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Display name announced in the handshake.
+    pub name: String,
+    /// Engine worker threads per shard (`0`: one per core).
+    pub threads: usize,
+    /// Upper bound on the sleep between lease polls (the coordinator's
+    /// `retry_ms` hint is respected up to this cap).
+    pub poll: Duration,
+    /// Lease keep-alive interval while a shard runs. Must be well under
+    /// the coordinator's lease timeout.
+    pub heartbeat: Duration,
+    /// Exit cleanly when the coordinator reports all campaigns complete,
+    /// instead of polling for future submissions.
+    pub exit_when_done: bool,
+    /// Stop after this many completed shards (tests; `None`: unlimited).
+    pub max_shards: Option<usize>,
+    /// Structured event sink.
+    pub telemetry: Telemetry,
+    /// Resolves leased campaign names to case lists; must agree with the
+    /// coordinator's catalog (enforced by fingerprint).
+    pub source: CampaignSource,
+}
+
+impl WorkerConfig {
+    /// Defaults: 250 ms poll cap, 1 s heartbeat, run until the
+    /// coordinator drains.
+    pub fn new(addr: impl Into<String>, source: CampaignSource) -> Self {
+        WorkerConfig {
+            addr: addr.into(),
+            name: format!("worker-{}", std::process::id()),
+            threads: 0,
+            poll: Duration::from_millis(250),
+            heartbeat: Duration::from_secs(1),
+            exit_when_done: true,
+            max_shards: None,
+            telemetry: Telemetry::disabled(),
+            source,
+        }
+    }
+}
+
+impl fmt::Debug for WorkerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerConfig")
+            .field("addr", &self.addr)
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a worker did over its lifetime, reported on clean exit.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerReport {
+    /// Shards leased, executed and acknowledged with `shard_done`.
+    pub shards_completed: usize,
+    /// Cases this worker classified (excludes `done` carry-over).
+    pub cases_executed: usize,
+    /// Journal record frames streamed to the coordinator.
+    pub records_streamed: u64,
+}
+
+/// Fatal worker errors. Everything here ends the worker process; per-case
+/// trouble is handled inside the engine (retry, skip, quarantine) and
+/// reported through the record stream instead.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Socket or protocol failure talking to the coordinator.
+    Proto(ProtoError),
+    /// The coordinator refused the handshake or a request.
+    Rejected(String),
+    /// The leased campaign does not match this worker's catalog.
+    CampaignMismatch {
+        /// Campaign name from the lease.
+        name: String,
+        /// Why the local rebuild does not match.
+        why: String,
+    },
+    /// The engine failed fatally on a leased shard.
+    Engine(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Proto(e) => write!(f, "coordinator link: {e}"),
+            WorkerError::Rejected(reason) => write!(f, "coordinator refused: {reason}"),
+            WorkerError::CampaignMismatch { name, why } => {
+                write!(f, "campaign {name:?} mismatch: {why}")
+            }
+            WorkerError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<ProtoError> for WorkerError {
+    fn from(e: ProtoError) -> Self {
+        WorkerError::Proto(e)
+    }
+}
+
+impl From<io::Error> for WorkerError {
+    fn from(e: io::Error) -> Self {
+        WorkerError::Proto(ProtoError::Io(e))
+    }
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), ProtoError> {
+    let mut w = writer.lock().expect("worker writer poisoned");
+    proto::write_frame(&mut *w, frame)
+}
+
+/// Connects to the coordinator and works until drained (or
+/// `max_shards`). Blocking; run it on the process's main thread.
+///
+/// # Errors
+///
+/// See [`WorkerError`].
+pub fn run(cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone().map_err(ProtoError::Io)?;
+    // Writes come from three places — the lease loop, the engine's record
+    // sink (many threads), and the heartbeat thread — so the write half
+    // lives behind a mutex. Reads happen only from this thread, strictly
+    // as replies to requests it sent, so the protocol never deadlocks.
+    let writer = Arc::new(Mutex::new(stream));
+
+    send(
+        &writer,
+        &Frame::Hello {
+            worker: cfg.name.clone(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )?;
+    match proto::read_frame(&mut reader)? {
+        Frame::Welcome { protocol, .. } if protocol == PROTOCOL_VERSION => {}
+        Frame::Welcome { protocol, .. } => {
+            return Err(WorkerError::Rejected(format!(
+                "coordinator speaks protocol {protocol}, this worker speaks {PROTOCOL_VERSION}"
+            )));
+        }
+        Frame::Error { reason } => return Err(WorkerError::Rejected(reason)),
+        other => {
+            return Err(WorkerError::Rejected(format!(
+                "expected welcome, got {}",
+                other.kind()
+            )));
+        }
+    }
+
+    let mut report = WorkerReport::default();
+    loop {
+        if cfg
+            .max_shards
+            .is_some_and(|max| report.shards_completed >= max)
+        {
+            break;
+        }
+        send(&writer, &Frame::LeaseRequest)?;
+        match proto::read_frame(&mut reader)? {
+            Frame::NoWork { retry_ms, drained } => {
+                if drained && cfg.exit_when_done {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(retry_ms).min(cfg.poll));
+            }
+            Frame::Lease {
+                lease,
+                campaign,
+                name,
+                shard,
+                cases,
+                fingerprint,
+                limit,
+                checkpoint,
+                early_abort,
+                done,
+            } => {
+                cfg.telemetry.emit_with(|| {
+                    Event::new("serve", "worker_lease")
+                        .with_field("lease", lease)
+                        .with_field("campaign", campaign)
+                        .with_field("shard", shard)
+                });
+                run_lease(
+                    &cfg,
+                    &writer,
+                    lease,
+                    &name,
+                    shard,
+                    cases,
+                    fingerprint,
+                    limit,
+                    checkpoint,
+                    early_abort,
+                    &done,
+                    &mut report,
+                )?;
+            }
+            Frame::Error { reason } => return Err(WorkerError::Rejected(reason)),
+            // A frame from a newer coordinator we don't understand: ask
+            // again rather than dying.
+            _ => {}
+        }
+    }
+    send(&writer, &Frame::Bye).ok();
+    cfg.telemetry.flush();
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing for one lease
+fn run_lease(
+    cfg: &WorkerConfig,
+    writer: &Arc<Mutex<TcpStream>>,
+    lease: u64,
+    name: &str,
+    shard: amsfi_engine::Shard,
+    cases: usize,
+    fingerprint: u64,
+    limit: Option<usize>,
+    checkpoint: bool,
+    early_abort: bool,
+    done: &[usize],
+    report: &mut WorkerReport,
+) -> Result<(), WorkerError> {
+    let abort = |why: String| -> Result<(), WorkerError> {
+        send(
+            writer,
+            &Frame::ShardAbort {
+                lease,
+                reason: why.clone(),
+            },
+        )
+        .ok();
+        Err(WorkerError::CampaignMismatch {
+            name: name.to_owned(),
+            why,
+        })
+    };
+
+    let Some(campaign) = (cfg.source)(name, limit) else {
+        return abort(format!("campaign {name:?} not in this worker's catalog"));
+    };
+    let meta = campaign.meta();
+    if meta.cases != cases || meta.fingerprint != fingerprint {
+        return abort(format!(
+            "lease says {cases} cases fingerprint {fingerprint:016x}, local catalog builds \
+             {} cases fingerprint {:016x} — worker and coordinator disagree about the fault list",
+            meta.cases, meta.fingerprint,
+        ));
+    }
+
+    // Stream every finished case to the coordinator the instant its
+    // journal line is formatted. Failures cannot propagate out of the
+    // sink closure, so they raise a flag checked after the run.
+    let link_broken = Arc::new(AtomicBool::new(false));
+    let streamed = Arc::new(AtomicU64::new(0));
+    let sink = {
+        let writer = Arc::clone(writer);
+        let link_broken = Arc::clone(&link_broken);
+        let streamed = Arc::clone(&streamed);
+        RecordSink::new(move |_, line| {
+            let frame = Frame::Record {
+                lease,
+                line: line.to_owned(),
+            };
+            if send(&writer, &frame).is_err() {
+                link_broken.store(true, Ordering::Relaxed);
+            } else {
+                streamed.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+
+    // Keep the lease alive through cases that simulate longer than the
+    // coordinator's lease timeout.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb = {
+        let writer = Arc::clone(writer);
+        let stop = Arc::clone(&hb_stop);
+        let interval = cfg.heartbeat;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                send(&writer, &Frame::Heartbeat { lease }).ok();
+            }
+        })
+    };
+
+    let engine_cfg = EngineConfig::default()
+        .with_workers(cfg.threads)
+        .with_shard(shard)
+        .with_checkpoint(checkpoint)
+        .with_early_abort(early_abort)
+        .with_telemetry(cfg.telemetry.clone())
+        .with_record_sink(sink)
+        .with_completed(done.to_vec());
+    let outcome = Engine::new(engine_cfg).run(&campaign);
+
+    hb_stop.store(true, Ordering::Relaxed);
+    hb.join().ok();
+    report.records_streamed += streamed.load(Ordering::Relaxed);
+
+    match outcome {
+        Ok(engine_report) => {
+            if link_broken.load(Ordering::Relaxed) {
+                return Err(WorkerError::Proto(ProtoError::Io(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "record stream to coordinator failed mid-shard",
+                ))));
+            }
+            send(writer, &Frame::ShardDone { lease })?;
+            report.shards_completed += 1;
+            report.cases_executed += (engine_report.result.cases.len()
+                + engine_report.skipped.len()
+                + engine_report.quarantined.len())
+            .saturating_sub(engine_report.resumed);
+            cfg.telemetry.emit_with(|| {
+                Event::new("serve", "worker_shard_done")
+                    .with_field("lease", lease)
+                    .with_field("cases", engine_report.result.cases.len())
+            });
+            Ok(())
+        }
+        Err(e) => {
+            // Fatal engine errors (golden-run failure, journal trouble)
+            // are not shard-specific flakes: hand the shard back and die
+            // loudly rather than silently re-leasing and failing forever.
+            send(
+                writer,
+                &Frame::ShardAbort {
+                    lease,
+                    reason: e.to_string(),
+                },
+            )
+            .ok();
+            Err(WorkerError::Engine(e.to_string()))
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! End-to-end tests of the distributed campaign service over loopback
+//! TCP: a coordinator plus in-process workers run a deterministic toy
+//! campaign, a zombie worker is killed mid-shard, and the final merged
+//! journal must match a single-process run **byte for byte**.
+
+use amsfi_core::{ClassifySpec, FaultCase};
+use amsfi_engine::journal::{self, JournalEntry};
+use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig, RecordSink, Stage};
+use amsfi_serve::proto::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use amsfi_serve::{CampaignSource, Coordinator, CoordinatorConfig, WorkerConfig};
+use amsfi_waves::{Logic, Time, Trace};
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A fast, fully deterministic campaign: index 4 sticks (failure), odd
+/// indices glitch and recover (transient), the rest are untouched
+/// (no-effect). Same shape as the engine's own executor tests.
+fn toy_campaign(n: usize) -> Campaign {
+    let window = (Time::from_ns(0), Time::from_ns(1000));
+    let spec = ClassifySpec::new(window, vec!["out".to_owned()]);
+    let cases = (0..n)
+        .map(|i| FaultCase::new(format!("bit{i}"), Time::from_ns(100)))
+        .collect();
+    Campaign {
+        name: "toy".to_owned(),
+        spec,
+        cases,
+        runner: Arc::new(|ctx: &CaseCtx| {
+            ctx.stage(Stage::Build);
+            let mut trace = Trace::new();
+            trace.record_digital("out", Time::from_ns(0), Logic::Zero)?;
+            ctx.stage(Stage::Simulate);
+            match ctx.index() {
+                None => {}
+                Some(4) => {
+                    trace.record_digital("out", Time::from_ns(200), Logic::One)?;
+                }
+                Some(i) if i % 2 == 1 => {
+                    trace.record_digital("out", Time::from_ns(200), Logic::One)?;
+                    trace.record_digital("out", Time::from_ns(400), Logic::Zero)?;
+                }
+                Some(_) => {}
+            }
+            Ok(trace)
+        }),
+        fork: None,
+    }
+}
+
+fn toy_source(n: usize) -> CampaignSource {
+    Arc::new(move |name, limit| {
+        (name == "toy").then(|| {
+            let mut campaign = toy_campaign(n);
+            if let Some(limit) = limit {
+                campaign.cases.truncate(limit);
+            }
+            campaign
+        })
+    })
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("amsfi-serve-test-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the campaign in one process and returns (per-index record lines,
+/// canonical cases.csv) — the golden references the distributed run must
+/// reproduce exactly.
+fn single_process_reference(n: usize) -> (BTreeMap<usize, String>, String) {
+    let lines: Arc<Mutex<BTreeMap<usize, String>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = {
+        let lines = Arc::clone(&lines);
+        RecordSink::new(move |index, line| {
+            lines.lock().unwrap().insert(index, line.to_owned());
+        })
+    };
+    let report = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_record_sink(sink),
+    )
+    .run(&toy_campaign(n))
+    .expect("single-process reference run");
+    assert_eq!(report.result.cases.len(), n);
+    let csv = amsfi_core::report::cases_csv(&report.result);
+    let lines = Arc::try_unwrap(lines).unwrap().into_inner().unwrap();
+    assert_eq!(lines.len(), n);
+    (lines, csv)
+}
+
+/// Loads the coordinator's merged journal and renders the same canonical
+/// cases.csv a local `amsfi merge --out` would produce.
+fn merged_csv(journal_path: &Path, expect_cases: usize) -> String {
+    let (meta, entries) = journal::load(journal_path).expect("merged journal loads");
+    assert_eq!(meta.cases, expect_cases);
+    assert_eq!(entries.len(), expect_cases, "all cases merged");
+    assert!(
+        entries.values().all(|e| matches!(e, JournalEntry::Done(_))),
+        "no skips or quarantines expected from the toy campaign"
+    );
+    let (result, skipped, quarantined) = journal::assemble(&entries);
+    assert!(skipped.is_empty() && quarantined.is_empty());
+    amsfi_core::report::cases_csv(&result)
+}
+
+fn wait_until(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !pred() {
+        assert!(
+            start.elapsed() < timeout,
+            "timed out after {timeout:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+struct Cluster {
+    coordinator: Arc<Coordinator>,
+    addr: String,
+    run: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start_cluster(cfg: CoordinatorConfig) -> Cluster {
+    let coordinator = Arc::new(Coordinator::bind("127.0.0.1:0", cfg).expect("bind loopback"));
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let run = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.run())
+    };
+    Cluster {
+        coordinator,
+        addr,
+        run,
+    }
+}
+
+fn worker_config(addr: &str, name: &str, n: usize) -> WorkerConfig {
+    let mut cfg = WorkerConfig::new(addr, toy_source(n));
+    cfg.name = name.to_owned();
+    cfg.threads = 2;
+    cfg.poll = Duration::from_millis(20);
+    cfg.heartbeat = Duration::from_millis(50);
+    cfg.exit_when_done = true;
+    cfg
+}
+
+#[test]
+fn two_workers_produce_a_byte_identical_merged_report() {
+    const CASES: usize = 12;
+    let (_, reference_csv) = single_process_reference(CASES);
+
+    let dir = unique_dir("identical");
+    let mut cfg = CoordinatorConfig::new(&dir, toy_source(CASES));
+    cfg.until_drained = true;
+    cfg.lease_timeout = Duration::from_secs(5);
+    cfg.reap_interval = Duration::from_millis(50);
+    cfg.retry_ms = 20;
+    let cluster = start_cluster(cfg);
+    let info = cluster
+        .coordinator
+        .submit("toy", 3, None, false, false)
+        .expect("submit toy campaign");
+    assert_eq!(info.cases, CASES);
+    assert_eq!(info.shards, 3);
+
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let cfg = worker_config(&cluster.addr, &format!("w{i}"), CASES);
+            std::thread::spawn(move || amsfi_serve::worker::run(cfg))
+        })
+        .collect();
+    for worker in workers {
+        let report = worker.join().unwrap().expect("worker runs cleanly");
+        assert!(report.records_streamed > 0 || report.shards_completed == 0);
+    }
+    cluster.run.join().unwrap().expect("coordinator drains");
+    assert!(cluster.coordinator.drained());
+
+    assert_eq!(merged_csv(&info.journal, CASES), reference_csv);
+
+    let metrics = cluster.coordinator.metrics();
+    assert_eq!(metrics.shards_completed.get(), 3);
+    assert_eq!(metrics.cases_merged.get(), CASES as u64);
+    assert_eq!(metrics.campaigns_completed.get(), 1);
+    assert_eq!(metrics.lease_timeouts.get(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The worker-death drill: a zombie leases a shard, streams exactly one
+/// record, then goes silent while keeping its socket open. The lease
+/// must time out, the shard must be re-leased carrying the merged case
+/// as `done`, and the final report must still be byte-identical with no
+/// case double-counted.
+#[test]
+fn killed_worker_lease_times_out_and_shard_resumes_without_double_count() {
+    const CASES: usize = 12;
+    let (reference_lines, reference_csv) = single_process_reference(CASES);
+
+    let dir = unique_dir("zombie");
+    let mut cfg = CoordinatorConfig::new(&dir, toy_source(CASES));
+    cfg.until_drained = true;
+    cfg.lease_timeout = Duration::from_millis(250);
+    cfg.reap_interval = Duration::from_millis(25);
+    cfg.retry_ms = 20;
+    let cluster = start_cluster(cfg);
+    let info = cluster
+        .coordinator
+        .submit("toy", 2, None, false, false)
+        .expect("submit toy campaign");
+
+    // The zombie speaks the protocol by hand so it can die mid-shard.
+    let mut zombie = TcpStream::connect(&cluster.addr).expect("zombie connects");
+    write_frame(
+        &mut zombie,
+        &Frame::Hello {
+            worker: "zombie".to_owned(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame(&mut zombie).unwrap(),
+        Frame::Welcome { .. }
+    ));
+    write_frame(&mut zombie, &Frame::LeaseRequest).unwrap();
+    let (lease, shard) = match read_frame(&mut zombie).unwrap() {
+        Frame::Lease {
+            lease, shard, done, ..
+        } => {
+            assert!(done.is_empty(), "fresh shard has no completed cases");
+            (lease, shard)
+        }
+        other => panic!("expected a lease, got {other:?}"),
+    };
+    // Stream one genuine record — the same line a healthy worker would
+    // send for this case — then go silent without closing the socket.
+    let first_case = shard.case_indices(CASES).next().unwrap();
+    write_frame(
+        &mut zombie,
+        &Frame::Record {
+            lease,
+            line: reference_lines[&first_case].clone(),
+        },
+    )
+    .unwrap();
+
+    let metrics = cluster.coordinator.metrics();
+    wait_until(
+        "the zombie's lease to time out",
+        Duration::from_secs(10),
+        || metrics.lease_timeouts.get() >= 1,
+    );
+    assert!(metrics.shards_resharded.get() >= 1);
+    assert_eq!(metrics.cases_merged.get(), 1, "the zombie's record merged");
+
+    // A healthy worker now finishes the campaign, resuming the orphaned
+    // shard (its lease arrives with the zombie's case marked done).
+    let worker = {
+        let cfg = worker_config(&cluster.addr, "survivor", CASES);
+        std::thread::spawn(move || amsfi_serve::worker::run(cfg))
+    };
+    let report = worker.join().unwrap().expect("survivor runs cleanly");
+    assert_eq!(report.shards_completed, 2);
+    assert_eq!(
+        report.cases_executed,
+        CASES - 1,
+        "the zombie's case must not be re-run"
+    );
+    cluster.run.join().unwrap().expect("coordinator drains");
+    drop(zombie);
+
+    // Byte-identity survives the death: same merged csv as one process.
+    assert_eq!(merged_csv(&info.journal, CASES), reference_csv);
+
+    // No double count anywhere: every case has exactly one journal line.
+    let text = std::fs::read_to_string(&info.journal).unwrap();
+    let case_lines = text.lines().filter(|l| l.starts_with("case ")).count();
+    assert_eq!(case_lines, CASES, "one journal record per case:\n{text}");
+    assert_eq!(metrics.cases_merged.get(), CASES as u64);
+    assert!(metrics.lease_timeouts.get() >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Remote submission and the read-only status query, over the wire.
+#[test]
+fn submit_and_status_frames_drive_a_campaign_remotely() {
+    const CASES: usize = 6;
+    let dir = unique_dir("remote");
+    let mut cfg = CoordinatorConfig::new(&dir, toy_source(CASES));
+    cfg.retry_ms = 20;
+    let cluster = start_cluster(cfg);
+
+    let mut client = TcpStream::connect(&cluster.addr).unwrap();
+    write_frame(
+        &mut client,
+        &Frame::Submit {
+            campaign: "toy".to_owned(),
+            shards: 2,
+            limit: None,
+            checkpoint: false,
+            early_abort: false,
+        },
+    )
+    .unwrap();
+    match read_frame(&mut client).unwrap() {
+        Frame::Submitted {
+            cases,
+            shards,
+            name,
+            ..
+        } => {
+            assert_eq!(cases, CASES);
+            assert_eq!(shards, 2);
+            assert_eq!(name, "toy");
+        }
+        other => panic!("expected submitted, got {other:?}"),
+    }
+    // Submitting an unknown campaign is refused, not fatal.
+    write_frame(
+        &mut client,
+        &Frame::Submit {
+            campaign: "no-such-campaign".to_owned(),
+            shards: 2,
+            limit: None,
+            checkpoint: false,
+            early_abort: false,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame(&mut client).unwrap(),
+        Frame::Error { .. }
+    ));
+
+    let worker = {
+        let cfg = worker_config(&cluster.addr, "remote-w", CASES);
+        std::thread::spawn(move || amsfi_serve::worker::run(cfg))
+    };
+    worker.join().unwrap().expect("worker drains the campaign");
+
+    write_frame(&mut client, &Frame::StatusRequest).unwrap();
+    match read_frame(&mut client).unwrap() {
+        Frame::Status {
+            campaigns,
+            merged,
+            drained,
+            body,
+            ..
+        } => {
+            assert_eq!(campaigns, 1);
+            assert_eq!(merged, CASES as u64);
+            assert!(drained);
+            assert!(
+                body.contains("toy"),
+                "status page names the campaign:\n{body}"
+            );
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    cluster.coordinator.request_shutdown();
+    cluster.run.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,191 @@
+//! Property tests for the coordinator/worker wire protocol: every frame
+//! round-trips through encode → frame → decode with hostile free-text
+//! payloads, truncation at any byte is an error (never a panic or a
+//! wrong frame), and unknown message kinds are tolerated.
+
+use amsfi_serve::proto::{read_frame, write_frame, Frame, ProtoError, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+/// Characters chosen to stress the tokeniser and the journal-style
+/// escaping: plain text, every escaped class (whitespace, `|`, `\`,
+/// controls, exotic Unicode spaces), and the `key=value` framing
+/// characters themselves.
+fn hostile_chars() -> Vec<char> {
+    vec![
+        'a', 'Z', '0', '.', ':', ';', '(', ')', '/', '-', '_', 'µ', '→', ' ', '\t', '\n', '\r',
+        '|', '\\', '=', '#', '\u{b}', '\u{c}', '\u{a0}', '\u{2028}', '\u{0}', 's', 'x', 'p', 'n',
+    ]
+}
+
+fn hostile_string(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(hostile_chars()), 0..max)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Every frame kind, parameterised by the generated hostile inputs, so
+/// one property exercises the whole protocol surface.
+#[allow(clippy::too_many_arguments)]
+fn frames(
+    text_a: String,
+    text_b: String,
+    n: u64,
+    m: u64,
+    flag_a: bool,
+    flag_b: bool,
+    indices: Vec<usize>,
+    limit: Option<usize>,
+) -> Vec<Frame> {
+    let shard = amsfi_engine::Shard::new((n % 4) as usize, 4).expect("index < 4");
+    vec![
+        Frame::Hello {
+            worker: text_a.clone(),
+            protocol: PROTOCOL_VERSION,
+        },
+        Frame::Welcome {
+            server: text_b.clone(),
+            protocol: PROTOCOL_VERSION,
+        },
+        Frame::Submit {
+            campaign: text_a.clone(),
+            shards: (n % 64) as usize,
+            limit,
+            checkpoint: flag_a,
+            early_abort: flag_b,
+        },
+        Frame::Submitted {
+            id: n,
+            name: text_b.clone(),
+            cases: (m % 10_000) as usize,
+            shards: (n % 64) as usize,
+            fingerprint: n.wrapping_mul(0x100000001b3),
+        },
+        Frame::LeaseRequest,
+        Frame::Lease {
+            lease: n,
+            campaign: m,
+            name: text_a.clone(),
+            shard,
+            cases: (m % 10_000) as usize,
+            fingerprint: m.wrapping_mul(0xcbf29ce484222325),
+            limit,
+            checkpoint: flag_a,
+            early_abort: flag_b,
+            done: indices,
+        },
+        Frame::NoWork {
+            retry_ms: m,
+            drained: flag_a,
+        },
+        Frame::Record {
+            lease: n,
+            line: text_b.clone(),
+        },
+        Frame::Heartbeat { lease: n },
+        Frame::ShardDone { lease: m },
+        Frame::ShardAbort {
+            lease: n,
+            reason: text_a.clone(),
+        },
+        Frame::StatusRequest,
+        Frame::Status {
+            campaigns: (n % 100) as usize,
+            workers: (m % 100) as usize,
+            merged: n,
+            drained: flag_b,
+            body: text_b,
+        },
+        Frame::Error { reason: text_a },
+        Frame::Bye,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_frame_round_trips_with_hostile_text(
+        text_a in hostile_string(40),
+        text_b in hostile_string(60),
+        n in any::<u64>(),
+        m in any::<u64>(),
+        flag_a in any::<bool>(),
+        flag_b in any::<bool>(),
+        indices in prop::collection::vec(0usize..10_000, 0..20),
+        limit_some in any::<bool>(),
+        limit_val in 0usize..10_000,
+    ) {
+        let limit = limit_some.then_some(limit_val);
+        for frame in frames(text_a.clone(), text_b.clone(), n, m, flag_a, flag_b, indices, limit) {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &frame).unwrap();
+            let back = read_frame(&mut wire.as_slice()).unwrap();
+            prop_assert_eq!(&back, &frame, "payload: {:?}", frame.encode());
+            // The stream is fully consumed: no trailing bytes that would
+            // desync the next frame.
+            let mut cursor = wire.as_slice();
+            read_frame(&mut cursor).unwrap();
+            prop_assert!(cursor.is_empty(), "frame left {} stray bytes", cursor.len());
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_byte_is_an_eof_error(
+        text in hostile_string(30),
+        n in any::<u64>(),
+        cut_seed in any::<usize>(),
+    ) {
+        let frame = Frame::ShardAbort { lease: n, reason: text };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let cut = cut_seed % wire.len();
+        match read_frame(&mut &wire[..cut]) {
+            Err(ProtoError::Io(e)) => {
+                prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => prop_assert!(false, "cut at {}: expected EOF, got {:?}", cut, other),
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_parse_as_unknown_not_error(
+        kind_chars in prop::collection::vec(prop::sample::select(
+            // Printable, non-whitespace kind tokens a future revision
+            // might introduce.
+            vec!['a', 'b', 'z', '_', '0', '9'],
+        ), 1..12),
+        rest in hostile_string(20),
+    ) {
+        let kind: String = kind_chars.into_iter().collect();
+        prop_assume!(!matches!(
+            kind.as_str(),
+            "hello" | "welcome" | "submit" | "submitted" | "lease_req" | "lease" | "no_work"
+                | "record" | "heartbeat" | "shard_done" | "shard_abort" | "status_req"
+                | "status" | "error" | "bye"
+        ));
+        let payload = format!("{kind} extra={}", amsfi_engine::journal::escape(&rest));
+        match Frame::parse(&payload) {
+            Ok(Frame::Unknown { kind: k }) => prop_assert_eq!(k, kind),
+            other => prop_assert!(false, "expected Unknown, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_stream_back_in_order(
+        texts in prop::collection::vec(hostile_string(25), 1..8),
+    ) {
+        let sent: Vec<Frame> = texts
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Frame::Record { lease: i as u64, line: t })
+            .collect();
+        let mut wire = Vec::new();
+        for frame in &sent {
+            write_frame(&mut wire, frame).unwrap();
+        }
+        let mut cursor = wire.as_slice();
+        for frame in &sent {
+            prop_assert_eq!(&read_frame(&mut cursor).unwrap(), frame);
+        }
+        prop_assert!(cursor.is_empty());
+    }
+}

@@ -45,8 +45,8 @@ pub mod ring;
 
 pub use event::{Event, ParseEventError};
 pub use metrics::{
-    prom_histogram, prom_sample, prom_type, Counter, GuardKind, KernelMetrics, LogHistogram,
-    HIST_BUCKETS, STAGE_NAMES,
+    prom_histogram, prom_sample, prom_type, Counter, Gauge, GuardKind, KernelMetrics, LogHistogram,
+    ServeMetrics, HIST_BUCKETS, STAGE_NAMES,
 };
 
 use ring::EventRing;

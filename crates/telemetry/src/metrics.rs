@@ -38,6 +38,41 @@ impl Counter {
     }
 }
 
+/// A settable, signed gauge (e.g. workers currently connected).
+///
+/// Like [`Counter`] it is a single relaxed atomic, but it can go down as
+/// well as up; `get` clamps at zero for Prometheus rendering because every
+/// gauge tracked here is a population count.
+#[derive(Debug, Default)]
+pub struct Gauge(std::sync::atomic::AtomicI64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(std::sync::atomic::AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value, clamped at zero.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
 /// Number of buckets in a [`LogHistogram`]: one per power of two of the
 /// `u64` range, plus a dedicated zero bucket.
 pub const HIST_BUCKETS: usize = 65;
@@ -388,6 +423,137 @@ impl KernelMetrics {
             "amsfi_case_latency_microseconds",
             &[],
             &self.case_latency_us,
+        );
+        out
+    }
+}
+
+/// Coordinator-side metrics for the distributed campaign service
+/// (`amsfi serve`), rendered in the same Prometheus text format as
+/// [`KernelMetrics`].
+///
+/// All fields are individually thread-safe: connection handler threads,
+/// the lease reaper and the progress ticker all update one shared
+/// instance without locks.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Workers currently connected (handshake completed, socket open).
+    pub workers_connected: Gauge,
+    /// Worker connections accepted over the coordinator's lifetime.
+    pub workers_total: Counter,
+    /// Campaigns submitted (startup flags + remote `submit` frames).
+    pub campaigns_submitted: Counter,
+    /// Campaigns whose every shard has completed.
+    pub campaigns_completed: Counter,
+    /// Shard leases granted (including re-leases after a reshard).
+    pub shards_leased: Counter,
+    /// Shards completed (a `shard_done` frame was accepted).
+    pub shards_completed: Counter,
+    /// Shards returned to the pool after their worker died or went silent.
+    pub shards_resharded: Counter,
+    /// Of the reshards, how many were triggered by a heartbeat/lease
+    /// timeout (the rest were connection drops).
+    pub lease_timeouts: Counter,
+    /// Journal records live-merged into a campaign (new information only:
+    /// duplicates from a resharded overlap are not counted again).
+    pub cases_merged: Counter,
+    /// Record frames rejected (stale lease, bad syntax, out-of-range
+    /// index, or fingerprint mismatch).
+    pub records_rejected: Counter,
+    /// Protocol frames received.
+    pub frames_rx: Counter,
+    /// Protocol frames sent.
+    pub frames_tx: Counter,
+}
+
+impl ServeMetrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        prom_type(&mut out, "amsfi_serve_workers_connected", "gauge");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_workers_connected",
+            &[],
+            self.workers_connected.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_workers_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_workers_total",
+            &[],
+            self.workers_total.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_campaigns_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_campaigns_total",
+            &[("state", "submitted")],
+            self.campaigns_submitted.get(),
+        );
+        prom_sample(
+            &mut out,
+            "amsfi_serve_campaigns_total",
+            &[("state", "completed")],
+            self.campaigns_completed.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_shards_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_shards_total",
+            &[("state", "leased")],
+            self.shards_leased.get(),
+        );
+        prom_sample(
+            &mut out,
+            "amsfi_serve_shards_total",
+            &[("state", "completed")],
+            self.shards_completed.get(),
+        );
+        prom_sample(
+            &mut out,
+            "amsfi_serve_shards_total",
+            &[("state", "resharded")],
+            self.shards_resharded.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_lease_timeouts_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_lease_timeouts_total",
+            &[],
+            self.lease_timeouts.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_cases_merged_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_cases_merged_total",
+            &[],
+            self.cases_merged.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_records_rejected_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_records_rejected_total",
+            &[],
+            self.records_rejected.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_frames_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_frames_total",
+            &[("dir", "rx")],
+            self.frames_rx.get(),
+        );
+        prom_sample(
+            &mut out,
+            "amsfi_serve_frames_total",
+            &[("dir", "tx")],
+            self.frames_tx.get(),
         );
         out
     }
