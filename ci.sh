@@ -105,3 +105,27 @@ rc=$?
 set -e
 test "$rc" -eq 4
 rm -rf "$tmp"
+
+# PR 7 batch bench: scalar vs --batch at 8 workers on the digital catalog
+# campaigns, emitting results/bench/BENCH_pr7.json. Two hard gates: full
+# CaseResult byte-identity on every campaign (pll-digital as the
+# mixed-signal scalar fallback), and >= 10x wall-clock on cpu-set — the
+# SET campaign whose logically-masked lanes reconverge and seal. The cpu
+# SEU campaign's honest (ungated) ratio is recorded alongside.
+cargo build --release -p amsfi-bench --bin pr7_batch_bench
+./target/release/pr7_batch_bench
+
+# PR 7 differential fuzzer, widened-window smoke: random netlists + fault
+# lists (clock-line saboteurs, edge-snapped SET pulses, stuck-ats, mutant
+# flips) run scalar and batch; any byte difference fails.
+AMSFI_FUZZ_SEEDS=64 cargo test -q -p amsfi-bench --release --test batch_diff
+
+# PR 7 CLI e2e: `amsfi run --batch` journal matches the scalar journal
+# case-for-case on the SET campaign.
+tmp=$(mktemp -d)
+./target/release/amsfi run cpu-set --journal "$tmp/scalar.journal" --progress-secs 0
+./target/release/amsfi run cpu-set --batch --journal "$tmp/batch.journal" --progress-secs 0
+sort "$tmp/scalar.journal" >"$tmp/scalar.sorted"
+sort "$tmp/batch.journal" >"$tmp/batch.sorted"
+cmp "$tmp/scalar.sorted" "$tmp/batch.sorted"
+rm -rf "$tmp"

@@ -85,6 +85,7 @@ fn counter_campaign() -> Campaign {
             Ok(sim.into_trace())
         }),
         fork: None,
+        batch: None,
     }
 }
 

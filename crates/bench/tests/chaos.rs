@@ -79,6 +79,7 @@ fn toy_campaign(name: &str, n: usize, panic_at: Option<usize>) -> Campaign {
             Ok(trace)
         }),
         fork: None,
+        batch: None,
     }
 }
 

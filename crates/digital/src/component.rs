@@ -121,15 +121,24 @@ impl<'a> EvalContext<'a> {
     }
 }
 
-/// Object-safe clone support for boxed components.
+/// Object-safe clone and downcast support for boxed components.
 pub trait ComponentClone {
     /// Clones this component into a new box.
     fn clone_box(&self) -> Box<dyn Component>;
+
+    /// The component as `Any`, so callers holding a `ComponentId` can
+    /// downcast to the concrete type — e.g. to arm a
+    /// [`DigitalSaboteur`](crate::DigitalSaboteur) in place mid-run.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 impl<T: Component + Clone + 'static> ComponentClone for T {
     fn clone_box(&self) -> Box<dyn Component> {
         Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

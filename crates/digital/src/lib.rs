@@ -46,12 +46,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 pub mod cells;
 mod component;
 mod netlist;
 mod saboteur;
 mod sim;
 
+pub use batch::{BatchReport, BatchSimulator, LaneOutcome};
 pub use component::{Component, ComponentClone, EvalContext};
 pub use netlist::{ComponentId, MutantTarget, Netlist, PortSpec, SignalId};
 pub use saboteur::DigitalSaboteur;

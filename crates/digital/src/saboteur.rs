@@ -18,8 +18,6 @@ enum Phase {
     Before,
     /// The fault is active (timed kinds only).
     Active,
-    /// The fault has run its course; transparent pass-through.
-    After,
 }
 
 /// A saboteur for digital interconnects.
@@ -29,7 +27,12 @@ enum Phase {
 ///
 /// * [`DigitalFaultKind::StuckAt`] — forces the level permanently;
 /// * [`DigitalFaultKind::SetPulse`] — forwards the *inverted* input for the
-///   pulse width, then turns transparent again;
+///   pulse width, then turns transparent again. The corruption is visible
+///   on exactly the half-open window `[at, at + width)`, both in settled
+///   waveforms and to edge-triggered samplers clocked at a boundary
+///   instant (boundary drives land in the same delta batch as zero-delay
+///   clock edges). A zero-width pulse is settled-invisible but is still
+///   sampled by an edge at the same instant;
 /// * [`DigitalFaultKind::BitFlip`] — inverts the value once; the corruption
 ///   persists until the next source transition (the classical signal
 ///   bit-flip semantics);
@@ -74,8 +77,36 @@ impl DigitalSaboteur {
         self.fault.as_ref()
     }
 
+    /// Arms a fault on a saboteur that is already spliced into a running
+    /// simulator (the batch path's in-place injection). The caller must
+    /// also schedule a re-evaluation at the fault's injection instant with
+    /// [`Simulator::wake_component`](crate::Simulator::wake_component) —
+    /// the saboteur's own arming wake only fires from a power-on
+    /// evaluation. Equivalent to building with [`DigitalSaboteur::with_fault`]
+    /// provided the current simulation instant precedes `fault.at`.
+    pub fn arm(&mut self, fault: DigitalFault) {
+        self.fault = Some(fault);
+        self.phase = Phase::Before;
+        // The caller schedules the wake; suppress the eval-time arming
+        // path so injection-instant evaluations match a build-time-armed
+        // saboteur's exactly (no extra zero-delay wake).
+        self.armed = true;
+    }
+
     fn inverted(&self, input: &LogicVector) -> LogicVector {
         input.iter().map(Logic::flipped).collect()
+    }
+
+    /// Returns the saboteur to the pristine transparent state once its
+    /// fault has run its course. A retired saboteur is bit-for-bit
+    /// indistinguishable (including `Debug` output) from one that was
+    /// never armed — the property the batch simulator's reconvergence
+    /// seal relies on when comparing a mutant lane's full machine state
+    /// against the golden machine's.
+    fn retire(&mut self) {
+        self.fault = None;
+        self.phase = Phase::Before;
+        self.armed = false;
     }
 }
 
@@ -110,12 +141,12 @@ impl Component for DigitalSaboteur {
                         ctx.wake(width);
                     }
                     DigitalFaultKind::BitFlip => {
-                        self.phase = Phase::After;
                         ctx.drive(0, self.inverted(&input), Time::ZERO);
+                        self.retire();
                     }
                     DigitalFaultKind::ForceState { value } => {
-                        self.phase = Phase::After;
                         ctx.drive(0, LogicVector::from_u64(value, self.width), Time::ZERO);
+                        self.retire();
                     }
                 }
             }
@@ -125,17 +156,14 @@ impl Component for DigitalSaboteur {
                 }
                 DigitalFaultKind::SetPulse { .. } => {
                     if ctx.now() >= fault.end() {
-                        self.phase = Phase::After;
                         ctx.drive(0, input, Time::ZERO);
+                        self.retire();
                     } else {
                         ctx.drive(0, self.inverted(&input), Time::ZERO);
                     }
                 }
                 _ => unreachable!("point faults never stay active"),
             },
-            Phase::After => {
-                ctx.drive(0, input, Time::ZERO);
-            }
         }
     }
 
@@ -207,6 +235,133 @@ mod tests {
         );
         // Subsequent cycles are clean: high again at 55 ns.
         assert_eq!(w.value_at(Time::from_ns(55)), Logic::One);
+    }
+
+    /// Bench for the pulse end-boundary semantics: a counter whose `en`
+    /// line carries the saboteur. Clock rises at 10, 30, 50, ... ns, so a
+    /// pulse on `en` is "sampled" iff the counter misses increments.
+    fn gated_counter(fault: Option<DigitalFault>) -> Simulator {
+        use crate::cells::{ConstVector, Counter};
+        let mut net = Netlist::new();
+        let clk = net.signal("clk", 1);
+        let rst = net.signal("rst", 1);
+        let en = net.signal("en", 1);
+        let q = net.signal("q", 8);
+        net.add("ck", ClockGen::new(Time::from_ns(20)), &[], &[clk]);
+        net.add("r", ConstVector::bit(Logic::Zero), &[], &[rst]);
+        net.add("e", ConstVector::bit(Logic::One), &[], &[en]);
+        net.add("ctr", Counter::new(8, Time::ZERO), &[clk, rst, en], &[q]);
+        let mut sab = DigitalSaboteur::new(1);
+        if let Some(f) = fault {
+            sab = sab.with_fault(f);
+        }
+        // Splice after all readers exist so the counter reads `en__sab`.
+        net.insert_saboteur(en, Box::new(sab));
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("en__sab");
+        sim
+    }
+
+    fn count_at_end(sim: &Simulator) -> u64 {
+        let ctr = sim
+            .mutant_targets()
+            .into_iter()
+            .find(|t| t.component_name == "ctr")
+            .expect("counter present")
+            .component;
+        sim.state_value(ctr).unwrap()
+    }
+
+    fn pulse(at: Time, width: Time) -> DigitalFault {
+        DigitalFault::new(DigitalFaultKind::SetPulse { width }, at)
+    }
+
+    /// Pinned semantics: a sampler clocked at `t` sees the pulse iff
+    /// `at <= t < at + width` — the same half-open window the settled
+    /// waveform shows. Mechanically, `ClockGen` and the saboteur both wake
+    /// at the boundary instant and drive with zero delay, so the clock edge
+    /// and the saboteur's corrective drive apply in the *same* delta batch;
+    /// the edge-triggered eval that follows already sees the clean value.
+    #[test]
+    fn pulse_ending_exactly_on_sampling_edge_is_not_sampled() {
+        // Golden: edges at 10, 30, 50, 70, 90 ns -> count 5 by 100 ns.
+        let mut golden = gated_counter(None);
+        golden.run_until(Time::from_ns(100)).unwrap();
+        assert_eq!(count_at_end(&golden), 5);
+
+        // Pulse [42, 50) on `en` ends exactly at the 50 ns rising edge:
+        // the hand-back drive lands in the same delta as the clock edge,
+        // so the counter samples the restored high and loses no count.
+        let mut sim = gated_counter(Some(pulse(Time::from_ns(42), Time::from_ns(8))));
+        sim.run_until(Time::from_ns(100)).unwrap();
+        assert_eq!(count_at_end(&sim), 5);
+        // The settled waveform recovered at 50 ns (half-open window).
+        let w = sim.trace().digital("en__sab").unwrap();
+        assert_eq!(w.value_at(Time::from_ns(45)), Logic::Zero);
+        assert_eq!(w.value_at(Time::from_ns(50)), Logic::One);
+    }
+
+    /// Dual boundary: a pulse *starting* exactly on the sampling edge is
+    /// sampled — the inverted drive applies in the same delta batch as the
+    /// clock edge, so the edge eval latches the corrupted value. Together
+    /// with the end-boundary test this pins the sampler-visible window to
+    /// exactly `[at, at + width)`.
+    #[test]
+    fn pulse_starting_exactly_on_sampling_edge_is_sampled() {
+        let mut sim = gated_counter(Some(pulse(Time::from_ns(50), Time::from_ns(8))));
+        sim.run_until(Time::from_ns(100)).unwrap();
+        // The edge at 50 ns samples the corrupted low: one count lost.
+        assert_eq!(count_at_end(&sim), 4);
+        let w = sim.trace().digital("en__sab").unwrap();
+        assert_eq!(w.value_at(Time::from_ns(54)), Logic::Zero);
+        assert_eq!(w.value_at(Time::from_ns(58)), Logic::One);
+    }
+
+    /// A zero-width pulse spans only delta cycles: the settled waveform
+    /// never shows it (push of the same value is a no-op), yet an edge at
+    /// the same instant *does* sample the corrupted value — the inverted
+    /// drive applies with the clock edge, the hand-back one delta later.
+    /// Degenerate width behaves as the `[at, at)` window's limit seen by
+    /// same-instant samplers: delta-visible, settled-invisible.
+    #[test]
+    fn zero_width_pulse_is_settled_invisible_but_delta_sampled() {
+        let mut sim = gated_counter(Some(pulse(Time::from_ns(50), Time::ZERO)));
+        sim.run_until(Time::from_ns(100)).unwrap();
+        assert_eq!(count_at_end(&sim), 4);
+        let w = sim.trace().digital("en__sab").unwrap();
+        for ns in [49, 50, 51, 99] {
+            assert_eq!(w.value_at(Time::from_ns(ns)), Logic::One, "t = {ns} ns");
+        }
+    }
+
+    /// Pulse end coinciding with a source transition at the same instant:
+    /// the transparent hand-back forwards the *new* source value, never the
+    /// stale pre-pulse one.
+    #[test]
+    fn pulse_end_on_source_transition_hands_back_new_value() {
+        use crate::cells::Stimulus;
+        let mut net = Netlist::new();
+        let s = net.signal("s", 1);
+        net.add(
+            "stim",
+            Stimulus::bits([(Time::ZERO, true), (Time::from_ns(50), false)]),
+            &[],
+            &[s],
+        );
+        // Pulse [42, 50): inverts the high source to low; at 50 ns the
+        // source itself falls.
+        let sab = DigitalSaboteur::new(1).with_fault(pulse(Time::from_ns(42), Time::from_ns(8)));
+        net.insert_saboteur(s, Box::new(sab));
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("s__sab");
+        sim.run_until(Time::from_ns(100)).unwrap();
+        let w = sim.trace().digital("s__sab").unwrap();
+        assert_eq!(w.value_at(Time::from_ns(40)), Logic::One);
+        assert_eq!(w.value_at(Time::from_ns(45)), Logic::Zero);
+        // After the pulse the saboteur forwards the fallen source, not the
+        // stale pre-pulse high.
+        assert_eq!(w.value_at(Time::from_ns(50)), Logic::Zero);
+        assert_eq!(w.value_at(Time::from_ns(99)), Logic::Zero);
     }
 
     #[test]

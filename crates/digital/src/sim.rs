@@ -79,6 +79,25 @@ enum EventKind {
     },
 }
 
+/// A pending event normalised for lock-step state comparison: valid inertial
+/// drives lose their absolute generation number (only validity matters for
+/// future behaviour — see [`Simulator::state_digest`]).
+#[derive(Debug, Clone, PartialEq)]
+enum NormalEvent {
+    Drive {
+        component: usize,
+        output: usize,
+        value: LogicVector,
+    },
+    Wake {
+        component: usize,
+    },
+    External {
+        signal: usize,
+        value: LogicVector,
+    },
+}
+
 #[derive(Debug, Clone)]
 struct Event {
     time: Time,
@@ -276,6 +295,19 @@ impl Simulator {
         self.netlist_names.get(name).copied()
     }
 
+    /// Ids of all monitored signals, ascending. The batch simulator uses
+    /// this set as its cheap per-stop divergence probe: a mutant lane whose
+    /// monitored values all match the golden machine's is a candidate for
+    /// the (more expensive) full reconvergence-seal comparison.
+    pub fn monitored_signals(&self) -> Vec<SignalId> {
+        self.signals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.monitored)
+            .map(|(i, _)| SignalId(i))
+            .collect()
+    }
+
     /// The name of a signal.
     ///
     /// # Panics
@@ -402,6 +434,29 @@ impl Simulator {
         &mut *self.components[component.0].comp
     }
 
+    /// Looks up a component instance by name.
+    pub fn component_id(&self, name: &str) -> Option<ComponentId> {
+        self.components
+            .iter()
+            .position(|slot| slot.name == name)
+            .map(ComponentId)
+    }
+
+    /// Schedules a re-evaluation of `component` at absolute time `at`
+    /// (clamped to the present), as if the component had requested the
+    /// wake itself. Pairs with
+    /// [`DigitalSaboteur::arm`](crate::DigitalSaboteur::arm) to inject a
+    /// wire fault into an already-running simulator.
+    pub fn wake_component(&mut self, component: ComponentId, at: Time) {
+        let at = at.max(self.now);
+        self.push_event(
+            at,
+            EventKind::Wake {
+                component: component.0,
+            },
+        );
+    }
+
     /// A hash of the simulator's structure — signal names and widths,
     /// component names and port arities — but none of its mutable run
     /// state. Two simulators lowered from the same netlist agree; a
@@ -428,6 +483,114 @@ impl Simulator {
             h.eat();
         }
         h.finish()
+    }
+
+    /// The pending event queue normalised to future-relevant form: stale
+    /// inertial drives (whose generation no longer matches the output's
+    /// counter) are dropped, events are ordered by `(time, seq)`, and
+    /// surviving drives keep only their target/value (the absolute
+    /// generation number never matters once a drive is known valid).
+    fn pending_events(&self) -> Vec<(Time, u64, NormalEvent)> {
+        let mut out: Vec<(Time, u64, NormalEvent)> = self
+            .queue
+            .iter()
+            .filter_map(|e| {
+                let kind = match &e.kind {
+                    EventKind::Drive {
+                        component,
+                        output,
+                        value,
+                        generation,
+                    } => {
+                        if self.components[*component].out_generation[*output] != *generation {
+                            return None; // already cancelled; will be skipped when popped
+                        }
+                        NormalEvent::Drive {
+                            component: *component,
+                            output: *output,
+                            value: value.clone(),
+                        }
+                    }
+                    EventKind::Wake { component } => NormalEvent::Wake {
+                        component: *component,
+                    },
+                    EventKind::External { signal, value } => NormalEvent::External {
+                        signal: *signal,
+                        value: value.clone(),
+                    },
+                };
+                Some((e.time, e.seq, kind))
+            })
+            .collect();
+        out.sort_by_key(|(t, seq, _)| (*t, *seq));
+        out
+    }
+
+    /// A digest of all future-relevant run state: current time, signal
+    /// values, component state (via `Debug`) and the normalised pending
+    /// event queue. Two simulators with equal digests and equal
+    /// [`Simulator::lockstep_state_eq`] produce identical behaviour from
+    /// here on (given equally non-constraining budgets), which is the
+    /// reconvergence-seal criterion of the batch simulator.
+    ///
+    /// Trace history, throughput counters, budgets and observers are
+    /// deliberately excluded: they do not influence future transitions.
+    pub fn state_digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut h = Fnv1a::new();
+        h.write_u64(self.now.as_fs() as u64);
+        h.eat();
+        let mut buf = String::new();
+        for s in &self.signals {
+            buf.clear();
+            for bit in s.value.iter() {
+                buf.push(bit.to_char());
+            }
+            h.write_str(&buf);
+            h.eat();
+        }
+        for c in &self.components {
+            buf.clear();
+            let _ = write!(buf, "{:?}", c.comp);
+            h.write_str(&buf);
+            h.eat();
+        }
+        for (t, _, kind) in self.pending_events() {
+            h.write_u64(t.as_fs() as u64);
+            buf.clear();
+            let _ = write!(buf, "{kind:?}");
+            h.write_str(&buf);
+            h.eat();
+        }
+        h.finish()
+    }
+
+    /// Exact equality of future-relevant run state (same criterion as
+    /// [`Simulator::state_digest`], without hashing). The batch simulator
+    /// confirms a digest match with this before sealing a lane, so a hash
+    /// collision can never produce a wrong verdict.
+    pub fn lockstep_state_eq(&self, other: &Simulator) -> bool {
+        self.now == other.now
+            && self.signals.len() == other.signals.len()
+            && self
+                .signals
+                .iter()
+                .zip(&other.signals)
+                .all(|(a, b)| a.value == b.value)
+            && self.components.len() == other.components.len()
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| format!("{:?}", a.comp) == format!("{:?}", b.comp))
+            && {
+                let a = self.pending_events();
+                let b = other.pending_events();
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(&b)
+                        .all(|((ta, _, ka), (tb, _, kb))| ta == tb && ka == kb)
+            }
     }
 
     /// Snapshots the complete simulator — pending event queue, component

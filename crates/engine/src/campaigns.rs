@@ -9,19 +9,114 @@
 //! (`fig8_parameter_sweep`, `ext_digital_campaign`, `ext_adc_sensitivity`,
 //! `ext_cpu_campaign`) so engine runs are comparable with the legacy path.
 
-use crate::executor::{Campaign, CaseCtx};
+use crate::executor::{BatchCaseOutcome, BatchSpec, Campaign, CaseCtx, LaneHooks};
 use crate::stats::Stage;
+use crate::BoxError;
 use amsfi_circuits::adc::{self, AdcInput};
 use amsfi_circuits::cpu::{checksum_program, TinyCpu};
 use amsfi_circuits::pll::{self, names};
 use amsfi_core::{plan, ClassifySpec, FaultCase};
-use amsfi_digital::{cells, ComponentId, Netlist, Simulator};
-use amsfi_faults::TrapezoidPulse;
-use amsfi_waves::{Logic, Time, Tolerance};
+use amsfi_digital::{
+    cells, BatchSimulator, ComponentId, DigitalSaboteur, LaneOutcome, Netlist, Simulator,
+};
+use amsfi_faults::{DigitalFault, DigitalFaultKind, TrapezoidPulse};
+use amsfi_waves::{ForkableSim, Logic, Time, Tolerance};
 use std::sync::Arc;
 
+impl Campaign {
+    /// [`Campaign::forked`] for pure-digital campaigns, plus a
+    /// [`BatchSpec`] so `--batch` runs case groups bit-parallel through
+    /// one [`BatchSimulator`].
+    ///
+    /// All three execution paths (scalar from-scratch, checkpoint fork,
+    /// batch lane) share the same `build`/`inject` closures and position
+    /// the simulator at exactly the case's injection instant before
+    /// injecting, which is what keeps their traces byte-identical: the
+    /// digital kernel is call-granularity invariant, so only the closure
+    /// pair determines the result.
+    pub fn forked_batch<B, I>(
+        name: impl Into<String>,
+        spec: ClassifySpec,
+        cases: Vec<FaultCase>,
+        t_end: Time,
+        build: B,
+        inject: I,
+    ) -> Campaign
+    where
+        B: Fn(&CaseCtx) -> Result<Simulator, BoxError> + Send + Sync + 'static,
+        I: Fn(&mut Simulator, usize) -> Result<(), BoxError> + Send + Sync + 'static,
+    {
+        let build = Arc::new(build);
+        let inject = Arc::new(inject);
+        let case_stops: Arc<Vec<Time>> =
+            Arc::new(cases.iter().map(|c| c.injected_at.min(t_end)).collect());
+
+        let batch_run = {
+            let build = Arc::clone(&build);
+            let inject = Arc::clone(&inject);
+            let case_stops = Arc::clone(&case_stops);
+            Arc::new(
+                move |ctx: &CaseCtx,
+                      group: &[usize],
+                      hooks: LaneHooks<'_>|
+                      -> Result<Vec<BatchCaseOutcome>, BoxError> {
+                    let mut golden = build(ctx)?;
+                    golden.install_budget(ctx.budget().clone());
+                    ctx.stage(Stage::Simulate);
+                    let mut batch = BatchSimulator::new(golden, t_end);
+                    if let Some(metrics) = ctx.budget().metrics() {
+                        batch.set_metrics(Arc::clone(metrics));
+                    }
+                    for &i in group {
+                        batch.add_lane(case_stops[i]);
+                    }
+                    let report = batch
+                        .run(
+                            |lane, sim| inject(sim, group[lane]).map_err(|e| e.to_string()),
+                            |lane, sim| {
+                                let (budget, observer) = hooks(lane);
+                                sim.set_budget(budget);
+                                if let Some(observer) = observer {
+                                    sim.set_observer(observer);
+                                }
+                            },
+                        )
+                        .map_err(|e| Box::new(e) as BoxError)?;
+                    Ok(report
+                        .outcomes
+                        .into_iter()
+                        .map(|outcome| match outcome {
+                            LaneOutcome::Completed { trace, sealed_at } => {
+                                BatchCaseOutcome::Done { trace, sealed_at }
+                            }
+                            LaneOutcome::Failed { error } => BatchCaseOutcome::Error(error),
+                        })
+                        .collect())
+                },
+            )
+        };
+
+        let mut campaign = Campaign::forked(
+            name,
+            spec,
+            cases,
+            t_end,
+            {
+                let build = Arc::clone(&build);
+                move |ctx: &CaseCtx| build(ctx)
+            },
+            {
+                let inject = Arc::clone(&inject);
+                move |sim: &mut Simulator, i: usize| inject(sim, i)
+            },
+        );
+        campaign.batch = Some(BatchSpec { run: batch_run });
+        campaign
+    }
+}
+
 /// `(name, description)` of every campaign [`build`] understands.
-pub fn catalog() -> [(&'static str, &'static str); 4] {
+pub fn catalog() -> [(&'static str, &'static str); 5] {
     [
         (
             "pll-sweep",
@@ -43,6 +138,12 @@ pub fn catalog() -> [(&'static str, &'static str); 4] {
             "SEU campaign over a tiny accumulator CPU running a checksum \
              program (processor case study of reference [2])",
         ),
+        (
+            "cpu-set",
+            "SET-pulse campaign on the CPU bench's reset line: narrow late \
+             pulses, mostly logically masked (Section 3.2 saboteur flow; \
+             the --batch showcase)",
+        ),
     ]
 }
 
@@ -55,6 +156,7 @@ pub fn build(name: &str, limit: Option<usize>) -> Option<Campaign> {
         "pll-digital" => pll_digital(),
         "adc-flash" => adc_flash(),
         "cpu" => cpu(),
+        "cpu-set" => cpu_set(),
         _ => return None,
     };
     if let Some(limit) = limit {
@@ -254,6 +356,7 @@ fn adc_flash() -> Campaign {
         // campaign cannot fork from a shared golden prefix; `--checkpoint`
         // falls back to the from-scratch runner.
         fork: None,
+        batch: None,
     }
 }
 
@@ -304,7 +407,7 @@ fn cpu() -> Campaign {
 
     let targets = Arc::new(targets);
     let index = Arc::new(index);
-    Campaign::forked(
+    Campaign::forked_batch(
         "cpu",
         spec,
         cases,
@@ -317,6 +420,92 @@ fn cpu() -> Campaign {
             let (gi, _ti) = index[i];
             let t = &targets[gi];
             sim.flip_state(t.component, t.bit);
+            Ok(())
+        },
+    )
+}
+
+/// SET pulses on the CPU bench's reset line, spliced in through a
+/// [`DigitalSaboteur`] (the paper's Section 3.2 saboteur flow). Pulses are
+/// narrow (1–6 ns against a 20 ns clock period) and late (12–18.5 us of a
+/// 20 us horizon), so most are *logically masked*: no rising clock edge
+/// falls inside the pulse, the saboteur retires to its pristine state, and
+/// the mutant machine is bit-for-bit the golden machine again.
+///
+/// That makes this the `--batch` showcase: a masked lane reconverges and
+/// seals within a stop or two of the pulse retiring, so the batch path
+/// simulates ~hundreds of steps per case where the scalar path simulates
+/// the full horizon — the ≥10× regime gated by `pr7_batch_bench`. (The
+/// SEU `cpu` campaign's corrupted-register lanes genuinely need the whole
+/// observation window for their verdicts, so batch gains there are
+/// bounded; see DESIGN.md "Bit-parallel simulation".)
+fn cpu_set() -> Campaign {
+    const T_END: Time = Time::from_us(20);
+    fn build_sim() -> Simulator {
+        let mut net = Netlist::new();
+        let clk = net.signal("clk", 1);
+        let rst = net.signal("rst", 1);
+        let out = net.signal("out", 8);
+        let pc = net.signal("pc", 6);
+        net.add("ck", cells::ClockGen::new(Time::from_ns(10)), &[], &[clk]);
+        net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+        let _cpu: ComponentId = net.add(
+            "cpu",
+            TinyCpu::new(checksum_program(), Time::ZERO),
+            &[clk, rst],
+            &[out, pc],
+        );
+        net.insert_saboteur(rst, Box::new(DigitalSaboteur::new(1)));
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("out");
+        sim
+    }
+
+    // 160 instants stepping ~40.9 ns sweep the pulse phase across the 20 ns
+    // clock period; widths 1–4 ns keep the expected unmasked fraction
+    // around w/20 ≈ 12%.
+    let times = plan::uniform_times(Time::from_ns(12_500), Time::from_ns(19_000), 160);
+    let widths = [
+        Time::from_ns(1),
+        Time::from_ns(2),
+        Time::from_ns(3),
+        Time::from_ns(4),
+    ];
+    let mut cases = Vec::new();
+    let mut faults = Vec::new();
+    for &at in &times {
+        for &width in &widths {
+            cases.push(FaultCase::new(format!("rst SET {width} @ {at}"), at));
+            faults.push(DigitalFault::new(DigitalFaultKind::SetPulse { width }, at));
+        }
+    }
+    let spec = ClassifySpec::new(
+        (Time::from_us(12), T_END),
+        (0..8).map(|i| format!("out[{i}]")).collect(),
+    );
+
+    let faults = Arc::new(faults);
+    Campaign::forked_batch(
+        "cpu-set",
+        spec,
+        cases,
+        T_END,
+        |ctx: &CaseCtx| {
+            ctx.stage(Stage::Build);
+            Ok(build_sim())
+        },
+        move |sim: &mut Simulator, i| {
+            let fault = faults[i].clone();
+            let at = fault.at;
+            let sab = sim
+                .component_id("saboteur(rst)")
+                .ok_or("saboteur(rst) not instrumented")?;
+            sim.component_mut(sab)
+                .as_any_mut()
+                .downcast_mut::<DigitalSaboteur>()
+                .ok_or("saboteur(rst) has an unexpected component type")?
+                .arm(fault);
+            sim.wake_component(sab, at);
             Ok(())
         },
     )

@@ -20,7 +20,9 @@ use amsfi_core::{
     OnlineClassifier, SimFailure,
 };
 use amsfi_telemetry::{Event, GuardKind, KernelMetrics, Telemetry};
-use amsfi_waves::{CancelToken, Checkpoint, ForkableSim, SimBudget, SimObserver, Time, Trace};
+use amsfi_waves::{
+    CancelToken, Checkpoint, ForkableSim, SimBudget, SimObserver, Time, Trace, LANES,
+};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -104,6 +106,13 @@ pub struct EngineConfig {
     /// coordinator, so a partially-completed shard resumes instead of
     /// re-running (and double-reporting) finished cases.
     pub completed: Vec<usize>,
+    /// Run cases bit-parallel: workers claim *groups* of up to
+    /// [`amsfi_waves::LANES`] cases and simulate them lock-step against one
+    /// golden machine (see [`BatchSpec`]). Per-lane verdicts stay
+    /// byte-identical to scalar runs; a lane that fails in isolation falls
+    /// back to the scalar path for that case alone. Campaigns without a
+    /// [`Campaign::batch`] spec fall back to the scalar path entirely.
+    pub batch: bool,
 }
 
 type RecordFn = dyn Fn(usize, &str) + Send + Sync;
@@ -152,6 +161,7 @@ impl Default for EngineConfig {
             settle: None,
             record_sink: None,
             completed: Vec::new(),
+            batch: false,
         }
     }
 }
@@ -284,6 +294,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_completed(mut self, indices: Vec<usize>) -> Self {
         self.completed = indices;
+        self
+    }
+
+    /// Enables bit-parallel group execution (see [`EngineConfig::batch`]).
+    #[must_use]
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -486,6 +503,58 @@ impl fmt::Debug for ForkSpec {
     }
 }
 
+/// One case's outcome inside a bit-parallel group run (see [`BatchSpec`]).
+#[derive(Debug)]
+pub enum BatchCaseOutcome {
+    /// The lane produced a full-horizon trace, byte-identical to what a
+    /// scalar run of the same case would record. `sealed_at` is the
+    /// reconvergence-seal instant when the lane was retired early because
+    /// its machine state rejoined the golden machine's.
+    Done {
+        /// The lane's full-length trace.
+        trace: Trace,
+        /// Reconvergence-seal instant, `None` if the lane ran to the end.
+        sealed_at: Option<Time>,
+    },
+    /// The lane failed in isolation (guard trip, cooperative cancellation,
+    /// injection error). The engine consults the lane's online classifier
+    /// and otherwise falls back to the scalar path for this case alone.
+    Error(String),
+}
+
+/// Installs per-lane plumbing on a freshly cloned lane simulator: called
+/// with the lane's position in the group, returns the [`SimBudget`] (guards,
+/// cancellation token, metrics) and optional [`SimObserver`] (streaming
+/// classification) for that lane.
+pub type LaneHooks<'a> = &'a mut dyn FnMut(usize) -> (SimBudget, Option<SimObserver>);
+
+/// How a campaign supports bit-parallel group execution (enabled per run
+/// with [`EngineConfig::with_batch`]).
+///
+/// `run(ctx, group, hooks)` simulates all cases in `group` (at most
+/// [`amsfi_waves::LANES`] indices into [`Campaign::cases`]) lock-step
+/// against one golden machine and returns one [`BatchCaseOutcome`] per
+/// index, in order. Campaigns should not build this by hand:
+/// [`Campaign::forked_batch`](crate::campaigns) derives it from the same
+/// build/inject closures as the scalar paths, which is what guarantees
+/// batch and scalar traces are byte-identical.
+#[derive(Clone)]
+pub struct BatchSpec {
+    /// Runs one case group lock-step; see [`BatchSpec`].
+    #[allow(clippy::type_complexity)]
+    pub run: Arc<
+        dyn Fn(&CaseCtx, &[usize], LaneHooks<'_>) -> Result<Vec<BatchCaseOutcome>, BoxError>
+            + Send
+            + Sync,
+    >,
+}
+
+impl fmt::Debug for BatchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BatchSpec(..)")
+    }
+}
+
 /// A runnable campaign: the fault list, how to classify, and how to
 /// produce a trace for one case.
 #[derive(Clone)]
@@ -501,6 +570,9 @@ pub struct Campaign {
     /// Checkpoint & fork support; `None` means `--checkpoint` falls back
     /// to the from-scratch runner.
     pub fork: Option<ForkSpec>,
+    /// Bit-parallel group support; `None` means `--batch` falls back to
+    /// the scalar runner.
+    pub batch: Option<BatchSpec>,
 }
 
 impl fmt::Debug for Campaign {
@@ -641,6 +713,7 @@ impl Campaign {
                 golden,
                 fork,
             }),
+            batch: None,
         }
     }
 }
@@ -912,6 +985,32 @@ impl Engine {
         let fresh: Mutex<Vec<(usize, JournalEntry)>> = Mutex::new(Vec::new());
         let workers = cfg.effective_workers().min(pending.len()).max(1);
 
+        // Bit-parallel mode: workers claim *groups* of cases and run each
+        // group lock-step through the campaign's batch spec. Cases are
+        // grouped by ascending injection instant so lanes in one group
+        // activate off a shared golden prefix.
+        let batch_spec = if cfg.batch {
+            let spec = campaign.batch.as_ref();
+            if spec.is_none() {
+                tele.emit_with(|| {
+                    Event::new("batch", "fallback")
+                        .with_field("reason", "campaign has no batch spec")
+                });
+            }
+            spec
+        } else {
+            None
+        };
+        let groups: Vec<Vec<usize>> = if batch_spec.is_some() {
+            let mut sorted = pending.clone();
+            sorted.sort_by_key(|&i| (campaign.cases[i].injected_at, i));
+            let per = sorted.len().div_ceil(workers).clamp(1, LANES);
+            sorted.chunks(per).map(<[usize]>::to_vec).collect()
+        } else {
+            Vec::new()
+        };
+        let groups = &groups;
+
         // Per-worker checkpoint caches: snapshots are `Send` but not
         // `Sync` (simulator internals hold `Send`-only trait objects), so
         // every worker owns a deep clone of the cache instead of sharing
@@ -962,6 +1061,45 @@ impl Engine {
                             Event::new("worker", "start").with_field("worker", worker_id)
                         });
                         let mut claimed = 0usize;
+                        if let Some(spec) = batch_spec {
+                            loop {
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                let slot = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(group) = groups.get(slot) else {
+                                    break;
+                                };
+                                claimed += group.len();
+                                match self.execute_batch(
+                                    campaign,
+                                    spec,
+                                    group,
+                                    golden_ref,
+                                    &stats,
+                                    journal.as_ref(),
+                                ) {
+                                    Ok(batch_entries) => fresh
+                                        .lock()
+                                        .expect("results poisoned")
+                                        .extend(batch_entries),
+                                    Err(error) => {
+                                        stop.store(true, Ordering::Relaxed);
+                                        let mut fatal = fatal.lock().expect("fatal slot poisoned");
+                                        if fatal.is_none() {
+                                            *fatal = Some(error);
+                                        }
+                                        break;
+                                    }
+                                }
+                            }
+                            tele.emit_with(|| {
+                                Event::new("worker", "exit")
+                                    .with_field("worker", worker_id)
+                                    .with_field("claimed", claimed)
+                            });
+                            return;
+                        }
                         loop {
                             if stop.load(Ordering::Relaxed) {
                                 break;
@@ -1148,68 +1286,12 @@ impl Engine {
             attempts += n;
         }
         let outcome = match attempt {
-            Attempt::Ok(trace) => {
-                let t0 = Instant::now();
-                let outcome = classify(&campaign.spec, golden, &trace);
-                stats.record_stage(Stage::Classify, t0.elapsed());
-                stats.record_class(outcome.class);
-                let result = CaseResult {
-                    case: case.clone(),
-                    outcome,
-                };
-                self.emit_record(journal, index, || {
-                    journal::case_line(index, &result, forked_at)
-                })?;
-                Ok(JournalEntry::Done(result))
-            }
-            Attempt::Sealed { outcome, steps } => {
-                let outcome = *outcome;
-                let class = outcome.class;
-                let sealed_at = outcome.sealed_at.unwrap_or(campaign.spec.window.1);
-                // The simulation time the abort skipped. Runs advance to
-                // the fork spec's horizon when there is one; campaigns
-                // without a fork spec stop at the observation window's end.
-                let horizon = campaign
-                    .fork
-                    .as_ref()
-                    .map_or(campaign.spec.window.1, |f| f.t_end);
-                let saved = if horizon > sealed_at {
-                    horizon - sealed_at
-                } else {
-                    Time::ZERO
-                };
-                // Extrapolate saved steps from the attempt's measured step
-                // density over the simulated span (fork instant → seal).
-                let covered = sealed_at - forked_at.unwrap_or(Time::ZERO);
-                let saved_steps = if covered > Time::ZERO {
-                    ((i128::from(steps) * i128::from(saved.as_fs())) / i128::from(covered.as_fs()))
-                        as u64
-                } else {
-                    0
-                };
-                stats.record_class(class);
-                if let Some(metrics) = tele.metrics() {
-                    metrics.early_aborts.inc();
-                    metrics.saved_sim_fs.add(saved.as_fs().max(0) as u64);
-                    metrics.saved_steps.add(saved_steps);
-                }
-                tele.emit_with(|| {
-                    Event::new("early_abort", "sealed")
-                        .with_case(index)
-                        .with_field("class", class)
-                        .with_field("sealed_at_fs", sealed_at.as_fs())
-                        .with_field("saved_fs", saved.as_fs())
-                        .with_field("saved_steps", saved_steps)
-                });
-                let result = CaseResult {
-                    case: case.clone(),
-                    outcome,
-                };
-                self.emit_record(journal, index, || {
-                    journal::case_line(index, &result, forked_at)
-                })?;
-                Ok(JournalEntry::Done(result))
-            }
+            Attempt::Ok(trace) => self
+                .finalize_done(campaign, index, golden, stats, journal, trace, forked_at)
+                .map(JournalEntry::Done),
+            Attempt::Sealed { outcome, steps } => self
+                .finalize_sealed(campaign, index, stats, journal, *outcome, steps, forked_at)
+                .map(JournalEntry::Done),
             Attempt::SimFailed(failure) => {
                 // A guard trip is a verdict, not an infrastructure error:
                 // the case is done, classified as a simulation failure.
@@ -1307,6 +1389,236 @@ impl Engine {
             event
         });
         outcome
+    }
+
+    /// Classifies a completed trace and journals the case: the shared tail
+    /// of [`Attempt::Ok`] handling for the scalar and batch paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finalize_done(
+        &self,
+        campaign: &Campaign,
+        index: usize,
+        golden: &Arc<Trace>,
+        stats: &Arc<EngineStats>,
+        journal: Option<&Journal>,
+        trace: Trace,
+        forked_at: Option<Time>,
+    ) -> Result<CaseResult, EngineError> {
+        let t0 = Instant::now();
+        let outcome = classify(&campaign.spec, golden, &trace);
+        stats.record_stage(Stage::Classify, t0.elapsed());
+        stats.record_class(outcome.class);
+        let result = CaseResult {
+            case: campaign.cases[index].clone(),
+            outcome,
+        };
+        self.emit_record(journal, index, || {
+            journal::case_line(index, &result, forked_at)
+        })?;
+        Ok(result)
+    }
+
+    /// Books a sealed early-abort verdict: class counters, saved-work
+    /// estimation, journaling. Shared by the scalar attempt path and the
+    /// per-lane batch path.
+    #[allow(clippy::too_many_arguments)]
+    fn finalize_sealed(
+        &self,
+        campaign: &Campaign,
+        index: usize,
+        stats: &Arc<EngineStats>,
+        journal: Option<&Journal>,
+        outcome: CaseOutcome,
+        steps: u64,
+        forked_at: Option<Time>,
+    ) -> Result<CaseResult, EngineError> {
+        let tele = &self.config.telemetry;
+        let class = outcome.class;
+        let sealed_at = outcome.sealed_at.unwrap_or(campaign.spec.window.1);
+        // The simulation time the abort skipped. Runs advance to
+        // the fork spec's horizon when there is one; campaigns
+        // without a fork spec stop at the observation window's end.
+        let horizon = campaign
+            .fork
+            .as_ref()
+            .map_or(campaign.spec.window.1, |f| f.t_end);
+        let saved = if horizon > sealed_at {
+            horizon - sealed_at
+        } else {
+            Time::ZERO
+        };
+        // Extrapolate saved steps from the attempt's measured step
+        // density over the simulated span (fork instant → seal).
+        let covered = sealed_at - forked_at.unwrap_or(Time::ZERO);
+        let saved_steps = if covered > Time::ZERO {
+            ((i128::from(steps) * i128::from(saved.as_fs())) / i128::from(covered.as_fs())) as u64
+        } else {
+            0
+        };
+        stats.record_class(class);
+        if let Some(metrics) = tele.metrics() {
+            metrics.early_aborts.inc();
+            metrics.saved_sim_fs.add(saved.as_fs().max(0) as u64);
+            metrics.saved_steps.add(saved_steps);
+        }
+        tele.emit_with(|| {
+            Event::new("early_abort", "sealed")
+                .with_case(index)
+                .with_field("class", class)
+                .with_field("sealed_at_fs", sealed_at.as_fs())
+                .with_field("saved_fs", saved.as_fs())
+                .with_field("saved_steps", saved_steps)
+        });
+        let result = CaseResult {
+            case: campaign.cases[index].clone(),
+            outcome,
+        };
+        self.emit_record(journal, index, || {
+            journal::case_line(index, &result, forked_at)
+        })?;
+        Ok(result)
+    }
+
+    /// Runs one case group bit-parallel through the campaign's
+    /// [`BatchSpec`] and finalizes every lane.
+    ///
+    /// Lane plumbing mirrors [`Engine::run_attempt`] exactly: with
+    /// `--early-abort` each lane gets its own [`CancelToken`] +
+    /// [`OnlineClassifier`] + [`SimObserver`], and a sealed verdict wins
+    /// over whatever the cancelled lane simulation reported. A lane that
+    /// fails without a sealed verdict falls back to the scalar path for
+    /// that case alone — which re-derives guard-trip verdicts, retry
+    /// accounting and quarantine exactly as a scalar run would.
+    fn execute_batch(
+        &self,
+        campaign: &Campaign,
+        spec: &BatchSpec,
+        group: &[usize],
+        golden: &Arc<Trace>,
+        stats: &Arc<EngineStats>,
+        journal: Option<&Journal>,
+    ) -> Result<Vec<(usize, JournalEntry)>, EngineError> {
+        let tele = &self.config.telemetry;
+        let group_t0 = Instant::now();
+        let mut lane_classifiers: Vec<Option<Arc<Mutex<OnlineClassifier>>>> =
+            (0..group.len()).map(|_| None).collect();
+        let mut group_budget = self.case_budget();
+        if let Some(metrics) = tele.metrics() {
+            group_budget = group_budget.with_metrics(Arc::clone(metrics));
+        }
+        let ctx = CaseCtx::attached(None, 0, Arc::clone(stats), group_budget, tele.clone(), None);
+        let outcomes = {
+            let classifiers = &mut lane_classifiers;
+            let mut hooks = |lane: usize| -> (SimBudget, Option<SimObserver>) {
+                let mut budget = self.case_budget();
+                if let Some(metrics) = tele.metrics() {
+                    budget = budget.with_metrics(Arc::clone(metrics));
+                }
+                let mut observer = None;
+                if self.config.early_abort {
+                    let token = CancelToken::new();
+                    let classifier = Arc::new(Mutex::new(OnlineClassifier::new(
+                        &campaign.spec,
+                        Arc::clone(golden),
+                        campaign.cases[group[lane]].injected_at,
+                        self.config.settle,
+                        token.clone(),
+                    )));
+                    classifiers[lane] = Some(Arc::clone(&classifier));
+                    observer = Some(SimObserver::new(move |t, view| {
+                        if let Ok(mut classifier) = classifier.lock() {
+                            classifier.observe(t, view);
+                        }
+                    }));
+                    budget = budget.with_cancel(token);
+                }
+                (budget, observer)
+            };
+            let out = catch_unwind(AssertUnwindSafe(|| (spec.run)(&ctx, group, &mut hooks)));
+            ctx.finish();
+            out
+        };
+        let outcomes = match outcomes {
+            Ok(Ok(v)) if v.len() == group.len() => v,
+            Ok(Ok(v)) => {
+                let reason = format!(
+                    "batch returned {} outcomes for {} lanes",
+                    v.len(),
+                    group.len()
+                );
+                return self.batch_group_fallback(campaign, group, golden, stats, journal, &reason);
+            }
+            Ok(Err(e)) => {
+                let reason = e.to_string();
+                return self.batch_group_fallback(campaign, group, golden, stats, journal, &reason);
+            }
+            Err(payload) => {
+                let reason = panic_message(payload);
+                return self.batch_group_fallback(campaign, group, golden, stats, journal, &reason);
+            }
+        };
+        let mut entries = Vec::with_capacity(group.len());
+        for (lane, outcome) in outcomes.into_iter().enumerate() {
+            let index = group[lane];
+            let entry =
+                match outcome {
+                    BatchCaseOutcome::Done { trace, .. } => JournalEntry::Done(
+                        self.finalize_done(campaign, index, golden, stats, journal, trace, None)?,
+                    ),
+                    BatchCaseOutcome::Error(error) => {
+                        // A sealed verdict wins over the cancelled lane's
+                        // error, mirroring the scalar attempt path.
+                        let sealed = lane_classifiers[lane]
+                            .as_ref()
+                            .and_then(|c| c.lock().ok().and_then(|guard| guard.sealed().cloned()));
+                        match sealed {
+                            Some(outcome) => JournalEntry::Done(self.finalize_sealed(
+                                campaign, index, stats, journal, outcome, 0, None,
+                            )?),
+                            None => {
+                                tele.emit_with(|| {
+                                    Event::new("batch", "lane_fallback")
+                                        .with_case(index)
+                                        .with_field("reason", &error)
+                                });
+                                self.execute_one(campaign, index, golden, stats, journal, None)?
+                            }
+                        }
+                    }
+                };
+            entries.push((index, entry));
+        }
+        tele.emit_with(|| {
+            Event::new("span", "batch")
+                .with_dur_us(group_t0.elapsed().as_micros() as u64)
+                .with_field("lanes", group.len())
+        });
+        Ok(entries)
+    }
+
+    /// Degrades a whole group to the scalar path (batch runner failed or
+    /// panicked before producing per-lane outcomes).
+    fn batch_group_fallback(
+        &self,
+        campaign: &Campaign,
+        group: &[usize],
+        golden: &Arc<Trace>,
+        stats: &Arc<EngineStats>,
+        journal: Option<&Journal>,
+        reason: &str,
+    ) -> Result<Vec<(usize, JournalEntry)>, EngineError> {
+        self.config.telemetry.emit_with(|| {
+            Event::new("batch", "fallback")
+                .with_field("lanes", group.len())
+                .with_field("reason", reason)
+        });
+        group
+            .iter()
+            .map(|&index| {
+                self.execute_one(campaign, index, golden, stats, journal, None)
+                    .map(|entry| (index, entry))
+            })
+            .collect()
     }
 
     /// The retry loop around [`Engine::run_attempt`]. Returns the final
@@ -1601,6 +1913,7 @@ mod tests {
                 Ok(trace)
             }),
             fork: None,
+            batch: None,
         }
     }
 

@@ -39,8 +39,9 @@ pub mod shard;
 pub mod stats;
 
 pub use executor::{
-    AnySnapshot, Campaign, CaseCtx, CaseRunner, Engine, EngineConfig, EngineError, EngineReport,
-    ErrorPolicy, ForkSpec, RecordSink, Snapshot, SnapshotRestoreError, SnapshotSink,
+    AnySnapshot, BatchCaseOutcome, BatchSpec, Campaign, CaseCtx, CaseRunner, Engine, EngineConfig,
+    EngineError, EngineReport, ErrorPolicy, ForkSpec, LaneHooks, RecordSink, Snapshot,
+    SnapshotRestoreError, SnapshotSink,
 };
 pub use journal::{Journal, JournalEntry, JournalError, JournalMeta, QuarantinedCase, SkippedCase};
 pub use shard::Shard;

@@ -49,6 +49,7 @@ fn toy_campaign(n: usize, calls: Arc<AtomicUsize>) -> Campaign {
             Ok(trace)
         }),
         fork: None,
+        batch: None,
     }
 }
 
@@ -452,6 +453,7 @@ fn fail_fast_leaves_a_resumable_journal() {
             Ok(trace)
         }),
         fork: None,
+        batch: None,
     };
 
     // Sequential fail-fast run: cases 0..=4 are journaled, 5 aborts.

@@ -3,7 +3,7 @@
 //! ```text
 //! amsfi list
 //! amsfi run <campaign> [--workers N] [--shard I/C] [--journal PATH]
-//!           [--resume] [--checkpoint] [--early-abort] [--settle-ns N]
+//!           [--resume] [--checkpoint] [--batch] [--early-abort] [--settle-ns N]
 //!           [--timeout-ms N] [--retries N]
 //!           [--backoff-ms N] [--policy fail-fast|skip] [--progress-secs N]
 //!           [--max-steps N] [--min-dt-fs N] [--quarantine]
@@ -60,6 +60,12 @@ USAGE:
           --checkpoint       fork cases from golden-prefix checkpoints
                              (campaigns without fork support fall back
                              to from-scratch runs)
+          --batch            bit-parallel digital simulation: workers
+                             claim groups of up to 64 cases and run them
+                             lock-step against one golden machine, with
+                             per-lane verdicts byte-identical to scalar
+                             runs (campaigns without batch support fall
+                             back to scalar runs)
           --early-abort      classify each case while it simulates and
                              abort it the moment its verdict is sealed;
                              journal records gain sealed_at=<t_fs>
@@ -237,6 +243,7 @@ fn run(args: &[String]) -> ExitCode {
                 "--journal" => config.journal = Some(PathBuf::from(opts.value(arg)?)),
                 "--resume" => config.resume = true,
                 "--checkpoint" => config.checkpoint = true,
+                "--batch" => config.batch = true,
                 "--early-abort" => config.early_abort = true,
                 "--settle-ns" => {
                     config.settle = Some(Time::from_ns(opts.parse(arg)?));

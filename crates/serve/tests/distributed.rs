@@ -48,6 +48,7 @@ fn toy_campaign(n: usize) -> Campaign {
             Ok(trace)
         }),
         fork: None,
+        batch: None,
     }
 }
 

@@ -273,6 +273,12 @@ pub struct KernelMetrics {
     /// Approximate bytes of golden trace kept resident and shared across
     /// workers (counted once per engine run).
     pub golden_trace_bytes: Counter,
+    /// Distribution of live (still-simulating) mutant-lane counts observed
+    /// at each batch lock-step boundary (`amsfi run --batch`).
+    pub lanes_active: LogHistogram,
+    /// Mutant lanes retired early because their full machine state
+    /// reconverged with the golden machine's (batch reconvergence seal).
+    pub lane_seals: Counter,
 }
 
 impl KernelMetrics {
@@ -398,6 +404,15 @@ impl KernelMetrics {
             &[],
             self.golden_trace_bytes.get(),
         );
+        prom_type(&mut out, "amsfi_lane_seals_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_lane_seals_total",
+            &[],
+            self.lane_seals.get(),
+        );
+        prom_type(&mut out, "amsfi_lanes_active", "histogram");
+        prom_histogram(&mut out, "amsfi_lanes_active", &[], &self.lanes_active);
 
         prom_type(&mut out, "amsfi_proposed_dt_femtoseconds", "histogram");
         prom_histogram(

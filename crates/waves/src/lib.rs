@@ -65,7 +65,7 @@ pub use compare::{
 };
 pub use fork::{Checkpoint, CheckpointMismatch, Fnv1a, ForkableSim};
 pub use guard::{CancelToken, GuardViolation, SimBudget, CLOCK_STRIDE};
-pub use logic::Logic;
+pub use logic::{Logic, LogicPlanes, LANES};
 pub use stream::{AnalogStream, DigitalStream, SimObserver, TraceView, OBSERVER_STRIDE};
 pub use time::Time;
 pub use trace::Trace;

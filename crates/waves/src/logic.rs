@@ -277,48 +277,358 @@ impl fmt::Display for Logic {
 
 impl Not for Logic {
     type Output = Logic;
-    /// Logical inversion with X-propagation: metalogical inputs give `X`
-    /// (except `U`, which stays `U`).
+    /// Logical inversion per the IEEE 1164 `not` table: `U` stays `U`, other
+    /// metalogical inputs give `X`.
     fn not(self) -> Logic {
-        match self.to_x01() {
-            Logic::Zero => Logic::One,
-            Logic::One => Logic::Zero,
-            _ if self == Logic::Uninitialized => Logic::Uninitialized,
-            _ => Logic::Unknown,
+        if self.is_low() {
+            Logic::One
+        } else if self.is_high() {
+            Logic::Zero
+        } else if self == Logic::Uninitialized {
+            Logic::Uninitialized
+        } else {
+            Logic::Unknown
         }
     }
 }
 
 impl BitAnd for Logic {
     type Output = Logic;
+    /// IEEE 1164 `and`: a low side forces `0` even against `U`; otherwise
+    /// `U` is contagious, then `X`-propagation applies.
     fn bitand(self, rhs: Logic) -> Logic {
-        match (self.to_x01(), rhs.to_x01()) {
-            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
-            (Logic::One, Logic::One) => Logic::One,
-            _ => Logic::Unknown,
+        if self.is_low() || rhs.is_low() {
+            Logic::Zero
+        } else if self == Logic::Uninitialized || rhs == Logic::Uninitialized {
+            Logic::Uninitialized
+        } else if self.is_high() && rhs.is_high() {
+            Logic::One
+        } else {
+            Logic::Unknown
         }
     }
 }
 
 impl BitOr for Logic {
     type Output = Logic;
+    /// IEEE 1164 `or`: a high side forces `1` even against `U`; otherwise
+    /// `U` is contagious, then `X`-propagation applies.
     fn bitor(self, rhs: Logic) -> Logic {
-        match (self.to_x01(), rhs.to_x01()) {
-            (Logic::One, _) | (_, Logic::One) => Logic::One,
-            (Logic::Zero, Logic::Zero) => Logic::Zero,
-            _ => Logic::Unknown,
+        if self.is_high() || rhs.is_high() {
+            Logic::One
+        } else if self == Logic::Uninitialized || rhs == Logic::Uninitialized {
+            Logic::Uninitialized
+        } else if self.is_low() && rhs.is_low() {
+            Logic::Zero
+        } else {
+            Logic::Unknown
         }
     }
 }
 
 impl BitXor for Logic {
     type Output = Logic;
+    /// IEEE 1164 `xor`: no dominating value, so `U` on either side is
+    /// contagious before `X`-propagation.
     fn bitxor(self, rhs: Logic) -> Logic {
-        match (self.to_x01(), rhs.to_x01()) {
-            (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One) => Logic::Zero,
-            (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero) => Logic::One,
-            _ => Logic::Unknown,
+        if self == Logic::Uninitialized || rhs == Logic::Uninitialized {
+            Logic::Uninitialized
+        } else {
+            match (self.to_x01(), rhs.to_x01()) {
+                (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One) => Logic::Zero,
+                (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero) => Logic::One,
+                _ => Logic::Unknown,
+            }
         }
+    }
+}
+
+/// Number of fault-simulation lanes packed into one [`LogicPlanes`] word.
+pub const LANES: usize = 64;
+
+/// 64 lanes of nine-valued logic in bit-sliced form.
+///
+/// Each lane holds one [`Logic`] value encoded as its [`Logic::index`] in
+/// [`Logic::ALL`] order, spread across four bit-planes: bit *k* of
+/// `planes[p]` is bit *p* of lane *k*'s code. Nine codes need four planes
+/// (`DontCare` is code 8 = `0b1000`); plane pattern `0b0000` is
+/// `Uninitialized`, so an all-zero word is 64 power-on-default lanes — the
+/// same invariant scalar [`Logic::default`] has.
+///
+/// The gate and resolution kernels below operate on all 64 lanes per call
+/// with word-parallel boolean algebra and are proven equal to the scalar
+/// tables over all 9×9 input pairs in this module's tests.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_waves::{Logic, LogicPlanes};
+///
+/// let mut a = LogicPlanes::splat(Logic::One);
+/// a.set_lane(3, Logic::Uninitialized);
+/// let b = LogicPlanes::splat(Logic::One);
+/// let and = a.and(b);
+/// assert_eq!(and.lane(0), Logic::One);
+/// assert_eq!(and.lane(3), Logic::Uninitialized);
+/// // Lane 3 differs from the golden broadcast:
+/// assert_eq!(and.diverged_mask(b), 1 << 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogicPlanes {
+    planes: [u64; 4],
+}
+
+/// Per-class lane masks derived from a [`LogicPlanes`] word: bit *k* of a
+/// field is set iff lane *k* holds that value. Exactly one field has each
+/// lane bit set.
+#[derive(Clone, Copy, Default)]
+struct ClassMasks {
+    u: u64,
+    x: u64,
+    zero: u64,
+    one: u64,
+    z: u64,
+    w: u64,
+    l: u64,
+    h: u64,
+    dc: u64,
+}
+
+impl LogicPlanes {
+    /// All 64 lanes at the power-on default (`Uninitialized`, code 0).
+    pub const fn new() -> Self {
+        Self { planes: [0; 4] }
+    }
+
+    /// Broadcasts one value to all 64 lanes.
+    pub const fn splat(v: Logic) -> Self {
+        let code = v.index() as u64;
+        let mut planes = [0u64; 4];
+        let mut p = 0;
+        while p < 4 {
+            if (code >> p) & 1 == 1 {
+                planes[p] = u64::MAX;
+            }
+            p += 1;
+        }
+        Self { planes }
+    }
+
+    /// Packs a slice of lane values (lane 0 first). Panics if more than
+    /// [`LANES`] values are given; missing lanes stay `Uninitialized`.
+    pub fn from_lanes(values: &[Logic]) -> Self {
+        assert!(values.len() <= LANES, "more than {LANES} lanes");
+        let mut out = Self::new();
+        for (lane, &v) in values.iter().enumerate() {
+            out.set_lane(lane, v);
+        }
+        out
+    }
+
+    /// Sets one lane's value.
+    pub fn set_lane(&mut self, lane: usize, v: Logic) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let bit = 1u64 << lane;
+        let code = v.index() as u64;
+        for (p, plane) in self.planes.iter_mut().enumerate() {
+            if (code >> p) & 1 == 1 {
+                *plane |= bit;
+            } else {
+                *plane &= !bit;
+            }
+        }
+    }
+
+    /// Reads one lane's value.
+    pub fn lane(&self, lane: usize) -> Logic {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let mut code = 0usize;
+        for (p, plane) in self.planes.iter().enumerate() {
+            code |= (((plane >> lane) & 1) as usize) << p;
+        }
+        Logic::ALL[code]
+    }
+
+    /// The raw bit-planes (plane *p* holds bit *p* of every lane's code).
+    pub const fn planes(&self) -> [u64; 4] {
+        self.planes
+    }
+
+    /// Lanes whose value differs from `other`, as a bit mask. One XOR/OR
+    /// pass over the planes — this is the batch simulator's live
+    /// divergence mask primitive.
+    pub const fn diverged_mask(&self, other: LogicPlanes) -> u64 {
+        (self.planes[0] ^ other.planes[0])
+            | (self.planes[1] ^ other.planes[1])
+            | (self.planes[2] ^ other.planes[2])
+            | (self.planes[3] ^ other.planes[3])
+    }
+
+    fn classes(&self) -> ClassMasks {
+        let [p0, p1, p2, p3] = self.planes;
+        let n3 = !p3;
+        ClassMasks {
+            u: !p0 & !p1 & !p2 & n3,
+            x: p0 & !p1 & !p2 & n3,
+            zero: !p0 & p1 & !p2 & n3,
+            one: p0 & p1 & !p2 & n3,
+            z: !p0 & !p1 & p2 & n3,
+            w: p0 & !p1 & p2 & n3,
+            l: !p0 & p1 & p2 & n3,
+            h: p0 & p1 & p2 & n3,
+            dc: !p0 & !p1 & !p2 & p3,
+        }
+    }
+
+    /// Recomposes planes from disjoint per-output-class masks. Any lane not
+    /// covered by a mask ends up `Uninitialized` (code 0, like `m.u`); the
+    /// kernels always cover every lane, and none outputs `-`.
+    fn compose(m: ClassMasks) -> Self {
+        Self {
+            planes: [
+                m.x | m.one | m.w | m.h,
+                m.zero | m.one | m.l | m.h,
+                m.z | m.w | m.l | m.h,
+                m.dc,
+            ],
+        }
+    }
+
+    /// Lane-parallel IEEE 1164 `and` (equal to the scalar `&` operator in
+    /// every lane).
+    #[must_use]
+    pub fn and(self, rhs: LogicPlanes) -> LogicPlanes {
+        let a = self.classes();
+        let b = rhs.classes();
+        let a_low = a.zero | a.l;
+        let b_low = b.zero | b.l;
+        let a_high = a.one | a.h;
+        let b_high = b.one | b.h;
+        let zero = a_low | b_low;
+        let u = (a.u | b.u) & !zero;
+        let one = a_high & b_high & !zero;
+        let x = !(zero | u | one);
+        Self::compose(ClassMasks {
+            u,
+            x,
+            zero,
+            one,
+            ..ClassMasks::default()
+        })
+    }
+
+    /// Lane-parallel IEEE 1164 `or`.
+    #[must_use]
+    pub fn or(self, rhs: LogicPlanes) -> LogicPlanes {
+        let a = self.classes();
+        let b = rhs.classes();
+        let a_low = a.zero | a.l;
+        let b_low = b.zero | b.l;
+        let a_high = a.one | a.h;
+        let b_high = b.one | b.h;
+        let one = a_high | b_high;
+        let u = (a.u | b.u) & !one;
+        let zero = a_low & b_low & !one;
+        let x = !(one | u | zero);
+        Self::compose(ClassMasks {
+            u,
+            x,
+            zero,
+            one,
+            ..ClassMasks::default()
+        })
+    }
+
+    /// Lane-parallel IEEE 1164 `xor`.
+    #[must_use]
+    pub fn xor(self, rhs: LogicPlanes) -> LogicPlanes {
+        let a = self.classes();
+        let b = rhs.classes();
+        let a_low = a.zero | a.l;
+        let b_low = b.zero | b.l;
+        let a_high = a.one | a.h;
+        let b_high = b.one | b.h;
+        let u = a.u | b.u;
+        let zero = ((a_low & b_low) | (a_high & b_high)) & !u;
+        let one = ((a_low & b_high) | (a_high & b_low)) & !u;
+        let x = !(u | zero | one);
+        Self::compose(ClassMasks {
+            u,
+            x,
+            zero,
+            one,
+            ..ClassMasks::default()
+        })
+    }
+
+    /// Lane-parallel IEEE 1164 `not`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> LogicPlanes {
+        let a = self.classes();
+        let one = a.zero | a.l;
+        let zero = a.one | a.h;
+        let u = a.u;
+        let x = !(one | zero | u);
+        Self::compose(ClassMasks {
+            u,
+            x,
+            zero,
+            one,
+            ..ClassMasks::default()
+        })
+    }
+
+    /// Lane-parallel IEEE 1164 driver resolution (equal to
+    /// [`Logic::resolve`] in every lane).
+    ///
+    /// Decomposed by strength region: `U` is contagious; any strong driver
+    /// (`X 0 1 -`, with `-` contributing as `X`) masks all weak drivers;
+    /// weak drivers (`W L H`) mask `Z`; two `Z` stay `Z`. Conflicting
+    /// levels within a region give that region's unknown.
+    #[must_use]
+    pub fn resolve(self, rhs: LogicPlanes) -> LogicPlanes {
+        let a = self.classes();
+        let b = rhs.classes();
+        let m_u = a.u | b.u;
+
+        // Strong region: `-` resolves exactly like `X` (see the scalar table).
+        let s_x = a.x | a.dc | b.x | b.dc;
+        let s_0 = a.zero | b.zero;
+        let s_1 = a.one | b.one;
+        let strong = s_x | s_0 | s_1;
+        let out_sx = s_x | (s_0 & s_1);
+
+        // Weak region, only visible where no strong driver is present.
+        let w_x = a.w | b.w;
+        let w_0 = a.l | b.l;
+        let w_1 = a.h | b.h;
+        let weak = w_x | w_0 | w_1;
+        let out_wx = w_x | (w_0 & w_1);
+
+        let live = !m_u;
+        let weak_live = live & !strong;
+        Self::compose(ClassMasks {
+            u: m_u,
+            x: live & out_sx,
+            zero: live & strong & s_0 & !out_sx,
+            one: live & strong & s_1 & !out_sx,
+            z: weak_live & !weak,
+            w: weak_live & out_wx,
+            l: weak_live & w_0 & !out_wx,
+            h: weak_live & w_1 & !out_wx,
+            dc: 0,
+        })
+    }
+}
+
+impl fmt::Debug for LogicPlanes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogicPlanes[")?;
+        for lane in 0..LANES {
+            write!(f, "{}", self.lane(lane).to_char())?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -427,5 +737,209 @@ mod tests {
         assert_eq!(Logic::WeakOne & Logic::One, Logic::One);
         assert_eq!(Logic::WeakZero | Logic::Zero, Logic::Zero);
         assert_eq!(Logic::WeakOne ^ Logic::WeakZero, Logic::One);
+    }
+
+    /// Parses a 9×9 reference table written as rows of IEEE 1164 characters
+    /// in `Logic::ALL` order (row = left operand, column = right operand).
+    fn table(rows: [&str; 9]) -> Vec<Vec<Logic>> {
+        rows.iter()
+            .map(|row| row.chars().map(|c| Logic::from_char(c).unwrap()).collect())
+            .collect()
+    }
+
+    /// IEEE 1164-1993 `and_table`, transcribed from the standard package
+    /// body (operands in `U X 0 1 Z W L H -` order).
+    fn ieee_and() -> Vec<Vec<Logic>> {
+        table([
+            "UU0UUU0UU", // U
+            "UX0XXX0XX", // X
+            "000000000", // 0
+            "UX01XX01X", // 1
+            "UX0XXX0XX", // Z
+            "UX0XXX0XX", // W
+            "000000000", // L
+            "UX01XX01X", // H
+            "UX0XXX0XX", // -
+        ])
+    }
+
+    /// IEEE 1164-1993 `or_table`.
+    fn ieee_or() -> Vec<Vec<Logic>> {
+        table([
+            "UUU1UUU1U", // U
+            "UXX1XXX1X", // X
+            "UX01XX01X", // 0
+            "111111111", // 1
+            "UXX1XXX1X", // Z
+            "UXX1XXX1X", // W
+            "UX01XX01X", // L
+            "111111111", // H
+            "UXX1XXX1X", // -
+        ])
+    }
+
+    /// IEEE 1164-1993 `xor_table`.
+    fn ieee_xor() -> Vec<Vec<Logic>> {
+        table([
+            "UUUUUUUUU", // U
+            "UXXXXXXXX", // X
+            "UX01XX01X", // 0
+            "UX10XX10X", // 1
+            "UXXXXXXXX", // Z
+            "UXXXXXXXX", // W
+            "UX01XX01X", // L
+            "UX10XX10X", // H
+            "UXXXXXXXX", // -
+        ])
+    }
+
+    /// IEEE 1164-1993 `resolution_table`.
+    fn ieee_resolve() -> Vec<Vec<Logic>> {
+        table([
+            "UUUUUUUUU", // U
+            "UXXXXXXXX", // X
+            "UX0X0000X", // 0
+            "UXX11111X", // 1
+            "UX01ZWLHX", // Z
+            "UX01WWWWX", // W
+            "UX01LWLWX", // L
+            "UX01HWWHX", // H
+            "UXXXXXXXX", // -
+        ])
+    }
+
+    /// IEEE 1164-1993 `not_table` (`U X 0 1 Z W L H -` → `U X 1 0 X X 1 0 X`).
+    fn ieee_not() -> Vec<Logic> {
+        "UX10XX10X"
+            .chars()
+            .map(|c| Logic::from_char(c).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn and_matches_ieee_1164_over_all_81_pairs() {
+        let t = ieee_and();
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a & b, t[a.index()][b.index()], "and({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn or_matches_ieee_1164_over_all_81_pairs() {
+        let t = ieee_or();
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a | b, t[a.index()][b.index()], "or({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_matches_ieee_1164_over_all_81_pairs() {
+        let t = ieee_xor();
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a ^ b, t[a.index()][b.index()], "xor({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn not_matches_ieee_1164_over_all_values() {
+        let t = ieee_not();
+        for a in Logic::ALL {
+            assert_eq!(!a, t[a.index()], "not({a})");
+        }
+    }
+
+    #[test]
+    fn resolve_matches_ieee_1164_over_all_81_pairs() {
+        let t = ieee_resolve();
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.resolve(b), t[a.index()][b.index()], "resolve({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn planes_encoding_round_trips_and_defaults_to_uninitialized() {
+        assert_eq!(LogicPlanes::new(), LogicPlanes::default());
+        for lane in 0..LANES {
+            assert_eq!(LogicPlanes::new().lane(lane), Logic::Uninitialized);
+        }
+        // splat + set_lane + lane round-trip every value in every position.
+        for v in Logic::ALL {
+            let s = LogicPlanes::splat(v);
+            for lane in 0..LANES {
+                assert_eq!(s.lane(lane), v);
+            }
+        }
+        let mut w = LogicPlanes::splat(Logic::WeakOne);
+        for (lane, v) in Logic::ALL.iter().cycle().take(LANES).enumerate() {
+            w.set_lane(lane, *v);
+        }
+        for (lane, v) in Logic::ALL.iter().cycle().take(LANES).enumerate() {
+            assert_eq!(w.lane(lane), *v);
+        }
+        // Plane pattern 0 is reserved for Uninitialized.
+        assert_eq!(LogicPlanes::splat(Logic::Uninitialized).planes(), [0; 4]);
+    }
+
+    /// Every 9×9 operand pair, packed across two 64-lane words (81 pairs,
+    /// lane k of word w holds pair 64·w + k).
+    #[allow(clippy::type_complexity)]
+    fn all_pairs_packed() -> Vec<(LogicPlanes, LogicPlanes, Vec<(Logic, Logic)>)> {
+        let pairs: Vec<(Logic, Logic)> = Logic::ALL
+            .iter()
+            .flat_map(|&a| Logic::ALL.iter().map(move |&b| (a, b)))
+            .collect();
+        pairs
+            .chunks(LANES)
+            .map(|chunk| {
+                let a = LogicPlanes::from_lanes(&chunk.iter().map(|p| p.0).collect::<Vec<_>>());
+                let b = LogicPlanes::from_lanes(&chunk.iter().map(|p| p.1).collect::<Vec<_>>());
+                (a, b, chunk.to_vec())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plane_kernels_equal_scalar_tables_over_all_81_pairs() {
+        for (a, b, pairs) in all_pairs_packed() {
+            let and = a.and(b);
+            let or = a.or(b);
+            let xor = a.xor(b);
+            let not = a.not();
+            let res = a.resolve(b);
+            for (lane, &(x, y)) in pairs.iter().enumerate() {
+                assert_eq!(and.lane(lane), x & y, "and({x},{y})");
+                assert_eq!(or.lane(lane), x | y, "or({x},{y})");
+                assert_eq!(xor.lane(lane), x ^ y, "xor({x},{y})");
+                assert_eq!(not.lane(lane), !x, "not({x})");
+                assert_eq!(res.lane(lane), x.resolve(y), "resolve({x},{y})");
+            }
+            // Unfilled tail lanes are Uninitialized on both sides, and every
+            // kernel maps (U, U) to U — i.e. stays at plane pattern 0.
+            for lane in pairs.len()..LANES {
+                assert_eq!(and.lane(lane), Logic::Uninitialized);
+                assert_eq!(res.lane(lane), Logic::Uninitialized);
+            }
+        }
+    }
+
+    #[test]
+    fn diverged_mask_flags_exactly_the_differing_lanes() {
+        let golden = LogicPlanes::splat(Logic::Zero);
+        let mut faulty = golden;
+        assert_eq!(faulty.diverged_mask(golden), 0);
+        faulty.set_lane(0, Logic::One);
+        faulty.set_lane(17, Logic::Unknown);
+        faulty.set_lane(63, Logic::Uninitialized);
+        assert_eq!(faulty.diverged_mask(golden), 1 | (1 << 17) | (1 << 63));
+        // The mask is symmetric.
+        assert_eq!(golden.diverged_mask(faulty), faulty.diverged_mask(golden));
     }
 }

@@ -125,6 +125,34 @@ impl Trace {
         self.analog.extend(other.analog);
     }
 
+    /// Completes this trace (recorded up to time `at`) with `golden`'s
+    /// records strictly after `at`.
+    ///
+    /// This is the reconvergence-seal splice of the batch simulator: once a
+    /// mutant lane's full machine state is exactly equal to the golden
+    /// machine's at `at`, its future is the golden future, so the lane's
+    /// remaining waveform is the golden waveform. Because both sides record
+    /// only value *changes* and the values at `at` agree, the spliced trace
+    /// is identical to what simulating the lane to the end would record.
+    pub fn splice_golden_suffix(&mut self, golden: &Trace, at: Time) {
+        for (name, wave) in &golden.digital {
+            for &(t, v) in wave.transitions() {
+                if t > at {
+                    self.record_digital(name, t, v)
+                        .expect("golden suffix transition precedes lane prefix end");
+                }
+            }
+        }
+        for (name, wave) in &golden.analog {
+            for &(t, v) in wave.samples() {
+                if t > at {
+                    self.record_analog(name, t, v)
+                        .expect("golden suffix sample precedes lane prefix end");
+                }
+            }
+        }
+    }
+
     /// Approximate resident size of the recorded data in bytes: payload
     /// vectors plus signal names (map/allocator overhead excluded). Used
     /// for memory-telemetry counters such as the engine's shared

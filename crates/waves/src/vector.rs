@@ -1,6 +1,6 @@
 //! Fixed-width vectors of [`Logic`] values (buses, registers).
 
-use crate::Logic;
+use crate::{Logic, LogicPlanes, LANES};
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor, Index, IndexMut, Not};
 use std::str::FromStr;
@@ -129,6 +129,32 @@ impl LogicVector {
         &self.bits
     }
 
+    /// Packs bits `[lo, lo + n)` (where `n = min(LANES, width - lo)`) into a
+    /// bit-sliced word, bit `lo` in lane 0. Used by the plane-parallel
+    /// bulk operators and the batch simulator's divergence masks.
+    pub fn planes_from(&self, lo: usize) -> LogicPlanes {
+        let hi = self.bits.len().min(lo + LANES);
+        LogicPlanes::from_lanes(&self.bits[lo..hi])
+    }
+
+    /// Applies a bit-sliced binary kernel chunk-wise over two equal-width
+    /// vectors; exact per-bit equality with the scalar operators is proven
+    /// by the `LogicPlanes` kernel tests.
+    fn zip_planes(
+        &self,
+        rhs: &LogicVector,
+        kernel: impl Fn(LogicPlanes, LogicPlanes) -> LogicPlanes,
+    ) -> LogicVector {
+        assert_eq!(self.width(), rhs.width(), "bitwise op width mismatch");
+        let mut bits = Vec::with_capacity(self.width());
+        for lo in (0..self.width()).step_by(LANES) {
+            let out = kernel(self.planes_from(lo), rhs.planes_from(lo));
+            let n = (self.width() - lo).min(LANES);
+            bits.extend((0..n).map(|lane| out.lane(lane)));
+        }
+        LogicVector { bits }
+    }
+
     /// The number of bits that differ from `other` (both reduced to X01;
     /// a differing metalogical status also counts).
     ///
@@ -189,31 +215,35 @@ impl IntoIterator for LogicVector {
 impl Not for &LogicVector {
     type Output = LogicVector;
     fn not(self) -> LogicVector {
-        self.iter().map(|b| !b).collect()
+        let mut bits = Vec::with_capacity(self.width());
+        for lo in (0..self.width()).step_by(LANES) {
+            let out = self.planes_from(lo).not();
+            let n = (self.width() - lo).min(LANES);
+            bits.extend((0..n).map(|lane| out.lane(lane)));
+        }
+        LogicVector { bits }
     }
 }
 
 macro_rules! vector_bitop {
-    ($trait:ident, $method:ident) => {
+    ($trait:ident, $method:ident, $kernel:ident) => {
         impl $trait for &LogicVector {
             type Output = LogicVector;
+            /// Bit-sliced: evaluates up to 64 bits per plane-kernel call.
+            ///
             /// # Panics
             ///
             /// Panics if the operand widths differ.
             fn $method(self, rhs: &LogicVector) -> LogicVector {
-                assert_eq!(self.width(), rhs.width(), "bitwise op width mismatch");
-                self.iter()
-                    .zip(rhs.iter())
-                    .map(|(a, b)| a.$method(b))
-                    .collect()
+                self.zip_planes(rhs, LogicPlanes::$kernel)
             }
         }
     };
 }
 
-vector_bitop!(BitAnd, bitand);
-vector_bitop!(BitOr, bitor);
-vector_bitop!(BitXor, bitxor);
+vector_bitop!(BitAnd, bitand, and);
+vector_bitop!(BitOr, bitor, or);
+vector_bitop!(BitXor, bitxor, xor);
 
 impl fmt::Display for LogicVector {
     /// Prints MSB first, one IEEE 1164 character per bit.
@@ -319,6 +349,30 @@ mod tests {
         assert_eq!((&a | &b).to_u64(), Some(0b1110));
         assert_eq!((&a ^ &b).to_u64(), Some(0b0110));
         assert_eq!((!&a).to_u64(), Some(0b0011));
+    }
+
+    #[test]
+    fn plane_backed_ops_match_scalar_per_bit_across_word_boundaries() {
+        // 150 bits: spans three 64-lane plane words, cycling all nine values
+        // with different phases so every (a, b) class pair occurs.
+        let a: LogicVector = Logic::ALL.iter().copied().cycle().take(150).collect();
+        let b: LogicVector = Logic::ALL
+            .iter()
+            .copied()
+            .cycle()
+            .skip(4)
+            .take(150)
+            .collect();
+        let and = &a & &b;
+        let or = &a | &b;
+        let xor = &a ^ &b;
+        let not = !&a;
+        for i in 0..a.width() {
+            assert_eq!(and[i], a[i] & b[i], "and bit {i}");
+            assert_eq!(or[i], a[i] | b[i], "or bit {i}");
+            assert_eq!(xor[i], a[i] ^ b[i], "xor bit {i}");
+            assert_eq!(not[i], !a[i], "not bit {i}");
+        }
     }
 
     #[test]
