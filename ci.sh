@@ -129,3 +129,80 @@ sort "$tmp/scalar.journal" >"$tmp/scalar.sorted"
 sort "$tmp/batch.journal" >"$tmp/batch.sorted"
 cmp "$tmp/scalar.sorted" "$tmp/batch.sorted"
 rm -rf "$tmp"
+
+# PR 8 chaos-net smoke: clean distributed baseline, the kill-and-restart
+# drill (coordinator SIGKILLed mid-stream, replacement recovers the
+# journal dir, worker reconnects with backoff and replays its cache) and
+# a campaign driven through the fault-injecting TCP proxy. Gates:
+# byte-identical cases.csv everywhere, one journal record per case, no
+# case simulated twice. Emits results/bench/BENCH_pr8.json with the
+# recovery-overhead numbers.
+cargo build --release -p amsfi-bench --bin pr8_chaos_net
+./target/release/pr8_chaos_net
+
+# PR 8 CLI e2e: crash-safe serve with real processes. `amsfi status`
+# against a dead address exits with the dedicated code 5; a coordinator
+# is SIGKILLed after one shard merges and a restart on the same journal
+# dir recovers the campaign (no --campaign needed: the persisted
+# submission is replayed); the final merged report is byte-identical to
+# a single-process run; `amsfi drain` shuts a coordinator down cleanly.
+tmp=$(mktemp -d)
+port=17181
+set +e
+./target/release/amsfi status 127.0.0.1:$port
+rc=$?
+set -e
+test "$rc" -eq 5
+
+./target/release/amsfi serve --bind 127.0.0.1:$port --campaign pll-sweep \
+    --shards 3 --journal-dir "$tmp/journals" &
+serve_pid=$!
+i=0
+until ./target/release/amsfi status 127.0.0.1:$port >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "amsfi serve never came up on 127.0.0.1:$port" >&2
+        kill $serve_pid 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+./target/release/amsfi worker 127.0.0.1:$port --max-shards 1 --name ci-pre-crash
+kill -9 $serve_pid
+wait $serve_pid || true
+
+./target/release/amsfi serve --bind 127.0.0.1:$port --until-drained \
+    --journal-dir "$tmp/journals" &
+serve_pid=$!
+i=0
+until ./target/release/amsfi status 127.0.0.1:$port >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "recovering amsfi serve never came up on 127.0.0.1:$port" >&2
+        kill $serve_pid 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+./target/release/amsfi worker 127.0.0.1:$port --exit-when-done --name ci-post-crash
+wait $serve_pid
+./target/release/amsfi run pll-sweep --out "$tmp/single" --progress-secs 0
+./target/release/amsfi merge "$tmp/journals"/*.journal --out "$tmp/merged"
+cmp "$tmp/single/cases.csv" "$tmp/merged/cases.csv"
+
+./target/release/amsfi serve --bind 127.0.0.1:$port --campaign pll-digital \
+    --limit 4 --journal-dir "$tmp/drain-journals" &
+serve_pid=$!
+i=0
+until ./target/release/amsfi status 127.0.0.1:$port >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "drain-test amsfi serve never came up on 127.0.0.1:$port" >&2
+        kill $serve_pid 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+./target/release/amsfi drain 127.0.0.1:$port
+wait $serve_pid
+rm -rf "$tmp"

@@ -1,0 +1,327 @@
+//! **PR 8 chaos-net smoke** — the CI gate for crash-safe distributed
+//! campaigns. Four phases on the full `pll-sweep` campaign:
+//!
+//! 1. a single-process reference run (the byte-identity oracle);
+//! 2. a clean distributed baseline (coordinator + one worker);
+//! 3. the **kill-and-restart drill**: the coordinator is killed while
+//!    records stream in, a replacement recovers the journal dir on the
+//!    same address, and the worker reconnects with backoff and finishes.
+//!    Gates: `cases.csv` byte-identical, exactly one journal record per
+//!    case, one campaign recovered, and — via an instrumented campaign
+//!    source — **no case simulated twice**;
+//! 4. a **chaos-net run**: the worker talks through the fault-injecting
+//!    proxy (connection cut mid-frame, truncated reply, duplicated
+//!    frame, latency spike across successive connections) and the
+//!    merged report must still come out byte-identical.
+//!
+//! Emits `results/bench/BENCH_pr8.json` with the wall-clock numbers,
+//! including the recovery and chaos overheads against the clean
+//! distributed baseline.
+//!
+//! ```text
+//! cargo run --release -p amsfi-bench --bin pr8_chaos_net
+//! ```
+//!
+//! Exits non-zero (assert) on any deviation, so `ci.sh` can gate on it.
+
+use amsfi_bench::banner;
+use amsfi_core::report;
+use amsfi_engine::{campaigns, journal, CaseCtx, Engine, EngineConfig};
+use amsfi_serve::{
+    catalog_source, CampaignSource, ChaosProxy, Coordinator, CoordinatorConfig, FaultPlan,
+    FaultSchedule, FrameFault, WorkerConfig,
+};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CAMPAIGN: &str = "pll-sweep";
+const SHARDS: usize = 4;
+
+/// Wraps a campaign source so every faulty-case simulation (golden runs
+/// carry no index) bumps a shared counter — the "no case simulated
+/// twice" oracle for the restart drill.
+fn counting_source(inner: CampaignSource) -> (CampaignSource, Arc<AtomicUsize>) {
+    let simulated = Arc::new(AtomicUsize::new(0));
+    let source: CampaignSource = {
+        let simulated = Arc::clone(&simulated);
+        Arc::new(move |name: &str, limit: Option<usize>| {
+            inner(name, limit).map(|mut campaign| {
+                let runner = Arc::clone(&campaign.runner);
+                let simulated = Arc::clone(&simulated);
+                campaign.runner = Arc::new(move |ctx: &CaseCtx| {
+                    if ctx.index().is_some() {
+                        simulated.fetch_add(1, Ordering::Relaxed);
+                    }
+                    runner(ctx)
+                });
+                campaign
+            })
+        })
+    };
+    (source, simulated)
+}
+
+fn coordinator_cfg(dir: &Path, until_drained: bool) -> CoordinatorConfig {
+    let mut cfg = CoordinatorConfig::new(dir, catalog_source());
+    cfg.until_drained = until_drained;
+    cfg.lease_timeout = Duration::from_millis(1000);
+    cfg.reap_interval = Duration::from_millis(50);
+    cfg.retry_ms = 25;
+    cfg
+}
+
+fn worker_cfg(addr: &str, name: &str, source: CampaignSource) -> WorkerConfig {
+    let mut cfg = WorkerConfig::new(addr, source);
+    cfg.name = name.to_owned();
+    cfg.threads = 2;
+    cfg.poll = Duration::from_millis(25);
+    cfg.heartbeat = Duration::from_millis(200);
+    cfg.exit_when_done = true;
+    cfg.backoff = Duration::from_millis(10);
+    cfg.backoff_cap = Duration::from_millis(100);
+    cfg.backoff_seed = 11;
+    cfg.max_reconnects = Some(40);
+    cfg
+}
+
+/// Loads the merged journal and returns (canonical cases.csv, number of
+/// raw `case` lines in the file).
+fn merged_csv(path: &Path, cases: usize) -> (String, usize) {
+    let (meta, entries) = journal::load(path).expect("merged journal loads");
+    assert_eq!(meta.cases, cases);
+    assert_eq!(entries.len(), cases, "every case merged exactly once");
+    let (result, skipped, quarantined) = journal::assemble(&entries);
+    assert!(skipped.is_empty() && quarantined.is_empty());
+    let text = std::fs::read_to_string(path).unwrap();
+    let case_lines = text.lines().filter(|l| l.starts_with("case ")).count();
+    (report::cases_csv(&result), case_lines)
+}
+
+/// Binds a coordinator on a specific address a dead instance just held
+/// (the std listener sets `SO_REUSEADDR` on Unix; retry briefly anyway).
+fn bind_at(addr: &str, mk: impl Fn() -> CoordinatorConfig) -> Coordinator {
+    let start = Instant::now();
+    loop {
+        match Coordinator::bind(addr, mk()) {
+            Ok(c) => return c,
+            Err(e) if start.elapsed() < Duration::from_secs(5) => {
+                eprintln!("  rebinding {addr}: {e}; retrying");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("rebinding {addr}: {e}"),
+        }
+    }
+}
+
+fn main() {
+    banner("PR 8: crash-safe distributed campaigns (recovery + backoff + chaos-net)");
+
+    let campaign = campaigns::build(CAMPAIGN, None).expect("catalog campaign");
+    let cases = campaign.cases.len();
+    println!("  campaign {CAMPAIGN}: {cases} case(s), {SHARDS} shard(s)");
+
+    // --- Phase 1: single-process reference. ---------------------------
+    let t0 = Instant::now();
+    let reference = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&campaign)
+        .expect("single-process reference run");
+    let single_s = t0.elapsed().as_secs_f64();
+    let reference_csv = report::cases_csv(&reference.result);
+    println!("  single-process reference: {single_s:.3}s");
+
+    // --- Phase 2: clean distributed baseline (one worker). ------------
+    let dir = std::env::temp_dir().join(format!("amsfi-pr8-clean-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let coordinator =
+        Arc::new(Coordinator::bind("127.0.0.1:0", coordinator_cfg(&dir, true)).expect("bind"));
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let info = coordinator
+        .submit(CAMPAIGN, SHARDS, None, false, false)
+        .expect("submit campaign");
+    let serve = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.run())
+    };
+    let t1 = Instant::now();
+    let worker = {
+        let cfg = worker_cfg(&addr, "clean-w", catalog_source());
+        std::thread::spawn(move || amsfi_serve::worker::run(cfg))
+    };
+    serve.join().unwrap().expect("coordinator drains");
+    worker.join().unwrap().expect("clean worker");
+    let distributed_s = t1.elapsed().as_secs_f64();
+    let (clean_merged, clean_lines) = merged_csv(&info.journal, cases);
+    assert_eq!(
+        clean_merged, reference_csv,
+        "clean distributed byte-identity"
+    );
+    assert_eq!(clean_lines, cases);
+    drop(coordinator);
+    std::fs::remove_dir_all(&dir).ok();
+    println!("  clean distributed baseline: {distributed_s:.3}s");
+
+    // --- Phase 3: kill-and-restart drill. -----------------------------
+    let dir = std::env::temp_dir().join(format!("amsfi-pr8-restart-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (drill_source, simulated) = counting_source(catalog_source());
+    let first =
+        Arc::new(Coordinator::bind("127.0.0.1:0", coordinator_cfg(&dir, false)).expect("bind"));
+    let addr = first.local_addr().unwrap().to_string();
+    let info = first
+        .submit(CAMPAIGN, SHARDS, None, false, false)
+        .expect("submit campaign");
+    let serve = {
+        let first = Arc::clone(&first);
+        std::thread::spawn(move || first.run())
+    };
+    let t2 = Instant::now();
+    let worker = {
+        let cfg = worker_cfg(&addr, "drill-w", Arc::clone(&drill_source));
+        std::thread::spawn(move || amsfi_serve::worker::run(cfg))
+    };
+
+    // Kill the coordinator once a third of the campaign has merged: the
+    // worker is mid-stream, some shards are done, some are in flight.
+    let metrics = first.metrics();
+    let kill_at = (cases / 3).max(1) as u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while metrics.cases_merged.get() < kill_at {
+        assert!(
+            Instant::now() < deadline,
+            "campaign never reached kill point"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    first.request_shutdown();
+    serve.join().unwrap().expect("first coordinator exits");
+    let merged_at_kill = metrics.cases_merged.get();
+    drop(first);
+    println!("  coordinator killed with {merged_at_kill}/{cases} case(s) merged");
+
+    let second = Arc::new(bind_at(&addr, || coordinator_cfg(&dir, true)));
+    let recovery = second.metrics();
+    assert_eq!(recovery.campaigns_recovered.get(), 1, "campaign recovered");
+    let recovered = recovery.cases_recovered.get();
+    assert!(recovered >= 1, "merged work survived the crash");
+    let serve = {
+        let second = Arc::clone(&second);
+        std::thread::spawn(move || second.run())
+    };
+    serve.join().unwrap().expect("second coordinator drains");
+    let restart_s = t2.elapsed().as_secs_f64();
+    let worker_report = worker.join().unwrap();
+
+    let (drill_merged, drill_lines) = merged_csv(&info.journal, cases);
+    assert_eq!(drill_merged, reference_csv, "restart byte-identity");
+    assert_eq!(drill_lines, cases, "one journal record per case");
+    assert_eq!(
+        simulated.load(Ordering::Relaxed),
+        cases,
+        "no case simulated twice across the restart"
+    );
+    let records_replayed = match &worker_report {
+        Ok(r) => {
+            assert!(r.reconnects >= 1, "the kill forced a reconnect");
+            assert_eq!(r.cases_executed, cases, "worker executed each case once");
+            r.records_replayed
+        }
+        // The worker's final idle poll can race the drained coordinator's
+        // exit; the campaign outcome above is the gate, not its last gasp.
+        Err(e) => {
+            println!("  note: worker exited with {e} after the campaign completed");
+            0
+        }
+    };
+    drop(second);
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "  kill+restart drill: {restart_s:.3}s ({recovered} case(s) recovered, \
+         {records_replayed} record(s) replayed, byte-identical)"
+    );
+
+    // --- Phase 4: chaos-net — every fault schedule converges. ---------
+    let dir = std::env::temp_dir().join(format!("amsfi-pr8-chaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let coordinator =
+        Arc::new(Coordinator::bind("127.0.0.1:0", coordinator_cfg(&dir, true)).expect("bind"));
+    let upstream = coordinator.local_addr().unwrap();
+    let info = coordinator
+        .submit(CAMPAIGN, SHARDS, None, false, false)
+        .expect("submit campaign");
+    let serve = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.run())
+    };
+    let schedule: FaultSchedule = Arc::new(|conn| match conn {
+        0 => FaultPlan {
+            to_server: vec![FrameFault::DropAfterBytes { bytes: 400 }],
+            to_client: Vec::new(),
+        },
+        1 => FaultPlan {
+            to_server: Vec::new(),
+            to_client: vec![FrameFault::Truncate { frame: 2, keep: 3 }],
+        },
+        2 => FaultPlan {
+            to_server: vec![FrameFault::Duplicate { frame: 2 }],
+            to_client: vec![FrameFault::Delay {
+                frame: 1,
+                by: Duration::from_millis(30),
+            }],
+        },
+        _ => FaultPlan::clean(),
+    });
+    let mut proxy = ChaosProxy::bind(upstream, schedule).expect("bind chaos proxy");
+    let t3 = Instant::now();
+    let worker = {
+        let cfg = worker_cfg(&proxy.local_addr().to_string(), "chaos-w", catalog_source());
+        std::thread::spawn(move || amsfi_serve::worker::run(cfg))
+    };
+    serve
+        .join()
+        .unwrap()
+        .expect("coordinator drains under chaos");
+    let _ = worker.join().unwrap();
+    let chaos_s = t3.elapsed().as_secs_f64();
+    proxy.stop();
+    let faults_injected = proxy.stats().faults_injected();
+    let severed = proxy.stats().connections_severed();
+    assert!(
+        faults_injected >= 2,
+        "the chaos schedule must actually fire"
+    );
+    let (chaos_merged, chaos_lines) = merged_csv(&info.journal, cases);
+    assert_eq!(chaos_merged, reference_csv, "chaos byte-identity");
+    assert_eq!(
+        chaos_lines, cases,
+        "one journal record per case under chaos"
+    );
+    drop(coordinator);
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "  chaos-net run: {chaos_s:.3}s ({faults_injected} fault(s) injected, \
+         {severed} connection(s) severed, byte-identical)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr8_chaos_net\",\n  \"campaign\": \"{CAMPAIGN}\",\n  \
+         \"cases\": {cases},\n  \"shards\": {SHARDS},\n  \
+         \"single_process_s\": {single_s:.6},\n  \"distributed_clean_s\": {distributed_s:.6},\n  \
+         \"kill_restart_s\": {restart_s:.6},\n  \"chaos_s\": {chaos_s:.6},\n  \
+         \"recovery_overhead_s\": {:.6},\n  \"chaos_overhead_s\": {:.6},\n  \
+         \"cases_recovered\": {recovered},\n  \"records_replayed\": {records_replayed},\n  \
+         \"faults_injected\": {faults_injected},\n  \"connections_severed\": {severed},\n  \
+         \"simulations\": {},\n  \"byte_identical\": true\n}}\n",
+        restart_s - distributed_s,
+        chaos_s - distributed_s,
+        simulated.load(Ordering::Relaxed),
+    );
+    let path: std::path::PathBuf = std::env::var_os("AMSFI_BENCH_JSON")
+        .map_or_else(|| "results/bench/BENCH_pr8.json".into(), Into::into);
+    if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create bench output dir");
+    }
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("\n  -> wrote {}", path.display());
+}

@@ -469,13 +469,27 @@ pub fn assemble(
 pub fn pending(entries: &BTreeMap<usize, JournalEntry>, total: usize, shard: Shard) -> Vec<usize> {
     shard
         .case_indices(total)
-        .filter(|i| {
-            !matches!(
-                entries.get(i),
-                Some(JournalEntry::Done(_) | JournalEntry::Quarantined(_))
-            )
-        })
+        .filter(|i| !is_settled(entries, *i))
         .collect()
+}
+
+/// The complement of [`pending`]: which of `total` cases owned by
+/// `shard` are already settled in `entries` (done or quarantined) and
+/// must never be re-executed. This is the `done=` list a coordinator
+/// hands out when re-leasing a shard after a worker death or its own
+/// crash-recovery replay.
+pub fn settled(entries: &BTreeMap<usize, JournalEntry>, total: usize, shard: Shard) -> Vec<usize> {
+    shard
+        .case_indices(total)
+        .filter(|i| is_settled(entries, *i))
+        .collect()
+}
+
+fn is_settled(entries: &BTreeMap<usize, JournalEntry>, index: usize) -> bool {
+    matches!(
+        entries.get(&index),
+        Some(JournalEntry::Done(_) | JournalEntry::Quarantined(_))
+    )
 }
 
 /// Formats the journal v2 `case` record for one classified case — exactly

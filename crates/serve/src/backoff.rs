@@ -1,0 +1,164 @@
+//! Jittered exponential backoff for the worker's reconnect and polling
+//! loops.
+//!
+//! Two failure modes motivate this module, both observed in fleets of
+//! pollers hammering a restarted service:
+//!
+//! * **Retry storms.** A worker that retries a dead coordinator on a
+//!   fixed short interval turns an outage into a connect flood the
+//!   instant the coordinator returns. [`Backoff::next_delay`] grows the
+//!   wait exponentially (base, 2·base, 4·base, … capped), so a long
+//!   outage costs a few connection attempts, not thousands.
+//! * **Thundering herds.** A fleet of workers started together (or told
+//!   the same `retry_ms` poll hint) synchronises: every poll lands on
+//!   the coordinator in the same instant. Every delay this module hands
+//!   out is *jittered* — scaled by a uniform factor in `[0.5, 1.5)` —
+//!   so a fleet decorrelates within a few cycles.
+//!
+//! The randomness is a self-contained xorshift64* generator (no
+//! dependency, not cryptographic — decorrelation is the only goal),
+//! seeded from the process id and the clock so distinct workers jitter
+//! differently. Tests pass a fixed seed for reproducibility.
+
+use std::time::Duration;
+
+/// Jittered exponential backoff state. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff that starts at `base`, doubles per attempt and never
+    /// exceeds `cap` (before jitter; jitter may stretch a delay up to
+    /// 1.5×). `seed` feeds the jitter generator; zero is remapped so the
+    /// xorshift state is never stuck.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// A backoff seeded from the process id and the wall clock, so every
+    /// worker process jitters independently.
+    pub fn from_entropy(base: Duration, cap: Duration) -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos() as u64 | (d.as_secs() << 32));
+        Self::new(base, cap, nanos ^ (u64::from(std::process::id()) << 17))
+    }
+
+    /// The next delay in the exponential schedule, jittered. Each call
+    /// advances the schedule; [`reset`](Backoff::reset) rewinds it after
+    /// a success.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        self.jittered(exp)
+    }
+
+    /// How many delays have been handed out since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Rewinds the schedule to `base` after a success.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Scales `d` by a uniform factor in `[0.5, 1.5)` — the decorrelator
+    /// for fixed-cadence sleeps (idle `no_work` polling).
+    pub fn jittered(&mut self, d: Duration) -> Duration {
+        // 0.5 + u/2 for u uniform in [0, 1).
+        let factor = 0.5 + self.next_f64() / 2.0;
+        d.mul_f64(factor)
+    }
+
+    /// xorshift64*: tiny, fast, and plenty for decorrelation.
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let bits = x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_and_caps() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..12 {
+            let d = b.next_delay();
+            // Jitter bounds: [0.5, 1.5) of the exponential value, which
+            // itself is capped.
+            let exp = base.saturating_mul(1 << attempt.min(16)).min(cap);
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} < {:?}", exp / 2);
+            assert!(
+                d < exp.mul_f64(1.5),
+                "attempt {attempt}: {d:?} >= {:?}",
+                exp.mul_f64(1.5)
+            );
+            // Once capped, delays hover around the cap instead of growing.
+            if exp == cap {
+                assert!(d <= cap.mul_f64(1.5));
+            }
+            prev = d;
+        }
+        assert!(prev >= cap / 2);
+        b.reset();
+        assert!(b.next_delay() < base.mul_f64(1.5));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_varies() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(1), 42);
+        let d = Duration::from_millis(200);
+        let samples: Vec<Duration> = (0..64).map(|_| b.jittered(d)).collect();
+        for s in &samples {
+            assert!(*s >= d / 2 && *s < d.mul_f64(1.5), "{s:?}");
+        }
+        // Not all equal: the whole point is decorrelation.
+        assert!(samples.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mk = || Backoff::new(Duration::from_millis(50), Duration::from_secs(1), 123);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..8 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn zero_seed_still_jitters() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(1), 0);
+        let d = Duration::from_millis(100);
+        let a = b.jittered(d);
+        let c = b.jittered(d);
+        assert!(a != c || a != d, "zero seed must not freeze the rng");
+    }
+}

@@ -14,6 +14,7 @@
 //! amsfi worker <addr> [--threads N] [--exit-when-done] [...]
 //! amsfi submit <addr> <campaign> [--shards N] [...]
 //! amsfi status <addr>
+//! amsfi drain <addr>
 //! ```
 //!
 //! `run` executes a named campaign (see `amsfi list`) through the engine:
@@ -29,7 +30,10 @@
 //! A `run` that completes but leaves quarantined poison cases exits with
 //! code 3 (distinct from success 0, engine failure 2 and usage error
 //! 64); a `merge` across journals of *different* campaigns exits with
-//! code 4 so scripts can tell "wrong journals" from "broken journals".
+//! code 4 so scripts can tell "wrong journals" from "broken journals";
+//! `submit`/`status`/`drain` against a coordinator that is not listening
+//! exit with code 5 so scripts can tell "service down" from "service
+//! refused".
 
 use amsfi_core::report;
 use amsfi_engine::{
@@ -111,7 +115,10 @@ USAGE:
         Run the distributed-campaign coordinator: accept submissions,
         lease shards to workers, live-merge streamed records into one
         journal per campaign. Survives worker death: a silent lease is
-        reclaimed and its remaining cases re-leased.
+        reclaimed and its remaining cases re-leased. Survives its own
+        death too: at startup it replays the submissions and journals
+        found in --journal-dir, invalidates every pre-crash lease, and
+        re-leases only the unfinished cases (--no-recover disables this).
           --bind ADDR            listen address (default 127.0.0.1:7171)
           --campaign NAME        submit NAME at startup (repeatable)
           --shards N             shards per submitted campaign (default 2)
@@ -119,8 +126,12 @@ USAGE:
           --checkpoint           workers fork cases from checkpoints
           --early-abort          workers classify online and abort early
           --journal-dir DIR      merged journals (default amsfi-journals)
+          --no-recover           do not replay submissions found in the
+                                 journal dir at startup
           --lease-timeout-ms N   silent-lease reclaim (default 10000)
           --retry-ms N           worker poll hint when idle (default 250)
+          --io-timeout-ms N      per-socket read/write deadline
+                                 (default 30000, 0 = none)
           --until-drained        exit once every campaign completes
           --progress-secs N      progress cadence (0 = off; counts
                                  remotely merged cases)
@@ -135,6 +146,13 @@ USAGE:
           --threads N            engine threads (default: one per core)
           --heartbeat-ms N       lease keep-alive cadence (default 1000)
           --poll-ms N            idle poll cap (default 250)
+          --backoff-ms N         base reconnect backoff, doubled per
+                                 attempt with jitter (default 100)
+          --backoff-cap-ms N     reconnect backoff ceiling (default 5000)
+          --max-reconnects N     give up after N reconnect attempts
+                                 (default 8, 0 = retry forever)
+          --io-timeout-ms N      per-socket read/write deadline
+                                 (default 10000, 0 = none)
           --exit-when-done       exit when the coordinator drains
           --max-shards N         stop after N shards (testing)
           --events PATH          structured JSONL event stream
@@ -147,11 +165,18 @@ USAGE:
         Print a running coordinator's campaigns, shards, leases and
         workers (read-only).
 
+  amsfi drain <addr>
+        Ask a running coordinator to drain: stop handing out leases,
+        finish merging the records already in flight, flush every
+        journal and exit cleanly. Prints the status snapshot taken the
+        moment draining began.
+
 EXIT CODES:
   0   success
   2   engine, journal, report or service failure
   3   the run completed but quarantined poison case(s) remain
   4   merge refused: the journals belong to different campaigns
+  5   submit/status/drain could not reach the coordinator
   64  usage error
 ";
 
@@ -169,6 +194,7 @@ fn main() -> ExitCode {
         Some("worker") => worker(&args[1..]),
         Some("submit") => submit(&args[1..]),
         Some("status") => status(&args[1..]),
+        Some("drain") => drain(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -633,6 +659,16 @@ fn service_telemetry(events: Option<&Path>, metrics: bool) -> Result<Telemetry, 
         .map_err(|e| format!("opening events stream: {e}"))
 }
 
+/// True when `dir` holds at least one persisted `.submit` manifest a
+/// recovering coordinator could replay.
+fn has_submissions(dir: &Path) -> bool {
+    std::fs::read_dir(dir).is_ok_and(|entries| {
+        entries
+            .filter_map(Result::ok)
+            .any(|e| e.path().extension().is_some_and(|ext| ext == "submit"))
+    })
+}
+
 fn serve(args: &[String]) -> ExitCode {
     let mut bind = "127.0.0.1:7171".to_owned();
     let mut names: Vec<String> = Vec::new();
@@ -654,6 +690,11 @@ fn serve(args: &[String]) -> ExitCode {
                 "--checkpoint" => checkpoint = true,
                 "--early-abort" => early_abort = true,
                 "--journal-dir" => cfg.journal_dir = PathBuf::from(opts.value(arg)?),
+                "--no-recover" => cfg.recover = false,
+                "--io-timeout-ms" => {
+                    let ms: u64 = opts.parse(arg)?;
+                    cfg.io_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+                }
                 "--lease-timeout-ms" => {
                     cfg.lease_timeout = Duration::from_millis(opts.parse(arg)?);
                     // Keep reap latency proportional to short test timeouts.
@@ -679,8 +720,14 @@ fn serve(args: &[String]) -> ExitCode {
         eprintln!("amsfi serve: {e}");
         return ExitCode::from(64);
     }
-    if cfg.until_drained && names.is_empty() {
-        eprintln!("amsfi serve: --until-drained needs at least one --campaign to drain");
+    // `--until-drained` with no `--campaign` is still meaningful when
+    // recovery will replay submissions persisted by a previous run.
+    if cfg.until_drained && names.is_empty() && !(cfg.recover && has_submissions(&cfg.journal_dir))
+    {
+        eprintln!(
+            "amsfi serve: --until-drained needs at least one --campaign to drain \
+             (or a journal dir with recoverable submissions)"
+        );
         return ExitCode::from(64);
     }
     cfg.telemetry = match service_telemetry(events.as_deref(), cfg.metrics_path.is_some()) {
@@ -741,6 +788,10 @@ fn worker(args: &[String]) -> ExitCode {
     let mut threads = 0usize;
     let mut heartbeat = Duration::from_millis(1000);
     let mut poll = Duration::from_millis(250);
+    let mut backoff: Option<Duration> = None;
+    let mut backoff_cap: Option<Duration> = None;
+    let mut max_reconnects: Option<Option<usize>> = None;
+    let mut io_timeout: Option<Option<Duration>> = None;
     let mut exit_when_done = false;
     let mut max_shards: Option<usize> = None;
     let mut events: Option<PathBuf> = None;
@@ -753,6 +804,19 @@ fn worker(args: &[String]) -> ExitCode {
                 "--threads" => threads = opts.parse(arg)?,
                 "--heartbeat-ms" => heartbeat = Duration::from_millis(opts.parse(arg)?),
                 "--poll-ms" => poll = Duration::from_millis(opts.parse(arg)?),
+                "--backoff-ms" => backoff = Some(Duration::from_millis(opts.parse(arg)?)),
+                "--backoff-cap-ms" => {
+                    backoff_cap = Some(Duration::from_millis(opts.parse(arg)?));
+                }
+                "--max-reconnects" => {
+                    let n: usize = opts.parse(arg)?;
+                    // 0 = retry forever.
+                    max_reconnects = Some((n > 0).then_some(n));
+                }
+                "--io-timeout-ms" => {
+                    let ms: u64 = opts.parse(arg)?;
+                    io_timeout = Some((ms > 0).then(|| Duration::from_millis(ms)));
+                }
                 "--exit-when-done" => exit_when_done = true,
                 "--max-shards" => max_shards = Some(opts.parse(arg)?),
                 "--events" => events = Some(PathBuf::from(opts.value(arg)?)),
@@ -787,6 +851,18 @@ fn worker(args: &[String]) -> ExitCode {
     cfg.threads = threads;
     cfg.heartbeat = heartbeat;
     cfg.poll = poll;
+    if let Some(backoff) = backoff {
+        cfg.backoff = backoff;
+    }
+    if let Some(cap) = backoff_cap {
+        cfg.backoff_cap = cap;
+    }
+    if let Some(max) = max_reconnects {
+        cfg.max_reconnects = max;
+    }
+    if let Some(io_timeout) = io_timeout {
+        cfg.io_timeout = io_timeout;
+    }
     cfg.exit_when_done = exit_when_done;
     cfg.max_shards = max_shards;
     cfg.telemetry = telemetry.clone();
@@ -795,9 +871,17 @@ fn worker(args: &[String]) -> ExitCode {
     telemetry.close();
     match result {
         Ok(report) => {
+            let resilience = if report.reconnects > 0 || report.records_replayed > 0 {
+                format!(
+                    ", {} reconnect(s), {} record(s) replayed",
+                    report.reconnects, report.records_replayed,
+                )
+            } else {
+                String::new()
+            };
             println!(
                 "amsfi worker: {} shard(s) completed, {} case(s) executed, \
-                 {} record(s) streamed",
+                 {} record(s) streamed{resilience}",
                 report.shards_completed, report.cases_executed, report.records_streamed,
             );
             ExitCode::SUCCESS
@@ -809,12 +893,42 @@ fn worker(args: &[String]) -> ExitCode {
     }
 }
 
-/// One request/reply exchange with a coordinator, for `submit`/`status`.
-fn coordinator_call(addr: &str, request: &Frame) -> Result<Frame, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-    proto::write_frame(&mut stream, request).map_err(|e| e.to_string())?;
+/// Why a one-shot coordinator exchange failed: an unreachable service is
+/// distinguished (exit code 5) from a mid-exchange protocol failure (2).
+enum CallError {
+    /// The TCP connect itself failed — nothing is listening at the
+    /// address (or it is filtered): the coordinator is unreachable.
+    Unreachable(String),
+    /// The connection opened but the exchange broke afterwards.
+    Exchange(String),
+}
+
+/// Prints the one-line diagnostic for a failed coordinator call and maps
+/// it to the exit code contract: 5 = unreachable, 2 = broken exchange.
+fn report_call_error(cmd: &str, addr: &str, e: CallError) -> ExitCode {
+    match e {
+        CallError::Unreachable(e) => {
+            eprintln!("amsfi {cmd}: coordinator at {addr} is unreachable ({e}) — is `amsfi serve` running?");
+            ExitCode::from(5)
+        }
+        CallError::Exchange(e) => {
+            eprintln!("amsfi {cmd}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One request/reply exchange with a coordinator, for
+/// `submit`/`status`/`drain`.
+fn coordinator_call(addr: &str, request: &Frame) -> Result<Frame, CallError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| CallError::Unreachable(e.to_string()))?;
+    // A one-shot exchange should never hang on a half-open socket.
+    let deadline = Some(Duration::from_secs(10));
+    let _ = stream.set_read_timeout(deadline);
+    let _ = stream.set_write_timeout(deadline);
+    proto::write_frame(&mut stream, request).map_err(|e| CallError::Exchange(e.to_string()))?;
     loop {
-        match proto::read_frame(&mut stream).map_err(|e| e.to_string())? {
+        match proto::read_frame(&mut stream).map_err(|e| CallError::Exchange(e.to_string()))? {
             // Frames from a newer coordinator we don't understand are
             // skipped, like everywhere else in the protocol.
             Frame::Unknown { .. } => {}
@@ -886,10 +1000,7 @@ fn submit(args: &[String]) -> ExitCode {
             eprintln!("amsfi submit: unexpected reply {:?}", other.kind());
             ExitCode::from(2)
         }
-        Err(e) => {
-            eprintln!("amsfi submit: {e}");
-            ExitCode::from(2)
-        }
+        Err(e) => report_call_error("submit", &addr, e),
     }
 }
 
@@ -911,10 +1022,30 @@ fn status(args: &[String]) -> ExitCode {
             eprintln!("amsfi status: unexpected reply {:?}", other.kind());
             ExitCode::from(2)
         }
-        Err(e) => {
-            eprintln!("amsfi status: {e}");
+        Err(e) => report_call_error("status", addr, e),
+    }
+}
+
+fn drain(args: &[String]) -> ExitCode {
+    let [addr] = args else {
+        eprintln!("amsfi drain: usage: amsfi drain <addr>");
+        return ExitCode::from(64);
+    };
+    match coordinator_call(addr, &Frame::Drain) {
+        Ok(Frame::Status { body, .. }) => {
+            println!("amsfi drain: coordinator is draining");
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+        Ok(Frame::Error { reason }) => {
+            eprintln!("amsfi drain: coordinator refused: {reason}");
             ExitCode::from(2)
         }
+        Ok(other) => {
+            eprintln!("amsfi drain: unexpected reply {:?}", other.kind());
+            ExitCode::from(2)
+        }
+        Err(e) => report_call_error("drain", addr, e),
     }
 }
 

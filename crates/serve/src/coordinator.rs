@@ -36,7 +36,33 @@
 //! to the campaign's namespaced journal file, so the on-disk journal
 //! stays an exact, replayable transcript of the merged state and the
 //! final report is byte-identical to a single-process run.
+//!
+//! # Crash recovery
+//!
+//! Every accepted submission is persisted as a
+//! [`SubmitManifest`](crate::manifest::SubmitManifest) next to its
+//! journal. On startup (unless [`CoordinatorConfig::recover`] is off)
+//! the coordinator scans the journal directory, re-resolves each
+//! manifest against its catalog, verifies the case count and
+//! fingerprint still match, and replays the merged journal back into
+//! memory — so a restarted coordinator re-leases only the unmerged
+//! indices and no case is ever simulated twice across a crash. Lease
+//! ids are namespaced by a persisted epoch counter
+//! ([`crate::manifest::bump_epoch`]), which invalidates every pre-crash
+//! lease id wholesale: a zombie worker quoting one is rejected through
+//! the ordinary stale-lease path.
+//!
+//! # Graceful drain
+//!
+//! A `drain` frame (or [`Coordinator::request_drain`]) flips the
+//! coordinator into drain mode: lease requests are answered `no_work
+//! drained=1`, in-flight shards finish streaming and merging, journals
+//! stay flushed per record as always, and [`Coordinator::run`] returns
+//! once the last lease settles — as opposed to
+//! [`Coordinator::request_shutdown`], which stops the accept loop at
+//! the next poll and relies on crash recovery for anything in flight.
 
+use crate::manifest::{self, SubmitManifest};
 use crate::proto::{self, Frame, ProtoError, PROTOCOL_VERSION};
 use crate::CampaignSource;
 use amsfi_engine::journal::{self, Journal, JournalEntry, JournalMeta};
@@ -44,9 +70,9 @@ use amsfi_engine::{Event, Shard, Telemetry};
 use amsfi_telemetry::ServeMetrics;
 use std::collections::BTreeMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -72,11 +98,19 @@ pub struct CoordinatorConfig {
     pub telemetry: Telemetry,
     /// Resolves submitted campaign names to case lists.
     pub source: CampaignSource,
+    /// Rebuild the campaign table from submission manifests found in
+    /// `journal_dir` at startup (see the module docs on crash recovery).
+    pub recover: bool,
+    /// Read/write deadline on every worker/client socket, so a hung or
+    /// half-open peer can never pin a coordinator thread. `None`
+    /// disables deadlines (not recommended outside tests).
+    pub io_timeout: Option<Duration>,
 }
 
 impl CoordinatorConfig {
     /// Defaults: 10 s lease timeout, 1 s reap interval, 250 ms worker
-    /// poll, run forever, no progress, no metrics file.
+    /// poll, run forever, no progress, no metrics file, crash recovery
+    /// on, 30 s socket deadlines.
     pub fn new(journal_dir: impl Into<PathBuf>, source: CampaignSource) -> Self {
         CoordinatorConfig {
             journal_dir: journal_dir.into(),
@@ -88,6 +122,8 @@ impl CoordinatorConfig {
             metrics_path: None,
             telemetry: Telemetry::disabled(),
             source,
+            recover: true,
+            io_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -178,6 +214,9 @@ struct State {
     campaigns: BTreeMap<u64, CampaignState>,
     leases: BTreeMap<u64, LeaseRef>,
     workers: BTreeMap<u64, WorkerInfo>,
+    /// Live socket per connection, so shutdown/drain can sever them all
+    /// and the detached handler threads unblock promptly.
+    conns: BTreeMap<u64, TcpStream>,
     next_campaign: u64,
     next_lease: u64,
     next_conn: u64,
@@ -199,6 +238,12 @@ struct Shared {
     state: Mutex<State>,
     metrics: Arc<ServeMetrics>,
     shutdown: AtomicBool,
+    draining: AtomicBool,
+    /// Handler threads currently alive; shutdown waits (bounded) for
+    /// zero so no thread still appends to a journal a successor process
+    /// may be replaying.
+    active_conns: AtomicUsize,
+    epoch: u64,
     start: Instant,
 }
 
@@ -230,25 +275,39 @@ impl std::fmt::Debug for Coordinator {
 }
 
 impl Coordinator {
-    /// Binds `addr` (e.g. `127.0.0.1:0`) and prepares the journal
-    /// directory.
+    /// Binds `addr` (e.g. `127.0.0.1:0`), prepares the journal
+    /// directory, bumps the lease epoch, and (by default) recovers the
+    /// campaign table from any submission manifests found there.
     ///
     /// # Errors
     ///
-    /// Socket bind or directory-creation failure.
+    /// Socket bind, directory-creation, or epoch-persist failure.
+    /// Recovery itself never fails the bind: an unrecoverable manifest
+    /// is warned about and skipped, its journal left untouched.
     pub fn bind(addr: &str, cfg: CoordinatorConfig) -> io::Result<Coordinator> {
         std::fs::create_dir_all(&cfg.journal_dir)?;
+        // Namespacing lease ids by a persisted epoch invalidates every
+        // pre-crash lease id without tracking them individually.
+        let epoch = manifest::bump_epoch(&cfg.journal_dir)?;
         let listener = TcpListener::bind(addr)?;
-        Ok(Coordinator {
-            listener,
-            shared: Arc::new(Shared {
-                cfg,
-                state: Mutex::new(State::default()),
-                metrics: Arc::new(ServeMetrics::new()),
-                shutdown: AtomicBool::new(false),
-                start: Instant::now(),
-            }),
-        })
+        let state = State {
+            next_lease: epoch << 32,
+            ..State::default()
+        };
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(state),
+            metrics: Arc::new(ServeMetrics::new()),
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            epoch,
+            start: Instant::now(),
+        });
+        if shared.cfg.recover {
+            recover_campaigns(&shared);
+        }
+        Ok(Coordinator { listener, shared })
     }
 
     /// The address the coordinator is listening on.
@@ -290,8 +349,21 @@ impl Coordinator {
     }
 
     /// Asks [`Coordinator::run`] to return after its next accept poll.
+    /// Abrupt: in-flight leases are abandoned to crash recovery.
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Begins a graceful drain: no further leases are granted, and
+    /// [`Coordinator::run`] returns once every in-flight lease has
+    /// finished merging (journals are already flushed per record).
+    pub fn request_drain(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// The lease epoch this incarnation runs in (bumped every start).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch
     }
 
     /// A snapshot of a campaign's merged entries, for tests and tools.
@@ -325,14 +397,21 @@ impl Coordinator {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break Ok(());
             }
+            if self.shared.draining.load(Ordering::SeqCst) && self.shared.lock().leases.is_empty() {
+                // Drain complete: nothing is leased, everything streamed
+                // so far is merged and flushed.
+                break Ok(());
+            }
             match self.listener.accept() {
                 Ok((stream, peer)) => {
                     let shared = Arc::clone(&self.shared);
                     // Handler threads are detached on purpose: one may sit
                     // in a blocking read on a dead-silent zombie socket
-                    // until the peer's OS closes it, and joining it would
-                    // wedge shutdown. They hold only an Arc on shared
-                    // state and exit on EOF.
+                    // until its io deadline fires, and joining it would
+                    // stall the accept loop. They hold only an Arc on
+                    // shared state and exit on EOF/timeout; shutdown
+                    // severs their sockets below and waits for the count
+                    // to drain.
                     std::thread::spawn(move || handle_conn(&shared, stream, peer));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -346,6 +425,19 @@ impl Coordinator {
         reaper.join().ok();
         if let Some(p) = progress {
             p.join().ok();
+        }
+        // Sever every live connection so no detached handler can still
+        // append to a journal a successor coordinator may be replaying,
+        // then wait (bounded) for the handlers to finish their cleanup.
+        {
+            let state = self.shared.lock();
+            for conn in state.conns.values() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
         }
         write_metrics_file(&self.shared);
         self.shared.cfg.telemetry.flush();
@@ -385,11 +477,32 @@ fn submit(
     let mut state = shared.lock();
     state.next_campaign += 1;
     let id = state.next_campaign;
-    let path = shared
-        .cfg
-        .journal_dir
-        .join(format!("campaign-{id:04}-{}.journal", sanitize(name)));
-    let (journal, entries) = Journal::open(&path, &meta, false).map_err(|e| e.to_string())?;
+    let stem = format!("campaign-{id:04}-{}", sanitize(name));
+    // Persist the manifest before creating the journal: recovery
+    // tolerates a manifest without a journal (it creates one), but an
+    // orphan journal would block this id forever.
+    let manifest = SubmitManifest {
+        id,
+        name: meta.name.clone(),
+        shards: shard_count,
+        limit,
+        checkpoint,
+        early_abort,
+        cases: meta.cases,
+        fingerprint: meta.fingerprint,
+    };
+    let manifest_path = shared.cfg.journal_dir.join(format!("{stem}.submit"));
+    manifest
+        .save(&manifest_path)
+        .map_err(|e| format!("persisting submission: {e}"))?;
+    let path = shared.cfg.journal_dir.join(format!("{stem}.journal"));
+    let (journal, entries) = match Journal::open(&path, &meta, false) {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = std::fs::remove_file(&manifest_path);
+            return Err(e.to_string());
+        }
+    };
     let info = SubmitInfo {
         id,
         name: meta.name.clone(),
@@ -421,6 +534,128 @@ fn submit(
             .with_field("shards", info.shards)
     });
     Ok(info)
+}
+
+/// Rebuilds the campaign table from submission manifests in the journal
+/// directory. Never fatal: a manifest that cannot be recovered (catalog
+/// drift, unreadable journal) is warned about and skipped; its files
+/// are left on disk for `amsfi merge`/`amsfi run --resume`.
+fn recover_campaigns(shared: &Shared) {
+    let dir = &shared.cfg.journal_dir;
+    let (manifests, broken) = match SubmitManifest::scan(dir) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve: cannot scan {} for recovery: {e}", dir.display());
+            return;
+        }
+    };
+    for (path, why) in &broken {
+        eprintln!(
+            "serve: ignoring unreadable manifest {}: {why}",
+            path.display()
+        );
+    }
+    for m in manifests {
+        let Some(campaign) = (shared.cfg.source)(&m.name, m.limit) else {
+            eprintln!(
+                "serve: not recovering campaign {} ({:?}): not in this coordinator's catalog",
+                m.id, m.name
+            );
+            continue;
+        };
+        let meta = campaign.meta();
+        drop(campaign);
+        if meta.cases != m.cases || meta.fingerprint != m.fingerprint {
+            // The catalog resolves the name to a different case list than
+            // the one the campaign was submitted with. Re-leasing would
+            // mix two case universes under one fingerprint — refuse.
+            eprintln!(
+                "serve: not recovering campaign {} ({:?}): catalog drift — manifest has {} \
+                 cases / fingerprint {:016x}, catalog resolves {} / {:016x}",
+                m.id, m.name, m.cases, m.fingerprint, meta.cases, meta.fingerprint
+            );
+            continue;
+        }
+        let path = dir.join(format!(
+            "campaign-{:04}-{}.journal",
+            m.id,
+            sanitize(&m.name)
+        ));
+        let (journal, entries) = match Journal::open(&path, &meta, true) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!(
+                    "serve: not recovering campaign {} ({:?}): {e}",
+                    m.id, m.name
+                );
+                continue;
+            }
+        };
+        let shard_count = m.shards.clamp(1, meta.cases);
+        // A shard is finished iff every index it owns has settled —
+        // the same criterion `finish_shard` applies to a live
+        // `shard_done` claim.
+        let slots: Vec<Slot> = (0..shard_count)
+            .map(|i| {
+                let shard = Shard::new(i, shard_count).expect("index < count");
+                if shard
+                    .case_indices(meta.cases)
+                    .all(|j| entries.contains_key(&j))
+                {
+                    Slot::Done
+                } else {
+                    Slot::Idle
+                }
+            })
+            .collect();
+        let completed = slots.iter().all(|s| matches!(s, Slot::Done));
+        let recovered_cases = entries.len() as u64;
+        let mut state = shared.lock();
+        state.next_campaign = state.next_campaign.max(m.id);
+        state.campaigns.insert(
+            m.id,
+            CampaignState {
+                meta,
+                limit: m.limit,
+                checkpoint: m.checkpoint,
+                early_abort: m.early_abort,
+                slots,
+                journal,
+                entries,
+                resharded: 0,
+                completed,
+            },
+        );
+        drop(state);
+        shared.metrics.campaigns_recovered.inc();
+        shared.metrics.cases_recovered.add(recovered_cases);
+        eprintln!(
+            "serve: recovered campaign {} ({:?}): {recovered_cases}/{} cases already merged{}",
+            m.id,
+            m.name,
+            m.cases,
+            if completed { ", complete" } else { "" },
+        );
+        shared.event("recover", |e| {
+            e.with_field("campaign", m.id)
+                .with_field("name", &m.name)
+                .with_field("cases_recovered", recovered_cases)
+                .with_field("complete", completed)
+        });
+    }
+    // Everything recovered may already be complete; honour
+    // `--until-drained` without waiting for a frame that never comes.
+    if shared.cfg.until_drained && shared.lock().drained() {
+        shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Flips the coordinator into drain mode (idempotent).
+fn begin_drain(shared: &Shared) {
+    if !shared.draining.swap(true, Ordering::SeqCst) {
+        shared.metrics.drain_requests.inc();
+        shared.event("drain", |e| e);
+    }
 }
 
 /// Returns a leased shard to the pool. `timeout` distinguishes the
@@ -514,8 +749,14 @@ fn write_metrics_file(shared: &Shared) {
 fn status_frame(shared: &Shared) -> Frame {
     let state = shared.lock();
     let mut body = format!(
-        "amsfi-serve up {:.1}s\ncampaigns: {} submitted, {} complete, {} cases merged\n",
+        "amsfi-serve up {:.1}s (epoch {}{})\ncampaigns: {} submitted, {} complete, {} cases merged\n",
         shared.start.elapsed().as_secs_f64(),
+        shared.epoch,
+        if shared.draining.load(Ordering::SeqCst) {
+            ", draining"
+        } else {
+            ""
+        },
         state.campaigns.len(),
         state.campaigns.values().filter(|c| c.completed).count(),
         state.merged_total(),
@@ -578,6 +819,14 @@ fn status_frame(shared: &Shared) -> Frame {
 
 /// Grants the lowest (campaign, shard) idle slot, or reports no work.
 fn grant_lease(shared: &Shared, conn: u64, worker_name: &str) -> Frame {
+    if shared.draining.load(Ordering::SeqCst) {
+        // Draining: no further work will ever come, so report drained —
+        // workers running `--exit-when-done` disconnect on seeing it.
+        return Frame::NoWork {
+            retry_ms: shared.cfg.retry_ms,
+            drained: true,
+        };
+    }
     let mut state = shared.lock();
     let mut found: Option<(u64, usize)> = None;
     for (&id, c) in &state.campaigns {
@@ -615,16 +864,9 @@ fn grant_lease(shared: &Shared, conn: u64, worker_name: &str) -> Frame {
         last_seen: now,
     };
     // A re-leased shard resumes: cases the dead predecessor already
-    // streamed are handed over as `done` so they are never re-run.
-    let done: Vec<usize> = shard
-        .case_indices(c.meta.cases)
-        .filter(|i| {
-            matches!(
-                c.entries.get(i),
-                Some(JournalEntry::Done(_) | JournalEntry::Quarantined(_))
-            )
-        })
-        .collect();
+    // streamed (or a pre-crash incarnation merged) are handed over as
+    // `done` so they are never re-run.
+    let done = journal::settled(&c.entries, c.meta.cases, shard);
     let frame = Frame::Lease {
         lease: lease_id,
         campaign: campaign_id,
@@ -769,14 +1011,24 @@ fn finish_shard(shared: &Shared, conn: u64, lease_id: u64) {
 
 fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
     stream.set_nodelay(true).ok();
-    let conn = {
-        let mut state = shared.lock();
-        state.next_conn += 1;
-        state.next_conn
-    };
+    // Deadlines on every socket: a hung or half-open peer costs one
+    // blocked read until the deadline fires, never a pinned thread.
+    stream.set_read_timeout(shared.cfg.io_timeout).ok();
+    stream.set_write_timeout(shared.cfg.io_timeout).ok();
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
         Err(_) => return,
+    };
+    let sever_handle = stream.try_clone().ok();
+    shared.active_conns.fetch_add(1, Ordering::SeqCst);
+    let conn = {
+        let mut state = shared.lock();
+        state.next_conn += 1;
+        let id = state.next_conn;
+        if let Some(h) = sever_handle {
+            state.conns.insert(id, h);
+        }
+        id
     };
     let mut writer = stream;
     let mut registered = false;
@@ -913,6 +1165,15 @@ fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
                     break;
                 }
             }
+            Frame::Drain => {
+                begin_drain(shared);
+                // Reply with the status snapshot at the moment draining
+                // began, so `amsfi drain` can report what is in flight.
+                let reply = status_frame(shared);
+                if !send(&mut writer, &reply) {
+                    break;
+                }
+            }
             Frame::Bye => break,
             // Replies we never expect as requests, and frames from a newer
             // protocol revision: ignore, per the forward-compat contract.
@@ -939,8 +1200,10 @@ fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
         release_lease(shared, &mut state, lease_id, "connection lost", false);
     }
     state.workers.remove(&conn);
+    state.conns.remove(&conn);
     drop(state);
     if registered {
         shared.metrics.workers_connected.dec();
     }
+    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
 }

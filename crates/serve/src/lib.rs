@@ -35,11 +35,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backoff;
+pub mod chaosnet;
 pub mod coordinator;
+pub mod manifest;
 pub mod proto;
 pub mod worker;
 
+pub use backoff::Backoff;
+pub use chaosnet::{ChaosProxy, FaultPlan, FaultSchedule, FrameFault};
 pub use coordinator::{Coordinator, CoordinatorConfig, SubmitInfo};
+pub use manifest::SubmitManifest;
 pub use proto::{Frame, ProtoError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use worker::{WorkerConfig, WorkerError, WorkerReport};
 

@@ -1,0 +1,353 @@
+//! Crash-safe coordinator state: submission manifests and the lease
+//! epoch.
+//!
+//! A coordinator must be able to die at any instant and come back with
+//! nothing but its journal directory. The merged journals already
+//! survive (they are ordinary journal v2 files), but before this module
+//! the *campaign table* — which campaigns exist, how they were sharded,
+//! which options they run with — lived only in memory. A manifest file
+//! per submission closes that gap:
+//!
+//! ```text
+//! campaign-0001-pll-sweep.submit      # this module
+//! campaign-0001-pll-sweep.journal     # merged records (journal v2)
+//! ```
+//!
+//! The manifest records the submission exactly (name, shards, limit,
+//! flags) plus the resolved identity (case count, fingerprint), so a
+//! restarted coordinator can re-resolve the campaign from its catalog
+//! and *prove* it got the same case list before replaying the journal.
+//! Writes are atomic (tmp + rename) so a torn manifest can never be
+//! observed.
+//!
+//! The second file, `coordinator.epoch`, holds a monotonic counter
+//! bumped on every coordinator start. Lease ids are namespaced by epoch
+//! (`epoch << 32 | sequence`), which makes every pre-crash lease id
+//! invalid after a restart without tracking them individually: a record
+//! quoting an old lease falls into the ordinary "unknown lease" reject
+//! path and the worker re-leases cleanly.
+
+use amsfi_engine::journal::{escape, unescape};
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// First line of every manifest file.
+pub const MANIFEST_MAGIC: &str = "#amsfi-submit v1";
+
+/// Name of the epoch counter file inside the journal directory.
+pub const EPOCH_FILE: &str = "coordinator.epoch";
+
+/// One persisted campaign submission. Field meanings mirror
+/// [`crate::proto::Frame::Submit`] plus the coordinator-resolved
+/// identity (`id`, `cases`, `fingerprint`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitManifest {
+    /// Coordinator-assigned campaign id.
+    pub id: u64,
+    /// Catalog name of the campaign.
+    pub name: String,
+    /// Number of shards the case list was split into.
+    pub shards: usize,
+    /// Case-list cap the campaign was submitted with.
+    pub limit: Option<usize>,
+    /// Execute with checkpoint forking.
+    pub checkpoint: bool,
+    /// Execute with early-abort classification.
+    pub early_abort: bool,
+    /// Total cases in the resolved campaign.
+    pub cases: usize,
+    /// Campaign fingerprint (journal-header identity).
+    pub fingerprint: u64,
+}
+
+/// A `.submit` file [`SubmitManifest::scan`] could not load, with why.
+pub type BrokenManifest = (PathBuf, String);
+
+/// Why a manifest failed to load.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Not a manifest, or a corrupt one.
+    Malformed(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest i/o: {e}"),
+            ManifestError::Malformed(why) => write!(f, "malformed manifest: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> Self {
+        ManifestError::Io(e)
+    }
+}
+
+impl SubmitManifest {
+    /// The manifest's serialized form (magic line + one record line).
+    fn render(&self) -> String {
+        format!(
+            "{MANIFEST_MAGIC}\nsubmit id={} name={} shards={} limit={} checkpoint={} \
+             early_abort={} cases={} fingerprint={:016x}\n",
+            self.id,
+            escape(&self.name),
+            self.shards,
+            self.limit.map_or_else(|| "-".to_owned(), |n| n.to_string()),
+            u8::from(self.checkpoint),
+            u8::from(self.early_abort),
+            self.cases,
+            self.fingerprint,
+        )
+    }
+
+    /// Writes the manifest atomically to `path` (tmp + rename), so a
+    /// crash mid-write can never leave a torn manifest behind.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), ManifestError> {
+        write_atomic(path, self.render().as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads and validates one manifest file.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Malformed`] on anything that is not a complete
+    /// v1 manifest; i/o failures as [`ManifestError::Io`].
+    pub fn load(path: &Path) -> Result<SubmitManifest, ManifestError> {
+        let text = fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(MANIFEST_MAGIC) => {}
+            Some(other) => {
+                return Err(ManifestError::Malformed(format!(
+                    "bad magic {other:?} in {}",
+                    path.display()
+                )))
+            }
+            None => {
+                return Err(ManifestError::Malformed(format!(
+                    "empty manifest {}",
+                    path.display()
+                )))
+            }
+        }
+        let record = lines
+            .next()
+            .ok_or_else(|| ManifestError::Malformed(format!("truncated {}", path.display())))?;
+        Self::parse_record(record)
+            .map_err(|why| ManifestError::Malformed(format!("{why} in {}", path.display())))
+    }
+
+    fn parse_record(line: &str) -> Result<SubmitManifest, String> {
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("submit") {
+            return Err("record does not start with `submit`".to_owned());
+        }
+        let mut id = None;
+        let mut name = None;
+        let mut shards = None;
+        let mut limit = None;
+        let mut checkpoint = None;
+        let mut early_abort = None;
+        let mut cases = None;
+        let mut fingerprint = None;
+        for token in tokens {
+            let Some((key, value)) = token.split_once('=') else {
+                continue; // tolerate future flag tokens, like the journal
+            };
+            match key {
+                "id" => id = value.parse::<u64>().ok(),
+                "name" => name = unescape(value),
+                "shards" => shards = value.parse::<usize>().ok(),
+                "limit" => {
+                    limit = if value == "-" {
+                        Some(None)
+                    } else {
+                        value.parse::<usize>().ok().map(Some)
+                    }
+                }
+                "checkpoint" => checkpoint = parse_flag(value),
+                "early_abort" => early_abort = parse_flag(value),
+                "cases" => cases = value.parse::<usize>().ok(),
+                "fingerprint" => fingerprint = u64::from_str_radix(value, 16).ok(),
+                _ => {} // unknown keys from newer revisions are ignored
+            }
+        }
+        Ok(SubmitManifest {
+            id: id.ok_or("missing or bad id")?,
+            name: name.ok_or("missing or bad name")?,
+            shards: shards.ok_or("missing or bad shards")?,
+            limit: limit.ok_or("missing or bad limit")?,
+            checkpoint: checkpoint.ok_or("missing or bad checkpoint")?,
+            early_abort: early_abort.ok_or("missing or bad early_abort")?,
+            cases: cases.ok_or("missing or bad cases")?,
+            fingerprint: fingerprint.ok_or("missing or bad fingerprint")?,
+        })
+    }
+
+    /// All manifests in `dir`, sorted by campaign id. Unreadable or
+    /// malformed `.submit` files are returned separately so the caller
+    /// can warn without aborting recovery of the healthy ones.
+    ///
+    /// # Errors
+    ///
+    /// Only if `dir` itself cannot be listed.
+    pub fn scan(dir: &Path) -> std::io::Result<(Vec<SubmitManifest>, Vec<BrokenManifest>)> {
+        let mut found = Vec::new();
+        let mut broken = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("submit") {
+                continue;
+            }
+            match SubmitManifest::load(&path) {
+                Ok(m) => found.push(m),
+                Err(e) => broken.push((path, e.to_string())),
+            }
+        }
+        found.sort_by_key(|m| m.id);
+        Ok((found, broken))
+    }
+}
+
+fn parse_flag(v: &str) -> Option<bool> {
+    match v {
+        "1" => Some(true),
+        "0" => Some(false),
+        _ => None,
+    }
+}
+
+/// Reads the epoch counter in `dir`, bumps it, persists the new value
+/// atomically, and returns it. A missing or corrupt epoch file restarts
+/// the counter from 1 — safe because journals, not lease ids, are the
+/// durable truth; the counter only has to differ from the previous
+/// incarnation's, and a corrupt file means the previous incarnation
+/// never completed a bump.
+///
+/// # Errors
+///
+/// Filesystem errors writing the new counter.
+pub fn bump_epoch(dir: &Path) -> std::io::Result<u64> {
+    let path = dir.join(EPOCH_FILE);
+    let prev = fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    // Wrapping far before u32 overflow keeps `epoch << 32` collision-free
+    // for any realistic number of restarts.
+    let next = prev.wrapping_add(1) & 0x7fff_ffff;
+    let next = if next == 0 { 1 } else { next };
+    write_atomic(&path, format!("{next}\n").as_bytes())?;
+    Ok(next)
+}
+
+/// Writes `bytes` to `path` via a same-directory temp file and rename,
+/// the strongest atomicity plain files offer.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "amsfi-manifest-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> SubmitManifest {
+        SubmitManifest {
+            id: 3,
+            name: "pll sweep|hostile name".to_owned(),
+            shards: 4,
+            limit: Some(10),
+            checkpoint: true,
+            early_abort: false,
+            cases: 24,
+            fingerprint: 0x9f1a_2b3c_4d5e_6f70,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_hostile_names() {
+        let d = dir();
+        let path = d.join("campaign-0003-pll-sweep.submit");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(SubmitManifest::load(&path).unwrap(), m);
+        // No stray temp file remains after the rename.
+        assert!(!path.with_extension("tmp").exists());
+    }
+
+    #[test]
+    fn scan_sorts_by_id_and_reports_broken_files() {
+        let d = dir();
+        let mut a = sample();
+        a.id = 9;
+        a.save(&d.join("campaign-0009-x.submit")).unwrap();
+        let mut b = sample();
+        b.id = 2;
+        b.limit = None;
+        b.save(&d.join("campaign-0002-y.submit")).unwrap();
+        fs::write(d.join("campaign-0005-z.submit"), "#not-a-manifest\n").unwrap();
+        fs::write(d.join("notes.txt"), "ignored\n").unwrap();
+        let (found, broken) = SubmitManifest::scan(&d).unwrap();
+        assert_eq!(found.iter().map(|m| m.id).collect::<Vec<_>>(), vec![2, 9]);
+        assert_eq!(found[0].limit, None);
+        assert_eq!(broken.len(), 1);
+        assert!(broken[0].1.contains("bad magic"));
+    }
+
+    #[test]
+    fn epoch_bumps_monotonically_and_survives_corruption() {
+        let d = dir();
+        assert_eq!(bump_epoch(&d).unwrap(), 1);
+        assert_eq!(bump_epoch(&d).unwrap(), 2);
+        assert_eq!(bump_epoch(&d).unwrap(), 3);
+        fs::write(d.join(EPOCH_FILE), "garbage").unwrap();
+        assert_eq!(bump_epoch(&d).unwrap(), 1);
+    }
+
+    #[test]
+    fn truncated_manifest_is_malformed_not_a_panic() {
+        let d = dir();
+        let path = d.join("campaign-0001-t.submit");
+        fs::write(&path, format!("{MANIFEST_MAGIC}\n")).unwrap();
+        assert!(matches!(
+            SubmitManifest::load(&path),
+            Err(ManifestError::Malformed(_))
+        ));
+        fs::write(&path, format!("{MANIFEST_MAGIC}\nsubmit id=1\n")).unwrap();
+        assert!(matches!(
+            SubmitManifest::load(&path),
+            Err(ManifestError::Malformed(_))
+        ));
+    }
+}

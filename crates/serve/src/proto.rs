@@ -152,6 +152,11 @@ pub enum Frame {
     },
     /// Client → coordinator: describe yourself (read-only).
     StatusRequest,
+    /// Client → coordinator: drain gracefully — stop granting leases,
+    /// let in-flight shards finish merging, flush journals, then exit.
+    /// The coordinator replies with a [`Frame::Status`] snapshot taken
+    /// at the moment draining began.
+    Drain,
     /// Coordinator → client: current campaigns, shards, workers, leases.
     Status {
         /// Campaigns submitted so far.
@@ -258,6 +263,7 @@ impl Frame {
             Frame::ShardDone { .. } => "shard_done",
             Frame::ShardAbort { .. } => "shard_abort",
             Frame::StatusRequest => "status_req",
+            Frame::Drain => "drain",
             Frame::Status { .. } => "status",
             Frame::Error { .. } => "error",
             Frame::Bye => "bye",
@@ -330,6 +336,7 @@ impl Frame {
                 format!("shard_abort lease={lease} reason={}", escape(reason))
             }
             Frame::StatusRequest => "status_req".to_owned(),
+            Frame::Drain => "drain".to_owned(),
             Frame::Status {
                 campaigns,
                 workers,
@@ -420,6 +427,7 @@ impl Frame {
                 reason: f.text("reason")?,
             },
             "status_req" => Frame::StatusRequest,
+            "drain" => Frame::Drain,
             "status" => Frame::Status {
                 campaigns: f.num("campaigns")?,
                 workers: f.num("workers")?,

@@ -15,10 +15,33 @@
 //! a different revision) aborts the lease with a `shard_abort` so the
 //! coordinator can place it on a compatible worker, and fails the worker
 //! process: every lease for that campaign would fail the same way.
+//!
+//! # Link resilience
+//!
+//! A broken coordinator link is *not* fatal: [`run`] wraps each
+//! connection in a session and reconnects with jittered exponential
+//! [`Backoff`] (up to [`WorkerConfig::max_reconnects`]). Work done
+//! before the break is never thrown away or repeated:
+//!
+//! * Every record line the engine produces is kept in a **replay
+//!   cache**, keyed by the shard's coordinator-independent identity
+//!   (campaign fingerprint + shard). When the same shard is re-leased
+//!   after a reconnect, cached records the coordinator does not already
+//!   hold are re-sent as-is and the cached indices join the lease's
+//!   `done` list — so the engine re-simulates nothing.
+//! * A shard's cache entry is dropped only after a *later* reply
+//!   arrives on the same connection that carried its `shard_done`: TCP
+//!   ordering then proves the coordinator processed the completion.
+//!
+//! Fatal errors (handshake rejected, campaign mismatch, engine failure)
+//! still end the worker immediately — retrying those would fail the
+//! same way forever.
 
+use crate::backoff::Backoff;
 use crate::proto::{self, Frame, ProtoError, PROTOCOL_VERSION};
 use crate::CampaignSource;
 use amsfi_engine::{Engine, EngineConfig, Event, RecordSink, Telemetry};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::net::TcpStream;
@@ -35,7 +58,8 @@ pub struct WorkerConfig {
     /// Engine worker threads per shard (`0`: one per core).
     pub threads: usize,
     /// Upper bound on the sleep between lease polls (the coordinator's
-    /// `retry_ms` hint is respected up to this cap).
+    /// `retry_ms` hint is respected up to this cap; the actual sleep is
+    /// jittered so a worker fleet does not poll in lock-step).
     pub poll: Duration,
     /// Lease keep-alive interval while a shard runs. Must be well under
     /// the coordinator's lease timeout.
@@ -45,6 +69,19 @@ pub struct WorkerConfig {
     pub exit_when_done: bool,
     /// Stop after this many completed shards (tests; `None`: unlimited).
     pub max_shards: Option<usize>,
+    /// Base delay of the reconnect backoff schedule.
+    pub backoff: Duration,
+    /// Cap on the reconnect backoff delay (before jitter).
+    pub backoff_cap: Duration,
+    /// Give up after this many reconnect attempts (`None`: retry
+    /// forever — sensible for fleet workers behind a supervisor).
+    pub max_reconnects: Option<usize>,
+    /// Seed for the backoff jitter; `0` seeds from process entropy.
+    pub backoff_seed: u64,
+    /// Read/write deadline on the coordinator socket. Every read the
+    /// worker issues expects an immediate reply, so a deadline this long
+    /// expiring means the link or coordinator is gone. `None` disables.
+    pub io_timeout: Option<Duration>,
     /// Structured event sink.
     pub telemetry: Telemetry,
     /// Resolves leased campaign names to case lists; must agree with the
@@ -54,7 +91,8 @@ pub struct WorkerConfig {
 
 impl WorkerConfig {
     /// Defaults: 250 ms poll cap, 1 s heartbeat, run until the
-    /// coordinator drains.
+    /// coordinator drains, reconnect up to 8 times with 100 ms → 5 s
+    /// jittered backoff, 10 s socket deadlines.
     pub fn new(addr: impl Into<String>, source: CampaignSource) -> Self {
         WorkerConfig {
             addr: addr.into(),
@@ -64,6 +102,11 @@ impl WorkerConfig {
             heartbeat: Duration::from_secs(1),
             exit_when_done: true,
             max_shards: None,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            max_reconnects: Some(8),
+            backoff_seed: 0,
+            io_timeout: Some(Duration::from_secs(10)),
             telemetry: Telemetry::disabled(),
             source,
         }
@@ -84,18 +127,27 @@ impl fmt::Debug for WorkerConfig {
 pub struct WorkerReport {
     /// Shards leased, executed and acknowledged with `shard_done`.
     pub shards_completed: usize,
-    /// Cases this worker classified (excludes `done` carry-over).
+    /// Cases this worker classified (excludes `done` carry-over and
+    /// replayed records — each case is counted in exactly one worker's
+    /// report, exactly once, even across reconnects).
     pub cases_executed: usize,
-    /// Journal record frames streamed to the coordinator.
+    /// Journal record frames streamed to the coordinator (live, not
+    /// counting replays).
     pub records_streamed: u64,
+    /// Cached records re-sent after a reconnect.
+    pub records_replayed: u64,
+    /// Times the coordinator link was re-established after a failure.
+    pub reconnects: usize,
 }
 
 /// Fatal worker errors. Everything here ends the worker process; per-case
 /// trouble is handled inside the engine (retry, skip, quarantine) and
-/// reported through the record stream instead.
+/// reported through the record stream, and link failures are retried
+/// with backoff before becoming fatal.
 #[derive(Debug)]
 pub enum WorkerError {
-    /// Socket or protocol failure talking to the coordinator.
+    /// Socket or protocol failure talking to the coordinator (fatal only
+    /// once the reconnect budget is exhausted).
     Proto(ProtoError),
     /// The coordinator refused the handshake or a request.
     Rejected(String),
@@ -142,15 +194,85 @@ fn send(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), ProtoError>
     proto::write_frame(&mut *w, frame)
 }
 
+/// A shard's coordinator-independent identity: campaign fingerprint plus
+/// shard position. Lease ids change across reconnects and coordinator
+/// restarts; this key does not.
+type ShardKey = (u64, usize, usize);
+
+/// Record lines produced by this worker, per shard, surviving link
+/// breaks until their completion is provably acknowledged.
+type ReplayCache = BTreeMap<ShardKey, Arc<Mutex<BTreeMap<usize, String>>>>;
+
+/// Is this error worth a reconnect attempt? Only link trouble is;
+/// rejections, mismatches and engine failures repeat identically.
+fn retryable(e: &WorkerError) -> bool {
+    matches!(e, WorkerError::Proto(_))
+}
+
 /// Connects to the coordinator and works until drained (or
-/// `max_shards`). Blocking; run it on the process's main thread.
+/// `max_shards`), transparently reconnecting with jittered backoff when
+/// the link fails. Blocking; run it on the process's main thread.
 ///
 /// # Errors
 ///
-/// See [`WorkerError`].
+/// See [`WorkerError`]; [`WorkerError::Proto`] only after the reconnect
+/// budget is spent.
 pub fn run(cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
+    let mut report = WorkerReport::default();
+    let mut cache = ReplayCache::new();
+    let mut backoff = if cfg.backoff_seed == 0 {
+        Backoff::from_entropy(cfg.backoff, cfg.backoff_cap)
+    } else {
+        Backoff::new(cfg.backoff, cfg.backoff_cap, cfg.backoff_seed)
+    };
+    loop {
+        match session(&cfg, &mut report, &mut cache, &mut backoff) {
+            Ok(()) => {
+                cfg.telemetry.flush();
+                return Ok(report);
+            }
+            Err(e) if retryable(&e) => {
+                if cfg
+                    .max_reconnects
+                    .is_some_and(|max| report.reconnects >= max)
+                {
+                    cfg.telemetry.flush();
+                    return Err(e);
+                }
+                report.reconnects += 1;
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "worker: coordinator link lost ({e}); reconnect {} in {:.0?}",
+                    report.reconnects, delay
+                );
+                cfg.telemetry.emit_with(|| {
+                    Event::new("serve", "worker_reconnect")
+                        .with_field("attempt", report.reconnects)
+                        .with_field("delay_ms", delay.as_millis() as u64)
+                });
+                std::thread::sleep(delay);
+            }
+            Err(e) => {
+                cfg.telemetry.flush();
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// One connection's lifetime: connect, handshake, lease loop. Returns
+/// `Ok(())` on a clean exit (drained / `max_shards`), a retryable
+/// [`WorkerError::Proto`] on link failure.
+fn session(
+    cfg: &WorkerConfig,
+    report: &mut WorkerReport,
+    cache: &mut ReplayCache,
+    backoff: &mut Backoff,
+) -> Result<(), WorkerError> {
     let stream = TcpStream::connect(&cfg.addr)?;
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(cfg.io_timeout).ok();
+    stream.set_write_timeout(cfg.io_timeout).ok();
     let mut reader = stream.try_clone().map_err(ProtoError::Io)?;
     // Writes come from three places — the lease loop, the engine's record
     // sink (many threads), and the heartbeat thread — so the write half
@@ -180,8 +302,15 @@ pub fn run(cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
             )));
         }
     }
+    // The link works again: future failures restart the backoff schedule
+    // from its base.
+    backoff.reset();
 
-    let mut report = WorkerReport::default();
+    // Set after a `shard_done`; cleared (with its cache entry) once any
+    // later reply arrives on this connection — TCP ordering then proves
+    // the coordinator consumed the completion.
+    let mut acked_on_next_reply: Option<ShardKey> = None;
+
     loop {
         if cfg
             .max_shards
@@ -190,12 +319,19 @@ pub fn run(cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
             break;
         }
         send(&writer, &Frame::LeaseRequest)?;
-        match proto::read_frame(&mut reader)? {
+        let reply = proto::read_frame(&mut reader)?;
+        if let Some(key) = acked_on_next_reply.take() {
+            cache.remove(&key);
+        }
+        match reply {
             Frame::NoWork { retry_ms, drained } => {
                 if drained && cfg.exit_when_done {
                     break;
                 }
-                std::thread::sleep(Duration::from_millis(retry_ms).min(cfg.poll));
+                // Jittered: a fleet of workers told the same retry hint
+                // must not thundering-herd a freshly restarted
+                // coordinator in lock-step.
+                std::thread::sleep(backoff.jittered(Duration::from_millis(retry_ms).min(cfg.poll)));
             }
             Frame::Lease {
                 lease,
@@ -215,8 +351,10 @@ pub fn run(cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
                         .with_field("campaign", campaign)
                         .with_field("shard", shard)
                 });
+                let key: ShardKey = (fingerprint, shard.index, shard.count);
+                let shard_cache = Arc::clone(cache.entry(key).or_default());
                 run_lease(
-                    &cfg,
+                    cfg,
                     &writer,
                     lease,
                     &name,
@@ -227,8 +365,10 @@ pub fn run(cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
                     checkpoint,
                     early_abort,
                     &done,
-                    &mut report,
+                    &shard_cache,
+                    report,
                 )?;
+                acked_on_next_reply = Some(key);
             }
             Frame::Error { reason } => return Err(WorkerError::Rejected(reason)),
             // A frame from a newer coordinator we don't understand: ask
@@ -237,8 +377,7 @@ pub fn run(cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
         }
     }
     send(&writer, &Frame::Bye).ok();
-    cfg.telemetry.flush();
-    Ok(report)
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)] // internal plumbing for one lease
@@ -254,6 +393,7 @@ fn run_lease(
     checkpoint: bool,
     early_abort: bool,
     done: &[usize],
+    shard_cache: &Arc<Mutex<BTreeMap<usize, String>>>,
     report: &mut WorkerReport,
 ) -> Result<(), WorkerError> {
     let abort = |why: String| -> Result<(), WorkerError> {
@@ -283,16 +423,64 @@ fn run_lease(
         ));
     }
 
+    // Replay cached records from a previous, link-broken run of this
+    // shard: anything we simulated but the coordinator may have lost is
+    // re-sent verbatim under the new lease, and the engine treats the
+    // cached indices as completed — no case is ever simulated twice.
+    let mut completed: std::collections::BTreeSet<usize> = done.iter().copied().collect();
+    {
+        let cached = shard_cache.lock().expect("replay cache poisoned");
+        let mut replayed = 0u64;
+        for (&index, line) in cached.iter() {
+            if completed.insert(index) {
+                send(
+                    writer,
+                    &Frame::Record {
+                        lease,
+                        line: line.clone(),
+                    },
+                )?;
+                replayed += 1;
+            }
+        }
+        if replayed > 0 {
+            report.records_replayed += replayed;
+            eprintln!(
+                "worker: replayed {replayed} cached records for shard {shard} after reconnect"
+            );
+            cfg.telemetry.emit_with(|| {
+                Event::new("serve", "worker_replay")
+                    .with_field("lease", lease)
+                    .with_field("records", replayed)
+            });
+        }
+    }
+    let completed: Vec<usize> = completed.into_iter().collect();
+
     // Stream every finished case to the coordinator the instant its
-    // journal line is formatted. Failures cannot propagate out of the
+    // journal line is formatted — but cache it first, so a mid-shard
+    // link break loses nothing. Failures cannot propagate out of the
     // sink closure, so they raise a flag checked after the run.
     let link_broken = Arc::new(AtomicBool::new(false));
     let streamed = Arc::new(AtomicU64::new(0));
+    let classified = Arc::new(AtomicU64::new(0));
     let sink = {
         let writer = Arc::clone(writer);
         let link_broken = Arc::clone(&link_broken);
         let streamed = Arc::clone(&streamed);
-        RecordSink::new(move |_, line| {
+        let classified = Arc::clone(&classified);
+        let shard_cache = Arc::clone(shard_cache);
+        RecordSink::new(move |index, line| {
+            shard_cache
+                .lock()
+                .expect("replay cache poisoned")
+                .insert(index, line.to_owned());
+            classified.fetch_add(1, Ordering::Relaxed);
+            if link_broken.load(Ordering::Relaxed) {
+                // The link is already gone: keep simulating and caching;
+                // the records reach the coordinator on replay.
+                return;
+            }
             let frame = Frame::Record {
                 lease,
                 line: line.to_owned(),
@@ -330,7 +518,7 @@ fn run_lease(
         .with_early_abort(early_abort)
         .with_telemetry(cfg.telemetry.clone())
         .with_record_sink(sink)
-        .with_completed(done.to_vec());
+        .with_completed(completed);
     let outcome = Engine::new(engine_cfg).run(&campaign);
 
     hb_stop.store(true, Ordering::Relaxed);
@@ -340,6 +528,10 @@ fn run_lease(
     match outcome {
         Ok(engine_report) => {
             if link_broken.load(Ordering::Relaxed) {
+                // Everything this run simulated is cached; count it now
+                // (the replayed resume will not re-run these) and turn
+                // the broken link into a retryable session failure.
+                report.cases_executed += classified.load(Ordering::Relaxed) as usize;
                 return Err(WorkerError::Proto(ProtoError::Io(io::Error::new(
                     io::ErrorKind::BrokenPipe,
                     "record stream to coordinator failed mid-shard",

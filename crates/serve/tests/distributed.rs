@@ -12,7 +12,7 @@ use amsfi_waves::{Logic, Time, Trace};
 use std::collections::BTreeMap;
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -62,6 +62,40 @@ fn toy_source(n: usize) -> CampaignSource {
             campaign
         })
     })
+}
+
+/// Like [`toy_source`], but every *faulty* simulation (golden runs carry
+/// no index) bumps a shared counter, and while `gate` is raised the
+/// runner blocks — which lets a test freeze a worker mid-shard, kill the
+/// coordinator underneath it, and then let the shard finish against a
+/// dead link. The counter is the "no case simulated twice" oracle.
+fn gated_counting_source(n: usize) -> (CampaignSource, Arc<AtomicUsize>, Arc<AtomicBool>) {
+    let simulated = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(AtomicBool::new(false));
+    let source: CampaignSource = {
+        let (simulated, gate) = (Arc::clone(&simulated), Arc::clone(&gate));
+        Arc::new(move |name, limit| {
+            (name == "toy").then(|| {
+                let mut campaign = toy_campaign(n);
+                let inner = Arc::clone(&campaign.runner);
+                let (simulated, gate) = (Arc::clone(&simulated), Arc::clone(&gate));
+                campaign.runner = Arc::new(move |ctx: &CaseCtx| {
+                    if ctx.index().is_some() {
+                        simulated.fetch_add(1, Ordering::SeqCst);
+                        while gate.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                    inner(ctx)
+                });
+                if let Some(limit) = limit {
+                    campaign.cases.truncate(limit);
+                }
+                campaign
+            })
+        })
+    };
+    (source, simulated, gate)
 }
 
 fn unique_dir(tag: &str) -> PathBuf {
@@ -370,5 +404,310 @@ fn submit_and_status_frames_drive_a_campaign_remotely() {
 
     cluster.coordinator.request_shutdown();
     cluster.run.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Binds a coordinator on a *specific* address a previous instance just
+/// released. `std`'s listener sets `SO_REUSEADDR` on Unix, but give the
+/// old socket's teardown a moment anyway.
+fn start_cluster_at(addr: &str, mut make_cfg: impl FnMut() -> CoordinatorConfig) -> Cluster {
+    let start = Instant::now();
+    let coordinator = loop {
+        match Coordinator::bind(addr, make_cfg()) {
+            Ok(c) => break Arc::new(c),
+            Err(e) if start.elapsed() < Duration::from_secs(5) => {
+                eprintln!("rebinding {addr}: {e}; retrying");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("rebinding {addr}: {e}"),
+        }
+    };
+    let run = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.run())
+    };
+    Cluster {
+        coordinator,
+        addr: addr.to_owned(),
+        run,
+    }
+}
+
+/// The coordinator-death drill, phase-separated so it is fully
+/// deterministic: a worker completes one of three shards and exits, the
+/// coordinator is killed, a second coordinator recovers the journal dir,
+/// and a second worker finishes the campaign. The merged report must be
+/// byte-identical to a single-process run and the simulation counter
+/// must show every case ran exactly once across both coordinators.
+#[test]
+fn restarted_coordinator_recovers_campaigns_without_rerunning_cases() {
+    const CASES: usize = 12;
+    let (_, reference_csv) = single_process_reference(CASES);
+    let (source, simulated, _gate) = gated_counting_source(CASES);
+
+    let dir = unique_dir("restart");
+    let make_cfg = |until_drained: bool| {
+        let source = Arc::clone(&source);
+        let dir = dir.clone();
+        move || {
+            let mut cfg = CoordinatorConfig::new(&dir, Arc::clone(&source));
+            cfg.until_drained = until_drained;
+            cfg.lease_timeout = Duration::from_secs(5);
+            cfg.reap_interval = Duration::from_millis(50);
+            cfg.retry_ms = 20;
+            cfg
+        }
+    };
+
+    let first = start_cluster(make_cfg(false)());
+    assert_eq!(first.coordinator.epoch(), 1);
+    let info = first
+        .coordinator
+        .submit("toy", 3, None, false, false)
+        .expect("submit toy campaign");
+
+    // One shard's worth of work lands in the journal, then the worker
+    // leaves cleanly.
+    let mut wcfg = worker_config(&first.addr, "before-crash", CASES);
+    wcfg.source = Arc::clone(&source);
+    wcfg.max_shards = Some(1);
+    let report = amsfi_serve::worker::run(wcfg).expect("first worker");
+    assert_eq!(report.shards_completed, 1);
+    assert_eq!(report.cases_executed, CASES / 3);
+    assert_eq!(simulated.load(Ordering::SeqCst), CASES / 3);
+
+    // Kill the coordinator. Its lease table, socket state and in-memory
+    // campaign table die with it; only the journal dir survives.
+    first.coordinator.request_shutdown();
+    first.run.join().unwrap().expect("first coordinator exits");
+    let Cluster {
+        coordinator, addr, ..
+    } = first;
+    drop(coordinator);
+
+    // The replacement rebuilds the campaign from the persisted
+    // submission + journal: merged cases stay merged, the epoch bump
+    // invalidates every lease id the dead coordinator ever issued.
+    let second = start_cluster_at(&addr, make_cfg(true));
+    assert_eq!(second.coordinator.epoch(), 2);
+    let metrics = second.coordinator.metrics();
+    assert_eq!(metrics.campaigns_recovered.get(), 1);
+    assert_eq!(metrics.cases_recovered.get(), (CASES / 3) as u64);
+    assert!(!second.coordinator.drained());
+
+    let mut wcfg = worker_config(&second.addr, "after-crash", CASES);
+    wcfg.source = Arc::clone(&source);
+    let report = amsfi_serve::worker::run(wcfg).expect("second worker");
+    assert_eq!(report.shards_completed, 2);
+    assert_eq!(
+        report.cases_executed,
+        CASES - CASES / 3,
+        "recovered cases must not re-run"
+    );
+    assert_eq!(report.records_replayed, 0);
+    second
+        .run
+        .join()
+        .unwrap()
+        .expect("second coordinator drains");
+
+    assert_eq!(merged_csv(&info.journal, CASES), reference_csv);
+    assert_eq!(
+        simulated.load(Ordering::SeqCst),
+        CASES,
+        "every case simulated exactly once across the restart"
+    );
+    let text = std::fs::read_to_string(&info.journal).unwrap();
+    let case_lines = text.lines().filter(|l| l.starts_with("case ")).count();
+    assert_eq!(case_lines, CASES, "one journal record per case:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The full crash story in one flow: a worker is frozen mid-shard (gate),
+/// the coordinator is killed underneath it, the shard finishes against
+/// the dead link (records land in the replay cache), a replacement
+/// coordinator takes over the same port, and the worker reconnects with
+/// backoff, replays its cached records and completes the campaign —
+/// byte-identically, with no case simulated twice.
+#[test]
+fn worker_survives_coordinator_restart_by_replaying_cached_records() {
+    const CASES: usize = 12;
+    let (_, reference_csv) = single_process_reference(CASES);
+    let (source, simulated, gate) = gated_counting_source(CASES);
+
+    let dir = unique_dir("replay");
+    let make_cfg = |until_drained: bool| {
+        let source = Arc::clone(&source);
+        let dir = dir.clone();
+        move || {
+            let mut cfg = CoordinatorConfig::new(&dir, Arc::clone(&source));
+            cfg.until_drained = until_drained;
+            cfg.lease_timeout = Duration::from_secs(5);
+            cfg.reap_interval = Duration::from_millis(50);
+            cfg.retry_ms = 20;
+            cfg
+        }
+    };
+
+    let first = start_cluster(make_cfg(false)());
+    let info = first
+        .coordinator
+        .submit("toy", 2, None, false, false)
+        .expect("submit toy campaign");
+
+    // Freeze the first faulty case mid-simulation, then start the worker.
+    gate.store(true, Ordering::SeqCst);
+    let worker = {
+        let mut cfg = worker_config(&first.addr, "survivor", CASES);
+        cfg.source = Arc::clone(&source);
+        cfg.backoff = Duration::from_millis(5);
+        cfg.backoff_cap = Duration::from_millis(50);
+        cfg.backoff_seed = 42;
+        cfg.max_reconnects = None;
+        std::thread::spawn(move || amsfi_serve::worker::run(cfg))
+    };
+    wait_until(
+        "the worker to lease a shard and enter simulation",
+        Duration::from_secs(10),
+        || simulated.load(Ordering::SeqCst) >= 1,
+    );
+
+    // Kill the coordinator while the worker is mid-shard, then let the
+    // shard finish: its record stream now hits a dead socket and every
+    // record must be cached for replay.
+    first.coordinator.request_shutdown();
+    first.run.join().unwrap().expect("first coordinator exits");
+    let Cluster {
+        coordinator, addr, ..
+    } = first;
+    drop(coordinator);
+    gate.store(false, Ordering::SeqCst);
+
+    // A replacement takes over the same address; the worker's backoff
+    // loop finds it and resumes.
+    let second = start_cluster_at(&addr, make_cfg(true));
+    assert_eq!(second.coordinator.metrics().campaigns_recovered.get(), 1);
+
+    let report = worker.join().unwrap().expect("worker survives the restart");
+    assert!(report.reconnects >= 1, "the link loss forced a reconnect");
+    assert_eq!(
+        report.records_replayed,
+        (CASES / 2) as u64,
+        "the dead-link shard replays from cache"
+    );
+    assert_eq!(report.cases_executed, CASES);
+    second
+        .run
+        .join()
+        .unwrap()
+        .expect("second coordinator drains");
+
+    assert_eq!(merged_csv(&info.journal, CASES), reference_csv);
+    assert_eq!(
+        simulated.load(Ordering::SeqCst),
+        CASES,
+        "replay must resume, not re-simulate"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Graceful drain: a `drain` frame freezes leasing immediately (workers
+/// see `no_work drained=1`), in-flight leases are allowed to end, and
+/// the coordinator exits cleanly with its journals flushed.
+#[test]
+fn drain_frame_stops_leasing_and_shuts_down_cleanly() {
+    const CASES: usize = 12;
+    let (reference_lines, _) = single_process_reference(CASES);
+
+    let dir = unique_dir("drain");
+    let mut cfg = CoordinatorConfig::new(&dir, toy_source(CASES));
+    cfg.lease_timeout = Duration::from_millis(250);
+    cfg.reap_interval = Duration::from_millis(25);
+    cfg.retry_ms = 20;
+    let cluster = start_cluster(cfg);
+    let info = cluster
+        .coordinator
+        .submit("toy", 2, None, false, false)
+        .expect("submit toy campaign");
+
+    // A zombie holds a lease and has streamed one record when the drain
+    // arrives: the record must survive, the lease must be reaped, and
+    // no new lease may be granted while it drains.
+    let mut zombie = TcpStream::connect(&cluster.addr).expect("zombie connects");
+    write_frame(
+        &mut zombie,
+        &Frame::Hello {
+            worker: "zombie".to_owned(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame(&mut zombie).unwrap(),
+        Frame::Welcome { .. }
+    ));
+    write_frame(&mut zombie, &Frame::LeaseRequest).unwrap();
+    let (lease, shard) = match read_frame(&mut zombie).unwrap() {
+        Frame::Lease { lease, shard, .. } => (lease, shard),
+        other => panic!("expected a lease, got {other:?}"),
+    };
+    let first_case = shard.case_indices(CASES).next().unwrap();
+    write_frame(
+        &mut zombie,
+        &Frame::Record {
+            lease,
+            line: reference_lines[&first_case].clone(),
+        },
+    )
+    .unwrap();
+    let metrics = cluster.coordinator.metrics();
+    wait_until(
+        "the zombie's record to merge",
+        Duration::from_secs(10),
+        || metrics.cases_merged.get() >= 1,
+    );
+
+    // Ask for the drain over the wire, like `amsfi drain` would.
+    let mut client = TcpStream::connect(&cluster.addr).unwrap();
+    write_frame(&mut client, &Frame::Drain).unwrap();
+    match read_frame(&mut client).unwrap() {
+        Frame::Status { body, .. } => {
+            assert!(body.contains("draining"), "status says draining:\n{body}");
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+    assert_eq!(metrics.drain_requests.get(), 1);
+
+    // A worker asking for work during the drain is turned away with the
+    // drained flag, so `--exit-when-done` fleets disband.
+    let mut late = TcpStream::connect(&cluster.addr).unwrap();
+    write_frame(
+        &mut late,
+        &Frame::Hello {
+            worker: "late".to_owned(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame(&mut late).unwrap(),
+        Frame::Welcome { .. }
+    ));
+    write_frame(&mut late, &Frame::LeaseRequest).unwrap();
+    match read_frame(&mut late).unwrap() {
+        Frame::NoWork { drained, .. } => assert!(drained, "draining refuses new leases"),
+        other => panic!("expected no_work, got {other:?}"),
+    }
+
+    // The zombie never finishes; its lease times out, and with nothing
+    // in flight the drained coordinator exits on its own.
+    cluster.run.join().unwrap().expect("coordinator drains");
+
+    // The merged record survived the drain: the journal is flushed and
+    // resumable by a recovering coordinator.
+    let text = std::fs::read_to_string(&info.journal).unwrap();
+    let case_lines = text.lines().filter(|l| l.starts_with("case ")).count();
+    assert_eq!(case_lines, 1, "the pre-drain record is on disk:\n{text}");
+    drop(zombie);
     std::fs::remove_dir_all(&dir).ok();
 }

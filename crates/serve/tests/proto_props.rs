@@ -87,6 +87,7 @@ fn frames(
             reason: text_a.clone(),
         },
         Frame::StatusRequest,
+        Frame::Drain,
         Frame::Status {
             campaigns: (n % 100) as usize,
             workers: (m % 100) as usize,
@@ -160,7 +161,7 @@ proptest! {
             kind.as_str(),
             "hello" | "welcome" | "submit" | "submitted" | "lease_req" | "lease" | "no_work"
                 | "record" | "heartbeat" | "shard_done" | "shard_abort" | "status_req"
-                | "status" | "error" | "bye"
+                | "drain" | "status" | "error" | "bye"
         ));
         let payload = format!("{kind} extra={}", amsfi_engine::journal::escape(&rest));
         match Frame::parse(&payload) {

@@ -479,6 +479,13 @@ pub struct ServeMetrics {
     pub frames_rx: Counter,
     /// Protocol frames sent.
     pub frames_tx: Counter,
+    /// Campaigns rebuilt from submission manifests at startup.
+    pub campaigns_recovered: Counter,
+    /// Journal entries replayed into memory during crash recovery —
+    /// cases that will never be re-simulated.
+    pub cases_recovered: Counter,
+    /// Graceful-drain requests accepted (`drain` frames or API calls).
+    pub drain_requests: Counter,
 }
 
 impl ServeMetrics {
@@ -569,6 +576,27 @@ impl ServeMetrics {
             "amsfi_serve_frames_total",
             &[("dir", "tx")],
             self.frames_tx.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_campaigns_recovered_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_campaigns_recovered_total",
+            &[],
+            self.campaigns_recovered.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_cases_recovered_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_cases_recovered_total",
+            &[],
+            self.cases_recovered.get(),
+        );
+        prom_type(&mut out, "amsfi_serve_drain_requests_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_drain_requests_total",
+            &[],
+            self.drain_requests.get(),
         );
         out
     }
