@@ -206,3 +206,40 @@ done
 ./target/release/amsfi drain 127.0.0.1:$port
 wait $serve_pid
 rm -rf "$tmp"
+
+# PR 9 fleet-observability bench: the same campaign runs distributed
+# with worker metrics shipping off and on (two workers each, best of
+# three). Gates: merged cases.csv byte-identical to a single-process
+# run in both modes, every worker labelled in the fleet Prometheus
+# export with the shipped case total matching the campaign, and at
+# most 5% wall-clock overhead for shipping. Emits
+# results/bench/BENCH_pr9.json.
+cargo build --release -p amsfi-bench --bin pr9_fleet_obs_bench
+./target/release/pr9_fleet_obs_bench
+
+# PR 9 CLI e2e: `amsfi top --once` renders the live fleet view from a
+# running coordinator, and `amsfi report --distributed` joins the
+# worker's event stream (trace-context stamped) against the journal
+# dir, attributing cases to the worker that ran them.
+tmp=$(mktemp -d)
+port=17191
+./target/release/amsfi serve --bind 127.0.0.1:$port --campaign pll-digital \
+    --limit 6 --shards 2 --until-drained --journal-dir "$tmp/journals" &
+serve_pid=$!
+i=0
+until ./target/release/amsfi status 127.0.0.1:$port >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "fleet-test amsfi serve never came up on 127.0.0.1:$port" >&2
+        kill $serve_pid 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+./target/release/amsfi top 127.0.0.1:$port --once | grep -q "amsfi top"
+./target/release/amsfi worker 127.0.0.1:$port --exit-when-done --name ci-fleet \
+    --events "$tmp/worker-events.jsonl"
+wait $serve_pid
+./target/release/amsfi report --distributed "$tmp/journals" \
+    --events "$tmp/worker-events.jsonl" | grep -q "cases by worker: ci-fleet"
+rm -rf "$tmp"

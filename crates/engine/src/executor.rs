@@ -907,12 +907,21 @@ impl Engine {
         stats.seed_resumed(resumed + prior_quarantined, prior_quarantined);
 
         tele.emit_with(|| {
+            // Fingerprint and shard identify this run's slice of the
+            // campaign across processes: a distributed report joins
+            // worker event streams on exactly these fields.
             Event::new("campaign", &campaign.name)
                 .with_field("cases", pending.len())
                 .with_field("resumed", resumed)
                 .with_field("prior_quarantined", prior_quarantined)
                 .with_field("workers", cfg.effective_workers())
                 .with_field("checkpoint", cfg.checkpoint)
+                .with_field(
+                    "fingerprint",
+                    format!("{:016x}", campaign.meta().fingerprint),
+                )
+                .with_field("shard", cfg.shard.index)
+                .with_field("shards", cfg.shard.count)
         });
 
         let fork_spec = if cfg.checkpoint {
@@ -1058,7 +1067,10 @@ impl Engine {
                     let (pending, journal) = (&pending, &journal);
                     scope.spawn(move || {
                         tele.emit_with(|| {
-                            Event::new("worker", "start").with_field("worker", worker_id)
+                            // "thread", not "worker": the worker key is
+                            // reserved for the fleet-level process name
+                            // stamped by distributed trace context.
+                            Event::new("worker", "start").with_field("thread", worker_id)
                         });
                         let mut claimed = 0usize;
                         if let Some(spec) = batch_spec {
@@ -1095,7 +1107,7 @@ impl Engine {
                             }
                             tele.emit_with(|| {
                                 Event::new("worker", "exit")
-                                    .with_field("worker", worker_id)
+                                    .with_field("thread", worker_id)
                                     .with_field("claimed", claimed)
                             });
                             return;
@@ -1162,7 +1174,7 @@ impl Engine {
                         }
                         tele.emit_with(|| {
                             Event::new("worker", "exit")
-                                .with_field("worker", worker_id)
+                                .with_field("thread", worker_id)
                                 .with_field("claimed", claimed)
                         });
                     })

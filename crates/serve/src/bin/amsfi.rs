@@ -9,11 +9,13 @@
 //!           [--max-steps N] [--min-dt-fs N] [--quarantine]
 //!           [--events PATH] [--metrics PATH] [--limit N] [--out DIR]
 //! amsfi merge <journal>... [--out DIR]
-//! amsfi report <journal> [--events PATH] [--top N]
+//! amsfi report <journal> [--events PATH]... [--top N]
+//! amsfi report --distributed <journal-dir> [--events PATH]... [--top N]
 //! amsfi serve [--bind ADDR] [--campaign NAME]... [--shards N] [...]
 //! amsfi worker <addr> [--threads N] [--exit-when-done] [...]
 //! amsfi submit <addr> <campaign> [--shards N] [...]
 //! amsfi status <addr>
+//! amsfi top <addr> [--interval-ms N] [--once]
 //! amsfi drain <addr>
 //! ```
 //!
@@ -106,10 +108,18 @@ USAGE:
         Journals written by a different campaign (name, case count or
         fingerprint) are refused with exit code 4.
 
-  amsfi report <journal> [--events PATH] [--top N]
-        Join a journal with its `--events` JSONL stream into a per-case
-        latency/retry/guard breakdown and a top-N slowest listing
-        (default top 10).
+  amsfi report <journal> [--events PATH]... [--top N]
+        Join a journal with its `--events` JSONL stream(s) into a
+        per-case latency/retry/guard breakdown and a top-N slowest
+        listing (default top 10).
+
+  amsfi report --distributed <journal-dir> [--events PATH]... [--top N]
+        Report every campaign journal in a coordinator's --journal-dir,
+        joining the event streams of *multiple* processes (coordinator
+        and workers, one --events file each). Worker events carry
+        campaign/shard/worker trace context, so each campaign's
+        breakdown attributes cases to the worker that ran them and
+        lists straggler flags raised by the coordinator.
 
   amsfi serve [options]
         Run the distributed-campaign coordinator: accept submissions,
@@ -135,9 +145,15 @@ USAGE:
           --until-drained        exit once every campaign completes
           --progress-secs N      progress cadence (0 = off; counts
                                  remotely merged cases)
-          --metrics PATH         Prometheus text snapshot (per tick and
-                                 at exit)
+          --metrics PATH         fleet Prometheus text snapshot: service
+                                 gauges plus every worker's shipped
+                                 kernel metrics, labelled per worker
+                                 (per tick and at exit)
           --events PATH          structured JSONL event stream
+          --straggler-factor F   flag a lease whose case rate is below
+                                 F × the campaign's median lane rate
+                                 (default 0.5, 0 disables; observation
+                                 only — the lease is never touched)
 
   amsfi worker <addr> [options]
         Lease shards from the coordinator at <addr>, execute them through
@@ -156,14 +172,26 @@ USAGE:
           --exit-when-done       exit when the coordinator drains
           --max-shards N         stop after N shards (testing)
           --events PATH          structured JSONL event stream
+          --no-ship-metrics      do not ship kernel metrics snapshots in
+                                 heartbeat/shard_done frames (they feed
+                                 the coordinator's fleet metrics and
+                                 `amsfi top`; shipping is on by default)
 
   amsfi submit <addr> <campaign> [--shards N] [--limit N]
               [--checkpoint] [--early-abort]
         Submit a campaign to a running coordinator.
 
   amsfi status <addr>
-        Print a running coordinator's campaigns, shards, leases and
-        workers (read-only).
+        Print a running coordinator's campaigns (with merged/total case
+        counts, percent complete, observed case rate and ETA), shards,
+        leases and worker health (read-only).
+
+  amsfi top <addr> [--interval-ms N] [--once]
+        Live fleet view: per-campaign progress bar, case rate and ETA,
+        per-worker health (last heartbeat, leases, case latency
+        percentiles, replayed records, reconnects) and straggler flags,
+        re-rendered every N ms (default 2000). --once prints a single
+        frame and exits.
 
   amsfi drain <addr>
         Ask a running coordinator to drain: stop handing out leases,
@@ -194,6 +222,7 @@ fn main() -> ExitCode {
         Some("worker") => worker(&args[1..]),
         Some("submit") => submit(&args[1..]),
         Some("status") => status(&args[1..]),
+        Some("top") => top_cmd(&args[1..]),
         Some("drain") => drain(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -517,18 +546,32 @@ struct CaseBreakdown {
     timeouts: u64,
     guards: Vec<String>,
     attempts: u64,
+    /// Workers whose events mention this case (trace context; a case
+    /// re-leased after a worker death legitimately names several).
+    workers: std::collections::BTreeSet<String>,
+}
+
+/// Looks up an event field (explicit or stamped trace context).
+fn event_field<'a>(event: &'a Event, key: &str) -> Option<&'a str> {
+    event
+        .fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
 }
 
 fn report_cmd(args: &[String]) -> ExitCode {
     let mut journal_path: Option<PathBuf> = None;
-    let mut events_path: Option<PathBuf> = None;
+    let mut events_paths: Vec<PathBuf> = Vec::new();
     let mut top = 10usize;
+    let mut distributed = false;
     let mut opts = Options::new(args);
     let parsed: Result<(), String> = (|| {
         while let Some(arg) = opts.next() {
             match arg {
-                "--events" => events_path = Some(PathBuf::from(opts.value(arg)?)),
+                "--events" => events_paths.push(PathBuf::from(opts.value(arg)?)),
                 "--top" => top = opts.parse(arg)?,
+                "--distributed" => distributed = true,
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown option {flag:?}"));
                 }
@@ -543,31 +586,53 @@ fn report_cmd(args: &[String]) -> ExitCode {
         return ExitCode::from(64);
     }
     let Some(journal_path) = journal_path else {
-        eprintln!("amsfi report: missing journal path");
+        eprintln!(
+            "amsfi report: missing journal path{}",
+            if distributed {
+                " (the coordinator's --journal-dir)"
+            } else {
+                ""
+            }
+        );
         return ExitCode::from(64);
     };
 
-    let (meta, entries) = match journal::merge(std::slice::from_ref(&journal_path)) {
-        Ok(merged) => merged,
-        Err(e) => {
-            eprintln!("amsfi report: {e}");
+    // Journals to report: one file, or every `*.journal` in the
+    // coordinator's journal dir.
+    let journals: Vec<PathBuf> = if distributed {
+        let mut found = Vec::new();
+        match std::fs::read_dir(&journal_path) {
+            Ok(entries) => {
+                for entry in entries.filter_map(Result::ok) {
+                    let path = entry.path();
+                    if path.extension().is_some_and(|ext| ext == "journal") {
+                        found.push(path);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("amsfi report: reading {}: {e}", journal_path.display());
+                return ExitCode::from(2);
+            }
+        }
+        found.sort();
+        if found.is_empty() {
+            eprintln!(
+                "amsfi report: no *.journal files in {}",
+                journal_path.display()
+            );
             return ExitCode::from(2);
         }
+        found
+    } else {
+        vec![journal_path]
     };
-    let (result, skipped, quarantined) = journal::assemble(&entries);
-    println!(
-        "campaign {}: {} of {} case(s) journaled",
-        meta.name,
-        entries.len(),
-        meta.cases
-    );
-    print!("{}", report::summary_table(&result));
 
-    // Join the JSONL event stream (if given) into per-case aggregates.
-    let mut cases: BTreeMap<u64, CaseBreakdown> = BTreeMap::new();
-    let mut parsed_events = 0u64;
+    // Parse every event stream once; the per-campaign join below filters
+    // by the campaign trace-context field the emitting process stamped.
+    let mut all_events: Vec<Event> = Vec::new();
     let mut malformed = 0u64;
-    if let Some(path) = &events_path {
+    for path in &events_paths {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) => {
@@ -576,19 +641,77 @@ fn report_cmd(args: &[String]) -> ExitCode {
             }
         };
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            let Ok(event) = Event::parse(line) else {
-                malformed += 1;
+            match Event::parse(line) {
+                Ok(event) => all_events.push(event),
+                Err(_) => malformed += 1,
+            }
+        }
+    }
+    if !events_paths.is_empty() {
+        println!(
+            "events: {} parsed from {} file(s), {malformed} malformed",
+            all_events.len(),
+            events_paths.len()
+        );
+    }
+
+    let mut exit = ExitCode::SUCCESS;
+    for (i, path) in journals.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let (meta, entries) = match journal::merge(std::slice::from_ref(path)) {
+            Ok(merged) => merged,
+            Err(e) => {
+                eprintln!("amsfi report: {}: {e}", path.display());
+                exit = ExitCode::from(2);
                 continue;
-            };
-            parsed_events += 1;
+            }
+        };
+        let (result, skipped, quarantined) = journal::assemble(&entries);
+        println!(
+            "campaign {}: {} of {} case(s) journaled",
+            meta.name,
+            entries.len(),
+            meta.cases
+        );
+        print!("{}", report::summary_table(&result));
+
+        // In distributed mode an event belongs to this campaign when its
+        // trace context says so; a lone journal takes the whole stream.
+        let selected: Vec<&Event> = all_events
+            .iter()
+            .filter(|event| {
+                !distributed || event_field(event, "campaign") == Some(meta.name.as_str())
+            })
+            .collect();
+
+        let mut cases: BTreeMap<u64, CaseBreakdown> = BTreeMap::new();
+        let mut worker_cases: BTreeMap<String, u64> = BTreeMap::new();
+        let mut stragglers: Vec<String> = Vec::new();
+        for event in &selected {
+            if distributed && event.kind == "serve" && event.name == "straggler" {
+                stragglers.push(format!(
+                    "shard {} on {} ({} vs median {} mcases/s)",
+                    event_field(event, "shard").unwrap_or("?"),
+                    event_field(event, "worker").unwrap_or("?"),
+                    event_field(event, "rate_mcps").unwrap_or("?"),
+                    event_field(event, "median_mcps").unwrap_or("?"),
+                ));
+            }
             let Some(case) = event.case else { continue };
             let slot = cases.entry(case).or_default();
+            if let Some(worker) = event_field(event, "worker") {
+                slot.workers.insert(worker.to_owned());
+            }
             match (event.kind.as_str(), event.name.as_str()) {
                 ("span", "case") => {
                     slot.total_us = slot.total_us.max(event.dur_us.unwrap_or(0));
-                    if let Some((_, attempts)) = event.fields.iter().find(|(k, _)| k == "attempts")
-                    {
+                    if let Some(attempts) = event_field(event, "attempts") {
                         slot.attempts = slot.attempts.max(attempts.parse().unwrap_or(0));
+                    }
+                    if let Some(worker) = event_field(event, "worker") {
+                        *worker_cases.entry(worker.to_owned()).or_default() += 1;
                     }
                 }
                 ("span", "case/simulate") => {
@@ -600,48 +723,83 @@ fn report_cmd(args: &[String]) -> ExitCode {
                 _ => {}
             }
         }
-        println!("events: {parsed_events} parsed, {malformed} malformed");
-    }
 
-    if !cases.is_empty() {
-        let mut ranked: Vec<(&u64, &CaseBreakdown)> = cases.iter().collect();
-        ranked.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
-        ranked.truncate(top);
-        println!("top {} slowest case(s):", ranked.len());
-        println!(
-            "  {:>6} {:<24} {:<12} {:>8} {:>10} {:>10} {:>7} {:>8} guards",
-            "case", "label", "class", "attempts", "total_us", "sim_us", "retries", "timeouts"
-        );
-        for (index, breakdown) in ranked {
-            let (label, class) = match entries.get(&(*index as usize)) {
-                Some(JournalEntry::Done(r)) => (r.case.label.clone(), r.outcome.class.to_string()),
-                Some(JournalEntry::Skipped(s)) => (s.case.label.clone(), "skipped".to_owned()),
-                Some(JournalEntry::Quarantined(q)) => {
-                    (q.case.label.clone(), "quarantined".to_owned())
-                }
-                None => ("?".to_owned(), "?".to_owned()),
-            };
+        if !cases.is_empty() {
+            let mut ranked: Vec<(&u64, &CaseBreakdown)> = cases.iter().collect();
+            ranked.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
+            ranked.truncate(top);
+            println!("top {} slowest case(s):", ranked.len());
             println!(
-                "  {:>6} {:<24} {:<12} {:>8} {:>10} {:>10} {:>7} {:>8} {}",
-                index,
-                label,
-                class,
-                breakdown.attempts,
-                breakdown.total_us,
-                breakdown.simulate_us,
-                breakdown.retries,
-                breakdown.timeouts,
-                if breakdown.guards.is_empty() {
-                    "-".to_owned()
-                } else {
-                    breakdown.guards.join(",")
-                }
+                "  {:>6} {:<24} {:<12} {:>8} {:>10} {:>10} {:>7} {:>8} guards{}",
+                "case",
+                "label",
+                "class",
+                "attempts",
+                "total_us",
+                "sim_us",
+                "retries",
+                "timeouts",
+                if distributed { " worker" } else { "" }
             );
+            for (index, breakdown) in ranked {
+                let (label, class) = match entries.get(&(*index as usize)) {
+                    Some(JournalEntry::Done(r)) => {
+                        (r.case.label.clone(), r.outcome.class.to_string())
+                    }
+                    Some(JournalEntry::Skipped(s)) => (s.case.label.clone(), "skipped".to_owned()),
+                    Some(JournalEntry::Quarantined(q)) => {
+                        (q.case.label.clone(), "quarantined".to_owned())
+                    }
+                    None => ("?".to_owned(), "?".to_owned()),
+                };
+                let workers = if distributed {
+                    let names: Vec<&str> = breakdown.workers.iter().map(String::as_str).collect();
+                    format!(
+                        " {}",
+                        if names.is_empty() {
+                            "-".to_owned()
+                        } else {
+                            names.join(",")
+                        }
+                    )
+                } else {
+                    String::new()
+                };
+                println!(
+                    "  {:>6} {:<24} {:<12} {:>8} {:>10} {:>10} {:>7} {:>8} {}{workers}",
+                    index,
+                    label,
+                    class,
+                    breakdown.attempts,
+                    breakdown.total_us,
+                    breakdown.simulate_us,
+                    breakdown.retries,
+                    breakdown.timeouts,
+                    if breakdown.guards.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        breakdown.guards.join(",")
+                    }
+                );
+            }
         }
+        if distributed && !worker_cases.is_empty() {
+            let parts: Vec<String> = worker_cases
+                .iter()
+                .map(|(name, count)| format!("{name} ({count})"))
+                .collect();
+            println!("cases by worker: {}", parts.join(", "));
+        }
+        if !stragglers.is_empty() {
+            println!("straggler flags:");
+            for s in &stragglers {
+                println!("  {s}");
+            }
+        }
+        print_skips(&skipped);
+        print_quarantine(&quarantined);
     }
-    print_skips(&skipped);
-    print_quarantine(&quarantined);
-    ExitCode::SUCCESS
+    exit
 }
 
 /// Builds a telemetry handle for the service subcommands: enabled as soon
@@ -708,6 +866,7 @@ fn serve(args: &[String]) -> ExitCode {
                 }
                 "--metrics" => cfg.metrics_path = Some(PathBuf::from(opts.value(arg)?)),
                 "--events" => events = Some(PathBuf::from(opts.value(arg)?)),
+                "--straggler-factor" => cfg.straggler_factor = opts.parse(arg)?,
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown option {flag:?}"));
                 }
@@ -795,12 +954,14 @@ fn worker(args: &[String]) -> ExitCode {
     let mut exit_when_done = false;
     let mut max_shards: Option<usize> = None;
     let mut events: Option<PathBuf> = None;
+    let mut ship_metrics = true;
 
     let mut opts = Options::new(args);
     let parsed: Result<(), String> = (|| {
         while let Some(arg) = opts.next() {
             match arg {
                 "--name" => name = Some(opts.value(arg)?.to_owned()),
+                "--no-ship-metrics" => ship_metrics = false,
                 "--threads" => threads = opts.parse(arg)?,
                 "--heartbeat-ms" => heartbeat = Duration::from_millis(opts.parse(arg)?),
                 "--poll-ms" => poll = Duration::from_millis(opts.parse(arg)?),
@@ -865,6 +1026,7 @@ fn worker(args: &[String]) -> ExitCode {
     }
     cfg.exit_when_done = exit_when_done;
     cfg.max_shards = max_shards;
+    cfg.ship_metrics = ship_metrics;
     cfg.telemetry = telemetry.clone();
 
     let result = amsfi_serve::worker::run(cfg);
@@ -1023,6 +1185,137 @@ fn status(args: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
         Err(e) => report_call_error("status", addr, e),
+    }
+}
+
+/// Renders one `amsfi top` frame from a coordinator's fleet view.
+fn render_top(view: &amsfi_serve::view::TopView) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "amsfi top — epoch {}, up {:.0}s{}",
+        view.epoch,
+        view.uptime_ms as f64 / 1000.0,
+        if view.drained { ", drained" } else { "" }
+    );
+    if view.campaigns.is_empty() {
+        let _ = writeln!(out, "no campaigns submitted");
+    }
+    for c in &view.campaigns {
+        let percent = if c.cases > 0 {
+            c.merged as f64 * 100.0 / c.cases as f64
+        } else {
+            100.0
+        };
+        // 20-cell progress bar: full cases, then the fractional remainder.
+        let filled = ((percent / 5.0) as usize).min(20);
+        let bar: String = "#".repeat(filled) + &"-".repeat(20 - filled);
+        let _ = write!(
+            out,
+            "[{}] {} [{bar}] {}/{} ({percent:.1}%)  shards {}/{}/{} done/leased/idle",
+            c.id, c.name, c.merged, c.cases, c.shards_done, c.shards_leased, c.shards_idle
+        );
+        if c.rate_mcps > 0 {
+            let _ = write!(out, "  {:.1} case/s", c.rate_mcps as f64 / 1000.0);
+        }
+        if let Some(eta_ms) = c.eta_ms {
+            let _ = write!(out, "  ETA {:.1}s", eta_ms as f64 / 1000.0);
+        }
+        if !c.stragglers.is_empty() {
+            let shards: Vec<String> = c.stragglers.iter().map(usize::to_string).collect();
+            let _ = write!(out, "  STRAGGLER shard(s) {}", shards.join(","));
+        }
+        if c.resharded > 0 {
+            let _ = write!(out, "  resharded {}", c.resharded);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "workers ({} connected):",
+        view.workers.iter().filter(|w| w.connected).count()
+    );
+    for w in &view.workers {
+        let _ = writeln!(
+            out,
+            "  {:<20} {}{} lease(s), last seen {:.1}s ago, {} case(s), \
+             p50 {}us, p99 {}us, {} replayed, {} reconnect(s)",
+            w.name,
+            if w.connected { "" } else { "disconnected, " },
+            w.leases,
+            w.last_seen_ms as f64 / 1000.0,
+            w.cases,
+            w.p50_us,
+            w.p99_us,
+            w.replay_hits,
+            w.reconnects
+        );
+    }
+    out
+}
+
+fn top_cmd(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut interval = Duration::from_millis(2000);
+    let mut once = false;
+    let mut opts = Options::new(args);
+    let parsed: Result<(), String> = (|| {
+        while let Some(arg) = opts.next() {
+            match arg {
+                "--interval-ms" => {
+                    interval = Duration::from_millis(opts.parse::<u64>(arg)?.max(100));
+                }
+                "--once" => once = true,
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown option {flag:?}"));
+                }
+                positional if addr.is_none() => addr = Some(positional.to_owned()),
+                extra => return Err(format!("unexpected argument {extra:?}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("amsfi top: {e}");
+        return ExitCode::from(64);
+    }
+    let Some(addr) = addr else {
+        eprintln!("amsfi top: usage: amsfi top <addr> [--interval-ms N] [--once]");
+        return ExitCode::from(64);
+    };
+    loop {
+        match coordinator_call(&addr, &Frame::TopRequest) {
+            Ok(Frame::Top { view }) => {
+                if !once {
+                    // Clear screen and home the cursor between frames.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_top(&view));
+                use std::io::Write as _;
+                std::io::stdout().flush().ok();
+                if once {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Ok(Frame::Error { reason }) => {
+                eprintln!("amsfi top: coordinator refused: {reason}");
+                return ExitCode::from(2);
+            }
+            Ok(other) => {
+                eprintln!("amsfi top: unexpected reply {:?}", other.kind());
+                return ExitCode::from(2);
+            }
+            Err(CallError::Exchange(e)) => {
+                eprintln!(
+                    "amsfi top: {e} (a coordinator from before `top` existed ignores the \
+                     request — this read then times out)"
+                );
+                return ExitCode::from(2);
+            }
+            Err(e) => return report_call_error("top", &addr, e),
+        }
+        std::thread::sleep(interval);
     }
 }
 

@@ -64,11 +64,14 @@
 
 use crate::manifest::{self, SubmitManifest};
 use crate::proto::{self, Frame, ProtoError, PROTOCOL_VERSION};
+use crate::view::{TopCampaign, TopView, TopWorker};
 use crate::CampaignSource;
 use amsfi_engine::journal::{self, Journal, JournalEntry, JournalMeta};
 use amsfi_engine::{Event, Shard, Telemetry};
-use amsfi_telemetry::ServeMetrics;
-use std::collections::BTreeMap;
+use amsfi_telemetry::{
+    prom_histogram_counts, prom_sample, prom_type, HistSnapshot, MetricsSnapshot, ServeMetrics,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -105,6 +108,12 @@ pub struct CoordinatorConfig {
     /// half-open peer can never pin a coordinator thread. `None`
     /// disables deadlines (not recommended outside tests).
     pub io_timeout: Option<Duration>,
+    /// Straggler rule: a leased shard whose lane rate falls below
+    /// `straggler_factor` × the median lane rate of its campaign's
+    /// active leases is flagged (in `status`, `top` and a telemetry
+    /// event). Observation only — flagging never reshards or cancels.
+    /// Set to 0 to disable.
+    pub straggler_factor: f64,
 }
 
 impl CoordinatorConfig {
@@ -124,6 +133,7 @@ impl CoordinatorConfig {
             source,
             recover: true,
             io_timeout: Some(Duration::from_secs(30)),
+            straggler_factor: 0.5,
         }
     }
 }
@@ -163,9 +173,20 @@ enum Slot {
         worker: String,
         granted: Instant,
         last_seen: Instant,
+        /// Cases of this shard already settled when the lease was
+        /// granted — the baseline the straggler scan measures lane
+        /// progress against.
+        merged_at_grant: usize,
+        /// Currently flagged by the straggler rule (observation only).
+        straggler: bool,
     },
     Done,
 }
+
+/// Sliding window the merge-rate / ETA estimate looks back over.
+const RATE_WINDOW: Duration = Duration::from_secs(20);
+/// Cap on retained rate samples (oldest evicted first).
+const RATE_SAMPLES_MAX: usize = 512;
 
 struct CampaignState {
     meta: JournalMeta,
@@ -177,11 +198,63 @@ struct CampaignState {
     entries: BTreeMap<usize, JournalEntry>,
     resharded: u64,
     completed: bool,
+    /// `(when, merged-count)` samples taken on newly-merged cases,
+    /// trimmed to [`RATE_WINDOW`]; the basis for cases/sec and ETA.
+    samples: VecDeque<(Instant, usize)>,
 }
 
 impl CampaignState {
     fn merged(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Records a merge-progress sample (called on each newly-seen case).
+    fn note_merge(&mut self, now: Instant) {
+        let merged = self.entries.len();
+        self.samples.push_back((now, merged));
+        while self.samples.len() > RATE_SAMPLES_MAX {
+            self.samples.pop_front();
+        }
+        self.trim_samples(now);
+    }
+
+    fn trim_samples(&mut self, now: Instant) {
+        while let Some(&(t, _)) = self.samples.front() {
+            if now.duration_since(t) > RATE_WINDOW {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Observed merge rate in millicases/sec over the sliding window;
+    /// 0 when the window has no baseline (empty or a single instant).
+    fn rate_mcps(&mut self, now: Instant) -> u64 {
+        self.trim_samples(now);
+        let Some(&(t0, m0)) = self.samples.front() else {
+            return 0;
+        };
+        let span_us = now.duration_since(t0).as_micros() as u64;
+        let delta = self.merged().saturating_sub(m0) as u64;
+        if span_us < 200_000 || delta == 0 {
+            return 0;
+        }
+        delta.saturating_mul(1_000_000_000) / span_us
+    }
+
+    /// ETA to full merge from the observed rate; `None` when complete
+    /// or when no rate is observable yet.
+    fn eta_ms(&mut self, now: Instant) -> Option<u64> {
+        if self.completed {
+            return None;
+        }
+        let rate = self.rate_mcps(now);
+        if rate == 0 {
+            return None;
+        }
+        let remaining = self.meta.cases.saturating_sub(self.merged()) as u64;
+        Some(remaining.saturating_mul(1_000_000) / rate)
     }
 
     fn slot_counts(&self) -> (usize, usize, usize) {
@@ -205,8 +278,20 @@ struct LeaseRef {
 
 struct WorkerInfo {
     name: String,
-    connected: Instant,
     leases: usize,
+    /// When the last frame (any kind) arrived from this worker.
+    last_seen: Instant,
+    /// `no_work` replies sent — growing with zero leases means the
+    /// worker is idle-polling in backoff.
+    nowork: u64,
+}
+
+/// The latest cumulative metrics snapshot a worker shipped, keyed by
+/// worker *name* (so it survives reconnects) — last-wins, which is what
+/// makes replayed deliveries idempotent.
+struct WorkerStats {
+    snapshot: MetricsSnapshot,
+    updated: Instant,
 }
 
 #[derive(Default)]
@@ -214,6 +299,7 @@ struct State {
     campaigns: BTreeMap<u64, CampaignState>,
     leases: BTreeMap<u64, LeaseRef>,
     workers: BTreeMap<u64, WorkerInfo>,
+    worker_stats: BTreeMap<String, WorkerStats>,
     /// Live socket per connection, so shutdown/drain can sever them all
     /// and the detached handler threads unblock promptly.
     conns: BTreeMap<u64, TcpStream>,
@@ -364,6 +450,27 @@ impl Coordinator {
     /// The lease epoch this incarnation runs in (bumped every start).
     pub fn epoch(&self) -> u64 {
         self.shared.epoch
+    }
+
+    /// The live fleet view — the exact payload an `amsfi top` client
+    /// receives — for tests and embedding tools.
+    pub fn fleet_view(&self) -> TopView {
+        fleet_view(&self.shared)
+    }
+
+    /// The fleet Prometheus export text (what `--metrics` writes), for
+    /// tests and embedding tools.
+    pub fn fleet_prometheus(&self) -> String {
+        fleet_prometheus(&self.shared)
+    }
+
+    /// The human-readable status body (what `amsfi status` prints),
+    /// built from the same fleet view `top` renders.
+    pub fn status(&self) -> String {
+        match status_frame(&self.shared) {
+            Frame::Status { body, .. } => body,
+            _ => unreachable!("status_frame always returns Frame::Status"),
+        }
     }
 
     /// A snapshot of a campaign's merged entries, for tests and tools.
@@ -523,6 +630,7 @@ fn submit(
             entries,
             resharded: 0,
             completed: false,
+            samples: VecDeque::new(),
         },
     );
     drop(state);
@@ -624,6 +732,7 @@ fn recover_campaigns(shared: &Shared) {
                 entries,
                 resharded: 0,
                 completed,
+                samples: VecDeque::new(),
             },
         );
         drop(state);
@@ -710,6 +819,108 @@ fn reaper_loop(shared: &Shared) {
         for lease_id in expired {
             release_lease(shared, &mut state, lease_id, "lease timeout", true);
         }
+        drop(state);
+        scan_stragglers(shared, now);
+    }
+}
+
+/// The straggler rule, run on each reaper tick: within one campaign,
+/// every leased shard's *lane rate* is (cases settled since grant) /
+/// (lease age); a lane whose rate falls below `straggler_factor` ×
+/// the median of its campaign's active lanes is flagged. Flagging is
+/// observation only — it marks the slot (shown by `status`/`top`),
+/// emits one telemetry event per transition, and bumps a counter; the
+/// lease itself is left entirely alone (the reaper's timeout path is
+/// the only reclaim policy).
+///
+/// Guards against false positives: a campaign needs ≥ 2 active lanes
+/// (a median of one lane is itself), and a lane is only judged once
+/// it is at least two reap intervals old.
+fn scan_stragglers(shared: &Shared, now: Instant) {
+    if shared.cfg.straggler_factor <= 0.0 {
+        return;
+    }
+    let min_age = shared.cfg.reap_interval * 2;
+    struct Flagged {
+        campaign: u64,
+        name: String,
+        shard: usize,
+        lease: u64,
+        worker: String,
+        rate_mcps: u64,
+        median_mcps: u64,
+    }
+    let mut flagged: Vec<Flagged> = Vec::new();
+    let mut state = shared.lock();
+    for (&campaign_id, c) in state.campaigns.iter_mut() {
+        let shard_count = c.slots.len();
+        // Lane rates in millicases/sec for every judgeable lease.
+        let mut lanes: Vec<(usize, u64)> = Vec::new();
+        for (i, slot) in c.slots.iter().enumerate() {
+            let Slot::Leased {
+                granted,
+                merged_at_grant,
+                ..
+            } = slot
+            else {
+                continue;
+            };
+            let age = now.duration_since(*granted);
+            if age < min_age {
+                continue;
+            }
+            let shard = Shard::new(i, shard_count).expect("slot index < count");
+            let settled = shard
+                .case_indices(c.meta.cases)
+                .filter(|j| c.entries.contains_key(j))
+                .count();
+            let progressed = settled.saturating_sub(*merged_at_grant) as u64;
+            let rate = progressed.saturating_mul(1_000_000_000) / age.as_micros().max(1) as u64;
+            lanes.push((i, rate));
+        }
+        if lanes.len() < 2 {
+            continue;
+        }
+        let mut rates: Vec<u64> = lanes.iter().map(|&(_, r)| r).collect();
+        rates.sort_unstable();
+        let median = rates[rates.len() / 2];
+        let threshold = (median as f64 * shared.cfg.straggler_factor) as u64;
+        for (i, rate) in lanes {
+            let slow = median > 0 && rate < threshold;
+            if let Slot::Leased {
+                lease,
+                worker,
+                straggler,
+                ..
+            } = &mut c.slots[i]
+            {
+                if slow && !*straggler {
+                    flagged.push(Flagged {
+                        campaign: campaign_id,
+                        name: c.meta.name.clone(),
+                        shard: i,
+                        lease: *lease,
+                        worker: worker.clone(),
+                        rate_mcps: rate,
+                        median_mcps: median,
+                    });
+                }
+                *straggler = slow;
+            }
+        }
+    }
+    drop(state);
+    for f in flagged {
+        shared.metrics.stragglers_flagged.inc();
+        shared.event("straggler", |e| {
+            e.with_field("campaign", &f.name)
+                .with_field("campaign_id", f.campaign)
+                .with_field("shard", f.shard)
+                .with_field("lease", f.lease)
+                .with_field("worker", &f.worker)
+                .with_field("rate_mcps", f.rate_mcps)
+                .with_field("median_mcps", f.median_mcps)
+        });
     }
 }
 
@@ -739,80 +950,351 @@ fn progress_loop(shared: &Shared, interval: Duration) {
 
 fn write_metrics_file(shared: &Shared) {
     if let Some(path) = &shared.cfg.metrics_path {
-        let text = shared.metrics.to_prometheus();
+        let text = fleet_prometheus(shared);
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("serve: metrics write {}: {e}", path.display());
         }
     }
 }
 
-fn status_frame(shared: &Shared) -> Frame {
+/// Records a freshly shipped worker metrics snapshot, keyed by worker
+/// name. Cumulative + last-wins = idempotent under reconnect/replay.
+fn store_worker_metrics(shared: &Shared, conn: u64, metrics: Option<MetricsSnapshot>) {
+    let Some(snapshot) = metrics else {
+        return;
+    };
+    let mut state = shared.lock();
+    let Some(name) = state.workers.get(&conn).map(|w| w.name.clone()) else {
+        return; // metrics before hello: nothing to key them by
+    };
+    state.worker_stats.insert(
+        name,
+        WorkerStats {
+            snapshot,
+            updated: Instant::now(),
+        },
+    );
+}
+
+/// The single fleet-aggregation path: everything `amsfi top` renders,
+/// everything `amsfi status` summarises, and every derived gauge in the
+/// fleet Prometheus export comes out of this one function.
+fn fleet_view(shared: &Shared) -> TopView {
+    let mut state = shared.lock();
+    let now = Instant::now();
+    let mut view = TopView {
+        epoch: shared.epoch,
+        drained: state.drained(),
+        uptime_ms: shared.start.elapsed().as_millis() as u64,
+        campaigns: Vec::new(),
+        workers: Vec::new(),
+    };
+    let ids: Vec<u64> = state.campaigns.keys().copied().collect();
+    for id in ids {
+        let c = state.campaigns.get_mut(&id).expect("id just listed");
+        let (idle, leased, done) = c.slot_counts();
+        let stragglers: Vec<usize> = c
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                matches!(
+                    s,
+                    Slot::Leased {
+                        straggler: true,
+                        ..
+                    }
+                )
+                .then_some(i)
+            })
+            .collect();
+        let rate_mcps = c.rate_mcps(now);
+        let eta_ms = c.eta_ms(now);
+        view.campaigns.push(TopCampaign {
+            id,
+            name: c.meta.name.clone(),
+            merged: c.merged(),
+            cases: c.meta.cases,
+            shards_done: done,
+            shards_leased: leased,
+            shards_idle: idle,
+            rate_mcps,
+            eta_ms,
+            stragglers,
+            resharded: c.resharded,
+        });
+    }
+    // Workers: connected ones (possibly several conns under one name)
+    // unioned with every name that ever shipped a metrics snapshot, so a
+    // dead worker's contribution stays visible.
+    let mut by_name: BTreeMap<String, TopWorker> = BTreeMap::new();
+    for w in state.workers.values() {
+        let seen_ms = now.duration_since(w.last_seen).as_millis() as u64;
+        let entry = by_name.entry(w.name.clone()).or_insert_with(|| TopWorker {
+            name: w.name.clone(),
+            last_seen_ms: seen_ms,
+            ..TopWorker::default()
+        });
+        entry.connected = true;
+        entry.leases += w.leases;
+        entry.nowork += w.nowork;
+        entry.last_seen_ms = entry.last_seen_ms.min(seen_ms);
+    }
+    for (name, ws) in &state.worker_stats {
+        let entry = by_name.entry(name.clone()).or_insert_with(|| TopWorker {
+            name: name.clone(),
+            last_seen_ms: now.duration_since(ws.updated).as_millis() as u64,
+            ..TopWorker::default()
+        });
+        if let Some(h) = ws.snapshot.hist("case_latency_us") {
+            entry.cases = h.count();
+            entry.p50_us = h.percentile(50.0);
+            entry.p99_us = h.percentile(99.0);
+        }
+        entry.replay_hits = ws.snapshot.counter("worker_records_replayed");
+        entry.reconnects = ws.snapshot.counter("worker_reconnects");
+    }
+    view.workers = by_name.into_values().collect();
+    view
+}
+
+/// Renders the whole fleet in Prometheus text format: the coordinator's
+/// own [`ServeMetrics`], every worker's shipped kernel metrics with a
+/// `worker` label plus an unlabelled fleet aggregate, per-worker latency
+/// quantile gauges, and the derived per-campaign gauges (cases/sec, ETA,
+/// stragglers, reshards, merge lag).
+fn fleet_prometheus(shared: &Shared) -> String {
+    let view = fleet_view(shared);
+    let mut out = shared.metrics.to_prometheus();
     let state = shared.lock();
+
+    let mut counter_names: BTreeSet<String> = BTreeSet::new();
+    let mut hist_names: BTreeSet<String> = BTreeSet::new();
+    for ws in state.worker_stats.values() {
+        counter_names.extend(ws.snapshot.counters.iter().map(|(n, _)| n.clone()));
+        hist_names.extend(ws.snapshot.hists.iter().map(|(n, _)| n.clone()));
+    }
+    for name in &counter_names {
+        let family = format!("amsfi_fleet_{name}_total");
+        prom_type(&mut out, &family, "counter");
+        let mut total = 0u64;
+        for (worker, ws) in &state.worker_stats {
+            let v = ws.snapshot.counter(name);
+            total = total.wrapping_add(v);
+            prom_sample(&mut out, &family, &[("worker", worker)], v);
+        }
+        prom_sample(&mut out, &family, &[], total);
+    }
+    for name in &hist_names {
+        let family = format!("amsfi_fleet_{name}");
+        prom_type(&mut out, &family, "histogram");
+        let mut fleet = HistSnapshot::default();
+        for (worker, ws) in &state.worker_stats {
+            if let Some(h) = ws.snapshot.hist(name) {
+                prom_histogram_counts(&mut out, &family, &[("worker", worker)], &h.counts(), h.sum);
+                fleet.merge_from(h);
+            }
+        }
+        prom_histogram_counts(&mut out, &family, &[], &fleet.counts(), fleet.sum);
+    }
+    let executed: u64 = state
+        .worker_stats
+        .values()
+        .filter_map(|ws| ws.snapshot.hist("case_latency_us"))
+        .map(HistSnapshot::count)
+        .sum();
+    let merged = state.merged_total();
+    drop(state);
+
+    prom_type(
+        &mut out,
+        "amsfi_fleet_case_latency_p50_microseconds",
+        "gauge",
+    );
+    for w in &view.workers {
+        prom_sample(
+            &mut out,
+            "amsfi_fleet_case_latency_p50_microseconds",
+            &[("worker", &w.name)],
+            w.p50_us,
+        );
+    }
+    prom_type(
+        &mut out,
+        "amsfi_fleet_case_latency_p99_microseconds",
+        "gauge",
+    );
+    for w in &view.workers {
+        prom_sample(
+            &mut out,
+            "amsfi_fleet_case_latency_p99_microseconds",
+            &[("worker", &w.name)],
+            w.p99_us,
+        );
+    }
+
+    let campaign_labels: Vec<(String, &TopCampaign)> = view
+        .campaigns
+        .iter()
+        .map(|c| (c.id.to_string(), c))
+        .collect();
+    prom_type(&mut out, "amsfi_fleet_cases_per_second_milli", "gauge");
+    for (id, c) in &campaign_labels {
+        prom_sample(
+            &mut out,
+            "amsfi_fleet_cases_per_second_milli",
+            &[("campaign", &c.name), ("id", id)],
+            c.rate_mcps,
+        );
+    }
+    prom_type(&mut out, "amsfi_fleet_eta_milliseconds", "gauge");
+    for (id, c) in &campaign_labels {
+        if let Some(eta) = c.eta_ms {
+            prom_sample(
+                &mut out,
+                "amsfi_fleet_eta_milliseconds",
+                &[("campaign", &c.name), ("id", id)],
+                eta,
+            );
+        }
+    }
+    prom_type(&mut out, "amsfi_fleet_stragglers", "gauge");
+    for (id, c) in &campaign_labels {
+        prom_sample(
+            &mut out,
+            "amsfi_fleet_stragglers",
+            &[("campaign", &c.name), ("id", id)],
+            c.stragglers.len() as u64,
+        );
+    }
+    prom_type(&mut out, "amsfi_fleet_resharded_total", "counter");
+    for (id, c) in &campaign_labels {
+        prom_sample(
+            &mut out,
+            "amsfi_fleet_resharded_total",
+            &[("campaign", &c.name), ("id", id)],
+            c.resharded,
+        );
+    }
+    // Cases workers report having executed minus cases merged: a fleet
+    // that executes faster than it merges (or replays work the
+    // coordinator already has) shows up here.
+    prom_type(&mut out, "amsfi_fleet_merge_lag_cases", "gauge");
+    prom_sample(
+        &mut out,
+        "amsfi_fleet_merge_lag_cases",
+        &[],
+        executed.saturating_sub(merged),
+    );
+    out
+}
+
+fn status_frame(shared: &Shared) -> Frame {
+    // One aggregation path: the status page is a rendering of the same
+    // fleet view `amsfi top` receives, plus per-lease detail lines.
+    let view = fleet_view(shared);
     let mut body = format!(
         "amsfi-serve up {:.1}s (epoch {}{})\ncampaigns: {} submitted, {} complete, {} cases merged\n",
-        shared.start.elapsed().as_secs_f64(),
-        shared.epoch,
+        view.uptime_ms as f64 / 1000.0,
+        view.epoch,
         if shared.draining.load(Ordering::SeqCst) {
             ", draining"
         } else {
             ""
         },
-        state.campaigns.len(),
-        state.campaigns.values().filter(|c| c.completed).count(),
-        state.merged_total(),
+        view.campaigns.len(),
+        view.campaigns.iter().filter(|c| c.merged == c.cases).count(),
+        view.campaigns.iter().map(|c| c.merged as u64).sum::<u64>(),
     );
-    for (id, c) in &state.campaigns {
-        let (idle, leased, done) = c.slot_counts();
+    let state = shared.lock();
+    for c in &view.campaigns {
+        let percent = if c.cases > 0 {
+            100.0 * c.merged as f64 / c.cases as f64
+        } else {
+            100.0
+        };
+        let fingerprint = state
+            .campaigns
+            .get(&c.id)
+            .map_or(0, |cs| cs.meta.fingerprint);
         body.push_str(&format!(
-            "  [{id}] {}: {}/{} cases merged, shards {}/{} done ({} leased, {} idle), \
-             resharded {}, fingerprint {:016x}\n",
-            c.meta.name,
-            c.merged(),
-            c.meta.cases,
-            done,
-            c.slots.len(),
-            leased,
-            idle,
+            "  [{}] {}: {}/{} cases merged ({percent:.1}%), shards {}/{} done ({} leased, {} idle), \
+             resharded {}, fingerprint {fingerprint:016x}\n",
+            c.id,
+            c.name,
+            c.merged,
+            c.cases,
+            c.shards_done,
+            c.shards_done + c.shards_leased + c.shards_idle,
+            c.shards_leased,
+            c.shards_idle,
             c.resharded,
-            c.meta.fingerprint,
         ));
-        for (i, slot) in c.slots.iter().enumerate() {
+        if c.rate_mcps > 0 {
+            body.push_str(&format!(
+                "      rate {:.1} cases/s{}\n",
+                c.rate_mcps as f64 / 1000.0,
+                c.eta_ms.map_or(String::new(), |eta| format!(
+                    ", ETA {:.1}s",
+                    eta as f64 / 1000.0
+                )),
+            ));
+        }
+        let Some(cs) = state.campaigns.get(&c.id) else {
+            continue;
+        };
+        for (i, slot) in cs.slots.iter().enumerate() {
             if let Slot::Leased {
                 lease,
                 worker,
                 granted,
                 last_seen,
+                straggler,
                 ..
             } = slot
             {
                 body.push_str(&format!(
                     "      shard {i}/{} leased to {worker} (lease {lease}, age {:.1}s, \
-                     idle {:.1}s)\n",
-                    c.slots.len(),
+                     idle {:.1}s){}\n",
+                    cs.slots.len(),
                     granted.elapsed().as_secs_f64(),
                     last_seen.elapsed().as_secs_f64(),
+                    if *straggler { " STRAGGLER" } else { "" },
                 ));
             }
         }
     }
-    body.push_str(&format!("workers: {} connected\n", state.workers.len()));
-    for w in state.workers.values() {
+    let connected = view.workers.iter().filter(|w| w.connected).count();
+    body.push_str(&format!("workers: {connected} connected\n"));
+    for w in &view.workers {
         body.push_str(&format!(
-            "  {} ({} leases, connected {:.1}s)\n",
+            "  {} ({} leases, {}last seen {:.1}s ago, {} cases, p50 {}us, p99 {}us, \
+             {} replayed, {} reconnects)\n",
             w.name,
             w.leases,
-            w.connected.elapsed().as_secs_f64(),
+            if w.connected { "" } else { "disconnected, " },
+            w.last_seen_ms as f64 / 1000.0,
+            w.cases,
+            w.p50_us,
+            w.p99_us,
+            w.replay_hits,
+            w.reconnects,
         ));
     }
     body.push_str(&format!(
         "drained: {}\n",
-        if state.drained() { "yes" } else { "no" }
+        if view.drained { "yes" } else { "no" }
     ));
+    let merged_total = state.merged_total();
+    let campaigns = state.campaigns.len();
+    let workers = state.workers.len();
+    let drained = state.drained();
+    drop(state);
     Frame::Status {
-        campaigns: state.campaigns.len(),
-        workers: state.workers.len(),
-        merged: state.merged_total(),
-        drained: state.drained(),
+        campaigns,
+        workers,
+        merged: merged_total,
+        drained,
         body,
     }
 }
@@ -822,6 +1304,9 @@ fn grant_lease(shared: &Shared, conn: u64, worker_name: &str) -> Frame {
     if shared.draining.load(Ordering::SeqCst) {
         // Draining: no further work will ever come, so report drained —
         // workers running `--exit-when-done` disconnect on seeing it.
+        if let Some(w) = shared.lock().workers.get_mut(&conn) {
+            w.nowork += 1;
+        }
         return Frame::NoWork {
             retry_ms: shared.cfg.retry_ms,
             drained: true,
@@ -840,6 +1325,9 @@ fn grant_lease(shared: &Shared, conn: u64, worker_name: &str) -> Frame {
     }
     let Some((campaign_id, shard_index)) = found else {
         let drained = state.drained();
+        if let Some(w) = state.workers.get_mut(&conn) {
+            w.nowork += 1;
+        }
         return Frame::NoWork {
             retry_ms: shared.cfg.retry_ms,
             drained,
@@ -862,11 +1350,19 @@ fn grant_lease(shared: &Shared, conn: u64, worker_name: &str) -> Frame {
         worker: worker_name.to_owned(),
         granted: now,
         last_seen: now,
+        merged_at_grant: 0,
+        straggler: false,
     };
     // A re-leased shard resumes: cases the dead predecessor already
     // streamed (or a pre-crash incarnation merged) are handed over as
     // `done` so they are never re-run.
     let done = journal::settled(&c.entries, c.meta.cases, shard);
+    if let Slot::Leased {
+        merged_at_grant, ..
+    } = &mut c.slots[shard_index]
+    {
+        *merged_at_grant = done.len();
+    }
     let frame = Frame::Lease {
         lease: lease_id,
         campaign: campaign_id,
@@ -948,6 +1444,7 @@ fn merge_record(shared: &Shared, conn: u64, lease_id: u64, line: &str) {
             eprintln!("serve: journal append failed: {e}");
         }
         if newly_seen {
+            c.note_merge(Instant::now());
             shared.metrics.cases_merged.inc();
         }
     }
@@ -1047,6 +1544,14 @@ fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
         let frame = match proto::read_frame(&mut reader) {
             Ok(f) => {
                 shared.metrics.frames_rx.inc();
+                if registered {
+                    // Any frame is proof of life for the worker's health
+                    // line in `top` (lease liveness is tracked separately,
+                    // per shard).
+                    if let Some(w) = shared.lock().workers.get_mut(&conn) {
+                        w.last_seen = Instant::now();
+                    }
+                }
                 f
             }
             Err(ProtoError::Io(_)) => break, // EOF or reset: clean up below
@@ -1081,12 +1586,14 @@ fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
                     break;
                 }
                 let mut state = shared.lock();
+                let now = Instant::now();
                 state.workers.insert(
                     conn,
                     WorkerInfo {
                         name: worker,
-                        connected: Instant::now(),
                         leases: 0,
+                        last_seen: now,
+                        nowork: 0,
                     },
                 );
                 drop(state);
@@ -1100,6 +1607,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
                     &Frame::Welcome {
                         server: "amsfi-serve".to_owned(),
                         protocol: PROTOCOL_VERSION,
+                        epoch: shared.epoch,
                     },
                 ) {
                     break;
@@ -1139,7 +1647,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
                 }
             }
             Frame::Record { lease, line } => merge_record(shared, conn, lease, &line),
-            Frame::Heartbeat { lease } => {
+            Frame::Heartbeat { lease, metrics } => {
                 let mut state = shared.lock();
                 if let Some(lref) = state.leases.get(&lease) {
                     if lref.conn == conn {
@@ -1153,8 +1661,21 @@ fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
                         }
                     }
                 }
+                drop(state);
+                store_worker_metrics(shared, conn, metrics);
             }
-            Frame::ShardDone { lease } => finish_shard(shared, conn, lease),
+            Frame::ShardDone { lease, metrics } => {
+                store_worker_metrics(shared, conn, metrics);
+                finish_shard(shared, conn, lease);
+            }
+            Frame::TopRequest => {
+                let reply = Frame::Top {
+                    view: fleet_view(shared),
+                };
+                if !send(&mut writer, &reply) {
+                    break;
+                }
+            }
             Frame::ShardAbort { lease, reason } => {
                 let mut state = shared.lock();
                 release_lease(shared, &mut state, lease, &reason, false);
@@ -1182,6 +1703,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
             | Frame::Lease { .. }
             | Frame::NoWork { .. }
             | Frame::Status { .. }
+            | Frame::Top { .. }
             | Frame::Error { .. }
             | Frame::Unknown { .. } => {}
         }

@@ -40,6 +40,7 @@ pub mod chaosnet;
 pub mod coordinator;
 pub mod manifest;
 pub mod proto;
+pub mod view;
 pub mod worker;
 
 pub use backoff::Backoff;

@@ -26,8 +26,10 @@
 //! truncated frame, an oversized length prefix, a missing required key —
 //! is an error.
 
+use crate::view::TopView;
 use amsfi_engine::journal::{escape, unescape};
 use amsfi_engine::Shard;
+use amsfi_telemetry::MetricsSnapshot;
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -57,6 +59,11 @@ pub enum Frame {
         server: String,
         /// The coordinator's [`PROTOCOL_VERSION`].
         protocol: u32,
+        /// Coordinator epoch (bumped on each crash recovery). Workers
+        /// stamp it into their telemetry trace context so multi-process
+        /// event streams from different coordinator lifetimes stay
+        /// distinguishable. Absent from old coordinators: defaults to 0.
+        epoch: u64,
     },
     /// Client → coordinator: submit a named campaign for distributed
     /// execution.
@@ -135,12 +142,21 @@ pub enum Frame {
     Heartbeat {
         /// The lease being kept alive.
         lease: u64,
+        /// Cumulative kernel-metrics snapshot for the whole worker
+        /// process (not a delta): the coordinator keys snapshots by
+        /// worker name and keeps the latest, so replayed or duplicated
+        /// deliveries are idempotent. `None` when shipping is disabled
+        /// or the peer predates metrics shipping.
+        metrics: Option<MetricsSnapshot>,
     },
     /// Worker → coordinator (fire-and-forget): every case in the leased
     /// shard has been streamed.
     ShardDone {
         /// The finished lease.
         lease: u64,
+        /// Final cumulative metrics snapshot; same semantics as
+        /// [`Frame::Heartbeat::metrics`].
+        metrics: Option<MetricsSnapshot>,
     },
     /// Worker → coordinator (fire-and-forget): the worker cannot run this
     /// shard (campaign mismatch, engine failure); re-lease it elsewhere.
@@ -152,6 +168,16 @@ pub enum Frame {
     },
     /// Client → coordinator: describe yourself (read-only).
     StatusRequest,
+    /// Client → coordinator: send the live fleet view (read-only). Old
+    /// coordinators parse this as [`Frame::Unknown`] and ignore it; the
+    /// `amsfi top` client surfaces the resulting reply timeout as
+    /// "coordinator does not support top".
+    TopRequest,
+    /// Coordinator → client: the live fleet view `amsfi top` renders.
+    Top {
+        /// Per-campaign progress and per-worker health.
+        view: TopView,
+    },
     /// Client → coordinator: drain gracefully — stop granting leases,
     /// let in-flight shards finish merging, flush journals, then exit.
     /// The coordinator replies with a [`Frame::Status`] snapshot taken
@@ -263,6 +289,8 @@ impl Frame {
             Frame::ShardDone { .. } => "shard_done",
             Frame::ShardAbort { .. } => "shard_abort",
             Frame::StatusRequest => "status_req",
+            Frame::TopRequest => "top_req",
+            Frame::Top { .. } => "top",
             Frame::Drain => "drain",
             Frame::Status { .. } => "status",
             Frame::Error { .. } => "error",
@@ -277,8 +305,15 @@ impl Frame {
             Frame::Hello { worker, protocol } => {
                 format!("hello worker={} protocol={protocol}", escape(worker))
             }
-            Frame::Welcome { server, protocol } => {
-                format!("welcome server={} protocol={protocol}", escape(server))
+            Frame::Welcome {
+                server,
+                protocol,
+                epoch,
+            } => {
+                format!(
+                    "welcome server={} protocol={protocol} epoch={epoch}",
+                    escape(server)
+                )
             }
             Frame::Submit {
                 campaign,
@@ -330,12 +365,24 @@ impl Frame {
             Frame::Record { lease, line } => {
                 format!("record lease={lease} line={}", escape(line))
             }
-            Frame::Heartbeat { lease } => format!("heartbeat lease={lease}"),
-            Frame::ShardDone { lease } => format!("shard_done lease={lease}"),
+            Frame::Heartbeat { lease, metrics } => match metrics {
+                Some(snap) => {
+                    format!("heartbeat lease={lease} metrics={}", escape(&snap.encode()))
+                }
+                None => format!("heartbeat lease={lease}"),
+            },
+            Frame::ShardDone { lease, metrics } => match metrics {
+                Some(snap) => {
+                    format!("shard_done lease={lease} metrics={}", escape(&snap.encode()))
+                }
+                None => format!("shard_done lease={lease}"),
+            },
             Frame::ShardAbort { lease, reason } => {
                 format!("shard_abort lease={lease} reason={}", escape(reason))
             }
             Frame::StatusRequest => "status_req".to_owned(),
+            Frame::TopRequest => "top_req".to_owned(),
+            Frame::Top { view } => format!("top view={}", escape(&view.encode())),
             Frame::Drain => "drain".to_owned(),
             Frame::Status {
                 campaigns,
@@ -380,6 +427,7 @@ impl Frame {
             "welcome" => Frame::Welcome {
                 server: f.text("server")?,
                 protocol: f.num("protocol")?,
+                epoch: f.num_or("epoch", 0)?,
             },
             "submit" => Frame::Submit {
                 campaign: f.text("campaign")?,
@@ -418,15 +466,22 @@ impl Frame {
             },
             "heartbeat" => Frame::Heartbeat {
                 lease: f.num("lease")?,
+                metrics: f.metrics("metrics")?,
             },
             "shard_done" => Frame::ShardDone {
                 lease: f.num("lease")?,
+                metrics: f.metrics("metrics")?,
             },
             "shard_abort" => Frame::ShardAbort {
                 lease: f.num("lease")?,
                 reason: f.text("reason")?,
             },
             "status_req" => Frame::StatusRequest,
+            "top_req" => Frame::TopRequest,
+            "top" => Frame::Top {
+                view: TopView::parse(&f.text("view")?)
+                    .ok_or_else(|| f.bad("unparseable fleet view".to_owned()))?,
+            },
             "drain" => Frame::Drain,
             "status" => Frame::Status {
                 campaigns: f.num("campaigns")?,
@@ -487,6 +542,30 @@ impl<'a> Fields<'a> {
         self.raw(key)?
             .parse()
             .map_err(|_| self.bad(format!("non-numeric {key:?}")))
+    }
+
+    /// Like [`num`](Self::num) but an *absent* key yields `default` —
+    /// for keys added after protocol revision 1, where an old peer
+    /// simply does not send them. A present-but-malformed value is
+    /// still an error.
+    fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ProtoError> {
+        match self.pairs.iter().find(|(k, _)| *k == key) {
+            None => Ok(default),
+            Some((_, v)) => v
+                .parse()
+                .map_err(|_| self.bad(format!("non-numeric {key:?}"))),
+        }
+    }
+
+    /// An optional metrics snapshot: absent key → `None`; a present but
+    /// undecodable snapshot is *also* `None` rather than an error —
+    /// observability payloads must never kill the lease bookkeeping
+    /// they piggyback on.
+    fn metrics(&self, key: &str) -> Result<Option<MetricsSnapshot>, ProtoError> {
+        match self.pairs.iter().find(|(k, _)| *k == key) {
+            None => Ok(None),
+            Some((_, v)) => Ok(unescape(v).as_deref().and_then(MetricsSnapshot::decode)),
+        }
     }
 
     fn hex(&self, key: &str) -> Result<u64, ProtoError> {
@@ -621,7 +700,14 @@ mod tests {
     #[test]
     fn truncated_frame_is_an_io_error_not_a_panic() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, &Frame::Heartbeat { lease: 9 }).unwrap();
+        write_frame(
+            &mut wire,
+            &Frame::Heartbeat {
+                lease: 9,
+                metrics: None,
+            },
+        )
+        .unwrap();
         for cut in 0..wire.len() {
             match read_frame(&mut &wire[..cut]) {
                 Err(ProtoError::Io(e)) => {
@@ -652,6 +738,12 @@ mod tests {
     #[test]
     fn unknown_keys_in_known_frames_are_ignored() {
         let frame = Frame::parse("heartbeat lease=4 jitter_us=88 turbo").unwrap();
-        assert_eq!(frame, Frame::Heartbeat { lease: 4 });
+        assert_eq!(
+            frame,
+            Frame::Heartbeat {
+                lease: 4,
+                metrics: None,
+            }
+        );
     }
 }

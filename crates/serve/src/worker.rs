@@ -41,6 +41,7 @@ use crate::backoff::Backoff;
 use crate::proto::{self, Frame, ProtoError, PROTOCOL_VERSION};
 use crate::CampaignSource;
 use amsfi_engine::{Engine, EngineConfig, Event, RecordSink, Telemetry};
+use amsfi_telemetry::MetricsSnapshot;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
@@ -82,6 +83,13 @@ pub struct WorkerConfig {
     /// worker issues expects an immediate reply, so a deadline this long
     /// expiring means the link or coordinator is gone. `None` disables.
     pub io_timeout: Option<Duration>,
+    /// Ship cumulative [`MetricsSnapshot`]s to the coordinator inside
+    /// heartbeat and `shard_done` frames, feeding the fleet Prometheus
+    /// endpoint and `amsfi top`. Snapshots are cumulative, so losing or
+    /// replaying one is harmless. When telemetry is otherwise disabled,
+    /// a metrics-only registry is created internally so shipping still
+    /// works without an events file.
+    pub ship_metrics: bool,
     /// Structured event sink.
     pub telemetry: Telemetry,
     /// Resolves leased campaign names to case lists; must agree with the
@@ -107,6 +115,7 @@ impl WorkerConfig {
             max_reconnects: Some(8),
             backoff_seed: 0,
             io_timeout: Some(Duration::from_secs(10)),
+            ship_metrics: true,
             telemetry: Telemetry::disabled(),
             source,
         }
@@ -194,6 +203,32 @@ fn send(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), ProtoError>
     proto::write_frame(&mut *w, frame)
 }
 
+/// Cumulative metrics snapshot to ship with a heartbeat or `shard_done`:
+/// the kernel registry plus the worker's own lifetime counters, under the
+/// names the coordinator's fleet view reads. `None` when shipping is off
+/// or no metrics registry exists (disabled telemetry and shipping off).
+fn ship_snapshot(
+    ship: bool,
+    telemetry: &Telemetry,
+    reconnects: u64,
+    replayed: u64,
+    shards_done: u64,
+    cases: u64,
+) -> Option<MetricsSnapshot> {
+    if !ship {
+        return None;
+    }
+    let mut snap = match telemetry.metrics() {
+        Some(metrics) => metrics.snapshot(),
+        None => MetricsSnapshot::default(),
+    };
+    snap.set_counter("worker_reconnects", reconnects);
+    snap.set_counter("worker_records_replayed", replayed);
+    snap.set_counter("worker_shards_done", shards_done);
+    snap.set_counter("worker_cases", cases);
+    Some(snap)
+}
+
 /// A shard's coordinator-independent identity: campaign fingerprint plus
 /// shard position. Lease ids change across reconnects and coordinator
 /// restarts; this key does not.
@@ -217,7 +252,14 @@ fn retryable(e: &WorkerError) -> bool {
 ///
 /// See [`WorkerError`]; [`WorkerError::Proto`] only after the reconnect
 /// budget is spent.
-pub fn run(cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
+pub fn run(mut cfg: WorkerConfig) -> Result<WorkerReport, WorkerError> {
+    if cfg.ship_metrics && !cfg.telemetry.is_enabled() {
+        // No events file requested, but metrics shipping needs a live
+        // kernel registry: build one with no event ring attached.
+        if let Ok(metrics_only) = Telemetry::builder().build() {
+            cfg.telemetry = metrics_only;
+        }
+    }
     let mut report = WorkerReport::default();
     let mut cache = ReplayCache::new();
     let mut backoff = if cfg.backoff_seed == 0 {
@@ -287,8 +329,10 @@ fn session(
             protocol: PROTOCOL_VERSION,
         },
     )?;
-    match proto::read_frame(&mut reader)? {
-        Frame::Welcome { protocol, .. } if protocol == PROTOCOL_VERSION => {}
+    let epoch = match proto::read_frame(&mut reader)? {
+        Frame::Welcome {
+            protocol, epoch, ..
+        } if protocol == PROTOCOL_VERSION => epoch,
         Frame::Welcome { protocol, .. } => {
             return Err(WorkerError::Rejected(format!(
                 "coordinator speaks protocol {protocol}, this worker speaks {PROTOCOL_VERSION}"
@@ -301,7 +345,12 @@ fn session(
                 other.kind()
             )));
         }
-    }
+    };
+    // Session-level trace context: every event this worker emits from
+    // here on (engine included — the handle is shared) carries who and
+    // which coordinator epoch, so a multi-process event stream joins.
+    cfg.telemetry
+        .set_context(&[("worker", &cfg.name), ("epoch", &epoch.to_string())]);
     // The link works again: future failures restart the backoff schedule
     // from its base.
     backoff.reset();
@@ -353,7 +402,20 @@ fn session(
                 });
                 let key: ShardKey = (fingerprint, shard.index, shard.count);
                 let shard_cache = Arc::clone(cache.entry(key).or_default());
-                run_lease(
+                // Lease-level trace context: every engine event emitted
+                // while this shard runs names the campaign, shard and
+                // lease, which is what `amsfi report --distributed` joins
+                // on across process boundaries.
+                cfg.telemetry.set_context(&[
+                    ("worker", &cfg.name),
+                    ("epoch", &epoch.to_string()),
+                    ("campaign", &name),
+                    ("fingerprint", &format!("{fingerprint:016x}")),
+                    ("shard", &shard.index.to_string()),
+                    ("shards", &shard.count.to_string()),
+                    ("lease", &lease.to_string()),
+                ]);
+                let outcome = run_lease(
                     cfg,
                     &writer,
                     lease,
@@ -367,7 +429,10 @@ fn session(
                     &done,
                     &shard_cache,
                     report,
-                )?;
+                );
+                cfg.telemetry
+                    .set_context(&[("worker", &cfg.name), ("epoch", &epoch.to_string())]);
+                outcome?;
                 acked_on_next_reply = Some(key);
             }
             Frame::Error { reason } => return Err(WorkerError::Rejected(reason)),
@@ -494,19 +559,35 @@ fn run_lease(
     };
 
     // Keep the lease alive through cases that simulate longer than the
-    // coordinator's lease timeout.
+    // coordinator's lease timeout. Each beat carries a fresh cumulative
+    // metrics snapshot, so the fleet view tracks a long shard live.
     let hb_stop = Arc::new(AtomicBool::new(false));
     let hb = {
         let writer = Arc::clone(writer);
         let stop = Arc::clone(&hb_stop);
         let interval = cfg.heartbeat;
+        let telemetry = cfg.telemetry.clone();
+        let ship = cfg.ship_metrics;
+        let classified = Arc::clone(&classified);
+        let reconnects = report.reconnects as u64;
+        let replayed = report.records_replayed;
+        let shards_done = report.shards_completed as u64;
+        let cases_base = report.cases_executed as u64;
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(interval);
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
-                send(&writer, &Frame::Heartbeat { lease }).ok();
+                let metrics = ship_snapshot(
+                    ship,
+                    &telemetry,
+                    reconnects,
+                    replayed,
+                    shards_done,
+                    cases_base + classified.load(Ordering::Relaxed),
+                );
+                send(&writer, &Frame::Heartbeat { lease, metrics }).ok();
             }
         })
     };
@@ -537,12 +618,23 @@ fn run_lease(
                     "record stream to coordinator failed mid-shard",
                 ))));
             }
-            send(writer, &Frame::ShardDone { lease })?;
-            report.shards_completed += 1;
-            report.cases_executed += (engine_report.result.cases.len()
+            let executed_now = (engine_report.result.cases.len()
                 + engine_report.skipped.len()
                 + engine_report.quarantined.len())
             .saturating_sub(engine_report.resumed);
+            // The completion frame carries the final snapshot for this
+            // shard, counting the shard and its cases as done.
+            let metrics = ship_snapshot(
+                cfg.ship_metrics,
+                &cfg.telemetry,
+                report.reconnects as u64,
+                report.records_replayed,
+                report.shards_completed as u64 + 1,
+                (report.cases_executed + executed_now) as u64,
+            );
+            send(writer, &Frame::ShardDone { lease, metrics })?;
+            report.shards_completed += 1;
+            report.cases_executed += executed_now;
             cfg.telemetry.emit_with(|| {
                 Event::new("serve", "worker_shard_done")
                     .with_field("lease", lease)

@@ -611,6 +611,271 @@ fn worker_survives_coordinator_restart_by_replaying_cached_records() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The fleet-observability drill: two workers feed one campaign, one of
+/// them dies mid-shard after shipping a metrics snapshot, and the
+/// coordinator must still export a *single* fleet Prometheus page with
+/// both workers' kernel metrics, a `top` view that joins their progress,
+/// and a worker event stream stamped with campaign/shard/worker trace
+/// context.
+#[test]
+fn fleet_export_joins_metrics_of_live_and_dead_workers() {
+    const CASES: usize = 12;
+    let (reference_lines, reference_csv) = single_process_reference(CASES);
+
+    let dir = unique_dir("fleet");
+    let mut cfg = CoordinatorConfig::new(&dir, toy_source(CASES));
+    cfg.until_drained = true;
+    cfg.lease_timeout = Duration::from_millis(250);
+    cfg.reap_interval = Duration::from_millis(25);
+    cfg.retry_ms = 20;
+    let cluster = start_cluster(cfg);
+    let info = cluster
+        .coordinator
+        .submit("toy", 2, None, false, false)
+        .expect("submit toy campaign");
+
+    // The doomed worker speaks the protocol by hand: it leases a shard,
+    // streams one record, ships one metrics snapshot in a heartbeat and
+    // dies. Its snapshot must outlive it in the fleet export.
+    let mut doomed = TcpStream::connect(&cluster.addr).expect("doomed connects");
+    write_frame(
+        &mut doomed,
+        &Frame::Hello {
+            worker: "doomed".to_owned(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    let epoch = match read_frame(&mut doomed).unwrap() {
+        Frame::Welcome { epoch, .. } => epoch,
+        other => panic!("expected welcome, got {other:?}"),
+    };
+    assert_eq!(epoch, 1, "first boot announces epoch 1");
+    write_frame(&mut doomed, &Frame::LeaseRequest).unwrap();
+    let (lease, shard) = match read_frame(&mut doomed).unwrap() {
+        Frame::Lease { lease, shard, .. } => (lease, shard),
+        other => panic!("expected a lease, got {other:?}"),
+    };
+    let first_case = shard.case_indices(CASES).next().unwrap();
+    write_frame(
+        &mut doomed,
+        &Frame::Record {
+            lease,
+            line: reference_lines[&first_case].clone(),
+        },
+    )
+    .unwrap();
+    let mut snap = amsfi_telemetry::MetricsSnapshot::new();
+    snap.set_counter("worker_cases", 1);
+    snap.set_counter("worker_records_replayed", 7);
+    snap.set_hist(
+        "case_latency_us",
+        amsfi_telemetry::HistSnapshot {
+            sum: 4096,
+            buckets: vec![(12, 1)],
+        },
+    );
+    write_frame(
+        &mut doomed,
+        &Frame::Heartbeat {
+            lease,
+            metrics: Some(snap),
+        },
+    )
+    .unwrap();
+    let metrics = cluster.coordinator.metrics();
+    wait_until(
+        "the doomed worker's lease to time out",
+        Duration::from_secs(10),
+        || metrics.lease_timeouts.get() >= 1,
+    );
+    drop(doomed);
+
+    // The survivor runs the real shipping path (on by default) and
+    // writes a JSONL event stream for the trace-context check.
+    let events_path = dir.join("survivor.events.jsonl");
+    let worker = {
+        let mut cfg = worker_config(&cluster.addr, "survivor", CASES);
+        cfg.telemetry = amsfi_engine::Telemetry::builder()
+            .events_path(&events_path)
+            .build()
+            .expect("worker event stream");
+        std::thread::spawn(move || amsfi_serve::worker::run(cfg))
+    };
+    let report = worker.join().unwrap().expect("survivor runs cleanly");
+    assert!(report.shards_completed >= 1);
+    cluster.run.join().unwrap().expect("coordinator drains");
+    assert_eq!(merged_csv(&info.journal, CASES), reference_csv);
+
+    // One Prometheus page, both workers' metrics, fleet aggregates.
+    let prom = cluster.coordinator.fleet_prometheus();
+    assert!(
+        prom.contains(r#"amsfi_fleet_worker_cases_total{worker="doomed"} 1"#),
+        "the dead worker's snapshot survives it:\n{prom}"
+    );
+    assert!(
+        prom.contains(r#"amsfi_fleet_worker_cases_total{worker="survivor"}"#),
+        "the live worker's snapshot is exported:\n{prom}"
+    );
+    assert!(
+        prom.contains(r#"amsfi_fleet_case_latency_p99_microseconds{worker="doomed"} 4095"#),
+        "per-worker latency percentiles derive from shipped histograms:\n{prom}"
+    );
+    assert!(
+        prom.contains("amsfi_fleet_worker_cases_total 1"),
+        "unlabelled fleet sum lines exist:\n{prom}"
+    );
+    assert!(prom.contains("amsfi_fleet_merge_lag_cases"));
+
+    // The top view joins both workers and shows the finished campaign.
+    let view = cluster.coordinator.fleet_view();
+    assert_eq!(view.epoch, 1);
+    let campaign = &view.campaigns[0];
+    assert_eq!(campaign.name, "toy");
+    assert_eq!((campaign.merged, campaign.cases), (CASES, CASES));
+    assert_eq!(campaign.shards_done, 2);
+    assert!(campaign.resharded >= 1, "the doomed shard was re-leased");
+    let names: Vec<&str> = view.workers.iter().map(|w| w.name.as_str()).collect();
+    assert!(
+        names.contains(&"doomed") && names.contains(&"survivor"),
+        "{names:?}"
+    );
+    let survivor = view
+        .workers
+        .iter()
+        .find(|w| w.name == "survivor")
+        .expect("survivor in view");
+    assert!(survivor.cases > 0, "shipped worker_cases made it into top");
+    assert!(survivor.p99_us > 0, "case latency histogram was shipped");
+
+    // `status` shares the same aggregation: counts, percent, workers.
+    let status = cluster.coordinator.status();
+    assert!(
+        status.contains("12/12 cases merged (100.0%)"),
+        "status reports merged/total and percent:\n{status}"
+    );
+    assert!(status.contains("survivor"), "{status}");
+
+    // Worker events carry the cross-process trace context.
+    let text = std::fs::read_to_string(&events_path).expect("survivor event stream");
+    let mut stamped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let event = amsfi_engine::Event::parse(line).expect("worker event parses");
+        let field = |key: &str| {
+            event
+                .fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+        };
+        if field("campaign").as_deref() == Some("toy") {
+            assert_eq!(field("worker").as_deref(), Some("survivor"), "{line}");
+            assert_eq!(field("epoch").as_deref(), Some("1"), "{line}");
+            assert!(field("shard").is_some(), "{line}");
+            stamped += 1;
+        }
+    }
+    assert!(
+        stamped > 0,
+        "some events carry lease-level context:\n{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Straggler detection, deterministically: two hand-driven leases, one
+/// streams its whole shard, the other sits on zero progress. The slow
+/// lane must be flagged in the fleet view, the status page and the
+/// metrics — and its lease must NOT be reclaimed or resharded (flagging
+/// is observation only).
+#[test]
+fn slow_lane_is_flagged_as_straggler_but_lease_is_left_alone() {
+    const CASES: usize = 12;
+    let (reference_lines, _) = single_process_reference(CASES);
+
+    let dir = unique_dir("straggler");
+    let mut cfg = CoordinatorConfig::new(&dir, toy_source(CASES));
+    // Long lease, fast reaper: the scan judges lanes at 2 × reap age
+    // while the slow lease stays very far from timing out.
+    cfg.lease_timeout = Duration::from_secs(60);
+    cfg.reap_interval = Duration::from_millis(25);
+    cfg.retry_ms = 20;
+    assert_eq!(cfg.straggler_factor, 0.5, "default factor");
+    let cluster = start_cluster(cfg);
+    cluster
+        .coordinator
+        .submit("toy", 2, None, false, false)
+        .expect("submit toy campaign");
+
+    let lease_shard = |name: &str| {
+        let mut conn = TcpStream::connect(&cluster.addr).expect("connect");
+        write_frame(
+            &mut conn,
+            &Frame::Hello {
+                worker: name.to_owned(),
+                protocol: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_frame(&mut conn).unwrap(),
+            Frame::Welcome { .. }
+        ));
+        write_frame(&mut conn, &Frame::LeaseRequest).unwrap();
+        match read_frame(&mut conn).unwrap() {
+            Frame::Lease { lease, shard, .. } => (conn, lease, shard),
+            other => panic!("expected a lease, got {other:?}"),
+        }
+    };
+    let (_slow_conn, _slow_lease, slow_shard) = lease_shard("tortoise");
+    let (mut fast_conn, fast_lease, fast_shard) = lease_shard("hare");
+
+    // The fast lane settles its whole shard; the slow lane does nothing.
+    for index in fast_shard.case_indices(CASES) {
+        write_frame(
+            &mut fast_conn,
+            &Frame::Record {
+                lease: fast_lease,
+                line: reference_lines[&index].clone(),
+            },
+        )
+        .unwrap();
+    }
+    let metrics = cluster.coordinator.metrics();
+    wait_until(
+        "the slow lane to be flagged",
+        Duration::from_secs(10),
+        || metrics.stragglers_flagged.get() >= 1,
+    );
+
+    let view = cluster.coordinator.fleet_view();
+    let campaign = &view.campaigns[0];
+    assert_eq!(
+        campaign.stragglers,
+        vec![slow_shard.index],
+        "exactly the idle lane is flagged"
+    );
+    assert_eq!(
+        campaign.shards_leased, 2,
+        "observation only: both leases still held"
+    );
+    assert_eq!(metrics.lease_timeouts.get(), 0, "no lease was reclaimed");
+    assert_eq!(metrics.shards_resharded.get(), 0, "no shard was resharded");
+    let status = cluster.coordinator.status();
+    assert!(
+        status.contains("STRAGGLER"),
+        "status marks the slow lane:\n{status}"
+    );
+    let prom = cluster.coordinator.fleet_prometheus();
+    assert!(
+        prom.contains("amsfi_serve_stragglers_flagged_total 1"),
+        "{prom}"
+    );
+
+    cluster.coordinator.request_shutdown();
+    cluster.run.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Graceful drain: a `drain` frame freezes leasing immediately (workers
 /// see `no_work drained=1`), in-flight leases are allowed to end, and
 /// the coordinator exits cleanly with its journals flushed.

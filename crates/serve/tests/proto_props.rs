@@ -4,6 +4,8 @@
 //! wrong frame), and unknown message kinds are tolerated.
 
 use amsfi_serve::proto::{read_frame, write_frame, Frame, ProtoError, PROTOCOL_VERSION};
+use amsfi_serve::view::{TopCampaign, TopView, TopWorker};
+use amsfi_telemetry::{HistSnapshot, MetricsSnapshot};
 use proptest::prelude::*;
 
 /// Characters chosen to stress the tokeniser and the journal-style
@@ -20,6 +22,59 @@ fn hostile_chars() -> Vec<char> {
 fn hostile_string(max: usize) -> impl Strategy<Value = String> {
     prop::collection::vec(prop::sample::select(hostile_chars()), 0..max)
         .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// A metrics snapshot built from the hostile inputs. Names pass through
+/// the registry's sanitiser (that is part of the contract under test:
+/// whatever `set_counter` accepts must survive the wire).
+fn snapshot(text_a: &str, n: u64, m: u64) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    snap.set_counter("solver_steps", n);
+    snap.set_counter(text_a, m);
+    snap.set_hist(
+        "case_latency_us",
+        HistSnapshot {
+            sum: n.wrapping_add(m),
+            buckets: vec![(0, 1 + n % 7), ((m % 64) as u8 + 1, 1 + m % 9)],
+        },
+    );
+    snap
+}
+
+/// A fleet view built from the hostile inputs; campaign and worker names
+/// are free text and must survive double escaping (view line → frame
+/// field).
+fn top_view(text_a: &str, text_b: &str, n: u64, m: u64, flag_a: bool) -> TopView {
+    TopView {
+        epoch: n,
+        drained: flag_a,
+        uptime_ms: m,
+        campaigns: vec![TopCampaign {
+            id: n,
+            name: text_a.to_owned(),
+            merged: (n % 500) as usize,
+            cases: (n % 500) as usize + (m % 500) as usize,
+            shards_done: (n % 8) as usize,
+            shards_leased: (m % 8) as usize,
+            shards_idle: ((n ^ m) % 8) as usize,
+            rate_mcps: m,
+            eta_ms: flag_a.then_some(n % 1_000_000),
+            stragglers: vec![(n % 16) as usize, (m % 16) as usize],
+            resharded: m % 5,
+        }],
+        workers: vec![TopWorker {
+            name: text_b.to_owned(),
+            connected: !flag_a,
+            leases: (n % 4) as usize,
+            last_seen_ms: m % 100_000,
+            nowork: n % 1_000,
+            cases: m,
+            p50_us: n % 10_000,
+            p99_us: n % 100_000,
+            replay_hits: m % 1_000,
+            reconnects: n % 50,
+        }],
+    }
 }
 
 /// Every frame kind, parameterised by the generated hostile inputs, so
@@ -44,6 +99,7 @@ fn frames(
         Frame::Welcome {
             server: text_b.clone(),
             protocol: PROTOCOL_VERSION,
+            epoch: m,
         },
         Frame::Submit {
             campaign: text_a.clone(),
@@ -80,8 +136,14 @@ fn frames(
             lease: n,
             line: text_b.clone(),
         },
-        Frame::Heartbeat { lease: n },
-        Frame::ShardDone { lease: m },
+        Frame::Heartbeat {
+            lease: n,
+            metrics: flag_a.then(|| snapshot(&text_a, n, m)),
+        },
+        Frame::ShardDone {
+            lease: m,
+            metrics: flag_b.then(|| snapshot(&text_b, m, n)),
+        },
         Frame::ShardAbort {
             lease: n,
             reason: text_a.clone(),
@@ -93,7 +155,11 @@ fn frames(
             workers: (m % 100) as usize,
             merged: n,
             drained: flag_b,
-            body: text_b,
+            body: text_b.clone(),
+        },
+        Frame::TopRequest,
+        Frame::Top {
+            view: top_view(&text_a, &text_b, n, m, flag_a),
         },
         Frame::Error { reason: text_a },
         Frame::Bye,
@@ -161,7 +227,7 @@ proptest! {
             kind.as_str(),
             "hello" | "welcome" | "submit" | "submitted" | "lease_req" | "lease" | "no_work"
                 | "record" | "heartbeat" | "shard_done" | "shard_abort" | "status_req"
-                | "drain" | "status" | "error" | "bye"
+                | "drain" | "status" | "error" | "bye" | "top_req" | "top"
         ));
         let payload = format!("{kind} extra={}", amsfi_engine::journal::escape(&rest));
         match Frame::parse(&payload) {

@@ -42,12 +42,14 @@
 mod event;
 pub mod metrics;
 pub mod ring;
+pub mod snapshot;
 
 pub use event::{Event, ParseEventError};
 pub use metrics::{
-    prom_histogram, prom_sample, prom_type, Counter, Gauge, GuardKind, KernelMetrics, LogHistogram,
-    ServeMetrics, HIST_BUCKETS, STAGE_NAMES,
+    prom_escape_label, prom_histogram, prom_histogram_counts, prom_sample, prom_type, Counter,
+    Gauge, GuardKind, KernelMetrics, LogHistogram, ServeMetrics, HIST_BUCKETS, STAGE_NAMES,
 };
+pub use snapshot::{HistSnapshot, MetricsSnapshot};
 
 use ring::EventRing;
 use std::cell::RefCell;
@@ -73,6 +75,25 @@ struct Shared {
     start: Instant,
     shutdown: Arc<AtomicBool>,
     drainer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Trace-context pairs stamped onto every emitted event (worker name,
+    /// campaign, shard, epoch...). Set by the distributed worker around
+    /// each lease so multi-process event streams can be joined.
+    context: Mutex<Vec<(String, String)>>,
+}
+
+impl Shared {
+    /// Appends the current trace context to an event's fields, skipping
+    /// keys the event already carries (explicit fields win).
+    fn stamp_context(&self, ev: &mut Event) {
+        let Ok(ctx) = self.context.lock() else {
+            return;
+        };
+        for (key, value) in ctx.iter() {
+            if !ev.fields.iter().any(|(k, _)| k == key) {
+                ev.fields.push((key.clone(), value.clone()));
+            }
+        }
+    }
 }
 
 impl fmt::Debug for Shared {
@@ -142,9 +163,35 @@ impl Telemetry {
         if let Some(shared) = &self.shared {
             if let Some(ring) = &shared.ring {
                 ev.t_us = shared.start.elapsed().as_micros() as u64;
+                shared.stamp_context(&mut ev);
                 ring.push(ev);
             }
         }
+    }
+
+    /// Replaces the trace context: key/value pairs appended to every
+    /// subsequent event (spans included) until the next `set_context` /
+    /// [`clear_context`](Self::clear_context). Explicit event fields with
+    /// the same key win over context pairs. No-op when disabled.
+    ///
+    /// The distributed worker sets `worker`/`epoch` per session and
+    /// `campaign`/`shard`/`fingerprint` per lease, which is what lets
+    /// `amsfi report --distributed` join per-process JSONL streams into
+    /// one causally-grouped view.
+    pub fn set_context(&self, pairs: &[(&str, &str)]) {
+        if let Some(shared) = &self.shared {
+            if let Ok(mut ctx) = shared.context.lock() {
+                *ctx = pairs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect();
+            }
+        }
+    }
+
+    /// Removes every trace-context pair. No-op when disabled.
+    pub fn clear_context(&self) {
+        self.set_context(&[]);
     }
 
     /// Like [`emit`](Self::emit) but the event is only *built* when it
@@ -258,6 +305,7 @@ impl TelemetryBuilder {
                 start: Instant::now(),
                 shutdown,
                 drainer: Mutex::new(drainer),
+                context: Mutex::new(Vec::new()),
             })),
         })
     }
@@ -344,6 +392,7 @@ impl Drop for Span {
             ev.dur_us = Some(self.start.elapsed().as_micros() as u64);
             ev.case = self.case.map(|c| c as u64);
             ev.fields = std::mem::take(&mut self.fields);
+            shared.stamp_context(&mut ev);
             ring.push(ev);
         }
     }
@@ -392,6 +441,51 @@ mod tests {
         tele.emit(Event::new("span", "x")); // silently discarded: no sink
         assert_eq!(tele.metrics().unwrap().solver_steps.get(), 3);
         tele.close();
+    }
+
+    #[test]
+    fn trace_context_stamps_events_and_spans() {
+        let dir = std::env::temp_dir().join(format!("amsfi-telemetry-ctx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let tele = Telemetry::builder().events_path(&path).build().unwrap();
+
+        tele.set_context(&[("worker", "w1"), ("campaign", "osc")]);
+        tele.emit(Event::new("tick", "a"));
+        // An explicit field with the same key wins over the context.
+        tele.emit(Event::new("tick", "b").with_field("campaign", "explicit"));
+        {
+            let _span = span!(tele, "simulate");
+        }
+        tele.clear_context();
+        tele.emit(Event::new("tick", "c"));
+        tele.close();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Event> = text.lines().map(|l| Event::parse(l).unwrap()).collect();
+        assert_eq!(events.len(), 4);
+        let field = |ev: &Event, k: &str| {
+            ev.fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(field(&events[0], "worker").as_deref(), Some("w1"));
+        assert_eq!(field(&events[0], "campaign").as_deref(), Some("osc"));
+        assert_eq!(field(&events[1], "campaign").as_deref(), Some("explicit"));
+        assert_eq!(
+            events[1]
+                .fields
+                .iter()
+                .filter(|(k, _)| k == "campaign")
+                .count(),
+            1,
+            "context must not duplicate an explicit field"
+        );
+        assert_eq!(field(&events[2], "worker").as_deref(), Some("w1"));
+        assert_eq!(events[2].kind, "span");
+        assert_eq!(field(&events[3], "worker"), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -486,6 +486,11 @@ pub struct ServeMetrics {
     pub cases_recovered: Counter,
     /// Graceful-drain requests accepted (`drain` frames or API calls).
     pub drain_requests: Counter,
+    /// Leased shards flagged as stragglers (lane rate fell below
+    /// k·median of the campaign's active leases). Counts flag
+    /// *transitions*, not scans: a shard flagged once and still slow
+    /// does not re-count.
+    pub stragglers_flagged: Counter,
 }
 
 impl ServeMetrics {
@@ -598,6 +603,13 @@ impl ServeMetrics {
             &[],
             self.drain_requests.get(),
         );
+        prom_type(&mut out, "amsfi_serve_stragglers_flagged_total", "counter");
+        prom_sample(
+            &mut out,
+            "amsfi_serve_stragglers_flagged_total",
+            &[],
+            self.stragglers_flagged.get(),
+        );
         out
     }
 }
@@ -614,6 +626,25 @@ pub fn prom_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value:
     let _ = writeln!(out, " {value}");
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and newline must be backslash-escaped inside
+/// the quoted value. Worker names and campaign ids are attacker-ish
+/// inputs (they arrive over the wire), so this is load-bearing, not
+/// cosmetic: an unescaped `"` would let one worker corrupt the whole
+/// fleet export.
+pub fn prom_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn push_labels(out: &mut String, labels: &[(&str, &str)]) {
     if labels.is_empty() {
         return;
@@ -623,7 +654,7 @@ fn push_labels(out: &mut String, labels: &[(&str, &str)]) {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{v}\"");
+        let _ = write!(out, "{k}=\"{}\"", prom_escape_label(v));
     }
     out.push('}');
 }
@@ -631,7 +662,20 @@ fn push_labels(out: &mut String, labels: &[(&str, &str)]) {
 /// Writes the cumulative `_bucket`/`_sum`/`_count` series for one
 /// histogram (the caller writes the shared `# TYPE` header).
 pub fn prom_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &LogHistogram) {
-    let counts = h.counts();
+    prom_histogram_counts(out, name, labels, &h.counts(), h.sum());
+}
+
+/// Like [`prom_histogram`] but over a raw bucket-count array — used by
+/// the coordinator's fleet export, which renders worker histograms it
+/// received as snapshots rather than live [`LogHistogram`]s.
+pub fn prom_histogram_counts(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    counts: &[u64; HIST_BUCKETS],
+    sum: u64,
+) {
+    let total: u64 = counts.iter().sum();
     let last = counts
         .iter()
         .rposition(|&c| c > 0)
@@ -647,15 +691,15 @@ pub fn prom_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: 
     }
     let mut ls: Vec<(&str, &str)> = labels.to_vec();
     ls.push(("le", "+Inf"));
-    prom_sample(out, &format!("{name}_bucket"), &ls, h.count());
+    prom_sample(out, &format!("{name}_bucket"), &ls, total);
     out.push_str(name);
     out.push_str("_sum");
     push_labels(out, labels);
-    let _ = writeln!(out, " {}", h.sum());
+    let _ = writeln!(out, " {sum}");
     out.push_str(name);
     out.push_str("_count");
     push_labels(out, labels);
-    let _ = writeln!(out, " {}", h.count());
+    let _ = writeln!(out, " {total}");
 }
 
 #[cfg(test)]
@@ -724,6 +768,37 @@ mod tests {
         assert_eq!(m.guard_trips(GuardKind::NonFinite), 2);
         assert_eq!(m.guard_trips(GuardKind::StepBudget), 0);
         assert_eq!(m.guard_trips_total(), 3);
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        let mut out = String::new();
+        prom_sample(
+            &mut out,
+            "amsfi_test_metric",
+            &[
+                ("worker", "w\"1\""),
+                ("campaign", "a\\b"),
+                ("note", "line1\nline2"),
+            ],
+            7,
+        );
+        assert_eq!(
+            out,
+            "amsfi_test_metric{worker=\"w\\\"1\\\"\",campaign=\"a\\\\b\",note=\"line1\\nline2\"} 7\n"
+        );
+        // The rendered line must stay a single physical line: the quoted
+        // value carries the two-character sequence `\n`, not a newline.
+        assert_eq!(out.matches('\n').count(), 1);
+        assert!(out.ends_with('\n'));
+        // Escaping round-trips through a text-format parser's unescape.
+        let unescaped = out
+            .replace("\\\\", "\u{0}")
+            .replace("\\\"", "\"")
+            .replace("\\n", "\n")
+            .replace('\u{0}', "\\");
+        assert!(unescaped.contains("worker=\"w\"1\"\""));
+        assert_eq!(prom_escape_label("plain-value_1.0"), "plain-value_1.0");
     }
 
     #[test]

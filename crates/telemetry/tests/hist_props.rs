@@ -1,0 +1,180 @@
+//! Property tests for fleet metric merging: per-worker log₂ histogram
+//! snapshots merged in any order and any grouping must equal the
+//! histogram a single process would have recorded over the same
+//! observations, and re-delivered (replayed) snapshots must not change
+//! the fleet total under the coordinator's last-wins-per-worker rule —
+//! the same rule that makes the PR 8 record replay cache safe.
+
+use amsfi_telemetry::snapshot::{HistSnapshot, MetricsSnapshot};
+use amsfi_telemetry::{KernelMetrics, LogHistogram};
+use proptest::prelude::*;
+
+/// Spreads raw `u64`s across the histogram's nine decades: each value
+/// picks its own right-shift, so small, medium and huge observations all
+/// occur in one generated set.
+fn observations(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 0..max)
+        .prop_map(|raw| raw.into_iter().map(|v| v >> (v % 64)).collect())
+}
+
+/// Deterministic permutation of `0..n` from a seed (xorshift Fisher-Yates).
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        order.swap(i, (seed as usize) % (i + 1));
+    }
+    order
+}
+
+/// The single-process reference: one histogram over all observations.
+fn reference(values: &[u64]) -> HistSnapshot {
+    let h = LogHistogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    HistSnapshot::of(&h)
+}
+
+/// Splits observations among `workers` histograms by assignment, and
+/// snapshots each.
+fn per_worker(values: &[u64], assign: &[u8], workers: usize) -> Vec<HistSnapshot> {
+    let hists: Vec<LogHistogram> = (0..workers).map(|_| LogHistogram::new()).collect();
+    for (i, &v) in values.iter().enumerate() {
+        hists[assign[i % assign.len()] as usize % workers].observe(v);
+    }
+    hists.iter().map(HistSnapshot::of).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-worker snapshots sequentially in ANY order equals the
+    /// single-process histogram.
+    #[test]
+    fn merge_any_order_equals_single_process(
+        values in observations(160),
+        assign in prop::collection::vec(any::<u8>(), 1..32),
+        workers in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let single = reference(&values);
+        let snaps = per_worker(&values, &assign, workers);
+
+        let mut fleet = HistSnapshot::default();
+        for i in permutation(workers, seed) {
+            fleet.merge_from(&snaps[i]);
+        }
+        prop_assert_eq!(&fleet, &single);
+        prop_assert_eq!(fleet.count(), values.len() as u64);
+        prop_assert_eq!(
+            fleet.sum,
+            values.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+        );
+    }
+
+    /// Merging in any GROUPING (left-fold of a split point: merge group A,
+    /// merge group B, then merge the two partial fleets) equals the flat
+    /// merge — i.e. the operation is associative, so a coordinator may
+    /// aggregate sub-fleets hierarchically.
+    #[test]
+    fn merge_any_grouping_is_associative(
+        values in observations(160),
+        assign in prop::collection::vec(any::<u8>(), 1..32),
+        workers in 2usize..6,
+        split_seed in any::<usize>(),
+    ) {
+        let single = reference(&values);
+        let snaps = per_worker(&values, &assign, workers);
+        let split = 1 + split_seed % (workers - 1).max(1);
+
+        let mut left = HistSnapshot::default();
+        for s in &snaps[..split] {
+            left.merge_from(s);
+        }
+        let mut right = HistSnapshot::default();
+        for s in &snaps[split..] {
+            right.merge_from(s);
+        }
+        left.merge_from(&right);
+        prop_assert_eq!(&left, &single);
+    }
+
+    /// Cumulative snapshots re-delivered after a reconnect (the wire-level
+    /// replay the PR 8 record cache produces) are idempotent under the
+    /// coordinator's keying rule: last snapshot per worker wins, fleet =
+    /// sum over workers. Replays, stale re-deliveries and arbitrary
+    /// interleavings all collapse to the same fleet total.
+    #[test]
+    fn replayed_snapshots_are_idempotent(
+        values in observations(120),
+        assign in prop::collection::vec(any::<u8>(), 1..32),
+        workers in 1usize..5,
+        replays in prop::collection::vec((any::<u8>(), any::<bool>()), 0..12),
+    ) {
+        let single = reference(&values);
+        let finals = per_worker(&values, &assign, workers);
+        // Each worker also has a "mid-shard" partial snapshot: the prefix
+        // of its observations — what an early heartbeat would have shipped.
+        let half: Vec<u64> = values.iter().take(values.len() / 2).copied().collect();
+        let partials = per_worker(&half, &assign, workers);
+
+        // Delivery stream: for every worker the final snapshot arrives at
+        // least once; replayed deliveries (duplicates and stale partials
+        // arriving BEFORE the final) are injected from the `replays` seed.
+        let mut latest: Vec<Option<HistSnapshot>> = vec![None; workers];
+        for &(w, stale) in &replays {
+            let w = w as usize % workers;
+            if latest[w].is_none() && stale {
+                latest[w] = Some(partials[w].clone());
+            }
+        }
+        for (w, snap) in finals.iter().enumerate() {
+            latest[w] = Some(snap.clone()); // the authoritative delivery
+        }
+        for &(w, stale) in &replays {
+            let w = w as usize % workers;
+            if !stale {
+                latest[w] = Some(finals[w].clone()); // duplicate re-delivery
+            }
+        }
+
+        let mut fleet = HistSnapshot::default();
+        for snap in latest.into_iter().flatten() {
+            fleet.merge_from(&snap);
+        }
+        prop_assert_eq!(&fleet, &single);
+    }
+
+    /// The full registry snapshot round-trips the wire encoding under
+    /// arbitrary observation sets, and wire-decoded snapshots merge the
+    /// same as in-memory ones.
+    #[test]
+    fn registry_snapshots_round_trip_and_merge_through_the_wire(
+        values_a in observations(80),
+        values_b in observations(80),
+        steps_a in any::<u64>(),
+        steps_b in any::<u64>(),
+    ) {
+        let (ma, mb) = (KernelMetrics::new(), KernelMetrics::new());
+        ma.solver_steps.add(steps_a >> 1);
+        mb.solver_steps.add(steps_b >> 1);
+        for &v in &values_a {
+            ma.case_latency_us.observe(v);
+        }
+        for &v in &values_b {
+            mb.case_latency_us.observe(v);
+        }
+
+        let wire_a = ma.snapshot().encode();
+        let wire_b = mb.snapshot().encode();
+        let mut fleet = MetricsSnapshot::decode(&wire_a).expect("a decodes");
+        fleet.merge_from(&MetricsSnapshot::decode(&wire_b).expect("b decodes"));
+
+        prop_assert_eq!(fleet.counter("solver_steps"), (steps_a >> 1) + (steps_b >> 1));
+        let all: Vec<u64> = values_a.iter().chain(&values_b).copied().collect();
+        prop_assert_eq!(fleet.hist("case_latency_us").unwrap(), &reference(&all));
+    }
+}
