@@ -115,10 +115,11 @@ rm -rf "$tmp"
 cargo build --release -p amsfi-bench --bin pr7_batch_bench
 ./target/release/pr7_batch_bench
 
-# PR 7 differential fuzzer, widened-window smoke: random netlists + fault
-# lists (clock-line saboteurs, edge-snapped SET pulses, stuck-ats, mutant
-# flips) run scalar and batch; any byte difference fails.
-AMSFI_FUZZ_SEEDS=64 cargo test -q -p amsfi-bench --release --test batch_diff
+# PR 7/PR 10 differential fuzzer, widened-window run: random netlists +
+# fault lists (clock-line saboteurs, edge-snapped SET pulses, stuck-ats,
+# mutant flips) run through the three-way oracle — scalar, lane-cloned
+# batch, and word-parallel at 1 and 3 workers; any byte difference fails.
+AMSFI_FUZZ_SEEDS=300 cargo test -q -p amsfi-bench --release --test batch_diff
 
 # PR 7 CLI e2e: `amsfi run --batch` journal matches the scalar journal
 # case-for-case on the SET campaign.
@@ -242,4 +243,28 @@ done
 wait $serve_pid
 ./target/release/amsfi report --distributed "$tmp/journals" \
     --events "$tmp/worker-events.jsonl" | grep -q "cases by worker: ci-fleet"
+rm -rf "$tmp"
+
+# PR 10 word bench: lane-cloned --batch vs --batch --word at 8 workers on
+# the digital catalog campaigns, emitting results/bench/BENCH_pr10.json.
+# Gates: the word run's CaseResults byte-identical to both the scalar and
+# the lane-cloned run on cpu and cpu-set, and >= 3x wall-clock on cpu —
+# the SEU campaign whose corrupted-register lanes live to the horizon, so
+# the word machine turns one plane-valued event wheel where the cloned
+# path turns ~64. cpu-set's honest (ungated) ratio rides along; its own
+# gate stays the cloned-vs-scalar >= 10x in pr7_batch_bench above.
+cargo build --release -p amsfi-bench --bin pr10_word_bench
+./target/release/pr10_word_bench
+
+# PR 10 CLI e2e: `amsfi run --batch --word` journal matches the scalar
+# journal case-for-case on the SEU campaign, and `amsfi list` advertises
+# the word path on the campaigns that carry a word spec.
+tmp=$(mktemp -d)
+./target/release/amsfi run cpu --journal "$tmp/scalar.journal" --progress-secs 0
+./target/release/amsfi run cpu --batch --word --journal "$tmp/word.journal" \
+    --progress-secs 0
+sort "$tmp/scalar.journal" >"$tmp/scalar.sorted"
+sort "$tmp/word.journal" >"$tmp/word.sorted"
+cmp "$tmp/scalar.sorted" "$tmp/word.sorted"
+./target/release/amsfi list | grep -q "cpu.*word"
 rm -rf "$tmp"

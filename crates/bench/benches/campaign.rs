@@ -86,6 +86,7 @@ fn counter_campaign() -> Campaign {
         }),
         fork: None,
         batch: None,
+        word: None,
     }
 }
 

@@ -1,15 +1,20 @@
-//! PR 7 differential fuzz harness: the batch machine as a standing
-//! oracle against the scalar path.
+//! PR 7/PR 10 differential fuzz harness: the batch machines as standing
+//! oracles against the scalar path — a **three-way** oracle since the
+//! word-parallel kernel landed.
 //!
 //! Each seed deterministically generates a random netlist (a DAG of
 //! n-ary gates over clock/constant/stimulus bits, a D flip-flop, a
 //! counter, and one or two spliced saboteurs) plus a random fault list
 //! mixing mutant bit-flips with saboteur faults — SET pulses (including
 //! zero-width and clock-edge-aligned ones), stuck-ats and wire
-//! bit-flips. The campaign then runs through the engine scalar and with
-//! `--batch` at several worker counts (worker count changes the lane
-//! grouping), and **any** difference in the golden trace or any
-//! `CaseResult` is a bug in one of the two paths.
+//! bit-flips. The campaign then runs through the engine scalar, with
+//! `--batch` (64 cloned lock-step machines) and with `--batch --word`
+//! (one plane-valued event wheel) at several worker counts (worker
+//! count changes the lane grouping), and **any** difference in the
+//! golden trace or any `CaseResult` is a bug in one of the three paths.
+//! The word runs exercise the native plane cells (gates, clock,
+//! stimulus, constants) and the lane-farm fallback (flip-flop, counter,
+//! saboteurs) in one machine.
 //!
 //! Every divergence this harness has found gets a minimized regression
 //! test committed next to the fix (see `seed_regressions` below); the
@@ -19,7 +24,7 @@
 //! cheap.
 
 use amsfi_core::{ClassifySpec, FaultCase};
-use amsfi_digital::{cells, DigitalSaboteur, Netlist, Simulator};
+use amsfi_digital::{cells, ComponentId, DigitalSaboteur, InjectTarget, Netlist, Simulator};
 use amsfi_engine::{Campaign, CaseCtx, Engine, EngineConfig};
 use amsfi_faults::{DigitalFault, DigitalFaultKind};
 use amsfi_waves::{Logic, LogicVector, Time};
@@ -135,8 +140,10 @@ fn build_sim(seed: u64) -> (Simulator, FuzzShape) {
 /// How one fuzz case perturbs the machine.
 #[derive(Clone)]
 enum FuzzInject {
-    /// `flip_state` of mutant target `(component index into
-    /// `mutant_targets()`, bit)` — resolved per build for robustness.
+    /// `flip_state` of mutant target index into `mutant_targets()` —
+    /// resolved to a `(ComponentId, bit)` at campaign build (the netlist
+    /// is deterministic per seed, so ids are stable across rebuilds and
+    /// across kernels).
     Flip(usize),
     /// Arm `fault` on the named saboteur in place.
     Sab(String, DigitalFault),
@@ -193,11 +200,18 @@ fn build_cases(
 }
 
 /// Builds the seed's campaign: same `build`/`inject` closure pair on the
-/// scalar and batch paths, via [`Campaign::forked_batch`].
+/// scalar, lane-cloned and word-parallel paths, via
+/// [`Campaign::forked_batch`].
 fn fuzz_campaign(seed: u64) -> Campaign {
     let (probe, shape) = build_sim(seed);
-    let n_targets = probe.mutant_targets().len();
-    let (cases, injects) = build_cases(seed, &shape, n_targets);
+    let targets: Arc<Vec<(ComponentId, usize)>> = Arc::new(
+        probe
+            .mutant_targets()
+            .iter()
+            .map(|t| (t.component, t.bit))
+            .collect(),
+    );
+    let (cases, injects) = build_cases(seed, &shape, targets.len());
 
     let mut outputs: Vec<String> = (0..4).map(|i| format!("q[{i}]")).collect();
     outputs.push("dq".to_owned());
@@ -210,11 +224,11 @@ fn fuzz_campaign(seed: u64) -> Campaign {
         cases,
         T_END,
         move |_ctx: &CaseCtx| Ok(build_sim(seed).0),
-        move |sim: &mut Simulator, i| {
+        move |sim: &mut dyn InjectTarget, i| {
             match &injects[i] {
                 FuzzInject::Flip(ti) => {
-                    let t = &sim.mutant_targets()[*ti];
-                    sim.flip_state(t.component, t.bit);
+                    let (component, bit) = targets[*ti];
+                    sim.flip_state(component, bit);
                 }
                 FuzzInject::Sab(name, fault) => {
                     let id = sim
@@ -234,36 +248,42 @@ fn fuzz_campaign(seed: u64) -> Campaign {
     )
 }
 
-/// The oracle: scalar vs batch, byte-identical everything, at worker
-/// counts that produce different lane groupings.
+/// The three-way oracle: scalar vs lane-cloned batch vs word-parallel,
+/// byte-identical everything, at worker counts that produce different
+/// lane groupings. Both batch kernels are compared against the scalar
+/// reference, so all three paths are transitively byte-identical.
 fn check_seed(seed: u64) {
     let campaign = fuzz_campaign(seed);
     let scalar = Engine::new(EngineConfig::default().with_workers(1))
         .run(&campaign)
         .unwrap_or_else(|e| panic!("seed {seed}: scalar run failed: {e}"));
     for workers in [1usize, 3] {
-        let batch = Engine::new(
-            EngineConfig::default()
-                .with_workers(workers)
-                .with_batch(true),
-        )
-        .run(&campaign)
-        .unwrap_or_else(|e| panic!("seed {seed}: batch run failed: {e}"));
-        assert_eq!(
-            scalar.result.golden, batch.result.golden,
-            "seed {seed}, {workers} workers: golden trace diverged"
-        );
-        assert_eq!(
-            scalar.result.cases.len(),
-            batch.result.cases.len(),
-            "seed {seed}, {workers} workers: case count diverged"
-        );
-        for (a, b) in scalar.result.cases.iter().zip(&batch.result.cases) {
+        for word in [false, true] {
+            let path = if word { "word" } else { "batch" };
+            let batch = Engine::new(
+                EngineConfig::default()
+                    .with_workers(workers)
+                    .with_batch(true)
+                    .with_word(word),
+            )
+            .run(&campaign)
+            .unwrap_or_else(|e| panic!("seed {seed}: {path} run failed: {e}"));
             assert_eq!(
-                a, b,
-                "seed {seed}, {workers} workers: case {} diverged between scalar and batch",
-                a.case.label
+                scalar.result.golden, batch.result.golden,
+                "seed {seed}, {workers} workers: golden trace diverged on the {path} path"
             );
+            assert_eq!(
+                scalar.result.cases.len(),
+                batch.result.cases.len(),
+                "seed {seed}, {workers} workers: case count diverged on the {path} path"
+            );
+            for (a, b) in scalar.result.cases.iter().zip(&batch.result.cases) {
+                assert_eq!(
+                    a, b,
+                    "seed {seed}, {workers} workers: case {} diverged between scalar and {path}",
+                    a.case.label
+                );
+            }
         }
     }
 }
@@ -276,7 +296,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
 }
 
 #[test]
-fn differential_fuzz_scalar_vs_batch() {
+fn differential_fuzz_scalar_vs_batch_vs_word() {
     let base = env_u64("AMSFI_FUZZ_BASE", 0);
     let seeds = env_u64("AMSFI_FUZZ_SEEDS", 8);
     for seed in base..base + seeds {
@@ -295,10 +315,13 @@ fn differential_fuzz_scalar_vs_batch() {
 /// (exhaustive 81-pair IEEE 1164 tables, which caught the `DontCare`
 /// rows the spot-checks missed). The seeds here pin the *system-level*
 /// shapes that exercised those paths hardest: clock-line saboteurs and
-/// edge-snapped injections.
+/// edge-snapped injections. Seeds 23 and 42 were the word-parallel
+/// bring-up's hardest shapes — clock saboteurs through the lane farm
+/// next to native plane gates, with edge-snapped pulses — pinned when
+/// the three-way oracle first went green over them.
 #[test]
 fn seed_regressions() {
-    for seed in [3, 7, 11, 19] {
+    for seed in [3, 7, 11, 19, 23, 42] {
         check_seed(seed);
     }
 }

@@ -80,6 +80,7 @@ fn toy_campaign(name: &str, n: usize, panic_at: Option<usize>) -> Campaign {
         }),
         fork: None,
         batch: None,
+        word: None,
     }
 }
 

@@ -8,8 +8,8 @@
 //! spectrum: masked upsets in dead values, transients that the program
 //! overwrites, and failures that corrupt the output stream.
 
-use amsfi_digital::{Component, EvalContext, PortSpec};
-use amsfi_waves::{Logic, LogicVector, Time};
+use amsfi_digital::{Component, EvalContext, PortSpec, WordComponent, WordEvalContext};
+use amsfi_waves::{Logic, LogicPlanes, LogicVector, Time, LANES};
 use std::fmt;
 
 /// One instruction of the tiny ISA.
@@ -216,6 +216,156 @@ impl Component for TinyCpu {
     fn state_value(&self) -> Option<u64> {
         Some(self.acc as u64 | (self.pc as u64) << 8 | (self.nonzero as u64) << 14)
     }
+
+    fn word_component(&self) -> Option<Box<dyn WordComponent>> {
+        Some(Box::new(WordTinyCpu {
+            program: self.program.clone(),
+            delay: self.delay,
+            acc: [self.acc; LANES],
+            pc: [self.pc; LANES],
+            nonzero: if self.nonzero { u64::MAX } else { 0 },
+            ram: [self.ram; LANES],
+            out: [self.out; LANES],
+            prev_clk: LogicPlanes::splat(self.prev_clk),
+        }))
+    }
+}
+
+/// The word-parallel (64-lane) processor: per-lane architectural state,
+/// shared program ROM, one evaluation per clock event for all lanes.
+///
+/// Instruction execution stays a per-lane scalar loop (the ISA semantics do
+/// not plane-vectorize), but it only runs for lanes on a rising edge; the
+/// expensive parts of the cloned-mode path — 64 event wheels, 64
+/// `LogicVector` port drives per edge, 64 input stagings — collapse into
+/// masked plane operations.
+#[derive(Clone)]
+struct WordTinyCpu {
+    program: Vec<Insn>,
+    delay: Time,
+    acc: [u8; LANES],
+    pc: [u8; LANES],
+    nonzero: u64,
+    ram: [[u8; RAM_SIZE]; LANES],
+    out: [u8; LANES],
+    prev_clk: LogicPlanes,
+}
+
+impl fmt::Debug for WordTinyCpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WordTinyCpu")
+            .field("program", &self.program.len())
+            .field("delay", &self.delay)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WordTinyCpu {
+    /// Mirrors [`TinyCpu::execute_one`] for one lane.
+    fn execute_one(&mut self, lane: usize) {
+        let pc = self.pc[lane];
+        let insn = self.program[pc as usize % self.program.len()];
+        let mut next_pc = pc.wrapping_add(1);
+        if next_pc as usize >= self.program.len() {
+            next_pc = 0;
+        }
+        let bit = 1u64 << lane;
+        match insn {
+            Insn::Ldi(v) => {
+                self.acc[lane] = v;
+                self.nonzero = (self.nonzero & !bit) | if v != 0 { bit } else { 0 };
+            }
+            Insn::Lda(a) => {
+                self.acc[lane] = self.ram[lane][a as usize];
+                self.nonzero = (self.nonzero & !bit) | if self.acc[lane] != 0 { bit } else { 0 };
+            }
+            Insn::Sta(a) => self.ram[lane][a as usize] = self.acc[lane],
+            Insn::Add(a) => {
+                self.acc[lane] = self.acc[lane].wrapping_add(self.ram[lane][a as usize]);
+                self.nonzero = (self.nonzero & !bit) | if self.acc[lane] != 0 { bit } else { 0 };
+            }
+            Insn::Sub(a) => {
+                self.acc[lane] = self.acc[lane].wrapping_sub(self.ram[lane][a as usize]);
+                self.nonzero = (self.nonzero & !bit) | if self.acc[lane] != 0 { bit } else { 0 };
+            }
+            Insn::Jmp(a) => next_pc = a,
+            Insn::Jnz(a) => {
+                if self.nonzero & bit != 0 {
+                    next_pc = a;
+                }
+            }
+            Insn::Out => self.out[lane] = self.acc[lane],
+        }
+        self.pc[lane] = next_pc;
+    }
+
+    /// Packs one per-lane register into output planes, bit by bit.
+    fn pack(values: &[u8; LANES], width: usize) -> Vec<LogicPlanes> {
+        let mut planes = Vec::with_capacity(width);
+        for bit in 0..width {
+            let mut ones = 0u64;
+            for (lane, v) in values.iter().enumerate() {
+                ones |= u64::from((v >> bit) & 1) << lane;
+            }
+            planes.push(LogicPlanes::from_bool_mask(ones));
+        }
+        planes
+    }
+}
+
+impl WordComponent for WordTinyCpu {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        let clk = ctx.input_bit(0);
+        let rst = ctx.input_bit(1);
+        let mask = ctx.eval_mask();
+        let rising = mask & !self.prev_clk.is_high_mask() & clk.is_high_mask();
+        if rising != 0 {
+            let mut reset = rising & rst.is_high_mask();
+            let mut exec = rising & !reset;
+            while reset != 0 {
+                let lane = reset.trailing_zeros() as usize;
+                reset &= reset - 1;
+                self.acc[lane] = 0;
+                self.pc[lane] = 0;
+                self.nonzero &= !(1 << lane);
+                self.out[lane] = 0;
+            }
+            while exec != 0 {
+                let lane = exec.trailing_zeros() as usize;
+                exec &= exec - 1;
+                self.execute_one(lane);
+            }
+        }
+        self.prev_clk = self.prev_clk.select(mask, clk);
+        ctx.drive(0, Self::pack(&self.out, 8), self.delay);
+        ctx.drive(1, Self::pack(&self.pc, PC_BITS), self.delay);
+    }
+
+    fn flip_state_bit(&mut self, lane: usize, bit: usize) {
+        if bit < 8 {
+            self.acc[lane] ^= 1 << bit;
+        } else if bit < 8 + PC_BITS {
+            self.pc[lane] ^= 1 << (bit - 8);
+        } else if bit == 8 + PC_BITS {
+            self.nonzero ^= 1 << lane;
+        } else {
+            let b = bit - 8 - PC_BITS - 1;
+            self.ram[lane][b / 8] ^= 1 << (b % 8);
+        }
+    }
+
+    fn force_state(&mut self, lane: usize, value: u64) {
+        self.pc[lane] = (value as u8) % self.program.len() as u8;
+    }
+
+    fn lanes_equal(&self, a: usize, b: usize) -> bool {
+        self.acc[a] == self.acc[b]
+            && self.pc[a] == self.pc[b]
+            && (self.nonzero >> a) & 1 == (self.nonzero >> b) & 1
+            && self.ram[a] == self.ram[b]
+            && self.out[a] == self.out[b]
+            && self.prev_clk.lane(a) == self.prev_clk.lane(b)
+    }
 }
 
 /// A self-checking benchmark program: a counter-mixed checksum over a RAM
@@ -405,6 +555,49 @@ mod tests {
         assert_eq!(cpu.state_label(14), "flag_nz");
         assert_eq!(cpu.state_label(15), "ram[0][0]");
         assert_eq!(cpu.state_label(15 + 77), "ram[9][5]");
+    }
+
+    #[test]
+    fn word_batch_matches_scalar_for_cpu_seus() {
+        use amsfi_digital::{LaneOutcome, WordBatchSimulator};
+        const T_END: Time = Time::from_us(4);
+        // Representative mutant surface: acc, pc, the flag, a live RAM bit
+        // (table entry) and a dead RAM bit (masked upset).
+        let bits = [0usize, 9, 14, 15 + 8, 15 + 9 * 8];
+        let times = [Time::from_ns(905), Time::from_us(2)];
+
+        let (golden, cpu) = cpu_bench(checksum_program());
+        let mut batch = WordBatchSimulator::new(golden, T_END);
+        let mut cases = Vec::new();
+        for &at in &times {
+            for &bit in &bits {
+                batch.add_lane(at);
+                cases.push((at, bit));
+            }
+        }
+        let report = batch
+            .run(
+                |lane, sim| {
+                    sim.flip_state(cpu, cases[lane].1);
+                    Ok(())
+                },
+                |_, _| {},
+            )
+            .unwrap();
+
+        for (lane, &(at, bit)) in cases.iter().enumerate() {
+            let (mut scalar, cpu) = cpu_bench(checksum_program());
+            scalar.run_until(at).unwrap();
+            scalar.flip_state(cpu, bit);
+            scalar.run_until(T_END).unwrap();
+            let scalar_trace = scalar.into_trace();
+            match &report.outcomes[lane] {
+                LaneOutcome::Completed { trace, .. } => {
+                    assert_eq!(trace, &scalar_trace, "lane {lane} (bit {bit} @ {at})");
+                }
+                LaneOutcome::Failed { error } => panic!("lane {lane}: {error}"),
+            }
+        }
     }
 
     #[test]

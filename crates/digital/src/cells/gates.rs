@@ -2,10 +2,39 @@
 
 use crate::component::{Component, EvalContext};
 use crate::netlist::PortSpec;
-use amsfi_waves::{Logic, Time};
+use crate::word::{WordComponent, WordEvalContext};
+use amsfi_waves::{Logic, LogicPlanes, Time};
+
+/// Word-parallel form of the n-ary gates: the same fold, one plane
+/// operation per input instead of one [`Logic`] operation per input *per
+/// lane*. Stateless, so any two lanes always compare equal.
+#[derive(Debug)]
+struct WordNaryGate {
+    inputs: usize,
+    delay: Time,
+    fold: fn(LogicPlanes, LogicPlanes) -> LogicPlanes,
+    invert: bool,
+}
+
+impl WordComponent for WordNaryGate {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        let mut acc = ctx.input_bit(0);
+        for i in 1..self.inputs {
+            acc = (self.fold)(acc, ctx.input_bit(i));
+        }
+        if self.invert {
+            acc = acc.not();
+        }
+        ctx.drive_bit(0, acc, self.delay);
+    }
+
+    fn lanes_equal(&self, _a: usize, _b: usize) -> bool {
+        true
+    }
+}
 
 macro_rules! nary_gate {
-    ($(#[$doc:meta])* $name:ident, $fold:expr, $invert:expr) => {
+    ($(#[$doc:meta])* $name:ident, $fold:expr, $plane_fold:expr, $invert:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone)]
         pub struct $name {
@@ -44,6 +73,15 @@ macro_rules! nary_gate {
                     outputs: vec![("out".to_owned(), 1)],
                 }
             }
+
+            fn word_component(&self) -> Option<Box<dyn WordComponent>> {
+                Some(Box::new(WordNaryGate {
+                    inputs: self.inputs,
+                    delay: self.delay,
+                    fold: $plane_fold,
+                    invert: $invert,
+                }))
+            }
         }
     };
 }
@@ -52,36 +90,42 @@ nary_gate!(
     /// N-input AND gate.
     And,
     |a: Logic, b: Logic| a & b,
+    |a: LogicPlanes, b: LogicPlanes| a.and(b),
     false
 );
 nary_gate!(
     /// N-input OR gate.
     Or,
     |a: Logic, b: Logic| a | b,
+    |a: LogicPlanes, b: LogicPlanes| a.or(b),
     false
 );
 nary_gate!(
     /// N-input NAND gate.
     Nand,
     |a: Logic, b: Logic| a & b,
+    |a: LogicPlanes, b: LogicPlanes| a.and(b),
     true
 );
 nary_gate!(
     /// N-input NOR gate.
     Nor,
     |a: Logic, b: Logic| a | b,
+    |a: LogicPlanes, b: LogicPlanes| a.or(b),
     true
 );
 nary_gate!(
     /// N-input XOR gate (odd parity).
     Xor,
     |a: Logic, b: Logic| a ^ b,
+    |a: LogicPlanes, b: LogicPlanes| a.xor(b),
     false
 );
 nary_gate!(
     /// N-input XNOR gate (even parity).
     Xnor,
     |a: Logic, b: Logic| a ^ b,
+    |a: LogicPlanes, b: LogicPlanes| a.xor(b),
     true
 );
 
@@ -106,6 +150,27 @@ impl Component for Not {
 
     fn port_spec(&self) -> PortSpec {
         PortSpec::new(&[("in", 1)], &[("out", 1)])
+    }
+
+    fn word_component(&self) -> Option<Box<dyn WordComponent>> {
+        Some(Box::new(WordNot { delay: self.delay }))
+    }
+}
+
+/// Word-parallel inverter: one plane negation covers all lanes.
+#[derive(Debug)]
+struct WordNot {
+    delay: Time,
+}
+
+impl WordComponent for WordNot {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        let v = ctx.input_bit(0).not();
+        ctx.drive_bit(0, v, self.delay);
+    }
+
+    fn lanes_equal(&self, _a: usize, _b: usize) -> bool {
+        true
     }
 }
 
@@ -136,6 +201,27 @@ impl Component for Buf {
 
     fn port_spec(&self) -> PortSpec {
         PortSpec::new(&[("in", self.width)], &[("out", self.width)])
+    }
+
+    fn word_component(&self) -> Option<Box<dyn WordComponent>> {
+        Some(Box::new(WordBuf { delay: self.delay }))
+    }
+}
+
+/// Word-parallel buffer: forwards the input planes unchanged.
+#[derive(Debug)]
+struct WordBuf {
+    delay: Time,
+}
+
+impl WordComponent for WordBuf {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        let v = ctx.input(0).to_vec();
+        ctx.drive(0, v, self.delay);
+    }
+
+    fn lanes_equal(&self, _a: usize, _b: usize) -> bool {
+        true
     }
 }
 
@@ -175,6 +261,42 @@ impl Component for Mux2 {
             &[("sel", 1), ("a", self.width), ("b", self.width)],
             &[("y", self.width)],
         )
+    }
+
+    fn word_component(&self) -> Option<Box<dyn WordComponent>> {
+        Some(Box::new(WordMux2 {
+            width: self.width,
+            delay: self.delay,
+        }))
+    }
+}
+
+/// Word-parallel mux: lane classes of the select (low / high / metalogical)
+/// become three masks merged per output bit — the plane analogue of the
+/// scalar `to_bool` three-way match.
+#[derive(Debug)]
+struct WordMux2 {
+    width: usize,
+    delay: Time,
+}
+
+impl WordComponent for WordMux2 {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        let sel = ctx.input_bit(0);
+        let low = sel.is_low_mask();
+        let high = sel.is_high_mask();
+        let mut out = Vec::with_capacity(self.width);
+        for bit in 0..self.width {
+            let v = LogicPlanes::splat(Logic::Unknown)
+                .select(low, ctx.input(1)[bit])
+                .select(high, ctx.input(2)[bit]);
+            out.push(v);
+        }
+        ctx.drive(0, out, self.delay);
+    }
+
+    fn lanes_equal(&self, _a: usize, _b: usize) -> bool {
+        true
     }
 }
 

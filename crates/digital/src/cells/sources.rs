@@ -2,7 +2,8 @@
 
 use crate::component::{Component, EvalContext};
 use crate::netlist::PortSpec;
-use amsfi_waves::{Logic, LogicVector, Time};
+use crate::word::{WordComponent, WordEvalContext};
+use amsfi_waves::{Logic, LogicPlanes, LogicVector, Time};
 
 /// A free-running clock generator.
 ///
@@ -82,6 +83,54 @@ impl Component for ClockGen {
     fn port_spec(&self) -> PortSpec {
         PortSpec::new(&[], &[("clk", 1)])
     }
+
+    fn word_component(&self) -> Option<Box<dyn WordComponent>> {
+        Some(Box::new(WordClockGen {
+            period: self.period,
+            start: self.start,
+            value: LogicPlanes::splat(self.value),
+            fired: if self.fired { u64::MAX } else { 0 },
+        }))
+    }
+}
+
+/// Word-parallel clock: per-lane `fired` mask and a plane-valued level.
+/// Lanes stay in lock step in practice (the clock has no inputs and no
+/// mutant surface), but the masks keep per-lane semantics exact anyway.
+#[derive(Debug)]
+struct WordClockGen {
+    period: Time,
+    start: Time,
+    value: LogicPlanes,
+    fired: u64,
+}
+
+impl WordComponent for WordClockGen {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        let half = self.period / 2;
+        let mask = ctx.eval_mask();
+        let unfired = mask & !self.fired;
+        if unfired != 0 {
+            self.fired |= unfired;
+            ctx.drive_bit_masked(0, LogicPlanes::splat(Logic::Zero), Time::ZERO, unfired);
+            ctx.wake_masked(self.start + half, unfired);
+        }
+        let toggling = mask & !unfired;
+        if toggling != 0 {
+            // Toggle exactly the lanes currently at `One` (the scalar
+            // toggle is an equality test, not `is_high`).
+            let ones = !self.value.diverged_mask(LogicPlanes::splat(Logic::One));
+            self.value = self
+                .value
+                .select(toggling, LogicPlanes::from_bool_mask(!ones));
+            ctx.drive_bit_masked(0, self.value, Time::ZERO, toggling);
+            ctx.wake_masked(half, toggling);
+        }
+    }
+
+    fn lanes_equal(&self, a: usize, b: usize) -> bool {
+        (self.fired >> a) & 1 == (self.fired >> b) & 1 && self.value.lane(a) == self.value.lane(b)
+    }
 }
 
 /// Drives a constant vector from time zero.
@@ -111,6 +160,28 @@ impl Component for ConstVector {
 
     fn port_spec(&self) -> PortSpec {
         PortSpec::new(&[], &[("out", self.value.width())])
+    }
+
+    fn word_component(&self) -> Option<Box<dyn WordComponent>> {
+        Some(Box::new(WordConstVector {
+            value: self.value.iter().map(LogicPlanes::splat).collect(),
+        }))
+    }
+}
+
+/// Word-parallel constant source: the value pre-splatted into planes.
+#[derive(Debug)]
+struct WordConstVector {
+    value: Vec<LogicPlanes>,
+}
+
+impl WordComponent for WordConstVector {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        ctx.drive(0, self.value.clone(), Time::ZERO);
+    }
+
+    fn lanes_equal(&self, _a: usize, _b: usize) -> bool {
+        true
     }
 }
 
@@ -178,6 +249,39 @@ impl Component for Stimulus {
 
     fn port_spec(&self) -> PortSpec {
         PortSpec::new(&[], &[("out", self.width)])
+    }
+
+    fn word_component(&self) -> Option<Box<dyn WordComponent>> {
+        Some(Box::new(WordStimulus {
+            schedule: self.schedule.clone(),
+            fired: if self.fired { u64::MAX } else { 0 },
+        }))
+    }
+}
+
+/// Word-parallel stimulus: replays the schedule once per lane, on that
+/// lane's first evaluation.
+#[derive(Debug)]
+struct WordStimulus {
+    schedule: Vec<(Time, LogicVector)>,
+    fired: u64,
+}
+
+impl WordComponent for WordStimulus {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        let newly = ctx.eval_mask() & !self.fired;
+        if newly == 0 {
+            return;
+        }
+        self.fired |= newly;
+        for (t, v) in &self.schedule {
+            let planes: Vec<LogicPlanes> = v.iter().map(LogicPlanes::splat).collect();
+            ctx.drive_transport_masked(0, planes, *t, newly);
+        }
+    }
+
+    fn lanes_equal(&self, a: usize, b: usize) -> bool {
+        (self.fired >> a) & 1 == (self.fired >> b) & 1
     }
 }
 

@@ -51,11 +51,19 @@ pub struct EvalContext<'a> {
 }
 
 impl<'a> EvalContext<'a> {
+    #[cfg(test)]
     pub(crate) fn new(now: Time, inputs: &'a [LogicVector]) -> Self {
+        Self::reuse(now, inputs, Vec::new())
+    }
+
+    /// Builds a context, recycling a previously drained action list so the
+    /// simulators' hot loops do not allocate one per eval.
+    pub(crate) fn reuse(now: Time, inputs: &'a [LogicVector], actions: Vec<Action>) -> Self {
+        debug_assert!(actions.is_empty(), "recycled action list must be drained");
         EvalContext {
             now,
             inputs,
-            actions: Vec::new(),
+            actions,
         }
     }
 
@@ -199,6 +207,16 @@ pub trait Component: ComponentClone + Send + std::fmt::Debug {
     /// The current encoded state, if this component has one and it fits in
     /// 64 bits. Used by latent-fault detection at the end of a run.
     fn state_value(&self) -> Option<u64> {
+        None
+    }
+
+    /// The word-parallel (64-lane) form of this component, holding one copy
+    /// of the current state per lane, if it has a native plane-arithmetic
+    /// implementation. `None` (the default) makes the word kernel fall back
+    /// to a [`LaneFarm`](crate::word::WordComponent) of 64 scalar clones —
+    /// always correct, but it pays 64 scalar evaluations per word
+    /// evaluation, so hot cells should implement this.
+    fn word_component(&self) -> Option<Box<dyn crate::word::WordComponent>> {
         None
     }
 }

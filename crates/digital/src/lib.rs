@@ -52,9 +52,11 @@ mod component;
 mod netlist;
 mod saboteur;
 mod sim;
+pub mod word;
 
 pub use batch::{BatchReport, BatchSimulator, LaneOutcome};
 pub use component::{Component, ComponentClone, EvalContext};
 pub use netlist::{ComponentId, MutantTarget, Netlist, PortSpec, SignalId};
 pub use saboteur::DigitalSaboteur;
 pub use sim::{SimError, Simulator};
+pub use word::{InjectTarget, WordBatchSimulator, WordComponent, WordEvalContext, GOLDEN_LANE};

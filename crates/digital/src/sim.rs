@@ -14,7 +14,7 @@ use amsfi_waves::{
     SimObserver, Time, Trace,
 };
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Errors produced while simulating.
@@ -145,6 +145,76 @@ struct ComponentSlot {
     out_generation: Vec<u64>,
 }
 
+/// Reusable hot-loop buffers. A time point historically allocated a fresh
+/// eval set, changed set, input stage and action list per delta cycle;
+/// keeping them on the simulator turns the per-delta cost into a handful of
+/// clears. The contents are transient (always cleared before use), so
+/// cloning or checkpointing a simulator mid-flight carries no meaning.
+#[derive(Debug, Clone, Default)]
+struct SimScratch {
+    /// One bit per component: the eval set of the current delta cycle.
+    eval: Vec<u64>,
+    /// One bit per signal: signals that changed at the current time point.
+    changed: Vec<u64>,
+    /// Input values staged for the component being evaluated.
+    inputs: Vec<LogicVector>,
+    /// Recycled action list handed to each [`EvalContext`].
+    actions: Vec<Action>,
+}
+
+impl SimScratch {
+    fn ensure(&mut self, signals: usize, components: usize) {
+        self.changed.resize(signals.div_ceil(64), 0);
+        self.eval.resize(components.div_ceil(64), 0);
+    }
+}
+
+fn bitset_insert(words: &mut [u64], idx: usize) {
+    words[idx / 64] |= 1 << (idx % 64);
+}
+
+/// Visits set bits in ascending index order.
+fn bitset_drain(words: &mut [u64], mut visit: impl FnMut(usize)) {
+    for (w, word) in words.iter_mut().enumerate() {
+        let mut bits = *word;
+        *word = 0;
+        while bits != 0 {
+            visit(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// One signal of a simulator torn down into [`WordSeed`] form.
+pub(crate) struct WordSeedSignal {
+    pub(crate) name: String,
+    pub(crate) width: usize,
+    pub(crate) value: LogicVector,
+    pub(crate) readers: Vec<usize>,
+    pub(crate) monitored: bool,
+}
+
+/// One component of a simulator torn down into [`WordSeed`] form.
+pub(crate) struct WordSeedComponent {
+    pub(crate) name: String,
+    pub(crate) comp: Box<dyn crate::Component>,
+    pub(crate) inputs: Vec<SignalId>,
+    pub(crate) outputs: Vec<SignalId>,
+}
+
+/// The raw pieces of an unstarted [`Simulator`], handed to the
+/// word-parallel kernel so it can build its plane-valued store without
+/// reaching into the scalar simulator's private fields.
+pub(crate) struct WordSeed {
+    pub(crate) started: bool,
+    pub(crate) now: Time,
+    pub(crate) delta_limit: usize,
+    pub(crate) budget: SimBudget,
+    pub(crate) observer: Option<SimObserver>,
+    pub(crate) signals: Vec<WordSeedSignal>,
+    pub(crate) components: Vec<WordSeedComponent>,
+}
+
 /// An event-driven simulator executing one [`Netlist`].
 ///
 /// # Examples
@@ -177,6 +247,7 @@ pub struct Simulator {
     netlist_names: std::collections::HashMap<String, SignalId>,
     budget: SimBudget,
     observer: Option<SimObserver>,
+    scratch: SimScratch,
 }
 
 impl Simulator {
@@ -238,6 +309,7 @@ impl Simulator {
             netlist_names: names,
             budget: SimBudget::unlimited(),
             observer: None,
+            scratch: SimScratch::default(),
         };
         for c in 0..sim.components.len() {
             sim.push_event(Time::ZERO, EventKind::Wake { component: c });
@@ -615,6 +687,39 @@ impl Simulator {
         Ok(())
     }
 
+    /// Tears the simulator down into the pieces the word-parallel kernel
+    /// is built from (crate-internal; see [`crate::WordBatchSimulator`]).
+    pub(crate) fn into_word_seed(self) -> WordSeed {
+        WordSeed {
+            started: self.started,
+            now: self.now,
+            delta_limit: self.delta_limit,
+            budget: self.budget,
+            observer: self.observer,
+            signals: self
+                .signals
+                .into_iter()
+                .map(|s| WordSeedSignal {
+                    name: s.name,
+                    width: s.width,
+                    value: s.value,
+                    readers: s.readers,
+                    monitored: s.monitored,
+                })
+                .collect(),
+            components: self
+                .components
+                .into_iter()
+                .map(|c| WordSeedComponent {
+                    name: c.name,
+                    comp: c.comp,
+                    inputs: c.inputs,
+                    outputs: c.outputs,
+                })
+                .collect(),
+        }
+    }
+
     /// Runs until simulation time `t_end`, processing every event scheduled
     /// at or before it. Idempotent if no events remain.
     ///
@@ -663,11 +768,12 @@ impl Simulator {
     /// Processes every event and delta cycle at time `t`.
     fn advance_time_point(&mut self, t: Time) -> Result<(), SimError> {
         self.now = t;
-        let mut changed_this_point: BTreeSet<usize> = BTreeSet::new();
+        self.scratch
+            .ensure(self.signals.len(), self.components.len());
+        self.scratch.changed.fill(0);
         let mut delta = 0usize;
         loop {
             // Apply the current batch of events at time t.
-            let mut eval_set: BTreeSet<usize> = BTreeSet::new();
             let mut any_event = false;
             while self.queue.peek().is_some_and(|e| e.time == t) {
                 let event = self.queue.pop().expect("peeked");
@@ -697,85 +803,36 @@ impl Simulator {
                         );
                         if state.value != value {
                             state.value = value;
-                            changed_this_point.insert(sig);
+                            bitset_insert(&mut self.scratch.changed, sig);
                             for &r in &state.readers {
-                                eval_set.insert(r);
+                                bitset_insert(&mut self.scratch.eval, r);
                             }
                         }
                     }
                     EventKind::Wake { component } => {
-                        eval_set.insert(component);
+                        bitset_insert(&mut self.scratch.eval, component);
                     }
                     EventKind::External { signal, value } => {
                         let state = &mut self.signals[signal];
                         if state.value != value {
                             state.value = value;
-                            changed_this_point.insert(signal);
+                            bitset_insert(&mut self.scratch.changed, signal);
                             for &r in &state.readers {
-                                eval_set.insert(r);
+                                bitset_insert(&mut self.scratch.eval, r);
                             }
                         }
                     }
                 }
             }
-            if !any_event && eval_set.is_empty() {
+            if !any_event && self.scratch.eval.iter().all(|w| *w == 0) {
                 break;
             }
-            // Evaluate sensitive components in deterministic id order.
-            let mut scratch_inputs: Vec<LogicVector> = Vec::new();
-            for c in eval_set {
-                scratch_inputs.clear();
-                scratch_inputs.extend(
-                    self.components[c]
-                        .inputs
-                        .iter()
-                        .map(|sig| self.signals[sig.0].value.clone()),
-                );
-                let mut ctx = EvalContext::new(t, &scratch_inputs);
-                self.components[c].comp.eval(&mut ctx);
-                let actions = std::mem::take(&mut ctx.actions);
-                for action in actions {
-                    match action {
-                        Action::DriveInertial {
-                            output,
-                            value,
-                            delay,
-                        } => {
-                            let slot = &mut self.components[c];
-                            slot.out_generation[output] += 1;
-                            let generation = slot.out_generation[output];
-                            self.push_event(
-                                t + delay,
-                                EventKind::Drive {
-                                    component: c,
-                                    output,
-                                    value,
-                                    generation,
-                                },
-                            );
-                        }
-                        Action::DriveTransport {
-                            output,
-                            value,
-                            delay,
-                        } => {
-                            let generation = self.components[c].out_generation[output];
-                            self.push_event(
-                                t + delay,
-                                EventKind::Drive {
-                                    component: c,
-                                    output,
-                                    value,
-                                    generation,
-                                },
-                            );
-                        }
-                        Action::Wake { delay } => {
-                            self.push_event(t + delay, EventKind::Wake { component: c });
-                        }
-                    }
-                }
-            }
+            // Evaluate sensitive components in deterministic id order. The
+            // eval bitset is detached while draining so the loop body can
+            // borrow the simulator mutably; draining zeroes it for reuse.
+            let mut eval_words = std::mem::take(&mut self.scratch.eval);
+            bitset_drain(&mut eval_words, |c| self.eval_component(c, t));
+            self.scratch.eval = eval_words;
             delta += 1;
             if delta > self.delta_limit {
                 return Err(SimError::DeltaOverflow {
@@ -788,10 +845,11 @@ impl Simulator {
             }
         }
         // Record monitored signals that settled to a new value at t.
-        for sig in changed_this_point {
+        let mut changed_words = std::mem::take(&mut self.scratch.changed);
+        bitset_drain(&mut changed_words, |sig| {
             let state = &self.signals[sig];
             if !state.monitored {
-                continue;
+                return;
             }
             if state.width == 1 {
                 self.trace
@@ -805,8 +863,70 @@ impl Simulator {
                         .expect("time is monotonic");
                 }
             }
-        }
+        });
+        self.scratch.changed = changed_words;
         Ok(())
+    }
+
+    /// Evaluates component `c` at time `t` and schedules its actions,
+    /// staging inputs and the action list in the reusable scratch buffers.
+    fn eval_component(&mut self, c: usize, t: Time) {
+        let mut actions = {
+            let inputs = &mut self.scratch.inputs;
+            inputs.clear();
+            inputs.extend(
+                self.components[c]
+                    .inputs
+                    .iter()
+                    .map(|sig| self.signals[sig.0].value.clone()),
+            );
+            let recycled = std::mem::take(&mut self.scratch.actions);
+            let mut ctx = EvalContext::reuse(t, inputs, recycled);
+            self.components[c].comp.eval(&mut ctx);
+            std::mem::take(&mut ctx.actions)
+        };
+        for action in actions.drain(..) {
+            match action {
+                Action::DriveInertial {
+                    output,
+                    value,
+                    delay,
+                } => {
+                    let slot = &mut self.components[c];
+                    slot.out_generation[output] += 1;
+                    let generation = slot.out_generation[output];
+                    self.push_event(
+                        t + delay,
+                        EventKind::Drive {
+                            component: c,
+                            output,
+                            value,
+                            generation,
+                        },
+                    );
+                }
+                Action::DriveTransport {
+                    output,
+                    value,
+                    delay,
+                } => {
+                    let generation = self.components[c].out_generation[output];
+                    self.push_event(
+                        t + delay,
+                        EventKind::Drive {
+                            component: c,
+                            output,
+                            value,
+                            generation,
+                        },
+                    );
+                }
+                Action::Wake { delay } => {
+                    self.push_event(t + delay, EventKind::Wake { component: c });
+                }
+            }
+        }
+        self.scratch.actions = actions;
     }
 }
 

@@ -1,0 +1,1713 @@
+//! Word-parallel digital fault simulation: one event wheel, 64 lanes per
+//! gate evaluation.
+//!
+//! The lane-cloned [`BatchSimulator`](crate::BatchSimulator) advances up to
+//! 64 *separate* scalar simulators in lock step — 64 event wheels, 64
+//! `LogicVector` stores, 64 component evaluations per logical gate event.
+//! This module is the PPSFP-style kernel that collapses all of that into
+//! one machine:
+//!
+//! * **Plane-valued signal store** — each signal bit holds a
+//!   [`LogicPlanes`] word: lane `l` of the planes is lane `l` of the batch,
+//!   with the golden (fault-free) machine occupying lane
+//!   [`GOLDEN_LANE`] (63). All lanes start identical at time zero, so a
+//!   mutant lane *is* the golden machine until its injection instant.
+//! * **One shared event wheel** — events carry `(planes value, lane mask)`.
+//!   A drive applies to exactly the lanes whose mask bit is set *and*
+//!   whose per-lane inertial generation still matches, so one event
+//!   replaces up to 64 scalar heap operations.
+//! * **Word evaluation** — a component is evaluated once per delta with the
+//!   union of per-lane wake/change masks; cells with a native
+//!   [`WordComponent`] implementation evaluate all lanes in a handful of
+//!   plane operations, everything else falls back to a [`LaneFarm`] of 64
+//!   scalar clones (still one wheel, one store).
+//! * **Exact eval masks** — a lane is included in an evaluation only if one
+//!   of *its* input lanes changed or a wake targets it. This is a
+//!   correctness requirement, not an optimisation: a spurious evaluation
+//!   would bump that lane's inertial generations and cancel pending
+//!   transactions the scalar reference would have kept.
+//! * **Seal by mask** — reconvergence retires a lane by clearing its bit
+//!   from the live mask: signals diverged from golden fall out of a
+//!   one-XOR-per-bit plane probe, components compare per-lane state, and
+//!   pending events must show equal participation. Sealed lanes splice the
+//!   golden suffix exactly like the lane-cloned kernel, so traces stay
+//!   byte-identical to scalar runs.
+//!
+//! Per-lane traces are maintained incrementally: the golden lane records
+//! from time zero, a mutant lane clones the golden trace at activation
+//! (mirroring the lane-cloned `golden.clone()`) and records its own lanes'
+//! changes from then on. Per-lane budgets and observers ride along; a
+//! budget trip retires only that lane ([`LaneOutcome::Failed`]) and the
+//! campaign engine re-runs the case scalar, preserving byte identity.
+
+use crate::batch::{BatchReport, LaneOutcome};
+use crate::component::{Action, Component, EvalContext};
+use crate::netlist::{ComponentId, SignalId};
+use crate::sim::{SimError, Simulator, WordSeed};
+use amsfi_waves::{
+    KernelMetrics, LogicPlanes, LogicVector, SimBudget, SimObserver, Time, Trace, LANES,
+};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// The lane index reserved for the golden (fault-free) machine.
+pub const GOLDEN_LANE: usize = LANES - 1;
+
+/// A component lifted to word (64-lane) evaluation.
+///
+/// Implementors hold per-lane state and must evaluate exactly the lanes in
+/// [`WordEvalContext::eval_mask`] — driving or waking a lane outside the
+/// mask would corrupt that lane's inertial-generation bookkeeping.
+pub trait WordComponent: Send + std::fmt::Debug {
+    /// Evaluates the masked lanes at the context's current time.
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>);
+
+    /// Inverts one memorised bit of one lane (an SEU strike on that lane).
+    fn flip_state_bit(&mut self, lane: usize, bit: usize) {
+        let _ = (lane, bit);
+    }
+
+    /// Replaces one lane's encoded state (an erroneous FSM transition).
+    fn force_state(&mut self, lane: usize, value: u64) {
+        let _ = (lane, value);
+    }
+
+    /// True when lanes `a` and `b` hold exactly the same component state —
+    /// the per-component leg of the reconvergence-seal comparison.
+    fn lanes_equal(&self, a: usize, b: usize) -> bool;
+
+    /// The scalar component instance backing one lane, if this word
+    /// component is a [`LaneFarm`] of clones. Native plane implementations
+    /// return `None`; callers needing in-place configuration (e.g. arming a
+    /// saboteur) go through this.
+    fn lane_component_mut(&mut self, lane: usize) -> Option<&mut dyn Component> {
+        let _ = lane;
+        None
+    }
+}
+
+/// One action requested by a word evaluation: the word-level mirror of
+/// [`Action`] with an explicit participating-lane mask.
+#[derive(Debug)]
+enum WordAction {
+    Drive {
+        transport: bool,
+        output: usize,
+        value: Vec<LogicPlanes>,
+        delay: Time,
+        mask: u64,
+    },
+    Wake {
+        delay: Time,
+        mask: u64,
+    },
+}
+
+/// The evaluation context handed to [`WordComponent::eval`]: plane-valued
+/// inputs, the lanes being evaluated, and a queue of masked actions.
+#[derive(Debug)]
+pub struct WordEvalContext<'a> {
+    now: Time,
+    eval_mask: u64,
+    inputs: &'a [Vec<LogicPlanes>],
+    actions: Vec<WordAction>,
+}
+
+impl<'a> WordEvalContext<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The lanes this evaluation covers. Every drive and wake must target a
+    /// subset of this mask.
+    pub fn eval_mask(&self) -> u64 {
+        self.eval_mask
+    }
+
+    /// The planes of input port `index`, one [`LogicPlanes`] per bit.
+    pub fn input(&self, index: usize) -> &[LogicPlanes] {
+        &self.inputs[index]
+    }
+
+    /// The first (and for scalars, only) bit of input port `index`.
+    pub fn input_bit(&self, index: usize) -> LogicPlanes {
+        self.inputs[index][0]
+    }
+
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Drives output `output` for every evaluated lane with inertial
+    /// semantics.
+    pub fn drive(&mut self, output: usize, value: Vec<LogicPlanes>, delay: Time) {
+        let mask = self.eval_mask;
+        self.drive_masked(output, value, delay, mask);
+    }
+
+    /// Single-bit convenience for [`WordEvalContext::drive`].
+    pub fn drive_bit(&mut self, output: usize, value: LogicPlanes, delay: Time) {
+        self.drive(output, vec![value], delay);
+    }
+
+    /// Drives output `output` for the lanes in `mask` (a subset of the eval
+    /// mask) with inertial semantics: each masked lane's pending
+    /// transactions on this output are cancelled.
+    pub fn drive_masked(&mut self, output: usize, value: Vec<LogicPlanes>, delay: Time, mask: u64) {
+        debug_assert_eq!(
+            mask & !self.eval_mask,
+            0,
+            "drive mask must be a subset of the eval mask"
+        );
+        if mask == 0 {
+            return;
+        }
+        self.actions.push(WordAction::Drive {
+            transport: false,
+            output,
+            value,
+            delay,
+            mask,
+        });
+    }
+
+    /// Single-bit convenience for [`WordEvalContext::drive_masked`].
+    pub fn drive_bit_masked(&mut self, output: usize, value: LogicPlanes, delay: Time, mask: u64) {
+        self.drive_masked(output, vec![value], delay, mask);
+    }
+
+    /// Drives with transport semantics (pending transactions survive) for
+    /// the lanes in `mask`.
+    pub fn drive_transport_masked(
+        &mut self,
+        output: usize,
+        value: Vec<LogicPlanes>,
+        delay: Time,
+        mask: u64,
+    ) {
+        debug_assert_eq!(
+            mask & !self.eval_mask,
+            0,
+            "drive mask must be a subset of the eval mask"
+        );
+        if mask == 0 {
+            return;
+        }
+        self.actions.push(WordAction::Drive {
+            transport: true,
+            output,
+            value,
+            delay,
+            mask,
+        });
+    }
+
+    /// Requests a re-evaluation of every evaluated lane after `delay`.
+    pub fn wake(&mut self, delay: Time) {
+        let mask = self.eval_mask;
+        self.wake_masked(delay, mask);
+    }
+
+    /// Requests a re-evaluation of the lanes in `mask` after `delay`.
+    pub fn wake_masked(&mut self, delay: Time, mask: u64) {
+        debug_assert_eq!(
+            mask & !self.eval_mask,
+            0,
+            "wake mask must be a subset of the eval mask"
+        );
+        if mask == 0 {
+            return;
+        }
+        self.actions.push(WordAction::Wake { delay, mask });
+    }
+}
+
+/// The universal [`WordComponent`] fallback: 64 scalar clones of one
+/// component, evaluated per masked lane and their actions merged back into
+/// masked word actions.
+///
+/// Per merge round `r`, the `r`-th action of every evaluated lane is
+/// grouped by `(kind, output, delay)`; lanes sharing a group become one
+/// word action with per-lane values packed into planes. Per-lane action
+/// *order* is preserved (round `r` schedules before round `r + 1`), which
+/// keeps each lane's inertial-cancellation sequence identical to a scalar
+/// run; cross-lane grouping order is irrelevant because lanes are
+/// independent.
+struct LaneFarm {
+    lanes: Vec<Box<dyn Component>>,
+    staged: Vec<LogicVector>,
+    lane_actions: Vec<Vec<Action>>,
+}
+
+impl std::fmt::Debug for LaneFarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneFarm")
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LaneFarm {
+    fn new(prototype: &dyn Component) -> Self {
+        LaneFarm {
+            lanes: (0..LANES).map(|_| prototype.clone_box()).collect(),
+            staged: Vec::new(),
+            lane_actions: (0..LANES).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// One merge group of a [`LaneFarm`] round.
+enum FarmGroup {
+    Drive {
+        transport: bool,
+        output: usize,
+        delay: Time,
+        mask: u64,
+        value: Vec<LogicPlanes>,
+    },
+    Wake {
+        delay: Time,
+        mask: u64,
+    },
+}
+
+impl WordComponent for LaneFarm {
+    fn eval(&mut self, ctx: &mut WordEvalContext<'_>) {
+        let mask = ctx.eval_mask();
+        let ports = ctx.input_count();
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.staged.clear();
+            for port in 0..ports {
+                self.staged
+                    .push(ctx.input(port).iter().map(|p| p.lane(lane)).collect());
+            }
+            let recycled = std::mem::take(&mut self.lane_actions[lane]);
+            let mut sctx = EvalContext::reuse(ctx.now(), &self.staged, recycled);
+            self.lanes[lane].eval(&mut sctx);
+            self.lane_actions[lane] = std::mem::take(&mut sctx.actions);
+        }
+
+        let mut groups: Vec<FarmGroup> = Vec::new();
+        let mut round = 0usize;
+        loop {
+            groups.clear();
+            let mut progressed = false;
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let Some(action) = self.lane_actions[lane].get(round) else {
+                    continue;
+                };
+                progressed = true;
+                match action {
+                    Action::DriveInertial {
+                        output,
+                        value,
+                        delay,
+                    }
+                    | Action::DriveTransport {
+                        output,
+                        value,
+                        delay,
+                    } => {
+                        let transport = matches!(action, Action::DriveTransport { .. });
+                        let slot = groups.iter_mut().find_map(|g| match g {
+                            FarmGroup::Drive {
+                                transport: tr,
+                                output: o,
+                                delay: d,
+                                mask,
+                                value,
+                            } if *tr == transport && *o == *output && *d == *delay => {
+                                Some((mask, value))
+                            }
+                            _ => None,
+                        });
+                        let (group_mask, group_value) = match slot {
+                            Some(found) => found,
+                            None => {
+                                groups.push(FarmGroup::Drive {
+                                    transport,
+                                    output: *output,
+                                    delay: *delay,
+                                    mask: 0,
+                                    value: vec![LogicPlanes::new(); value.width()],
+                                });
+                                let Some(FarmGroup::Drive { mask, value, .. }) = groups.last_mut()
+                                else {
+                                    unreachable!("just pushed a drive group");
+                                };
+                                (mask, value)
+                            }
+                        };
+                        *group_mask |= 1 << lane;
+                        for (bit, planes) in group_value.iter_mut().enumerate() {
+                            planes.set_lane(lane, value[bit]);
+                        }
+                    }
+                    Action::Wake { delay } => {
+                        let slot = groups.iter_mut().find_map(|g| match g {
+                            FarmGroup::Wake { delay: d, mask } if *d == *delay => Some(mask),
+                            _ => None,
+                        });
+                        match slot {
+                            Some(group_mask) => *group_mask |= 1 << lane,
+                            None => groups.push(FarmGroup::Wake {
+                                delay: *delay,
+                                mask: 1 << lane,
+                            }),
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+            for group in groups.drain(..) {
+                match group {
+                    FarmGroup::Drive {
+                        transport: false,
+                        output,
+                        delay,
+                        mask,
+                        value,
+                    } => ctx.drive_masked(output, value, delay, mask),
+                    FarmGroup::Drive {
+                        transport: true,
+                        output,
+                        delay,
+                        mask,
+                        value,
+                    } => ctx.drive_transport_masked(output, value, delay, mask),
+                    FarmGroup::Wake { delay, mask } => ctx.wake_masked(delay, mask),
+                }
+            }
+            round += 1;
+        }
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.lane_actions[lane].clear();
+        }
+    }
+
+    fn flip_state_bit(&mut self, lane: usize, bit: usize) {
+        self.lanes[lane].flip_state_bit(bit);
+    }
+
+    fn force_state(&mut self, lane: usize, value: u64) {
+        self.lanes[lane].force_state(value);
+    }
+
+    fn lanes_equal(&self, a: usize, b: usize) -> bool {
+        // Same criterion as the scalar seal comparison
+        // (`Simulator::lockstep_state_eq`): `Debug`-rendered state equality.
+        format!("{:?}", self.lanes[a]) == format!("{:?}", self.lanes[b])
+    }
+
+    fn lane_component_mut(&mut self, lane: usize) -> Option<&mut dyn Component> {
+        Some(&mut *self.lanes[lane])
+    }
+}
+
+/// Per-lane inertial generations attached to a pending drive event.
+#[derive(Debug)]
+enum GenSet {
+    /// All participating lanes were scheduled at the same generation (the
+    /// lock-step common case).
+    Uniform(u64),
+    /// Per-lane generations, indexed by lane.
+    PerLane(Box<[u64; LANES]>),
+}
+
+#[derive(Debug)]
+enum WordEventKind {
+    Drive {
+        component: usize,
+        output: usize,
+        value: Vec<LogicPlanes>,
+        mask: u64,
+        gens: GenSet,
+    },
+    Wake {
+        component: usize,
+        mask: u64,
+    },
+}
+
+#[derive(Debug)]
+struct WordEvent {
+    time: Time,
+    seq: u64,
+    kind: WordEventKind,
+}
+
+impl PartialEq for WordEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for WordEvent {}
+
+impl PartialOrd for WordEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WordEvent {
+    /// Reversed so the `BinaryHeap` becomes a min-heap on `(time, seq)`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct WordSignal {
+    name: String,
+    width: usize,
+    planes: Vec<LogicPlanes>,
+    readers: Vec<usize>,
+    monitored: bool,
+}
+
+struct WordSlot {
+    name: String,
+    comp: Box<dyn WordComponent>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+    /// Per-output, per-lane driver generation for inertial cancellation.
+    out_gens: Vec<Vec<u64>>,
+}
+
+/// Reusable hot-loop buffers of the word kernel, mirroring the scalar
+/// simulator's `SimScratch` but with per-entry lane masks instead of bits.
+#[derive(Default)]
+struct WordScratch {
+    /// Per-signal changed-lane mask for the current time point.
+    changed: Vec<u64>,
+    changed_list: Vec<usize>,
+    /// Per-component eval-lane mask for the current delta cycle.
+    eval: Vec<u64>,
+    eval_list: Vec<usize>,
+    /// Input planes staged for the component being evaluated.
+    inputs: Vec<Vec<LogicPlanes>>,
+    /// Recycled action list handed to each [`WordEvalContext`].
+    actions: Vec<WordAction>,
+}
+
+/// The 64-lane word machine: plane-valued signals, one event wheel, one
+/// evaluation per gate event. Crate-internal; driven by
+/// [`WordBatchSimulator`].
+struct WordSimulator {
+    signals: Vec<WordSignal>,
+    components: Vec<WordSlot>,
+    queue: BinaryHeap<WordEvent>,
+    seq: u64,
+    now: Time,
+    delta_limit: usize,
+    events_processed: u64,
+    /// Lanes still simulating (sealed/failed/unused lanes are frozen).
+    live: u64,
+    /// Lanes whose trace is being recorded (golden + activated mutants).
+    recording: u64,
+    /// Mutant lanes that have been activated (injected).
+    injected: u64,
+    /// Per-lane traces; index [`GOLDEN_LANE`] is the golden trace.
+    traces: Vec<Trace>,
+    /// Machine-wide (golden) budget: a trip here aborts the whole word run.
+    budget: SimBudget,
+    golden_observer: Option<SimObserver>,
+    lane_budgets: Vec<Option<SimBudget>>,
+    lane_observers: Vec<Option<SimObserver>>,
+    lane_failures: Vec<Option<String>>,
+    scratch: WordScratch,
+}
+
+impl WordSimulator {
+    /// Builds the word machine from an unstarted scalar simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already run: all 64 lanes must share the
+    /// power-on state so a mutant lane equals the golden machine until its
+    /// injection instant.
+    fn from_scalar(sim: Simulator) -> Self {
+        let seed: WordSeed = sim.into_word_seed();
+        assert!(
+            !seed.started && seed.now == Time::ZERO,
+            "word-parallel conversion requires an unstarted simulator"
+        );
+        let signals = seed
+            .signals
+            .into_iter()
+            .map(|s| WordSignal {
+                planes: s.value.iter().map(LogicPlanes::splat).collect(),
+                name: s.name,
+                width: s.width,
+                readers: s.readers,
+                monitored: s.monitored,
+            })
+            .collect();
+        let components: Vec<WordSlot> = seed
+            .components
+            .into_iter()
+            .map(|c| {
+                let comp = c
+                    .comp
+                    .word_component()
+                    .unwrap_or_else(|| Box::new(LaneFarm::new(&*c.comp)));
+                WordSlot {
+                    name: c.name,
+                    comp,
+                    out_gens: c.outputs.iter().map(|_| vec![0u64; LANES]).collect(),
+                    inputs: c.inputs,
+                    outputs: c.outputs,
+                }
+            })
+            .collect();
+        let mut sim = WordSimulator {
+            signals,
+            components,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            delta_limit: seed.delta_limit,
+            events_processed: 0,
+            live: u64::MAX,
+            recording: 1 << GOLDEN_LANE,
+            injected: 0,
+            traces: (0..LANES).map(|_| Trace::new()).collect(),
+            budget: seed.budget,
+            golden_observer: seed.observer,
+            lane_budgets: (0..LANES).map(|_| None).collect(),
+            lane_observers: (0..LANES).map(|_| None).collect(),
+            lane_failures: (0..LANES).map(|_| None).collect(),
+            scratch: WordScratch::default(),
+        };
+        for c in 0..sim.components.len() {
+            sim.push_event(
+                Time::ZERO,
+                WordEventKind::Wake {
+                    component: c,
+                    mask: u64::MAX,
+                },
+            );
+        }
+        sim
+    }
+
+    fn push_event(&mut self, time: Time, kind: WordEventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(WordEvent { time, seq, kind });
+    }
+
+    /// Retires lane `lane` with an error: frozen, no longer recorded.
+    fn fail_lane(&mut self, lane: usize, error: String) {
+        self.lane_failures[lane] = Some(error);
+        self.live &= !(1 << lane);
+        self.recording &= !(1 << lane);
+    }
+
+    /// Runs until simulation time `t_end`, processing every event at or
+    /// before it across all live lanes.
+    ///
+    /// # Errors
+    ///
+    /// A delta overflow or a machine-wide (golden) budget trip fails the
+    /// whole word run — per-lane faults cannot be untangled from a
+    /// non-converging word delta cycle, and nothing can be compared
+    /// against a broken golden lane. Per-*lane* budget trips retire only
+    /// that lane (recorded in `lane_failures`).
+    fn run_until(&mut self, t_end: Time) -> Result<(), SimError> {
+        let before = self.events_processed;
+        let result = self.drain_until(t_end);
+        if let Some(metrics) = self.budget.metrics() {
+            metrics.digital_events.add(self.events_processed - before);
+        }
+        result
+    }
+
+    fn drain_until(&mut self, t_end: Time) -> Result<(), SimError> {
+        while let Some(event) = self.queue.peek() {
+            let t = event.time;
+            if t > t_end {
+                break;
+            }
+            self.budget.note_step(t)?;
+            self.note_lane_budgets(t);
+            self.advance_time_point(t)?;
+            self.poll_observers(t);
+        }
+        if t_end > self.now {
+            self.now = t_end;
+        }
+        let now = self.now;
+        if let Some(observer) = self.golden_observer.as_mut() {
+            observer.flush(now, &[&self.traces[GOLDEN_LANE]]);
+        }
+        for lane in 0..LANES {
+            if lane != GOLDEN_LANE && self.recording & (1 << lane) != 0 {
+                if let Some(observer) = self.lane_observers[lane].as_mut() {
+                    observer.flush(now, &[&self.traces[lane]]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges one step to every activated live lane's budget; a trip
+    /// retires that lane only.
+    fn note_lane_budgets(&mut self, t: Time) {
+        let mut m = self.injected & self.live;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if let Some(budget) = self.lane_budgets[lane].as_mut() {
+                if let Err(v) = budget.note_step(t) {
+                    self.fail_lane(lane, SimError::from(v).to_string());
+                }
+            }
+        }
+    }
+
+    fn poll_observers(&mut self, t: Time) {
+        if let Some(observer) = self.golden_observer.as_mut() {
+            observer.poll(t, &[&self.traces[GOLDEN_LANE]]);
+        }
+        for lane in 0..LANES {
+            if lane != GOLDEN_LANE && self.recording & (1 << lane) != 0 {
+                if let Some(observer) = self.lane_observers[lane].as_mut() {
+                    observer.poll(t, &[&self.traces[lane]]);
+                }
+            }
+        }
+    }
+
+    fn mark_changed(&mut self, sig: usize, lanes: u64) {
+        if self.scratch.changed[sig] == 0 {
+            self.scratch.changed_list.push(sig);
+        }
+        self.scratch.changed[sig] |= lanes;
+    }
+
+    fn mark_eval(&mut self, comp: usize, lanes: u64) {
+        if self.scratch.eval[comp] == 0 {
+            self.scratch.eval_list.push(comp);
+        }
+        self.scratch.eval[comp] |= lanes;
+    }
+
+    /// The lanes of a pending drive whose generation still matches the
+    /// driver's current per-lane counter.
+    fn gen_match_mask(&self, component: usize, output: usize, gens: &GenSet, mask: u64) -> u64 {
+        let current = &self.components[component].out_gens[output];
+        let mut ok = 0u64;
+        let mut m = mask;
+        match gens {
+            GenSet::Uniform(g) => {
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if current[lane] == *g {
+                        ok |= 1 << lane;
+                    }
+                }
+            }
+            GenSet::PerLane(v) => {
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if current[lane] == v[lane] {
+                        ok |= 1 << lane;
+                    }
+                }
+            }
+        }
+        ok
+    }
+
+    /// Processes every event and delta cycle at time `t` for all live
+    /// lanes, then records per-lane transitions of monitored signals.
+    fn advance_time_point(&mut self, t: Time) -> Result<(), SimError> {
+        self.now = t;
+        self.scratch.changed.resize(self.signals.len(), 0);
+        self.scratch.eval.resize(self.components.len(), 0);
+        let mut delta = 0usize;
+        loop {
+            let mut any_event = false;
+            while self.queue.peek().is_some_and(|e| e.time == t) {
+                let event = self.queue.pop().expect("peeked");
+                any_event = true;
+                self.events_processed += 1;
+                match event.kind {
+                    WordEventKind::Drive {
+                        component,
+                        output,
+                        value,
+                        mask,
+                        gens,
+                    } => {
+                        let valid = self.gen_match_mask(component, output, &gens, mask) & self.live;
+                        if valid == 0 {
+                            continue;
+                        }
+                        let sig = self.components[component].outputs[output].0;
+                        debug_assert_eq!(
+                            self.signals[sig].width,
+                            value.len(),
+                            "component {:?} drove width {} onto signal {:?} of width {}",
+                            self.components[component].name,
+                            value.len(),
+                            self.signals[sig].name,
+                            self.signals[sig].width,
+                        );
+                        let mut changed_lanes = 0u64;
+                        {
+                            let state = &mut self.signals[sig];
+                            for (bit, v) in value.iter().enumerate() {
+                                let old = state.planes[bit];
+                                let new = old.select(valid, *v);
+                                changed_lanes |= new.diverged_mask(old);
+                                state.planes[bit] = new;
+                            }
+                        }
+                        if changed_lanes != 0 {
+                            self.mark_changed(sig, changed_lanes);
+                            for i in 0..self.signals[sig].readers.len() {
+                                let reader = self.signals[sig].readers[i];
+                                self.mark_eval(reader, changed_lanes);
+                            }
+                        }
+                    }
+                    WordEventKind::Wake { component, mask } => {
+                        let lanes = mask & self.live;
+                        if lanes != 0 {
+                            self.mark_eval(component, lanes);
+                        }
+                    }
+                }
+            }
+            if !any_event && self.scratch.eval_list.is_empty() {
+                break;
+            }
+            // Evaluate sensitive components in deterministic id order, like
+            // the scalar kernel's ascending bitset drain.
+            let mut eval_list = std::mem::take(&mut self.scratch.eval_list);
+            eval_list.sort_unstable();
+            for &c in &eval_list {
+                let mask = std::mem::replace(&mut self.scratch.eval[c], 0);
+                if mask != 0 {
+                    self.eval_component(c, t, mask);
+                }
+            }
+            eval_list.clear();
+            self.scratch.eval_list = eval_list;
+            delta += 1;
+            if delta > self.delta_limit {
+                return Err(SimError::DeltaOverflow {
+                    time: t,
+                    limit: self.delta_limit,
+                });
+            }
+            if self.queue.peek().is_none_or(|e| e.time != t) {
+                break;
+            }
+        }
+        // Record per-lane transitions of monitored signals that settled to
+        // a new value at t, ascending signal id like the scalar kernel.
+        let mut changed_list = std::mem::take(&mut self.scratch.changed_list);
+        changed_list.sort_unstable();
+        for &sig in &changed_list {
+            let lanes = std::mem::replace(&mut self.scratch.changed[sig], 0);
+            let rec = lanes & self.recording & self.live;
+            let state = &self.signals[sig];
+            if rec == 0 || !state.monitored {
+                continue;
+            }
+            let mut m = rec;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if state.width == 1 {
+                    self.traces[lane]
+                        .record_digital(&state.name, t, state.planes[0].lane(lane))
+                        .expect("time is monotonic");
+                } else {
+                    for bit in 0..state.width {
+                        let bit_name = format!("{}[{bit}]", state.name);
+                        self.traces[lane]
+                            .record_digital(&bit_name, t, state.planes[bit].lane(lane))
+                            .expect("time is monotonic");
+                    }
+                }
+            }
+        }
+        changed_list.clear();
+        self.scratch.changed_list = changed_list;
+        Ok(())
+    }
+
+    /// Evaluates component `c` for the lanes in `mask` and schedules its
+    /// masked actions with per-lane generation bookkeeping.
+    fn eval_component(&mut self, c: usize, t: Time, mask: u64) {
+        let mut actions = {
+            let slot = &self.components[c];
+            let ports = slot.inputs.len();
+            let inputs = &mut self.scratch.inputs;
+            if inputs.len() < ports {
+                inputs.resize_with(ports, Vec::new);
+            }
+            for (port, &sig) in slot.inputs.iter().enumerate() {
+                inputs[port].clear();
+                inputs[port].extend_from_slice(&self.signals[sig.0].planes);
+            }
+            let recycled = std::mem::take(&mut self.scratch.actions);
+            let mut ctx = WordEvalContext {
+                now: t,
+                eval_mask: mask,
+                inputs: &inputs[..ports],
+                actions: recycled,
+            };
+            self.components[c].comp.eval(&mut ctx);
+            ctx.actions
+        };
+        for action in actions.drain(..) {
+            match action {
+                WordAction::Drive {
+                    transport,
+                    output,
+                    value,
+                    delay,
+                    mask: lanes,
+                } => {
+                    let gens = {
+                        let current = &mut self.components[c].out_gens[output];
+                        if !transport {
+                            let mut m = lanes;
+                            while m != 0 {
+                                let lane = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                current[lane] += 1;
+                            }
+                        }
+                        snapshot_gens(current, lanes)
+                    };
+                    self.push_event(
+                        t + delay,
+                        WordEventKind::Drive {
+                            component: c,
+                            output,
+                            value,
+                            mask: lanes,
+                            gens,
+                        },
+                    );
+                }
+                WordAction::Wake { delay, mask: lanes } => {
+                    self.push_event(
+                        t + delay,
+                        WordEventKind::Wake {
+                            component: c,
+                            mask: lanes,
+                        },
+                    );
+                }
+            }
+        }
+        self.scratch.actions = actions;
+    }
+
+    /// True when lane `lane`'s complete future-relevant machine state equals
+    /// the golden lane's: every component's per-lane state matches and every
+    /// pending event shows equal (valid) participation with equal values.
+    /// Signal equality is checked by the caller's plane probe. Conservative:
+    /// equivalent-but-differently-scheduled futures are not recognised,
+    /// which can only delay a seal, never corrupt one.
+    fn lane_state_eq_golden(&self, lane: usize) -> bool {
+        for slot in &self.components {
+            if !slot.comp.lanes_equal(lane, GOLDEN_LANE) {
+                return false;
+            }
+        }
+        for event in &self.queue {
+            match &event.kind {
+                WordEventKind::Wake { mask, .. } => {
+                    if (mask >> lane) & 1 != (mask >> GOLDEN_LANE) & 1 {
+                        return false;
+                    }
+                }
+                WordEventKind::Drive {
+                    component,
+                    output,
+                    value,
+                    mask,
+                    gens,
+                } => {
+                    let valid = self.gen_match_mask(*component, *output, gens, *mask);
+                    let in_lane = (valid >> lane) & 1 != 0;
+                    if in_lane != ((valid >> GOLDEN_LANE) & 1 != 0) {
+                        return false;
+                    }
+                    if in_lane && value.iter().any(|p| p.lane(lane) != p.lane(GOLDEN_LANE)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Snapshots the per-lane generations of `lanes`, collapsing to
+/// [`GenSet::Uniform`] when they agree (the lock-step common case).
+fn snapshot_gens(current: &[u64], lanes: u64) -> GenSet {
+    let mut m = lanes;
+    let first = current[m.trailing_zeros() as usize];
+    while m != 0 {
+        let lane = m.trailing_zeros() as usize;
+        m &= m - 1;
+        if current[lane] != first {
+            let mut all = [0u64; LANES];
+            all.copy_from_slice(current);
+            return GenSet::PerLane(Box::new(all));
+        }
+    }
+    GenSet::Uniform(first)
+}
+
+/// A mid-run fault-injection surface shared by the scalar [`Simulator`]
+/// and one lane of the word machine, so a campaign's inject/setup closures
+/// can run unchanged on either kernel.
+pub trait InjectTarget {
+    /// Inverts one memorised bit (an SEU) and schedules a re-evaluation.
+    fn flip_state(&mut self, component: ComponentId, bit: usize);
+
+    /// Forces the encoded state (an erroneous FSM transition) and schedules
+    /// a re-evaluation.
+    fn force_state(&mut self, component: ComponentId, value: u64);
+
+    /// Looks up a component instance by name.
+    fn component_id(&self, name: &str) -> Option<ComponentId>;
+
+    /// Mutable access to a component instance, for in-place configuration
+    /// such as arming a saboteur.
+    ///
+    /// # Panics
+    ///
+    /// On a word-kernel lane whose component has a native plane
+    /// implementation (no per-lane scalar instance exists). Saboteurs and
+    /// all other stateful injection surfaces are farm-backed, so campaign
+    /// inject closures never hit this.
+    fn component_mut(&mut self, component: ComponentId) -> &mut dyn Component;
+
+    /// Schedules a re-evaluation of `component` at `at` (clamped to the
+    /// present).
+    fn wake_component(&mut self, component: ComponentId, at: Time);
+
+    /// Installs the per-case budget.
+    fn set_budget(&mut self, budget: SimBudget);
+
+    /// Installs the per-case observer.
+    fn set_observer(&mut self, observer: SimObserver);
+}
+
+impl InjectTarget for Simulator {
+    fn flip_state(&mut self, component: ComponentId, bit: usize) {
+        Simulator::flip_state(self, component, bit);
+    }
+
+    fn force_state(&mut self, component: ComponentId, value: u64) {
+        Simulator::force_state(self, component, value);
+    }
+
+    fn component_id(&self, name: &str) -> Option<ComponentId> {
+        Simulator::component_id(self, name)
+    }
+
+    fn component_mut(&mut self, component: ComponentId) -> &mut dyn Component {
+        Simulator::component_mut(self, component)
+    }
+
+    fn wake_component(&mut self, component: ComponentId, at: Time) {
+        Simulator::wake_component(self, component, at);
+    }
+
+    fn set_budget(&mut self, budget: SimBudget) {
+        Simulator::set_budget(self, budget);
+    }
+
+    fn set_observer(&mut self, observer: SimObserver) {
+        Simulator::set_observer(self, observer);
+    }
+}
+
+/// One lane of the word machine viewed as an injection surface.
+struct WordLaneCtx<'a> {
+    sim: &'a mut WordSimulator,
+    lane: usize,
+}
+
+impl InjectTarget for WordLaneCtx<'_> {
+    fn flip_state(&mut self, component: ComponentId, bit: usize) {
+        self.sim.components[component.0]
+            .comp
+            .flip_state_bit(self.lane, bit);
+        let now = self.sim.now;
+        self.sim.push_event(
+            now,
+            WordEventKind::Wake {
+                component: component.0,
+                mask: 1 << self.lane,
+            },
+        );
+    }
+
+    fn force_state(&mut self, component: ComponentId, value: u64) {
+        self.sim.components[component.0]
+            .comp
+            .force_state(self.lane, value);
+        let now = self.sim.now;
+        self.sim.push_event(
+            now,
+            WordEventKind::Wake {
+                component: component.0,
+                mask: 1 << self.lane,
+            },
+        );
+    }
+
+    fn component_id(&self, name: &str) -> Option<ComponentId> {
+        self.sim
+            .components
+            .iter()
+            .position(|slot| slot.name == name)
+            .map(ComponentId)
+    }
+
+    fn component_mut(&mut self, component: ComponentId) -> &mut dyn Component {
+        let name = self.sim.components[component.0].name.clone();
+        self.sim.components[component.0]
+            .comp
+            .lane_component_mut(self.lane)
+            .unwrap_or_else(|| {
+                panic!("component {name:?} has a native word implementation; no per-lane scalar instance to configure")
+            })
+    }
+
+    fn wake_component(&mut self, component: ComponentId, at: Time) {
+        let at = at.max(self.sim.now);
+        self.sim.push_event(
+            at,
+            WordEventKind::Wake {
+                component: component.0,
+                mask: 1 << self.lane,
+            },
+        );
+    }
+
+    fn set_budget(&mut self, budget: SimBudget) {
+        self.sim.lane_budgets[self.lane] = Some(budget);
+    }
+
+    fn set_observer(&mut self, observer: SimObserver) {
+        self.sim.lane_observers[self.lane] = Some(observer);
+    }
+}
+
+enum WordLaneState {
+    Pending,
+    Running,
+    Sealed { trace: Trace, at: Time },
+    Failed(String),
+}
+
+struct WordLane {
+    inject_at: Time,
+    state: WordLaneState,
+}
+
+/// Word-parallel counterpart of [`BatchSimulator`](crate::BatchSimulator):
+/// up to [`WordBatchSimulator::MAX_LANES`] mutant lanes plus the golden
+/// machine in one 64-lane word, sharing a single event wheel.
+///
+/// The run contract (stop grid, injection positioning, per-lane outcomes,
+/// golden-suffix splicing) matches the lane-cloned kernel, so it produces
+/// the same [`BatchReport`] and byte-identical traces — the closures just
+/// take [`InjectTarget`] instead of `&mut Simulator`.
+///
+/// # Examples
+///
+/// ```
+/// use amsfi_digital::{cells, LaneOutcome, Netlist, Simulator, WordBatchSimulator};
+/// use amsfi_waves::{Logic, Time};
+///
+/// fn build() -> Simulator {
+///     let mut net = Netlist::new();
+///     let clk = net.signal("clk", 1);
+///     let rst = net.signal("rst", 1);
+///     let en = net.signal("en", 1);
+///     let q = net.signal("q", 8);
+///     net.add("ck", cells::ClockGen::new(Time::from_ns(20)), &[], &[clk]);
+///     net.add("r", cells::ConstVector::bit(Logic::Zero), &[], &[rst]);
+///     net.add("e", cells::ConstVector::bit(Logic::One), &[], &[en]);
+///     net.add("ctr", cells::Counter::new(8, Time::ZERO), &[clk, rst, en], &[q]);
+///     let mut sim = Simulator::new(net);
+///     sim.monitor_name("q");
+///     sim
+/// }
+///
+/// let targets = build().mutant_targets();
+/// let ctr = targets.iter().find(|t| t.component_name == "ctr").unwrap();
+///
+/// let mut batch = WordBatchSimulator::new(build(), Time::from_us(2));
+/// batch.add_lane(Time::from_ns(100));
+/// let report = batch.run(
+///     |_lane, target| {
+///         target.flip_state(ctr.component, ctr.bit);
+///         Ok(())
+///     },
+///     |_lane, _target| {},
+/// )?;
+/// assert!(matches!(report.outcomes[0], LaneOutcome::Completed { .. }));
+/// # Ok::<(), amsfi_digital::SimError>(())
+/// ```
+pub struct WordBatchSimulator {
+    sim: WordSimulator,
+    t_end: Time,
+    seal_stride: Option<Time>,
+    lanes: Vec<WordLane>,
+    metrics: Option<Arc<KernelMetrics>>,
+}
+
+impl std::fmt::Debug for WordBatchSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WordBatchSimulator")
+            .field("t_end", &self.t_end)
+            .field("lanes", &self.lanes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WordBatchSimulator {
+    /// Mutant lanes per word: lane [`GOLDEN_LANE`] is the golden machine.
+    pub const MAX_LANES: usize = LANES - 1;
+
+    /// Wraps a fault-free, *unstarted* simulator (monitoring already
+    /// attached, budget already installed) as a word batch to `t_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already run (see the word kernel's
+    /// shared-prefix requirement).
+    pub fn new(golden: Simulator, t_end: Time) -> Self {
+        WordBatchSimulator {
+            sim: WordSimulator::from_scalar(golden),
+            t_end,
+            seal_stride: None,
+            lanes: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Sets the spacing of intermediate lock-step stops (divergence probes
+    /// and seal checks), like
+    /// [`BatchSimulator::with_seal_stride`](crate::BatchSimulator::with_seal_stride).
+    #[must_use]
+    pub fn with_seal_stride(mut self, stride: Time) -> Self {
+        assert!(stride > Time::ZERO, "seal stride must be positive");
+        self.seal_stride = Some(stride);
+        self
+    }
+
+    /// Feeds the lanes-active/lane-occupancy histograms and lane-seal
+    /// counter.
+    pub fn set_metrics(&mut self, metrics: Arc<KernelMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Adds a mutant lane injected at `inject_at` (clamped to the horizon)
+    /// and returns its lane id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch already holds
+    /// [`WordBatchSimulator::MAX_LANES`] lanes.
+    pub fn add_lane(&mut self, inject_at: Time) -> usize {
+        assert!(
+            self.lanes.len() < Self::MAX_LANES,
+            "a word batch holds at most {} mutant lanes",
+            Self::MAX_LANES
+        );
+        self.lanes.push(WordLane {
+            inject_at: inject_at.min(self.t_end),
+            state: WordLaneState::Pending,
+        });
+        self.lanes.len() - 1
+    }
+
+    /// The lock-step stop grid: every injection instant, seal-check
+    /// points, and the horizon. Ascending and deduplicated.
+    fn stops(&self) -> Vec<Time> {
+        let mut stops: Vec<Time> = self.lanes.iter().map(|l| l.inject_at).collect();
+        let start = self.sim.now;
+        let stride = self.seal_stride.unwrap_or_else(|| {
+            let span = self.t_end - start;
+            (span / 64).max(Time::from_fs(1))
+        });
+        let mut t = start + stride;
+        while t < self.t_end {
+            stops.push(t);
+            t += stride;
+        }
+        stops.push(self.t_end);
+        stops.sort_unstable();
+        stops.dedup();
+        stops.retain(|&t| t >= start);
+        stops
+    }
+
+    /// Moves per-lane failures recorded inside the word machine (budget
+    /// trips) into the lane table.
+    fn collect_failures(&mut self) {
+        for (lane_id, lane) in self.lanes.iter_mut().enumerate() {
+            if matches!(lane.state, WordLaneState::Running) {
+                if let Some(error) = self.sim.lane_failures[lane_id].take() {
+                    lane.state = WordLaneState::Failed(error);
+                }
+            }
+        }
+    }
+
+    /// Runs the batch to the horizon. Same contract as
+    /// [`BatchSimulator::run`](crate::BatchSimulator::run): `inject` arms a
+    /// lane's fault positioned exactly at its injection instant, `setup`
+    /// runs first (budgets, observers); only a golden/machine-wide failure
+    /// is an error, per-lane failures land in the lane's [`LaneOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// A machine-wide failure: golden budget trip or word delta overflow
+    /// (a word delta cycle's non-convergence cannot be attributed to one
+    /// lane). The campaign engine falls back to scalar for the whole group.
+    pub fn run(
+        mut self,
+        mut inject: impl FnMut(usize, &mut dyn InjectTarget) -> Result<(), String>,
+        mut setup: impl FnMut(usize, &mut dyn InjectTarget),
+    ) -> Result<BatchReport, SimError> {
+        // Freeze the unused lanes: only added mutants and golden simulate.
+        let mut used = 1u64 << GOLDEN_LANE;
+        for lane_id in 0..self.lanes.len() {
+            used |= 1 << lane_id;
+        }
+        self.sim.live = used;
+
+        let stops = self.stops();
+        for &t in &stops {
+            self.sim.run_until(t)?;
+            self.collect_failures();
+
+            // Activate lanes whose injection instant this stop is: clone
+            // the golden trace prefix (the in-word equivalent of cloning
+            // the golden machine), then run setup + inject on the lane.
+            let mut activated = false;
+            for lane_id in 0..self.lanes.len() {
+                if !matches!(self.lanes[lane_id].state, WordLaneState::Pending)
+                    || self.lanes[lane_id].inject_at != t
+                {
+                    continue;
+                }
+                self.sim.traces[lane_id] = self.sim.traces[GOLDEN_LANE].clone();
+                self.sim.recording |= 1 << lane_id;
+                self.sim.injected |= 1 << lane_id;
+                let mut ctx = WordLaneCtx {
+                    sim: &mut self.sim,
+                    lane: lane_id,
+                };
+                setup(lane_id, &mut ctx);
+                match inject(lane_id, &mut ctx) {
+                    Ok(()) => {
+                        self.lanes[lane_id].state = WordLaneState::Running;
+                        activated = true;
+                    }
+                    Err(e) => {
+                        self.sim.fail_lane(lane_id, e.clone());
+                        self.sim.lane_failures[lane_id] = None;
+                        self.lanes[lane_id].state = WordLaneState::Failed(e);
+                    }
+                }
+            }
+            // Drain the injection wakes scheduled at the stop itself, so
+            // the corrupted state propagates before the seal probe — the
+            // same re-opened time point a cloned lane processes.
+            if activated {
+                self.sim.run_until(t)?;
+                self.collect_failures();
+            }
+
+            self.seal_reconverged(t);
+
+            let active = self
+                .lanes
+                .iter()
+                .filter(|l| matches!(l.state, WordLaneState::Running | WordLaneState::Pending))
+                .count();
+            if let Some(metrics) = &self.metrics {
+                metrics.lanes_active.observe(active as u64);
+                // Mutant lanes only: the golden lane is live by
+                // construction, and excluding it keeps every observation
+                // within the 63-slot mutant capacity (so the log₂ p50
+                // never reads past the word width).
+                metrics
+                    .lane_occupancy
+                    .observe(u64::from(self.sim.live.count_ones().saturating_sub(1)));
+            }
+            if active == 0 {
+                break;
+            }
+        }
+        // The golden lane must reach the horizon even if every mutant lane
+        // retired early: sealed traces splice in its suffix.
+        self.sim.run_until(self.t_end)?;
+        self.collect_failures();
+
+        let golden_trace = std::mem::take(&mut self.sim.traces[GOLDEN_LANE]);
+        let outcomes = self
+            .lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(lane_id, lane)| {
+                match std::mem::replace(&mut lane.state, WordLaneState::Pending) {
+                    WordLaneState::Pending => {
+                        unreachable!("stop grid covers every injection instant")
+                    }
+                    WordLaneState::Running => LaneOutcome::Completed {
+                        trace: std::mem::take(&mut self.sim.traces[lane_id]),
+                        sealed_at: None,
+                    },
+                    WordLaneState::Sealed { mut trace, at } => {
+                        trace.splice_golden_suffix(&golden_trace, at);
+                        LaneOutcome::Completed {
+                            trace,
+                            sealed_at: Some(at),
+                        }
+                    }
+                    WordLaneState::Failed(error) => LaneOutcome::Failed { error },
+                }
+            })
+            .collect();
+        Ok(BatchReport {
+            golden: golden_trace,
+            outcomes,
+        })
+    }
+
+    /// Seals every running lane whose machine state has reconverged with
+    /// the golden lane's at stop `t`: plane-XOR probe over *all* signals
+    /// first (one `diverged_mask` per signal bit covers every lane at
+    /// once), then per-component and pending-event confirmation for the
+    /// clean candidates.
+    fn seal_reconverged(&mut self, t: Time) {
+        let mut candidates = 0u64;
+        for (lane_id, lane) in self.lanes.iter().enumerate() {
+            if matches!(lane.state, WordLaneState::Running) {
+                candidates |= 1 << lane_id;
+            }
+        }
+        if candidates == 0 {
+            return;
+        }
+        let mut diverged = 0u64;
+        for sig in &self.sim.signals {
+            for plane in &sig.planes {
+                diverged |= plane.diverged_mask(plane.broadcast_lane(GOLDEN_LANE));
+            }
+        }
+        let mut m = candidates & !diverged;
+        while m != 0 {
+            let lane_id = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if !self.sim.lane_state_eq_golden(lane_id) {
+                continue;
+            }
+            let trace = std::mem::take(&mut self.sim.traces[lane_id]);
+            self.lanes[lane_id].state = WordLaneState::Sealed { trace, at: t };
+            self.sim.live &= !(1 << lane_id);
+            self.sim.recording &= !(1 << lane_id);
+            if let Some(metrics) = &self.metrics {
+                metrics.lane_seals.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{ClockGen, ConstVector, Counter};
+    use crate::{DigitalSaboteur, Netlist};
+    use amsfi_faults::{DigitalFault, DigitalFaultKind};
+    use amsfi_waves::Logic;
+
+    /// Same circuit as the lane-cloned batch tests: a clocked 8-bit counter.
+    fn build() -> Simulator {
+        let mut net = Netlist::new();
+        let clk = net.signal("clk", 1);
+        let rst = net.signal("rst", 1);
+        let en = net.signal("en", 1);
+        let q = net.signal("q", 8);
+        net.add("ck", ClockGen::new(Time::from_ns(20)), &[], &[clk]);
+        net.add("r", ConstVector::bit(Logic::Zero), &[], &[rst]);
+        net.add("e", ConstVector::bit(Logic::One), &[], &[en]);
+        net.add("ctr", Counter::new(8, Time::ZERO), &[clk, rst, en], &[q]);
+        let mut sim = Simulator::new(net);
+        sim.monitor_name("q");
+        sim
+    }
+
+    fn counter_target(sim: &Simulator) -> crate::MutantTarget {
+        sim.mutant_targets()
+            .into_iter()
+            .find(|t| t.component_name == "ctr")
+            .expect("counter present")
+    }
+
+    fn scalar_flip(at: Time, bit: usize, t_end: Time) -> Trace {
+        let mut sim = build();
+        let target = counter_target(&sim);
+        sim.run_until(at).unwrap();
+        sim.flip_state(target.component, bit);
+        sim.run_until(t_end).unwrap();
+        sim.into_trace()
+    }
+
+    #[test]
+    fn word_lanes_match_scalar_traces_byte_for_byte() {
+        const T_END: Time = Time::from_us(4);
+        let times = [Time::from_ns(105), Time::from_ns(330), Time::from_us(1)];
+        let bits = [0usize, 3, 7];
+
+        let target = counter_target(&build());
+        let mut batch = WordBatchSimulator::new(build(), T_END);
+        let mut cases = Vec::new();
+        for &at in &times {
+            for &bit in &bits {
+                batch.add_lane(at);
+                cases.push((at, bit));
+            }
+        }
+        let report = batch
+            .run(
+                |lane, sim| {
+                    sim.flip_state(target.component, cases[lane].1);
+                    Ok(())
+                },
+                |_, _| {},
+            )
+            .unwrap();
+
+        for (lane, &(at, bit)) in cases.iter().enumerate() {
+            let scalar = scalar_flip(at, bit, T_END);
+            match &report.outcomes[lane] {
+                LaneOutcome::Completed { trace, .. } => {
+                    assert_eq!(trace, &scalar, "lane {lane} (flip bit {bit} @ {at})");
+                }
+                LaneOutcome::Failed { error } => panic!("lane {lane}: {error}"),
+            }
+        }
+    }
+
+    #[test]
+    fn word_golden_trace_matches_pristine_scalar() {
+        const T_END: Time = Time::from_us(4);
+        let mut scalar = build();
+        scalar.run_until(T_END).unwrap();
+        let scalar_trace = scalar.into_trace();
+
+        let mut batch = WordBatchSimulator::new(build(), T_END);
+        let target = counter_target(&build());
+        batch.add_lane(Time::from_ns(100));
+        let report = batch
+            .run(
+                |_, sim| {
+                    sim.flip_state(target.component, 0);
+                    Ok(())
+                },
+                |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(report.golden, scalar_trace);
+    }
+
+    #[test]
+    fn word_washed_out_pulse_reconverges_and_seals() {
+        const T_END: Time = Time::from_us(4);
+        let fault = DigitalFault::new(
+            DigitalFaultKind::SetPulse {
+                width: Time::from_ns(4),
+            },
+            Time::from_ns(42),
+        );
+
+        fn build_sab(fault: Option<DigitalFault>) -> Simulator {
+            let mut net = Netlist::new();
+            let clk = net.signal("clk", 1);
+            let rst = net.signal("rst", 1);
+            let en = net.signal("en", 1);
+            let q = net.signal("q", 8);
+            net.add("ck", ClockGen::new(Time::from_ns(20)), &[], &[clk]);
+            net.add("r", ConstVector::bit(Logic::Zero), &[], &[rst]);
+            net.add("e", ConstVector::bit(Logic::One), &[], &[en]);
+            net.add("ctr", Counter::new(8, Time::ZERO), &[clk, rst, en], &[q]);
+            let mut sab = DigitalSaboteur::new(1);
+            if let Some(f) = fault {
+                sab = sab.with_fault(f);
+            }
+            net.insert_saboteur(en, Box::new(sab));
+            let mut sim = Simulator::new(net);
+            sim.monitor_name("q");
+            sim
+        }
+
+        let mut scalar = build_sab(Some(fault.clone()));
+        scalar.run_until(T_END).unwrap();
+        let scalar_trace = scalar.into_trace();
+
+        let mut batch =
+            WordBatchSimulator::new(build_sab(None), T_END).with_seal_stride(Time::from_ns(50));
+        let lane = batch.add_lane(Time::ZERO);
+        let report = batch
+            .run(
+                |_, sim| {
+                    let sab = sim.component_id("saboteur(en)").expect("saboteur present");
+                    sim.component_mut(sab)
+                        .as_any_mut()
+                        .downcast_mut::<DigitalSaboteur>()
+                        .expect("saboteur type")
+                        .arm(fault.clone());
+                    sim.wake_component(sab, fault.at);
+                    Ok(())
+                },
+                |_, _| {},
+            )
+            .unwrap();
+
+        match &report.outcomes[lane] {
+            LaneOutcome::Completed { trace, sealed_at } => {
+                assert_eq!(trace, &scalar_trace);
+                let sealed = sealed_at.expect("washed-out pulse must seal");
+                assert!(sealed < Time::from_us(1), "sealed late: {sealed}");
+            }
+            LaneOutcome::Failed { error } => panic!("{error}"),
+        }
+    }
+
+    #[test]
+    fn word_guard_trip_retires_only_that_lane() {
+        const T_END: Time = Time::from_us(2);
+        let target = counter_target(&build());
+        let mut batch = WordBatchSimulator::new(build(), T_END);
+        let strict = batch.add_lane(Time::from_ns(100));
+        let free = batch.add_lane(Time::from_ns(100));
+        let report = batch
+            .run(
+                |_, sim| {
+                    sim.flip_state(target.component, 7);
+                    Ok(())
+                },
+                |lane, sim| {
+                    if lane == strict {
+                        sim.set_budget(SimBudget::unlimited().with_max_steps(3));
+                    }
+                },
+            )
+            .unwrap();
+        assert!(
+            matches!(&report.outcomes[strict], LaneOutcome::Failed { error } if error.contains("step-budget-exhausted")),
+            "strict lane must trip its budget: {:?}",
+            report.outcomes[strict]
+        );
+        let scalar = scalar_flip(Time::from_ns(100), 7, T_END);
+        match &report.outcomes[free] {
+            LaneOutcome::Completed { trace, .. } => assert_eq!(trace, &scalar),
+            LaneOutcome::Failed { error } => panic!("free lane failed: {error}"),
+        }
+    }
+
+    #[test]
+    fn word_report_matches_lane_cloned_report() {
+        // The word kernel and the lane-cloned kernel must agree outcome for
+        // outcome on the same batch: traces, seal instants and all.
+        const T_END: Time = Time::from_us(4);
+        let times = [Time::from_ns(105), Time::from_ns(330), Time::from_us(1)];
+        let bits = [0usize, 3, 7];
+
+        let target = counter_target(&build());
+        let mut cases = Vec::new();
+        for &at in &times {
+            for &bit in &bits {
+                cases.push((at, bit));
+            }
+        }
+
+        let mut cloned = crate::BatchSimulator::new(build(), T_END);
+        let mut word = WordBatchSimulator::new(build(), T_END);
+        for &(at, _) in &cases {
+            cloned.add_lane(at);
+            word.add_lane(at);
+        }
+        let cloned_report = cloned
+            .run(
+                |lane, sim| {
+                    sim.flip_state(target.component, cases[lane].1);
+                    Ok(())
+                },
+                |_, _| {},
+            )
+            .unwrap();
+        let word_report = word
+            .run(
+                |lane, sim| {
+                    sim.flip_state(target.component, cases[lane].1);
+                    Ok(())
+                },
+                |_, _| {},
+            )
+            .unwrap();
+
+        assert_eq!(cloned_report.golden, word_report.golden);
+        for (lane, (c, w)) in cloned_report
+            .outcomes
+            .iter()
+            .zip(&word_report.outcomes)
+            .enumerate()
+        {
+            match (c, w) {
+                (
+                    LaneOutcome::Completed {
+                        trace: ct,
+                        sealed_at: cs,
+                    },
+                    LaneOutcome::Completed {
+                        trace: wt,
+                        sealed_at: ws,
+                    },
+                ) => {
+                    assert_eq!(ct, wt, "lane {lane} trace");
+                    assert_eq!(cs, ws, "lane {lane} seal instant");
+                }
+                other => panic!("lane {lane}: outcome mismatch {other:?}"),
+            }
+        }
+    }
+}

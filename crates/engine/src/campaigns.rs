@@ -17,7 +17,8 @@ use amsfi_circuits::cpu::{checksum_program, TinyCpu};
 use amsfi_circuits::pll::{self, names};
 use amsfi_core::{plan, ClassifySpec, FaultCase};
 use amsfi_digital::{
-    cells, BatchSimulator, ComponentId, DigitalSaboteur, LaneOutcome, Netlist, Simulator,
+    cells, BatchSimulator, ComponentId, DigitalSaboteur, InjectTarget, LaneOutcome, Netlist,
+    Simulator, WordBatchSimulator,
 };
 use amsfi_faults::{DigitalFault, DigitalFaultKind, TrapezoidPulse};
 use amsfi_waves::{ForkableSim, Logic, Time, Tolerance};
@@ -26,14 +27,17 @@ use std::sync::Arc;
 impl Campaign {
     /// [`Campaign::forked`] for pure-digital campaigns, plus a
     /// [`BatchSpec`] so `--batch` runs case groups bit-parallel through
-    /// one [`BatchSimulator`].
+    /// one [`BatchSimulator`], plus a word spec so `--batch --word` runs
+    /// them through one plane-valued [`WordBatchSimulator`].
     ///
-    /// All three execution paths (scalar from-scratch, checkpoint fork,
-    /// batch lane) share the same `build`/`inject` closures and position
-    /// the simulator at exactly the case's injection instant before
-    /// injecting, which is what keeps their traces byte-identical: the
-    /// digital kernel is call-granularity invariant, so only the closure
-    /// pair determines the result.
+    /// All four execution paths (scalar from-scratch, checkpoint fork,
+    /// lane-cloned batch, word-parallel batch) share the same
+    /// `build`/`inject` closures and position the simulator at exactly the
+    /// case's injection instant before injecting, which is what keeps
+    /// their traces byte-identical: the digital kernel is call-granularity
+    /// invariant, so only the closure pair determines the result. The
+    /// inject closure sees the machine through [`InjectTarget`], the
+    /// mid-run mutation surface both kernels implement.
     pub fn forked_batch<B, I>(
         name: impl Into<String>,
         spec: ClassifySpec,
@@ -44,7 +48,7 @@ impl Campaign {
     ) -> Campaign
     where
         B: Fn(&CaseCtx) -> Result<Simulator, BoxError> + Send + Sync + 'static,
-        I: Fn(&mut Simulator, usize) -> Result<(), BoxError> + Send + Sync + 'static,
+        I: Fn(&mut dyn InjectTarget, usize) -> Result<(), BoxError> + Send + Sync + 'static,
     {
         let build = Arc::new(build);
         let inject = Arc::new(inject);
@@ -96,6 +100,51 @@ impl Campaign {
             )
         };
 
+        let word_run = {
+            let build = Arc::clone(&build);
+            let inject = Arc::clone(&inject);
+            let case_stops = Arc::clone(&case_stops);
+            Arc::new(
+                move |ctx: &CaseCtx,
+                      group: &[usize],
+                      hooks: LaneHooks<'_>|
+                      -> Result<Vec<BatchCaseOutcome>, BoxError> {
+                    let mut golden = build(ctx)?;
+                    golden.install_budget(ctx.budget().clone());
+                    ctx.stage(Stage::Simulate);
+                    let mut word = WordBatchSimulator::new(golden, t_end);
+                    if let Some(metrics) = ctx.budget().metrics() {
+                        word.set_metrics(Arc::clone(metrics));
+                    }
+                    for &i in group {
+                        word.add_lane(case_stops[i]);
+                    }
+                    let report = word
+                        .run(
+                            |lane, target| inject(target, group[lane]).map_err(|e| e.to_string()),
+                            |lane, target| {
+                                let (budget, observer) = hooks(lane);
+                                target.set_budget(budget);
+                                if let Some(observer) = observer {
+                                    target.set_observer(observer);
+                                }
+                            },
+                        )
+                        .map_err(|e| Box::new(e) as BoxError)?;
+                    Ok(report
+                        .outcomes
+                        .into_iter()
+                        .map(|outcome| match outcome {
+                            LaneOutcome::Completed { trace, sealed_at } => {
+                                BatchCaseOutcome::Done { trace, sealed_at }
+                            }
+                            LaneOutcome::Failed { error } => BatchCaseOutcome::Error(error),
+                        })
+                        .collect())
+                },
+            )
+        };
+
         let mut campaign = Campaign::forked(
             name,
             spec,
@@ -111,6 +160,7 @@ impl Campaign {
             },
         );
         campaign.batch = Some(BatchSpec { run: batch_run });
+        campaign.word = Some(BatchSpec { run: word_run });
         campaign
     }
 }
@@ -357,6 +407,7 @@ fn adc_flash() -> Campaign {
         // falls back to the from-scratch runner.
         fork: None,
         batch: None,
+        word: None,
     }
 }
 
@@ -416,7 +467,7 @@ fn cpu() -> Campaign {
             ctx.stage(Stage::Build);
             Ok(build_sim())
         },
-        move |sim: &mut Simulator, i| {
+        move |sim: &mut dyn InjectTarget, i| {
             let (gi, _ti) = index[i];
             let t = &targets[gi];
             sim.flip_state(t.component, t.bit);
@@ -494,7 +545,7 @@ fn cpu_set() -> Campaign {
             ctx.stage(Stage::Build);
             Ok(build_sim())
         },
-        move |sim: &mut Simulator, i| {
+        move |sim: &mut dyn InjectTarget, i| {
             let fault = faults[i].clone();
             let at = fault.at;
             let sab = sim

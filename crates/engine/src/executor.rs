@@ -113,6 +113,15 @@ pub struct EngineConfig {
     /// back to the scalar path for that case alone. Campaigns without a
     /// [`Campaign::batch`] spec fall back to the scalar path entirely.
     pub batch: bool,
+    /// With [`EngineConfig::batch`], run each group through the campaign's
+    /// *word-parallel* spec ([`Campaign::word`]): one event wheel evaluating
+    /// all lanes of a group as plane arithmetic, instead of 64 cloned
+    /// scalar machines stepped in lock step. Groups shrink to
+    /// [`amsfi_waves::LANES`]` - 1` cases because one in-word lane carries
+    /// the golden machine. Campaigns without a word spec fall back to the
+    /// lane-cloned batch spec (and failing that, the scalar path). Ignored
+    /// without `batch`.
+    pub word: bool,
 }
 
 type RecordFn = dyn Fn(usize, &str) + Send + Sync;
@@ -162,6 +171,7 @@ impl Default for EngineConfig {
             record_sink: None,
             completed: Vec::new(),
             batch: false,
+            word: false,
         }
     }
 }
@@ -301,6 +311,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_batch(mut self, batch: bool) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Runs batch groups through the word-parallel kernel (see
+    /// [`EngineConfig::word`]).
+    #[must_use]
+    pub fn with_word(mut self, word: bool) -> Self {
+        self.word = word;
         self
     }
 
@@ -573,6 +591,12 @@ pub struct Campaign {
     /// Bit-parallel group support; `None` means `--batch` falls back to
     /// the scalar runner.
     pub batch: Option<BatchSpec>,
+    /// Word-parallel group support (one event wheel, plane-valued
+    /// signals); `None` means `--batch --word` falls back to the
+    /// lane-cloned [`Campaign::batch`] spec. Same contract as
+    /// [`BatchSpec`], but groups hold at most [`amsfi_waves::LANES`]` - 1`
+    /// cases (one in-word lane is the golden machine).
+    pub word: Option<BatchSpec>,
 }
 
 impl fmt::Debug for Campaign {
@@ -714,6 +738,7 @@ impl Campaign {
                 fork,
             }),
             batch: None,
+            word: None,
         }
     }
 }
@@ -998,8 +1023,20 @@ impl Engine {
         // group lock-step through the campaign's batch spec. Cases are
         // grouped by ascending injection instant so lanes in one group
         // activate off a shared golden prefix.
+        let word_spec = if cfg.batch && cfg.word {
+            let spec = campaign.word.as_ref();
+            if spec.is_none() {
+                tele.emit_with(|| {
+                    Event::new("batch", "fallback")
+                        .with_field("reason", "campaign has no word spec")
+                });
+            }
+            spec
+        } else {
+            None
+        };
         let batch_spec = if cfg.batch {
-            let spec = campaign.batch.as_ref();
+            let spec = word_spec.or(campaign.batch.as_ref());
             if spec.is_none() {
                 tele.emit_with(|| {
                     Event::new("batch", "fallback")
@@ -1010,10 +1047,17 @@ impl Engine {
         } else {
             None
         };
+        // Word groups hold one lane fewer: lane LANES-1 carries the golden
+        // machine inside the word.
+        let lanes_cap = if word_spec.is_some() {
+            LANES - 1
+        } else {
+            LANES
+        };
         let groups: Vec<Vec<usize>> = if batch_spec.is_some() {
             let mut sorted = pending.clone();
             sorted.sort_by_key(|&i| (campaign.cases[i].injected_at, i));
-            let per = sorted.len().div_ceil(workers).clamp(1, LANES);
+            let per = sorted.len().div_ceil(workers).clamp(1, lanes_cap);
             sorted.chunks(per).map(<[usize]>::to_vec).collect()
         } else {
             Vec::new()
@@ -1926,6 +1970,7 @@ mod tests {
             }),
             fork: None,
             batch: None,
+            word: None,
         }
     }
 

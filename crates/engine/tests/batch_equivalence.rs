@@ -10,7 +10,7 @@
 //!   post-hoc run derives.
 
 use amsfi_core::{plan, ClassifySpec, FaultCase};
-use amsfi_digital::{cells, Netlist, Simulator};
+use amsfi_digital::{cells, InjectTarget, Netlist, Simulator};
 use amsfi_engine::{campaigns, Campaign, CaseCtx, Engine, EngineConfig};
 use amsfi_waves::{Logic, Time};
 use std::sync::Arc;
@@ -66,7 +66,7 @@ fn counter_campaign(bits: &[usize], times: &[Time], poison: Option<usize>) -> Ca
         cases,
         T_END,
         |_ctx: &CaseCtx| Ok(build_counter()),
-        move |sim: &mut Simulator, i| {
+        move |sim: &mut dyn InjectTarget, i| {
             if poison == Some(i) {
                 return Err("chaos: injector wiring fault".into());
             }
@@ -200,5 +200,145 @@ fn cpu_campaign_batches_byte_identically() {
     assert_eq!(scalar.result.golden, batch.result.golden);
     for (a, b) in scalar.result.cases.iter().zip(&batch.result.cases) {
         assert_eq!(a, b, "cpu case {} diverged between paths", a.case);
+    }
+}
+
+#[test]
+fn word_run_equals_scalar_run_byte_for_byte() {
+    let campaign = counter_campaign(&[0, 3, 7], &times(), None);
+    let scalar = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&campaign)
+        .expect("scalar run");
+    let word = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_batch(true)
+            .with_word(true),
+    )
+    .run(&campaign)
+    .expect("word run");
+    assert_eq!(scalar.result.golden, word.result.golden);
+    assert_eq!(scalar.result.cases.len(), word.result.cases.len());
+    for (a, b) in scalar.result.cases.iter().zip(&word.result.cases) {
+        assert_eq!(a, b, "case {} diverged between scalar and word", a.case);
+    }
+}
+
+#[test]
+fn word_flag_without_word_spec_falls_back_to_batch() {
+    // Dropping the word spec must degrade to the lane-cloned batch path,
+    // not error out.
+    let with_spec = counter_campaign(&[1, 5], &times(), None);
+    let campaign = Campaign {
+        word: None,
+        ..with_spec.clone()
+    };
+    let scalar = Engine::new(EngineConfig::default())
+        .run(&with_spec)
+        .expect("scalar run");
+    let fallback = Engine::new(EngineConfig::default().with_batch(true).with_word(true))
+        .run(&campaign)
+        .expect("fallback run");
+    for (a, b) in scalar.result.cases.iter().zip(&fallback.result.cases) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn word_chaos_lane_is_quarantined_alone() {
+    let poison = 4;
+    let clean = counter_campaign(&[0, 3, 7], &times(), None);
+    let chaotic = counter_campaign(&[0, 3, 7], &times(), Some(poison));
+    let scalar = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&clean)
+        .expect("scalar reference");
+    let report = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_batch(true)
+            .with_word(true)
+            .with_quarantine(true),
+    )
+    .run(&chaotic)
+    .expect("chaotic word run");
+    assert_eq!(report.quarantined.len(), 1, "exactly one poison case");
+    assert_eq!(report.quarantined[0].index, poison);
+    let surviving: Vec<_> = scalar
+        .result
+        .cases
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != poison)
+        .map(|(_, c)| c)
+        .collect();
+    for (a, b) in surviving.iter().zip(&report.result.cases) {
+        assert_eq!(*a, b, "case {} diverged around the word chaos lane", a.case);
+    }
+}
+
+#[test]
+fn word_early_abort_seals_scalar_classes() {
+    let campaign = counter_campaign(&[0, 3, 7], &times(), None);
+    let scalar = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&campaign)
+        .expect("scalar run");
+    let word = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_batch(true)
+            .with_word(true)
+            .with_early_abort(true),
+    )
+    .run(&campaign)
+    .expect("word early-abort run");
+    assert_eq!(scalar.result.cases.len(), word.result.cases.len());
+    for (a, b) in scalar.result.cases.iter().zip(&word.result.cases) {
+        assert_eq!(
+            a.outcome.class, b.outcome.class,
+            "case {} class diverged under word early abort",
+            a.case
+        );
+    }
+}
+
+#[test]
+fn cpu_campaign_word_runs_byte_identically() {
+    let campaign = campaigns::build("cpu", Some(8)).expect("cpu campaign");
+    let scalar = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&campaign)
+        .expect("scalar run");
+    let word = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_batch(true)
+            .with_word(true),
+    )
+    .run(&campaign)
+    .expect("word run");
+    assert_eq!(scalar.result.golden, word.result.golden);
+    for (a, b) in scalar.result.cases.iter().zip(&word.result.cases) {
+        assert_eq!(a, b, "cpu case {} diverged between scalar and word", a.case);
+    }
+}
+
+#[test]
+fn cpu_set_campaign_word_runs_byte_identically() {
+    // The saboteur has no native word cell, so this exercises the
+    // lane-farm fallback plus `component_mut` lane access end to end.
+    let campaign = campaigns::build("cpu-set", Some(6)).expect("cpu-set campaign");
+    let scalar = Engine::new(EngineConfig::default().with_workers(2))
+        .run(&campaign)
+        .expect("scalar run");
+    let word = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_batch(true)
+            .with_word(true),
+    )
+    .run(&campaign)
+    .expect("word run");
+    assert_eq!(scalar.result.golden, word.result.golden);
+    for (a, b) in scalar.result.cases.iter().zip(&word.result.cases) {
+        assert_eq!(a, b, "cpu-set case {} diverged between paths", a.case);
     }
 }

@@ -50,6 +50,7 @@ fn toy_campaign(n: usize, calls: Arc<AtomicUsize>) -> Campaign {
         }),
         fork: None,
         batch: None,
+        word: None,
     }
 }
 
@@ -454,6 +455,7 @@ fn fail_fast_leaves_a_resumable_journal() {
         }),
         fork: None,
         batch: None,
+        word: None,
     };
 
     // Sequential fail-fast run: cases 0..=4 are journaled, 5 aborts.

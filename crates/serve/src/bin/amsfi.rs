@@ -3,7 +3,7 @@
 //! ```text
 //! amsfi list
 //! amsfi run <campaign> [--workers N] [--shard I/C] [--journal PATH]
-//!           [--resume] [--checkpoint] [--batch] [--early-abort] [--settle-ns N]
+//!           [--resume] [--checkpoint] [--batch] [--word] [--early-abort] [--settle-ns N]
 //!           [--timeout-ms N] [--retries N]
 //!           [--backoff-ms N] [--policy fail-fast|skip] [--progress-secs N]
 //!           [--max-steps N] [--min-dt-fs N] [--quarantine]
@@ -72,6 +72,12 @@ USAGE:
                              per-lane verdicts byte-identical to scalar
                              runs (campaigns without batch support fall
                              back to scalar runs)
+          --word             with --batch: evaluate each group through
+                             one word-parallel event wheel (plane-valued
+                             signals, 63 mutant lanes + an in-word golden
+                             lane) instead of 64 cloned scalar machines;
+                             verdicts stay byte-identical (campaigns
+                             without word support fall back to --batch)
           --early-abort      classify each case while it simulates and
                              abort it the moment its verdict is sealed;
                              journal records gain sealed_at=<t_fs>
@@ -239,7 +245,23 @@ fn main() -> ExitCode {
 fn list() {
     println!("available campaigns:");
     for (name, description) in campaigns::catalog() {
-        println!("  {name:<12} {description}");
+        // Execution paths this campaign supports beyond the always-available
+        // scalar runner, so operators can see which flags will engage
+        // (--checkpoint / --batch / --batch --word) before launching.
+        let paths = campaigns::build(name, None).map_or_else(String::new, |c| {
+            let mut paths = vec!["scalar"];
+            if c.fork.is_some() {
+                paths.push("forked");
+            }
+            if c.batch.is_some() {
+                paths.push("batch");
+            }
+            if c.word.is_some() {
+                paths.push("word");
+            }
+            format!("[{}]", paths.join(", "))
+        });
+        println!("  {name:<12} {paths:<30} {description}");
     }
 }
 
@@ -299,6 +321,7 @@ fn run(args: &[String]) -> ExitCode {
                 "--resume" => config.resume = true,
                 "--checkpoint" => config.checkpoint = true,
                 "--batch" => config.batch = true,
+                "--word" => config.word = true,
                 "--early-abort" => config.early_abort = true,
                 "--settle-ns" => {
                     config.settle = Some(Time::from_ns(opts.parse(arg)?));
@@ -1237,10 +1260,17 @@ fn render_top(view: &amsfi_serve::view::TopView) -> String {
         view.workers.iter().filter(|w| w.connected).count()
     );
     for w in &view.workers {
+        // Word-parallel lane utilization only renders once the worker has
+        // reported `--batch --word` activity.
+        let lanes = if w.lane_p50 > 0 {
+            format!(", ~{}/63 mutant lanes live", w.lane_p50)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
             "  {:<20} {}{} lease(s), last seen {:.1}s ago, {} case(s), \
-             p50 {}us, p99 {}us, {} replayed, {} reconnect(s)",
+             p50 {}us, p99 {}us, {} replayed, {} reconnect(s){lanes}",
             w.name,
             if w.connected { "" } else { "disconnected, " },
             w.leases,

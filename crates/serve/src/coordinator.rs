@@ -1051,6 +1051,9 @@ fn fleet_view(shared: &Shared) -> TopView {
             entry.p50_us = h.percentile(50.0);
             entry.p99_us = h.percentile(99.0);
         }
+        if let Some(h) = ws.snapshot.hist("lane_occupancy") {
+            entry.lane_p50 = h.percentile(50.0);
+        }
         entry.replay_hits = ws.snapshot.counter("worker_records_replayed");
         entry.reconnects = ws.snapshot.counter("worker_reconnects");
     }

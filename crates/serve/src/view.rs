@@ -71,6 +71,11 @@ pub struct TopWorker {
     pub replay_hits: u64,
     /// Reconnects the worker reports having survived.
     pub reconnects: u64,
+    /// Median live mutant lanes per word (log₂-bucket upper bound, golden
+    /// lane excluded) across the worker's word-parallel lock-step stops —
+    /// how full its 63 mutant slots actually run. Zero until the worker
+    /// ships a snapshot with `--batch --word` activity.
+    pub lane_p50: u64,
 }
 
 /// The whole fleet: coordinator identity plus per-campaign and
@@ -138,7 +143,7 @@ impl TopView {
             let _ = writeln!(
                 out,
                 "worker name={} connected={} leases={} last_seen_ms={} nowork={} cases={} \
-                 p50_us={} p99_us={} replay_hits={} reconnects={}",
+                 p50_us={} p99_us={} replay_hits={} reconnects={} lane_p50={}",
                 escape(&w.name),
                 u8::from(w.connected),
                 w.leases,
@@ -149,6 +154,7 @@ impl TopView {
                 w.p99_us,
                 w.replay_hits,
                 w.reconnects,
+                w.lane_p50,
             );
         }
         out
@@ -210,6 +216,10 @@ impl TopView {
                     p99_us: num("p99_us")?,
                     replay_hits: num("replay_hits")?,
                     reconnects: num("reconnects")?,
+                    // Added after the first wire version: default instead
+                    // of failing so a newer `amsfi top` still renders an
+                    // older coordinator's view.
+                    lane_p50: num("lane_p50").unwrap_or(0),
                 }),
                 _ => {} // future line kinds are skipped
             }
@@ -251,6 +261,7 @@ mod tests {
                 p99_us: 8191,
                 replay_hits: 2,
                 reconnects: 1,
+                lane_p50: 31,
             }],
         }
     }
@@ -269,6 +280,15 @@ mod tests {
         let with_extra_key = text.replace("epoch=3", "epoch=3 flux=9");
         let parsed = TopView::parse(&with_extra_key).expect("parses");
         assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn pre_lane_p50_worker_lines_still_parse() {
+        // The lane_p50 key postdates the first wire version; a view from
+        // an older coordinator must parse with the field defaulted.
+        let text = sample().encode().replace(" lane_p50=31", "");
+        let parsed = TopView::parse(&text).expect("parses");
+        assert_eq!(parsed.workers[0].lane_p50, 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn toy_campaign(n: usize) -> Campaign {
         }),
         fork: None,
         batch: None,
+        word: None,
     }
 }
 

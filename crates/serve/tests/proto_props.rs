@@ -73,6 +73,7 @@ fn top_view(text_a: &str, text_b: &str, n: u64, m: u64, flag_a: bool) -> TopView
             p99_us: n % 100_000,
             replay_hits: m % 1_000,
             reconnects: n % 50,
+            lane_p50: n % 64,
         }],
     }
 }

@@ -279,6 +279,13 @@ pub struct KernelMetrics {
     /// Mutant lanes retired early because their full machine state
     /// reconverged with the golden machine's (batch reconvergence seal).
     pub lane_seals: Counter,
+    /// Distribution of live *mutant* lanes per word observed at each
+    /// word-parallel lock-step stop (`amsfi run --batch --word`): how full
+    /// the 63 mutant slots actually are, the utilization the word kernel's
+    /// speedup rides on. The in-word golden lane is excluded — it is live
+    /// by construction, and excluding it keeps every observation ≤ 63, one
+    /// log₂ bucket below the word width.
+    pub lane_occupancy: LogHistogram,
 }
 
 impl KernelMetrics {
@@ -413,6 +420,8 @@ impl KernelMetrics {
         );
         prom_type(&mut out, "amsfi_lanes_active", "histogram");
         prom_histogram(&mut out, "amsfi_lanes_active", &[], &self.lanes_active);
+        prom_type(&mut out, "amsfi_lane_occupancy", "histogram");
+        prom_histogram(&mut out, "amsfi_lane_occupancy", &[], &self.lane_occupancy);
 
         prom_type(&mut out, "amsfi_proposed_dt_femtoseconds", "histogram");
         prom_histogram(

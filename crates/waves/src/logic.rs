@@ -454,6 +454,51 @@ impl LogicPlanes {
         self.planes
     }
 
+    /// Lanes holding `'1'` or `'H'`, as a bit mask (the plane-parallel
+    /// [`Logic::is_high`]).
+    pub const fn is_high_mask(&self) -> u64 {
+        // One = 0b0011, WeakOne = 0b0111: plane0 & plane1 & !plane3.
+        self.planes[0] & self.planes[1] & !self.planes[3]
+    }
+
+    /// Lanes holding `'0'` or `'L'`, as a bit mask (the plane-parallel
+    /// [`Logic::is_low`]).
+    pub const fn is_low_mask(&self) -> u64 {
+        // Zero = 0b0010, WeakZero = 0b0110: !plane0 & plane1 & !plane3.
+        !self.planes[0] & self.planes[1] & !self.planes[3]
+    }
+
+    /// Per-lane merge: lane *k* takes `then.lane(k)` where bit *k* of `mask`
+    /// is set, `self.lane(k)` otherwise. This is the masked-event apply
+    /// primitive of the word-parallel simulator.
+    #[must_use]
+    pub const fn select(self, mask: u64, then: LogicPlanes) -> LogicPlanes {
+        LogicPlanes {
+            planes: [
+                (then.planes[0] & mask) | (self.planes[0] & !mask),
+                (then.planes[1] & mask) | (self.planes[1] & !mask),
+                (then.planes[2] & mask) | (self.planes[2] & !mask),
+                (then.planes[3] & mask) | (self.planes[3] & !mask),
+            ],
+        }
+    }
+
+    /// Broadcasts lane `lane`'s value to all 64 lanes — the golden-lane
+    /// reference word the divergence mask is taken against.
+    #[must_use]
+    pub fn broadcast_lane(&self, lane: usize) -> LogicPlanes {
+        LogicPlanes::splat(self.lane(lane))
+    }
+
+    /// Builds a word of strong `'1'`/`'0'` from a boolean lane mask: lane
+    /// *k* is `One` where bit *k* of `ones` is set, `Zero` otherwise.
+    pub const fn from_bool_mask(ones: u64) -> LogicPlanes {
+        // One = 0b0011, Zero = 0b0010: plane1 is always set.
+        LogicPlanes {
+            planes: [ones, u64::MAX, 0, 0],
+        }
+    }
+
     /// Lanes whose value differs from `other`, as a bit mask. One XOR/OR
     /// pass over the planes — this is the batch simulator's live
     /// divergence mask primitive.
@@ -928,6 +973,56 @@ mod tests {
                 assert_eq!(res.lane(lane), Logic::Uninitialized);
             }
         }
+    }
+
+    #[test]
+    fn high_low_masks_match_scalar_predicates_for_all_values() {
+        for v in Logic::ALL {
+            let s = LogicPlanes::splat(v);
+            let expect = |b: bool| if b { u64::MAX } else { 0 };
+            assert_eq!(s.is_high_mask(), expect(v.is_high()), "is_high({v})");
+            assert_eq!(s.is_low_mask(), expect(v.is_low()), "is_low({v})");
+        }
+        // Mixed lanes: each predicate flags exactly its lanes.
+        let w = LogicPlanes::from_lanes(&[Logic::One, Logic::Zero, Logic::WeakOne, Logic::HighZ]);
+        assert_eq!(w.is_high_mask(), 0b0101);
+        assert_eq!(w.is_low_mask(), 0b0010);
+    }
+
+    #[test]
+    fn select_merges_lanes_by_mask() {
+        let a = LogicPlanes::splat(Logic::One);
+        let b = LogicPlanes::splat(Logic::HighZ);
+        let m = 0xF0F0_F0F0_F0F0_F0F0u64;
+        let merged = b.select(m, a);
+        for lane in 0..LANES {
+            let expect = if (m >> lane) & 1 == 1 {
+                Logic::One
+            } else {
+                Logic::HighZ
+            };
+            assert_eq!(merged.lane(lane), expect, "lane {lane}");
+        }
+        // Identity edges.
+        assert_eq!(b.select(0, a), b);
+        assert_eq!(b.select(u64::MAX, a), a);
+    }
+
+    #[test]
+    fn broadcast_lane_and_bool_mask_round_trip() {
+        let mut w = LogicPlanes::splat(Logic::Zero);
+        w.set_lane(63, Logic::WeakOne);
+        assert_eq!(w.broadcast_lane(63), LogicPlanes::splat(Logic::WeakOne));
+        assert_eq!(w.broadcast_lane(0), LogicPlanes::splat(Logic::Zero));
+
+        let ones = 0xDEAD_BEEF_0123_4567u64;
+        let b = LogicPlanes::from_bool_mask(ones);
+        for lane in 0..LANES {
+            let expect = Logic::from_bool((ones >> lane) & 1 == 1);
+            assert_eq!(b.lane(lane), expect, "lane {lane}");
+        }
+        assert_eq!(b.is_high_mask(), ones);
+        assert_eq!(b.is_low_mask(), !ones);
     }
 
     #[test]
